@@ -1,0 +1,133 @@
+// Figure C (§3.2): effectiveness of the flow cache.
+//
+// "The filter lookup ... happens only for the first packet of a burst.
+// Subsequent packets get this information from a fast flow cache." We sweep
+// the packets-per-flow (burst length) and the number of active gates, and
+// report the average per-packet classification cost: it decays toward the
+// cached cost as bursts lengthen, and only the *first* packet pays the
+// n-gate filter lookups.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "aiu/aiu.hpp"
+#include "netbase/memaccess.hpp"
+#include "plugin/pcu.hpp"
+#include "tgen/workload.hpp"
+
+using namespace rp;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+class EmptyInstance final : public plugin::PluginInstance {
+ public:
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    return plugin::Verdict::cont;
+  }
+};
+class EmptyPlugin final : public plugin::Plugin {
+ public:
+  EmptyPlugin(std::string name, plugin::PluginType t)
+      : Plugin(std::move(name), t) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<EmptyInstance>();
+  }
+};
+
+constexpr plugin::PluginType kGateTypes[] = {
+    plugin::PluginType::ipopt,   plugin::PluginType::ipsec,
+    plugin::PluginType::firewall, plugin::PluginType::stats,
+    plugin::PluginType::congestion, plugin::PluginType::sched,
+};
+
+struct Result {
+  double avg_accesses;
+  double first_pkt_accesses;
+  double cached_accesses;
+};
+
+Result run(int gates, std::size_t burst, std::size_t n_filters) {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  aiu::Aiu aiu(pcu, clock);
+
+  tgen::FilterSetSpec spec;
+  spec.count = n_filters;
+  spec.seed = 99;
+  spec.p_wild_src = 0;
+  spec.p_wild_dst = 0;
+  auto filters = tgen::random_filters(spec);
+
+  for (int g = 0; g < gates; ++g) {
+    auto name = "g" + std::to_string(g);
+    pcu.register_plugin(std::make_unique<EmptyPlugin>(name, kGateTypes[g]));
+    plugin::InstanceId id = plugin::kNoInstance;
+    pcu.find(name)->create_instance({}, id);
+    auto* inst = pcu.find(name)->instance(id);
+    for (const auto& f : filters) aiu.create_filter(kGateTypes[g], f, inst);
+    aiu.filter_table(kGateTypes[g])->prepare();
+  }
+
+  netbase::Rng rng(7);
+  constexpr int kFlowsMeasured = 200;
+  std::uint64_t total = 0, first = 0, cached = 0;
+  std::uint64_t first_n = 0, cached_n = 0;
+  for (int fl = 0; fl < kFlowsMeasured; ++fl) {
+    auto ep = tgen::random_flow(rng);
+    for (std::size_t i = 0; i < burst; ++i) {
+      auto p = tgen::packet_for(ep, 64);
+      netbase::MemAccess::reset();
+      // Every gate consults the AIU, as the core does.
+      for (int g = 0; g < gates; ++g) aiu.gate_lookup(*p, kGateTypes[g]);
+      std::uint64_t a = netbase::MemAccess::total();
+      total += a;
+      if (i == 0) {
+        first += a;
+        ++first_n;
+      } else {
+        cached += a;
+        ++cached_n;
+      }
+    }
+  }
+  return {static_cast<double>(total) / (kFlowsMeasured * burst),
+          static_cast<double>(first) / first_n,
+          cached_n ? static_cast<double>(cached) / cached_n : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure C — Flow-cache effectiveness (memory accesses per packet)\n"
+      "1000 installed filters per gate; first packet pays n filter-table\n"
+      "lookups, subsequent packets hit the flow cache / FIX.\n\n");
+
+  std::printf("-- average accesses/packet vs burst length (gates=4) --\n");
+  std::printf("%8s %14s %14s %14s\n", "burst", "avg", "first pkt", "cached");
+  for (std::size_t burst : {1UL, 2UL, 4UL, 8UL, 16UL, 64UL, 256UL}) {
+    Result r = run(4, burst, 1000);
+    std::printf("%8zu %14.1f %14.1f %14.1f\n", burst, r.avg_accesses,
+                r.first_pkt_accesses, r.cached_accesses);
+  }
+
+  std::printf(
+      "\n-- first-packet vs cached cost as gates increase (burst=16) --\n");
+  std::printf("%8s %14s %14s %14s\n", "gates", "avg", "first pkt", "cached");
+  for (int gates = 1; gates <= 6; ++gates) {
+    Result r = run(gates, 16, 1000);
+    std::printf("%8d %14.1f %14.1f %14.1f\n", gates, r.avg_accesses,
+                r.first_pkt_accesses, r.cached_accesses);
+  }
+
+  std::printf(
+      "\nExpected shape: avg decays toward the cached cost with burst\n"
+      "length; first-packet cost grows with the gate count while cached\n"
+      "cost stays flat (the architecture is 'scalable to a very large\n"
+      "number of gates').\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure D (§6.1): weighted DRR link sharing — the paper's demo of the
+// plugin framework enforcing per-flow bandwidth shares ("extremely useful
+// for demonstrations of the link-sharing capabilities").
+//
+// Four UDP flows with weights {1, 1, 2, 10} saturate an 8 Mb/s link through
+// the full router (event loop, DRR plugin bound at the scheduling gate via
+// pmgr). We report per-flow goodput, the achieved ratio vs the configured
+// weight, and Jain's fairness index over weight-normalized shares.
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "pkt/builder.hpp"
+#include "tgen/workload.hpp"
+
+using namespace rp;
+
+int main() {
+  const std::uint32_t weights[4] = {1, 1, 2, 10};
+  const std::uint64_t link_bps = 8'000'000;
+  const netbase::SimTime duration = netbase::kNsPerSec;
+
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  auto& out = k.interfaces().add("out0", link_bps);
+  mgmt::RouterPluginLib lib(k);
+  mgmt::PluginManager pmgr(lib);
+
+  // The paper's pmgr flavour: load, create, attach, bind, set weights.
+  std::string script = R"(
+route add 20.0.0.0/8 if1
+modload drr
+create drr quantum=500
+attach drr 1 if1
+bind drr 1 <10.0.0.0/8, *, udp, *, *, *>
+)";
+  for (int f = 0; f < 4; ++f) {
+    script += "msg drr 1 setweight filter=<10.0.0." + std::to_string(f + 1) +
+              ",*,udp,*,*,*> weight=" + std::to_string(weights[f]) + "\n";
+  }
+  auto r = pmgr.run_script(script);
+  if (!r.ok()) {
+    std::fprintf(stderr, "config failed: %s\n", r.text.c_str());
+    return 1;
+  }
+
+  std::map<std::uint8_t, std::uint64_t> bytes;
+  out.set_tx_sink([&](pkt::PacketPtr p, netbase::SimTime) {
+    bytes[static_cast<std::uint8_t>(p->key.src.v4().v & 0xff)] += p->size();
+  });
+
+  // Each flow offers the full link rate (4x overload): 500-byte packets.
+  for (std::uint8_t f = 1; f <= 4; ++f) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, f));
+    s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+    s.sport = f;
+    s.dport = 80;
+    s.payload_len = 472;
+    const netbase::SimTime interval =
+        static_cast<netbase::SimTime>(500.0 * 8 * 1e9 / link_bps);
+    for (netbase::SimTime t = 0; t < duration; t += interval)
+      k.inject(t, 0, pkt::build_udp(s));
+  }
+  k.run_until(duration);
+
+  std::printf(
+      "Figure D — Weighted DRR link sharing (8 Mb/s link, 4x overload,\n"
+      "weights 1:1:2:10, 1 second of virtual time)\n\n");
+  std::printf("%6s %8s %12s %12s %14s\n", "flow", "weight", "bytes",
+              "goodput bps", "share/weight");
+
+  double total_norm = 0, total_norm_sq = 0;
+  std::uint64_t w1_bytes = bytes[1];
+  for (int f = 1; f <= 4; ++f) {
+    double bps = static_cast<double>(bytes[f]) * 8 /
+                 (static_cast<double>(duration) / 1e9);
+    double norm = static_cast<double>(bytes[f]) / weights[f - 1];
+    total_norm += norm;
+    total_norm_sq += norm * norm;
+    std::printf("%6d %8u %12llu %12.0f %14.0f\n", f, weights[f - 1],
+                static_cast<unsigned long long>(bytes[f]), bps, norm);
+  }
+  double jain = total_norm * total_norm / (4.0 * total_norm_sq);
+  std::printf("\nJain fairness index over weight-normalized shares: %.4f\n",
+              jain);
+  std::printf("weight-10 flow vs weight-1 flow ratio: %.2f (ideal 10.0)\n",
+              w1_bytes ? static_cast<double>(bytes[4]) / w1_bytes : 0.0);
+  std::printf(
+      "\nExpected shape: shares proportional to weights (index ~= 1.0),\n"
+      "as in the paper's link-sharing demonstrations.\n");
+  return 0;
+}

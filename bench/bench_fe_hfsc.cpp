@@ -1,0 +1,181 @@
+// Figure E (§6, §7.3): H-FSC — hierarchical link-sharing and the
+// delay/bandwidth decoupling that motivates service curves, plus the
+// queueing-overhead comparison with DRR that the paper discusses (H-FSC
+// cost corresponds to 25–37% overhead vs DRR's ~20%).
+//
+// Scenario (2-level hierarchy on a 10 Mb/s link):
+//   root ── agencyA (60%) ──  A.voice  rt: burst 5 Mb/s for 10ms, then 1 Mb/s
+//        │                └─  A.data   ls: 5 Mb/s
+//        └─ agencyB (40%) ──  B.data   ls: 4 Mb/s
+// A.voice is low-rate but delay-sensitive; A.data and B.data are greedy.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/router.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+#include "sched/drr.hpp"
+#include "sched/hfsc.hpp"
+#include "sched/wf2q.hpp"
+#include "sched/wfq_altq.hpp"
+
+using namespace rp;
+using HClock = std::chrono::steady_clock;
+
+namespace {
+
+pkt::PacketPtr flow_pkt(std::uint16_t sport, std::size_t payload) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 1));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = sport;
+  s.dport = 80;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+void link_sharing_run() {
+  const std::uint64_t link = 10'000'000;
+  core::RouterKernel k;
+  k.add_interface("in0");
+  auto& out = k.interfaces().add("out0", link);
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  mgmt::RouterPluginLib lib(k);
+  lib.modload("hfsc");
+  plugin::InstanceId id = plugin::kNoInstance;
+  plugin::Config cfg;
+  cfg.set("bandwidth_bps", std::to_string(link));
+  lib.create_instance("hfsc", cfg, id);
+  lib.attach_scheduler("hfsc", id, 1);
+
+  auto addclass = [&](const char* name, const char* parent, long ls_bps,
+                      long rt_m1 = 0, long rt_d_us = 0, long rt_m2 = 0) {
+    plugin::Config c;
+    c.set("name", name);
+    c.set("parent", parent);
+    c.set("ls_m1", std::to_string(ls_bps));
+    c.set("ls_m2", std::to_string(ls_bps));
+    if (rt_m2 || rt_m1) {
+      c.set("rt_m1", std::to_string(rt_m1));
+      c.set("rt_d_us", std::to_string(rt_d_us));
+      c.set("rt_m2", std::to_string(rt_m2));
+    }
+    lib.message("hfsc", id, "addclass", c);
+  };
+  addclass("agencyA", "root", 6'000'000);
+  addclass("agencyB", "root", 4'000'000);
+  addclass("A.voice", "agencyA", 1'000'000, 5'000'000, 10'000, 1'000'000);
+  addclass("A.data", "agencyA", 5'000'000);
+  addclass("B.data", "agencyB", 4'000'000);
+
+  auto bind = [&](const char* cls, int sport) {
+    plugin::Config c;
+    c.set("class", cls);
+    c.set("filter", "<*, *, udp, " + std::to_string(sport) + ", *, *>");
+    lib.message("hfsc", id, "bindclass", c);
+  };
+  bind("A.voice", 1);
+  bind("A.data", 2);
+  bind("B.data", 3);
+
+  std::map<std::uint16_t, std::uint64_t> bytes;
+  std::map<std::uint16_t, double> worst_delay;
+  out.set_tx_sink([&](pkt::PacketPtr p, netbase::SimTime t) {
+    bytes[p->key.sport] += p->size();
+    double d = static_cast<double>(t - p->arrival) / 1e6;  // ms
+    if (d > worst_delay[p->key.sport]) worst_delay[p->key.sport] = d;
+  });
+
+  const netbase::SimTime dur = netbase::kNsPerSec;
+  // Voice: 200-byte packets at 1 Mb/s (1.6 ms spacing).
+  for (netbase::SimTime t = 0; t < dur; t += 1'600'000)
+    k.inject(t, 0, flow_pkt(1, 172));
+  // Greedy data flows: each offers the whole link.
+  for (netbase::SimTime t = 0; t < dur; t += 1'000'000) {
+    k.inject(t, 0, flow_pkt(2, 1222));  // 1250B at 10 Mb/s
+    k.inject(t, 0, flow_pkt(3, 1222));
+  }
+  k.run_until(dur);
+
+  std::printf("-- hierarchical link sharing (1 s, 10 Mb/s link) --\n");
+  std::printf("%10s %10s %14s %14s %16s\n", "class", "flow", "goodput bps",
+              "expected bps", "worst delay ms");
+  const char* names[3] = {"A.voice", "A.data", "B.data"};
+  // Voice takes its 1 Mb/s; A.data gets agencyA's remaining 5 Mb/s;
+  // B.data gets agencyB's 4 Mb/s.
+  double expect[3] = {1e6, 5e6, 4e6};
+  for (int f = 1; f <= 3; ++f) {
+    double bps = static_cast<double>(bytes[f]) * 8;
+    std::printf("%10s %10d %14.0f %14.0f %16.2f\n", names[f - 1], f, bps,
+                expect[f - 1], worst_delay[f]);
+  }
+  std::printf(
+      "\nDecoupling check: A.voice's worst queueing delay stays small (its\n"
+      "rt curve m1 drains bursts at 5 Mb/s) although its bandwidth share\n"
+      "is only 1 Mb/s — delay is decoupled from rate.\n\n");
+}
+
+void overhead_run() {
+  // Enqueue+dequeue CPU cost: DRR vs H-FSC (the paper quotes H-FSC's
+  // 6.8-10.3 us on a P200 ~ 25-37% overhead vs DRR's ~20%).
+  constexpr int kOps = 200'000;
+
+  sched::DrrInstance drr({});
+  sched::HfscInstance hfsc({10'000'000, 4096});
+  // Give hfsc a small hierarchy so the vt machinery is exercised.
+  hfsc.add_class("a", "root", {}, {625'000, 0, 625'000}, {});
+  hfsc.add_class("b", "root", {}, {625'000, 0, 625'000}, {});
+  hfsc.bind_class(*aiu::Filter::parse("* * udp 1 * *"), "a");
+  hfsc.bind_class(*aiu::Filter::parse("* * udp 2 * *"), "b");
+
+  auto measure = [&](core::OutputScheduler& s, const char* name) {
+    void* soft[2] = {};
+    // Pre-build packets outside the timed loop.
+    std::vector<pkt::PacketPtr> pkts;
+    pkts.reserve(64);
+    for (int i = 0; i < 64; ++i)
+      pkts.push_back(flow_pkt(static_cast<std::uint16_t>(1 + i % 2), 472));
+
+    auto t0 = HClock::now();
+    int done = 0;
+    netbase::SimTime now = 0;
+    while (done < kOps) {
+      for (int b = 0; b < 32 && done < kOps; ++b, ++done) {
+        auto p = pkt::clone_packet(*pkts[done % 64]);
+        p->arrival = now;
+        s.enqueue(std::move(p), &soft[done % 2], now);
+        now += 1000;
+      }
+      while (auto p = s.dequeue(now)) p.reset();
+    }
+    auto t1 = HClock::now();
+    double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / kOps;
+    std::printf("%10s  %10.0f ns per enqueue+dequeue\n", name, ns);
+    return ns;
+  };
+
+  std::printf("-- scheduler CPU overhead (enqueue+dequeue pair) --\n");
+  sched::Wf2qInstance wf2q({});
+  sched::AltqWfqInstance altq(256, 1500, 4096);
+  double d = measure(drr, "DRR");
+  measure(altq, "ALTQ-WFQ");
+  measure(wf2q, "WF2Q+");
+  double h = measure(hfsc, "H-FSC");
+  std::printf("H-FSC / DRR cost ratio: %.2f (paper: H-FSC costlier; its\n",
+              h / d);
+  std::printf("queueing corresponds to 25-37%% kernel overhead vs DRR ~20%%)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure E — H-FSC: hierarchy, decoupling, and overhead\n\n");
+  mgmt::register_builtin_modules();
+  link_sharing_run();
+  overhead_run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure F (§5.1.1/§7.1): BMP plugin comparison — PATRICIA (the paper's
+// "slower but freely available" plugin) vs binary search on prefix lengths
+// (the patented fast plugin) vs controlled prefix expansion (the cited
+// state of the art). google-benchmark over database size and family.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bmp/lpm.hpp"
+#include "netbase/memaccess.hpp"
+#include "tgen/workload.hpp"
+
+using namespace rp;
+
+namespace {
+
+struct Db {
+  std::unique_ptr<bmp::LpmEngine> engine;
+  std::vector<netbase::U128> probes;
+};
+
+Db build(const char* engine, unsigned width, std::size_t n) {
+  Db db;
+  db.engine = bmp::make_lpm_engine(engine, width);
+  auto ver = width == 32 ? netbase::IpVersion::v4 : netbase::IpVersion::v6;
+  auto prefixes = tgen::random_prefixes(n, ver, n + width);
+  for (std::size_t i = 0; i < prefixes.size(); ++i)
+    db.engine->insert(prefixes[i].addr.key(), prefixes[i].len,
+                      static_cast<bmp::LpmValue>(i));
+  netbase::Rng rng(5);
+  for (int i = 0; i < 4096; ++i) {
+    if (i % 2) {
+      db.probes.push_back(netbase::U128{rng.next(), rng.next()});
+    } else {
+      // Specialize an installed prefix so half the probes hit.
+      const auto& p = prefixes[rng.below(prefixes.size())];
+      auto mask = netbase::U128::prefix_mask(p.len);
+      db.probes.push_back((p.addr.key() & mask) |
+                          (netbase::U128{rng.next(), rng.next()} & ~mask));
+    }
+  }
+  bmp::LpmMatch m;
+  db.engine->lookup(db.probes[0], m);  // trigger lazy builds
+  return db;
+}
+
+void bm_engine(benchmark::State& state, const char* engine, unsigned width) {
+  Db db = build(engine, width, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  bmp::LpmMatch m;
+  netbase::MemAccess::reset();
+  std::uint64_t lookups = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.engine->lookup(db.probes[i], m));
+    if (++i == db.probes.size()) i = 0;
+    ++lookups;
+  }
+  state.counters["mem_accesses"] =
+      static_cast<double>(netbase::MemAccess::total()) /
+      static_cast<double>(lookups);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bm_engine, patricia_v4, "patricia", 32)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536);
+BENCHMARK_CAPTURE(bm_engine, bsl_v4, "bsl", 32)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536);
+BENCHMARK_CAPTURE(bm_engine, cpe_v4, "cpe", 32)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536);
+BENCHMARK_CAPTURE(bm_engine, patricia_v6, "patricia", 128)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536);
+BENCHMARK_CAPTURE(bm_engine, bsl_v6, "bsl", 128)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536);
+BENCHMARK_CAPTURE(bm_engine, cpe_v6, "cpe", 128)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536);
+
+BENCHMARK_MAIN();

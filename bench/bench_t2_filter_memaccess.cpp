@@ -1,0 +1,113 @@
+// Table 2 reproduction: memory accesses for one filter-table lookup.
+//
+// The paper accounts 20 accesses for IPv4 and 24 for IPv6 with ~50,000
+// installed filters (binary search on prefix lengths as the BMP plugin):
+//   fn pointer (BMP) 1 + fn pointer (index hash) 1 + IP lookups 10/14 +
+//   port lookups 2 + DAG edges 6  =  20 / 24.
+// Our instrumentation counts the same work directly: one access per DAG
+// node fetch, one per BMP hash probe, one per exact-port/proto/iface probe.
+// The key claim — the count is independent of the number of filters — is
+// shown by sweeping the filter count.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "aiu/filter_table.hpp"
+#include "netbase/memaccess.hpp"
+#include "tgen/workload.hpp"
+
+using namespace rp;
+
+namespace {
+
+struct Row {
+  std::size_t filters;
+  netbase::IpVersion ver;
+  std::uint64_t worst;
+  double avg;
+};
+
+Row measure(std::size_t n, netbase::IpVersion ver, const char* engine) {
+  aiu::DagFilterTable::Options opt;
+  opt.bmp_engine = engine;
+  aiu::DagFilterTable table(opt);
+
+  // Filter shape per the paper's target workload: end-to-end application
+  // flows plus network prefixes — addresses always specified (prefix 8..32
+  // for v4, 16..64 for v6), ports mostly exact or wild.
+  tgen::FilterSetSpec spec;
+  spec.count = n;
+  spec.ver = ver;
+  spec.seed = 42 + n;
+  spec.p_wild_src = 0.0;
+  spec.p_wild_dst = 0.0;
+  spec.p_wild_proto = 0.2;
+  spec.p_port_exact = 0.5;
+  spec.p_port_range = 0.0;
+  // Realistic length bands that still hit the paper's worst-case probe
+  // depth: 25 distinct IPv4 lengths (5 probes per address) and 65 distinct
+  // IPv6 lengths (7 probes per address, the log2(128) the paper accounts).
+  spec.v4_min_len = 8;
+  spec.v4_max_len = 32;
+  spec.v6_min_len = 16;
+  spec.v6_max_len = 80;
+  auto filters = tgen::random_filters(spec);
+  // Concentrate sources into a pool of 64 networks so the per-edge
+  // destination tables are dense as well — the paper's worst case has both
+  // address lookups walking full-depth BMP structures.
+  std::vector<netbase::IpPrefix> pool;
+  for (const auto& f : filters) {
+    pool.push_back(f.src);
+    if (pool.size() == 64) break;
+  }
+  for (std::size_t i = 0; i < filters.size(); ++i)
+    filters[i].src = pool[i % pool.size()];
+  for (const auto& f : filters) table.insert(f, nullptr);
+  table.prepare();  // build outside the measurement
+
+  netbase::Rng rng(7);
+  std::uint64_t worst = 0, total = 0;
+  constexpr int kProbes = 5000;
+  for (int i = 0; i < kProbes; ++i) {
+    // Probe with keys that match installed filters (worst case walks the
+    // full DAG depth) and with random keys.
+    pkt::FlowKey k = (i % 4 == 0)
+                         ? tgen::random_key(rng, ver)
+                         : tgen::matching_key(
+                               filters[rng.below(filters.size())], rng);
+    netbase::MemAccess::reset();
+    table.lookup(k);
+    std::uint64_t a = netbase::MemAccess::total();
+    worst = std::max(worst, a);
+    total += a;
+  }
+  return {n, ver, worst, static_cast<double>(total) / kProbes};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 2 — Memory accesses for a filter lookup (DAG + binary search on\n"
+      "prefix lengths), sweeping the number of installed filters.\n"
+      "Paper worst case: IPv4 = 20, IPv6 = 24 (independent of filter count)\n\n");
+  std::printf("%10s  %6s  %14s  %12s\n", "filters", "family", "worst accesses",
+              "avg accesses");
+
+  for (auto ver : {netbase::IpVersion::v4, netbase::IpVersion::v6}) {
+    for (std::size_t n : {1000UL, 10000UL, 50000UL}) {
+      Row r = measure(n, ver, "bsl");
+      std::printf("%10zu  %6s  %14llu  %12.1f\n", r.filters,
+                  r.ver == netbase::IpVersion::v4 ? "IPv4" : "IPv6",
+                  static_cast<unsigned long long>(r.worst), r.avg);
+    }
+  }
+
+  std::printf(
+      "\nPer-component accounting (paper Table 2 vs this implementation):\n"
+      "  access to BMP/index-hash function pointers: paper 2, ours counted\n"
+      "  as part of the 6 per-level node fetches; IP address lookups: <=5/<=7\n"
+      "  hash probes per address (2 addresses); port lookup: 1 exact-hash\n"
+      "  probe each; proto/iface: 1 probe each.\n");
+  return 0;
+}

@@ -1,0 +1,238 @@
+// Table 3 reproduction: overall per-packet processing time for four kernel
+// configurations, with the paper's workload — three concurrent UDP flows of
+// 8 KB datagrams, 16 installed filters, 100 packets per flow repeated many
+// times:
+//
+//   row 1: unmodified best-effort kernel            (paper: 6460 cyc, 1.00)
+//   row 2: plugin architecture, 3 empty-plugin gates (paper: 6970 cyc, 1.08)
+//   row 3: stock kernel + ALTQ-style WFQ/DRR        (paper: 8160 cyc, 1.26)
+//   row 4: plugin architecture + DRR plugin          (paper: 8110 cyc, 1.26)
+//
+// Absolute times differ from a 233 MHz PPro, but the *relative overheads*
+// are the result: the modular architecture adds ~8%, and plugin DRR matches
+// monolithic ALTQ DRR.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/best_effort.hpp"
+#include "core/ip_core.hpp"
+#include "plugin/pcu.hpp"
+#include "sched/drr.hpp"
+#include "sched/wfq_altq.hpp"
+#include "tgen/workload.hpp"
+
+using namespace rp;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int kFlows = 3;
+constexpr int kPacketsPerFlow = 100;
+constexpr int kReps = 1000;
+constexpr std::size_t kPayload = 8192;  // 8 KB datagrams, no fragmentation
+
+// An empty plugin: the paper's row-2 measurement calls plugins that do
+// nothing, isolating the cost of classification + indirect calls.
+class EmptyInstance final : public plugin::PluginInstance {
+ public:
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    return plugin::Verdict::cont;
+  }
+};
+class EmptyPlugin final : public plugin::Plugin {
+ public:
+  EmptyPlugin(std::string name, plugin::PluginType t)
+      : Plugin(std::move(name), t) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<EmptyInstance>();
+  }
+};
+
+std::vector<tgen::FlowEndpoints> flows() {
+  std::vector<tgen::FlowEndpoints> out;
+  for (int f = 0; f < kFlows; ++f) {
+    tgen::FlowEndpoints ep;
+    ep.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0,
+                                               static_cast<std::uint8_t>(f + 1)));
+    ep.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+    ep.proto = 17;
+    ep.sport = static_cast<std::uint16_t>(5000 + f);
+    ep.dport = 9000;
+    out.push_back(ep);
+  }
+  return out;
+}
+
+// Installs the paper's 16 filters: a catch-all per active gate for the three
+// flows plus padding filters that never match.
+void install_filters(aiu::Aiu& aiu, plugin::PluginType gate,
+                     plugin::PluginInstance* inst) {
+  int installed = 0;
+  for (int i = 0; i < 13; ++i) {
+    aiu::Filter f;
+    f.src = *netbase::IpPrefix::parse(
+        ("99.77." + std::to_string(i) + ".0/24"));
+    f.proto = aiu::ProtoSpec::exact(6);
+    aiu.create_filter(gate, f, inst);
+    ++installed;
+  }
+  aiu::Filter all = *aiu::Filter::parse("10.0.0.0/8 * udp * * *");
+  aiu.create_filter(gate, all, inst);
+  ++installed;
+  (void)installed;
+}
+
+// Drives `process` + output drain over the workload; returns avg ns/packet.
+template <typename CoreT>
+double drive(CoreT& core, const std::vector<tgen::FlowEndpoints>& eps) {
+  // Warmup: populate the flow cache exactly like steady-state operation.
+  std::vector<pkt::PacketPtr> batch;
+  batch.reserve(kFlows * kPacketsPerFlow);
+
+  auto make_batch = [&] {
+    batch.clear();
+    for (int i = 0; i < kPacketsPerFlow; ++i)
+      for (const auto& ep : eps) batch.push_back(tgen::packet_for(ep, kPayload));
+  };
+
+  make_batch();
+  for (auto& p : batch) core.process(std::move(p));
+  while (core.next_for_tx(1, 0)) {
+  }
+
+  double total_ns = 0;
+  std::size_t total_pkts = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    make_batch();  // packet construction excluded from the timing
+    auto t0 = Clock::now();
+    for (auto& p : batch) core.process(std::move(p));
+    pkt::PacketPtr out;
+    while ((out = core.next_for_tx(1, 0))) out.reset();
+    auto t1 = Clock::now();
+    total_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    total_pkts += kFlows * kPacketsPerFlow;
+  }
+  return total_ns / static_cast<double>(total_pkts);
+}
+
+double run_unmodified() {
+  route::RoutingTable routes("bsl");
+  netdev::InterfaceTable ifs;
+  ifs.add("if0");
+  ifs.add("if1");
+  routes.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  core::BestEffortCore core(routes, ifs);
+  return drive(core, flows());
+}
+
+double run_plugin_arch() {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  aiu::Aiu aiu(pcu, clock);
+  route::RoutingTable routes("bsl");
+  netdev::InterfaceTable ifs;
+  ifs.add("if0");
+  ifs.add("if1");
+  routes.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+
+  // Three gates calling empty plugins, as in the paper's measurement.
+  core::CoreConfig cfg;
+  cfg.input_gates = {plugin::PluginType::ipopt, plugin::PluginType::ipsec,
+                     plugin::PluginType::stats};
+  core::IpCore core(aiu, routes, ifs, clock, cfg);
+
+  const plugin::PluginType gates[3] = {plugin::PluginType::ipopt,
+                                       plugin::PluginType::ipsec,
+                                       plugin::PluginType::stats};
+  const char* names[3] = {"e1", "e2", "e3"};
+  for (int g = 0; g < 3; ++g) {
+    pcu.register_plugin(std::make_unique<EmptyPlugin>(names[g], gates[g]));
+    plugin::InstanceId id = plugin::kNoInstance;
+    pcu.find(names[g])->create_instance({}, id);
+    install_filters(aiu, gates[g], pcu.find(names[g])->instance(id));
+  }
+  return drive(core, flows());
+}
+
+double run_altq_drr() {
+  route::RoutingTable routes("bsl");
+  netdev::InterfaceTable ifs;
+  ifs.add("if0");
+  ifs.add("if1");
+  routes.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  core::BestEffortCore core(routes, ifs);
+  sched::AltqWfqInstance wfq(256, 9000, 512);  // ALTQ defaults, 8 KB quantum
+  core.set_port_scheduler(1, &wfq);
+  return drive(core, flows());
+}
+
+double run_plugin_drr() {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  aiu::Aiu aiu(pcu, clock);
+  route::RoutingTable routes("bsl");
+  netdev::InterfaceTable ifs;
+  ifs.add("if0");
+  ifs.add("if1");
+  routes.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+
+  // Only the packet scheduling gate is active ("only one gate for packet
+  // scheduling in case DRR was turned on").
+  core::CoreConfig cfg;
+  cfg.input_gates = {};
+  core::IpCore core(aiu, routes, ifs, clock, cfg);
+
+  pcu.register_plugin(std::make_unique<sched::DrrPlugin>());
+  plugin::InstanceId id = plugin::kNoInstance;
+  plugin::Config dcfg;
+  dcfg.set("quantum", "9000");
+  dcfg.set("limit", "512");
+  pcu.find("drr")->create_instance(dcfg, id);
+  auto* inst = pcu.find("drr")->instance(id);
+  install_filters(aiu, plugin::PluginType::sched, inst);
+  core.set_port_scheduler(
+      1, static_cast<core::OutputScheduler*>(inst));
+  return drive(core, flows());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 3 — Overall packet processing time\n"
+      "(3 UDP flows, 8 KB datagrams, 16 filters, %d pkts/flow x %d reps)\n\n",
+      kPacketsPerFlow, kReps);
+
+  struct Row {
+    const char* name;
+    double ns;
+    double paper_rel;
+  };
+  double base = run_unmodified();
+  Row rows[] = {
+      {"Unmodified (best-effort) kernel", base, 1.00},
+      {"Plugin architecture, 3 empty gates", run_plugin_arch(), 1.08},
+      {"Best-effort + ALTQ WFQ/DRR", run_altq_drr(), 1.26},
+      {"Plugin architecture + DRR plugin", run_plugin_drr(), 1.26},
+  };
+
+  std::printf("%-38s %12s %10s %10s %12s %12s\n", "kernel", "ns/packet",
+              "delta ns", "relative", "paper rel.", "pkts/sec");
+  for (const auto& r : rows) {
+    std::printf("%-38s %12.0f %10.0f %9.2fx %11.2fx %12.0f\n", r.name, r.ns,
+                r.ns - base, r.ns / base, r.paper_rel, 1e9 / r.ns);
+  }
+  std::printf(
+      "\nPaper: 6460 / 6970 / 8160 / 8110 cycles per packet on a P6/233\n"
+      "(27.7 / 29.9 / 35.0 / 34.8 us); the plugin architecture added ~500\n"
+      "cycles (~8%%) and plugin-DRR matched monolithic ALTQ-DRR.\n"
+      "Note: our user-space best-effort baseline omits the fixed kernel\n"
+      "costs (interrupts, mbuf management, device programming) of the 1998\n"
+      "path, so *relative* overheads read higher here; compare the absolute\n"
+      "added cost per packet (delta ns) and the row3 vs row4 equivalence.\n");
+  return 0;
+}

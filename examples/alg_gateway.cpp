@@ -1,0 +1,165 @@
+// Application Layer Gateway — the paper singles ALGs out as a natural fit:
+// "Our framework is also very well suited to Application Layer Gateways
+// (ALGs) ... it is very important to be able to quickly and efficiently
+// classify packets into flows, and to apply different policies to
+// different flows."
+//
+// Scenario: an FTP-style protocol. Data connections (high ports) are denied
+// by default. The ALG plugin watches the *control* connection (port 21);
+// when the client announces a data port ("PORT <n>"), the plugin — from
+// inside the data path — installs a one-flow permit filter through the same
+// AIU interfaces every other component uses. The pinhole opens exactly for
+// the announced flow, while unrelated high-port traffic stays blocked.
+//
+// Run:  ./alg_gateway
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+
+using namespace rp;
+
+namespace {
+
+// The ALG plugin: a firewall-type plugin whose instance parses control
+// traffic and programs pinhole filters.
+class FtpAlgInstance final : public plugin::PluginInstance {
+ public:
+  FtpAlgInstance(aiu::Aiu& aiu, plugin::PluginInstance* permit)
+      : aiu_(aiu), permit_(permit) {}
+
+  plugin::Verdict handle_packet(pkt::Packet& p, void**) override {
+    // Look for "PORT <n>" in the TCP payload of the control connection.
+    if (p.l4_offset + 20u >= p.size()) return plugin::Verdict::cont;
+    std::string_view payload(
+        reinterpret_cast<const char*>(p.data() + p.l4_offset + 20),
+        p.size() - p.l4_offset - 20);
+    auto pos = payload.find("PORT ");
+    if (pos == std::string_view::npos) return plugin::Verdict::cont;
+    unsigned port = 0;
+    auto num = payload.substr(pos + 5);
+    std::from_chars(num.data(), num.data() + num.size(), port);
+    if (port == 0 || port > 65535) return plugin::Verdict::cont;
+
+    // Pinhole: permit the announced data flow (server -> client data port).
+    aiu::Filter f;
+    f.src = netbase::IpPrefix(p.key.dst, p.key.dst.width());  // server
+    f.dst = netbase::IpPrefix(p.key.src, p.key.src.width());  // client
+    f.proto = aiu::ProtoSpec::exact(6);
+    f.dport = aiu::PortSpec::exact(static_cast<std::uint16_t>(port));
+    if (aiu_.create_filter(plugin::PluginType::firewall, f, permit_) ==
+        netbase::Status::ok) {
+      std::printf("[alg] control says PORT %u -> pinhole %s\n", port,
+                  f.to_string().c_str());
+      ++pinholes_;
+    }
+    return plugin::Verdict::cont;
+  }
+
+  int pinholes() const noexcept { return pinholes_; }
+
+ private:
+  aiu::Aiu& aiu_;
+  plugin::PluginInstance* permit_;
+  int pinholes_{0};
+};
+
+class FtpAlgPlugin final : public plugin::Plugin {
+ public:
+  FtpAlgPlugin(aiu::Aiu& aiu, plugin::PluginInstance* permit)
+      : Plugin("ftp-alg", plugin::PluginType::firewall),
+        aiu_(aiu),
+        permit_(permit) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<FtpAlgInstance>(aiu_, permit_);
+  }
+
+ private:
+  aiu::Aiu& aiu_;
+  plugin::PluginInstance* permit_;
+};
+
+pkt::PacketPtr tcp_pkt(const char* src, const char* dst, std::uint16_t sport,
+                       std::uint16_t dport, const char* payload = "") {
+  pkt::TcpSpec s;
+  s.src = *netbase::IpAddr::parse(src);
+  s.dst = *netbase::IpAddr::parse(dst);
+  s.sport = sport;
+  s.dport = dport;
+  s.payload_len = std::strlen(payload);
+  auto p = pkt::build_tcp(s);
+  std::memcpy(p->data() + p->l4_offset + 20, payload, std::strlen(payload));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  core::RouterKernel router;
+  mgmt::register_builtin_modules();
+  router.add_interface("inside");
+  router.add_interface("outside");
+  mgmt::RouterPluginLib lib(router);
+  mgmt::PluginManager pmgr(lib);
+
+  // Base policy: deny all inbound high-port TCP, permit the control port.
+  auto r = pmgr.run_script(R"(
+route add 0.0.0.0/0 if1
+modload firewall
+create firewall policy=deny
+bind firewall 1 <*, *, tcp, *, 1024-65535, *>
+create firewall policy=permit
+bind firewall 2 <*, *, tcp, *, 21, *>
+)");
+  if (!r.ok()) {
+    std::fprintf(stderr, "config failed: %s\n", r.text.c_str());
+    return 1;
+  }
+  auto* permit = router.pcu().find_instance("firewall", 2);
+
+  // Load the ALG (created directly: it needs the AIU handle) and attach it
+  // to the control connection only.
+  router.pcu().register_plugin(
+      std::make_unique<FtpAlgPlugin>(router.aiu(), permit));
+  plugin::InstanceId alg_id = plugin::kNoInstance;
+  router.pcu().find("ftp-alg")->create_instance({}, alg_id);
+  lib.bind("ftp-alg", alg_id, "<*, *, tcp, *, 21, *>");
+
+  auto drops = [&] {
+    return router.core().counters().dropped(core::DropReason::policy);
+  };
+
+  // 1. Data connection before any announcement: blocked.
+  router.inject(0, 0, tcp_pkt("172.16.0.9", "192.168.1.5", 20, 5001));
+  router.run_to_completion();
+  std::printf("before PORT: data packet dropped (policy drops=%llu)\n",
+              static_cast<unsigned long long>(drops()));
+
+  // 2. Client announces its data port on the control connection.
+  router.inject(0, 0,
+                tcp_pkt("192.168.1.5", "172.16.0.9", 4000, 21, "PORT 5001"));
+  router.run_to_completion();
+
+  // 3. The same data connection now sails through the pinhole...
+  router.inject(0, 0, tcp_pkt("172.16.0.9", "192.168.1.5", 20, 5001));
+  // ...while an unrelated high-port flow stays blocked.
+  router.inject(100, 0, tcp_pkt("172.16.0.66", "192.168.1.5", 20, 6000));
+  router.run_to_completion();
+
+  std::printf("after PORT: forwarded=%llu, policy drops=%llu\n",
+              static_cast<unsigned long long>(
+                  router.core().counters().forwarded),
+              static_cast<unsigned long long>(drops()));
+  std::printf("(expected: 2 forwarded — control + pinholed data; 2 drops —\n"
+              " the early data packet and the unrelated flow)\n");
+  return 0;
+}

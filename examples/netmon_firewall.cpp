@@ -1,0 +1,108 @@
+// Network monitoring + firewall — the paper's management and ALG use cases:
+// "network management applications ... need to monitor transit traffic ...
+// and change the kinds of statistics being collected without incurring
+// significant overhead", and firewalls that "apply different policies to
+// different flows".
+//
+// This example runs a transit router, watches traffic with the stats
+// plugin, switches the statistics mode at run time, spots a bandwidth hog,
+// and hot-installs a deny rule for exactly that flow — all while packets
+// keep flowing.
+//
+// Run:  ./netmon_firewall
+#include <cstdio>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+#include "tgen/workload.hpp"
+
+using namespace rp;
+
+namespace {
+
+void offer_traffic(core::RouterKernel& k, netbase::SimTime from,
+                   netbase::SimTime until, bool with_hog) {
+  // Normal users: 4 modest flows.
+  for (std::uint8_t u = 1; u <= 4; ++u) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, u));
+    s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+    s.sport = u;
+    s.dport = 80;
+    s.payload_len = 200;
+    for (netbase::SimTime t = from; t < until; t += 10 * netbase::kNsPerMs)
+      k.inject(t, 0, pkt::build_udp(s));
+  }
+  if (with_hog) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 66));
+    s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+    s.sport = 666;
+    s.dport = 80;
+    s.payload_len = 1400;
+    for (netbase::SimTime t = from; t < until; t += netbase::kNsPerMs)
+      k.inject(t, 0, pkt::build_udp(s));
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::RouterKernel router;
+  mgmt::register_builtin_modules();
+  router.add_interface("in");
+  router.add_interface("out");
+  mgmt::RouterPluginLib lib(router);
+  mgmt::PluginManager pmgr(lib);
+
+  auto r = pmgr.run_script(R"(
+route add 20.0.0.0/8 if1
+modload stats
+create stats mode=packets
+bind stats 1 <*, *, *, *, *, *>
+)");
+  if (!r.ok()) {
+    std::fprintf(stderr, "config failed: %s\n", r.text.c_str());
+    return 1;
+  }
+
+  // Phase 1: watch packet counts.
+  offer_traffic(router, 0, 200 * netbase::kNsPerMs, true);
+  router.run_to_completion();
+  std::printf("== phase 1: packet counting ==\n%s\n",
+              pmgr.exec("msg stats 1 report").text.c_str());
+
+  // Phase 2: switch to byte accounting at run time — no reload, no
+  // interruption (the paper's "change the kinds of statistics being
+  // collected" requirement).
+  pmgr.exec("msg stats 1 setmode mode=bytes");
+  pmgr.exec("msg stats 1 reset");
+  offer_traffic(router, 300 * netbase::kNsPerMs, 500 * netbase::kNsPerMs,
+                true);
+  router.run_to_completion();
+  auto report = pmgr.exec("msg stats 1 report");
+  std::printf("== phase 2: byte accounting ==\n%s\n", report.text.c_str());
+
+  // The operator spots the hog (10.0.0.66) and drops exactly that flow.
+  std::printf("== phase 3: hot-install a deny rule for the hog ==\n");
+  pmgr.exec("modload firewall");
+  pmgr.exec("create firewall policy=deny");
+  pmgr.exec("bind firewall 1 <10.0.0.66, *, udp, *, *, *>");
+
+  auto before = router.core().counters().forwarded;
+  offer_traffic(router, 600 * netbase::kNsPerMs, 800 * netbase::kNsPerMs,
+                true);
+  router.run_to_completion();
+  auto after = router.core().counters();
+  std::printf("forwarded %llu more packets; policy drops now %llu\n",
+              static_cast<unsigned long long>(after.forwarded - before),
+              static_cast<unsigned long long>(
+                  after.dropped(core::DropReason::policy)));
+  std::printf("%s\n", pmgr.exec("msg firewall 1 stats").text.c_str());
+  std::printf("(normal users were never disturbed: per-flow classification\n"
+              " means the policy touches only the offending flow)\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// pmgr as an interactive utility — the paper's Plugin Manager is "a simple
+// application which takes arguments from the command line"; this example
+// wraps the same command language in a REPL over a live router so you can
+// poke at the system by hand:
+//
+//   ./pmgr_cli                 # interactive
+//   ./pmgr_cli < config.pmgr   # script mode
+//
+// Extra REPL-only commands: `counters` (core counters), `flows` (flow-table
+// stats), `tick <ms>` (advance virtual time), `send <src> <dst> <proto>
+// <sport> <dport> [n]` (inject packets), `help`, `quit`.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+
+using namespace rp;
+
+namespace {
+
+void print_help() {
+  std::puts(
+      "plugin commands: modload/modunload/lsmod, create, free, bind, unbind,\n"
+      "                 msg, attach, route add  (see mgmt/pmgr.hpp)\n"
+      "repl commands:   send <src> <dst> <udp|tcp> <sport> <dport> [count]\n"
+      "                 tick <ms>   advance virtual time\n"
+      "                 counters    core counters\n"
+      "                 flows       flow table statistics\n"
+      "                 help, quit");
+}
+
+}  // namespace
+
+int main() {
+  core::RouterKernel router;
+  mgmt::register_builtin_modules();
+  router.add_interface("if0");
+  router.add_interface("if1");
+  mgmt::RouterPluginLib lib(router);
+  mgmt::PluginManager pmgr(lib);
+
+  std::size_t delivered = 0;
+  router.interfaces().by_index(1)->set_tx_sink(
+      [&](pkt::PacketPtr, netbase::SimTime) { ++delivered; });
+
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::puts("router plugins shell — 2 interfaces (if0 in, if1 out); "
+              "type 'help'");
+  }
+
+  std::string line;
+  while (true) {
+    if (interactive) std::fputs("pmgr> ", stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      print_help();
+      continue;
+    }
+    if (cmd == "counters") {
+      const auto& c = router.core().counters();
+      std::printf("received=%llu forwarded=%llu drops=%llu gate_calls=%llu "
+                  "fragments=%llu delivered=%zu\n",
+                  static_cast<unsigned long long>(c.received),
+                  static_cast<unsigned long long>(c.forwarded),
+                  static_cast<unsigned long long>(c.total_drops()),
+                  static_cast<unsigned long long>(c.gate_calls),
+                  static_cast<unsigned long long>(c.fragments_created),
+                  delivered);
+      continue;
+    }
+    if (cmd == "flows") {
+      const auto& fs = router.aiu().flow_table().stats();
+      std::printf("active=%zu hits=%llu misses=%llu recycled=%llu\n",
+                  router.aiu().flow_table().active(),
+                  static_cast<unsigned long long>(fs.hits),
+                  static_cast<unsigned long long>(fs.misses),
+                  static_cast<unsigned long long>(fs.recycled));
+      continue;
+    }
+    if (cmd == "tick") {
+      long ms = 1;
+      iss >> ms;
+      router.run_until(router.clock().now() + ms * netbase::kNsPerMs);
+      std::printf("t=%lld ms\n",
+                  static_cast<long long>(router.clock().now() /
+                                         netbase::kNsPerMs));
+      continue;
+    }
+    if (cmd == "send") {
+      std::string src, dst, proto;
+      int sport = 0, dport = 0, count = 1;
+      iss >> src >> dst >> proto >> sport >> dport >> count;
+      auto s = netbase::IpAddr::parse(src);
+      auto d = netbase::IpAddr::parse(dst);
+      if (!s || !d || (proto != "udp" && proto != "tcp")) {
+        std::puts("usage: send <src> <dst> <udp|tcp> <sport> <dport> [count]");
+        continue;
+      }
+      for (int i = 0; i < count; ++i) {
+        pkt::PacketPtr p;
+        if (proto == "udp") {
+          pkt::UdpSpec u;
+          u.src = *s;
+          u.dst = *d;
+          u.sport = static_cast<std::uint16_t>(sport);
+          u.dport = static_cast<std::uint16_t>(dport);
+          u.payload_len = 100;
+          p = pkt::build_udp(u);
+        } else {
+          pkt::TcpSpec t;
+          t.src = *s;
+          t.dst = *d;
+          t.sport = static_cast<std::uint16_t>(sport);
+          t.dport = static_cast<std::uint16_t>(dport);
+          t.payload_len = 100;
+          p = pkt::build_tcp(t);
+        }
+        router.inject(router.clock().now() + i * 1000, 0, std::move(p));
+      }
+      router.run_to_completion();
+      std::printf("sent %d packet(s)\n", count);
+      continue;
+    }
+
+    auto r = pmgr.exec(line);
+    if (!r.text.empty()) std::puts(r.text.c_str());
+    if (!r.ok()) std::printf("error: %s\n",
+                             std::string(netbase::to_string(r.status)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "aiu/aiu.hpp"
+
+#include "pkt/builder.hpp"
+
+namespace rp::aiu {
+
+Aiu::Aiu(plugin::PluginControlUnit& pcu, netbase::SimClock& clock)
+    : Aiu(pcu, clock, Options{}) {}
+
+Aiu::Aiu(plugin::PluginControlUnit& pcu, netbase::SimClock& clock, Options opt)
+    : pcu_(pcu),
+      clock_(clock),
+      opt_(std::move(opt)),
+      flows_(opt_.flow_buckets, opt_.initial_flows, opt_.max_flows) {
+  install_pcu_hooks();
+}
+
+void Aiu::install_pcu_hooks() {
+  // The AIU publishes its registration functions to the PCU (Section 4:
+  // "This message would result in a call to a registration function that is
+  // published by the AIU").
+  pcu_.set_register_hook(
+      [this](plugin::PluginInstance* inst, const std::string& spec) {
+        auto f = Filter::parse(spec);
+        if (!f) return Status::invalid_argument;
+        return create_filter(inst->owner()->type(), *f, inst);
+      });
+  pcu_.set_deregister_hook(
+      [this](plugin::PluginInstance* inst, const std::string& spec) {
+        auto f = Filter::parse(spec);
+        if (!f) return Status::invalid_argument;
+        auto gate = inst->owner()->type();
+        auto* table = tables_[gate_index(gate)].get();
+        if (!table) return Status::not_found;
+        return remove_filter(gate, *f);
+      });
+  pcu_.add_purge_hook([this](plugin::PluginInstance* inst) {
+    flows_.purge_instance(inst);
+    for (auto& t : tables_)
+      if (t) t->purge_instance(inst);
+  });
+}
+
+Status Aiu::create_filter(plugin::PluginType gate, const Filter& f,
+                          plugin::PluginInstance* inst) {
+  if (gate == plugin::PluginType::none) return Status::invalid_argument;
+  auto& table = tables_[gate_index(gate)];
+  if (!table) {
+    table = make_filter_table(opt_.classifier, opt_.dag);
+    if (!table) return Status::invalid_argument;
+  }
+  if (!table->insert(f, inst)) return Status::error;
+  // Cached bindings may now be stale; drop them so the next packet of each
+  // flow re-runs classification.
+  flush_cache();
+  return Status::ok;
+}
+
+Status Aiu::remove_filter(plugin::PluginType gate, const Filter& f) {
+  auto* table = tables_[gate_index(gate)].get();
+  if (!table) return Status::not_found;
+  Status s = table->remove(f);
+  if (s == Status::ok) flush_cache();
+  return s;
+}
+
+void Aiu::flush_cache() {
+  if (flows_.active() != 0) {
+    flows_.clear();
+    ++stats_.cache_flushes;
+  }
+}
+
+const FilterRecord* Aiu::classify_uncached(const pkt::FlowKey& key,
+                                           plugin::PluginType gate) {
+  auto* table = tables_[gate_index(gate)].get();
+  if (!table) return nullptr;
+  ++stats_.filter_lookups;
+  return table->lookup(key);
+}
+
+pkt::FlowIndex Aiu::create_flow_entry(pkt::Packet& p) {
+  pkt::FlowIndex i = flows_.insert(p.key, clock_.now());
+  FlowRecord& r = flows_.rec(i);
+  // n gates -> n filter-table lookups, one flow entry (Section 3.2).
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    if (!tables_[g]) continue;
+    ++stats_.filter_lookups;
+    const FilterRecord* fr = tables_[g]->lookup(p.key);
+    if (fr) {
+      r.gates[g].instance = fr->instance;
+      r.gates[g].filter = fr;
+    }
+  }
+  ++stats_.uncached_classifications;
+  return i;
+}
+
+GateBinding* Aiu::gate_lookup(pkt::Packet& p, plugin::PluginType gate) {
+  const std::size_t gi = gate_index(gate);
+
+  // Fast path: FIX already in the packet — direct array access.
+  if (p.fix != pkt::kNoFlow) return &flows_.rec(p.fix).gates[gi];
+
+  if (!p.key_valid && !pkt::extract_flow_key(p)) return nullptr;
+
+  if (!opt_.flow_cache_enabled) {
+    // Ablation path: classify at this gate only, no caching. Soft state is
+    // not persisted (only stateless plugins are meaningful here).
+    thread_local GateBinding tmp;
+    tmp = {};
+    const FilterRecord* fr =
+        tables_[gi] ? (++stats_.filter_lookups, tables_[gi]->lookup(p.key))
+                    : nullptr;
+    if (fr) {
+      tmp.instance = fr->instance;
+      tmp.filter = fr;
+    }
+    return &tmp;
+  }
+
+  pkt::FlowIndex i = flows_.lookup(p.key, clock_.now());
+  if (i == pkt::kNoFlow) i = create_flow_entry(p);
+  p.fix = i;
+  return &flows_.rec(i).gates[gi];
+}
+
+}  // namespace rp::aiu

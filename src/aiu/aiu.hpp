@@ -1,0 +1,86 @@
+// Association Identification Unit (Section 5) — the facade tying together
+// packet classification (filter tables, one per gate), the flow cache, and
+// the binding between flows and plugin instances.
+//
+// Data path (Section 3.2): a gate calls `gate_lookup(packet, gate)`.
+//  * If the packet already carries a flow index (FIX), the binding is a
+//    direct array access — the gate then makes one indirect function call.
+//  * Otherwise the flow table is probed; on a hit the FIX is stored in the
+//    packet. On a miss, *all* gates' filter tables are looked up once and a
+//    flow-table entry is created ("the processing of the first packet of a
+//    new flow with n gates involves n filter table lookups").
+//
+// Control path: the AIU publishes registration functions, installed into the
+// PCU as hooks, so register_instance/deregister_instance messages create and
+// remove filter bindings.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "aiu/filter_table.hpp"
+#include "aiu/flow_table.hpp"
+#include "netbase/clock.hpp"
+#include "plugin/pcu.hpp"
+
+namespace rp::aiu {
+
+class Aiu {
+ public:
+  struct Options {
+    std::string classifier{"dag"};  // "dag" | "linear" (evaluation baseline)
+    DagFilterTable::Options dag{};
+    std::size_t flow_buckets{32768};  // §5.2 default
+    std::size_t initial_flows{1024};  // §5.2 default
+    std::size_t max_flows{1 << 20};
+    bool flow_cache_enabled{true};    // ablation switch (bench F-G)
+  };
+
+  struct Stats {
+    std::uint64_t uncached_classifications{0};  // flow-entry creations
+    std::uint64_t filter_lookups{0};
+    std::uint64_t cache_flushes{0};
+  };
+
+  Aiu(plugin::PluginControlUnit& pcu, netbase::SimClock& clock);
+  Aiu(plugin::PluginControlUnit& pcu, netbase::SimClock& clock, Options opt);
+
+  // -- control path --
+
+  Status create_filter(plugin::PluginType gate, const Filter& f,
+                       plugin::PluginInstance* inst);
+  Status remove_filter(plugin::PluginType gate, const Filter& f);
+
+  FilterTableBase* filter_table(plugin::PluginType gate) noexcept {
+    return tables_[gate_index(gate)].get();
+  }
+  FlowTable& flow_table() noexcept { return flows_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+  // -- data path --
+
+  // The body of the gate macro: returns the binding (instance + per-flow
+  // soft-state slot) for this packet at this gate, or nullptr when the
+  // packet is unparseable. A binding with a null instance means no filter
+  // matched — the gate simply continues.
+  GateBinding* gate_lookup(pkt::Packet& p, plugin::PluginType gate);
+
+  // One-gate classification without touching the cache (used by benches and
+  // by the no-cache ablation path).
+  const FilterRecord* classify_uncached(const pkt::FlowKey& key,
+                                        plugin::PluginType gate);
+
+ private:
+  pkt::FlowIndex create_flow_entry(pkt::Packet& p);
+  void flush_cache();
+  void install_pcu_hooks();
+
+  plugin::PluginControlUnit& pcu_;
+  netbase::SimClock& clock_;
+  Options opt_;
+  std::array<std::unique_ptr<FilterTableBase>, kNumGates> tables_;
+  FlowTable flows_;
+  Stats stats_;
+};
+
+}  // namespace rp::aiu

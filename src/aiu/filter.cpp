@@ -1,0 +1,148 @@
+#include "aiu/filter.hpp"
+
+#include <charconv>
+#include <vector>
+
+namespace rp::aiu {
+
+namespace {
+
+std::optional<std::uint32_t> parse_num(std::string_view s, std::uint32_t max) {
+  std::uint32_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size() || v > max)
+    return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint8_t> parse_proto(std::string_view s) {
+  if (s == "tcp" || s == "TCP") return static_cast<std::uint8_t>(pkt::IpProto::tcp);
+  if (s == "udp" || s == "UDP") return static_cast<std::uint8_t>(pkt::IpProto::udp);
+  if (s == "icmp" || s == "ICMP") return static_cast<std::uint8_t>(pkt::IpProto::icmp);
+  if (s == "icmp6" || s == "ICMP6") return static_cast<std::uint8_t>(pkt::IpProto::icmpv6);
+  if (s == "esp" || s == "ESP") return static_cast<std::uint8_t>(pkt::IpProto::esp);
+  if (s == "ah" || s == "AH") return static_cast<std::uint8_t>(pkt::IpProto::ah);
+  auto n = parse_num(s, 255);
+  if (!n) return std::nullopt;
+  return static_cast<std::uint8_t>(*n);
+}
+
+// Splits on commas or whitespace, trimming "<", ">" and blanks.
+std::vector<std::string_view> tokenize(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  auto is_sep = [](char c) {
+    return c == ',' || c == ' ' || c == '\t' || c == '<' || c == '>';
+  };
+  while (i < s.size()) {
+    while (i < s.size() && is_sep(s[i])) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !is_sep(s[j])) ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+// Per-field specificity ranks; larger = more specific.
+int rank_prefix(const netbase::IpPrefix& p) { return p.len; }
+std::int64_t rank_port(const PortSpec& p) {
+  return 65535 - static_cast<std::int64_t>(p.width());
+}
+template <typename T>
+int rank_exact(const ExactSpec<T>& e) {
+  return e.wild ? 0 : 1;
+}
+
+}  // namespace
+
+std::string PortSpec::to_string() const {
+  if (is_wild()) return "*";
+  if (is_exact()) return std::to_string(lo);
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+std::optional<PortSpec> PortSpec::parse(std::string_view s) {
+  if (s == "*") return PortSpec::any();
+  std::size_t dash = s.find('-');
+  if (dash == std::string_view::npos) {
+    auto v = parse_num(s, 65535);
+    if (!v) return std::nullopt;
+    return PortSpec::exact(static_cast<std::uint16_t>(*v));
+  }
+  auto lo = parse_num(s.substr(0, dash), 65535);
+  auto hi = parse_num(s.substr(dash + 1), 65535);
+  if (!lo || !hi || *lo > *hi) return std::nullopt;
+  return PortSpec{static_cast<std::uint16_t>(*lo),
+                  static_cast<std::uint16_t>(*hi)};
+}
+
+std::string Filter::to_string() const {
+  auto addr_str = [](const netbase::IpPrefix& p) {
+    if (p.len == 0) return std::string("*");
+    if (p.len == p.addr.width()) return p.addr.to_string();
+    return p.to_string();
+  };
+  std::string proto_s = proto.wild ? "*" : std::to_string(proto.value);
+  std::string iface_s = in_iface.wild ? "*" : std::to_string(in_iface.value);
+  return "<" + addr_str(src) + ", " + addr_str(dst) + ", " + proto_s + ", " +
+         sport.to_string() + ", " + dport.to_string() + ", " + iface_s + ">";
+}
+
+std::optional<Filter> Filter::parse(std::string_view s) {
+  auto tok = tokenize(s);
+  if (tok.size() != 6) return std::nullopt;
+
+  Filter f;
+  // Address family: default v4; if either address token looks v6, both
+  // wildcards inherit v6.
+  auto family = netbase::IpVersion::v4;
+  for (int i = 0; i < 2; ++i)
+    if (tok[i].find(':') != std::string_view::npos)
+      family = netbase::IpVersion::v6;
+
+  auto src = netbase::IpPrefix::parse(tok[0], family);
+  auto dst = netbase::IpPrefix::parse(tok[1], family);
+  if (!src || !dst) return std::nullopt;
+  f.src = *src;
+  f.dst = *dst;
+
+  if (tok[2] == "*") {
+    f.proto = ProtoSpec::any();
+  } else {
+    auto p = parse_proto(tok[2]);
+    if (!p) return std::nullopt;
+    f.proto = ProtoSpec::exact(*p);
+  }
+
+  auto sp = PortSpec::parse(tok[3]);
+  auto dp = PortSpec::parse(tok[4]);
+  if (!sp || !dp) return std::nullopt;
+  f.sport = *sp;
+  f.dport = *dp;
+
+  if (tok[5] == "*") {
+    f.in_iface = IfaceSpec::any();
+  } else {
+    std::string_view it = tok[5];
+    if (it.starts_with("if")) it.remove_prefix(2);
+    auto v = parse_num(it, 0xfffe);
+    if (!v) return std::nullopt;
+    f.in_iface = IfaceSpec::exact(static_cast<pkt::IfIndex>(*v));
+  }
+  return f;
+}
+
+int compare_specificity(const Filter& a, const Filter& b) noexcept {
+  if (int d = rank_prefix(a.src) - rank_prefix(b.src)) return d;
+  if (int d = rank_prefix(a.dst) - rank_prefix(b.dst)) return d;
+  if (int d = rank_exact(a.proto) - rank_exact(b.proto)) return d;
+  if (auto d = rank_port(a.sport) - rank_port(b.sport))
+    return d > 0 ? 1 : -1;
+  if (auto d = rank_port(a.dport) - rank_port(b.dport))
+    return d > 0 ? 1 : -1;
+  if (int d = rank_exact(a.in_iface) - rank_exact(b.in_iface)) return d;
+  return 0;
+}
+
+}  // namespace rp::aiu

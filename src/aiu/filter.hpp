@@ -1,0 +1,113 @@
+// Filters (Section 3): a filter specifies a set of flows as a six-tuple
+//   <source address, destination address, protocol,
+//    source port, destination port, incoming interface>
+// where any field may be wildcarded and address fields may be partially
+// wildcarded with a prefix. Port fields additionally support ranges
+// (Section 5.1.1: "For port numbers, matching can be done on ranges").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ip.hpp"
+#include "pkt/flow_key.hpp"
+
+namespace rp::aiu {
+
+// Port specification: [lo, hi] inclusive; full range = wildcard.
+struct PortSpec {
+  std::uint16_t lo{0};
+  std::uint16_t hi{65535};
+
+  static constexpr PortSpec any() { return {}; }
+  static constexpr PortSpec exact(std::uint16_t p) { return {p, p}; }
+
+  constexpr bool is_wild() const noexcept { return lo == 0 && hi == 65535; }
+  constexpr bool is_exact() const noexcept { return lo == hi; }
+  constexpr std::uint32_t width() const noexcept {
+    return std::uint32_t{hi} - lo;
+  }
+
+  constexpr bool matches(std::uint16_t p) const noexcept {
+    return p >= lo && p <= hi;
+  }
+  // True if this spec matches everything `o` matches.
+  constexpr bool covers(const PortSpec& o) const noexcept {
+    return lo <= o.lo && hi >= o.hi;
+  }
+  constexpr bool overlaps(const PortSpec& o) const noexcept {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  constexpr PortSpec intersect(const PortSpec& o) const noexcept {
+    return {lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+  }
+
+  friend constexpr bool operator==(const PortSpec&, const PortSpec&) = default;
+  friend constexpr auto operator<=>(const PortSpec&, const PortSpec&) = default;
+
+  std::string to_string() const;
+  static std::optional<PortSpec> parse(std::string_view s);
+};
+
+// Exact-or-wildcard specification for protocol / incoming interface.
+template <typename T>
+struct ExactSpec {
+  bool wild{true};
+  T value{};
+
+  static constexpr ExactSpec any() { return {}; }
+  static constexpr ExactSpec exact(T v) { return {false, v}; }
+
+  constexpr bool matches(T v) const noexcept { return wild || value == v; }
+  constexpr bool covers(const ExactSpec& o) const noexcept {
+    return wild || (!o.wild && value == o.value);
+  }
+
+  friend constexpr bool operator==(const ExactSpec&, const ExactSpec&) = default;
+};
+
+using ProtoSpec = ExactSpec<std::uint8_t>;
+using IfaceSpec = ExactSpec<pkt::IfIndex>;
+
+struct Filter {
+  netbase::IpPrefix src{};   // len 0 == fully wildcarded
+  netbase::IpPrefix dst{};
+  ProtoSpec proto{};
+  PortSpec sport{};
+  PortSpec dport{};
+  IfaceSpec in_iface{};
+
+  bool matches(const pkt::FlowKey& k) const noexcept {
+    return src.contains(k.src) && dst.contains(k.dst) &&
+           proto.matches(k.proto) && sport.matches(k.sport) &&
+           dport.matches(k.dport) && in_iface.matches(k.in_iface);
+  }
+
+  // A fully-specified filter identifies exactly one flow (Section 5.2:
+  // flow-table entries are filters without wildcards).
+  bool fully_specified() const noexcept {
+    return src.len == src.addr.width() && dst.len == dst.addr.width() &&
+           !proto.wild && sport.is_exact() && dport.is_exact() &&
+           !in_iface.wild;
+  }
+
+  friend bool operator==(const Filter&, const Filter&) = default;
+
+  std::string to_string() const;
+
+  // Parses "<src, dst, proto, sport, dport, iface>" — the paper's notation,
+  // e.g. "<129.0.0.0/8, 192.94.233.10, TCP, *, *, *>" — or the same six
+  // fields space-separated without the angle brackets/commas.
+  static std::optional<Filter> parse(std::string_view s);
+};
+
+// Specificity order for the best-matching-filter rule. The DAG resolves
+// field by field in tuple order (most-specific edge first), which is a
+// lexicographic comparison on per-field specificity; this function is the
+// reference implementation used by the linear classifier and by tests.
+// Returns >0 if a is more specific than b, <0 if less, 0 if tied.
+int compare_specificity(const Filter& a, const Filter& b) noexcept;
+
+}  // namespace rp::aiu

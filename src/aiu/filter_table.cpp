@@ -1,0 +1,433 @@
+#include "aiu/filter_table.hpp"
+
+#include <algorithm>
+
+#include "netbase/memaccess.hpp"
+
+namespace rp::aiu {
+
+using netbase::IpVersion;
+using netbase::MemAccess;
+
+DagFilterTable::DagFilterTable() = default;
+DagFilterTable::DagFilterTable(Options opt) : opt_(std::move(opt)) {}
+DagFilterTable::~DagFilterTable() = default;
+
+FilterRecord* DagFilterTable::insert(const Filter& f,
+                                     plugin::PluginInstance* inst) {
+  for (auto& r : records_) {
+    if (r->filter == f) {  // rebind an existing filter
+      r->instance = inst;
+      return r.get();
+    }
+  }
+  auto rec = std::make_unique<FilterRecord>();
+  rec->filter = f;
+  rec->instance = inst;
+  rec->id = next_id_++;
+  FilterRecord* out = rec.get();
+  records_.push_back(std::move(rec));
+  dirty_ = true;
+  return out;
+}
+
+Status DagFilterTable::remove(const Filter& f) {
+  for (auto it = records_.begin(); it != records_.end(); ++it) {
+    if ((*it)->filter == f) {
+      records_.erase(it);
+      dirty_ = true;
+      return Status::ok;
+    }
+  }
+  return Status::not_found;
+}
+
+std::size_t DagFilterTable::purge_instance(const plugin::PluginInstance* inst) {
+  std::size_t before = records_.size();
+  std::erase_if(records_, [&](auto& r) { return r->instance == inst; });
+  if (records_.size() != before) dirty_ = true;
+  return before - records_.size();
+}
+
+std::vector<const FilterRecord*> DagFilterTable::records() const {
+  std::vector<const FilterRecord*> out;
+  out.reserve(records_.size());
+  for (auto& r : records_) out.push_back(r.get());
+  return out;
+}
+
+void DagFilterTable::rebuild() const {
+  nodes_.clear();
+  memo_.clear();
+  ++rebuilds_;
+  dirty_ = false;
+  if (records_.empty()) {
+    root_ = -1;
+    return;
+  }
+  std::vector<const FilterRecord*> all;
+  all.reserve(records_.size());
+  for (auto& r : records_) all.push_back(r.get());
+  root_ = build(kSrc, all);
+  memo_.clear();  // build-time only
+}
+
+std::int32_t DagFilterTable::build(
+    int level, const std::vector<const FilterRecord*>& cand) const {
+  // DAG node sharing: identical (level, candidate-set) pairs map to one
+  // node — including leaves, which otherwise replicate heavily.
+  std::vector<std::uint32_t> sig;
+  sig.reserve(cand.size());
+  for (const FilterRecord* r : cand) sig.push_back(r->id);
+  std::sort(sig.begin(), sig.end());
+  auto memo_key = std::make_pair(level, std::move(sig));
+  if (auto it = memo_.find(memo_key); it != memo_.end()) return it->second;
+
+  if (level == kLeaf) {
+    // Every candidate here matches any key that reached this leaf; the
+    // best (most specific; ties broken by installation order) wins.
+    const FilterRecord* best = cand.front();
+    for (const FilterRecord* r : cand) {
+      int c = compare_specificity(r->filter, best->filter);
+      if (c > 0 || (c == 0 && r->id < best->id)) best = r;
+    }
+    nodes_.push_back({});
+    Node& n = nodes_.back();
+    n.level = kLeaf;
+    n.leaf = best;
+    const auto idx = static_cast<std::int32_t>(nodes_.size() - 1);
+    memo_[memo_key] = idx;
+    return idx;
+  }
+
+  // §5.1.2 node collapsing: if no candidate constrains this field, the test
+  // is a no-op — point the parent directly at the next level.
+  if (opt_.collapse) {
+    bool all_wild = true;
+    for (const FilterRecord* r : cand) {
+      const Filter& f = r->filter;
+      bool wild = (level == kSrc && f.src.len == 0) ||
+                  (level == kDst && f.dst.len == 0) ||
+                  (level == kProto && f.proto.wild) ||
+                  (level == kSport && f.sport.is_wild()) ||
+                  (level == kDport && f.dport.is_wild()) ||
+                  (level == kIface && f.in_iface.wild);
+      if (!wild) {
+        all_wild = false;
+        break;
+      }
+    }
+    if (all_wild) {
+      std::int32_t skipped = build(level + 1, cand);
+      memo_[memo_key] = skipped;
+      return skipped;
+    }
+  }
+
+  const std::int32_t me = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[me].level = static_cast<std::uint8_t>(level);
+  memo_[memo_key] = me;
+
+  auto covered = [&](auto pred) {
+    std::vector<const FilterRecord*> out;
+    for (const FilterRecord* r : cand)
+      if (pred(r->filter)) out.push_back(r);
+    return out;
+  };
+
+  if (level == kSrc || level == kDst) {
+    auto field = [&](const Filter& f) -> const netbase::IpPrefix& {
+      return level == kSrc ? f.src : f.dst;
+    };
+    // Group candidates by exact prefix so each edge's child set is found
+    // with one hash probe per present length instead of a full scan (keeps
+    // the build near O(edges * lengths) even for 50k-filter tables).
+    struct PrefixKey {
+      netbase::IpVersion ver;
+      netbase::U128 bits;
+      std::uint8_t len;
+      bool operator<(const PrefixKey& o) const {
+        if (ver != o.ver) return ver < o.ver;
+        if (len != o.len) return len < o.len;
+        return bits < o.bits;
+      }
+    };
+    std::map<PrefixKey, std::vector<const FilterRecord*>> by_prefix;
+    std::vector<const FilterRecord*> wild;  // len-0 (either family)
+    std::vector<netbase::IpPrefix> specs;
+    for (const FilterRecord* r : cand) {
+      netbase::IpPrefix p = field(r->filter);
+      if (p.len == 0) {
+        if (wild.empty()) specs.push_back(netbase::IpPrefix{});
+        wild.push_back(r);
+        continue;
+      }
+      PrefixKey pk{p.addr.ver, p.addr.key(), p.len};
+      auto [it, inserted] = by_prefix.try_emplace(pk);
+      if (inserted) specs.push_back(p);
+      it->second.push_back(r);
+    }
+    // Distinct lengths present, per family.
+    std::vector<std::uint8_t> lengths4, lengths6;
+    for (const auto& [pk, v] : by_prefix) {
+      auto& lens = pk.ver == IpVersion::v4 ? lengths4 : lengths6;
+      if (lens.empty() || lens.back() != pk.len) lens.push_back(pk.len);
+    }
+    std::sort(lengths4.begin(), lengths4.end());
+    lengths4.erase(std::unique(lengths4.begin(), lengths4.end()),
+                   lengths4.end());
+    std::sort(lengths6.begin(), lengths6.end());
+    lengths6.erase(std::unique(lengths6.begin(), lengths6.end()),
+                   lengths6.end());
+
+    for (const auto& p : specs) {
+      // Set-pruning replication: the subtree under edge `p` holds every
+      // filter whose prefix covers p (matches at least everything p does).
+      std::vector<const FilterRecord*> child_set = wild;
+      if (p.len > 0) {
+        const auto& lens =
+            p.addr.ver == IpVersion::v4 ? lengths4 : lengths6;
+        for (std::uint8_t l : lens) {
+          if (l > p.len) break;
+          PrefixKey pk{p.addr.ver,
+                       p.addr.key() & netbase::U128::prefix_mask(l), l};
+          if (auto it = by_prefix.find(pk); it != by_prefix.end())
+            child_set.insert(child_set.end(), it->second.begin(),
+                             it->second.end());
+        }
+      }
+      std::int32_t child = build(level + 1, child_set);
+      Node& n = nodes_[me];
+      auto edge = static_cast<bmp::LpmValue>(n.addr_targets.size());
+      n.addr_targets.push_back(child);
+      auto& lpm = p.addr.ver == IpVersion::v4 ? n.lpm4 : n.lpm6;
+      if (!lpm)
+        lpm = bmp::make_lpm_engine(opt_.bmp_engine,
+                                   p.addr.ver == IpVersion::v4 ? 32 : 128);
+      lpm->insert(p.addr.key(), p.len, edge);
+      // A fully-wildcarded address matches both families.
+      if (p.len == 0) {
+        auto& other = p.addr.ver == IpVersion::v4 ? n.lpm6 : n.lpm4;
+        if (!other)
+          other = bmp::make_lpm_engine(opt_.bmp_engine,
+                                       p.addr.ver == IpVersion::v4 ? 128 : 32);
+        other->insert({}, 0, edge);
+      }
+    }
+    return me;
+  }
+
+  if (level == kProto || level == kIface) {
+    auto wildp = [&](const Filter& f) {
+      return level == kProto ? f.proto.wild : f.in_iface.wild;
+    };
+    auto value = [&](const Filter& f) -> std::uint32_t {
+      return level == kProto ? f.proto.value : f.in_iface.value;
+    };
+    std::vector<std::uint32_t> vals;
+    bool any_wild = false;
+    for (const FilterRecord* r : cand) {
+      if (wildp(r->filter)) {
+        any_wild = true;
+      } else if (std::find(vals.begin(), vals.end(), value(r->filter)) ==
+                 vals.end()) {
+        vals.push_back(value(r->filter));
+      }
+    }
+    for (std::uint32_t v : vals) {
+      auto child_set = covered(
+          [&](const Filter& f) { return wildp(f) || value(f) == v; });
+      std::int32_t child = build(level + 1, child_set);
+      nodes_[me].exact[v] = child;
+    }
+    if (any_wild) {
+      auto child_set = covered([&](const Filter& f) { return wildp(f); });
+      nodes_[me].wild = build(level + 1, child_set);
+    }
+    return me;
+  }
+
+  // Port levels: close the distinct specs under pairwise intersection so
+  // that for any key the most specific matching edge is unique (this is the
+  // filter-ambiguity resolution of §5.1.2 applied to ranges).
+  auto field = [&](const Filter& f) -> const PortSpec& {
+    return level == kSport ? f.sport : f.dport;
+  };
+  std::vector<PortSpec> specs;
+  for (const FilterRecord* r : cand) {
+    const auto& p = field(r->filter);
+    if (std::find(specs.begin(), specs.end(), p) == specs.end())
+      specs.push_back(p);
+  }
+  // (j restarts from 0 so intersections involving appended specs are also
+  // closed — the loop reaches a fixpoint because each addition is narrower.)
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (specs[i].overlaps(specs[j])) {
+        PortSpec x = specs[i].intersect(specs[j]);
+        if (std::find(specs.begin(), specs.end(), x) == specs.end())
+          specs.push_back(x);
+      }
+    }
+  }
+  // Narrowest-first: lookup scans in this order and stops at the first hit.
+  std::sort(specs.begin(), specs.end(), [](const PortSpec& a, const PortSpec& b) {
+    if (a.width() != b.width()) return a.width() < b.width();
+    return a.lo < b.lo;
+  });
+  for (const auto& s : specs) {
+    auto child_set =
+        covered([&](const Filter& f) { return field(f).covers(s); });
+    std::int32_t child = build(level + 1, child_set);
+    Node& n = nodes_[me];
+    if (s.is_exact())
+      n.port_exact[s.lo] = child;
+    else
+      n.ranges.emplace_back(s, child);
+  }
+  return me;
+}
+
+std::int32_t DagFilterTable::walk(const Node& n, const pkt::FlowKey& key) const {
+  MemAccess::count();  // fetch of this node's edge structure
+  switch (n.level) {
+    case kSrc:
+    case kDst: {
+      const netbase::IpAddr& a = n.level == kSrc ? key.src : key.dst;
+      const auto& lpm = a.ver == IpVersion::v4 ? n.lpm4 : n.lpm6;
+      if (!lpm) return -1;
+      bmp::LpmMatch m;
+      if (!lpm->lookup(a.key(), m)) return -1;  // engine counts its probes
+      return n.addr_targets[m.value];
+    }
+    case kProto:
+    case kIface: {
+      const std::uint32_t v =
+          n.level == kProto ? key.proto : std::uint32_t{key.in_iface};
+      if (!n.exact.empty()) {
+        MemAccess::count();  // exact hash probe
+        auto it = n.exact.find(v);
+        if (it != n.exact.end()) return it->second;
+      }
+      return n.wild;
+    }
+    case kSport:
+    case kDport: {
+      const std::uint16_t v = n.level == kSport ? key.sport : key.dport;
+      if (!n.port_exact.empty()) {
+        MemAccess::count();  // exact hash probe
+        auto it = n.port_exact.find(v);
+        if (it != n.port_exact.end()) return it->second;
+      }
+      for (const auto& [spec, target] : n.ranges) {
+        MemAccess::count();  // range entry inspection
+        if (spec.matches(v)) return target;
+      }
+      return -1;
+    }
+    default:
+      return -1;
+  }
+}
+
+const FilterRecord* DagFilterTable::lookup(const pkt::FlowKey& key) const {
+  if (dirty_) rebuild();
+  std::int32_t cur = root_;
+  while (cur >= 0) {
+    const Node& n = nodes_[cur];
+    if (n.level == kLeaf) return n.leaf;
+    cur = walk(n, key);
+  }
+  return nullptr;
+}
+
+std::string DagFilterTable::dump_dot() const {
+  if (dirty_) rebuild();
+  static constexpr const char* kLevelNames[] = {"src",   "dst",   "proto",
+                                                "sport", "dport", "iface",
+                                                "leaf"};
+  std::string out = "digraph filter_dag {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.level == kLeaf) {
+      out += "  n" + std::to_string(i) + " [shape=box,label=\"" +
+             (n.leaf ? n.leaf->filter.to_string() : "-") + "\"];\n";
+      continue;
+    }
+    out += "  n" + std::to_string(i) + " [label=\"" +
+           kLevelNames[n.level] + "\"];\n";
+    auto edge = [&](std::int32_t target, const std::string& label) {
+      if (target < 0) return;
+      out += "  n" + std::to_string(i) + " -> n" + std::to_string(target) +
+             " [label=\"" + label + "\"];\n";
+    };
+    for (std::size_t e = 0; e < n.addr_targets.size(); ++e)
+      edge(n.addr_targets[e], "p" + std::to_string(e));
+    for (const auto& [v, t] : n.exact) edge(t, std::to_string(v));
+    for (const auto& [v, t] : n.port_exact) edge(t, std::to_string(v));
+    for (const auto& [spec, t] : n.ranges) edge(t, spec.to_string());
+    edge(n.wild, "*");
+  }
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+FilterRecord* LinearFilterTable::insert(const Filter& f,
+                                        plugin::PluginInstance* inst) {
+  for (auto& r : records_) {
+    if (r->filter == f) {
+      r->instance = inst;
+      return r.get();
+    }
+  }
+  auto rec = std::make_unique<FilterRecord>();
+  rec->filter = f;
+  rec->instance = inst;
+  rec->id = next_id_++;
+  FilterRecord* out = rec.get();
+  records_.push_back(std::move(rec));
+  return out;
+}
+
+Status LinearFilterTable::remove(const Filter& f) {
+  auto before = records_.size();
+  std::erase_if(records_, [&](auto& r) { return r->filter == f; });
+  return records_.size() != before ? Status::ok : Status::not_found;
+}
+
+const FilterRecord* LinearFilterTable::lookup(const pkt::FlowKey& key) const {
+  const FilterRecord* best = nullptr;
+  for (const auto& r : records_) {
+    MemAccess::count();  // every record is inspected: the O(n) baseline
+    if (!r->filter.matches(key)) continue;
+    if (!best || compare_specificity(r->filter, best->filter) > 0 ||
+        (compare_specificity(r->filter, best->filter) == 0 && r->id < best->id))
+      best = r.get();
+  }
+  return best;
+}
+
+std::size_t LinearFilterTable::purge_instance(const plugin::PluginInstance* inst) {
+  auto before = records_.size();
+  std::erase_if(records_, [&](auto& r) { return r->instance == inst; });
+  return before - records_.size();
+}
+
+std::vector<const FilterRecord*> LinearFilterTable::records() const {
+  std::vector<const FilterRecord*> out;
+  out.reserve(records_.size());
+  for (auto& r : records_) out.push_back(r.get());
+  return out;
+}
+
+std::unique_ptr<FilterTableBase> make_filter_table(
+    std::string_view kind, const DagFilterTable::Options& dag_opt) {
+  if (kind == "dag") return std::make_unique<DagFilterTable>(dag_opt);
+  if (kind == "linear") return std::make_unique<LinearFilterTable>();
+  return nullptr;
+}
+
+}  // namespace rp::aiu

@@ -1,0 +1,185 @@
+#include "aiu/flow_table.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "netbase/memaccess.hpp"
+
+namespace rp::aiu {
+
+using netbase::MemAccess;
+
+FlowTable::FlowTable(std::size_t buckets, std::size_t initial_records,
+                     std::size_t max_records)
+    : max_records_(max_records) {
+  buckets_.assign(std::bit_ceil(buckets), -1);
+  recs_.resize(initial_records == 0 ? 1 : initial_records);
+  for (std::size_t i = 0; i < recs_.size(); ++i)
+    recs_[i].hash_next = i + 1 < recs_.size() ? static_cast<std::int32_t>(i + 1)
+                                              : -1;
+  free_head_ = 0;
+}
+
+void FlowTable::grow_free_list() {
+  // Exponential growth: 1024, 2048, 4096, ... "to adapt to the environment
+  // as fast as possible" (§5.2).
+  std::size_t old = recs_.size();
+  std::size_t grown = old * 2;
+  if (grown > max_records_) grown = max_records_;
+  if (grown <= old) return;
+  recs_.resize(grown);
+  for (std::size_t i = old; i < grown; ++i)
+    recs_[i].hash_next = i + 1 < grown ? static_cast<std::int32_t>(i + 1) : -1;
+  free_head_ = static_cast<std::int32_t>(old);
+  ++stats_.grown;
+}
+
+void FlowTable::lru_push_front(pkt::FlowIndex i) {
+  recs_[i].lru_prev = -1;
+  recs_[i].lru_next = lru_head_;
+  if (lru_head_ >= 0) recs_[lru_head_].lru_prev = i;
+  lru_head_ = i;
+  if (lru_tail_ < 0) lru_tail_ = i;
+}
+
+void FlowTable::lru_unlink(pkt::FlowIndex i) {
+  auto& r = recs_[i];
+  if (r.lru_prev >= 0)
+    recs_[r.lru_prev].lru_next = r.lru_next;
+  else
+    lru_head_ = r.lru_next;
+  if (r.lru_next >= 0)
+    recs_[r.lru_next].lru_prev = r.lru_prev;
+  else
+    lru_tail_ = r.lru_prev;
+  r.lru_prev = r.lru_next = -1;
+}
+
+void FlowTable::lru_touch(pkt::FlowIndex i) {
+  if (lru_head_ == i) return;
+  lru_unlink(i);
+  lru_push_front(i);
+}
+
+void FlowTable::unchain(pkt::FlowIndex i) {
+  auto& r = recs_[i];
+  std::int32_t* link = &buckets_[r.bucket];
+  while (*link >= 0 && *link != i) link = &recs_[*link].hash_next;
+  assert(*link == i);
+  *link = r.hash_next;
+  r.hash_next = -1;
+}
+
+pkt::FlowIndex FlowTable::lookup(const pkt::FlowKey& key, netbase::SimTime now) {
+  MemAccess::count();  // bucket head probe
+  std::int32_t i = buckets_[bucket_of(key)];
+  while (i >= 0) {
+    MemAccess::count();  // chain entry fetch
+    FlowRecord& r = recs_[i];
+    if (r.key == key) {
+      r.last_used = now;
+      r.packets++;
+      lru_touch(i);
+      ++stats_.hits;
+      return i;
+    }
+    i = r.hash_next;
+  }
+  ++stats_.misses;
+  return pkt::kNoFlow;
+}
+
+pkt::FlowIndex FlowTable::insert(const pkt::FlowKey& key, netbase::SimTime now) {
+  if (free_head_ < 0 && recs_.size() < max_records_) grow_free_list();
+  pkt::FlowIndex i;
+  if (free_head_ >= 0) {
+    i = free_head_;
+    free_head_ = recs_[i].hash_next;
+  } else {
+    // Record cap reached: recycle the oldest entry (§5.2 item 4).
+    i = lru_tail_;
+    assert(i >= 0);
+    remove(i);
+    ++stats_.recycled;
+    --stats_.removed;  // recycling is not an explicit removal
+    i = free_head_;
+    free_head_ = recs_[i].hash_next;
+  }
+
+  FlowRecord& r = recs_[i];
+  r = FlowRecord{};
+  r.key = key;
+  r.last_used = now;
+  r.in_use = true;
+  r.bucket = bucket_of(key);
+  r.hash_next = buckets_[r.bucket];
+  buckets_[r.bucket] = i;
+  lru_push_front(i);
+  ++active_;
+  ++stats_.inserts;
+  return i;
+}
+
+void FlowTable::remove(pkt::FlowIndex i) {
+  FlowRecord& r = recs_[i];
+  if (!r.in_use) return;
+  // Give each plugin a chance to free its per-flow soft state.
+  for (auto& g : r.gates) {
+    if (g.instance && g.soft) g.instance->flow_removed(g.soft);
+    g = {};
+  }
+  unchain(i);
+  lru_unlink(i);
+  r.in_use = false;
+  r.hash_next = free_head_;
+  free_head_ = i;
+  --active_;
+  ++stats_.removed;
+}
+
+std::size_t FlowTable::purge_instance(const plugin::PluginInstance* inst) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < recs_.size(); ++i) {
+    if (!recs_[i].in_use) continue;
+    for (const auto& g : recs_[i].gates) {
+      if (g.instance == inst) {
+        remove(static_cast<pkt::FlowIndex>(i));
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t FlowTable::purge_filter(const FilterRecord* filter) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < recs_.size(); ++i) {
+    if (!recs_[i].in_use) continue;
+    for (const auto& g : recs_[i].gates) {
+      if (g.filter == filter) {
+        remove(static_cast<pkt::FlowIndex>(i));
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t FlowTable::expire_idle(netbase::SimTime cutoff) {
+  std::size_t n = 0;
+  // Walk from the LRU tail; stop at the first fresh entry.
+  while (lru_tail_ >= 0 && recs_[lru_tail_].last_used < cutoff) {
+    remove(lru_tail_);
+    ++n;
+  }
+  return n;
+}
+
+void FlowTable::clear() {
+  for (std::size_t i = 0; i < recs_.size(); ++i)
+    if (recs_[i].in_use) remove(static_cast<pkt::FlowIndex>(i));
+}
+
+}  // namespace rp::aiu

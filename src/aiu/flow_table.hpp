@@ -1,0 +1,115 @@
+// Flow table (Section 5.2): the hash-based cache of per-flow state.
+//
+// Each entry corresponds to one fully-specified flow and stores, for every
+// gate in the core, the bound plugin instance plus a per-flow soft-state
+// pointer for that instance, and a back-pointer to the filter record the
+// binding was derived from. Collisions chain on a singly linked list; the
+// bucket array (default 32768) is allocated up front. Records come from a
+// free list seeded with 1024 entries that doubles on exhaustion
+// (1024, 2048, 4096, ...) up to a configurable maximum, after which the
+// least recently used entries are recycled — all exactly as in §5.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aiu/filter_table.hpp"
+#include "netbase/clock.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::aiu {
+
+// One gate slot per plugin type (types 1..8; slot 0 unused).
+constexpr std::size_t kNumGates = 9;
+
+constexpr std::size_t gate_index(plugin::PluginType t) noexcept {
+  return static_cast<std::size_t>(t);
+}
+
+struct GateBinding {
+  plugin::PluginInstance* instance{nullptr};
+  void* soft{nullptr};                   // per-flow soft state for the plugin
+  const FilterRecord* filter{nullptr};   // filter this binding derives from
+};
+
+struct FlowRecord {
+  pkt::FlowKey key{};
+  GateBinding gates[kNumGates]{};
+  netbase::SimTime last_used{0};
+  std::uint64_t packets{0};
+  bool in_use{false};
+
+  std::int32_t hash_next{-1};
+  std::uint32_t bucket{0};
+  std::int32_t lru_prev{-1};
+  std::int32_t lru_next{-1};
+};
+
+class FlowTable {
+ public:
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t inserts{0};
+    std::uint64_t recycled{0};   // LRU evictions at the record cap
+    std::uint64_t removed{0};
+    std::uint64_t grown{0};      // free-list doubling events
+  };
+
+  explicit FlowTable(std::size_t buckets = 32768,
+                     std::size_t initial_records = 1024,
+                     std::size_t max_records = 1 << 20);
+
+  // Destruction notifies every bound instance (flow_removed) so plugins
+  // drop their soft-state back-pointers into this table before it is freed.
+  ~FlowTable() { clear(); }
+
+  // Data-path lookup; counts one memory access for the bucket probe plus one
+  // per chain link traversed. A hit refreshes LRU position and last_used.
+  pkt::FlowIndex lookup(const pkt::FlowKey& key, netbase::SimTime now);
+
+  // Inserts a record for `key` (which must not be present). May grow the
+  // free list or recycle the LRU entry. Never fails.
+  pkt::FlowIndex insert(const pkt::FlowKey& key, netbase::SimTime now);
+
+  FlowRecord& rec(pkt::FlowIndex i) noexcept { return recs_[i]; }
+  const FlowRecord& rec(pkt::FlowIndex i) const noexcept { return recs_[i]; }
+
+  // Removes an entry, invoking each bound instance's flow_removed callback
+  // for its soft state.
+  void remove(pkt::FlowIndex i);
+
+  // Removes every flow with a binding to `inst` / derived from `filter`.
+  std::size_t purge_instance(const plugin::PluginInstance* inst);
+  std::size_t purge_filter(const FilterRecord* filter);
+  // Removes flows idle since before `cutoff`; returns how many.
+  std::size_t expire_idle(netbase::SimTime cutoff);
+  void clear();
+
+  std::size_t active() const noexcept { return active_; }
+  std::size_t capacity() const noexcept { return recs_.size(); }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  std::uint32_t bucket_of(const pkt::FlowKey& key) const noexcept {
+    return static_cast<std::uint32_t>(key.hash() & (buckets_.size() - 1));
+  }
+  void grow_free_list();
+  void lru_push_front(pkt::FlowIndex i);
+  void lru_unlink(pkt::FlowIndex i);
+  void lru_touch(pkt::FlowIndex i);
+  void unchain(pkt::FlowIndex i);
+
+  std::vector<FlowRecord> recs_;
+  std::vector<std::int32_t> buckets_;
+  std::int32_t free_head_{-1};
+  std::int32_t lru_head_{-1};  // most recently used
+  std::int32_t lru_tail_{-1};  // least recently used
+  std::size_t max_records_;
+  std::size_t active_{0};
+  Stats stats_;
+};
+
+}  // namespace rp::aiu

@@ -1,0 +1,90 @@
+#include "bmp/cpe.hpp"
+
+#include <algorithm>
+
+#include "netbase/memaccess.hpp"
+
+namespace rp::bmp {
+
+CpeTrie::CpeTrie(unsigned width, unsigned stride)
+    : width_(width), stride_(stride) {
+  alloc_node();  // root
+}
+
+Status CpeTrie::insert(U128 key, std::uint8_t plen, LpmValue value) {
+  if (plen > width_) return Status::invalid_argument;
+  key = key & U128::prefix_mask(plen);
+  raw_[{key, plen}] = value;
+  insert_into_trie(key, plen, value);
+  return Status::ok;
+}
+
+void CpeTrie::insert_into_trie(U128 key, std::uint8_t plen, LpmValue value) {
+  // Expand to the next stride boundary; level 0 slots cover lengths
+  // (0, stride], so plen == 0 expands across the whole root node.
+  const unsigned target_level = plen == 0 ? 0 : (plen - 1) / stride_;
+
+  std::int32_t cur = 0;
+  for (unsigned lvl = 0; lvl < target_level; ++lvl) {
+    // All bits of this chunk are within plen, so the path is unique.
+    const std::size_t idx = chunk(key, lvl * stride_);
+    std::int32_t child = nodes_[cur].slots[idx].child;
+    if (child < 0) {
+      child = alloc_node();
+      nodes_[cur].slots[idx].child = child;
+    }
+    cur = child;
+  }
+
+  // Expand within the final node: the prefix covers all slots whose top
+  // (plen - target_level*stride) bits equal the prefix's final chunk bits.
+  const unsigned covered = plen - target_level * stride_;  // 0..stride
+  const std::size_t base = chunk(key, target_level * stride_);
+  const std::size_t span = std::size_t{1} << (stride_ - covered);
+  const std::size_t first = base & ~(span - 1);
+  for (std::size_t i = first; i < first + span; ++i) {
+    Slot& s = nodes_[cur].slots[i];
+    if (!s.has || s.match.plen <= plen) {
+      s.has = true;
+      s.match = {value, plen};
+    }
+  }
+}
+
+Status CpeTrie::remove(U128 key, std::uint8_t plen) {
+  key = key & U128::prefix_mask(plen);
+  if (raw_.erase({key, plen}) == 0) return Status::not_found;
+  rebuild();
+  return Status::ok;
+}
+
+void CpeTrie::rebuild() {
+  nodes_.clear();
+  alloc_node();
+  // Reinsert shortest-first so the plen-overwrite rule reproduces the
+  // longest-match expansion exactly.
+  std::vector<std::pair<std::pair<U128, std::uint8_t>, LpmValue>> sorted(
+      raw_.begin(), raw_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.first.second < b.first.second;
+  });
+  for (const auto& [kp, v] : sorted) insert_into_trie(kp.first, kp.second, v);
+}
+
+bool CpeTrie::lookup(U128 key, LpmMatch& out) const {
+  bool found = false;
+  std::int32_t cur = 0;
+  for (unsigned lvl = 0; lvl * stride_ < width_; ++lvl) {
+    netbase::MemAccess::count();  // node slot fetch
+    const Slot& s = nodes_[cur].slots[chunk(key, lvl * stride_)];
+    if (s.has) {
+      out = s.match;
+      found = true;
+    }
+    if (s.child < 0) break;
+    cur = s.child;
+  }
+  return found;
+}
+
+}  // namespace rp::bmp

@@ -1,0 +1,63 @@
+// Controlled prefix expansion (Srinivasan & Varghese, SIGMETRICS '98): a
+// fixed-stride multibit trie; prefixes are expanded to the next stride
+// boundary. The paper cites CPE as the state-of-the-art BMP to pair with
+// the DAG classifier ("our solution when used with a state-of-the-art best
+// matching prefix algorithm (e.g., controlled prefix expansion) is more or
+// less independent of the number of filters").
+//
+// Lookup cost: at most width/stride counted memory accesses (4 for IPv4,
+// 16 for IPv6 at the default 8-bit stride).
+#pragma once
+
+#include <vector>
+
+#include "bmp/lpm.hpp"
+
+namespace rp::bmp {
+
+class CpeTrie final : public LpmEngine {
+ public:
+  explicit CpeTrie(unsigned width, unsigned stride = 8);
+
+  Status insert(U128 key, std::uint8_t plen, LpmValue value) override;
+  Status remove(U128 key, std::uint8_t plen) override;
+  bool lookup(U128 key, LpmMatch& out) const override;
+
+  std::string_view name() const override { return "cpe"; }
+  unsigned width() const override { return width_; }
+  std::size_t size() const override { return raw_.size(); }
+
+  unsigned stride() const noexcept { return stride_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Slot {
+    bool has{false};
+    LpmMatch match{};        // match.plen is the *original* prefix length
+    std::int32_t child{-1};
+  };
+  struct Node {
+    std::vector<Slot> slots;  // 2^stride entries
+  };
+
+  std::int32_t alloc_node() {
+    nodes_.push_back(Node{std::vector<Slot>(std::size_t{1} << stride_)});
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  // Extracts the stride-sized chunk starting at bit offset `off`.
+  std::size_t chunk(const U128& key, unsigned off) const noexcept {
+    U128 shifted = key << off;
+    return static_cast<std::size_t>((shifted >> (128 - stride_)).lo);
+  }
+
+  void insert_into_trie(U128 key, std::uint8_t plen, LpmValue value);
+  void rebuild();
+
+  unsigned width_;
+  unsigned stride_;
+  PrefixMap raw_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rp::bmp

@@ -1,0 +1,16 @@
+#include "bmp/cpe.hpp"
+#include "bmp/lpm.hpp"
+#include "bmp/patricia.hpp"
+#include "bmp/waldvogel.hpp"
+
+namespace rp::bmp {
+
+std::unique_ptr<LpmEngine> make_lpm_engine(std::string_view name,
+                                           unsigned width) {
+  if (name == "patricia") return std::make_unique<PatriciaTrie>(width);
+  if (name == "bsl") return std::make_unique<WaldvogelBsl>(width);
+  if (name == "cpe") return std::make_unique<CpeTrie>(width);
+  return nullptr;
+}
+
+}  // namespace rp::bmp

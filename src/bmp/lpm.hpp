@@ -1,0 +1,62 @@
+// Best-matching-prefix (BMP) engine interface.
+//
+// The paper treats BMP lookup itself as a plugin type: the DAG classifier's
+// address levels call into whichever BMP plugin is configured (Section 5.1.1
+// — "the matching function itself ... is implemented as a plugin"). All
+// engines work on left-aligned 128-bit keys so one implementation serves
+// IPv4 (width 32) and IPv6 (width 128).
+//
+// Engines call netbase::MemAccess::count() at every dependent memory access
+// (node hop / hash probe) so benches can reproduce the paper's Table 2
+// memory-access accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "netbase/status.hpp"
+#include "netbase/u128.hpp"
+
+namespace rp::bmp {
+
+using netbase::Status;
+using netbase::U128;
+
+// Value associated with a prefix (opaque to the engine; the classifier
+// stores edge ids, the routing table stores next-hop ids).
+using LpmValue = std::uint32_t;
+
+struct LpmMatch {
+  LpmValue value{0};
+  std::uint8_t plen{0};
+};
+
+class LpmEngine {
+ public:
+  virtual ~LpmEngine() = default;
+
+  // Key is left-aligned: bit 0 of the prefix is the MSB of `key`.
+  virtual Status insert(U128 key, std::uint8_t plen, LpmValue value) = 0;
+  virtual Status remove(U128 key, std::uint8_t plen) = 0;
+
+  // Longest matching prefix for `key`; false if none matches.
+  virtual bool lookup(U128 key, LpmMatch& out) const = 0;
+
+  virtual std::string_view name() const = 0;
+  virtual unsigned width() const = 0;
+  virtual std::size_t size() const = 0;
+};
+
+// Engines registered by name: "patricia", "bsl" (binary search on prefix
+// lengths), "cpe" (controlled prefix expansion). Returns nullptr for an
+// unknown name. `width` is 32 or 128.
+std::unique_ptr<LpmEngine> make_lpm_engine(std::string_view name,
+                                           unsigned width);
+
+// Shared raw prefix store used by engines that rebuild on remove.
+using PrefixMap = std::map<std::pair<U128, std::uint8_t>, LpmValue>;
+
+}  // namespace rp::bmp

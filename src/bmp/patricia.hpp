@@ -1,0 +1,52 @@
+// Path-compressed binary radix trie ("PATRICIA"), the paper's slower but
+// freely available BMP plugin (Section 5.1.1), in the style of the BSD
+// radix routing table.
+//
+// Nodes carry a compressed bit segment; prefixes terminate exactly at node
+// boundaries (insertion splits segments as needed). Lookup walks at most
+// O(prefix length) nodes, one counted memory access per node.
+#pragma once
+
+#include <vector>
+
+#include "bmp/lpm.hpp"
+
+namespace rp::bmp {
+
+class PatriciaTrie final : public LpmEngine {
+ public:
+  explicit PatriciaTrie(unsigned width) : width_(width) {}
+
+  Status insert(U128 key, std::uint8_t plen, LpmValue value) override;
+  Status remove(U128 key, std::uint8_t plen) override;
+  bool lookup(U128 key, LpmMatch& out) const override;
+
+  std::string_view name() const override { return "patricia"; }
+  unsigned width() const override { return width_; }
+  std::size_t size() const override { return count_; }
+
+  // Max node visits over all present prefixes (diagnostic for benches).
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    U128 seg{};            // left-aligned segment bits below the parent
+    std::uint8_t seg_len{0};
+    std::int32_t child[2]{-1, -1};
+    bool has_value{false};
+    LpmValue value{0};
+  };
+
+  static constexpr std::int32_t kNil = -1;
+
+  std::int32_t alloc_node() {
+    nodes_.push_back({});
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  unsigned width_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root (created lazily)
+  std::size_t count_{0};
+};
+
+}  // namespace rp::bmp

@@ -1,0 +1,74 @@
+#include "core/best_effort.hpp"
+
+#include "netbase/byteorder.hpp"
+#include "netbase/checksum.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+
+namespace rp::core {
+
+using netbase::IpVersion;
+
+void BestEffortCore::process(pkt::PacketPtr p) {
+  ++counters_.received;
+  auto fail = [&](DropReason r) {
+    ++counters_.drops[static_cast<std::size_t>(r)];
+  };
+
+  if (!pkt::extract_flow_key(*p)) return fail(DropReason::malformed);
+
+  std::uint8_t* h = p->data();
+  if (p->ip_version == IpVersion::v4) {
+    const std::size_t hlen = std::size_t{static_cast<std::size_t>(h[0] & 0x0f)} * 4;
+    if (verify_checksum_ && !pkt::Ipv4Header::verify_checksum({h, hlen}))
+      return fail(DropReason::bad_checksum);
+    if (h[8] <= 1) return fail(DropReason::ttl_expired);
+  } else {
+    if (h[7] <= 1) return fail(DropReason::ttl_expired);
+  }
+
+  const route::NextHop* hop = routes_.lookup(p->key.dst);
+  if (!hop || !ifs_.by_index(hop->out_iface)) return fail(DropReason::no_route);
+  p->out_iface = hop->out_iface;
+
+  if (p->ip_version == IpVersion::v4) {
+    const std::uint16_t old_word = netbase::load_be16(&h[8]);
+    --h[8];
+    const std::uint16_t new_word = netbase::load_be16(&h[8]);
+    const std::uint16_t old_ck = netbase::load_be16(&h[10]);
+    netbase::store_be16(&h[10],
+                        netbase::checksum_update16(old_ck, old_word, new_word));
+  } else {
+    --h[7];
+  }
+
+  if (OutputScheduler* s = sched(p->out_iface)) {
+    ++counters_.forwarded;
+    if (!s->enqueue(std::move(p), nullptr, 0)) {
+      --counters_.forwarded;
+      fail(DropReason::queue_full);
+    }
+    return;
+  }
+  auto& q = fifo(p->out_iface);
+  if (q.size() >= fifo_limit_) return fail(DropReason::queue_full);
+  ++counters_.forwarded;
+  q.push_back(std::move(p));
+}
+
+pkt::PacketPtr BestEffortCore::next_for_tx(pkt::IfIndex iface,
+                                           netbase::SimTime now) {
+  if (OutputScheduler* s = sched(iface)) return s->dequeue(now);
+  auto& q = fifo(iface);
+  if (q.empty()) return nullptr;
+  auto p = std::move(q.front());
+  q.pop_front();
+  return p;
+}
+
+bool BestEffortCore::tx_backlog(pkt::IfIndex iface) const {
+  if (OutputScheduler* s = sched(iface)) return !s->empty();
+  return fifos_.size() > iface && !fifos_[iface].empty();
+}
+
+}  // namespace rp::core

@@ -1,0 +1,61 @@
+// BestEffortCore — the "unmodified NetBSD 1.2.1" baseline of Table 3: a
+// monolithic best-effort forwarding path with hardwired function calls, no
+// gates, no classifier, no flow cache. Parse, validate, route on the
+// destination address, decrement TTL, FIFO out.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/datapath.hpp"
+#include "core/ip_core.hpp"
+#include "netdev/iftable.hpp"
+#include "route/routing_table.hpp"
+
+namespace rp::core {
+
+class BestEffortCore final : public DataPath {
+ public:
+  BestEffortCore(route::RoutingTable& routes, netdev::InterfaceTable& ifs,
+                 bool verify_checksum = true, std::size_t fifo_limit = 1024)
+      : routes_(routes),
+        ifs_(ifs),
+        verify_checksum_(verify_checksum),
+        fifo_limit_(fifo_limit) {}
+
+  void process(pkt::PacketPtr p) override;
+  pkt::PacketPtr next_for_tx(pkt::IfIndex iface, netbase::SimTime now) override;
+  bool tx_backlog(pkt::IfIndex iface) const override;
+
+  // ALTQ-style retrofit: replace a port's output queue with an alternate
+  // queueing discipline, the way ALTQ patches the stock BSD kernel (the
+  // "NetBSD with ALTQ and DRR" row of Table 3). The discipline classifies
+  // packets itself (no AIU involved).
+  void set_port_scheduler(pkt::IfIndex iface, OutputScheduler* sched) {
+    if (scheds_.size() <= iface) scheds_.resize(std::size_t{iface} + 1);
+    scheds_[iface] = sched;
+  }
+
+  const CoreCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = {}; }
+
+ private:
+  std::deque<pkt::PacketPtr>& fifo(pkt::IfIndex iface) {
+    if (fifos_.size() <= iface) fifos_.resize(std::size_t{iface} + 1);
+    return fifos_[iface];
+  }
+
+  OutputScheduler* sched(pkt::IfIndex iface) const {
+    return scheds_.size() > iface ? scheds_[iface] : nullptr;
+  }
+
+  route::RoutingTable& routes_;
+  netdev::InterfaceTable& ifs_;
+  bool verify_checksum_;
+  std::size_t fifo_limit_;
+  std::vector<std::deque<pkt::PacketPtr>> fifos_;
+  std::vector<OutputScheduler*> scheds_;
+  CoreCounters counters_;
+};
+
+}  // namespace rp::core

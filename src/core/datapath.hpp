@@ -1,0 +1,24 @@
+// Minimal interface the router kernel's event loop drives. Implemented by
+// the EISR IpCore and by the BestEffortCore baseline so the same harness can
+// measure both (Table 3 compares exactly these two kernels).
+#pragma once
+
+#include "netbase/clock.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::core {
+
+class DataPath {
+ public:
+  virtual ~DataPath() = default;
+
+  // Input path for one received packet (already timestamped by the NIC).
+  virtual void process(pkt::PacketPtr p) = 0;
+
+  // Next packet to transmit on `iface`, or nullptr.
+  virtual pkt::PacketPtr next_for_tx(pkt::IfIndex iface,
+                                     netbase::SimTime now) = 0;
+  virtual bool tx_backlog(pkt::IfIndex iface) const = 0;
+};
+
+}  // namespace rp::core

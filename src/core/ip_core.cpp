@@ -1,0 +1,315 @@
+#include "core/ip_core.hpp"
+
+#include <cstring>
+
+#include "netbase/byteorder.hpp"
+#include "netbase/checksum.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+
+namespace rp::core {
+
+using netbase::IpVersion;
+using plugin::PluginType;
+using plugin::Verdict;
+
+IpCore::IpCore(aiu::Aiu& aiu, route::RoutingTable& routes,
+               netdev::InterfaceTable& ifs, netbase::SimClock& clock)
+    : IpCore(aiu, routes, ifs, clock, CoreConfig{}) {}
+
+IpCore::IpCore(aiu::Aiu& aiu, route::RoutingTable& routes,
+               netdev::InterfaceTable& ifs, netbase::SimClock& clock,
+               CoreConfig cfg)
+    : aiu_(aiu), routes_(routes), ifs_(ifs), clock_(clock),
+      cfg_(std::move(cfg)) {}
+
+IpCore::Port& IpCore::port(pkt::IfIndex iface) {
+  if (ports_.size() <= iface) ports_.resize(std::size_t{iface} + 1);
+  return ports_[iface];
+}
+
+void IpCore::drop(pkt::PacketPtr p, DropReason r) {
+  (void)p;  // ownership ends here (mbuf free)
+  ++counters_.drops[static_cast<std::size_t>(r)];
+}
+
+void IpCore::process(pkt::PacketPtr p) {
+  ++counters_.received;
+
+  // ---- header validation (stable core code, not a plugin) ----
+  if (!pkt::extract_flow_key(*p)) return drop(std::move(p), DropReason::malformed);
+
+  std::uint8_t* h = p->data();
+  if (p->ip_version == IpVersion::v4) {
+    const std::size_t hlen = std::size_t{static_cast<std::size_t>(h[0] & 0x0f)} * 4;
+    if (cfg_.verify_ipv4_checksum &&
+        !pkt::Ipv4Header::verify_checksum({h, hlen}))
+      return drop(std::move(p), DropReason::bad_checksum);
+    if (cfg_.decrement_ttl && h[8] <= 1) {
+      if (cfg_.emit_icmp_errors) emit_icmp_error(*p, 11, 0);  // time exceeded
+      return drop(std::move(p), DropReason::ttl_expired);
+    }
+  } else {
+    if (cfg_.decrement_ttl && h[7] <= 1) {
+      if (cfg_.emit_icmp_errors) emit_icmpv6_error(*p, 3, 0, 0);
+      return drop(std::move(p), DropReason::ttl_expired);
+    }
+  }
+
+  // ---- pre-routing gates (Section 3.2) ----
+  for (PluginType gate : cfg_.input_gates) {
+    aiu::GateBinding* b = aiu_.gate_lookup(*p, gate);
+    if (!b || !b->instance) continue;  // no plugin bound for this flow
+    ++counters_.gate_calls;
+    Verdict v = b->instance->handle_packet(*p, &b->soft);
+    if (v == Verdict::drop) return drop(std::move(p), DropReason::policy);
+    if (v == Verdict::consumed) return;  // plugin took the packet
+  }
+
+  // ---- forwarding decision ----
+  // The routing gate (L4 switching) may pre-empt the destination lookup.
+  if (p->out_iface == pkt::kAnyIface) {
+    aiu::GateBinding* b = aiu_.gate_lookup(*p, PluginType::routing);
+    if (b && b->instance) {
+      ++counters_.gate_calls;
+      if (b->instance->handle_packet(*p, &b->soft) == Verdict::drop)
+        return drop(std::move(p), DropReason::policy);
+    }
+  }
+  if (p->out_iface == pkt::kAnyIface) {
+    const route::NextHop* hop = routes_.lookup(p->key.dst);
+    if (!hop) {
+      if (cfg_.emit_icmp_errors && p->ip_version == IpVersion::v4)
+        emit_icmp_error(*p, 3, 0);  // destination unreachable
+      return drop(std::move(p), DropReason::no_route);
+    }
+    p->out_iface = hop->out_iface;
+  }
+  if (!ifs_.by_index(p->out_iface))
+    return drop(std::move(p), DropReason::no_route);
+
+  // ---- TTL / hop limit, with RFC 1624 incremental checksum update ----
+  // Re-fetch the header pointer: gate plugins (AH/ESP) may have prepended
+  // headers and moved the packet's data start.
+  h = p->data();
+  if (cfg_.decrement_ttl) {
+    if (p->ip_version == IpVersion::v4) {
+      const std::uint16_t old_word = netbase::load_be16(&h[8]);
+      --h[8];
+      const std::uint16_t new_word = netbase::load_be16(&h[8]);
+      const std::uint16_t old_ck = netbase::load_be16(&h[10]);
+      netbase::store_be16(&h[10],
+                          netbase::checksum_update16(old_ck, old_word, new_word));
+    } else {
+      --h[7];
+    }
+  }
+
+  // ---- MTU handling (RFC 791 fragmentation) ----
+  aiu::GateBinding* b = aiu_.gate_lookup(*p, PluginType::sched);
+  const std::size_t mtu = ifs_.by_index(p->out_iface)->mtu();
+  if (p->size() > mtu) {
+    const bool df = p->ip_version == IpVersion::v4 &&
+                    (p->data()[6] & 0x40) != 0;  // Don't Fragment
+    if (p->ip_version != IpVersion::v4 || df) {
+      // Routers never fragment IPv6; DF forbids it for IPv4. Signal path
+      // MTU discovery.
+      if (cfg_.emit_icmp_errors) {
+        if (p->ip_version == IpVersion::v4)
+          emit_icmp_error(*p, 3, 4);  // fragmentation needed and DF set
+        else
+          emit_icmpv6_error(*p, 2, 0, static_cast<std::uint32_t>(mtu));
+      }
+      return drop(std::move(p), DropReason::too_big);
+    }
+    auto frags = fragment_ipv4(std::move(p), mtu);
+    if (frags.empty())
+      return drop(nullptr, DropReason::malformed);
+    counters_.fragments_created += frags.size();
+    for (auto& f : frags) enqueue_output(std::move(f), b);
+    return;
+  }
+  enqueue_output(std::move(p), b);
+}
+
+void IpCore::enqueue_output(pkt::PacketPtr p, aiu::GateBinding* b) {
+  Port& out = port(p->out_iface);
+  OutputScheduler* sched =
+      b && b->instance ? static_cast<OutputScheduler*>(b->instance)
+                       : out.sched;
+  ++counters_.forwarded;
+  if (sched) {
+    ++counters_.gate_calls;
+    if (!sched->enqueue(std::move(p), b && b->instance ? &b->soft : nullptr,
+                        clock_.now())) {
+      --counters_.forwarded;
+      ++counters_.drops[static_cast<std::size_t>(DropReason::queue_full)];
+    }
+    return;
+  }
+  if (out.fifo.size() >= cfg_.port_fifo_limit) {
+    --counters_.forwarded;
+    ++counters_.drops[static_cast<std::size_t>(DropReason::queue_full)];
+    return;
+  }
+  out.fifo.push_back(std::move(p));
+}
+
+std::vector<pkt::PacketPtr> IpCore::fragment_ipv4(pkt::PacketPtr p,
+                                                  std::size_t mtu) {
+  const std::uint8_t* h = p->data();
+  const std::size_t hlen = std::size_t{static_cast<std::size_t>(h[0] & 0x0f)} * 4;
+  if (hlen < pkt::Ipv4Header::kMinSize || hlen >= p->size() || mtu <= hlen)
+    return {};
+  const std::size_t payload_len = p->size() - hlen;
+  // Fragment payload sizes must be multiples of 8 (except the last).
+  const std::size_t max_chunk = (mtu - hlen) & ~std::size_t{7};
+  if (max_chunk == 0) return {};
+
+  const std::uint16_t orig_ff = netbase::load_be16(&h[6]);
+  const bool orig_mf = (orig_ff & 0x2000) != 0;
+  const std::uint16_t orig_off = orig_ff & 0x1fff;
+
+  std::vector<pkt::PacketPtr> out;
+  for (std::size_t off = 0; off < payload_len; off += max_chunk) {
+    const std::size_t chunk =
+        off + max_chunk < payload_len ? max_chunk : payload_len - off;
+    auto frag = pkt::make_packet(hlen + chunk);
+    std::memcpy(frag->data(), h, hlen);
+    std::memcpy(frag->data() + hlen, h + hlen + off, chunk);
+
+    const bool last = off + chunk >= payload_len;
+    std::uint16_t ff = static_cast<std::uint16_t>(
+        (orig_off + off / 8) | ((last && !orig_mf) ? 0 : 0x2000));
+    netbase::store_be16(frag->data() + 6, ff);
+    netbase::store_be16(frag->data() + 2,
+                        static_cast<std::uint16_t>(hlen + chunk));
+    pkt::Ipv4Header::finalize_checksum(frag->data(), hlen);
+
+    // Carry the forwarding metadata; only the first fragment truly holds
+    // the transport header, but the flow was classified at ingress.
+    frag->arrival = p->arrival;
+    frag->in_iface = p->in_iface;
+    frag->out_iface = p->out_iface;
+    frag->fix = p->fix;
+    frag->key = p->key;
+    frag->key_valid = true;
+    frag->ip_version = p->ip_version;
+    frag->l4_offset = static_cast<std::uint16_t>(hlen);
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+pkt::PacketPtr IpCore::next_for_tx(pkt::IfIndex iface, netbase::SimTime now) {
+  Port& pt = port(iface);
+  if (!pt.fifo.empty()) {
+    auto p = std::move(pt.fifo.front());
+    pt.fifo.pop_front();
+    return p;
+  }
+  if (pt.sched) return pt.sched->dequeue(now);
+  return nullptr;
+}
+
+netbase::SimTime IpCore::next_tx_wakeup(pkt::IfIndex iface,
+                                        netbase::SimTime now) {
+  Port& pt = port(iface);
+  if (pt.sched && !pt.sched->empty()) return pt.sched->next_wakeup(now);
+  return -1;
+}
+
+bool IpCore::tx_backlog(pkt::IfIndex iface) const {
+  if (ports_.size() <= iface) return false;
+  const Port& pt = ports_[iface];
+  return !pt.fifo.empty() || (pt.sched && !pt.sched->empty());
+}
+
+void IpCore::set_port_scheduler(pkt::IfIndex iface, OutputScheduler* sched) {
+  port(iface).sched = sched;
+}
+
+OutputScheduler* IpCore::port_scheduler(pkt::IfIndex iface) {
+  return port(iface).sched;
+}
+
+void IpCore::emit_icmp_error(const pkt::Packet& orig, std::uint8_t type,
+                             std::uint8_t code) {
+  // RFC 792: IP header + ICMP header + original IP header + 8 bytes.
+  if (orig.ip_version != IpVersion::v4) return;
+  if (orig.key.proto == static_cast<std::uint8_t>(pkt::IpProto::icmp)) {
+    // Never generate ICMP about ICMP (errors, at least; keep it simple).
+    return;
+  }
+  const std::size_t quote =
+      orig.size() < orig.l4_offset + 8u ? orig.size() : orig.l4_offset + 8u;
+  auto icmp = pkt::make_packet(pkt::Ipv4Header::kMinSize +
+                               pkt::IcmpHeader::kSize + quote);
+
+  pkt::Ipv4Header ip;
+  ip.total_len = static_cast<std::uint16_t>(icmp->size());
+  ip.ttl = 64;
+  ip.proto = static_cast<std::uint8_t>(pkt::IpProto::icmp);
+  ip.src = orig.key.dst.v4();  // nominally this router's address
+  ip.dst = orig.key.src.v4();
+  ip.write(icmp->data());
+  pkt::Ipv4Header::finalize_checksum(icmp->data(), pkt::Ipv4Header::kMinSize);
+
+  std::uint8_t* ic = icmp->data() + pkt::Ipv4Header::kMinSize;
+  pkt::IcmpHeader ih;
+  ih.type = type;
+  ih.code = code;
+  ih.write(ic);
+  std::memcpy(ic + pkt::IcmpHeader::kSize, orig.data(), quote);
+  netbase::store_be16(ic + 2, 0);
+  netbase::store_be16(
+      ic + 2, netbase::checksum(ic, pkt::IcmpHeader::kSize + quote));
+
+  ++counters_.icmp_errors_sent;
+  // Re-enter the core so the error is routed like any other packet; guard
+  // against recursion via the ICMP-about-ICMP rule above.
+  process(std::move(icmp));
+}
+
+void IpCore::emit_icmpv6_error(const pkt::Packet& orig, std::uint8_t type,
+                               std::uint8_t code, std::uint32_t param) {
+  if (orig.ip_version != IpVersion::v6) return;
+  if (orig.key.proto == static_cast<std::uint8_t>(pkt::IpProto::icmpv6))
+    return;  // never ICMP about ICMP errors
+  // RFC 4443: as much of the offending packet as fits in the 1280-byte
+  // minimum MTU.
+  const std::size_t room = 1280 - pkt::Ipv6Header::kSize - 8;
+  const std::size_t quote = orig.size() < room ? orig.size() : room;
+  auto icmp = pkt::make_packet(pkt::Ipv6Header::kSize + 8 + quote);
+
+  pkt::Ipv6Header ip;
+  ip.payload_len = static_cast<std::uint16_t>(8 + quote);
+  ip.next_header = static_cast<std::uint8_t>(pkt::IpProto::icmpv6);
+  ip.hop_limit = 64;
+  ip.src = orig.key.dst.v6();  // nominally this router's address
+  ip.dst = orig.key.src.v6();
+  ip.write(icmp->data());
+
+  std::uint8_t* ic = icmp->data() + pkt::Ipv6Header::kSize;
+  ic[0] = type;
+  ic[1] = code;
+  netbase::store_be16(&ic[2], 0);
+  netbase::store_be32(&ic[4], param);  // MTU for PTB, zero otherwise
+  std::memcpy(ic + 8, orig.data(), quote);
+
+  // ICMPv6 checksum over the IPv6 pseudo header + message.
+  std::uint8_t ph[40];
+  ip.src.to_bytes(&ph[0]);
+  ip.dst.to_bytes(&ph[16]);
+  netbase::store_be32(&ph[32], static_cast<std::uint32_t>(8 + quote));
+  ph[36] = ph[37] = ph[38] = 0;
+  ph[39] = static_cast<std::uint8_t>(pkt::IpProto::icmpv6);
+  std::uint32_t sum = netbase::checksum_partial(ph, sizeof ph);
+  sum = netbase::checksum_partial(ic, 8 + quote, sum);
+  netbase::store_be16(&ic[2], static_cast<std::uint16_t>(~sum));
+
+  ++counters_.icmp_errors_sent;
+  process(std::move(icmp));
+}
+
+}  // namespace rp::core

@@ -1,0 +1,136 @@
+// The IPv4/IPv6 core (Section 3.1): the streamlined, stable part of the
+// networking subsystem. It interacts with the (simulated) devices, parses
+// and validates headers, decrements TTL/hop-limit with an incremental
+// checksum update, consults the routing table — and at each extension point
+// runs a *gate* that branches to whatever plugin instance the AIU resolves
+// for the packet's flow (Section 3.2).
+//
+// Gates in the current core mirror the paper's: IPv6 option processing,
+// IP security, and packet scheduling, plus the routing/L4-switching gate
+// (paper §8) and optional stats/congestion/firewall gates. The set and
+// order of pre-routing gates is configurable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "aiu/aiu.hpp"
+#include "core/datapath.hpp"
+#include "core/scheduler_base.hpp"
+#include "netdev/iftable.hpp"
+#include "route/routing_table.hpp"
+
+namespace rp::core {
+
+enum class DropReason : std::uint8_t {
+  none = 0,
+  malformed,
+  bad_checksum,
+  ttl_expired,
+  no_route,
+  policy,       // gate plugin returned Verdict::drop
+  queue_full,   // scheduler refused the packet
+  too_big,      // exceeds the output MTU and cannot be fragmented
+  kCount,
+};
+
+struct CoreConfig {
+  bool verify_ipv4_checksum{true};
+  bool decrement_ttl{true};
+  bool emit_icmp_errors{false};
+  // Gates run before the route lookup, in order. The routing gate runs with
+  // the route lookup and the sched gate at output; they need not be listed.
+  std::vector<plugin::PluginType> input_gates{
+      plugin::PluginType::ipopt, plugin::PluginType::ipsec,
+      plugin::PluginType::firewall, plugin::PluginType::congestion,
+      plugin::PluginType::stats};
+  std::size_t port_fifo_limit{1024};  // default per-port FIFO depth
+};
+
+struct CoreCounters {
+  std::uint64_t received{0};
+  std::uint64_t forwarded{0};  // handed to an output port
+  std::uint64_t drops[static_cast<std::size_t>(DropReason::kCount)]{};
+  std::uint64_t gate_calls{0};
+  std::uint64_t icmp_errors_sent{0};
+  std::uint64_t fragments_created{0};
+
+  std::uint64_t dropped(DropReason r) const noexcept {
+    return drops[static_cast<std::size_t>(r)];
+  }
+  std::uint64_t total_drops() const noexcept {
+    std::uint64_t n = 0;
+    for (auto d : drops) n += d;
+    return n;
+  }
+};
+
+class IpCore final : public DataPath {
+ public:
+  IpCore(aiu::Aiu& aiu, route::RoutingTable& routes,
+         netdev::InterfaceTable& ifs, netbase::SimClock& clock);
+  IpCore(aiu::Aiu& aiu, route::RoutingTable& routes,
+         netdev::InterfaceTable& ifs, netbase::SimClock& clock,
+         CoreConfig cfg);
+
+  // Full EISR input path for one received packet; ends with the packet
+  // dropped or queued on an output port (scheduler or port FIFO).
+  void process(pkt::PacketPtr p) override;
+
+  // Output side, driven by the router kernel when a link goes idle: the
+  // port FIFO (control/unscheduled traffic) drains ahead of the scheduler.
+  pkt::PacketPtr next_for_tx(pkt::IfIndex iface, netbase::SimTime now) override;
+  bool tx_backlog(pkt::IfIndex iface) const override;
+
+  // Earliest future time the port's scheduler may release a packet after
+  // next_for_tx returned null while backlogged (non-work-conserving
+  // disciplines); -1 if none.
+  netbase::SimTime next_tx_wakeup(pkt::IfIndex iface, netbase::SimTime now);
+
+  // Attach a scheduler instance to an output port (pmgr does this after
+  // create_instance; per-interface scheduler selection as in §6).
+  void set_port_scheduler(pkt::IfIndex iface, OutputScheduler* sched);
+  OutputScheduler* port_scheduler(pkt::IfIndex iface);
+  // Clears any port still pointing at `inst` (run from the PCU purge hook
+  // so freeing an attached scheduler cannot leave a dangling pointer).
+  void detach_scheduler(const plugin::PluginInstance* inst) {
+    for (auto& pt : ports_)
+      if (pt.sched == inst) pt.sched = nullptr;
+  }
+
+  const CoreCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = {}; }
+  CoreConfig& config() noexcept { return cfg_; }
+
+ private:
+  struct Port {
+    OutputScheduler* sched{nullptr};
+    std::deque<pkt::PacketPtr> fifo;
+  };
+
+  void drop(pkt::PacketPtr p, DropReason r);
+  void emit_icmp_error(const pkt::Packet& orig, std::uint8_t type,
+                       std::uint8_t code);
+  // ICMPv6 (RFC 4443) errors: time exceeded (3/0), packet too big (2/0 with
+  // the next-hop MTU in the message body).
+  void emit_icmpv6_error(const pkt::Packet& orig, std::uint8_t type,
+                         std::uint8_t code, std::uint32_t param);
+  // RFC 791 fragmentation toward an output MTU; returns the fragments (the
+  // original is consumed). Empty on DF or malformed input.
+  std::vector<pkt::PacketPtr> fragment_ipv4(pkt::PacketPtr p, std::size_t mtu);
+  void enqueue_output(pkt::PacketPtr p, aiu::GateBinding* b);
+  Port& port(pkt::IfIndex iface);
+
+  aiu::Aiu& aiu_;
+  route::RoutingTable& routes_;
+  netdev::InterfaceTable& ifs_;
+  netbase::SimClock& clock_;
+  CoreConfig cfg_{};
+  // deque: resize never relocates existing Ports (their FIFOs are move-only)
+  std::deque<Port> ports_;
+  CoreCounters counters_;
+};
+
+}  // namespace rp::core

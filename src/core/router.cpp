@@ -1,0 +1,110 @@
+#include "core/router.hpp"
+
+namespace rp::core {
+
+RouterKernel::RouterKernel() : RouterKernel(Options{}) {}
+
+RouterKernel::RouterKernel(Options opt)
+    : loader_(pcu_),
+      routes_(opt.route_engine),
+      aiu_(std::make_unique<aiu::Aiu>(pcu_, clock_, opt.aiu)),
+      core_(std::make_unique<IpCore>(*aiu_, routes_, ifs_, clock_,
+                                     std::move(opt.core))),
+      flow_idle_timeout_(opt.flow_idle_timeout),
+      flow_sweep_interval_(opt.flow_sweep_interval) {
+  // Freeing a plugin instance must also detach it from any output port it
+  // is scheduling (the AIU's hook handles flow/filter references).
+  pcu_.add_purge_hook(
+      [this](plugin::PluginInstance* inst) { core_->detach_scheduler(inst); });
+}
+
+RouterKernel::~RouterKernel() = default;
+
+netdev::SimNic& RouterKernel::add_interface(std::string name,
+                                            std::uint64_t bandwidth_bps) {
+  return ifs_.add(std::move(name), bandwidth_bps);
+}
+
+void RouterKernel::inject(netbase::SimTime t, pkt::IfIndex iface,
+                          pkt::PacketPtr p) {
+  events_.emplace(std::make_pair(t, seq_++),
+                  Event{Event::Kind::arrival, iface, std::move(p)});
+}
+
+void RouterKernel::drain_port(pkt::IfIndex iface) {
+  netdev::SimNic* nic = ifs_.by_index(iface);
+  if (!nic) return;
+  while (nic->tx_idle(clock_.now())) {
+    pkt::PacketPtr p = core_->next_for_tx(iface, clock_.now());
+    if (!p) {
+      // Non-work-conserving scheduler holding packets back: retry when it
+      // says a packet may become eligible.
+      netbase::SimTime wake = core_->next_tx_wakeup(iface, clock_.now());
+      if (wake > clock_.now())
+        events_.emplace(std::make_pair(wake, seq_++),
+                        Event{Event::Kind::tx_ready, iface, nullptr});
+      return;
+    }
+    netbase::SimTime done = nic->transmit(std::move(p), clock_.now());
+    events_.emplace(std::make_pair(done, seq_++),
+                    Event{Event::Kind::tx_ready, iface, nullptr});
+  }
+}
+
+void RouterKernel::dispatch(netbase::SimTime t, Event e) {
+  clock_.advance_to(t);
+  ++events_processed_;
+  switch (e.kind) {
+    case Event::Kind::arrival: {
+      netdev::SimNic* nic = ifs_.by_index(e.iface);
+      if (!nic) return;
+      nic->deliver(std::move(e.p), clock_.now());
+      while (nic->rx_pending()) core_->process(nic->rx_pop());
+      // The packet may have been queued on any port; drain every port with
+      // backlog (ports are few, this is cheap).
+      for (pkt::IfIndex i = 0; i < ifs_.size(); ++i)
+        if (core_->tx_backlog(i)) drain_port(i);
+      // Arm the periodic flow-table sweep while flows are cached.
+      if (flow_sweep_interval_ > 0 && !sweep_scheduled_ &&
+          aiu_->flow_table().active() > 0) {
+        sweep_scheduled_ = true;
+        events_.emplace(std::make_pair(clock_.now() + flow_sweep_interval_,
+                                       seq_++),
+                        Event{Event::Kind::flow_sweep, 0, nullptr});
+      }
+      break;
+    }
+    case Event::Kind::tx_ready:
+      drain_port(e.iface);
+      break;
+    case Event::Kind::flow_sweep: {
+      flows_expired_ +=
+          aiu_->flow_table().expire_idle(clock_.now() - flow_idle_timeout_);
+      if (aiu_->flow_table().active() > 0) {
+        events_.emplace(std::make_pair(clock_.now() + flow_sweep_interval_,
+                                       seq_++),
+                        Event{Event::Kind::flow_sweep, 0, nullptr});
+      } else {
+        sweep_scheduled_ = false;
+      }
+      break;
+    }
+  }
+}
+
+void RouterKernel::run_until(netbase::SimTime t) {
+  while (!events_.empty() && events_.begin()->first.first <= t) {
+    auto node = events_.extract(events_.begin());
+    dispatch(node.key().first, std::move(node.mapped()));
+  }
+  clock_.advance_to(t);
+}
+
+void RouterKernel::run_to_completion() {
+  while (!events_.empty()) {
+    auto node = events_.extract(events_.begin());
+    dispatch(node.key().first, std::move(node.mapped()));
+  }
+}
+
+}  // namespace rp::core

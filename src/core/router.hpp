@@ -1,0 +1,101 @@
+// RouterKernel — ties the subsystems together and runs the discrete-event
+// loop: NIC receive rings feed the data path; when an output link goes idle
+// the port is drained (FIFO first, then the port's scheduler), which is how
+// the packet-scheduling plugins actually shape traffic on the simulated
+// links.
+//
+// Packet processing itself is instantaneous in virtual time (the real CPU
+// cost of the data path is what the benches measure with the host clock,
+// mirroring the paper's cycle-counter methodology); virtual time advances
+// with packet arrivals and link serialization.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "aiu/aiu.hpp"
+#include "core/datapath.hpp"
+#include "core/ip_core.hpp"
+#include "netdev/iftable.hpp"
+#include "plugin/loader.hpp"
+#include "plugin/pcu.hpp"
+#include "route/routing_table.hpp"
+
+namespace rp::core {
+
+class RouterKernel {
+ public:
+  struct Options {
+    aiu::Aiu::Options aiu{};
+    CoreConfig core{};
+    std::string route_engine{"bsl"};
+    // §3.2: "If a cached flow remains idle for an extended period, its
+    // cached entry in the flow table may be removed." The kernel sweeps the
+    // flow table every `flow_sweep_interval` of virtual time and expires
+    // entries idle longer than `flow_idle_timeout`. 0 disables sweeping.
+    netbase::SimTime flow_idle_timeout{30 * netbase::kNsPerSec};
+    netbase::SimTime flow_sweep_interval{netbase::kNsPerSec};
+  };
+
+  RouterKernel();
+  explicit RouterKernel(Options opt);
+  ~RouterKernel();
+
+  // -- subsystem access --
+  netbase::SimClock& clock() noexcept { return clock_; }
+  plugin::PluginControlUnit& pcu() noexcept { return pcu_; }
+  plugin::PluginLoader& loader() noexcept { return loader_; }
+  aiu::Aiu& aiu() noexcept { return *aiu_; }
+  netdev::InterfaceTable& interfaces() noexcept { return ifs_; }
+  route::RoutingTable& routes() noexcept { return routes_; }
+  IpCore& core() noexcept { return *core_; }
+
+  // Convenience: add a NIC (see InterfaceTable::add).
+  netdev::SimNic& add_interface(std::string name,
+                                std::uint64_t bandwidth_bps = 155'000'000);
+
+  // -- event loop --
+
+  // Schedules an external packet arrival on `iface` at virtual time `t`.
+  void inject(netbase::SimTime t, pkt::IfIndex iface, pkt::PacketPtr p);
+
+  // Runs all events with time <= t; the clock ends at max(now, t).
+  void run_until(netbase::SimTime t);
+  // Runs until no events remain (all queues drained).
+  void run_to_completion();
+
+  bool idle() const noexcept { return events_.empty(); }
+  std::size_t events_processed() const noexcept { return events_processed_; }
+  std::size_t flows_expired() const noexcept { return flows_expired_; }
+
+ private:
+  struct Event {
+    enum class Kind { arrival, tx_ready, flow_sweep } kind;
+    pkt::IfIndex iface;
+    pkt::PacketPtr p;
+  };
+  // Keyed by (time, sequence) so simultaneous events keep FIFO order.
+  using EventQueue = std::map<std::pair<netbase::SimTime, std::uint64_t>, Event>;
+
+  void dispatch(netbase::SimTime t, Event e);
+  void drain_port(pkt::IfIndex iface);
+
+  netbase::SimClock clock_;
+  plugin::PluginControlUnit pcu_;
+  plugin::PluginLoader loader_;
+  netdev::InterfaceTable ifs_;
+  route::RoutingTable routes_;
+  std::unique_ptr<aiu::Aiu> aiu_;
+  std::unique_ptr<IpCore> core_;
+
+  EventQueue events_;
+  std::uint64_t seq_{0};
+  std::size_t events_processed_{0};
+  netbase::SimTime flow_idle_timeout_{0};
+  netbase::SimTime flow_sweep_interval_{0};
+  bool sweep_scheduled_{false};
+  std::size_t flows_expired_{0};
+};
+
+}  // namespace rp::core

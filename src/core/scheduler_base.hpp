@@ -1,0 +1,48 @@
+// OutputScheduler — the contract between the IP core's packet-scheduling
+// gate and scheduler plugins (DRR, H-FSC, WFQ, FIFO, RED).
+//
+// The scheduling gate differs from the other gates in that the plugin takes
+// ownership of the packet (it queues the mbuf): the core calls `enqueue`
+// with the flow's soft-state slot — DRR stores its per-flow queue pointer
+// there (§5.2/§6.1) — and the router kernel later drains the port by calling
+// `dequeue` whenever the link goes idle.
+#pragma once
+
+#include "netbase/clock.hpp"
+#include "pkt/packet.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::core {
+
+class OutputScheduler : public plugin::PluginInstance {
+ public:
+  // Queues the packet. `flow_soft` is the flow-table soft-state slot for
+  // this (flow, gate) pair, or nullptr for flow-less traffic (which
+  // schedulers must still accept, e.g. into a default queue). Returns false
+  // if the packet was dropped (queue limit / RED).
+  virtual bool enqueue(pkt::PacketPtr p, void** flow_soft,
+                       netbase::SimTime now) = 0;
+
+  // Next packet to put on the wire; nullptr if no backlog.
+  virtual pkt::PacketPtr dequeue(netbase::SimTime now) = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::size_t backlog_packets() const = 0;
+  virtual std::size_t backlog_bytes() const = 0;
+
+  // For non-work-conserving disciplines (H-FSC with an upper-limit curve):
+  // the earliest future time at which dequeue() may yield a packet even
+  // though it returned nullptr just now. -1 means "work conserving, no
+  // wakeup needed". The router kernel schedules a retry at this time.
+  virtual netbase::SimTime next_wakeup(netbase::SimTime /*now*/) const {
+    return -1;
+  }
+
+  // The scheduling gate never uses the generic entry point; the core calls
+  // enqueue() directly because ownership transfers.
+  plugin::Verdict handle_packet(pkt::Packet&, void**) final {
+    return plugin::Verdict::consumed;
+  }
+};
+
+}  // namespace rp::core

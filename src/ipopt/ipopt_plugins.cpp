@@ -1,0 +1,122 @@
+#include "ipopt/ipopt_plugins.hpp"
+
+#include "pkt/headers.hpp"
+
+namespace rp::ipopt {
+
+using netbase::Status;
+using plugin::Verdict;
+
+bool for_each_hopopt(const pkt::Packet& p,
+                     bool (*fn)(void*, std::uint8_t, std::uint8_t,
+                                const std::uint8_t*),
+                     void* ctx) {
+  if (p.ip_version != netbase::IpVersion::v6) return false;
+  auto b = p.bytes();
+  if (b.size() < pkt::Ipv6Header::kSize) return false;
+  if (b[6] != static_cast<std::uint8_t>(pkt::IpProto::hopopt)) return false;
+
+  std::size_t off = pkt::Ipv6Header::kSize;
+  if (off + 2 > b.size()) return false;
+  const std::size_t hbh_len = (std::size_t{b[off + 1]} + 1) * 8;
+  if (off + hbh_len > b.size()) return false;
+
+  std::size_t i = off + 2;
+  const std::size_t end = off + hbh_len;
+  while (i < end) {
+    const std::uint8_t type = b[i];
+    if (type == kOptPad1) {
+      ++i;
+      continue;
+    }
+    if (i + 2 > end) return false;
+    const std::uint8_t len = b[i + 1];
+    if (i + 2 + len > end) return false;
+    if (!fn(ctx, type, len, &b[i + 2])) return true;
+    i += 2 + std::size_t{len};
+  }
+  return true;
+}
+
+Verdict RouterAlertInstance::handle_packet(pkt::Packet& p, void**) {
+  ++packets_;
+  for_each_hopopt(
+      p,
+      [](void* ctx, std::uint8_t type, std::uint8_t, const std::uint8_t*) {
+        if (type == kOptRouterAlert)
+          ++static_cast<RouterAlertInstance*>(ctx)->alerts_;
+        return true;
+      },
+      this);
+  return Verdict::cont;
+}
+
+Status RouterAlertInstance::handle_message(const plugin::PluginMsg& msg,
+                                           plugin::PluginReply& reply) {
+  if (msg.custom_name == "stats") {
+    reply.text = "packets=" + std::to_string(packets_) +
+                 " alerts=" + std::to_string(alerts_);
+    return Status::ok;
+  }
+  return Status::unsupported;
+}
+
+Verdict OptCheckInstance::handle_packet(pkt::Packet& p, void**) {
+  if (p.ip_version != netbase::IpVersion::v6) return Verdict::cont;
+  struct Ctx {
+    bool bad{false};
+    bool unknown_discard{false};
+  } ctx;
+  bool walked = for_each_hopopt(
+      p,
+      [](void* vctx, std::uint8_t type, std::uint8_t len,
+         const std::uint8_t* data) {
+        auto* c = static_cast<Ctx*>(vctx);
+        if (type == kOptPadN) {
+          for (std::uint8_t i = 0; i < len; ++i) {
+            if (data[i] != 0) {
+              c->bad = true;
+              return false;
+            }
+          }
+          return true;
+        }
+        if (type == kOptRouterAlert) return true;  // known
+        // RFC 2460 action bits: 00 = skip, anything else = discard.
+        if ((type >> 6) != 0) {
+          c->unknown_discard = true;
+          return false;
+        }
+        return true;
+      },
+      &ctx);
+
+  // A present-but-truncated option area is malformed.
+  auto b = p.bytes();
+  const bool has_hbh =
+      p.ip_version == netbase::IpVersion::v6 &&
+      b.size() >= pkt::Ipv6Header::kSize &&
+      b[6] == static_cast<std::uint8_t>(pkt::IpProto::hopopt);
+  if (has_hbh && !walked) {
+    ++malformed_;
+    return Verdict::drop;
+  }
+  if (ctx.bad) {
+    ++malformed_;
+    return Verdict::drop;
+  }
+  if (ctx.unknown_discard) {
+    ++unknown_discards_;
+    return Verdict::drop;
+  }
+  return Verdict::cont;
+}
+
+void register_ipopt_plugins() {
+  plugin::PluginLoader::register_module(
+      "rtalert", [] { return std::make_unique<RouterAlertPlugin>(); });
+  plugin::PluginLoader::register_module(
+      "optcheck", [] { return std::make_unique<OptCheckPlugin>(); });
+}
+
+}  // namespace rp::ipopt

@@ -1,0 +1,76 @@
+// IPv6 option-processing plugins (the paper's first plugin type; "a dozen
+// lines of code for an IP option plugin").
+//
+//  * rtalert  — recognizes the Router Alert hop-by-hop option (RFC 2711)
+//               and counts alerted packets (what RSVP processing hooks on).
+//  * optcheck — validates the hop-by-hop option area: Pad1/PadN contents
+//               and TLV bounds, and applies the RFC 2460 unknown-option
+//               action bits (00 skip, else discard).
+#pragma once
+
+#include <memory>
+
+#include "plugin/loader.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::ipopt {
+
+// Walks the hop-by-hop options area of `p` if present; returns false if the
+// packet is not IPv6 or has no hop-by-hop header. `fn(type, len, data)` is
+// called per option (excluding Pad1) and may return false to stop.
+bool for_each_hopopt(const pkt::Packet& p,
+                     bool (*fn)(void* ctx, std::uint8_t type, std::uint8_t len,
+                                const std::uint8_t* data),
+                     void* ctx);
+
+constexpr std::uint8_t kOptPad1 = 0;
+constexpr std::uint8_t kOptPadN = 1;
+constexpr std::uint8_t kOptRouterAlert = 5;
+
+class RouterAlertInstance final : public plugin::PluginInstance {
+ public:
+  plugin::Verdict handle_packet(pkt::Packet& p, void** flow_soft) override;
+  std::uint64_t alerts() const noexcept { return alerts_; }
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override;
+
+ private:
+  std::uint64_t alerts_{0};
+  std::uint64_t packets_{0};
+};
+
+class OptCheckInstance final : public plugin::PluginInstance {
+ public:
+  plugin::Verdict handle_packet(pkt::Packet& p, void** flow_soft) override;
+  std::uint64_t malformed() const noexcept { return malformed_; }
+
+ private:
+  std::uint64_t malformed_{0};
+  std::uint64_t unknown_discards_{0};
+};
+
+class RouterAlertPlugin final : public plugin::Plugin {
+ public:
+  RouterAlertPlugin() : Plugin("rtalert", plugin::PluginType::ipopt) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<RouterAlertInstance>();
+  }
+};
+
+class OptCheckPlugin final : public plugin::Plugin {
+ public:
+  OptCheckPlugin() : Plugin("optcheck", plugin::PluginType::ipopt) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<OptCheckInstance>();
+  }
+};
+
+void register_ipopt_plugins();
+
+}  // namespace rp::ipopt

@@ -1,0 +1,79 @@
+#include "ipsec/chacha20.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace rp::ipsec {
+
+namespace {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> nonce, std::uint32_t counter) {
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  std::uint8_t k[kKeySize] = {};
+  std::memcpy(k, key.data(), key.size() < kKeySize ? key.size() : kKeySize);
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(k + 4 * i);
+  state_[12] = counter;
+  std::uint8_t n[kNonceSize] = {};
+  std::memcpy(n, nonce.data(),
+              nonce.size() < kNonceSize ? nonce.size() : kNonceSize);
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(n + 4 * i);
+}
+
+void ChaCha20::block(std::uint8_t out[64]) {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + state_[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+}
+
+void ChaCha20::crypt(std::uint8_t* data, std::size_t len) {
+  while (len) {
+    if (ks_used_ == 64) {
+      block(keystream_);
+      ks_used_ = 0;
+    }
+    std::size_t take = 64 - ks_used_;
+    if (take > len) take = len;
+    for (std::size_t i = 0; i < take; ++i) data[i] ^= keystream_[ks_used_ + i];
+    data += take;
+    len -= take;
+    ks_used_ += take;
+  }
+}
+
+}  // namespace rp::ipsec

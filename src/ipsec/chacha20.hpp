@@ -1,0 +1,32 @@
+// ChaCha20 stream cipher (RFC 8439), from scratch, used by the ESP plugin
+// for payload confidentiality. Encryption and decryption are the same
+// keystream XOR.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rp::ipsec {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  ChaCha20(std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> nonce, std::uint32_t counter = 1);
+
+  // XORs the keystream into `data` in place.
+  void crypt(std::uint8_t* data, std::size_t len);
+  void crypt(std::span<std::uint8_t> data) { crypt(data.data(), data.size()); }
+
+ private:
+  void block(std::uint8_t out[64]);
+
+  std::array<std::uint32_t, 16> state_;
+  std::uint8_t keystream_[64];
+  std::size_t ks_used_{64};  // force generation on first use
+};
+
+}  // namespace rp::ipsec

@@ -1,0 +1,44 @@
+#include "ipsec/hmac.hpp"
+
+#include <cstring>
+
+namespace rp::ipsec {
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, Sha256::kBlockSize> k{};
+  if (key.size() > Sha256::kBlockSize) {
+    auto d = Sha256::digest(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    ipad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  reset();
+}
+
+void HmacSha256::reset() {
+  inner_.reset();
+  inner_.update(ipad_.data(), ipad_.size());
+}
+
+Sha256::Digest HmacSha256::finish() {
+  auto inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_.data(), opad_.size());
+  outer.update(inner_digest.data(), inner_digest.size());
+  reset();
+  return outer.finish();
+}
+
+bool mac_equal(std::span<const std::uint8_t> a,
+               std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace rp::ipsec

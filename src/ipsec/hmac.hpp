@@ -1,0 +1,39 @@
+// HMAC-SHA-256 (RFC 2104) for the AH/ESP integrity check value. The plugins
+// use the 128-bit truncated form (as in HMAC-SHA-256-128).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ipsec/sha256.hpp"
+
+namespace rp::ipsec {
+
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kDigestSize = Sha256::kDigestSize;
+
+  explicit HmacSha256(std::span<const std::uint8_t> key);
+
+  void reset();
+  void update(std::span<const std::uint8_t> data) { inner_.update(data); }
+  Sha256::Digest finish();
+
+  static Sha256::Digest mac(std::span<const std::uint8_t> key,
+                            std::span<const std::uint8_t> data) {
+    HmacSha256 h(key);
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad_;
+  std::array<std::uint8_t, Sha256::kBlockSize> opad_;
+  Sha256 inner_;
+};
+
+// Constant-time comparison of two MACs.
+bool mac_equal(std::span<const std::uint8_t> a,
+               std::span<const std::uint8_t> b) noexcept;
+
+}  // namespace rp::ipsec

@@ -1,0 +1,311 @@
+#include "ipsec/ipsec_plugins.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "ipsec/chacha20.hpp"
+#include "ipsec/hmac.hpp"
+#include "netbase/byteorder.hpp"
+#include "pkt/headers.hpp"
+
+namespace rp::ipsec {
+
+using netbase::IpVersion;
+using netbase::load_be32;
+using netbase::store_be32;
+using netbase::Status;
+using plugin::Verdict;
+
+namespace {
+
+constexpr std::size_t kAhHeaderSize = 28;  // 12 fixed + 16 ICV
+constexpr std::size_t kEspHeaderSize = 8;  // spi + seq
+constexpr std::size_t kEspTrailerSize = 2; // pad_len + next_header
+constexpr std::size_t kIcvSize = 16;       // HMAC-SHA-256-128
+
+std::size_t ip_header_len(const pkt::Packet& p) {
+  return p.ip_version == IpVersion::v4
+             ? std::size_t{static_cast<std::size_t>(p.data()[0] & 0x0f)} * 4
+             : pkt::Ipv6Header::kSize;
+}
+
+std::uint8_t get_ip_proto(const pkt::Packet& p) {
+  return p.ip_version == IpVersion::v4 ? p.data()[9] : p.data()[6];
+}
+
+void set_ip_proto(pkt::Packet& p, std::uint8_t proto) {
+  if (p.ip_version == IpVersion::v4)
+    p.data()[9] = proto;
+  else
+    p.data()[6] = proto;
+}
+
+// Adjusts the L3 length field by `delta` bytes and refreshes the IPv4
+// header checksum.
+void fix_lengths(pkt::Packet& p, std::ptrdiff_t delta) {
+  std::uint8_t* h = p.data();
+  if (p.ip_version == IpVersion::v4) {
+    std::uint16_t len = netbase::load_be16(&h[2]);
+    netbase::store_be16(&h[2], static_cast<std::uint16_t>(len + delta));
+    pkt::Ipv4Header::finalize_checksum(h, ip_header_len(p));
+  } else {
+    std::uint16_t len = netbase::load_be16(&h[4]);
+    netbase::store_be16(&h[4], static_cast<std::uint16_t>(len + delta));
+  }
+}
+
+void refresh_v4_checksum(pkt::Packet& p) {
+  if (p.ip_version == IpVersion::v4)
+    pkt::Ipv4Header::finalize_checksum(p.data(), ip_header_len(p));
+}
+
+// ICV over the whole packet with mutable fields (TTL/hop limit, IPv4 header
+// checksum) and the ICV field itself zeroed.
+Sha256::Digest compute_icv(const pkt::Packet& p,
+                           std::span<const std::uint8_t> key,
+                           std::size_t icv_off) {
+  std::vector<std::uint8_t> scratch(p.data(), p.data() + p.size());
+  if (p.ip_version == IpVersion::v4) {
+    scratch[8] = 0;                  // TTL
+    scratch[10] = scratch[11] = 0;   // header checksum
+  } else {
+    scratch[7] = 0;  // hop limit
+  }
+  std::memset(scratch.data() + icv_off, 0, kIcvSize);
+  return HmacSha256::mac(key, scratch);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> parse_hex_key(std::string_view hex) {
+  if (hex.size() % 2) return {};
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Verdict IpsecInstance::handle_packet(pkt::Packet& p, void** /*flow_soft*/) {
+  SecurityAssociation* sa = plugin_.sadb().find(spi_);
+  if (!sa) {
+    ++counters_.malformed;
+    return Verdict::drop;
+  }
+  ++counters_.processed;
+  switch (mode_) {
+    case IpsecMode::ah_add: return ah_add(p, *sa);
+    case IpsecMode::ah_verify: return ah_verify(p, *sa);
+    case IpsecMode::esp_encrypt: return esp_encrypt(p, *sa);
+    case IpsecMode::esp_decrypt: return esp_decrypt(p, *sa);
+  }
+  return Verdict::cont;
+}
+
+Verdict IpsecInstance::ah_add(pkt::Packet& p, SecurityAssociation& sa) {
+  const std::size_t iphl = ip_header_len(p);
+  const std::uint8_t orig_proto = get_ip_proto(p);
+
+  p.prepend(kAhHeaderSize);
+  std::memmove(p.data(), p.data() + kAhHeaderSize, iphl);
+  std::uint8_t* ah = p.data() + iphl;
+  ah[0] = orig_proto;
+  ah[1] = kAhHeaderSize / 4 - 2;  // RFC 2402 payload length
+  ah[2] = ah[3] = 0;
+  store_be32(&ah[4], sa.spi);
+  store_be32(&ah[8], static_cast<std::uint32_t>(++sa.tx_seq));
+  std::memset(&ah[12], 0, kIcvSize);
+
+  set_ip_proto(p, static_cast<std::uint8_t>(pkt::IpProto::ah));
+  fix_lengths(p, static_cast<std::ptrdiff_t>(kAhHeaderSize));
+
+  auto icv = compute_icv(p, sa.auth_key, iphl + 12);
+  std::memcpy(&ah[12], icv.data(), kIcvSize);
+  refresh_v4_checksum(p);
+  return Verdict::cont;
+}
+
+Verdict IpsecInstance::ah_verify(pkt::Packet& p, SecurityAssociation& sa) {
+  const std::size_t iphl = ip_header_len(p);
+  if (get_ip_proto(p) != static_cast<std::uint8_t>(pkt::IpProto::ah) ||
+      p.size() < iphl + kAhHeaderSize) {
+    ++counters_.malformed;
+    return Verdict::drop;
+  }
+  std::uint8_t* ah = p.data() + iphl;
+  if (load_be32(&ah[4]) != sa.spi) {
+    ++counters_.malformed;
+    return Verdict::drop;
+  }
+  const std::uint32_t seq = load_be32(&ah[8]);
+
+  auto icv = compute_icv(p, sa.auth_key, iphl + 12);
+  if (!mac_equal({&ah[12], kIcvSize}, {icv.data(), kIcvSize})) {
+    ++counters_.auth_failures;
+    return Verdict::drop;
+  }
+  if (!sa.replay_check_and_update(seq)) {
+    ++counters_.replay_drops;
+    return Verdict::drop;
+  }
+
+  const std::uint8_t next = ah[0];
+  set_ip_proto(p, next);
+  fix_lengths(p, -static_cast<std::ptrdiff_t>(kAhHeaderSize));
+  std::memmove(p.data() + kAhHeaderSize, p.data(), iphl);
+  p.pull(kAhHeaderSize);
+  refresh_v4_checksum(p);
+  return Verdict::cont;
+}
+
+Verdict IpsecInstance::esp_encrypt(pkt::Packet& p, SecurityAssociation& sa) {
+  const std::size_t iphl = ip_header_len(p);
+  const std::uint8_t orig_proto = get_ip_proto(p);
+
+  // Insert the ESP header right after the IP header.
+  p.prepend(kEspHeaderSize);
+  std::memmove(p.data(), p.data() + kEspHeaderSize, iphl);
+  std::uint8_t* esp = p.data() + iphl;
+  const std::uint32_t seq = static_cast<std::uint32_t>(++sa.tx_seq);
+  store_be32(&esp[0], sa.spi);
+  store_be32(&esp[4], seq);
+
+  // Append the trailer, then encrypt payload+trailer.
+  std::uint8_t* trailer = p.append(kEspTrailerSize);
+  trailer[0] = 0;  // pad length (stream cipher: no padding)
+  trailer[1] = orig_proto;
+
+  std::uint8_t nonce[ChaCha20::kNonceSize] = {};
+  store_be32(&nonce[0], sa.spi);
+  store_be32(&nonce[4], seq);
+  ChaCha20 cipher(sa.enc_key, nonce);
+  std::uint8_t* payload = p.data() + iphl + kEspHeaderSize;
+  cipher.crypt(payload, p.size() - iphl - kEspHeaderSize);
+
+  // ICV over ESP header + ciphertext.
+  auto icv = HmacSha256::mac(
+      sa.auth_key, {p.data() + iphl, p.size() - iphl});
+  std::memcpy(p.append(kIcvSize), icv.data(), kIcvSize);
+
+  set_ip_proto(p, static_cast<std::uint8_t>(pkt::IpProto::esp));
+  fix_lengths(p, static_cast<std::ptrdiff_t>(kEspHeaderSize +
+                                             kEspTrailerSize + kIcvSize));
+  return Verdict::cont;
+}
+
+Verdict IpsecInstance::esp_decrypt(pkt::Packet& p, SecurityAssociation& sa) {
+  const std::size_t iphl = ip_header_len(p);
+  const std::size_t min_size =
+      iphl + kEspHeaderSize + kEspTrailerSize + kIcvSize;
+  if (get_ip_proto(p) != static_cast<std::uint8_t>(pkt::IpProto::esp) ||
+      p.size() < min_size) {
+    ++counters_.malformed;
+    return Verdict::drop;
+  }
+  std::uint8_t* esp = p.data() + iphl;
+  if (load_be32(&esp[0]) != sa.spi) {
+    ++counters_.malformed;
+    return Verdict::drop;
+  }
+  const std::uint32_t seq = load_be32(&esp[4]);
+
+  auto icv = HmacSha256::mac(
+      sa.auth_key, {p.data() + iphl, p.size() - iphl - kIcvSize});
+  if (!mac_equal({p.data() + p.size() - kIcvSize, kIcvSize},
+                 {icv.data(), kIcvSize})) {
+    ++counters_.auth_failures;
+    return Verdict::drop;
+  }
+  if (!sa.replay_check_and_update(seq)) {
+    ++counters_.replay_drops;
+    return Verdict::drop;
+  }
+
+  std::uint8_t nonce[ChaCha20::kNonceSize] = {};
+  store_be32(&nonce[0], sa.spi);
+  store_be32(&nonce[4], seq);
+  ChaCha20 cipher(sa.enc_key, nonce);
+  std::uint8_t* payload = p.data() + iphl + kEspHeaderSize;
+  const std::size_t enc_len = p.size() - iphl - kEspHeaderSize - kIcvSize;
+  cipher.crypt(payload, enc_len);
+
+  const std::uint8_t pad_len = payload[enc_len - 2];
+  const std::uint8_t next = payload[enc_len - 1];
+  if (pad_len + kEspTrailerSize > enc_len) {
+    ++counters_.malformed;
+    return Verdict::drop;
+  }
+
+  p.trim(kIcvSize + kEspTrailerSize + pad_len);
+  std::memmove(p.data() + kEspHeaderSize, p.data(), iphl);
+  p.pull(kEspHeaderSize);
+  set_ip_proto(p, next);
+  fix_lengths(p, -static_cast<std::ptrdiff_t>(kEspHeaderSize +
+                                              kEspTrailerSize + pad_len +
+                                              kIcvSize));
+  return Verdict::cont;
+}
+
+Status IpsecInstance::handle_message(const plugin::PluginMsg& msg,
+                                     plugin::PluginReply& reply) {
+  if (msg.custom_name == "stats") {
+    reply.text = "processed=" + std::to_string(counters_.processed) +
+                 " auth_failures=" + std::to_string(counters_.auth_failures) +
+                 " replay_drops=" + std::to_string(counters_.replay_drops) +
+                 " malformed=" + std::to_string(counters_.malformed);
+    return Status::ok;
+  }
+  return Status::unsupported;
+}
+
+std::unique_ptr<plugin::PluginInstance> IpsecPlugin::make_instance(
+    const plugin::Config& cfg) {
+  auto mode_str = cfg.get_or("mode", "");
+  IpsecMode mode;
+  if (mode_str == "ah-add") mode = IpsecMode::ah_add;
+  else if (mode_str == "ah-verify") mode = IpsecMode::ah_verify;
+  else if (mode_str == "esp-encrypt") mode = IpsecMode::esp_encrypt;
+  else if (mode_str == "esp-decrypt") mode = IpsecMode::esp_decrypt;
+  else return nullptr;
+  auto spi = cfg.get_int("spi");
+  if (!spi || *spi <= 0) return nullptr;
+  return std::make_unique<IpsecInstance>(*this, mode,
+                                         static_cast<std::uint32_t>(*spi));
+}
+
+Status IpsecPlugin::handle_message(const plugin::PluginMsg& msg,
+                                   plugin::PluginReply& reply) {
+  if (msg.custom_name == "addsa") {
+    auto spi = msg.args.get_int("spi");
+    auto akey = msg.args.get("auth_key");
+    if (!spi || *spi <= 0 || !akey) return Status::invalid_argument;
+    auto auth = parse_hex_key(*akey);
+    if (auth.empty()) return Status::invalid_argument;
+    std::vector<std::uint8_t> enc;
+    if (auto ekey = msg.args.get("enc_key")) {
+      enc = parse_hex_key(*ekey);
+      if (enc.empty()) return Status::invalid_argument;
+    }
+    sadb_.add(static_cast<std::uint32_t>(*spi), std::move(auth),
+              std::move(enc));
+    reply.text = "sa installed";
+    return Status::ok;
+  }
+  return Status::unsupported;
+}
+
+void register_ipsec_plugins() {
+  plugin::PluginLoader::register_module(
+      "ipsec", [] { return std::make_unique<IpsecPlugin>(); });
+}
+
+}  // namespace rp::ipsec

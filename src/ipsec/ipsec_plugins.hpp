@@ -1,0 +1,78 @@
+// IP security plugins (Section 4: one of the four plugin types of the
+// paper's implementation; RFC 1825-era AH and ESP in transport mode).
+//
+// An instance is one direction of one transform:
+//   mode=ah-add      insert an AH header + HMAC-SHA-256-128 ICV
+//   mode=ah-verify   verify + strip AH (drops on bad ICV or replay)
+//   mode=esp-encrypt insert ESP header, ChaCha20-encrypt payload, add ICV
+//   mode=esp-decrypt verify ICV + anti-replay, decrypt, strip
+//
+// SAs are installed with the plugin-level `addsa` message
+// (spi, auth_key=<hex> [, enc_key=<hex>]); instances reference them by SPI.
+// Binding instances to filters at the IP security gate is what makes this a
+// per-flow VPN entry/exit point (the paper's firewall/VPN use case).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ipsec/sadb.hpp"
+#include "plugin/loader.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::ipsec {
+
+class IpsecPlugin;
+
+enum class IpsecMode { ah_add, ah_verify, esp_encrypt, esp_decrypt };
+
+class IpsecInstance final : public plugin::PluginInstance {
+ public:
+  IpsecInstance(IpsecPlugin& owner, IpsecMode mode, std::uint32_t spi)
+      : plugin_(owner), mode_(mode), spi_(spi) {}
+
+  plugin::Verdict handle_packet(pkt::Packet& p, void** flow_soft) override;
+
+  struct Counters {
+    std::uint64_t processed{0};
+    std::uint64_t auth_failures{0};
+    std::uint64_t replay_drops{0};
+    std::uint64_t malformed{0};
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override;
+
+ private:
+  plugin::Verdict ah_add(pkt::Packet& p, SecurityAssociation& sa);
+  plugin::Verdict ah_verify(pkt::Packet& p, SecurityAssociation& sa);
+  plugin::Verdict esp_encrypt(pkt::Packet& p, SecurityAssociation& sa);
+  plugin::Verdict esp_decrypt(pkt::Packet& p, SecurityAssociation& sa);
+
+  IpsecPlugin& plugin_;
+  IpsecMode mode_;
+  std::uint32_t spi_;
+  Counters counters_;
+};
+
+class IpsecPlugin final : public plugin::Plugin {
+ public:
+  IpsecPlugin() : Plugin("ipsec", plugin::PluginType::ipsec) {}
+
+  SecurityAssociationDb& sadb() noexcept { return sadb_; }
+
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override;
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override;
+
+ private:
+  SecurityAssociationDb sadb_;
+};
+
+void register_ipsec_plugins();
+
+}  // namespace rp::ipsec

@@ -1,0 +1,70 @@
+// Security Association Database for the AH/ESP plugins (RFC 1825 model):
+// an SA, identified by SPI, carries the authentication and encryption keys
+// plus transmit sequence and receive anti-replay state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace rp::ipsec {
+
+struct SecurityAssociation {
+  std::uint32_t spi{0};
+  std::vector<std::uint8_t> auth_key;  // HMAC-SHA-256 key
+  std::vector<std::uint8_t> enc_key;   // ChaCha20 key (ESP only)
+
+  // Transmit side.
+  std::uint64_t tx_seq{0};
+
+  // Receive side: 64-packet sliding anti-replay window.
+  std::uint64_t rx_highest{0};
+  std::uint64_t rx_window{0};
+
+  // Returns true if `seq` is fresh (and records it); false on replay.
+  bool replay_check_and_update(std::uint32_t seq) {
+    if (seq == 0) return false;
+    if (seq > rx_highest) {
+      std::uint64_t shift = seq - rx_highest;
+      rx_window = shift >= 64 ? 0 : rx_window << shift;
+      rx_window |= 1;
+      rx_highest = seq;
+      return true;
+    }
+    std::uint64_t off = rx_highest - seq;
+    if (off >= 64) return false;                  // too old
+    if (rx_window & (1ULL << off)) return false;  // already seen
+    rx_window |= 1ULL << off;
+    return true;
+  }
+};
+
+// Parses a hex key string ("0f1e2d...") into bytes; empty on bad input.
+std::vector<std::uint8_t> parse_hex_key(std::string_view hex);
+
+class SecurityAssociationDb {
+ public:
+  SecurityAssociation* add(std::uint32_t spi,
+                           std::vector<std::uint8_t> auth_key,
+                           std::vector<std::uint8_t> enc_key = {}) {
+    auto& sa = sas_[spi];
+    sa.spi = spi;
+    sa.auth_key = std::move(auth_key);
+    sa.enc_key = std::move(enc_key);
+    return &sa;
+  }
+
+  SecurityAssociation* find(std::uint32_t spi) {
+    auto it = sas_.find(spi);
+    return it == sas_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const noexcept { return sas_.size(); }
+
+ private:
+  std::map<std::uint32_t, SecurityAssociation> sas_;
+};
+
+}  // namespace rp::ipsec

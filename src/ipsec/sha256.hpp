@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for the IP security
+// plugins. Streaming interface plus a one-shot helper.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rp::ipsec {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(std::span<const std::uint8_t> data) {
+    update(data.data(), data.size());
+  }
+  Digest finish();
+
+  static Digest digest(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buf_[kBlockSize];
+  std::size_t buf_len_;
+  std::uint64_t total_len_;
+};
+
+}  // namespace rp::ipsec

@@ -1,0 +1,10 @@
+#include "mgmt/firewall_plugin.hpp"
+
+namespace rp::mgmt {
+
+void register_firewall_plugins() {
+  plugin::PluginLoader::register_module(
+      "firewall", [] { return std::make_unique<FirewallPlugin>(); });
+}
+
+}  // namespace rp::mgmt

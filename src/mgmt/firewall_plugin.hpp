@@ -1,0 +1,59 @@
+// Firewall plugin — the paper's firewall/ALG application: "it is very
+// important to be able to quickly and efficiently classify packets into
+// flows, and to apply different policies to different flows". An instance
+// is a policy (accept or deny); the AIU's filters select which flows it
+// applies to, so the classifier does all the matching work and the plugin
+// is a counter plus a verdict.
+#pragma once
+
+#include <memory>
+
+#include "plugin/loader.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::mgmt {
+
+class FirewallInstance final : public plugin::PluginInstance {
+ public:
+  explicit FirewallInstance(bool permit) : permit_(permit) {}
+
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    ++hits_;
+    return permit_ ? plugin::Verdict::cont : plugin::Verdict::drop;
+  }
+
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override {
+    if (msg.custom_name == "stats") {
+      reply.text = std::string(permit_ ? "permit" : "deny") +
+                   " hits=" + std::to_string(hits_);
+      return netbase::Status::ok;
+    }
+    return netbase::Status::unsupported;
+  }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  bool permit() const noexcept { return permit_; }
+
+ private:
+  bool permit_;
+  std::uint64_t hits_{0};
+};
+
+class FirewallPlugin final : public plugin::Plugin {
+ public:
+  FirewallPlugin() : Plugin("firewall", plugin::PluginType::firewall) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override {
+    auto policy = cfg.get_or("policy", "");
+    if (policy == "permit") return std::make_unique<FirewallInstance>(true);
+    if (policy == "deny") return std::make_unique<FirewallInstance>(false);
+    return nullptr;
+  }
+};
+
+void register_firewall_plugins();
+
+}  // namespace rp::mgmt

@@ -1,0 +1,182 @@
+#include "mgmt/pmgr.hpp"
+
+#include <charconv>
+#include <vector>
+
+namespace rp::mgmt {
+
+namespace {
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool parse_u32(std::string_view s, std::uint32_t& out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_iface(std::string_view s, pkt::IfIndex& out) {
+  if (s.starts_with("if")) s.remove_prefix(2);
+  std::uint32_t v;
+  if (!parse_u32(s, v) || v >= pkt::kAnyIface) return false;
+  out = static_cast<pkt::IfIndex>(v);
+  return true;
+}
+
+plugin::Config parse_kv(const std::vector<std::string>& tok, std::size_t from) {
+  plugin::Config cfg;
+  for (std::size_t i = from; i < tok.size(); ++i) {
+    std::size_t eq = tok[i].find('=');
+    if (eq == std::string::npos)
+      cfg.set(tok[i], "");
+    else
+      cfg.set(tok[i].substr(0, eq), tok[i].substr(eq + 1));
+  }
+  return cfg;
+}
+
+std::string join_from(const std::vector<std::string>& tok, std::size_t from) {
+  std::string out;
+  for (std::size_t i = from; i < tok.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += tok[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+PluginManager::Result PluginManager::exec(std::string_view command) {
+  auto tok = split_ws(command);
+  if (tok.empty() || tok[0][0] == '#') return {Status::ok, ""};
+  const std::string& cmd = tok[0];
+
+  auto usage = [&](const char* u) {
+    return Result{Status::invalid_argument, std::string("usage: ") + u};
+  };
+
+  if (cmd == "modload") {
+    if (tok.size() != 2) return usage("modload <module>");
+    Status s = lib_.modload(tok[1]);
+    return {s, s == Status::ok ? "loaded " + tok[1] : "modload failed"};
+  }
+  if (cmd == "modunload") {
+    if (tok.size() != 2) return usage("modunload <module>");
+    Status s = lib_.modunload(tok[1]);
+    return {s, s == Status::ok ? "unloaded " + tok[1] : "modunload failed"};
+  }
+  if (cmd == "lsmod") {
+    std::string text = "available:";
+    for (const auto& m : plugin::PluginLoader::available_modules())
+      text += " " + m;
+    text += "\nloaded:";
+    for (const auto& m : lib_.kernel().loader().loaded_modules())
+      text += " " + m;
+    return {Status::ok, text};
+  }
+  if (cmd == "create") {
+    if (tok.size() < 2) return usage("create <plugin> [k=v ...]");
+    plugin::InstanceId id;
+    Status s = lib_.create_instance(tok[1], parse_kv(tok, 2), id);
+    if (s != Status::ok) return {s, "create failed"};
+    return {s, "instance " + std::to_string(id)};
+  }
+  if (cmd == "free") {
+    if (tok.size() != 3) return usage("free <plugin> <id>");
+    std::uint32_t id;
+    if (!parse_u32(tok[2], id)) return usage("free <plugin> <id>");
+    return {lib_.free_instance(tok[1], id), ""};
+  }
+  if (cmd == "bind" || cmd == "unbind") {
+    if (tok.size() < 4) return usage("(un)bind <plugin> <id> <filter>");
+    std::uint32_t id;
+    if (!parse_u32(tok[2], id)) return usage("(un)bind <plugin> <id> <filter>");
+    std::string spec = join_from(tok, 3);
+    Status s = cmd == "bind" ? lib_.bind(tok[1], id, spec)
+                             : lib_.unbind(tok[1], id, spec);
+    return {s, s == Status::ok ? "" : "filter operation failed"};
+  }
+  if (cmd == "msg") {
+    if (tok.size() < 4) return usage("msg <plugin> <id|-> <name> [k=v ...]");
+    std::uint32_t id = plugin::kNoInstance;
+    if (tok[2] != "-" && !parse_u32(tok[2], id))
+      return usage("msg <plugin> <id|-> <name> [k=v ...]");
+    auto reply = lib_.message(tok[1], id, tok[3], parse_kv(tok, 4));
+    return {reply.status, reply.text};
+  }
+  if (cmd == "attach") {
+    if (tok.size() != 4) return usage("attach <plugin> <id> <iface>");
+    std::uint32_t id;
+    pkt::IfIndex iface;
+    if (!parse_u32(tok[2], id) || !parse_iface(tok[3], iface))
+      return usage("attach <plugin> <id> <iface>");
+    return {lib_.attach_scheduler(tok[1], id, iface), ""};
+  }
+  if (cmd == "aiu") {
+    // Classifier introspection: flow-cache statistics and per-gate filter
+    // counts — what an operator checks before/after reconfiguration.
+    auto& a = lib_.kernel().aiu();
+    const auto& ft = a.flow_table();
+    const auto& fs = ft.stats();
+    std::string text =
+        "flows: active=" + std::to_string(ft.active()) +
+        " capacity=" + std::to_string(ft.capacity()) +
+        " hits=" + std::to_string(fs.hits) +
+        " misses=" + std::to_string(fs.misses) +
+        " recycled=" + std::to_string(fs.recycled) +
+        " flushes=" + std::to_string(a.stats().cache_flushes) + "\nfilters:";
+    for (std::uint16_t t = 1; t < aiu::kNumGates; ++t) {
+      auto type = static_cast<plugin::PluginType>(t);
+      auto* table = a.filter_table(type);
+      if (table && table->size())
+        text += " " + std::string(plugin::to_string(type)) + "=" +
+                std::to_string(table->size());
+    }
+    return {Status::ok, text};
+  }
+  if (cmd == "route") {
+    if (tok.size() == 4 && tok[1] == "add") {
+      pkt::IfIndex iface;
+      if (!parse_iface(tok[3], iface)) return usage("route add <prefix> <iface>");
+      return {lib_.add_route(tok[2], iface), ""};
+    }
+    return usage("route add <prefix> <iface>");
+  }
+  return {Status::invalid_argument, "unknown command: " + cmd};
+}
+
+PluginManager::Result PluginManager::run_script(std::string_view script,
+                                                bool keep_going) {
+  Result last;
+  std::size_t pos = 0;
+  while (pos <= script.size()) {
+    std::size_t nl = script.find('\n', pos);
+    std::string_view line = script.substr(
+        pos, nl == std::string_view::npos ? nl : nl - pos);
+    if (!line.empty()) {
+      Result r = exec(line);
+      if (!r.ok()) {
+        if (!keep_going) {
+          r.text = "at \"" + std::string(line) + "\": " + r.text;
+          return r;
+        }
+      }
+      last = std::move(r);
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return last;
+}
+
+}  // namespace rp::mgmt

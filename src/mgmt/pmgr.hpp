@@ -1,0 +1,49 @@
+// pmgr — the Plugin Manager (Section 3.1): "a simple application which
+// takes arguments from the command line and translates them into calls to
+// the user-space Router Plugin Library".
+//
+// Commands (one per exec() call; a '#' line is a comment):
+//   modload <module>                    load a plugin module
+//   modunload <module>                  unload it (quiesces data path refs)
+//   lsmod                               list loadable/loaded modules
+//   create <plugin> [k=v ...]           create an instance -> prints its id
+//   free <plugin> <id>                  free an instance
+//   bind <plugin> <id> <filter spec>    bind instance to a flow filter
+//   unbind <plugin> <id> <filter spec>  remove the binding
+//   msg <plugin> <id|-> <name> [k=v...] plugin-specific message
+//   attach <plugin> <id> <iface>        make a scheduler the port discipline
+//   route add <prefix> <iface>          add a route
+//   aiu                                 classifier/flow-cache statistics
+//   For k=v values containing spaces (e.g. filter=<a, b, ...>) use commas
+//   instead of spaces inside the value.
+//
+// `run_script` executes a newline-separated configuration script, the way
+// the paper configures the router at boot.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "mgmt/rplib.hpp"
+
+namespace rp::mgmt {
+
+class PluginManager {
+ public:
+  struct Result {
+    Status status{Status::ok};
+    std::string text;
+    bool ok() const noexcept { return status == Status::ok; }
+  };
+
+  explicit PluginManager(RouterPluginLib& lib) : lib_(lib) {}
+
+  Result exec(std::string_view command);
+  // Executes line by line; stops at the first failure unless keep_going.
+  Result run_script(std::string_view script, bool keep_going = false);
+
+ private:
+  RouterPluginLib& lib_;
+};
+
+}  // namespace rp::mgmt

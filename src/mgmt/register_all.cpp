@@ -1,0 +1,23 @@
+#include "mgmt/register_all.hpp"
+
+#include "ipopt/ipopt_plugins.hpp"
+#include "ipsec/ipsec_plugins.hpp"
+#include "mgmt/firewall_plugin.hpp"
+#include "route/route_plugin.hpp"
+#include "sched/register.hpp"
+#include "stats/stats_plugin.hpp"
+#include "stats/tcpmon_plugin.hpp"
+
+namespace rp::mgmt {
+
+void register_builtin_modules() {
+  sched::register_sched_plugins();
+  ipsec::register_ipsec_plugins();
+  ipopt::register_ipopt_plugins();
+  stats::register_stats_plugins();
+  stats::register_tcpmon_plugin();
+  route::register_route_plugins();
+  register_firewall_plugins();
+}
+
+}  // namespace rp::mgmt

@@ -1,0 +1,10 @@
+// One-call registration of every built-in plugin module with the loader
+// registry — the equivalent of installing all the .o modules where modload
+// can find them. Idempotent.
+#pragma once
+
+namespace rp::mgmt {
+
+void register_builtin_modules();
+
+}  // namespace rp::mgmt

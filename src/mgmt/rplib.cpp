@@ -1,0 +1,82 @@
+#include "mgmt/rplib.hpp"
+
+#include "core/scheduler_base.hpp"
+
+namespace rp::mgmt {
+
+Status RouterPluginLib::create_instance(const std::string& plugin,
+                                        const plugin::Config& cfg,
+                                        plugin::InstanceId& out) {
+  plugin::PluginMsg msg;
+  msg.kind = plugin::PluginMsg::Kind::create_instance;
+  msg.plugin_name = plugin;
+  msg.args = cfg;
+  auto reply = sock_.send(msg);
+  out = reply.instance;
+  return reply.status;
+}
+
+Status RouterPluginLib::free_instance(const std::string& plugin,
+                                      plugin::InstanceId id) {
+  plugin::PluginMsg msg;
+  msg.kind = plugin::PluginMsg::Kind::free_instance;
+  msg.plugin_name = plugin;
+  msg.instance = id;
+  return sock_.send(msg).status;
+}
+
+Status RouterPluginLib::bind(const std::string& plugin, plugin::InstanceId id,
+                             const std::string& filter_spec) {
+  plugin::PluginMsg msg;
+  msg.kind = plugin::PluginMsg::Kind::register_instance;
+  msg.plugin_name = plugin;
+  msg.instance = id;
+  msg.filter_spec = filter_spec;
+  return sock_.send(msg).status;
+}
+
+Status RouterPluginLib::unbind(const std::string& plugin,
+                               plugin::InstanceId id,
+                               const std::string& filter_spec) {
+  plugin::PluginMsg msg;
+  msg.kind = plugin::PluginMsg::Kind::deregister_instance;
+  msg.plugin_name = plugin;
+  msg.instance = id;
+  msg.filter_spec = filter_spec;
+  return sock_.send(msg).status;
+}
+
+plugin::PluginReply RouterPluginLib::message(const std::string& plugin,
+                                             plugin::InstanceId id,
+                                             const std::string& name,
+                                             plugin::Config args) {
+  plugin::PluginMsg msg;
+  msg.kind = plugin::PluginMsg::Kind::custom;
+  msg.plugin_name = plugin;
+  msg.instance = id;
+  msg.custom_name = name;
+  msg.args = std::move(args);
+  return sock_.send(msg);
+}
+
+Status RouterPluginLib::attach_scheduler(const std::string& plugin,
+                                         plugin::InstanceId id,
+                                         pkt::IfIndex iface) {
+  plugin::PluginInstance* inst = kernel_.pcu().find_instance(plugin, id);
+  if (!inst) return Status::not_found;
+  auto* sched = dynamic_cast<core::OutputScheduler*>(inst);
+  if (!sched) return Status::invalid_argument;
+  if (!kernel_.interfaces().by_index(iface)) return Status::not_found;
+  kernel_.core().set_port_scheduler(iface, sched);
+  return Status::ok;
+}
+
+Status RouterPluginLib::add_route(const std::string& prefix,
+                                  pkt::IfIndex iface) {
+  auto p = netbase::IpPrefix::parse(prefix);
+  if (!p) return Status::invalid_argument;
+  if (!kernel_.interfaces().by_index(iface)) return Status::not_found;
+  return kernel_.routes().add(*p, route::NextHop{iface, {}});
+}
+
+}  // namespace rp::mgmt

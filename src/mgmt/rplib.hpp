@@ -1,0 +1,76 @@
+// Router Plugin Library (Section 3.1): the user-space library that the
+// Plugin Manager and the daemons (SSP, RSVP, routed) link against. In the
+// paper it speaks to the kernel over a dedicated plugin socket; here the
+// PluginSocket is an in-process message channel with the same message set
+// and synchronous replies.
+#pragma once
+
+#include <string>
+
+#include "core/router.hpp"
+#include "plugin/message.hpp"
+
+namespace rp::mgmt {
+
+using netbase::Status;
+
+// The "plugin socket": carries PluginMsg requests into the kernel's PCU and
+// returns the reply, preserving the paper's control-path shape (user space
+// -> socket -> PCU -> plugin callback).
+class PluginSocket {
+ public:
+  explicit PluginSocket(plugin::PluginControlUnit& pcu) : pcu_(pcu) {}
+
+  plugin::PluginReply send(const plugin::PluginMsg& msg) {
+    ++messages_sent_;
+    return pcu_.dispatch(msg);
+  }
+
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+
+ private:
+  plugin::PluginControlUnit& pcu_;
+  std::uint64_t messages_sent_{0};
+};
+
+class RouterPluginLib {
+ public:
+  explicit RouterPluginLib(core::RouterKernel& kernel)
+      : kernel_(kernel), sock_(kernel.pcu()) {}
+
+  core::RouterKernel& kernel() noexcept { return kernel_; }
+  PluginSocket& socket() noexcept { return sock_; }
+
+  // -- module lifecycle (modload / modunload) --
+  Status modload(const std::string& module) {
+    return kernel_.loader().load(module);
+  }
+  Status modunload(const std::string& module) {
+    return kernel_.loader().unload(module);
+  }
+
+  // -- standardized plugin messages --
+  Status create_instance(const std::string& plugin, const plugin::Config& cfg,
+                         plugin::InstanceId& out);
+  Status free_instance(const std::string& plugin, plugin::InstanceId id);
+  Status bind(const std::string& plugin, plugin::InstanceId id,
+              const std::string& filter_spec);
+  Status unbind(const std::string& plugin, plugin::InstanceId id,
+                const std::string& filter_spec);
+  plugin::PluginReply message(const std::string& plugin,
+                              plugin::InstanceId id, const std::string& name,
+                              plugin::Config args = {});
+
+  // -- kernel plumbing the paper's configuration scripts do --
+
+  // Makes a scheduler instance the discipline of an output port.
+  Status attach_scheduler(const std::string& plugin, plugin::InstanceId id,
+                          pkt::IfIndex iface);
+  Status add_route(const std::string& prefix, pkt::IfIndex iface);
+
+ private:
+  core::RouterKernel& kernel_;
+  PluginSocket sock_;
+};
+
+}  // namespace rp::mgmt

@@ -1,0 +1,116 @@
+#include "mgmt/rsvp.hpp"
+
+namespace rp::mgmt {
+
+aiu::Filter RsvpDaemon::filter_for(const RsvpSession& s,
+                                   const RsvpSender& snd) {
+  aiu::Filter f;
+  f.src = netbase::IpPrefix(snd.src, snd.src.width());
+  f.dst = netbase::IpPrefix(s.dst, s.dst.width());
+  f.proto = aiu::ProtoSpec::exact(s.proto);
+  f.sport = snd.sport ? aiu::PortSpec::exact(snd.sport) : aiu::PortSpec::any();
+  f.dport = aiu::PortSpec::exact(s.dport);
+  return f;
+}
+
+Status RsvpDaemon::path(const RsvpSession& s, const RsvpSender& snd,
+                        const TSpec& tspec, netbase::SimTime now) {
+  if (tspec.rate_bps == 0) return Status::invalid_argument;
+  auto& st = paths_[{s, snd}];
+  st.tspec = tspec;
+  st.expires = now + lifetime();
+  return Status::ok;
+}
+
+Status RsvpDaemon::install(const Key& k, ResvState& st) {
+  plugin::Config args;
+  auto f = filter_for(k.first, k.second);
+  args.set("filter", f.to_string());
+  args.set("weight", std::to_string(st.weight));
+  auto reply =
+      lib_.message(cfg_.sched_plugin, cfg_.sched_instance, "setweight", args);
+  if (reply.status != Status::ok) return reply.status;
+  return lib_.bind(cfg_.sched_plugin, cfg_.sched_instance, f.to_string());
+}
+
+void RsvpDaemon::uninstall(const Key& k) {
+  auto spec = filter_for(k.first, k.second).to_string();
+  lib_.unbind(cfg_.sched_plugin, cfg_.sched_instance, spec);
+  // Return the flow to the best-effort weight (the "dynamically
+  // recalculated for reserved flows" bookkeeping of §6.1, in reverse).
+  plugin::Config args;
+  args.set("filter", spec);
+  args.set("weight", "1");
+  lib_.message(cfg_.sched_plugin, cfg_.sched_instance, "setweight", args);
+}
+
+Status RsvpDaemon::resv(const RsvpSession& s, const RsvpSender& snd,
+                        std::uint64_t rate_bps, netbase::SimTime now) {
+  Key k{s, snd};
+  auto pit = paths_.find(k);
+  if (pit == paths_.end()) return Status::not_found;  // no PATH state
+  // Admission: a receiver cannot reserve more than the sender's TSpec.
+  if (rate_bps == 0 || rate_bps > pit->second.tspec.rate_bps)
+    return Status::resource_limit;
+
+  auto [it, inserted] = resvs_.try_emplace(k);
+  ResvState& st = it->second;
+  const bool rate_changed = st.rate_bps != rate_bps;
+  st.rate_bps = rate_bps;
+  st.expires = now + lifetime();
+  if (inserted || rate_changed) {
+    st.weight = static_cast<std::uint32_t>(
+        (rate_bps + cfg_.weight_unit_bps - 1) / cfg_.weight_unit_bps);
+    if (st.weight == 0) st.weight = 1;
+    Status rc = install(k, st);
+    if (rc != Status::ok) {
+      resvs_.erase(it);
+      return rc;
+    }
+  }
+  return Status::ok;
+}
+
+Status RsvpDaemon::path_tear(const RsvpSession& s, const RsvpSender& snd) {
+  Key k{s, snd};
+  if (paths_.erase(k) == 0) return Status::not_found;
+  // PATHTEAR also kills dependent reservations (RFC 2205 §3.1.5).
+  if (resvs_.erase(k)) uninstall(k);
+  return Status::ok;
+}
+
+Status RsvpDaemon::resv_tear(const RsvpSession& s, const RsvpSender& snd) {
+  Key k{s, snd};
+  if (resvs_.erase(k) == 0) return Status::not_found;
+  uninstall(k);
+  return Status::ok;
+}
+
+std::size_t RsvpDaemon::tick(netbase::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = resvs_.begin(); it != resvs_.end();) {
+    if (it->second.expires <= now) {
+      uninstall(it->first);
+      it = resvs_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = paths_.begin(); it != paths_.end();) {
+    if (it->second.expires <= now) {
+      // Expiring path state orphans any surviving reservation.
+      if (resvs_.erase(it->first)) {
+        uninstall(it->first);
+        ++removed;
+      }
+      it = paths_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace rp::mgmt

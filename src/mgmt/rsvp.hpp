@@ -1,0 +1,123 @@
+// RSVP daemon (RFC 2205 subset) — the paper's system shipped SSP and was
+// "currently in the process of porting an RSVP implementation"; this is
+// that daemon, scoped to the pieces that interact with the router plugins:
+//
+//  * PATH state per (session, sender): sender template <src, sport> and
+//    TSpec (rate/burst), installed by periodic PATH messages;
+//  * RESV state with fixed-filter (FF) style per-sender reservations,
+//    installed by RESV messages — each reservation becomes a filter bound
+//    to the packet-scheduling plugin plus a DRR weight, exactly the kernel
+//    state SSP programs;
+//  * soft state: every state block carries a lifetime (K * refresh period);
+//    `tick(now)` expires stale state and removes the kernel bindings, so a
+//    dead receiver's reservation evaporates without explicit teardown;
+//  * PATHTEAR / RESVTEAR for explicit teardown.
+//
+// The daemon drives the kernel exclusively through the Router Plugin
+// Library, as in Figure 2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "aiu/filter.hpp"
+#include "mgmt/rplib.hpp"
+#include "netbase/clock.hpp"
+
+namespace rp::mgmt {
+
+struct RsvpSession {
+  netbase::IpAddr dst{};
+  std::uint8_t proto{static_cast<std::uint8_t>(pkt::IpProto::udp)};
+  std::uint16_t dport{0};
+
+  friend bool operator<(const RsvpSession& a, const RsvpSession& b) {
+    if (!(a.dst.v == b.dst.v)) return a.dst.v < b.dst.v;
+    if (a.proto != b.proto) return a.proto < b.proto;
+    return a.dport < b.dport;
+  }
+};
+
+struct RsvpSender {
+  netbase::IpAddr src{};
+  std::uint16_t sport{0};
+
+  friend bool operator<(const RsvpSender& a, const RsvpSender& b) {
+    if (!(a.src.v == b.src.v)) return a.src.v < b.src.v;
+    return a.sport < b.sport;
+  }
+};
+
+struct TSpec {
+  std::uint64_t rate_bps{0};
+  std::uint32_t burst_bytes{0};
+};
+
+class RsvpDaemon {
+ public:
+  struct Config {
+    std::string sched_plugin{"drr"};
+    plugin::InstanceId sched_instance{1};
+    std::uint64_t weight_unit_bps{1'000'000};
+    netbase::SimTime refresh_period{30 * netbase::kNsPerSec};  // RFC default
+    int lifetime_refreshes{3};  // K: state survives K missed refreshes
+  };
+
+  RsvpDaemon(RouterPluginLib& lib, Config cfg)
+      : lib_(lib), cfg_(std::move(cfg)) {}
+
+  // -- message handling (what the wire protocol engine would call) --
+
+  // PATH: sender announcement; creates/refreshes path state.
+  Status path(const RsvpSession& s, const RsvpSender& snd, const TSpec& tspec,
+              netbase::SimTime now);
+  // RESV (FF style): receiver reserves `rate_bps` for one sender. Requires
+  // matching path state. Creates/refreshes resv state and installs/updates
+  // the kernel filter + weight.
+  Status resv(const RsvpSession& s, const RsvpSender& snd,
+              std::uint64_t rate_bps, netbase::SimTime now);
+  Status path_tear(const RsvpSession& s, const RsvpSender& snd);
+  Status resv_tear(const RsvpSession& s, const RsvpSender& snd);
+
+  // Soft-state maintenance: expires path/resv state whose cleanup timer
+  // (lifetime_refreshes * refresh_period) has lapsed; removes kernel state
+  // for expired reservations. Returns the number of state blocks removed.
+  std::size_t tick(netbase::SimTime now);
+
+  // -- introspection --
+  std::size_t path_count() const noexcept { return paths_.size(); }
+  std::size_t resv_count() const noexcept { return resvs_.size(); }
+  bool has_resv(const RsvpSession& s, const RsvpSender& snd) const {
+    return resvs_.contains({s, snd});
+  }
+
+  // The six-tuple filter an FF reservation installs.
+  static aiu::Filter filter_for(const RsvpSession& s, const RsvpSender& snd);
+
+ private:
+  using Key = std::pair<RsvpSession, RsvpSender>;
+
+  struct PathState {
+    TSpec tspec{};
+    netbase::SimTime expires{0};
+  };
+  struct ResvState {
+    std::uint64_t rate_bps{0};
+    std::uint32_t weight{0};
+    netbase::SimTime expires{0};
+  };
+
+  netbase::SimTime lifetime() const {
+    return cfg_.lifetime_refreshes * cfg_.refresh_period;
+  }
+  Status install(const Key& k, ResvState& st);
+  void uninstall(const Key& k);
+
+  RouterPluginLib& lib_;
+  Config cfg_;
+  std::map<Key, PathState> paths_;
+  std::map<Key, ResvState> resvs_;
+};
+
+}  // namespace rp::mgmt

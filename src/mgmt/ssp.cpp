@@ -1,0 +1,63 @@
+#include "mgmt/ssp.hpp"
+
+#include "aiu/filter.hpp"
+
+namespace rp::mgmt {
+
+Status SspDaemon::path(std::uint32_t session, const std::string& filter_spec) {
+  if (!aiu::Filter::parse(filter_spec)) return Status::invalid_argument;
+  auto [it, inserted] = sessions_.try_emplace(session);
+  if (!inserted && it->second.reserved) return Status::already_exists;
+  it->second.filter_spec = filter_spec;
+  return Status::ok;
+}
+
+Status SspDaemon::resv(std::uint32_t session, std::uint64_t rate_bps) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::not_found;  // no PATH state
+  Session& s = it->second;
+
+  // Weight proportional to the requested rate, at least 1.
+  std::uint32_t weight = static_cast<std::uint32_t>(
+      (rate_bps + weight_unit_bps_ - 1) / weight_unit_bps_);
+  if (weight == 0) weight = 1;
+
+  // Spaces inside k=v message values are not representable on the pmgr
+  // command path, so normalize the spec (Filter round-trips without spaces).
+  auto f = aiu::Filter::parse(s.filter_spec);
+  if (!f) return Status::invalid_argument;
+
+  plugin::Config args;
+  args.set("filter", f->to_string());
+  args.set("weight", std::to_string(weight));
+  auto reply = lib_.message(sched_plugin_, sched_instance_, "setweight", args);
+  if (reply.status != Status::ok) return reply.status;
+
+  if (Status st = lib_.bind(sched_plugin_, sched_instance_, s.filter_spec);
+      st != Status::ok)
+    return st;
+
+  s.rate_bps = rate_bps;
+  s.weight = weight;
+  s.reserved = true;
+  return Status::ok;
+}
+
+Status SspDaemon::teardown(std::uint32_t session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::not_found;
+  if (it->second.reserved) {
+    lib_.unbind(sched_plugin_, sched_instance_, it->second.filter_spec);
+    // Return the flow to the best-effort weight.
+    if (auto f = aiu::Filter::parse(it->second.filter_spec)) {
+      plugin::Config args;
+      args.set("filter", f->to_string());
+      args.set("weight", "1");
+      lib_.message(sched_plugin_, sched_instance_, "setweight", args);
+    }
+  }
+  sessions_.erase(it);
+  return Status::ok;
+}
+
+}  // namespace rp::mgmt

@@ -1,0 +1,62 @@
+// SSP daemon (Section 3.1) — the State Setup Protocol, "a simplified
+// version of RSVP" the paper's system ships with. It manages reservation
+// state: a sender announces a session (PATH), a receiver requests a
+// reservation (RESV), and the daemon translates the reservation into
+// kernel state through the Router Plugin Library — a filter bound to the
+// DRR scheduler instance plus a queue weight proportional to the requested
+// rate. Teardown removes the binding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mgmt/rplib.hpp"
+
+namespace rp::mgmt {
+
+class SspDaemon {
+ public:
+  // `sched_plugin`/`sched_instance` identify the scheduler that enforces
+  // reservations (a weighted DRR instance in the paper's demo setup).
+  // `weight_unit_bps` is the bandwidth represented by weight 1.
+  SspDaemon(RouterPluginLib& lib, std::string sched_plugin,
+            plugin::InstanceId sched_instance,
+            std::uint64_t weight_unit_bps = 1'000'000)
+      : lib_(lib),
+        sched_plugin_(std::move(sched_plugin)),
+        sched_instance_(sched_instance),
+        weight_unit_bps_(weight_unit_bps) {}
+
+  // PATH: announce a session's flow (no kernel state yet).
+  Status path(std::uint32_t session, const std::string& filter_spec);
+
+  // RESV: reserve `rate_bps` for the session — installs the filter binding
+  // and sets the DRR weight.
+  Status resv(std::uint32_t session, std::uint64_t rate_bps);
+
+  // Remove all kernel state for the session.
+  Status teardown(std::uint32_t session);
+
+  struct Session {
+    std::string filter_spec;
+    std::uint64_t rate_bps{0};
+    std::uint32_t weight{0};
+    bool reserved{false};
+  };
+
+  const Session* session(std::uint32_t id) const {
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : &it->second;
+  }
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+
+ private:
+  RouterPluginLib& lib_;
+  std::string sched_plugin_;
+  plugin::InstanceId sched_instance_;
+  std::uint64_t weight_unit_bps_;
+  std::map<std::uint32_t, Session> sessions_;
+};
+
+}  // namespace rp::mgmt

@@ -1,0 +1,42 @@
+// Big-endian (network order) load/store helpers.
+//
+// All wire formats in this library are defined in network byte order; these
+// helpers are the single place where host byte order is dealt with.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace rp::netbase {
+
+constexpr std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+constexpr std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+constexpr std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+
+constexpr void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+constexpr void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+constexpr void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+}  // namespace rp::netbase

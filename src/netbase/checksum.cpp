@@ -1,0 +1,32 @@
+#include "netbase/checksum.hpp"
+
+namespace rp::netbase {
+
+std::uint16_t checksum_partial(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t initial) noexcept {
+  std::uint32_t sum = initial;
+  while (len >= 2) {
+    sum += (std::uint32_t{data[0]} << 8) | data[1];
+    data += 2;
+    len -= 2;
+  }
+  if (len) sum += std::uint32_t{data[0]} << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t checksum(const std::uint8_t* data, std::size_t len) noexcept {
+  return static_cast<std::uint16_t>(~checksum_partial(data, len));
+}
+
+std::uint16_t checksum_update16(std::uint16_t old_cksum, std::uint16_t old_word,
+                                std::uint16_t new_word) noexcept {
+  // HC' = ~(~HC + ~m + m')   (RFC 1624)
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_cksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace rp::netbase

@@ -1,0 +1,23 @@
+// RFC 1071 Internet checksum, plus RFC 1624 incremental update — the IP core
+// uses the incremental form when it decrements TTL so the per-packet cost
+// stays constant, exactly as a BSD kernel does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rp::netbase {
+
+// One's-complement sum of `len` bytes folded to 16 bits (not inverted).
+std::uint16_t checksum_partial(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t initial = 0) noexcept;
+
+// Final Internet checksum (inverted fold) over a buffer.
+std::uint16_t checksum(const std::uint8_t* data, std::size_t len) noexcept;
+
+// RFC 1624 eqn. 3: recompute `old_cksum` after a 16-bit field changed from
+// `old_word` to `new_word`.
+std::uint16_t checksum_update16(std::uint16_t old_cksum, std::uint16_t old_word,
+                                std::uint16_t new_word) noexcept;
+
+}  // namespace rp::netbase

@@ -1,0 +1,31 @@
+// Simulated clock. The router kernel, link models, and schedulers run on
+// virtual time so experiments are deterministic and independent of host
+// machine load; benches that measure real CPU cost use std::chrono directly.
+#pragma once
+
+#include <cstdint>
+
+namespace rp::netbase {
+
+// Nanoseconds of virtual time.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNsPerUs = 1000;
+constexpr SimTime kNsPerMs = 1000 * 1000;
+constexpr SimTime kNsPerSec = 1000 * 1000 * 1000;
+
+class SimClock {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  void advance(SimTime delta) noexcept { now_ += delta; }
+  void advance_to(SimTime t) noexcept {
+    if (t > now_) now_ = t;
+  }
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  SimTime now_{0};
+};
+
+}  // namespace rp::netbase

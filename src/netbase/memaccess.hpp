@@ -1,0 +1,35 @@
+// Memory-access accounting.
+//
+// Table 2 of the paper characterizes the DAG classifier by the worst-case
+// number of memory accesses per filter lookup. We reproduce that metric
+// directly: the classifier and the BMP engines call `count()` at every
+// pointer dereference / hash-bucket probe that would be a dependent memory
+// access in the kernel implementation. Counting is a plain increment on a
+// global counter; benches snapshot it around lookups.
+#pragma once
+
+#include <cstdint>
+
+namespace rp::netbase {
+
+class MemAccess {
+ public:
+  static void count(std::uint64_t n = 1) noexcept { total_ += n; }
+  static std::uint64_t total() noexcept { return total_; }
+  static void reset() noexcept { total_ = 0; }
+
+ private:
+  static inline std::uint64_t total_{0};
+};
+
+// Snapshot helper: accesses since construction.
+class MemAccessScope {
+ public:
+  MemAccessScope() : start_(MemAccess::total()) {}
+  std::uint64_t elapsed() const noexcept { return MemAccess::total() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace rp::netbase

@@ -1,0 +1,36 @@
+// Lightweight status codes for data-path and control-path results.
+// The data path never throws; functions return Status (or values + Status).
+#pragma once
+
+#include <string_view>
+
+namespace rp::netbase {
+
+enum class Status : int {
+  ok = 0,
+  error,            // generic failure
+  not_found,        // lookup miss / unknown name
+  already_exists,   // duplicate registration
+  invalid_argument, // malformed input / bad config
+  out_of_range,     // index/length violation
+  resource_limit,   // table full, queue full
+  unsupported,      // feature not provided by this plugin
+};
+
+constexpr bool ok(Status s) noexcept { return s == Status::ok; }
+
+constexpr std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::ok: return "ok";
+    case Status::error: return "error";
+    case Status::not_found: return "not_found";
+    case Status::already_exists: return "already_exists";
+    case Status::invalid_argument: return "invalid_argument";
+    case Status::out_of_range: return "out_of_range";
+    case Status::resource_limit: return "resource_limit";
+    case Status::unsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+}  // namespace rp::netbase

@@ -1,0 +1,63 @@
+// Minimal 128-bit unsigned integer used to hold IPv6 addresses as a single
+// comparable/shiftable key, so the LPM engines can be written once and
+// instantiated for both 32-bit (IPv4) and 128-bit (IPv6) keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace rp::netbase {
+
+struct U128 {
+  std::uint64_t hi{0};
+  std::uint64_t lo{0};
+
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t h, std::uint64_t l) : hi(h), lo(l) {}
+  constexpr explicit U128(std::uint64_t l) : hi(0), lo(l) {}
+
+  friend constexpr bool operator==(const U128&, const U128&) = default;
+  friend constexpr auto operator<=>(const U128& a, const U128& b) {
+    if (auto c = a.hi <=> b.hi; c != 0) return c;
+    return a.lo <=> b.lo;
+  }
+
+  friend constexpr U128 operator&(const U128& a, const U128& b) {
+    return {a.hi & b.hi, a.lo & b.lo};
+  }
+  friend constexpr U128 operator|(const U128& a, const U128& b) {
+    return {a.hi | b.hi, a.lo | b.lo};
+  }
+  friend constexpr U128 operator^(const U128& a, const U128& b) {
+    return {a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+  friend constexpr U128 operator~(const U128& a) { return {~a.hi, ~a.lo}; }
+
+  friend constexpr U128 operator<<(const U128& a, unsigned n) {
+    if (n == 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {a.lo << (n - 64), 0};
+    return {(a.hi << n) | (a.lo >> (64 - n)), a.lo << n};
+  }
+  friend constexpr U128 operator>>(const U128& a, unsigned n) {
+    if (n == 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {0, a.hi >> (n - 64)};
+    return {a.hi >> n, (a.lo >> n) | (a.hi << (64 - n))};
+  }
+
+  // Mask keeping the top `len` bits (len in [0,128]).
+  static constexpr U128 prefix_mask(unsigned len) {
+    if (len == 0) return {};
+    if (len >= 128) return {~0ULL, ~0ULL};
+    if (len <= 64) return {~0ULL << (64 - len), 0};
+    return {~0ULL, ~0ULL << (128 - len)};
+  }
+
+  // Most-significant bit first: bit(0) is the top bit.
+  constexpr bool bit(unsigned i) const {
+    return i < 64 ? ((hi >> (63 - i)) & 1) != 0 : ((lo >> (127 - i)) & 1) != 0;
+  }
+};
+
+}  // namespace rp::netbase

@@ -1,0 +1,3 @@
+// netdev is header-only; this TU anchors the static library.
+#include "netdev/iftable.hpp"
+#include "netdev/nic.hpp"

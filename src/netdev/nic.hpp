@@ -1,0 +1,123 @@
+// Simulated network interface.
+//
+// Stands in for the ATM device driver of the paper's testbed. The receive
+// ring timestamps packets on arrival (the paper instruments the driver with
+// a cycle-counter timestamp right after DMA completes); the transmit side
+// models link serialization so schedulers see a real bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "netbase/clock.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::netdev {
+
+struct NicCounters {
+  std::uint64_t rx_packets{0};
+  std::uint64_t rx_bytes{0};
+  std::uint64_t rx_drops{0};  // receive ring overflow
+  std::uint64_t tx_packets{0};
+  std::uint64_t tx_bytes{0};
+};
+
+class SimNic {
+ public:
+  // A sink receives every transmitted packet together with the virtual time
+  // at which its last bit leaves the wire.
+  using TxSink = std::function<void(pkt::PacketPtr, netbase::SimTime)>;
+
+  SimNic(std::string name, pkt::IfIndex index,
+         std::uint64_t bandwidth_bps = 155'000'000,  // OC-3, like the paper
+         netbase::SimTime propagation_delay = 0,
+         std::size_t rx_ring_size = 1024,
+         std::size_t mtu = 9180)  // ATM AAL5, the paper's testbed MTU
+      : name_(std::move(name)),
+        index_(index),
+        bandwidth_bps_(bandwidth_bps),
+        prop_delay_(propagation_delay),
+        rx_ring_size_(rx_ring_size),
+        mtu_(mtu) {}
+
+  const std::string& name() const noexcept { return name_; }
+  pkt::IfIndex index() const noexcept { return index_; }
+  std::uint64_t bandwidth_bps() const noexcept { return bandwidth_bps_; }
+  std::size_t mtu() const noexcept { return mtu_; }
+  void set_mtu(std::size_t mtu) noexcept { mtu_ = mtu; }
+  const NicCounters& counters() const noexcept { return counters_; }
+
+  // ---- receive side (wire -> router) ----
+
+  // Delivers a packet from the wire into the receive ring; drops on
+  // overflow. `now` becomes the packet's arrival timestamp and the packet's
+  // in_iface is stamped with this NIC's index.
+  void deliver(pkt::PacketPtr p, netbase::SimTime now) {
+    if (rx_ring_.size() >= rx_ring_size_) {
+      ++counters_.rx_drops;
+      return;
+    }
+    p->arrival = now;
+    p->in_iface = index_;
+    counters_.rx_packets++;
+    counters_.rx_bytes += p->size();
+    rx_ring_.push_back(std::move(p));
+  }
+
+  bool rx_pending() const noexcept { return !rx_ring_.empty(); }
+  std::size_t rx_depth() const noexcept { return rx_ring_.size(); }
+
+  pkt::PacketPtr rx_pop() {
+    if (rx_ring_.empty()) return nullptr;
+    auto p = std::move(rx_ring_.front());
+    rx_ring_.pop_front();
+    return p;
+  }
+
+  // ---- transmit side (router -> wire) ----
+
+  void set_tx_sink(TxSink sink) { tx_sink_ = std::move(sink); }
+
+  // True if the transmitter can start a new packet at time `now`.
+  bool tx_idle(netbase::SimTime now) const noexcept {
+    return now >= tx_busy_until_;
+  }
+  netbase::SimTime tx_busy_until() const noexcept { return tx_busy_until_; }
+
+  // Serialization time of a packet on this link.
+  netbase::SimTime tx_duration(std::size_t bytes) const noexcept {
+    return static_cast<netbase::SimTime>(bytes) * 8 * netbase::kNsPerSec /
+           static_cast<netbase::SimTime>(bandwidth_bps_);
+  }
+
+  // Starts transmitting at max(now, busy_until); returns the completion
+  // time. The packet reaches the sink at completion + propagation delay.
+  netbase::SimTime transmit(pkt::PacketPtr p, netbase::SimTime now) {
+    netbase::SimTime start = now > tx_busy_until_ ? now : tx_busy_until_;
+    netbase::SimTime done = start + tx_duration(p->size());
+    tx_busy_until_ = done;
+    counters_.tx_packets++;
+    counters_.tx_bytes += p->size();
+    if (tx_sink_) tx_sink_(std::move(p), done + prop_delay_);
+    return done;
+  }
+
+  void reset_counters() noexcept { counters_ = {}; }
+
+ private:
+  std::string name_;
+  pkt::IfIndex index_;
+  std::uint64_t bandwidth_bps_;
+  netbase::SimTime prop_delay_;
+  std::size_t rx_ring_size_;
+  std::size_t mtu_;
+
+  std::deque<pkt::PacketPtr> rx_ring_;
+  netbase::SimTime tx_busy_until_{0};
+  TxSink tx_sink_;
+  NicCounters counters_;
+};
+
+}  // namespace rp::netdev

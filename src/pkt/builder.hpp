@@ -1,0 +1,59 @@
+// Packet construction and header extraction helpers.
+//
+// Builders produce fully-formed, checksum-correct packets; they are used by
+// the traffic generators, examples, and tests. `extract_flow_key` is the
+// core's single header parse that fills the packet's six-tuple (Section 3.2:
+// flow table entries are identified by the same six-tuple as filters).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pkt/headers.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::pkt {
+
+struct UdpSpec {
+  netbase::IpAddr src{};
+  netbase::IpAddr dst{};
+  std::uint16_t sport{0};
+  std::uint16_t dport{0};
+  std::size_t payload_len{0};
+  std::uint8_t ttl{64};           // hop limit for v6
+  std::uint8_t tos{0};            // traffic class for v6
+  std::uint32_t flow_label{0};    // IPv6 only (20 bits)
+  std::uint8_t payload_fill{0};
+};
+
+struct TcpSpec {
+  netbase::IpAddr src{};
+  netbase::IpAddr dst{};
+  std::uint16_t sport{0};
+  std::uint16_t dport{0};
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  std::uint8_t flags{0x10};  // ACK
+  std::size_t payload_len{0};
+  std::uint8_t ttl{64};
+};
+
+// Builds an IPv4 or IPv6 UDP/TCP packet depending on the address family of
+// spec.src (families must match).
+PacketPtr build_udp(const UdpSpec& spec);
+PacketPtr build_tcp(const TcpSpec& spec);
+
+// Builds an IPv6 UDP packet with a hop-by-hop options extension header whose
+// option area is given by `options` (padded to 8-byte alignment).
+PacketPtr build_udp6_hopopts(const UdpSpec& spec,
+                             std::span<const std::uint8_t> options);
+
+// Parses L3 (+v6 extension headers) and L4 to fill p.key / p.ip_version /
+// p.l4_offset. Returns false on malformed packets. Idempotent.
+bool extract_flow_key(Packet& p) noexcept;
+
+// Transport checksum over the IPv4/IPv6 pseudo header; used by builders and
+// verified by tests.
+std::uint16_t l4_checksum(const Packet& p) noexcept;
+
+}  // namespace rp::pkt

@@ -1,0 +1,14 @@
+#include "pkt/flow_key.hpp"
+
+namespace rp::pkt {
+
+std::string FlowKey::to_string() const {
+  std::string out = "<" + src.to_string() + ", " + dst.to_string() + ", " +
+                    std::to_string(proto) + ", " + std::to_string(sport) +
+                    ", " + std::to_string(dport) + ", if" +
+                    std::to_string(in_iface);
+  if (flow_label) out += ", fl=" + std::to_string(flow_label);
+  return out + ">";
+}
+
+}  // namespace rp::pkt

@@ -1,0 +1,68 @@
+// The six-tuple that identifies a flow:
+//   <source address, destination address, protocol,
+//    source port, destination port, incoming interface>
+//
+// This is the paper's flow/filter key (Section 3). FlowKey always holds
+// fully-specified values; wildcards and prefixes live in aiu::Filter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netbase/ip.hpp"
+
+namespace rp::pkt {
+
+using IfIndex = std::uint16_t;
+constexpr IfIndex kAnyIface = 0xffff;
+
+enum class IpProto : std::uint8_t {
+  hopopt = 0,
+  icmp = 1,
+  tcp = 6,
+  udp = 17,
+  ipv6_route = 43,
+  ipv6_frag = 44,
+  esp = 50,
+  ah = 51,
+  icmpv6 = 58,
+  ipv6_none = 59,
+  ipv6_dstopts = 60,
+};
+
+struct FlowKey {
+  netbase::IpAddr src{};
+  netbase::IpAddr dst{};
+  std::uint8_t proto{0};
+  std::uint16_t sport{0};
+  std::uint16_t dport{0};
+  IfIndex in_iface{0};
+  // IPv6 flow label (0 when absent/IPv4). Table 3 of the paper measured
+  // with the "IPv6 flow label NOT used"; carrying it in the key lets two
+  // label-distinct streams between the same endpoints be distinct flows,
+  // the intended IPv6 fast path.
+  std::uint32_t flow_label{0};
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  // Fast flow hash. The paper reports a 17-cycle hash on a Pentium over the
+  // 5-tuple; we use the same spirit — a handful of multiplies and xors over
+  // the tuple words, cheap relative to a memory access.
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = src.v.hi ^ (src.v.lo * 0x9e3779b97f4a7c15ULL);
+    h ^= dst.v.hi * 0xc2b2ae3d27d4eb4fULL;
+    h ^= dst.v.lo + 0x165667b19e3779f9ULL + (h << 6) + (h >> 2);
+    std::uint64_t ports = (std::uint64_t{sport} << 32) |
+                          (std::uint64_t{dport} << 16) | proto;
+    h ^= ports * 0xff51afd7ed558ccdULL;
+    if (flow_label) h ^= (std::uint64_t{flow_label} << 20) * 0x9e3779b1ULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 29;
+    return h;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace rp::pkt

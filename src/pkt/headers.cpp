@@ -1,0 +1,160 @@
+#include "pkt/headers.hpp"
+
+#include "netbase/byteorder.hpp"
+#include "netbase/checksum.hpp"
+
+namespace rp::pkt {
+
+using netbase::load_be16;
+using netbase::load_be32;
+using netbase::store_be16;
+using netbase::store_be32;
+
+bool Ipv4Header::parse(std::span<const std::uint8_t> b) noexcept {
+  if (b.size() < kMinSize) return false;
+  if ((b[0] >> 4) != 4) return false;
+  ihl = b[0] & 0x0f;
+  if (ihl < 5 || header_len() > b.size()) return false;
+  tos = b[1];
+  total_len = load_be16(&b[2]);
+  id = load_be16(&b[4]);
+  std::uint16_t ff = load_be16(&b[6]);
+  flags = static_cast<std::uint8_t>(ff >> 13);
+  frag_off = ff & 0x1fff;
+  ttl = b[8];
+  proto = b[9];
+  checksum = load_be16(&b[10]);
+  src = netbase::Ipv4Addr(load_be32(&b[12]));
+  dst = netbase::Ipv4Addr(load_be32(&b[16]));
+  return true;
+}
+
+void Ipv4Header::write(std::uint8_t* out) const noexcept {
+  out[0] = static_cast<std::uint8_t>((4 << 4) | (ihl & 0x0f));
+  out[1] = tos;
+  store_be16(&out[2], total_len);
+  store_be16(&out[4], id);
+  store_be16(&out[6], static_cast<std::uint16_t>((flags << 13) | (frag_off & 0x1fff)));
+  out[8] = ttl;
+  out[9] = proto;
+  store_be16(&out[10], checksum);
+  store_be32(&out[12], src.v);
+  store_be32(&out[16], dst.v);
+  // Options (if ihl > 5) are the caller's responsibility.
+}
+
+void Ipv4Header::finalize_checksum(std::uint8_t* hdr, std::size_t hdr_len) noexcept {
+  store_be16(&hdr[10], 0);
+  store_be16(&hdr[10], netbase::checksum(hdr, hdr_len));
+}
+
+bool Ipv4Header::verify_checksum(std::span<const std::uint8_t> hdr) noexcept {
+  return netbase::checksum_partial(hdr.data(), hdr.size()) == 0xffff;
+}
+
+bool Ipv6Header::parse(std::span<const std::uint8_t> b) noexcept {
+  if (b.size() < kSize) return false;
+  if ((b[0] >> 4) != 6) return false;
+  std::uint32_t vtf = load_be32(&b[0]);
+  traffic_class = static_cast<std::uint8_t>((vtf >> 20) & 0xff);
+  flow_label = vtf & 0xfffff;
+  payload_len = load_be16(&b[4]);
+  next_header = b[6];
+  hop_limit = b[7];
+  src = netbase::Ipv6Addr::from_bytes(&b[8]);
+  dst = netbase::Ipv6Addr::from_bytes(&b[24]);
+  return true;
+}
+
+void Ipv6Header::write(std::uint8_t* out) const noexcept {
+  store_be32(&out[0], (std::uint32_t{6} << 28) |
+                          (std::uint32_t{traffic_class} << 20) |
+                          (flow_label & 0xfffff));
+  store_be16(&out[4], payload_len);
+  out[6] = next_header;
+  out[7] = hop_limit;
+  src.to_bytes(&out[8]);
+  dst.to_bytes(&out[24]);
+}
+
+bool UdpHeader::parse(std::span<const std::uint8_t> b) noexcept {
+  if (b.size() < kSize) return false;
+  sport = load_be16(&b[0]);
+  dport = load_be16(&b[2]);
+  length = load_be16(&b[4]);
+  checksum = load_be16(&b[6]);
+  return true;
+}
+
+void UdpHeader::write(std::uint8_t* out) const noexcept {
+  store_be16(&out[0], sport);
+  store_be16(&out[2], dport);
+  store_be16(&out[4], length);
+  store_be16(&out[6], checksum);
+}
+
+bool TcpHeader::parse(std::span<const std::uint8_t> b) noexcept {
+  if (b.size() < kMinSize) return false;
+  sport = load_be16(&b[0]);
+  dport = load_be16(&b[2]);
+  seq = load_be32(&b[4]);
+  ack = load_be32(&b[8]);
+  data_off = b[12] >> 4;
+  if (data_off < 5 || header_len() > b.size()) return false;
+  flags = b[13];
+  window = load_be16(&b[14]);
+  checksum = load_be16(&b[16]);
+  urgent = load_be16(&b[18]);
+  return true;
+}
+
+void TcpHeader::write(std::uint8_t* out) const noexcept {
+  store_be16(&out[0], sport);
+  store_be16(&out[2], dport);
+  store_be32(&out[4], seq);
+  store_be32(&out[8], ack);
+  out[12] = static_cast<std::uint8_t>(data_off << 4);
+  out[13] = flags;
+  store_be16(&out[14], window);
+  store_be16(&out[16], checksum);
+  store_be16(&out[18], urgent);
+}
+
+bool IcmpHeader::parse(std::span<const std::uint8_t> b) noexcept {
+  if (b.size() < kSize) return false;
+  type = b[0];
+  code = b[1];
+  checksum = load_be16(&b[2]);
+  rest = load_be32(&b[4]);
+  return true;
+}
+
+void IcmpHeader::write(std::uint8_t* out) const noexcept {
+  out[0] = type;
+  out[1] = code;
+  store_be16(&out[2], checksum);
+  store_be32(&out[4], rest);
+}
+
+std::optional<std::uint8_t> skip_ipv6_ext_headers(
+    std::span<const std::uint8_t> b, std::uint8_t first_nh,
+    std::size_t& l4_offset) noexcept {
+  std::uint8_t nh = first_nh;
+  std::size_t off = 0;
+  // Bounded walk: at most 8 chained extension headers (defensive limit).
+  for (int depth = 0; depth < 8; ++depth) {
+    if (!is_ipv6_ext_header(nh)) {
+      l4_offset = off;
+      return nh;
+    }
+    if (off + 2 > b.size()) return std::nullopt;
+    std::uint8_t next = b[off];
+    std::size_t len = (std::size_t{b[off + 1]} + 1) * 8;
+    if (off + len > b.size()) return std::nullopt;
+    nh = next;
+    off += len;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rp::pkt

@@ -1,0 +1,123 @@
+// Wire-format header codecs for IPv4, IPv6 (+ extension headers), UDP, TCP
+// and ICMP. Parsing never throws; each `parse` returns false on truncated
+// or malformed input and leaves the output unspecified.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "netbase/ip.hpp"
+#include "pkt/flow_key.hpp"
+
+namespace rp::pkt {
+
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t ihl{5};  // in 32-bit words
+  std::uint8_t tos{0};
+  std::uint16_t total_len{0};
+  std::uint16_t id{0};
+  std::uint8_t flags{0};        // 3 bits
+  std::uint16_t frag_off{0};    // 13 bits, in 8-byte units
+  std::uint8_t ttl{64};
+  std::uint8_t proto{0};
+  std::uint16_t checksum{0};
+  netbase::Ipv4Addr src{};
+  netbase::Ipv4Addr dst{};
+
+  std::size_t header_len() const noexcept { return std::size_t{ihl} * 4; }
+
+  bool parse(std::span<const std::uint8_t> b) noexcept;
+  // Writes header_len() bytes; checksum field is written as-is (callers use
+  // finalize_checksum to compute it in place).
+  void write(std::uint8_t* out) const noexcept;
+  // Recomputes and patches the checksum of an already-written header.
+  static void finalize_checksum(std::uint8_t* hdr, std::size_t hdr_len) noexcept;
+  static bool verify_checksum(std::span<const std::uint8_t> hdr) noexcept;
+};
+
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint8_t traffic_class{0};
+  std::uint32_t flow_label{0};  // 20 bits
+  std::uint16_t payload_len{0};
+  std::uint8_t next_header{0};
+  std::uint8_t hop_limit{64};
+  netbase::Ipv6Addr src{};
+  netbase::Ipv6Addr dst{};
+
+  bool parse(std::span<const std::uint8_t> b) noexcept;
+  void write(std::uint8_t* out) const noexcept;
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t sport{0};
+  std::uint16_t dport{0};
+  std::uint16_t length{0};
+  std::uint16_t checksum{0};
+
+  bool parse(std::span<const std::uint8_t> b) noexcept;
+  void write(std::uint8_t* out) const noexcept;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t sport{0};
+  std::uint16_t dport{0};
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  std::uint8_t data_off{5};  // in 32-bit words
+  std::uint8_t flags{0};
+  std::uint16_t window{0};
+  std::uint16_t checksum{0};
+  std::uint16_t urgent{0};
+
+  std::size_t header_len() const noexcept { return std::size_t{data_off} * 4; }
+
+  bool parse(std::span<const std::uint8_t> b) noexcept;
+  void write(std::uint8_t* out) const noexcept;
+};
+
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint8_t type{0};
+  std::uint8_t code{0};
+  std::uint16_t checksum{0};
+  std::uint32_t rest{0};
+
+  bool parse(std::span<const std::uint8_t> b) noexcept;
+  void write(std::uint8_t* out) const noexcept;
+};
+
+// A generic IPv6 extension header (hop-by-hop / destination options /
+// routing): <next header, hdr ext len (8-byte units minus 1), data...>.
+struct Ipv6ExtHeader {
+  std::uint8_t next_header{0};
+  std::uint8_t hdr_ext_len{0};  // (length/8) - 1
+  std::size_t byte_len() const noexcept {
+    return (std::size_t{hdr_ext_len} + 1) * 8;
+  }
+};
+
+// Walks IPv6 extension headers starting at `b` (which begins with the header
+// of type `first_nh`), stopping at the first non-extension header. On
+// success returns the final (transport) next-header value and sets
+// `l4_offset` to its offset within `b`.
+std::optional<std::uint8_t> skip_ipv6_ext_headers(
+    std::span<const std::uint8_t> b, std::uint8_t first_nh,
+    std::size_t& l4_offset) noexcept;
+
+inline bool is_ipv6_ext_header(std::uint8_t nh) noexcept {
+  return nh == static_cast<std::uint8_t>(IpProto::hopopt) ||
+         nh == static_cast<std::uint8_t>(IpProto::ipv6_route) ||
+         nh == static_cast<std::uint8_t>(IpProto::ipv6_dstopts);
+}
+
+}  // namespace rp::pkt

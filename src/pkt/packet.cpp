@@ -1,0 +1,19 @@
+#include "pkt/packet.hpp"
+
+namespace rp::pkt {
+
+PacketPtr clone_packet(const Packet& p) {
+  auto c = make_packet(p.size(), p.headroom());
+  std::memcpy(c->data(), p.data(), p.size());
+  c->arrival = p.arrival;
+  c->in_iface = p.in_iface;
+  c->out_iface = p.out_iface;
+  c->fix = p.fix;
+  c->key = p.key;
+  c->key_valid = p.key_valid;
+  c->ip_version = p.ip_version;
+  c->l4_offset = p.l4_offset;
+  return c;
+}
+
+}  // namespace rp::pkt

@@ -1,0 +1,116 @@
+// Packet — the user-space equivalent of the BSD mbuf chain the paper's
+// kernel implementation manipulates.
+//
+// A Packet owns one contiguous buffer with reserved headroom so plugins
+// (e.g. ESP) can prepend headers without copying, mirroring how mbufs allow
+// M_PREPEND. The metadata block plays the role of the mbuf packet header
+// plus the paper's additions: most importantly the **flow index (FIX)** —
+// the pointer into the AIU flow table that lets every gate after the first
+// reach its plugin instance with a single indirect call (Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "netbase/clock.hpp"
+#include "pkt/flow_key.hpp"
+
+namespace rp::pkt {
+
+// Index of a flow-table row; carried in the packet like the FIX in the mbuf.
+using FlowIndex = std::int32_t;
+constexpr FlowIndex kNoFlow = -1;
+
+class Packet {
+ public:
+  static constexpr std::size_t kDefaultHeadroom = 128;
+
+  Packet() : Packet(0) {}
+  explicit Packet(std::size_t len, std::size_t headroom = kDefaultHeadroom)
+      : buf_(headroom + len), head_(headroom), len_(len) {}
+
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+
+  std::uint8_t* data() noexcept { return buf_.data() + head_; }
+  const std::uint8_t* data() const noexcept { return buf_.data() + head_; }
+  std::size_t size() const noexcept { return len_; }
+  std::span<std::uint8_t> bytes() noexcept { return {data(), len_}; }
+  std::span<const std::uint8_t> bytes() const noexcept { return {data(), len_}; }
+
+  std::size_t headroom() const noexcept { return head_; }
+  std::size_t tailroom() const noexcept { return buf_.size() - head_ - len_; }
+
+  // Grow the packet at the front (M_PREPEND). Returns pointer to the new
+  // first byte. Reallocates only if headroom is exhausted.
+  std::uint8_t* prepend(std::size_t n) {
+    if (n > head_) {
+      std::size_t grow = n - head_ + kDefaultHeadroom;
+      buf_.insert(buf_.begin(), grow, 0);
+      head_ += grow;
+    }
+    head_ -= n;
+    len_ += n;
+    return data();
+  }
+
+  // Drop n bytes from the front (m_adj positive).
+  void pull(std::size_t n) noexcept {
+    if (n > len_) n = len_;
+    head_ += n;
+    len_ -= n;
+  }
+
+  // Grow the packet at the tail; returns pointer to the appended region.
+  std::uint8_t* append(std::size_t n) {
+    if (n > tailroom()) buf_.resize(head_ + len_ + n);
+    std::uint8_t* p = data() + len_;
+    len_ += n;
+    return p;
+  }
+
+  // Drop n bytes from the tail (m_adj negative).
+  void trim(std::size_t n) noexcept {
+    if (n > len_) n = len_;
+    len_ -= n;
+  }
+
+  // ---- metadata (mbuf pkthdr equivalent) ----
+  netbase::SimTime arrival{0};  // timestamped at driver receive
+  IfIndex in_iface{0};
+  IfIndex out_iface{kAnyIface};
+
+  // Flow index: row in the AIU flow table, set by the first gate's
+  // classification; kNoFlow until then (Section 3.2 "Associating the packet
+  // with a flow index").
+  FlowIndex fix{kNoFlow};
+
+  // Parsed six-tuple; filled once by the core's header parse.
+  FlowKey key{};
+  bool key_valid{false};
+
+  netbase::IpVersion ip_version{netbase::IpVersion::v4};
+  std::uint16_t l4_offset{0};  // offset of the transport header
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_;
+  std::size_t len_;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+inline PacketPtr make_packet(std::size_t len,
+                             std::size_t headroom = Packet::kDefaultHeadroom) {
+  return std::make_unique<Packet>(len, headroom);
+}
+
+// Deep copy (used by tests and by plugins that need to duplicate traffic).
+PacketPtr clone_packet(const Packet& p);
+
+}  // namespace rp::pkt

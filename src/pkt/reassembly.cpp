@@ -1,0 +1,86 @@
+#include "pkt/reassembly.hpp"
+
+#include <cstring>
+
+#include "netbase/byteorder.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+
+namespace rp::pkt {
+
+bool Ipv4Reassembler::Partial::complete() const {
+  if (total_len == 0 || header.empty()) return false;
+  const std::size_t blocks = (total_len + 7) / 8;
+  if (have.size() < blocks) return false;
+  for (std::size_t i = 0; i < blocks; ++i)
+    if (!have[i]) return false;
+  return true;
+}
+
+PacketPtr Ipv4Reassembler::feed(PacketPtr p, netbase::SimTime now) {
+  Ipv4Header h;
+  if (!p || !h.parse(p->bytes())) {
+    ++malformed_;
+    return nullptr;
+  }
+  const bool mf = (h.flags & 0x1) != 0;
+  if (h.frag_off == 0 && !mf) return p;  // not fragmented
+
+  const std::size_t hlen = h.header_len();
+  const std::size_t frag_len = p->size() - hlen;
+  const std::size_t off = std::size_t{h.frag_off} * 8;
+  if (frag_len == 0 || (mf && frag_len % 8 != 0) ||
+      off + frag_len > 65535) {
+    ++malformed_;
+    return nullptr;
+  }
+
+  Key k{netbase::IpAddr(h.src).key(), netbase::IpAddr(h.dst).key(), h.proto,
+        h.id};
+  Partial& part = partials_[k];
+  if (part.first_seen == 0) part.first_seen = now;
+
+  if (part.payload.size() < off + frag_len) part.payload.resize(off + frag_len);
+  std::memcpy(part.payload.data() + off, p->data() + hlen, frag_len);
+  const std::size_t first_block = off / 8;
+  const std::size_t blocks = (frag_len + 7) / 8;
+  if (part.have.size() < first_block + blocks)
+    part.have.resize(first_block + blocks);
+  for (std::size_t i = 0; i < blocks; ++i) part.have[first_block + i] = true;
+
+  if (!mf) part.total_len = off + frag_len;
+  if (h.frag_off == 0)
+    part.header.assign(p->data(), p->data() + hlen);
+
+  if (!part.complete()) return nullptr;
+
+  // Rebuild the datagram: original header (offset-0 fragment's), cleared
+  // fragment fields, recomputed checksum.
+  auto out = make_packet(part.header.size() + part.total_len);
+  std::memcpy(out->data(), part.header.data(), part.header.size());
+  std::memcpy(out->data() + part.header.size(), part.payload.data(),
+              part.total_len);
+  netbase::store_be16(out->data() + 2,
+                      static_cast<std::uint16_t>(out->size()));
+  netbase::store_be16(out->data() + 6, 0);  // no flags, offset 0
+  Ipv4Header::finalize_checksum(out->data(), part.header.size());
+  partials_.erase(k);
+  ++completed_;
+  extract_flow_key(*out);
+  return out;
+}
+
+std::size_t Ipv4Reassembler::expire(netbase::SimTime now) {
+  std::size_t n = 0;
+  for (auto it = partials_.begin(); it != partials_.end();) {
+    if (now - it->second.first_seen >= timeout_) {
+      it = partials_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  return n;
+}
+
+}  // namespace rp::pkt

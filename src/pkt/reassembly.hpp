@@ -1,0 +1,63 @@
+// IPv4 datagram reassembly (RFC 791 §3.2 example algorithm) — the end-host
+// counterpart of the core's output fragmentation; used by tests and
+// examples that terminate traffic behind a small-MTU path.
+//
+// Fragments are keyed by <src, dst, proto, id>; holes are tracked with a
+// block bitmap in 8-byte units. Incomplete datagrams are discarded after
+// `timeout` of (virtual) time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netbase/clock.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::pkt {
+
+class Ipv4Reassembler {
+ public:
+  explicit Ipv4Reassembler(netbase::SimTime timeout = 30 * netbase::kNsPerSec)
+      : timeout_(timeout) {}
+
+  // Feeds one packet. Unfragmented packets come straight back. If the
+  // packet completes a datagram, the reassembled datagram is returned;
+  // otherwise nullptr. Malformed fragments are counted and dropped.
+  PacketPtr feed(PacketPtr p, netbase::SimTime now);
+
+  // Discards partial datagrams older than the timeout; returns how many.
+  std::size_t expire(netbase::SimTime now);
+
+  std::size_t pending() const noexcept { return partials_.size(); }
+  std::uint64_t completed() const noexcept { return completed_; }
+  std::uint64_t malformed() const noexcept { return malformed_; }
+
+ private:
+  struct Key {
+    netbase::U128 src, dst;
+    std::uint8_t proto;
+    std::uint16_t id;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (!(a.src == b.src)) return a.src < b.src;
+      if (!(a.dst == b.dst)) return a.dst < b.dst;
+      if (a.proto != b.proto) return a.proto < b.proto;
+      return a.id < b.id;
+    }
+  };
+  struct Partial {
+    std::vector<std::uint8_t> payload;   // grows as fragments land
+    std::vector<bool> have;              // per 8-byte block
+    std::size_t total_len{0};            // 0 until the last fragment arrives
+    std::vector<std::uint8_t> header;    // from the offset-0 fragment
+    netbase::SimTime first_seen{0};
+    bool complete() const;
+  };
+
+  netbase::SimTime timeout_;
+  std::map<Key, Partial> partials_;
+  std::uint64_t completed_{0};
+  std::uint64_t malformed_{0};
+};
+
+}  // namespace rp::pkt

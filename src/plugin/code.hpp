@@ -1,0 +1,57 @@
+// Plugin identification (Section 4).
+//
+// Each plugin is identified by a 32-bit code: the upper 16 bits give the
+// plugin *type* — which corresponds one-to-one with a gate in the IP core —
+// and the lower 16 bits distinguish implementations of that type.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rp::plugin {
+
+enum class PluginType : std::uint16_t {
+  none = 0,
+  ipopt = 1,      // IPv6 option processing gate
+  ipsec = 2,      // IP security gate
+  sched = 3,      // packet scheduling gate (output side)
+  bmp = 4,        // best-matching-prefix engines used by classifier/routing
+  routing = 5,    // routing-as-classification (L4 switching, future work §8)
+  stats = 6,      // statistics gathering (network management use case)
+  congestion = 7, // congestion control, e.g. RED
+  firewall = 8,   // firewall / ALG policy
+};
+
+constexpr std::string_view to_string(PluginType t) noexcept {
+  switch (t) {
+    case PluginType::none: return "none";
+    case PluginType::ipopt: return "ipopt";
+    case PluginType::ipsec: return "ipsec";
+    case PluginType::sched: return "sched";
+    case PluginType::bmp: return "bmp";
+    case PluginType::routing: return "routing";
+    case PluginType::stats: return "stats";
+    case PluginType::congestion: return "congestion";
+    case PluginType::firewall: return "firewall";
+  }
+  return "unknown";
+}
+
+struct PluginCode {
+  std::uint32_t raw{0};
+
+  constexpr PluginCode() = default;
+  constexpr PluginCode(PluginType type, std::uint16_t impl)
+      : raw((std::uint32_t{static_cast<std::uint16_t>(type)} << 16) | impl) {}
+
+  constexpr PluginType type() const noexcept {
+    return static_cast<PluginType>(raw >> 16);
+  }
+  constexpr std::uint16_t impl() const noexcept {
+    return static_cast<std::uint16_t>(raw & 0xffff);
+  }
+
+  friend constexpr bool operator==(PluginCode, PluginCode) = default;
+};
+
+}  // namespace rp::plugin

@@ -1,0 +1,41 @@
+#include "plugin/loader.hpp"
+
+namespace rp::plugin {
+
+std::map<std::string, PluginLoader::Factory>& PluginLoader::registry() {
+  static std::map<std::string, Factory> modules;
+  return modules;
+}
+
+void PluginLoader::register_module(const std::string& name, Factory f) {
+  registry()[name] = std::move(f);
+}
+
+std::vector<std::string> PluginLoader::available_modules() {
+  std::vector<std::string> out;
+  for (auto& [n, f] : registry()) out.push_back(n);
+  return out;
+}
+
+Status PluginLoader::load(const std::string& name) {
+  if (loaded_.contains(name)) return Status::already_exists;
+  auto it = registry().find(name);
+  if (it == registry().end()) return Status::not_found;
+  auto plugin = it->second();
+  if (!plugin) return Status::error;
+  // The module name is the plugin name; the PCU routes messages on it.
+  if (plugin->name() != name) return Status::invalid_argument;
+  if (Status s = pcu_.register_plugin(std::move(plugin)); s != Status::ok)
+    return s;
+  loaded_.insert(name);
+  return Status::ok;
+}
+
+Status PluginLoader::unload(const std::string& name) {
+  if (!loaded_.contains(name)) return Status::not_found;
+  if (Status s = pcu_.unregister_plugin(name); s != Status::ok) return s;
+  loaded_.erase(name);
+  return Status::ok;
+}
+
+}  // namespace rp::plugin

@@ -1,0 +1,62 @@
+// PluginLoader — the user-space stand-in for NetBSD's `modload`.
+//
+// The paper loads plugins as kernel modules at run time; here, plugin
+// implementations register a named factory with the global module registry
+// (at static-init time, like an LKM's entry point being linked in), and
+// `load` instantiates one into a PCU — at which point it registers its
+// callback with the PCU exactly as the paper describes. `unload` quiesces
+// and removes it. The lifecycle — load, create instances, bind to flows,
+// all while traffic transits — is the paper's headline capability.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "plugin/pcu.hpp"
+
+namespace rp::plugin {
+
+class PluginLoader {
+ public:
+  using Factory = std::function<std::unique_ptr<Plugin>()>;
+
+  explicit PluginLoader(PluginControlUnit& pcu) : pcu_(pcu) {}
+
+  // The global module registry ("the modules on disk").
+  static void register_module(const std::string& name, Factory f);
+  static std::vector<std::string> available_modules();
+
+  // modload: instantiate the named module and register it with the PCU.
+  Status load(const std::string& name);
+  // modunload: purge all instances and unregister.
+  Status unload(const std::string& name);
+
+  bool loaded(const std::string& name) const { return loaded_.contains(name); }
+  std::vector<std::string> loaded_modules() const {
+    return {loaded_.begin(), loaded_.end()};
+  }
+
+ private:
+  static std::map<std::string, Factory>& registry();
+
+  PluginControlUnit& pcu_;
+  std::set<std::string> loaded_;
+};
+
+}  // namespace rp::plugin
+
+// Static-registration helper: place
+//   RP_REGISTER_PLUGIN(drr, [] { return std::make_unique<DrrPlugin>(); });
+// in the plugin's translation unit.
+#define RP_REGISTER_PLUGIN(name, factory)                                \
+  namespace {                                                            \
+  const bool rp_registered_##name = [] {                                 \
+    ::rp::plugin::PluginLoader::register_module(#name, factory);         \
+    return true;                                                         \
+  }();                                                                   \
+  }  // namespace
+

@@ -1,0 +1,94 @@
+// Control-path messages (Section 4).
+//
+// All control communication with plugins goes through the PCU as messages.
+// The standardized set — create_instance / free_instance / register_instance
+// / deregister_instance — is what guarantees interoperability; anything else
+// is a plugin-specific message identified by name.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/status.hpp"
+
+namespace rp::plugin {
+
+using InstanceId = std::uint32_t;
+constexpr InstanceId kNoInstance = 0;
+
+// Key-value configuration arguments, e.g. {"iface","1"},{"weight","10"}.
+class Config {
+ public:
+  Config() = default;
+  Config(std::initializer_list<std::pair<const std::string, std::string>> init)
+      : kv_(init) {}
+
+  void set(std::string key, std::string value) {
+    kv_[std::move(key)] = std::move(value);
+  }
+
+  std::optional<std::string_view> get(std::string_view key) const {
+    auto it = kv_.find(std::string(key));
+    if (it == kv_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::optional<std::int64_t> get_int(std::string_view key) const {
+    auto v = get(key);
+    if (!v) return std::nullopt;
+    std::int64_t out = 0;
+    auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+    if (ec != std::errc{} || p != v->data() + v->size()) return std::nullopt;
+    return out;
+  }
+
+  std::int64_t get_int_or(std::string_view key, std::int64_t dflt) const {
+    auto v = get_int(key);
+    return v ? *v : dflt;
+  }
+
+  std::string get_or(std::string_view key, std::string_view dflt) const {
+    auto v = get(key);
+    return std::string(v ? *v : dflt);
+  }
+
+  bool contains(std::string_view key) const {
+    return kv_.contains(std::string(key));
+  }
+
+  auto begin() const { return kv_.begin(); }
+  auto end() const { return kv_.end(); }
+  std::size_t size() const { return kv_.size(); }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+struct PluginMsg {
+  enum class Kind {
+    create_instance,
+    free_instance,
+    register_instance,    // bind instance to a filter at its gate
+    deregister_instance,  // remove one filter binding
+    custom,               // plugin-specific message
+  };
+
+  Kind kind{Kind::custom};
+  std::string plugin_name;   // target plugin (PCU routes on this)
+  InstanceId instance{kNoInstance};
+  std::string filter_spec;   // register/deregister: textual six-tuple filter
+  std::string custom_name;   // custom message discriminator
+  Config args;
+};
+
+struct PluginReply {
+  netbase::Status status{netbase::Status::ok};
+  InstanceId instance{kNoInstance};  // create_instance result
+  std::string text;                  // human-readable detail / query results
+};
+
+}  // namespace rp::plugin

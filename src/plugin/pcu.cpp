@@ -1,0 +1,131 @@
+#include "plugin/pcu.hpp"
+
+namespace rp::plugin {
+
+Status PluginControlUnit::register_plugin(std::unique_ptr<Plugin> p) {
+  std::lock_guard lock(mu_);
+  if (!p) return Status::invalid_argument;
+  if (plugins_.contains(p->name())) return Status::already_exists;
+  auto type_raw = static_cast<std::uint16_t>(p->type());
+  p->code_ = PluginCode(p->type(), ++next_impl_[type_raw]);
+  plugins_[p->name()] = std::move(p);
+  return Status::ok;
+}
+
+Status PluginControlUnit::unregister_plugin(const std::string& name) {
+  std::unique_ptr<Plugin> victim;
+  {
+    std::lock_guard lock(mu_);
+    auto it = plugins_.find(name);
+    if (it == plugins_.end()) return Status::not_found;
+    victim = std::move(it->second);
+    plugins_.erase(it);
+  }
+  // Drop every dangling data-path reference before the code goes away —
+  // the kernel equivalent of quiescing before module unload.
+  for (auto& [id, inst] : *victim) run_purge_hooks(inst.get());
+  return Status::ok;
+}
+
+Plugin* PluginControlUnit::find(const std::string& name) noexcept {
+  std::lock_guard lock(mu_);
+  auto it = plugins_.find(name);
+  return it == plugins_.end() ? nullptr : it->second.get();
+}
+
+Plugin* PluginControlUnit::find(PluginCode code) noexcept {
+  std::lock_guard lock(mu_);
+  for (auto& [n, p] : plugins_)
+    if (p->code() == code) return p.get();
+  return nullptr;
+}
+
+PluginInstance* PluginControlUnit::find_instance(const std::string& name,
+                                                 InstanceId id) noexcept {
+  Plugin* p = find(name);
+  return p ? p->instance(id) : nullptr;
+}
+
+std::vector<std::string> PluginControlUnit::plugin_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(plugins_.size());
+  for (auto& [n, p] : plugins_) out.push_back(n);
+  return out;
+}
+
+std::vector<std::string> PluginControlUnit::plugin_names(PluginType type) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (auto& [n, p] : plugins_)
+    if (p->type() == type) out.push_back(n);
+  return out;
+}
+
+PluginReply PluginControlUnit::dispatch(const PluginMsg& msg) {
+  PluginReply reply;
+  Plugin* p = find(msg.plugin_name);
+  if (!p) {
+    reply.status = Status::not_found;
+    reply.text = "no such plugin: " + msg.plugin_name;
+    return reply;
+  }
+
+  switch (msg.kind) {
+    case PluginMsg::Kind::create_instance:
+      reply.status = p->create_instance(msg.args, reply.instance);
+      break;
+
+    case PluginMsg::Kind::free_instance: {
+      PluginInstance* inst = p->instance(msg.instance);
+      if (!inst) {
+        reply.status = Status::not_found;
+        break;
+      }
+      run_purge_hooks(inst);
+      reply.status = p->free_instance(msg.instance);
+      break;
+    }
+
+    case PluginMsg::Kind::register_instance: {
+      PluginInstance* inst = p->instance(msg.instance);
+      if (!inst) {
+        reply.status = Status::not_found;
+        break;
+      }
+      reply.status = register_hook_ ? register_hook_(inst, msg.filter_spec)
+                                    : Status::unsupported;
+      break;
+    }
+
+    case PluginMsg::Kind::deregister_instance: {
+      PluginInstance* inst = p->instance(msg.instance);
+      if (!inst) {
+        reply.status = Status::not_found;
+        break;
+      }
+      reply.status = deregister_hook_ ? deregister_hook_(inst, msg.filter_spec)
+                                      : Status::unsupported;
+      break;
+    }
+
+    case PluginMsg::Kind::custom: {
+      // Instance-scoped custom messages go to the instance; others to the
+      // plugin itself.
+      if (msg.instance != kNoInstance) {
+        PluginInstance* inst = p->instance(msg.instance);
+        if (!inst) {
+          reply.status = Status::not_found;
+          break;
+        }
+        reply.status = inst->handle_message(msg, reply);
+      } else {
+        reply.status = p->handle_message(msg, reply);
+      }
+      break;
+    }
+  }
+  return reply;
+}
+
+}  // namespace rp::plugin

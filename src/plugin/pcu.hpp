@@ -1,0 +1,75 @@
+// Plugin Control Unit (Section 4).
+//
+// The PCU manages loaded plugins — a table per plugin type storing names and
+// dispatch entry points — and forwards control messages to them, from other
+// kernel components and from user space (Plugin Manager, daemons). It is
+// deliberately small: the paper's PCU is ~200 lines of C.
+//
+// register/deregister messages result in calls to registration functions
+// published by the AIU; the AIU installs those here as hooks so that the
+// plugin layer does not depend on the classifier.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "plugin/plugin.hpp"
+
+namespace rp::plugin {
+
+class PluginControlUnit {
+ public:
+  // Binds `inst` to the filter described by `spec` (textual six-tuple) at
+  // the instance's gate. Installed by the AIU.
+  using RegisterHook =
+      std::function<Status(PluginInstance* inst, const std::string& spec)>;
+  using DeregisterHook = RegisterHook;
+  // Purges all flow-table and filter-table references to an instance;
+  // called before free_instance and before unload.
+  using PurgeHook = std::function<void(PluginInstance* inst)>;
+
+  // -- loading-time interface (used by PluginLoader / modload equivalent) --
+
+  // Registers a loaded plugin; assigns its 32-bit plugin code.
+  Status register_plugin(std::unique_ptr<Plugin> p);
+
+  // Unregisters and destroys the plugin; purges all instances first.
+  Status unregister_plugin(const std::string& name);
+
+  // -- lookup --
+
+  Plugin* find(const std::string& name) noexcept;
+  Plugin* find(PluginCode code) noexcept;
+  PluginInstance* find_instance(const std::string& name, InstanceId id) noexcept;
+  std::vector<std::string> plugin_names() const;
+  std::vector<std::string> plugin_names(PluginType type) const;
+
+  // -- control-path dispatch --
+
+  PluginReply dispatch(const PluginMsg& msg);
+
+  void set_register_hook(RegisterHook h) { register_hook_ = std::move(h); }
+  void set_deregister_hook(DeregisterHook h) { deregister_hook_ = std::move(h); }
+  // Purge hooks chain: the AIU drops flow/filter references, the core
+  // detaches port schedulers, etc. All run before an instance is freed.
+  void add_purge_hook(PurgeHook h) { purge_hooks_.push_back(std::move(h)); }
+
+ private:
+  void run_purge_hooks(PluginInstance* inst) {
+    for (auto& h : purge_hooks_) h(inst);
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Plugin>> plugins_;
+  std::map<std::uint16_t, std::uint16_t> next_impl_;  // per-type id counter
+
+  RegisterHook register_hook_;
+  DeregisterHook deregister_hook_;
+  std::vector<PurgeHook> purge_hooks_;
+};
+
+}  // namespace rp::plugin

@@ -1,0 +1,132 @@
+// Plugin and PluginInstance base classes.
+//
+// A Plugin is a loadable code module implementing one EISR function (one
+// PluginType). A PluginInstance is a specific run-time configuration of a
+// plugin (Section 3: "An instance is a specific run-time configuration of an
+// individual plugin"); instances are what filters bind to and what gates
+// call on the data path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "netbase/status.hpp"
+#include "pkt/packet.hpp"
+#include "plugin/code.hpp"
+#include "plugin/message.hpp"
+
+namespace rp::plugin {
+
+using netbase::Status;
+
+class Plugin;
+
+// What the gate should do with the packet after the instance returns.
+enum class Verdict : std::uint8_t {
+  cont,      // continue along the IP core path
+  consumed,  // instance took ownership (e.g. scheduler queued it)
+  drop,      // discard (policy/authentication failure, RED drop, ...)
+};
+
+class PluginInstance {
+ public:
+  virtual ~PluginInstance() = default;
+
+  // The main packet processing function called at the gate (data path).
+  // `flow_soft` points at this flow's per-gate soft-state slot in the flow
+  // table (null when the packet has no flow entry); plugins may store
+  // per-flow state there — e.g. the DRR plugin keeps its per-flow queue
+  // pointer in it (Section 5.2).
+  virtual Verdict handle_packet(pkt::Packet& p, void** flow_soft) = 0;
+
+  // Called by the AIU when a flow-table entry bound to this instance is
+  // removed/recycled, so the instance can release its per-flow soft state.
+  virtual void flow_removed(void* flow_soft) { (void)flow_soft; }
+
+  // Called by the AIU when a filter bound to this instance is removed; the
+  // opaque pointer is the instance's private per-filter (hard) state.
+  virtual void filter_removed(void* filter_state) { (void)filter_state; }
+
+  // Plugin-specific per-instance message (PCU forwards unknown messages
+  // that carry an instance id here).
+  virtual Status handle_message(const PluginMsg& msg, PluginReply& reply) {
+    (void)msg;
+    (void)reply;
+    return Status::unsupported;
+  }
+
+  Plugin* owner() const noexcept { return owner_; }
+  InstanceId id() const noexcept { return id_; }
+
+ private:
+  friend class Plugin;
+  Plugin* owner_{nullptr};
+  InstanceId id_{kNoInstance};
+};
+
+class Plugin {
+ public:
+  Plugin(std::string name, PluginType type)
+      : name_(std::move(name)), type_(type) {}
+  virtual ~Plugin() = default;
+
+  Plugin(const Plugin&) = delete;
+  Plugin& operator=(const Plugin&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  PluginType type() const noexcept { return type_; }
+  PluginCode code() const noexcept { return code_; }
+
+  // -- standardized messages (Section 4) --
+
+  // create_instance: allocates instance data structures from `cfg`.
+  Status create_instance(const Config& cfg, InstanceId& out) {
+    auto inst = make_instance(cfg);
+    if (!inst) return Status::invalid_argument;
+    inst->owner_ = this;
+    inst->id_ = next_id_++;
+    out = inst->id_;
+    instances_[out] = std::move(inst);
+    return Status::ok;
+  }
+
+  // free_instance: removes all instance-specific data structures. The PCU
+  // ensures the AIU has dropped all flow/filter references first.
+  Status free_instance(InstanceId id) {
+    return instances_.erase(id) ? Status::ok : Status::not_found;
+  }
+
+  PluginInstance* instance(InstanceId id) noexcept {
+    auto it = instances_.find(id);
+    return it == instances_.end() ? nullptr : it->second.get();
+  }
+
+  std::size_t instance_count() const noexcept { return instances_.size(); }
+
+  // Plugin-specific message not tied to one instance.
+  virtual Status handle_message(const PluginMsg& msg, PluginReply& reply) {
+    (void)msg;
+    (void)reply;
+    return Status::unsupported;
+  }
+
+  // Iteration support (used by PCU teardown).
+  auto begin() { return instances_.begin(); }
+  auto end() { return instances_.end(); }
+
+ protected:
+  // Factory for a configured instance; nullptr rejects the configuration.
+  virtual std::unique_ptr<PluginInstance> make_instance(const Config& cfg) = 0;
+
+ private:
+  friend class PluginControlUnit;
+  std::string name_;
+  PluginType type_;
+  PluginCode code_{};  // assigned by the PCU at registration
+  InstanceId next_id_{1};
+  std::map<InstanceId, std::unique_ptr<PluginInstance>> instances_;
+};
+
+}  // namespace rp::plugin

@@ -1,0 +1,14 @@
+#include "route/route_plugin.hpp"
+
+namespace rp::route {
+
+// Explicit module registration: static-initializer tricks are unreliable in
+// static libraries (the linker drops unreferenced objects), so each module
+// publishes its plugins through a function the application calls — the
+// equivalent of the modules being present on disk for modload.
+void register_route_plugins() {
+  plugin::PluginLoader::register_module(
+      "l4route", [] { return std::make_unique<RoutePlugin>(); });
+}
+
+}  // namespace rp::route

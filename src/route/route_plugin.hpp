@@ -1,0 +1,60 @@
+// Routing plugin — the paper's future-work item (§8): "By unifying routing
+// and packet classification, we get QoS-based routing / Level 4 switching
+// for free."
+//
+// An instance represents a forwarding decision (output interface [+ next
+// hop]); binding instances to six-tuple filters turns the AIU classifier
+// into an L4 switch: flows matching a filter are forwarded by the bound
+// instance regardless of the destination-only routing table.
+#pragma once
+
+#include <memory>
+
+#include "plugin/loader.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::route {
+
+class RouteInstance final : public plugin::PluginInstance {
+ public:
+  explicit RouteInstance(pkt::IfIndex out_iface) : out_iface_(out_iface) {}
+
+  plugin::Verdict handle_packet(pkt::Packet& p, void** /*flow_soft*/) override {
+    p.out_iface = out_iface_;
+    ++routed_;
+    return plugin::Verdict::cont;
+  }
+
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override {
+    if (msg.custom_name == "stats") {
+      reply.text = "routed=" + std::to_string(routed_);
+      return netbase::Status::ok;
+    }
+    return netbase::Status::unsupported;
+  }
+
+  pkt::IfIndex out_iface() const noexcept { return out_iface_; }
+
+ private:
+  pkt::IfIndex out_iface_;
+  std::uint64_t routed_{0};
+};
+
+class RoutePlugin final : public plugin::Plugin {
+ public:
+  RoutePlugin() : Plugin("l4route", plugin::PluginType::routing) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override {
+    auto iface = cfg.get_int("iface");
+    if (!iface || *iface < 0 || *iface >= pkt::kAnyIface) return nullptr;
+    return std::make_unique<RouteInstance>(static_cast<pkt::IfIndex>(*iface));
+  }
+};
+
+// Registers the module with the PluginLoader registry ("puts it on disk").
+void register_route_plugins();
+
+}  // namespace rp::route

@@ -1,0 +1,37 @@
+#include "route/routing_table.hpp"
+
+namespace rp::route {
+
+using netbase::Status;
+
+RoutingTable::RoutingTable(std::string_view engine)
+    : v4_(bmp::make_lpm_engine(engine, 32)),
+      v6_(bmp::make_lpm_engine(engine, 128)) {
+  if (!v4_ || !v6_) {  // unknown engine name: fall back to the default
+    v4_ = bmp::make_lpm_engine("bsl", 32);
+    v6_ = bmp::make_lpm_engine("bsl", 128);
+  }
+}
+
+Status RoutingTable::add(const netbase::IpPrefix& prefix, NextHop hop) {
+  hops_.push_back(hop);
+  auto value = static_cast<bmp::LpmValue>(hops_.size() - 1);
+  return engine_for(prefix.addr.ver)
+      .insert(prefix.addr.key(), prefix.len, value);
+}
+
+Status RoutingTable::remove(const netbase::IpPrefix& prefix) {
+  return engine_for(prefix.addr.ver).remove(prefix.addr.key(), prefix.len);
+}
+
+const NextHop* RoutingTable::lookup(const netbase::IpAddr& dst) const {
+  bmp::LpmMatch m;
+  if (!engine_for(dst.ver).lookup(dst.key(), m)) return nullptr;
+  return &hops_[m.value];
+}
+
+std::size_t RoutingTable::size() const noexcept {
+  return v4_->size() + v6_->size();
+}
+
+}  // namespace rp::route

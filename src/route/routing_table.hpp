@@ -1,0 +1,48 @@
+// Routing table built on a pluggable BMP engine.
+//
+// In the paper's core, the route lookup is one of the per-packet costs the
+// gates sit alongside; routing-as-classification (L4 switching) is the
+// future-work item covered by route::RoutePlugin instead. This table is the
+// classic destination-prefix lookup: prefix -> (output interface, gateway).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "bmp/lpm.hpp"
+#include "netbase/ip.hpp"
+#include "pkt/flow_key.hpp"
+
+namespace rp::route {
+
+struct NextHop {
+  pkt::IfIndex out_iface{pkt::kAnyIface};
+  netbase::IpAddr gateway{};  // unused when directly connected
+  bool valid() const noexcept { return out_iface != pkt::kAnyIface; }
+};
+
+class RoutingTable {
+ public:
+  // `engine` selects the BMP plugin: "patricia" | "bsl" | "cpe".
+  explicit RoutingTable(std::string_view engine = "bsl");
+
+  netbase::Status add(const netbase::IpPrefix& prefix, NextHop hop);
+  netbase::Status remove(const netbase::IpPrefix& prefix);
+
+  // Longest-prefix-match route lookup.
+  const NextHop* lookup(const netbase::IpAddr& dst) const;
+
+  std::size_t size() const noexcept;
+
+ private:
+  bmp::LpmEngine& engine_for(netbase::IpVersion v) const {
+    return v == netbase::IpVersion::v4 ? *v4_ : *v6_;
+  }
+
+  std::unique_ptr<bmp::LpmEngine> v4_;
+  std::unique_ptr<bmp::LpmEngine> v6_;
+  std::vector<NextHop> hops_;
+};
+
+}  // namespace rp::route

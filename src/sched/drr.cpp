@@ -1,0 +1,139 @@
+#include "sched/drr.hpp"
+
+#include <algorithm>
+
+namespace rp::sched {
+
+using netbase::Status;
+
+DrrInstance::~DrrInstance() {
+  // Clear flow-table soft slots that still point at our queues.
+  for (auto& q : queues_)
+    if (q->soft_slot) *q->soft_slot = nullptr;
+}
+
+std::uint32_t DrrInstance::weight_for(const pkt::FlowKey& key) const {
+  for (const auto& [filter, w] : weight_rules_)
+    if (filter.matches(key)) return w;
+  return cfg_.default_weight;
+}
+
+DrrInstance::FlowQueue* DrrInstance::queue_for(const pkt::Packet& p,
+                                               void** flow_soft) {
+  if (flow_soft && *flow_soft) return static_cast<FlowQueue*>(*flow_soft);
+  if (!flow_soft) {
+    if (auto it = fallback_.find(p.key); it != fallback_.end())
+      return it->second;
+  }
+  auto q = std::make_unique<FlowQueue>();
+  q->weight = weight_for(p.key);
+  q->soft_slot = flow_soft;
+  FlowQueue* raw = q.get();
+  queues_.push_back(std::move(q));
+  if (flow_soft)
+    *flow_soft = raw;  // per-flow soft state in the flow record (§5.2)
+  else
+    fallback_[p.key] = raw;  // self-classified per-flow queue
+  return raw;
+}
+
+bool DrrInstance::enqueue(pkt::PacketPtr p, void** flow_soft,
+                          netbase::SimTime /*now*/) {
+  FlowQueue* q = queue_for(*p, flow_soft);
+  if (q->pkts.size() >= cfg_.per_flow_limit) {
+    ++drops_;
+    return false;
+  }
+  backlog_bytes_ += p->size();
+  ++backlog_pkts_;
+  q->pkts.push_back(std::move(p));
+  if (!q->active) {
+    q->active = true;
+    q->fresh_visit = true;
+    active_.push_back(q);
+  }
+  return true;
+}
+
+pkt::PacketPtr DrrInstance::dequeue(netbase::SimTime /*now*/) {
+  while (!active_.empty()) {
+    FlowQueue* q = active_.front();
+    if (q->fresh_visit) {
+      q->deficit += static_cast<std::int64_t>(cfg_.quantum) * q->weight;
+      q->fresh_visit = false;
+    }
+    if (!q->pkts.empty() &&
+        static_cast<std::int64_t>(q->pkts.front()->size()) <= q->deficit) {
+      auto p = std::move(q->pkts.front());
+      q->pkts.pop_front();
+      q->deficit -= static_cast<std::int64_t>(p->size());
+      backlog_bytes_ -= p->size();
+      --backlog_pkts_;
+      if (q->pkts.empty()) {
+        // Shreedhar/Varghese: an emptied queue forfeits its deficit.
+        q->deficit = 0;
+        q->active = false;
+        q->fresh_visit = true;
+        active_.pop_front();
+        if (q->orphaned) destroy(q);
+      }
+      return p;
+    }
+    // Deficit exhausted: move to the back of the round.
+    q->fresh_visit = true;
+    active_.pop_front();
+    active_.push_back(q);
+  }
+  return nullptr;
+}
+
+void DrrInstance::flow_removed(void* flow_soft) {
+  auto* q = static_cast<FlowQueue*>(flow_soft);
+  if (!q) return;
+  q->soft_slot = nullptr;
+  if (q->pkts.empty() && !q->active) {
+    destroy(q);
+  } else {
+    q->orphaned = true;  // drain in-flight packets first
+  }
+}
+
+void DrrInstance::destroy(FlowQueue* q) {
+  // Account for any packets thrown away with the queue.
+  for (const auto& p : q->pkts) {
+    backlog_bytes_ -= p->size();
+    --backlog_pkts_;
+  }
+  if (q->active) std::erase(active_, q);
+  std::erase_if(fallback_, [q](const auto& kv) { return kv.second == q; });
+  queues_.remove_if([q](const auto& up) { return up.get() == q; });
+}
+
+Status DrrInstance::handle_message(const plugin::PluginMsg& msg,
+                                   plugin::PluginReply& reply) {
+  if (msg.custom_name == "setweight") {
+    auto spec = msg.args.get("filter");
+    auto weight = msg.args.get_int("weight");
+    if (!spec || !weight || *weight < 1) return Status::invalid_argument;
+    auto f = aiu::Filter::parse(*spec);
+    if (!f) return Status::invalid_argument;
+    for (auto& [filter, w] : weight_rules_) {
+      if (filter == *f) {
+        w = static_cast<std::uint32_t>(*weight);
+        return Status::ok;
+      }
+    }
+    weight_rules_.emplace_back(*f, static_cast<std::uint32_t>(*weight));
+    return Status::ok;
+  }
+  if (msg.custom_name == "stats") {
+    reply.text = "queues=" + std::to_string(queues_.size()) +
+                 " backlog_pkts=" + std::to_string(backlog_pkts_) +
+                 " backlog_bytes=" + std::to_string(backlog_bytes_) +
+                 " drops=" + std::to_string(drops_);
+    return Status::ok;
+  }
+  return Status::unsupported;
+}
+
+}  // namespace rp::sched

@@ -1,0 +1,61 @@
+// FIFO scheduler plugin: the trivial queueing discipline (and the implicit
+// discipline of the best-effort baseline). Useful as the default port
+// scheduler and as the degenerate case in scheduler comparisons.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/scheduler_base.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::sched {
+
+class FifoInstance final : public core::OutputScheduler {
+ public:
+  explicit FifoInstance(std::size_t limit_packets) : limit_(limit_packets) {}
+
+  bool enqueue(pkt::PacketPtr p, void** /*flow_soft*/,
+               netbase::SimTime /*now*/) override {
+    if (q_.size() >= limit_) {
+      ++drops_;
+      return false;
+    }
+    bytes_ += p->size();
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  pkt::PacketPtr dequeue(netbase::SimTime /*now*/) override {
+    if (q_.empty()) return nullptr;
+    auto p = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= p->size();
+    return p;
+  }
+
+  bool empty() const override { return q_.empty(); }
+  std::size_t backlog_packets() const override { return q_.size(); }
+  std::size_t backlog_bytes() const override { return bytes_; }
+  std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  std::deque<pkt::PacketPtr> q_;
+  std::size_t limit_;
+  std::size_t bytes_{0};
+  std::uint64_t drops_{0};
+};
+
+class FifoPlugin final : public plugin::Plugin {
+ public:
+  FifoPlugin() : Plugin("fifo", plugin::PluginType::sched) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override {
+    return std::make_unique<FifoInstance>(
+        static_cast<std::size_t>(cfg.get_int_or("limit", 1024)));
+  }
+};
+
+}  // namespace rp::sched

@@ -1,0 +1,428 @@
+#include "sched/hfsc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rp::sched {
+
+using netbase::Status;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-6;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Runtime service curves (the rtsc_* operations of the original).
+
+void RuntimeSc::init(const ServiceCurve& sc, double x0, double y0) {
+  x = x0;
+  y = y0;
+  sm1 = sc.m1 / 1e9;  // bytes/sec -> bytes/ns
+  dx = sc.d;
+  dy = sm1 * dx;
+  sm2 = sc.m2 / 1e9;
+}
+
+double RuntimeSc::x2y(double t) const {
+  if (t <= x) return y;
+  if (t <= x + dx) return y + sm1 * (t - x);
+  return y + dy + sm2 * (t - x - dx);
+}
+
+double RuntimeSc::y2x(double bytes) const {
+  if (bytes <= y) return x;
+  const double b = bytes - y;
+  if (b <= dy) return sm1 > 0 ? x + b / sm1 : kInf;
+  return sm2 > 0 ? x + dx + (b - dy) / sm2 : kInf;
+}
+
+void RuntimeSc::min_with(const ServiceCurve& sc, double x0, double y0) {
+  RuntimeSc nsc;
+  nsc.init(sc, x0, y0);
+  if (nsc.sm1 <= nsc.sm2) {
+    // Convex (or linear) curve: re-anchor unless the current curve is
+    // already below at the new origin.
+    if (x2y(x0) < y0) return;
+    x = x0;
+    y = y0;
+    return;
+  }
+  // Concave curve.
+  const double y1 = x2y(x0);
+  if (y1 <= y0) return;  // current curve is below: keep it
+  const double y2 = x2y(x0 + nsc.dx);
+  if (y2 >= y0 + nsc.dy) {  // current above for the whole burst segment
+    *this = nsc;
+    return;
+  }
+  // The curves intersect inside the first segment: extend the m1 segment up
+  // to the intersection (reverse of seg_x2y, as in the original).
+  double ndx = (y1 - y0) / (nsc.sm1 - nsc.sm2);
+  if (x + dx > x0) ndx += x + dx - x0;
+  x = x0;
+  y = y0;
+  dx = ndx;
+  dy = ndx * nsc.sm1;
+  sm1 = nsc.sm1;
+  sm2 = nsc.sm2;
+}
+
+// ---------------------------------------------------------------------------
+// Leaf queueing disciplines (HSF): FIFO or per-flow DRR.
+
+void HfscInstance::Class::leaf_enqueue(pkt::PacketPtr p) {
+  ++backlog;
+  if (qdisc == LeafQdisc::fifo) {
+    q.push_back(std::move(p));
+    return;
+  }
+  SubQueue& sq = subqs[p->key];
+  sq.pkts.push_back(std::move(p));
+  if (!sq.active) {
+    sq.active = true;
+    sq.fresh_visit = true;
+    rr.push_back(&sq);
+  }
+}
+
+pkt::PacketPtr HfscInstance::Class::leaf_dequeue() {
+  if (backlog == 0) return nullptr;
+  --backlog;
+  if (qdisc == LeafQdisc::fifo) {
+    auto p = std::move(q.front());
+    q.pop_front();
+    return p;
+  }
+  // One DRR round-robin step across the leaf's flows.
+  while (!rr.empty()) {
+    SubQueue* sq = rr.front();
+    if (sq->fresh_visit) {
+      sq->deficit += static_cast<std::int64_t>(drr_quantum);
+      sq->fresh_visit = false;
+    }
+    if (!sq->pkts.empty() &&
+        static_cast<std::int64_t>(sq->pkts.front()->size()) <= sq->deficit) {
+      auto p = std::move(sq->pkts.front());
+      sq->pkts.pop_front();
+      sq->deficit -= static_cast<std::int64_t>(p->size());
+      if (sq->pkts.empty()) {
+        sq->deficit = 0;
+        sq->active = false;
+        sq->fresh_visit = true;
+        rr.pop_front();
+      }
+      return p;
+    }
+    sq->fresh_visit = true;
+    rr.pop_front();
+    rr.push_back(sq);
+  }
+  ++backlog;  // should be unreachable; restore the count
+  return nullptr;
+}
+
+std::size_t HfscInstance::Class::leaf_next_len() const {
+  if (backlog == 0) return 0;
+  if (qdisc == LeafQdisc::fifo) return q.front()->size();
+  // Approximate with the head of the next active sub-queue (exact "next
+  // out" would require simulating the deficit round; the deadline moves by
+  // at most one packet's difference).
+  if (!rr.empty() && !rr.front()->pkts.empty())
+    return rr.front()->pkts.front()->size();
+  for (const auto& [k, sq] : subqs)
+    if (!sq.pkts.empty()) return sq.pkts.front()->size();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+
+HfscInstance::HfscInstance(Config cfg) : cfg_(cfg) {
+  auto root = std::make_unique<Class>();
+  root->name = "root";
+  const double link_Bps = cfg_.link_rate_bps / 8.0;
+  root->fsc = {link_Bps, 0, link_Bps};
+  root->has_fsc = true;
+  root_ = root.get();
+  classes_.push_back(std::move(root));
+}
+
+HfscInstance::~HfscInstance() = default;
+
+HfscInstance::Class* HfscInstance::find_class(const std::string& name) {
+  for (auto& c : classes_)
+    if (c->name == name) return c.get();
+  return nullptr;
+}
+
+Status HfscInstance::add_class(const std::string& name,
+                               const std::string& parent,
+                               const ServiceCurve& rsc, const ServiceCurve& fsc,
+                               const ServiceCurve& usc, LeafQdisc qdisc,
+                               std::size_t drr_quantum) {
+  if (find_class(name)) return Status::already_exists;
+  Class* par = find_class(parent);
+  if (!par) return Status::not_found;
+  if (!par->leaf_empty()) return Status::invalid_argument;  // was a busy leaf
+
+  auto cl = std::make_unique<Class>();
+  cl->name = name;
+  cl->parent = par;
+  cl->qdisc = qdisc;
+  cl->drr_quantum = drr_quantum == 0 ? 1500 : drr_quantum;
+  cl->rsc = rsc;
+  cl->has_rsc = !rsc.zero();
+  cl->fsc = fsc.zero() ? rsc : fsc;  // default link-share = guaranteed rate
+  cl->has_fsc = !cl->fsc.zero();
+  cl->usc = usc;
+  cl->has_usc = !usc.zero();
+  if (!cl->has_fsc && !cl->has_rsc) return Status::invalid_argument;
+  if (cl->has_rsc) {
+    cl->deadline.init(cl->rsc, 0, 0);
+    cl->eligible = cl->deadline;
+    if (cl->rsc.m1 <= cl->rsc.m2) {
+      cl->eligible.dx = 0;
+      cl->eligible.dy = 0;
+    }
+  }
+  if (cl->has_fsc) cl->vt_curve.init(cl->fsc, 0, 0);
+  if (cl->has_usc) cl->ul_curve.init(cl->usc, 0, 0);
+
+  par->children.push_back(cl.get());
+  classes_.push_back(std::move(cl));
+  return Status::ok;
+}
+
+Status HfscInstance::bind_class(const aiu::Filter& f, const std::string& cls) {
+  Class* cl = find_class(cls);
+  if (!cl) return Status::not_found;
+  if (!cl->is_leaf()) return Status::invalid_argument;
+  bindings_.emplace_back(f, cl);
+  return Status::ok;
+}
+
+HfscInstance::Class* HfscInstance::leaf_for(const pkt::Packet& p,
+                                            void** flow_soft) {
+  if (flow_soft && *flow_soft) return static_cast<Class*>(*flow_soft);
+  Class* leaf = nullptr;
+  for (auto& [f, cl] : bindings_) {
+    if (f.matches(p.key)) {
+      leaf = cl;
+      break;
+    }
+  }
+  if (!leaf) {
+    if (!default_leaf_) {
+      // Lazily create a best-effort leaf with a 10% link share.
+      ServiceCurve def{cfg_.link_rate_bps / 8.0 / 10.0, 0,
+                       cfg_.link_rate_bps / 8.0 / 10.0};
+      add_class("default", "root", {}, def, {});
+      default_leaf_ = find_class("default");
+    }
+    leaf = default_leaf_;
+  }
+  if (flow_soft) *flow_soft = leaf;
+  return leaf;
+}
+
+void HfscInstance::set_active(Class* leaf, double now, std::size_t first_len) {
+  if (leaf->has_rsc && !leaf->rt_active) {
+    // init_ed: anchor the deadline curve at (now, cumul).
+    leaf->deadline.min_with(leaf->rsc, now, leaf->cumul);
+    leaf->eligible = leaf->deadline;
+    if (leaf->rsc.m1 <= leaf->rsc.m2) {
+      leaf->eligible.dx = 0;
+      leaf->eligible.dy = 0;
+    }
+    leaf->e = leaf->eligible.y2x(leaf->cumul);
+    leaf->dl = leaf->deadline.y2x(leaf->cumul + static_cast<double>(first_len));
+    leaf->rt_active = true;
+  }
+  // init_vf: activate the link-share chain up to the root.
+  for (Class* c = leaf; c->parent; c = c->parent) {
+    if (c->ls_active) break;
+    Class* par = c->parent;
+    if (par->active_children > 0) {
+      double minvt = kInf;
+      for (Class* sib : par->children)
+        if (sib->ls_active && sib->vt < minvt) minvt = sib->vt;
+      if (minvt < kInf && minvt > c->vt) c->vt = minvt;
+    } else if (par->cvtmax > c->vt) {
+      c->vt = par->cvtmax;
+    }
+    c->vt_curve.min_with(c->fsc, c->vt, c->total);
+    c->vt = c->vt_curve.y2x(c->total);
+    if (c->has_usc) {
+      c->ul_curve.min_with(c->usc, now, c->total);
+      c->myf = c->ul_curve.y2x(c->total);
+    }
+    c->ls_active = true;
+    ++par->active_children;
+  }
+}
+
+void HfscInstance::set_passive(Class* leaf) {
+  leaf->rt_active = false;
+  for (Class* c = leaf; c->parent; c = c->parent) {
+    if (!c->ls_active) break;
+    if (c->is_leaf() ? !c->leaf_empty() : c->active_children > 0) break;
+    c->ls_active = false;
+    --c->parent->active_children;
+    if (c->vt > c->parent->cvtmax) c->parent->cvtmax = c->vt;
+  }
+}
+
+void HfscInstance::update_ed(Class* cl, double /*now*/, std::size_t next_len) {
+  cl->e = cl->eligible.y2x(cl->cumul);
+  cl->dl = cl->deadline.y2x(cl->cumul + static_cast<double>(next_len));
+}
+
+HfscInstance::Class* HfscInstance::select_realtime(double now) {
+  Class* best = nullptr;
+  for (auto& c : classes_) {
+    if (!c->rt_active || c->leaf_empty()) continue;
+    if (c->e <= now + kEps && (!best || c->dl < best->dl)) best = c.get();
+  }
+  return best;
+}
+
+HfscInstance::Class* HfscInstance::select_linkshare(double now) {
+  Class* c = root_;
+  while (!c->is_leaf()) {
+    Class* best = nullptr;
+    for (Class* child : c->children) {
+      if (!child->ls_active) continue;
+      if (child->has_usc && child->myf > now + kEps) continue;  // limited
+      if (!best || child->vt < best->vt) best = child;
+    }
+    if (!best) return nullptr;
+    c = best;
+  }
+  return c->leaf_empty() ? nullptr : c;
+}
+
+pkt::PacketPtr HfscInstance::serve(Class* leaf, bool realtime, double now) {
+  auto p = leaf->leaf_dequeue();
+  const auto len = static_cast<double>(p->size());
+  backlog_bytes_ -= p->size();
+  --backlog_pkts_;
+  leaf->bytes_sent += p->size();
+  ++leaf->pkts_sent;
+
+  if (realtime) leaf->cumul += len;
+
+  // update_vf: virtual time (and upper-limit fit time) along the path.
+  for (Class* c = leaf; c->parent; c = c->parent) {
+    c->total += len;
+    c->vt = c->vt_curve.y2x(c->total);
+    if (c->has_usc) c->myf = c->ul_curve.y2x(c->total);
+  }
+  root_->total += len;
+
+  if (leaf->leaf_empty()) {
+    set_passive(leaf);
+  } else if (leaf->rt_active) {
+    update_ed(leaf, now, leaf->leaf_next_len());
+  }
+  return p;
+}
+
+bool HfscInstance::enqueue(pkt::PacketPtr p, void** flow_soft,
+                           netbase::SimTime now) {
+  Class* leaf = leaf_for(*p, flow_soft);
+  if (leaf->backlog >= cfg_.leaf_limit) {
+    ++leaf->drops;
+    return false;
+  }
+  const bool was_empty = leaf->leaf_empty();
+  backlog_bytes_ += p->size();
+  ++backlog_pkts_;
+  const std::size_t len = p->size();
+  leaf->leaf_enqueue(std::move(p));
+  if (was_empty) set_active(leaf, static_cast<double>(now), len);
+  return true;
+}
+
+pkt::PacketPtr HfscInstance::dequeue(netbase::SimTime now) {
+  if (backlog_pkts_ == 0) return nullptr;
+  const double t = static_cast<double>(now);
+  if (Class* leaf = select_realtime(t)) return serve(leaf, true, t);
+  if (Class* leaf = select_linkshare(t)) return serve(leaf, false, t);
+  // Everything is upper-limited (or waiting on eligibility): the kernel
+  // will retry at next_wakeup time. Stay non-work-conserving, as H-FSC's
+  // upper limit requires.
+  return nullptr;
+}
+
+netbase::SimTime HfscInstance::next_wakeup(netbase::SimTime now) const {
+  if (backlog_pkts_ == 0) return -1;
+  double best = kInf;
+  for (const auto& c : classes_) {
+    if (c->rt_active && !c->leaf_empty() && c->e > static_cast<double>(now) &&
+        c->e < best)
+      best = c->e;
+    if (c->ls_active && c->has_usc && c->myf > static_cast<double>(now) &&
+        c->myf < best)
+      best = c->myf;
+  }
+  if (best == kInf) return -1;
+  return static_cast<netbase::SimTime>(std::ceil(best));
+}
+
+std::vector<HfscInstance::ClassStats> HfscInstance::class_stats() const {
+  std::vector<ClassStats> out;
+  for (const auto& c : classes_) {
+    out.push_back({c->name, c->bytes_sent, c->pkts_sent, c->drops,
+                   c->backlog});
+  }
+  return out;
+}
+
+Status HfscInstance::handle_message(const plugin::PluginMsg& msg,
+                                    plugin::PluginReply& reply) {
+  auto curve = [&](const char* prefix) {
+    std::string m1k = std::string(prefix) + "_m1";
+    std::string dk = std::string(prefix) + "_d_us";
+    std::string m2k = std::string(prefix) + "_m2";
+    ServiceCurve sc;
+    sc.m1 = static_cast<double>(msg.args.get_int_or(m1k, 0)) / 8.0;  // bps->Bps
+    sc.d = static_cast<double>(msg.args.get_int_or(dk, 0)) * 1000.0; // us->ns
+    sc.m2 = static_cast<double>(msg.args.get_int_or(m2k, 0)) / 8.0;
+    return sc;
+  };
+
+  if (msg.custom_name == "addclass") {
+    auto name = msg.args.get("name");
+    if (!name) return Status::invalid_argument;
+    auto qd = msg.args.get_or("qdisc", "fifo");
+    LeafQdisc qdisc;
+    if (qd == "fifo") qdisc = LeafQdisc::fifo;
+    else if (qd == "drr") qdisc = LeafQdisc::drr;
+    else return Status::invalid_argument;
+    return add_class(std::string(*name), msg.args.get_or("parent", "root"),
+                     curve("rt"), curve("ls"), curve("ul"), qdisc,
+                     static_cast<std::size_t>(
+                         msg.args.get_int_or("drr_quantum", 1500)));
+  }
+  if (msg.custom_name == "bindclass") {
+    auto cls = msg.args.get("class");
+    auto spec = msg.args.get("filter");
+    if (!cls || !spec) return Status::invalid_argument;
+    auto f = aiu::Filter::parse(*spec);
+    if (!f) return Status::invalid_argument;
+    return bind_class(*f, std::string(*cls));
+  }
+  if (msg.custom_name == "stats") {
+    for (const auto& s : class_stats()) {
+      reply.text += s.name + ": pkts=" + std::to_string(s.pkts_sent) +
+                    " bytes=" + std::to_string(s.bytes_sent) +
+                    " drops=" + std::to_string(s.drops) +
+                    " backlog=" + std::to_string(s.backlog) + "\n";
+    }
+    return Status::ok;
+  }
+  return Status::unsupported;
+}
+
+}  // namespace rp::sched

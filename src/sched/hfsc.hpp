@@ -1,0 +1,200 @@
+// Hierarchical Fair Service Curve scheduler plugin (Section 6; Stoica,
+// Zhang & Ng, SIGCOMM '97) — the paper's state-of-the-art class-based
+// scheduler, ported from the CMU implementation in the original system.
+//
+// Faithful structure of the algorithm:
+//  * Every class may have a real-time service curve (rsc, leaves only), a
+//    link-sharing curve (fsc) and an upper-limit curve (usc). Curves are
+//    two-piece linear (m1 for `d` nanoseconds, then m2), which is what
+//    decouples delay from bandwidth allocation.
+//  * Dequeue first serves the eligible leaf with the smallest deadline
+//    (real-time criterion, guarantees the service curves), and only when no
+//    leaf is eligible distributes excess bandwidth by descending the
+//    hierarchy along minimum-virtual-time active children (link-sharing
+//    criterion), respecting upper limits.
+//  * Leaves queue packets FIFO by default, as in the original
+//    implementation. The paper's planned *Hierarchical Scheduling
+//    Framework* (HSF, §6/§8) — "DRR could be used to do fair queuing for
+//    all flows ending in the same H-FSC leaf node" — is implemented here as
+//    an opt-in per-leaf discipline: `addclass ... qdisc=drr` gives the leaf
+//    per-flow DRR queues, restoring fairness among flows that share a leaf.
+//
+// Classes are configured with the plugin-specific `addclass` message and
+// flows are mapped to leaves with `bindclass` (filter -> class); the flow's
+// leaf pointer is cached in the scheduling gate's soft-state slot.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aiu/filter.hpp"
+#include "core/scheduler_base.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::sched {
+
+// Two-piece linear service curve: slope m1 (bytes/sec) for the first d
+// nanoseconds after activation, then slope m2.
+struct ServiceCurve {
+  double m1{0};  // bytes/sec
+  double d{0};   // ns
+  double m2{0};  // bytes/sec
+  bool zero() const noexcept { return m1 == 0 && m2 == 0; }
+};
+
+// Runtime service curve anchored at (x, y): time->service mapping used for
+// deadlines (y = bytes served), kept as a two-piece curve whose origin
+// shifts on reactivation (the rtsc_min operation of the original).
+struct RuntimeSc {
+  double x{0}, y{0};    // origin: time (ns), cumulative bytes
+  double sm1{0};        // bytes per ns
+  double dx{0}, dy{0};  // first-segment extent
+  double sm2{0};
+
+  void init(const ServiceCurve& sc, double x0, double y0);
+  double x2y(double t) const;   // service available by time t
+  double y2x(double bytes) const;  // time at which `bytes` is reached
+  void min_with(const ServiceCurve& sc, double x0, double y0);
+};
+
+class HfscInstance final : public core::OutputScheduler {
+ public:
+  struct Config {
+    double link_rate_bps{155'000'000};
+    std::size_t leaf_limit{256};  // packets per leaf FIFO
+  };
+
+  explicit HfscInstance(Config cfg);
+  ~HfscInstance() override;
+
+  bool enqueue(pkt::PacketPtr p, void** flow_soft,
+               netbase::SimTime now) override;
+  pkt::PacketPtr dequeue(netbase::SimTime now) override;
+  bool empty() const override { return backlog_pkts_ == 0; }
+  std::size_t backlog_packets() const override { return backlog_pkts_; }
+  std::size_t backlog_bytes() const override { return backlog_bytes_; }
+  netbase::SimTime next_wakeup(netbase::SimTime now) const override;
+
+  void flow_removed(void* flow_soft) override { (void)flow_soft; }
+
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override;
+
+  // Per-leaf queueing discipline (HSF): FIFO (the original) or per-flow DRR.
+  enum class LeafQdisc { fifo, drr };
+
+  // -- direct configuration API (what the messages call) --
+  netbase::Status add_class(const std::string& name, const std::string& parent,
+                            const ServiceCurve& rsc, const ServiceCurve& fsc,
+                            const ServiceCurve& usc,
+                            LeafQdisc qdisc = LeafQdisc::fifo,
+                            std::size_t drr_quantum = 1500);
+  netbase::Status bind_class(const aiu::Filter& f, const std::string& cls);
+
+  // Per-class observability for benches/tests.
+  struct ClassStats {
+    std::string name;
+    std::uint64_t bytes_sent{0};
+    std::uint64_t pkts_sent{0};
+    std::uint64_t drops{0};
+    std::size_t backlog{0};
+  };
+  std::vector<ClassStats> class_stats() const;
+
+ private:
+  struct Class {
+    std::string name;
+    Class* parent{nullptr};
+    std::vector<Class*> children;
+
+    ServiceCurve rsc{}, fsc{}, usc{};
+    bool has_rsc{false}, has_fsc{false}, has_usc{false};
+
+    // Real-time state (leaves).
+    RuntimeSc deadline{}, eligible{};
+    double e{0}, dl{0};       // eligible time, deadline of head packet
+    double cumul{0};          // bytes served under the real-time criterion
+
+    // Link-share state.
+    RuntimeSc vt_curve{};     // fsc in virtual-time domain
+    double vt{0};             // virtual time
+    double total{0};          // bytes served (rt + ls) for vt advance
+    double cvtmax{0};         // max vt seen among children (reactivation)
+    int active_children{0};
+
+    // Upper-limit state.
+    RuntimeSc ul_curve{};
+    double myf{0};            // fit time: earliest time ul allows service
+
+    // Leaf queue: FIFO by default; per-flow DRR sub-queues with qdisc=drr
+    // (the HSF extension).
+    LeafQdisc qdisc{LeafQdisc::fifo};
+    std::deque<pkt::PacketPtr> q;  // FIFO storage
+    struct SubQueue {
+      std::deque<pkt::PacketPtr> pkts;
+      std::int64_t deficit{0};
+      bool active{false};
+      bool fresh_visit{true};
+    };
+    struct KeyHash {
+      std::size_t operator()(const pkt::FlowKey& k) const noexcept {
+        return static_cast<std::size_t>(k.hash());
+      }
+    };
+    std::unordered_map<pkt::FlowKey, SubQueue, KeyHash> subqs;
+    std::deque<SubQueue*> rr;  // active sub-queues, round-robin order
+    std::size_t drr_quantum{1500};
+    std::size_t backlog{0};  // packets across all storage
+
+    // Discipline-independent leaf queue operations.
+    void leaf_enqueue(pkt::PacketPtr p);
+    pkt::PacketPtr leaf_dequeue();
+    std::size_t leaf_next_len() const;  // size of the next packet out
+    bool leaf_empty() const noexcept { return backlog == 0; }
+
+    std::uint64_t bytes_sent{0}, pkts_sent{0}, drops{0};
+
+    bool is_leaf() const noexcept { return children.empty(); }
+    bool rt_active{false};
+    bool ls_active{false};
+  };
+
+  Class* find_class(const std::string& name);
+  Class* leaf_for(const pkt::Packet& p, void** flow_soft);
+  void set_active(Class* cl, double now, std::size_t first_len);
+  void set_passive(Class* cl);
+  void update_ed(Class* cl, double now, std::size_t next_len);
+  void update_vt(Class* cl, std::size_t len, double now);
+  Class* select_realtime(double now);
+  Class* select_linkshare(double now);
+  pkt::PacketPtr serve(Class* leaf, bool realtime, double now);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Class>> classes_;
+  Class* root_;
+  std::vector<std::pair<aiu::Filter, Class*>> bindings_;
+  Class* default_leaf_{nullptr};
+  std::size_t backlog_pkts_{0};
+  std::size_t backlog_bytes_{0};
+};
+
+class HfscPlugin final : public plugin::Plugin {
+ public:
+  HfscPlugin() : Plugin("hfsc", plugin::PluginType::sched) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override {
+    HfscInstance::Config c;
+    c.link_rate_bps =
+        static_cast<double>(cfg.get_int_or("bandwidth_bps", 155'000'000));
+    c.leaf_limit = static_cast<std::size_t>(cfg.get_int_or("limit", 256));
+    if (c.link_rate_bps <= 0) return nullptr;
+    return std::make_unique<HfscInstance>(c);
+  }
+};
+
+}  // namespace rp::sched

@@ -1,0 +1,77 @@
+#include "sched/red.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rp::sched {
+
+using netbase::Status;
+
+bool RedInstance::red_drop_decision() {
+  if (avg_ < cfg_.min_th) {
+    count_ = -1;
+    return false;
+  }
+  if (avg_ >= cfg_.max_th) {
+    count_ = 0;
+    return true;  // forced region
+  }
+  ++count_;
+  double pb = cfg_.max_p * (avg_ - cfg_.min_th) / (cfg_.max_th - cfg_.min_th);
+  double pa = pb / (1.0 - std::min(0.999, count_ * pb));
+  if (rng_.chance(pa)) {
+    count_ = 0;
+    return true;
+  }
+  return false;
+}
+
+bool RedInstance::enqueue(pkt::PacketPtr p, void** /*flow_soft*/,
+                          netbase::SimTime now) {
+  // EWMA update; idle periods decay the average as if the queue drained.
+  if (q_.empty() && idle_since_ >= 0 && now > idle_since_) {
+    // Approximate m packets that could have been transmitted while idle.
+    double m = static_cast<double>(now - idle_since_) / 1'000'000.0;  // /1ms
+    avg_ *= std::pow(1.0 - cfg_.ewma_weight, m);
+  }
+  idle_since_ = -1;
+  avg_ += cfg_.ewma_weight * (static_cast<double>(q_.size()) - avg_);
+
+  if (q_.size() >= cfg_.limit) {
+    ++forced_drops_;
+    return false;
+  }
+  if (avg_ >= cfg_.min_th && red_drop_decision()) {
+    if (avg_ >= cfg_.max_th)
+      ++forced_drops_;
+    else
+      ++early_drops_;
+    return false;
+  }
+  bytes_ += p->size();
+  q_.push_back(std::move(p));
+  return true;
+}
+
+pkt::PacketPtr RedInstance::dequeue(netbase::SimTime now) {
+  if (q_.empty()) return nullptr;
+  auto p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p->size();
+  if (q_.empty()) idle_since_ = now;
+  return p;
+}
+
+Status RedInstance::handle_message(const plugin::PluginMsg& msg,
+                                   plugin::PluginReply& reply) {
+  if (msg.custom_name == "stats") {
+    reply.text = "avg=" + std::to_string(avg_) +
+                 " early_drops=" + std::to_string(early_drops_) +
+                 " forced_drops=" + std::to_string(forced_drops_) +
+                 " backlog=" + std::to_string(q_.size());
+    return Status::ok;
+  }
+  return Status::unsupported;
+}
+
+}  // namespace rp::sched

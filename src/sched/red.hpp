@@ -1,0 +1,76 @@
+// RED (Random Early Detection) queue — the paper lists "a plugin for
+// congestion control mechanisms (e.g., RED)" among the envisioned plugin
+// types; we implement it as a FIFO with Floyd/Jacobson early-drop applied at
+// enqueue (RED is queue management, so it lives with the output queue).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/scheduler_base.hpp"
+#include "netbase/rng.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::sched {
+
+class RedInstance final : public core::OutputScheduler {
+ public:
+  struct Config {
+    std::size_t limit{256};    // hard queue limit, packets
+    double min_th{32};         // packets
+    double max_th{128};        // packets
+    double max_p{0.10};        // drop probability at max_th
+    double ewma_weight{0.002}; // w_q
+    std::uint64_t seed{42};
+  };
+
+  explicit RedInstance(Config cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  bool enqueue(pkt::PacketPtr p, void** flow_soft,
+               netbase::SimTime now) override;
+  pkt::PacketPtr dequeue(netbase::SimTime now) override;
+  bool empty() const override { return q_.empty(); }
+  std::size_t backlog_packets() const override { return q_.size(); }
+  std::size_t backlog_bytes() const override { return bytes_; }
+
+  double avg_queue() const noexcept { return avg_; }
+  std::uint64_t early_drops() const noexcept { return early_drops_; }
+  std::uint64_t forced_drops() const noexcept { return forced_drops_; }
+
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override;
+
+ private:
+  bool red_drop_decision();
+
+  Config cfg_;
+  netbase::Rng rng_;
+  std::deque<pkt::PacketPtr> q_;
+  std::size_t bytes_{0};
+  double avg_{0.0};
+  int count_{-1};  // packets since last early drop (RED's "count")
+  netbase::SimTime idle_since_{-1};
+  std::uint64_t early_drops_{0};
+  std::uint64_t forced_drops_{0};
+};
+
+class RedPlugin final : public plugin::Plugin {
+ public:
+  RedPlugin() : Plugin("red", plugin::PluginType::sched) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override {
+    RedInstance::Config c;
+    c.limit = static_cast<std::size_t>(cfg.get_int_or("limit", 256));
+    c.min_th = static_cast<double>(cfg.get_int_or("min_th", 32));
+    c.max_th = static_cast<double>(cfg.get_int_or("max_th", 128));
+    c.max_p = cfg.get_int_or("max_p_percent", 10) / 100.0;
+    c.seed = static_cast<std::uint64_t>(cfg.get_int_or("seed", 42));
+    if (c.min_th >= c.max_th || c.max_th > static_cast<double>(c.limit))
+      return nullptr;
+    return std::make_unique<RedInstance>(c);
+  }
+};
+
+}  // namespace rp::sched

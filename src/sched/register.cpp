@@ -1,0 +1,29 @@
+#include "sched/register.hpp"
+
+#include "sched/drr.hpp"
+#include "sched/fifo.hpp"
+#include "sched/hfsc.hpp"
+#include "sched/policer.hpp"
+#include "sched/red.hpp"
+#include "sched/wf2q.hpp"
+#include "sched/wfq_altq.hpp"
+
+namespace rp::sched {
+
+void register_sched_plugins() {
+  using plugin::PluginLoader;
+  PluginLoader::register_module("fifo",
+                                [] { return std::make_unique<FifoPlugin>(); });
+  PluginLoader::register_module("drr",
+                                [] { return std::make_unique<DrrPlugin>(); });
+  PluginLoader::register_module("hfsc",
+                                [] { return std::make_unique<HfscPlugin>(); });
+  PluginLoader::register_module(
+      "altq-wfq", [] { return std::make_unique<AltqWfqPlugin>(); });
+  PluginLoader::register_module("red",
+                                [] { return std::make_unique<RedPlugin>(); });
+  register_wf2q_plugin();
+  register_policer_plugin();
+}
+
+}  // namespace rp::sched

@@ -1,0 +1,11 @@
+// Publishes the packet-scheduler plugin modules to the loader registry
+// (fifo, drr, hfsc, altq-wfq, red).
+#pragma once
+
+#include "plugin/loader.hpp"
+
+namespace rp::sched {
+
+void register_sched_plugins();
+
+}  // namespace rp::sched

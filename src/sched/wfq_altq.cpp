@@ -1,0 +1,54 @@
+#include "sched/wfq_altq.hpp"
+
+namespace rp::sched {
+
+bool AltqWfqInstance::enqueue(pkt::PacketPtr p, void** /*flow_soft*/,
+                              netbase::SimTime /*now*/) {
+  std::size_t i = classify(*p);
+  Queue& q = queues_[i];
+  if (q.pkts.size() >= limit_) {
+    ++drops_;
+    return false;
+  }
+  backlog_bytes_ += p->size();
+  ++backlog_pkts_;
+  q.pkts.push_back(std::move(p));
+  if (!q.active) {
+    q.active = true;
+    q.fresh_visit = true;
+    active_.push_back(i);
+  }
+  return true;
+}
+
+pkt::PacketPtr AltqWfqInstance::dequeue(netbase::SimTime /*now*/) {
+  while (!active_.empty()) {
+    std::size_t i = active_.front();
+    Queue& q = queues_[i];
+    if (q.fresh_visit) {
+      q.deficit += static_cast<std::int64_t>(quantum_);
+      q.fresh_visit = false;
+    }
+    if (!q.pkts.empty() &&
+        static_cast<std::int64_t>(q.pkts.front()->size()) <= q.deficit) {
+      auto p = std::move(q.pkts.front());
+      q.pkts.pop_front();
+      q.deficit -= static_cast<std::int64_t>(p->size());
+      backlog_bytes_ -= p->size();
+      --backlog_pkts_;
+      if (q.pkts.empty()) {
+        q.deficit = 0;
+        q.active = false;
+        q.fresh_visit = true;
+        active_.pop_front();
+      }
+      return p;
+    }
+    q.fresh_visit = true;
+    active_.pop_front();
+    active_.push_back(i);
+  }
+  return nullptr;
+}
+
+}  // namespace rp::sched

@@ -1,0 +1,73 @@
+// ALTQ-style WFQ baseline (Section 6.1): the original implementation the
+// paper derives its DRR plugin from. ALTQ's WFQ module distributes flows
+// over a *fixed* number of queues by hashing packet-header fields — so
+// distinct flows can collide in one queue and lose isolation, which is
+// precisely the limitation the per-flow DRR plugin removes. Row 3 of
+// Table 3 ("NetBSD with ALTQ and DRR") runs this module.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/scheduler_base.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::sched {
+
+class AltqWfqInstance final : public core::OutputScheduler {
+ public:
+  AltqWfqInstance(std::size_t num_queues, std::size_t quantum,
+                  std::size_t per_queue_limit)
+      : queues_(num_queues), quantum_(quantum), limit_(per_queue_limit) {}
+
+  bool enqueue(pkt::PacketPtr p, void** flow_soft,
+               netbase::SimTime now) override;
+  pkt::PacketPtr dequeue(netbase::SimTime now) override;
+  bool empty() const override { return backlog_pkts_ == 0; }
+  std::size_t backlog_packets() const override { return backlog_pkts_; }
+  std::size_t backlog_bytes() const override { return backlog_bytes_; }
+
+  std::size_t num_queues() const noexcept { return queues_.size(); }
+  std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  struct Queue {
+    std::deque<pkt::PacketPtr> pkts;
+    std::int64_t deficit{0};
+    bool active{false};
+    bool fresh_visit{true};
+  };
+
+  // ALTQ's own classifier: hash header fields onto the fixed queue array.
+  std::size_t classify(const pkt::Packet& p) const {
+    return static_cast<std::size_t>(p.key.hash() % queues_.size());
+  }
+
+  std::vector<Queue> queues_;
+  std::deque<std::size_t> active_;
+  std::size_t quantum_;
+  std::size_t limit_;
+  std::size_t backlog_pkts_{0};
+  std::size_t backlog_bytes_{0};
+  std::uint64_t drops_{0};
+};
+
+class AltqWfqPlugin final : public plugin::Plugin {
+ public:
+  AltqWfqPlugin() : Plugin("altq-wfq", plugin::PluginType::sched) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override {
+    auto n = cfg.get_int_or("queues", 256);
+    auto q = cfg.get_int_or("quantum", 1500);
+    auto lim = cfg.get_int_or("limit", 64);
+    if (n < 1 || q < 1 || lim < 1) return nullptr;
+    return std::make_unique<AltqWfqInstance>(
+        static_cast<std::size_t>(n), static_cast<std::size_t>(q),
+        static_cast<std::size_t>(lim));
+  }
+};
+
+}  // namespace rp::sched

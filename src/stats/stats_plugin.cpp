@@ -1,0 +1,92 @@
+#include "stats/stats_plugin.hpp"
+
+namespace rp::stats {
+
+using netbase::Status;
+using plugin::Verdict;
+
+StatsInstance::~StatsInstance() {
+  for (auto& f : flows_)
+    if (f->soft_slot) *f->soft_slot = nullptr;
+}
+
+Verdict StatsInstance::handle_packet(pkt::Packet& p, void** flow_soft) {
+  FlowCounter* fc = nullptr;
+  if (flow_soft && *flow_soft) {
+    fc = static_cast<FlowCounter*>(*flow_soft);
+  } else {
+    auto owned = std::make_unique<FlowCounter>();
+    owned->key = p.key;
+    owned->soft_slot = flow_soft;
+    fc = owned.get();
+    flows_.push_back(std::move(owned));
+    if (flow_soft) *flow_soft = fc;
+  }
+
+  ++total_packets_;
+  total_bytes_ += p.size();
+  ++fc->packets;
+  if (mode_ == Mode::bytes || mode_ == Mode::sizes) fc->bytes += p.size();
+  if (mode_ == Mode::sizes) {
+    const std::size_t s = p.size();
+    int b = s <= 64 ? 0 : s <= 256 ? 1 : s <= 1024 ? 2 : s <= 4096 ? 3 : 4;
+    ++fc->size_hist[b];
+  }
+  return Verdict::cont;
+}
+
+void StatsInstance::flow_removed(void* flow_soft) {
+  auto* fc = static_cast<FlowCounter*>(flow_soft);
+  if (!fc) return;
+  // Keep counting totals; the per-flow record dies with the flow entry.
+  flows_.remove_if([fc](const auto& up) { return up.get() == fc; });
+}
+
+Status StatsInstance::handle_message(const plugin::PluginMsg& msg,
+                                     plugin::PluginReply& reply) {
+  if (msg.custom_name == "report") {
+    reply.text = "total_packets=" + std::to_string(total_packets_) +
+                 " total_bytes=" + std::to_string(total_bytes_) +
+                 " flows=" + std::to_string(flows_.size()) + "\n";
+    for (const auto& f : flows_) {
+      reply.text += f->key.to_string() + " pkts=" + std::to_string(f->packets) +
+                    " bytes=" + std::to_string(f->bytes) + "\n";
+    }
+    return Status::ok;
+  }
+  if (msg.custom_name == "setmode") {
+    auto m = msg.args.get_or("mode", "");
+    if (m == "packets") mode_ = Mode::packets;
+    else if (m == "bytes") mode_ = Mode::bytes;
+    else if (m == "sizes") mode_ = Mode::sizes;
+    else return Status::invalid_argument;
+    return Status::ok;
+  }
+  if (msg.custom_name == "reset") {
+    total_packets_ = total_bytes_ = 0;
+    for (auto& f : flows_) {
+      f->packets = f->bytes = 0;
+      for (auto& h : f->size_hist) h = 0;
+    }
+    return Status::ok;
+  }
+  return Status::unsupported;
+}
+
+std::unique_ptr<plugin::PluginInstance> StatsPlugin::make_instance(
+    const plugin::Config& cfg) {
+  auto m = cfg.get_or("mode", "bytes");
+  StatsInstance::Mode mode;
+  if (m == "packets") mode = StatsInstance::Mode::packets;
+  else if (m == "bytes") mode = StatsInstance::Mode::bytes;
+  else if (m == "sizes") mode = StatsInstance::Mode::sizes;
+  else return nullptr;
+  return std::make_unique<StatsInstance>(mode);
+}
+
+void register_stats_plugins() {
+  plugin::PluginLoader::register_module(
+      "stats", [] { return std::make_unique<StatsPlugin>(); });
+}
+
+}  // namespace rp::stats

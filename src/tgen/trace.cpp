@@ -1,0 +1,109 @@
+#include "tgen/trace.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "pkt/headers.hpp"
+
+namespace rp::tgen {
+
+std::size_t write_trace(const std::vector<Arrival>& arrivals,
+                        std::string& out) {
+  std::size_t n = 0;
+  char line[256];
+  for (const auto& a : arrivals) {
+    if (!a.p) continue;
+    const auto& k = a.p->key;
+    const bool udp = k.proto == static_cast<std::uint8_t>(pkt::IpProto::udp);
+    const bool tcp = k.proto == static_cast<std::uint8_t>(pkt::IpProto::tcp);
+    if (!udp && !tcp) continue;
+    const std::size_t l4_hdr =
+        udp ? pkt::UdpHeader::kSize : pkt::TcpHeader::kMinSize;
+    const std::size_t payload = a.p->size() - a.p->l4_offset - l4_hdr;
+    const std::uint8_t ttl = a.p->ip_version == netbase::IpVersion::v4
+                                 ? a.p->data()[8]
+                                 : a.p->data()[7];
+    std::snprintf(line, sizeof line, "%lld %u %s %s %s %u %u %zu %u\n",
+                  static_cast<long long>(a.t), a.iface, udp ? "udp" : "tcp",
+                  k.src.to_string().c_str(), k.dst.to_string().c_str(),
+                  k.sport, k.dport, payload, ttl);
+    out += line;
+    ++n;
+  }
+  return n;
+}
+
+bool read_trace(std::string_view text, std::vector<Arrival>& out,
+                std::size_t* error_line) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto fail = [&] {
+    if (error_line) *error_line = line_no;
+    return false;
+  };
+
+  while (pos < text.size()) {
+    ++line_no;
+    std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+
+    // Tokenize on spaces.
+    std::vector<std::string_view> tok;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ') ++j;
+      if (j > i) tok.push_back(line.substr(i, j - i));
+      i = j;
+    }
+    if (tok.empty() || tok[0][0] == '#') continue;
+    if (tok.size() < 8 || tok.size() > 9) return fail();
+
+    auto num = [](std::string_view s, long long& v) {
+      auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+      return ec == std::errc{} && p == s.data() + s.size();
+    };
+    long long t, iface, sport, dport, payload, ttl = 64;
+    if (!num(tok[0], t) || !num(tok[1], iface) || !num(tok[5], sport) ||
+        !num(tok[6], dport) || !num(tok[7], payload))
+      return fail();
+    if (tok.size() == 9 && !num(tok[8], ttl)) return fail();
+    if (iface < 0 || iface >= pkt::kAnyIface || sport < 0 || sport > 65535 ||
+        dport < 0 || dport > 65535 || payload < 0 || payload > 65000 ||
+        ttl < 1 || ttl > 255 || t < 0)
+      return fail();
+    auto src = netbase::IpAddr::parse(tok[3]);
+    auto dst = netbase::IpAddr::parse(tok[4]);
+    if (!src || !dst || src->ver != dst->ver) return fail();
+
+    pkt::PacketPtr p;
+    if (tok[2] == "udp") {
+      pkt::UdpSpec s;
+      s.src = *src;
+      s.dst = *dst;
+      s.sport = static_cast<std::uint16_t>(sport);
+      s.dport = static_cast<std::uint16_t>(dport);
+      s.payload_len = static_cast<std::size_t>(payload);
+      s.ttl = static_cast<std::uint8_t>(ttl);
+      p = pkt::build_udp(s);
+    } else if (tok[2] == "tcp") {
+      pkt::TcpSpec s;
+      s.src = *src;
+      s.dst = *dst;
+      s.sport = static_cast<std::uint16_t>(sport);
+      s.dport = static_cast<std::uint16_t>(dport);
+      s.payload_len = static_cast<std::size_t>(payload);
+      s.ttl = static_cast<std::uint8_t>(ttl);
+      p = pkt::build_tcp(s);
+    } else {
+      return fail();
+    }
+    out.push_back({t, static_cast<pkt::IfIndex>(iface), std::move(p)});
+  }
+  return true;
+}
+
+}  // namespace rp::tgen

@@ -1,0 +1,29 @@
+// Trace capture and replay: a plain-text, line-oriented trace format so
+// workloads can be captured from one run (or written by hand / external
+// tools) and replayed identically into a router — the stand-in for the
+// trace-driven evaluation the paper notes it could not do for filters
+// ("appropriate data sets of real-world filter patterns are not
+// available", §7.2), applied to traffic instead.
+//
+// Format (one packet per line, '#' comments):
+//   <time_ns> <iface> udp|tcp <src> <dst> <sport> <dport> <payload_len> [ttl]
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tgen/workload.hpp"
+
+namespace rp::tgen {
+
+// Serializes arrivals to the text format. Packets must be UDP or TCP
+// (others are skipped; the return value counts written lines).
+std::size_t write_trace(const std::vector<Arrival>& arrivals,
+                        std::string& out);
+
+// Parses a trace; returns std::nullopt-like empty vector + false on the
+// first malformed line (line number reported via `error_line`).
+bool read_trace(std::string_view text, std::vector<Arrival>& out,
+                std::size_t* error_line = nullptr);
+
+}  // namespace rp::tgen

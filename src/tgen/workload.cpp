@@ -1,0 +1,230 @@
+#include "tgen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rp::tgen {
+
+using netbase::IpAddr;
+using netbase::IpVersion;
+using netbase::Rng;
+using netbase::U128;
+
+namespace {
+
+IpAddr random_addr(Rng& rng, IpVersion ver) {
+  if (ver == IpVersion::v4)
+    return IpAddr(netbase::Ipv4Addr(static_cast<std::uint32_t>(rng.next())));
+  return IpAddr(netbase::Ipv6Addr(U128{rng.next(), rng.next()}));
+}
+
+}  // namespace
+
+FlowEndpoints random_flow(Rng& rng, IpVersion ver, pkt::IfIndex iface) {
+  FlowEndpoints ep;
+  ep.src = random_addr(rng, ver);
+  ep.dst = random_addr(rng, ver);
+  ep.proto = rng.chance(0.5) ? static_cast<std::uint8_t>(pkt::IpProto::udp)
+                             : static_cast<std::uint8_t>(pkt::IpProto::tcp);
+  ep.sport = static_cast<std::uint16_t>(rng.range(1024, 65535));
+  ep.dport = static_cast<std::uint16_t>(rng.range(1, 1023));
+  ep.in_iface = iface;
+  return ep;
+}
+
+pkt::PacketPtr packet_for(const FlowEndpoints& ep, std::size_t payload_len,
+                          std::uint8_t ttl) {
+  if (ep.proto == static_cast<std::uint8_t>(pkt::IpProto::tcp)) {
+    pkt::TcpSpec spec;
+    spec.src = ep.src;
+    spec.dst = ep.dst;
+    spec.sport = ep.sport;
+    spec.dport = ep.dport;
+    spec.payload_len = payload_len;
+    spec.ttl = ttl;
+    return pkt::build_tcp(spec);
+  }
+  pkt::UdpSpec spec;
+  spec.src = ep.src;
+  spec.dst = ep.dst;
+  spec.sport = ep.sport;
+  spec.dport = ep.dport;
+  spec.payload_len = payload_len;
+  spec.ttl = ttl;
+  return pkt::build_udp(spec);
+}
+
+std::vector<Arrival> cbr(const CbrSpec& spec) {
+  std::vector<Arrival> out;
+  out.reserve(spec.count);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    Arrival a;
+    a.t = spec.start + static_cast<netbase::SimTime>(i) * spec.interval;
+    a.iface = spec.ep.in_iface;
+    a.p = packet_for(spec.ep, spec.payload_len);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::vector<Arrival> flow_mix(const MixSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<FlowEndpoints> flows;
+  flows.reserve(spec.n_flows);
+  for (std::size_t i = 0; i < spec.n_flows; ++i)
+    flows.push_back(random_flow(rng, spec.ver, spec.iface));
+
+  // Zipf CDF over flows.
+  std::vector<double> cdf(spec.n_flows);
+  double sum = 0;
+  for (std::size_t i = 0; i < spec.n_flows; ++i) {
+    sum += spec.zipf_s == 0 ? 1.0
+                            : 1.0 / std::pow(static_cast<double>(i + 1),
+                                             spec.zipf_s);
+    cdf[i] = sum;
+  }
+  for (auto& c : cdf) c /= sum;
+
+  std::vector<Arrival> out;
+  out.reserve(spec.n_packets);
+  const netbase::SimTime step =
+      spec.duration / static_cast<netbase::SimTime>(
+                          std::max<std::size_t>(1, spec.n_packets));
+  std::size_t emitted = 0;
+  while (emitted < spec.n_packets) {
+    // Pick a flow by popularity, then emit a burst (packet train) from it.
+    double u = rng.uniform01();
+    std::size_t fi =
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
+    if (fi >= flows.size()) fi = flows.size() - 1;
+    std::size_t burst = 1 + rng.below(std::max<std::size_t>(1, spec.burst_len));
+    for (std::size_t b = 0; b < burst && emitted < spec.n_packets; ++b) {
+      Arrival a;
+      a.t = static_cast<netbase::SimTime>(emitted) * step;
+      a.iface = spec.iface;
+      a.p = packet_for(flows[fi], spec.payload_len);
+      out.push_back(std::move(a));
+      ++emitted;
+    }
+  }
+  return out;
+}
+
+std::vector<Arrival> merge(std::vector<std::vector<Arrival>> streams) {
+  std::vector<Arrival> out;
+  std::size_t total = 0;
+  for (auto& s : streams) total += s.size();
+  out.reserve(total);
+  for (auto& s : streams)
+    for (auto& a : s) out.push_back(std::move(a));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Arrival& a, const Arrival& b) { return a.t < b.t; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<aiu::Filter> random_filters(const FilterSetSpec& spec) {
+  Rng rng(spec.seed);
+  const unsigned width = spec.ver == IpVersion::v4 ? 32 : 128;
+  std::vector<aiu::Filter> out;
+  out.reserve(spec.count);
+
+  auto random_prefix = [&](double p_wild) {
+    if (rng.chance(p_wild)) return netbase::IpPrefix{};
+    unsigned len;
+    if (spec.ver == IpVersion::v4)
+      len = static_cast<unsigned>(rng.range(spec.v4_min_len, spec.v4_max_len));
+    else
+      len = static_cast<unsigned>(rng.range(spec.v6_min_len, spec.v6_max_len));
+    (void)width;
+    return netbase::IpPrefix(random_addr(rng, spec.ver), len);
+  };
+  auto random_port = [&]() {
+    if (rng.chance(spec.p_port_exact))
+      return aiu::PortSpec::exact(static_cast<std::uint16_t>(rng.below(65536)));
+    if (rng.chance(spec.p_port_range / (1.0 - spec.p_port_exact))) {
+      auto lo = static_cast<std::uint16_t>(rng.below(60000));
+      auto hi = static_cast<std::uint16_t>(lo + rng.range(1, 4096));
+      return aiu::PortSpec{lo, hi};
+    }
+    return aiu::PortSpec::any();
+  };
+
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    aiu::Filter f;
+    f.src = random_prefix(spec.p_wild_src);
+    f.dst = random_prefix(spec.p_wild_dst);
+    if (!rng.chance(spec.p_wild_proto)) {
+      f.proto = aiu::ProtoSpec::exact(
+          rng.chance(0.5) ? static_cast<std::uint8_t>(pkt::IpProto::udp)
+                          : static_cast<std::uint8_t>(pkt::IpProto::tcp));
+    }
+    f.sport = random_port();
+    f.dport = random_port();
+    // The incoming interface is usually wildcarded in practice.
+    if (rng.chance(0.1))
+      f.in_iface = aiu::IfaceSpec::exact(static_cast<pkt::IfIndex>(rng.below(4)));
+    out.push_back(f);
+  }
+  return out;
+}
+
+pkt::FlowKey matching_key(const aiu::Filter& f, Rng& rng) {
+  pkt::FlowKey k;
+  auto fill_addr = [&](const netbase::IpPrefix& p, IpVersion fallback_ver) {
+    IpVersion ver = p.len == 0 ? fallback_ver : p.addr.ver;
+    IpAddr a = random_addr(rng, ver);
+    if (p.len > 0) {
+      // Keep the prefix bits, randomize the rest.
+      U128 mask = U128::prefix_mask(p.len);
+      U128 key = (p.addr.key() & mask) | (a.key() & ~mask);
+      a.ver = ver;
+      a.v = ver == IpVersion::v4 ? (key >> 96) : key;
+    }
+    return a;
+  };
+  IpVersion ver = f.src.len > 0   ? f.src.addr.ver
+                  : f.dst.len > 0 ? f.dst.addr.ver
+                                  : IpVersion::v4;
+  k.src = fill_addr(f.src, ver);
+  k.dst = fill_addr(f.dst, ver);
+  k.proto = f.proto.wild ? static_cast<std::uint8_t>(rng.below(256))
+                         : f.proto.value;
+  k.sport = static_cast<std::uint16_t>(rng.range(f.sport.lo, f.sport.hi));
+  k.dport = static_cast<std::uint16_t>(rng.range(f.dport.lo, f.dport.hi));
+  k.in_iface = f.in_iface.wild ? static_cast<pkt::IfIndex>(rng.below(4))
+                               : f.in_iface.value;
+  return k;
+}
+
+pkt::FlowKey random_key(Rng& rng, IpVersion ver) {
+  pkt::FlowKey k;
+  k.src = random_addr(rng, ver);
+  k.dst = random_addr(rng, ver);
+  k.proto = static_cast<std::uint8_t>(rng.below(256));
+  k.sport = static_cast<std::uint16_t>(rng.below(65536));
+  k.dport = static_cast<std::uint16_t>(rng.below(65536));
+  k.in_iface = static_cast<pkt::IfIndex>(rng.below(4));
+  return k;
+}
+
+std::vector<netbase::IpPrefix> random_prefixes(std::size_t count,
+                                               IpVersion ver,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<netbase::IpPrefix> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    unsigned len = ver == IpVersion::v4
+                       ? static_cast<unsigned>(rng.range(8, 32))
+                       : static_cast<unsigned>(rng.range(16, 64));
+    // Bias toward the real-world sweet spot.
+    if (ver == IpVersion::v4 && rng.chance(0.6))
+      len = static_cast<unsigned>(rng.range(16, 24));
+    out.emplace_back(random_addr(rng, ver), len);
+  }
+  return out;
+}
+
+}  // namespace rp::tgen

@@ -1,0 +1,109 @@
+// Workload generation: synthetic flow-structured traffic (the substitute
+// for the paper's ATM testbed traffic) and random filter databases (the
+// substitute for real-world filter patterns, which the paper likewise notes
+// are not publicly available — §7.2).
+//
+// Everything is driven by explicit seeds for reproducibility.
+#pragma once
+
+#include <vector>
+
+#include "aiu/filter.hpp"
+#include "netbase/clock.hpp"
+#include "netbase/rng.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::tgen {
+
+// One scheduled packet arrival at the router.
+struct Arrival {
+  netbase::SimTime t{0};
+  pkt::IfIndex iface{0};
+  pkt::PacketPtr p;
+};
+
+struct FlowEndpoints {
+  netbase::IpAddr src{};
+  netbase::IpAddr dst{};
+  std::uint8_t proto{static_cast<std::uint8_t>(pkt::IpProto::udp)};
+  std::uint16_t sport{0};
+  std::uint16_t dport{0};
+  pkt::IfIndex in_iface{0};
+
+  pkt::FlowKey key() const {
+    return {src, dst, proto, sport, dport, in_iface};
+  }
+};
+
+FlowEndpoints random_flow(netbase::Rng& rng,
+                          netbase::IpVersion ver = netbase::IpVersion::v4,
+                          pkt::IfIndex iface = 0);
+
+// Builds one UDP (or TCP) packet for the given endpoints.
+pkt::PacketPtr packet_for(const FlowEndpoints& ep, std::size_t payload_len,
+                          std::uint8_t ttl = 64);
+
+// Constant-bit-rate flow: `count` packets spaced `interval` apart.
+struct CbrSpec {
+  FlowEndpoints ep{};
+  std::size_t payload_len{512};
+  std::size_t count{100};
+  netbase::SimTime start{0};
+  netbase::SimTime interval{netbase::kNsPerMs};
+};
+std::vector<Arrival> cbr(const CbrSpec& spec);
+
+// Flow mix with Zipf-distributed flow popularity and per-flow packet trains
+// (bursts) — the "flow-like characteristics of Internet traffic" the flow
+// cache exploits.
+struct MixSpec {
+  std::size_t n_flows{100};
+  std::size_t n_packets{10000};
+  double zipf_s{1.0};         // 0 = uniform popularity
+  std::size_t burst_len{8};   // consecutive packets from the same flow
+  std::size_t payload_len{512};
+  netbase::SimTime duration{netbase::kNsPerSec};
+  netbase::IpVersion ver{netbase::IpVersion::v4};
+  pkt::IfIndex iface{0};
+  std::uint64_t seed{1};
+};
+std::vector<Arrival> flow_mix(const MixSpec& spec);
+
+// Merges pre-sorted arrival streams into one time-sorted stream.
+std::vector<Arrival> merge(std::vector<std::vector<Arrival>> streams);
+
+// ---------------------------------------------------------------------------
+// Random filter databases.
+
+struct FilterSetSpec {
+  std::size_t count{1000};
+  netbase::IpVersion ver{netbase::IpVersion::v4};
+  double p_wild_src{0.2};    // probability the source address is "*"
+  double p_wild_dst{0.2};
+  double p_wild_proto{0.3};
+  double p_port_exact{0.4};  // else wildcard (ranges added via p_port_range)
+  double p_port_range{0.1};
+  // Prefix length bands (inclusive) for non-wildcard addresses.
+  unsigned v4_min_len{8}, v4_max_len{32};
+  unsigned v6_min_len{16}, v6_max_len{64};
+  std::uint64_t seed{7};
+};
+
+std::vector<aiu::Filter> random_filters(const FilterSetSpec& spec);
+
+// A fully-specified key guaranteed to match `f` (random in the wildcarded
+// dimensions).
+pkt::FlowKey matching_key(const aiu::Filter& f, netbase::Rng& rng);
+
+// A uniformly random fully-specified key.
+pkt::FlowKey random_key(netbase::Rng& rng,
+                        netbase::IpVersion ver = netbase::IpVersion::v4);
+
+// Random prefix database for the BMP benches (lengths biased to the 16-24
+// band for IPv4, 32-64 for IPv6, like real routing tables).
+std::vector<netbase::IpPrefix> random_prefixes(std::size_t count,
+                                               netbase::IpVersion ver,
+                                               std::uint64_t seed);
+
+}  // namespace rp::tgen

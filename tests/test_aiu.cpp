@@ -1,0 +1,238 @@
+// Tests for the AIU facade: the cached/uncached data path of Section 3.2
+// (flow-table hit, FIX fast path, n-gate classification on a miss), cache
+// flushing on filter changes, the PCU hook wiring, and the no-cache
+// ablation mode.
+#include <gtest/gtest.h>
+
+#include "aiu/aiu.hpp"
+#include "pkt/builder.hpp"
+#include "plugin/pcu.hpp"
+
+namespace rp::aiu {
+namespace {
+
+using plugin::PluginType;
+
+class CountingInstance final : public plugin::PluginInstance {
+ public:
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    ++calls;
+    return plugin::Verdict::cont;
+  }
+  int calls{0};
+};
+
+class DummyPlugin final : public plugin::Plugin {
+ public:
+  explicit DummyPlugin(std::string name, PluginType type)
+      : Plugin(std::move(name), type) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<CountingInstance>();
+  }
+};
+
+pkt::PacketPtr udp_packet(std::uint8_t last_octet, std::uint16_t dport = 80) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, last_octet));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = 1000;
+  s.dport = dport;
+  s.payload_len = 32;
+  return pkt::build_udp(s);
+}
+
+class AiuTest : public ::testing::Test {
+ protected:
+  AiuTest() : aiu_(pcu_, clock_) {
+    pcu_.register_plugin(
+        std::make_unique<DummyPlugin>("sec", PluginType::ipsec));
+    pcu_.register_plugin(
+        std::make_unique<DummyPlugin>("mon", PluginType::stats));
+    plugin::InstanceId id = plugin::kNoInstance;
+    pcu_.find("sec")->create_instance({}, id);
+    sec_ = static_cast<CountingInstance*>(pcu_.find("sec")->instance(id));
+    pcu_.find("mon")->create_instance({}, id);
+    mon_ = static_cast<CountingInstance*>(pcu_.find("mon")->instance(id));
+  }
+
+  Filter F(const char* spec) { return *Filter::parse(spec); }
+
+  netbase::SimClock clock_;
+  plugin::PluginControlUnit pcu_;
+  Aiu aiu_;
+  CountingInstance* sec_;
+  CountingInstance* mon_;
+};
+
+TEST_F(AiuTest, UncachedMissCreatesFlowEntryWithAllGates) {
+  ASSERT_EQ(aiu_.create_filter(PluginType::ipsec, F("10.0.0.0/8 * * * * *"),
+                               sec_),
+            Status::ok);
+  ASSERT_EQ(aiu_.create_filter(PluginType::stats, F("* * udp * * *"), mon_),
+            Status::ok);
+
+  auto p = udp_packet(1);
+  auto* b = aiu_.gate_lookup(*p, PluginType::ipsec);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->instance, sec_);
+  EXPECT_NE(p->fix, pkt::kNoFlow);
+
+  // One flow entry, with n filter-table lookups for the n active gates.
+  EXPECT_EQ(aiu_.stats().uncached_classifications, 1u);
+  EXPECT_EQ(aiu_.stats().filter_lookups, 2u);
+
+  // The second gate hits the same flow entry via the FIX without another
+  // classification.
+  auto* b2 = aiu_.gate_lookup(*p, PluginType::stats);
+  EXPECT_EQ(b2->instance, mon_);
+  EXPECT_EQ(aiu_.stats().filter_lookups, 2u);
+  EXPECT_EQ(aiu_.stats().uncached_classifications, 1u);
+}
+
+TEST_F(AiuTest, SecondPacketHitsFlowCache) {
+  aiu_.create_filter(PluginType::ipsec, F("10.0.0.0/8 * * * * *"), sec_);
+  auto p1 = udp_packet(1);
+  aiu_.gate_lookup(*p1, PluginType::ipsec);
+  auto p2 = udp_packet(1);  // same flow
+  auto* b = aiu_.gate_lookup(*p2, PluginType::ipsec);
+  EXPECT_EQ(b->instance, sec_);
+  EXPECT_EQ(aiu_.stats().uncached_classifications, 1u);
+  EXPECT_EQ(aiu_.flow_table().stats().hits, 1u);
+  // A different flow misses again.
+  auto p3 = udp_packet(2);
+  aiu_.gate_lookup(*p3, PluginType::ipsec);
+  EXPECT_EQ(aiu_.stats().uncached_classifications, 2u);
+}
+
+TEST_F(AiuTest, SoftStatePersistsAcrossPacketsOfAFlow) {
+  aiu_.create_filter(PluginType::ipsec, F("* * * * * *"), sec_);
+  auto p1 = udp_packet(3);
+  auto* b1 = aiu_.gate_lookup(*p1, PluginType::ipsec);
+  int marker = 7;
+  b1->soft = &marker;
+  auto p2 = udp_packet(3);
+  auto* b2 = aiu_.gate_lookup(*p2, PluginType::ipsec);
+  EXPECT_EQ(b2->soft, &marker);
+}
+
+TEST_F(AiuTest, NoMatchYieldsNullInstanceBinding) {
+  aiu_.create_filter(PluginType::ipsec, F("99.0.0.0/8 * * * * *"), sec_);
+  auto p = udp_packet(1);
+  auto* b = aiu_.gate_lookup(*p, PluginType::ipsec);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->instance, nullptr);  // gate simply continues
+}
+
+TEST_F(AiuTest, FilterChangeFlushesCache) {
+  aiu_.create_filter(PluginType::ipsec, F("* * udp * * *"), sec_);
+  auto p1 = udp_packet(1);
+  aiu_.gate_lookup(*p1, PluginType::ipsec);
+  EXPECT_EQ(aiu_.flow_table().active(), 1u);
+
+  // Installing a more specific filter must invalidate cached bindings.
+  aiu_.create_filter(PluginType::ipsec, F("10.0.0.1 * udp * * *"), mon_);
+  EXPECT_EQ(aiu_.flow_table().active(), 0u);
+  EXPECT_GE(aiu_.stats().cache_flushes, 1u);
+
+  auto p2 = udp_packet(1);
+  auto* b = aiu_.gate_lookup(*p2, PluginType::ipsec);
+  EXPECT_EQ(b->instance, mon_);  // new binding wins for 10.0.0.1
+}
+
+TEST_F(AiuTest, RemoveFilterFlushesAndUnbinds) {
+  aiu_.create_filter(PluginType::ipsec, F("* * udp * * *"), sec_);
+  auto p1 = udp_packet(1);
+  aiu_.gate_lookup(*p1, PluginType::ipsec);
+  ASSERT_EQ(aiu_.remove_filter(PluginType::ipsec, F("* * udp * * *")),
+            Status::ok);
+  auto p2 = udp_packet(1);
+  auto* b = aiu_.gate_lookup(*p2, PluginType::ipsec);
+  EXPECT_EQ(b->instance, nullptr);
+  EXPECT_EQ(aiu_.remove_filter(PluginType::ipsec, F("* * udp * * *")),
+            Status::not_found);
+}
+
+TEST_F(AiuTest, PcuRegisterHookInstallsFilter) {
+  // register_instance via the PCU must land in the right gate's table.
+  plugin::PluginMsg reg;
+  reg.kind = plugin::PluginMsg::Kind::register_instance;
+  reg.plugin_name = "sec";
+  reg.instance = sec_->id();
+  reg.filter_spec = "<10.0.0.0/8, *, udp, *, *, *>";
+  ASSERT_EQ(pcu_.dispatch(reg).status, Status::ok);
+  auto p = udp_packet(1);
+  EXPECT_EQ(aiu_.gate_lookup(*p, PluginType::ipsec)->instance, sec_);
+
+  reg.kind = plugin::PluginMsg::Kind::deregister_instance;
+  ASSERT_EQ(pcu_.dispatch(reg).status, Status::ok);
+  auto p2 = udp_packet(1);
+  EXPECT_EQ(aiu_.gate_lookup(*p2, PluginType::ipsec)->instance, nullptr);
+}
+
+TEST_F(AiuTest, PurgeHookDropsFlowAndFilterState) {
+  aiu_.create_filter(PluginType::ipsec, F("* * * * * *"), sec_);
+  auto p = udp_packet(1);
+  aiu_.gate_lookup(*p, PluginType::ipsec);
+  ASSERT_EQ(aiu_.flow_table().active(), 1u);
+
+  plugin::PluginMsg free_msg;
+  free_msg.kind = plugin::PluginMsg::Kind::free_instance;
+  free_msg.plugin_name = "sec";
+  free_msg.instance = sec_->id();
+  ASSERT_EQ(pcu_.dispatch(free_msg).status, Status::ok);
+  EXPECT_EQ(aiu_.flow_table().active(), 0u);
+  EXPECT_EQ(aiu_.filter_table(PluginType::ipsec)->size(), 0u);
+}
+
+TEST_F(AiuTest, BadPacketReturnsNull) {
+  auto p = pkt::make_packet(2);
+  p->data()[0] = 0xff;
+  EXPECT_EQ(aiu_.gate_lookup(*p, PluginType::ipsec), nullptr);
+}
+
+TEST(AiuNoCache, AblationClassifiesPerGate) {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  Aiu::Options opt;
+  opt.flow_cache_enabled = false;
+  Aiu aiu(pcu, clock, opt);
+
+  pcu.register_plugin(std::make_unique<DummyPlugin>("sec", PluginType::ipsec));
+  plugin::InstanceId id = plugin::kNoInstance;
+  pcu.find("sec")->create_instance({}, id);
+  auto* inst = pcu.find("sec")->instance(id);
+
+  aiu.create_filter(PluginType::ipsec, *Filter::parse("* * udp * * *"), inst);
+  for (int i = 0; i < 3; ++i) {
+    auto p = udp_packet(1);
+    auto* b = aiu.gate_lookup(*p, PluginType::ipsec);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->instance, inst);
+    EXPECT_EQ(p->fix, pkt::kNoFlow);  // no flow entry is ever created
+  }
+  // Every packet pays a filter lookup: no caching.
+  EXPECT_EQ(aiu.stats().filter_lookups, 3u);
+  EXPECT_EQ(aiu.flow_table().active(), 0u);
+}
+
+TEST(AiuLinear, LinearClassifierOptionWorks) {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  Aiu::Options opt;
+  opt.classifier = "linear";
+  Aiu aiu(pcu, clock, opt);
+  pcu.register_plugin(std::make_unique<DummyPlugin>("sec", PluginType::ipsec));
+  plugin::InstanceId id = plugin::kNoInstance;
+  pcu.find("sec")->create_instance({}, id);
+  auto* inst = pcu.find("sec")->instance(id);
+  aiu.create_filter(PluginType::ipsec, *Filter::parse("10.0.0.0/8 * * * * *"),
+                    inst);
+  auto p = udp_packet(1);
+  EXPECT_EQ(aiu.gate_lookup(*p, PluginType::ipsec)->instance, inst);
+}
+
+}  // namespace
+}  // namespace rp::aiu

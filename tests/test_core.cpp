@@ -1,0 +1,227 @@
+// Tests for the IP core data path: validation, TTL/checksum handling, gate
+// invocation and verdicts, routing (table + L4-switching plugin), ICMP
+// error generation, output queueing, and the BestEffortCore baseline.
+#include <gtest/gtest.h>
+
+#include "core/best_effort.hpp"
+#include "core/ip_core.hpp"
+#include "netbase/byteorder.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+#include "plugin/pcu.hpp"
+#include "route/route_plugin.hpp"
+
+namespace rp::core {
+namespace {
+
+using netbase::IpAddr;
+using netbase::Ipv4Addr;
+using plugin::PluginType;
+
+class VerdictInstance final : public plugin::PluginInstance {
+ public:
+  explicit VerdictInstance(plugin::Verdict v) : verdict_(v) {}
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    ++calls;
+    return verdict_;
+  }
+  int calls{0};
+
+ private:
+  plugin::Verdict verdict_;
+};
+
+class VerdictPlugin final : public plugin::Plugin {
+ public:
+  VerdictPlugin(std::string name, PluginType type, plugin::Verdict v)
+      : Plugin(std::move(name), type), verdict_(v) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<VerdictInstance>(verdict_);
+  }
+
+ private:
+  plugin::Verdict verdict_;
+};
+
+pkt::PacketPtr udp(const char* src, const char* dst, std::uint8_t ttl = 64,
+                   std::uint16_t dport = 80) {
+  pkt::UdpSpec s;
+  s.src = *IpAddr::parse(src);
+  s.dst = *IpAddr::parse(dst);
+  s.sport = 1000;
+  s.dport = dport;
+  s.payload_len = 64;
+  s.ttl = ttl;
+  return pkt::build_udp(s);
+}
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest()
+      : aiu_(pcu_, clock_), core_(aiu_, routes_, ifs_, clock_) {
+    ifs_.add("if0");
+    ifs_.add("if1");
+    routes_.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  }
+
+  VerdictInstance* add_plugin(const char* name, PluginType type,
+                              plugin::Verdict v, const char* filter) {
+    pcu_.register_plugin(std::make_unique<VerdictPlugin>(name, type, v));
+    plugin::InstanceId id = plugin::kNoInstance;
+    pcu_.find(name)->create_instance({}, id);
+    auto* inst =
+        static_cast<VerdictInstance*>(pcu_.find(name)->instance(id));
+    aiu_.create_filter(type, *aiu::Filter::parse(filter), inst);
+    return inst;
+  }
+
+  netbase::SimClock clock_;
+  plugin::PluginControlUnit pcu_;
+  aiu::Aiu aiu_;
+  route::RoutingTable routes_{"bsl"};
+  netdev::InterfaceTable ifs_;
+  IpCore core_;
+};
+
+TEST_F(CoreTest, ForwardsAndDecrementsTtlWithValidChecksum) {
+  auto p = udp("10.0.0.1", "20.0.0.5", 64);
+  core_.process(std::move(p));
+  EXPECT_EQ(core_.counters().forwarded, 1u);
+  auto out = core_.next_for_tx(1, 0);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->out_iface, 1);
+  pkt::Ipv4Header h;
+  ASSERT_TRUE(h.parse(out->bytes()));
+  EXPECT_EQ(h.ttl, 63);
+  EXPECT_TRUE(pkt::Ipv4Header::verify_checksum({out->data(), 20}));
+}
+
+TEST_F(CoreTest, DropsOnNoRoute) {
+  core_.process(udp("10.0.0.1", "99.0.0.5"));
+  EXPECT_EQ(core_.counters().dropped(DropReason::no_route), 1u);
+  EXPECT_EQ(core_.counters().forwarded, 0u);
+}
+
+TEST_F(CoreTest, DropsOnTtlExpiry) {
+  core_.process(udp("10.0.0.1", "20.0.0.5", 1));
+  EXPECT_EQ(core_.counters().dropped(DropReason::ttl_expired), 1u);
+}
+
+TEST_F(CoreTest, DropsOnBadChecksum) {
+  auto p = udp("10.0.0.1", "20.0.0.5");
+  p->data()[10] ^= 0xff;  // corrupt the header checksum
+  core_.process(std::move(p));
+  EXPECT_EQ(core_.counters().dropped(DropReason::bad_checksum), 1u);
+}
+
+TEST_F(CoreTest, DropsMalformed) {
+  auto p = pkt::make_packet(6);
+  p->data()[0] = 0x00;
+  core_.process(std::move(p));
+  EXPECT_EQ(core_.counters().dropped(DropReason::malformed), 1u);
+}
+
+TEST_F(CoreTest, GateDropVerdictEnforcesPolicy) {
+  auto* fw = add_plugin("fw", PluginType::firewall, plugin::Verdict::drop,
+                        "<*, *, udp, *, 80, *>");
+  core_.process(udp("10.0.0.1", "20.0.0.5", 64, 80));
+  core_.process(udp("10.0.0.1", "20.0.0.5", 64, 443));
+  EXPECT_EQ(fw->calls, 1);  // only the dport-80 flow hits the filter
+  EXPECT_EQ(core_.counters().dropped(DropReason::policy), 1u);
+  EXPECT_EQ(core_.counters().forwarded, 1u);
+}
+
+TEST_F(CoreTest, GateContinueInvokesPluginPerPacket) {
+  auto* mon = add_plugin("mon", PluginType::stats, plugin::Verdict::cont,
+                         "<*, *, *, *, *, *>");
+  for (int i = 0; i < 5; ++i) core_.process(udp("10.0.0.1", "20.0.0.5"));
+  EXPECT_EQ(mon->calls, 5);
+  EXPECT_EQ(core_.counters().forwarded, 5u);
+}
+
+TEST_F(CoreTest, RoutingPluginOverridesTableLookup) {
+  pcu_.register_plugin(std::make_unique<route::RoutePlugin>());
+  plugin::InstanceId id = plugin::kNoInstance;
+  plugin::Config cfg;
+  cfg.set("iface", "0");
+  ASSERT_EQ(pcu_.find("l4route")->create_instance(cfg, id), netbase::Status::ok);
+  auto* inst = pcu_.find("l4route")->instance(id);
+  // Route dport-80 flows out if0 even though the table says if1.
+  aiu_.create_filter(PluginType::routing,
+                     *aiu::Filter::parse("* * udp * 80 *"), inst);
+
+  core_.process(udp("10.0.0.1", "20.0.0.5", 64, 80));
+  core_.process(udp("10.0.0.1", "20.0.0.5", 64, 443));
+  auto p80 = core_.next_for_tx(0, 0);
+  ASSERT_NE(p80, nullptr);
+  auto p443 = core_.next_for_tx(1, 0);
+  ASSERT_NE(p443, nullptr);
+}
+
+TEST_F(CoreTest, IcmpTimeExceededEmitted) {
+  core_.config().emit_icmp_errors = true;
+  routes_.add(*netbase::IpPrefix::parse("10.0.0.0/8"), {0, {}});
+  core_.process(udp("10.0.0.1", "20.0.0.5", 1));
+  EXPECT_EQ(core_.counters().icmp_errors_sent, 1u);
+  // The error is routed back toward the source out if0.
+  auto icmp = core_.next_for_tx(0, 0);
+  ASSERT_NE(icmp, nullptr);
+  pkt::Ipv4Header h;
+  ASSERT_TRUE(h.parse(icmp->bytes()));
+  EXPECT_EQ(h.proto, 1);
+  EXPECT_EQ(h.dst.to_string(), "10.0.0.1");
+  pkt::IcmpHeader ih;
+  ASSERT_TRUE(ih.parse(icmp->bytes().subspan(20)));
+  EXPECT_EQ(ih.type, 11);
+}
+
+TEST_F(CoreTest, PortFifoLimitDropsExcess) {
+  core_.config().port_fifo_limit = 2;
+  for (int i = 0; i < 5; ++i) core_.process(udp("10.0.0.1", "20.0.0.5"));
+  EXPECT_EQ(core_.counters().forwarded, 2u);
+  EXPECT_EQ(core_.counters().dropped(DropReason::queue_full), 3u);
+}
+
+TEST_F(CoreTest, Ipv6ForwardingDecrementsHopLimit) {
+  routes_.add(*netbase::IpPrefix::parse("2001:db8::/32"), {1, {}});
+  pkt::UdpSpec s;
+  s.src = *IpAddr::parse("2001:db8::1");
+  s.dst = *IpAddr::parse("2001:db8::2");
+  s.sport = 5;
+  s.dport = 6;
+  s.payload_len = 40;
+  core_.process(pkt::build_udp(s));
+  auto out = core_.next_for_tx(1, 0);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->data()[7], 63);  // hop limit decremented
+}
+
+TEST(BestEffortCore, MatchesEisrForwardingBehaviour) {
+  route::RoutingTable routes("bsl");
+  netdev::InterfaceTable ifs;
+  ifs.add("if0");
+  ifs.add("if1");
+  routes.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  BestEffortCore core(routes, ifs);
+
+  core.process(udp("10.0.0.1", "20.0.0.5", 64));
+  EXPECT_EQ(core.counters().forwarded, 1u);
+  auto out = core.next_for_tx(1, 0);
+  ASSERT_NE(out, nullptr);
+  pkt::Ipv4Header h;
+  ASSERT_TRUE(h.parse(out->bytes()));
+  EXPECT_EQ(h.ttl, 63);
+  EXPECT_TRUE(pkt::Ipv4Header::verify_checksum({out->data(), 20}));
+
+  core.process(udp("10.0.0.1", "99.0.0.5"));
+  EXPECT_EQ(core.counters().dropped(DropReason::no_route), 1u);
+  core.process(udp("10.0.0.1", "20.0.0.5", 1));
+  EXPECT_EQ(core.counters().dropped(DropReason::ttl_expired), 1u);
+  EXPECT_FALSE(core.tx_backlog(0));
+}
+
+}  // namespace
+}  // namespace rp::core

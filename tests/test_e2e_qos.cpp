@@ -1,0 +1,126 @@
+// End-to-end QoS scenarios through the full router event loop:
+//  * an RSVP reservation actually shapes bandwidth on a congested link
+//    (not just installs state), and its expiry returns the flow to
+//    best-effort treatment;
+//  * IPv6 hop-by-hop router-alert packets flow through the ipopt gate and
+//    are counted by the rtalert plugin while normal v6 traffic passes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rsvp.hpp"
+#include "pkt/builder.hpp"
+
+namespace rp {
+namespace {
+
+using netbase::SimTime;
+
+TEST(E2eQos, RsvpReservationShapesBandwidthAndExpires) {
+  const std::uint64_t kLink = 8'000'000;
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  auto& out = k.interfaces().add("out0", kLink);
+  mgmt::RouterPluginLib lib(k);
+  mgmt::PluginManager pmgr(lib);
+  auto r = pmgr.run_script(R"(
+route add 20.0.0.0/8 if1
+modload drr
+create drr quantum=500
+attach drr 1 if1
+)");
+  ASSERT_TRUE(r.ok()) << r.text;
+
+  mgmt::RsvpDaemon::Config cfg;
+  cfg.weight_unit_bps = 1'000'000;
+  cfg.refresh_period = netbase::kNsPerSec;
+  mgmt::RsvpDaemon rsvp(lib, cfg);
+
+  mgmt::RsvpSession sess{*netbase::IpAddr::parse("20.0.0.1"), 17, 80};
+  mgmt::RsvpSender video{*netbase::IpAddr::parse("10.0.0.1"), 1};
+  ASSERT_EQ(rsvp.path(sess, video, {6'000'000, 8192}, 0),
+            netbase::Status::ok);
+  ASSERT_EQ(rsvp.resv(sess, video, 6'000'000, 0), netbase::Status::ok);
+
+  std::map<std::uint16_t, std::uint64_t> bytes;
+  out.set_tx_sink([&](pkt::PacketPtr p, SimTime) {
+    bytes[p->key.sport] += p->size();
+  });
+
+  // Two greedy flows; flow 1 (sport 1) holds a 6 Mb/s reservation (weight
+  // 6), flow 2 is best-effort (weight 1): expect ~6:1 under saturation.
+  auto offer = [&](std::uint16_t sport, std::uint8_t src, SimTime from,
+                   SimTime until) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, src));
+    s.dst = *netbase::IpAddr::parse("20.0.0.1");
+    s.sport = sport;
+    s.dport = 80;
+    s.payload_len = 472;
+    for (SimTime t = from; t < until; t += 500'000)
+      k.inject(t, 0, pkt::build_udp(s));
+  };
+  offer(1, 1, 0, 500 * netbase::kNsPerMs);
+  offer(2, 2, 0, 500 * netbase::kNsPerMs);
+  k.run_until(500 * netbase::kNsPerMs);
+
+  ASSERT_GT(bytes[2], 0u);
+  double ratio = static_cast<double>(bytes[1]) / bytes[2];
+  EXPECT_NEAR(ratio, 6.0, 1.0);
+
+  // No refresh: the reservation times out; afterwards both flows are
+  // best-effort and share ~1:1.
+  EXPECT_GE(rsvp.tick(20 * netbase::kNsPerSec), 1u);
+  EXPECT_FALSE(rsvp.has_resv(sess, video));
+  bytes.clear();
+  offer(1, 1, 30 * netbase::kNsPerSec,
+        30 * netbase::kNsPerSec + 500 * netbase::kNsPerMs);
+  offer(2, 2, 30 * netbase::kNsPerSec,
+        30 * netbase::kNsPerSec + 500 * netbase::kNsPerMs);
+  k.run_until(31 * netbase::kNsPerSec);
+  ASSERT_GT(bytes[2], 0u);
+  EXPECT_NEAR(static_cast<double>(bytes[1]) / bytes[2], 1.0, 0.2);
+}
+
+TEST(E2eQos, RouterAlertCountedAtIpoptGate) {
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  auto& out = k.add_interface("out0");
+  mgmt::RouterPluginLib lib(k);
+  mgmt::PluginManager pmgr(lib);
+  auto r = pmgr.run_script(R"(
+route add 2001:db8::/32 if1
+modload rtalert
+create rtalert
+bind rtalert 1 <*, *, *, *, *, *>
+)");
+  ASSERT_TRUE(r.ok()) << r.text;
+
+  std::size_t delivered = 0;
+  out.set_tx_sink([&](pkt::PacketPtr, SimTime) { ++delivered; });
+
+  pkt::UdpSpec s;
+  s.src = *netbase::IpAddr::parse("2001:db8::1");
+  s.dst = *netbase::IpAddr::parse("2001:db8::2");
+  s.sport = 1;
+  s.dport = 2;
+  s.payload_len = 32;
+  const std::uint8_t alert[] = {5, 2, 0, 0};  // router alert (RSVP)
+  k.inject(0, 0, pkt::build_udp6_hopopts(s, alert));
+  k.inject(1000, 0, pkt::build_udp(s));  // plain v6
+  k.run_to_completion();
+
+  EXPECT_EQ(delivered, 2u);  // both forwarded
+  auto stats = pmgr.exec("msg rtalert 1 stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.text.find("packets=2"), std::string::npos) << stats.text;
+  EXPECT_NE(stats.text.find("alerts=1"), std::string::npos) << stats.text;
+}
+
+}  // namespace
+}  // namespace rp

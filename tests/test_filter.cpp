@@ -1,0 +1,145 @@
+// Unit tests for Filter: parsing (the paper's six-tuple notation), matching
+// semantics, and the specificity order used by best-matching-filter.
+#include <gtest/gtest.h>
+
+#include "aiu/filter.hpp"
+
+namespace rp::aiu {
+namespace {
+
+using netbase::IpAddr;
+using netbase::Ipv4Addr;
+
+pkt::FlowKey key(const char* src, const char* dst, std::uint8_t proto,
+                 std::uint16_t sp, std::uint16_t dp, pkt::IfIndex ifc = 0) {
+  return {*IpAddr::parse(src), *IpAddr::parse(dst), proto, sp, dp, ifc};
+}
+
+TEST(PortSpec, MatchCoverIntersect) {
+  auto any = PortSpec::any();
+  auto web = PortSpec::exact(80);
+  PortSpec low{0, 1023};
+  EXPECT_TRUE(any.matches(4242));
+  EXPECT_TRUE(web.matches(80));
+  EXPECT_FALSE(web.matches(81));
+  EXPECT_TRUE(any.covers(web));
+  EXPECT_TRUE(low.covers(web));
+  EXPECT_FALSE(web.covers(low));
+  PortSpec a{0, 100}, b{50, 150};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_EQ(a.intersect(b), (PortSpec{50, 100}));
+  EXPECT_FALSE(a.overlaps(PortSpec{200, 300}));
+}
+
+TEST(PortSpec, ParseForms) {
+  EXPECT_EQ(*PortSpec::parse("*"), PortSpec::any());
+  EXPECT_EQ(*PortSpec::parse("80"), PortSpec::exact(80));
+  EXPECT_EQ(*PortSpec::parse("1024-2047"), (PortSpec{1024, 2047}));
+  EXPECT_FALSE(PortSpec::parse("99999"));
+  EXPECT_FALSE(PortSpec::parse("10-5"));
+  EXPECT_FALSE(PortSpec::parse("abc"));
+}
+
+TEST(Filter, ParsePaperNotation) {
+  // The paper's example: <129.*.*.*, 192.94.233.10, TCP, *, *, *>
+  auto f = Filter::parse("<129.0.0.0/8, 192.94.233.10, TCP, *, *, *>");
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->src.to_string(), "129.0.0.0/8");
+  EXPECT_EQ(f->dst.len, 32);
+  EXPECT_FALSE(f->proto.wild);
+  EXPECT_EQ(f->proto.value, 6);
+  EXPECT_TRUE(f->sport.is_wild());
+  EXPECT_TRUE(f->in_iface.wild);
+
+  EXPECT_TRUE(f->matches(key("129.1.2.3", "192.94.233.10", 6, 1, 2)));
+  EXPECT_FALSE(f->matches(key("130.1.2.3", "192.94.233.10", 6, 1, 2)));
+  EXPECT_FALSE(f->matches(key("129.1.2.3", "192.94.233.11", 6, 1, 2)));
+  EXPECT_FALSE(f->matches(key("129.1.2.3", "192.94.233.10", 17, 1, 2)));
+}
+
+TEST(Filter, ParseSpaceSeparated) {
+  auto f = Filter::parse("10.0.0.0/8 * udp 53 1024-65535 if2");
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->src.len, 8);
+  EXPECT_EQ(f->dst.len, 0);
+  EXPECT_EQ(f->proto.value, 17);
+  EXPECT_EQ(f->sport, PortSpec::exact(53));
+  EXPECT_EQ(f->dport, (PortSpec{1024, 65535}));
+  EXPECT_FALSE(f->in_iface.wild);
+  EXPECT_EQ(f->in_iface.value, 2);
+}
+
+TEST(Filter, ParseRejectsBadInput) {
+  EXPECT_FALSE(Filter::parse(""));
+  EXPECT_FALSE(Filter::parse("1.2.3.4 5.6.7.8 tcp * *"));        // 5 fields
+  EXPECT_FALSE(Filter::parse("1.2.3.4 5.6.7.8 tcp * * * extra"));
+  EXPECT_FALSE(Filter::parse("x.y.z.w * tcp * * *"));
+  EXPECT_FALSE(Filter::parse("* * frob * * *"));
+  EXPECT_FALSE(Filter::parse("* * tcp 99999 * *"));
+}
+
+TEST(Filter, RoundTripThroughToString) {
+  const char* specs[] = {
+      "<129.0.0.0/8, 192.94.233.10, 6, *, *, *>",
+      "<*, *, 17, 53, 1024-2047, 3>",
+      "<2001:db8::/32, *, *, *, *, *>",
+  };
+  for (const char* s : specs) {
+    auto f = Filter::parse(s);
+    ASSERT_TRUE(f) << s;
+    auto g = Filter::parse(f->to_string());
+    ASSERT_TRUE(g) << f->to_string();
+    EXPECT_EQ(*f, *g) << s;
+  }
+}
+
+TEST(Filter, FullySpecified) {
+  auto full = Filter::parse("1.2.3.4 5.6.7.8 tcp 1000 80 0");
+  ASSERT_TRUE(full);
+  EXPECT_TRUE(full->fully_specified());
+  auto partial = Filter::parse("1.2.3.4 5.6.7.8 tcp 1000 80 *");
+  EXPECT_FALSE(partial->fully_specified());
+  auto prefixed = Filter::parse("1.2.0.0/16 5.6.7.8 tcp 1000 80 0");
+  EXPECT_FALSE(prefixed->fully_specified());
+}
+
+TEST(Filter, SpecificityIsLexicographicByField) {
+  auto a = *Filter::parse("10.0.0.0/8 * * * * *");
+  auto b = *Filter::parse("10.1.0.0/16 * * * * *");
+  EXPECT_GT(compare_specificity(b, a), 0);  // longer src wins
+  EXPECT_LT(compare_specificity(a, b), 0);
+
+  // src dominates dst: /24 src + wild dst beats /8 src + /32 dst.
+  auto c = *Filter::parse("10.1.1.0/24 * * * * *");
+  auto d = *Filter::parse("10.0.0.0/8 9.9.9.9 * * * *");
+  EXPECT_GT(compare_specificity(c, d), 0);
+
+  // proto beats ports.
+  auto e = *Filter::parse("* * tcp * * *");
+  auto f = *Filter::parse("* * * 80 80 *");
+  EXPECT_GT(compare_specificity(e, f), 0);
+
+  // narrower port range is more specific.
+  auto g = *Filter::parse("* * * 0-100 * *");
+  auto h = *Filter::parse("* * * 50-60 * *");
+  EXPECT_GT(compare_specificity(h, g), 0);
+
+  EXPECT_EQ(compare_specificity(a, a), 0);
+}
+
+TEST(Filter, V6Matching) {
+  auto f = *Filter::parse("2001:db8::/32 * udp * * *");
+  EXPECT_TRUE(f.matches(key("2001:db8::1", "2001:db8::2", 17, 1, 2)));
+  EXPECT_FALSE(f.matches(key("2002:db8::1", "2001:db8::2", 17, 1, 2)));
+  // A v4 key does not match a v6 prefix.
+  EXPECT_FALSE(f.matches(key("1.2.3.4", "5.6.7.8", 17, 1, 2)));
+}
+
+TEST(Filter, WildcardMatchesBothFamilies) {
+  auto f = *Filter::parse("* * * * * *");
+  EXPECT_TRUE(f.matches(key("1.2.3.4", "5.6.7.8", 6, 1, 2)));
+  EXPECT_TRUE(f.matches(key("2001::1", "2001::2", 6, 1, 2)));
+}
+
+}  // namespace
+}  // namespace rp::aiu

@@ -1,0 +1,216 @@
+// Tests for the flow table: hashing, chaining, the §5.2 free-list growth
+// sequence (1024, 2048, 4096, ...), LRU recycling at the record cap, idle
+// expiry, and the flow_removed soft-state callback.
+#include <gtest/gtest.h>
+
+#include "aiu/flow_table.hpp"
+#include "netbase/memaccess.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp::aiu {
+namespace {
+
+using netbase::MemAccess;
+using netbase::Rng;
+
+pkt::FlowKey mk(std::uint32_t i) {
+  pkt::FlowKey k;
+  k.src = netbase::IpAddr(netbase::Ipv4Addr(i));
+  k.dst = netbase::IpAddr(netbase::Ipv4Addr(~i));
+  k.proto = 17;
+  k.sport = static_cast<std::uint16_t>(i);
+  k.dport = 80;
+  k.in_iface = 0;
+  return k;
+}
+
+// Counts flow_removed callbacks and remembers the soft pointers it saw.
+class RecordingInstance final : public plugin::PluginInstance {
+ public:
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    return plugin::Verdict::cont;
+  }
+  void flow_removed(void* soft) override {
+    ++removed;
+    last_soft = soft;
+  }
+  int removed{0};
+  void* last_soft{nullptr};
+};
+
+TEST(FlowTable, InsertLookupRemove) {
+  FlowTable t(1024, 16, 4096);
+  EXPECT_EQ(t.lookup(mk(1), 0), pkt::kNoFlow);
+  auto i = t.insert(mk(1), 100);
+  ASSERT_NE(i, pkt::kNoFlow);
+  EXPECT_EQ(t.active(), 1u);
+  EXPECT_EQ(t.lookup(mk(1), 200), i);
+  EXPECT_EQ(t.rec(i).last_used, 200);
+  EXPECT_EQ(t.rec(i).packets, 1u);
+  t.remove(i);
+  EXPECT_EQ(t.active(), 0u);
+  EXPECT_EQ(t.lookup(mk(1), 300), pkt::kNoFlow);
+}
+
+TEST(FlowTable, CollisionChainsResolve) {
+  // 1-bucket table: everything collides; all entries must still be found.
+  FlowTable t(1, 8, 1024);
+  std::vector<pkt::FlowIndex> idx;
+  for (std::uint32_t i = 0; i < 50; ++i) idx.push_back(t.insert(mk(i), i));
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(t.lookup(mk(i), 99), idx[i]);
+  // Remove the middle of chains and re-check.
+  for (std::uint32_t i = 0; i < 50; i += 2) t.remove(idx[i]);
+  for (std::uint32_t i = 1; i < 50; i += 2) EXPECT_EQ(t.lookup(mk(i), 99), idx[i]);
+  for (std::uint32_t i = 0; i < 50; i += 2)
+    EXPECT_EQ(t.lookup(mk(i), 99), pkt::kNoFlow);
+}
+
+TEST(FlowTable, GrowthSequenceDoubles) {
+  FlowTable t(256, 4, 64);
+  EXPECT_EQ(t.capacity(), 4u);
+  for (std::uint32_t i = 0; i < 5; ++i) t.insert(mk(i), i);
+  EXPECT_EQ(t.capacity(), 8u);  // 4 -> 8
+  for (std::uint32_t i = 5; i < 9; ++i) t.insert(mk(i), i);
+  EXPECT_EQ(t.capacity(), 16u);  // 8 -> 16
+  EXPECT_EQ(t.stats().grown, 2u);
+}
+
+TEST(FlowTable, RecyclesLruAtCap) {
+  FlowTable t(256, 4, 8);  // hard cap at 8 records
+  for (std::uint32_t i = 0; i < 8; ++i) t.insert(mk(i), i);
+  EXPECT_EQ(t.active(), 8u);
+  // Touch flow 0 so it is no longer the LRU victim.
+  EXPECT_NE(t.lookup(mk(0), 100), pkt::kNoFlow);
+  // Next insert must evict flow 1 (the oldest untouched).
+  t.insert(mk(100), 101);
+  EXPECT_EQ(t.active(), 8u);
+  EXPECT_EQ(t.stats().recycled, 1u);
+  EXPECT_EQ(t.lookup(mk(1), 102), pkt::kNoFlow);   // evicted
+  EXPECT_NE(t.lookup(mk(0), 102), pkt::kNoFlow);   // survived
+  EXPECT_NE(t.lookup(mk(100), 102), pkt::kNoFlow);
+}
+
+TEST(FlowTable, FlowRemovedCallbackFiresWithSoftState) {
+  FlowTable t(64, 4, 64);
+  RecordingInstance inst;
+  auto i = t.insert(mk(5), 0);
+  int marker = 42;
+  t.rec(i).gates[gate_index(plugin::PluginType::sched)] = {&inst, &marker,
+                                                           nullptr};
+  t.remove(i);
+  EXPECT_EQ(inst.removed, 1);
+  EXPECT_EQ(inst.last_soft, &marker);
+}
+
+TEST(FlowTable, PurgeInstanceRemovesOnlyItsFlows) {
+  FlowTable t(64, 8, 64);
+  RecordingInstance a, b;
+  auto ia = t.insert(mk(1), 0);
+  auto ib = t.insert(mk(2), 0);
+  t.insert(mk(3), 0);  // unbound flow
+  t.rec(ia).gates[1] = {&a, nullptr, nullptr};
+  t.rec(ib).gates[2] = {&b, nullptr, nullptr};
+  EXPECT_EQ(t.purge_instance(&a), 1u);
+  EXPECT_EQ(t.active(), 2u);
+  EXPECT_EQ(t.lookup(mk(1), 9), pkt::kNoFlow);
+  EXPECT_NE(t.lookup(mk(2), 9), pkt::kNoFlow);
+}
+
+TEST(FlowTable, PurgeFilterRemovesDerivedFlows) {
+  FlowTable t(64, 8, 64);
+  FilterRecord fr;
+  auto i1 = t.insert(mk(1), 0);
+  t.insert(mk(2), 0);
+  t.rec(i1).gates[3] = {nullptr, nullptr, &fr};
+  EXPECT_EQ(t.purge_filter(&fr), 1u);
+  EXPECT_EQ(t.active(), 1u);
+}
+
+TEST(FlowTable, ExpireIdleRemovesOldFlows) {
+  FlowTable t(64, 8, 64);
+  t.insert(mk(1), 100);
+  t.insert(mk(2), 200);
+  t.insert(mk(3), 300);
+  t.lookup(mk(1), 400);  // refresh flow 1
+  EXPECT_EQ(t.expire_idle(250), 1u);  // only flow 2 is older than 250
+  EXPECT_EQ(t.active(), 2u);
+  EXPECT_EQ(t.lookup(mk(2), 500), pkt::kNoFlow);
+}
+
+TEST(FlowTable, HitMissStats) {
+  FlowTable t(64, 8, 64);
+  t.lookup(mk(1), 0);
+  t.insert(mk(1), 0);
+  t.lookup(mk(1), 1);
+  t.lookup(mk(2), 1);
+  EXPECT_EQ(t.stats().hits, 1u);
+  EXPECT_EQ(t.stats().misses, 2u);
+  EXPECT_EQ(t.stats().inserts, 1u);
+}
+
+TEST(FlowTable, LookupCostOneProbePlusChain) {
+  // In a well-sized table a hit costs the bucket probe plus one entry fetch.
+  FlowTable t(32768, 1024, 1 << 20);
+  Rng rng(3);
+  std::vector<pkt::FlowKey> keys;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back(tgen::random_key(rng));
+    t.insert(keys.back(), 0);
+  }
+  std::uint64_t worst = 0;
+  for (const auto& k : keys) {
+    MemAccess::reset();
+    ASSERT_NE(t.lookup(k, 1), pkt::kNoFlow);
+    worst = std::max(worst, MemAccess::total());
+  }
+  EXPECT_LE(worst, 4u);  // 100 flows in 32768 buckets: chains are tiny
+}
+
+TEST(FlowTable, ClearEmptiesEverything) {
+  FlowTable t(64, 8, 64);
+  for (std::uint32_t i = 0; i < 20; ++i) t.insert(mk(i), i);
+  t.clear();
+  EXPECT_EQ(t.active(), 0u);
+  for (std::uint32_t i = 0; i < 20; ++i)
+    EXPECT_EQ(t.lookup(mk(i), 99), pkt::kNoFlow);
+  // Table remains usable after clear.
+  EXPECT_NE(t.insert(mk(5), 1), pkt::kNoFlow);
+}
+
+TEST(FlowTable, StressRandomOpsAgainstReference) {
+  FlowTable t(64, 4, 128);
+  std::map<std::uint32_t, pkt::FlowIndex> ref;  // key id -> index
+  Rng rng(17);
+  netbase::SimTime now = 0;
+  for (int op = 0; op < 5000; ++op) {
+    ++now;
+    std::uint32_t id = static_cast<std::uint32_t>(rng.below(200));
+    if (rng.chance(0.6)) {
+      auto want = ref.find(id);
+      auto got = t.lookup(mk(id), now);
+      if (want != ref.end()) {
+        // May have been recycled under the cap; accept either agreement or
+        // a recorded eviction.
+        if (got == pkt::kNoFlow) {
+          ref.erase(want);
+        } else {
+          EXPECT_EQ(got, want->second);
+        }
+      } else if (got == pkt::kNoFlow) {
+        ref[id] = t.insert(mk(id), now);
+      }
+    } else if (!ref.empty() && rng.chance(0.3)) {
+      auto it = ref.begin();
+      std::advance(it, rng.below(ref.size()));
+      // Use the index from a fresh lookup: the stored one may have been
+      // recycled and reused by another flow under the record cap.
+      auto cur = t.lookup(mk(it->first), now);
+      if (cur != pkt::kNoFlow) t.remove(cur);
+      ref.erase(it);
+    }
+    ASSERT_LE(t.active(), 128u);
+  }
+}
+
+}  // namespace
+}  // namespace rp::aiu

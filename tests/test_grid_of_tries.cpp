@@ -1,0 +1,172 @@
+// Tests for the grid-of-tries 2D classifier: agreement with the linear
+// reference on random two-dimensional filter sets, switch-pointer cases
+// where the best filter lives in a skipped ancestor trie, and the
+// O(W_src + W_dst) access bound that motivates the structure.
+#include <gtest/gtest.h>
+
+#include "aiu/grid_of_tries.hpp"
+#include "netbase/memaccess.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp::aiu {
+namespace {
+
+using netbase::MemAccess;
+using netbase::Rng;
+
+pkt::FlowKey key(const char* src, const char* dst) {
+  return {*netbase::IpAddr::parse(src), *netbase::IpAddr::parse(dst), 17, 1, 1,
+          0};
+}
+
+Filter F2(const char* src, const char* dst) {
+  Filter f;
+  f.src = *netbase::IpPrefix::parse(src);
+  f.dst = *netbase::IpPrefix::parse(dst);
+  return f;
+}
+
+TEST(GridOfTries, RejectsNon2DFilters) {
+  GridOfTries t;
+  EXPECT_EQ(t.insert(*Filter::parse("10.0.0.0/8 * tcp * * *"), nullptr),
+            nullptr);
+  EXPECT_EQ(t.insert(*Filter::parse("10.0.0.0/8 * * 80 * *"), nullptr),
+            nullptr);
+  EXPECT_EQ(t.insert(*Filter::parse("* * * * * 2"), nullptr), nullptr);
+  EXPECT_NE(t.insert(*Filter::parse("10.0.0.0/8 * * * * *"), nullptr),
+            nullptr);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(GridOfTries, BasicLongestMatch) {
+  GridOfTries t;
+  auto* a = t.insert(F2("10.0.0.0/8", "*"), nullptr);
+  auto* b = t.insert(F2("10.1.0.0/16", "*"), nullptr);
+  auto* c = t.insert(F2("10.1.0.0/16", "20.0.0.0/8"), nullptr);
+  EXPECT_EQ(t.lookup(key("10.9.0.1", "9.9.9.9")), a);
+  EXPECT_EQ(t.lookup(key("10.1.0.1", "9.9.9.9")), b);
+  EXPECT_EQ(t.lookup(key("10.1.0.1", "20.1.1.1")), c);
+  EXPECT_EQ(t.lookup(key("11.0.0.1", "20.1.1.1")), nullptr);
+}
+
+TEST(GridOfTries, SrcMajorSpecificity) {
+  // Longer src must beat longer dst (lexicographic field order).
+  GridOfTries t;
+  auto* long_src = t.insert(F2("10.1.1.0/24", "*"), nullptr);
+  t.insert(F2("10.0.0.0/8", "20.2.2.2"), nullptr);
+  EXPECT_EQ(t.lookup(key("10.1.1.5", "20.2.2.2")), long_src);
+}
+
+TEST(GridOfTries, SwitchPointerReachesAncestorTrie) {
+  // Filter in a shorter-src trie with a deeper dst must be found after the
+  // walk leaves the longest-src trie.
+  GridOfTries t;
+  t.insert(F2("10.1.1.0/24", "20.0.0.0/8"), nullptr);
+  auto* deep_dst = t.insert(F2("10.0.0.0/8", "20.3.0.0/16"), nullptr);
+  // Packet matches both; src-major prefers the /24... which matches too:
+  auto* hit = t.lookup(key("10.1.1.5", "20.3.1.1"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->filter.src.len, 24);  // /24 + dst/8 wins over /8 + dst/16
+  // A packet outside the /24 finds the ancestor filter via the normal walk.
+  EXPECT_EQ(t.lookup(key("10.9.9.9", "20.3.1.1")), deep_dst);
+}
+
+TEST(GridOfTries, SkippedTrieFilterStillWins) {
+  // The regression the stored-filter propagation exists for: the middle
+  // trie has no dst extension, so the switch pointer skips it — but its
+  // filter matches and must be reported via `stored`.
+  GridOfTries t;
+  t.insert(F2("10.1.1.0/24", "20.0.0.0/8"), nullptr);   // visited first
+  auto* mid = t.insert(F2("10.1.0.0/16", "20.0.0.0/8"), nullptr);  // skipped
+  t.insert(F2("10.0.0.0/8", "20.1.0.0/16"), nullptr);   // jump target
+  // Packet inside /16 but outside /24: best is `mid` (src /16 > src /8).
+  EXPECT_EQ(t.lookup(key("10.1.2.3", "20.1.1.1")), mid);
+}
+
+TEST(GridOfTries, WildcardsAndFamilies) {
+  GridOfTries t;
+  auto* any = t.insert(F2("*", "*"), nullptr);
+  auto* v6 = t.insert(F2("2001:db8::/32", "*"), nullptr);
+  EXPECT_EQ(t.lookup(key("1.2.3.4", "5.6.7.8")), any);
+  EXPECT_EQ(t.lookup(key("2001:db8::1", "2001::2")), v6);
+  EXPECT_EQ(t.lookup(key("2002::1", "2001::2")), any);
+}
+
+TEST(GridOfTries, RemoveAndPurge) {
+  GridOfTries t;
+  auto* inst = reinterpret_cast<plugin::PluginInstance*>(2);
+  t.insert(F2("10.0.0.0/8", "*"), inst);
+  t.insert(F2("11.0.0.0/8", "*"), nullptr);
+  EXPECT_EQ(t.remove(F2("11.0.0.0/8", "*")), Status::ok);
+  EXPECT_EQ(t.remove(F2("11.0.0.0/8", "*")), Status::not_found);
+  EXPECT_EQ(t.purge_instance(inst), 1u);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.lookup(key("10.0.0.1", "1.1.1.1")), nullptr);
+}
+
+class GridEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridEquivalence, AgreesWithLinearOn2DSets) {
+  const std::uint64_t seed = GetParam();
+  tgen::FilterSetSpec spec;
+  spec.count = 150;
+  spec.seed = seed;
+  spec.p_wild_proto = 1.0;  // force 2D shapes
+  spec.p_port_exact = 0.0;
+  spec.p_port_range = 0.0;
+  spec.p_wild_src = 0.25;
+  spec.p_wild_dst = 0.25;
+  auto filters = tgen::random_filters(spec);
+  for (auto& f : filters) f.in_iface = IfaceSpec::any();
+
+  GridOfTries grid;
+  LinearFilterTable lin;
+  for (const auto& f : filters) {
+    ASSERT_NE(grid.insert(f, nullptr), nullptr);
+    lin.insert(f, nullptr);
+  }
+
+  Rng rng(seed ^ 0x9999);
+  for (int i = 0; i < 500; ++i) {
+    pkt::FlowKey k = (i % 2) ? tgen::random_key(rng)
+                             : tgen::matching_key(
+                                   filters[rng.below(filters.size())], rng);
+    const auto* g = grid.lookup(k);
+    const auto* l = lin.lookup(k);
+    ASSERT_EQ(g == nullptr, l == nullptr) << k.to_string();
+    if (g && g != l) {
+      ASSERT_TRUE(g->filter.matches(k));
+      ASSERT_EQ(compare_specificity(g->filter, l->filter), 0)
+          << "grid=" << g->filter.to_string()
+          << " lin=" << l->filter.to_string() << " key=" << k.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(GridOfTries, AccessBoundLinearInWidths) {
+  GridOfTries t;
+  tgen::FilterSetSpec spec;
+  spec.count = 2000;
+  spec.seed = 3;
+  spec.p_wild_proto = 1.0;
+  spec.p_port_exact = 0.0;
+  spec.p_port_range = 0.0;
+  for (auto f : tgen::random_filters(spec)) {
+    f.in_iface = IfaceSpec::any();
+    ASSERT_NE(t.insert(f, nullptr), nullptr);
+  }
+  t.prepare();
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    MemAccess::reset();
+    t.lookup(tgen::random_key(rng));
+    // One access per visited node: at most W_src + W_dst + start.
+    EXPECT_LE(MemAccess::total(), 32u + 32u + 2u);
+  }
+}
+
+}  // namespace
+}  // namespace rp::aiu

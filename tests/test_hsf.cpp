@@ -1,0 +1,126 @@
+// Tests for the Hierarchical Scheduling Framework extension (paper §6/§8
+// future work): per-flow DRR queueing inside an H-FSC leaf. With the
+// original FIFO leaves, flows sharing a leaf get no isolation ("may result
+// in unfair service to different flows"); with qdisc=drr they share the
+// leaf's bandwidth fairly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pkt/builder.hpp"
+#include "sched/hfsc.hpp"
+
+namespace rp::sched {
+namespace {
+
+using netbase::Status;
+
+pkt::PacketPtr flow_pkt(std::uint16_t sport, std::size_t payload = 472) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 1));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = sport;
+  s.dport = 80;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+// Backlogs two flows into one leaf unevenly (flow 1 floods 9:1), serves 100
+// packets, and returns per-flow service.
+std::map<std::uint16_t, int> run_shared_leaf(const char* qdisc) {
+  HfscInstance h({8'000'000, 4096});
+  plugin::PluginMsg add;
+  add.custom_name = "addclass";
+  add.args.set("name", "shared");
+  add.args.set("ls_m1", "8000000");
+  add.args.set("ls_m2", "8000000");
+  add.args.set("qdisc", qdisc);
+  add.args.set("drr_quantum", "500");
+  plugin::PluginReply reply;
+  EXPECT_EQ(h.handle_message(add, reply), Status::ok);
+  EXPECT_EQ(h.bind_class(*aiu::Filter::parse("* * udp * * *"), "shared"),
+            Status::ok);
+
+  // Flood: 9 packets of flow 1 for each packet of flow 2.
+  for (int r = 0; r < 60; ++r) {
+    for (int i = 0; i < 9; ++i) EXPECT_TRUE(h.enqueue(flow_pkt(1), nullptr, 0));
+    EXPECT_TRUE(h.enqueue(flow_pkt(2), nullptr, 0));
+  }
+  std::map<std::uint16_t, int> served;
+  for (int i = 0; i < 100; ++i) {
+    auto p = h.dequeue(i * 1000);
+    if (!p) break;
+    ++served[p->key.sport];
+  }
+  return served;
+}
+
+TEST(Hsf, FifoLeafLetsFloodDominate) {
+  auto served = run_shared_leaf("fifo");
+  // FIFO: service proportional to arrival share (~90% flow 1).
+  EXPECT_GE(served[1], 80);
+  EXPECT_LE(served[2], 20);
+}
+
+TEST(Hsf, DrrLeafRestoresPerFlowFairness) {
+  auto served = run_shared_leaf("drr");
+  // Per-flow DRR in the leaf: both flows served equally while both are
+  // backlogged.
+  EXPECT_NEAR(served[1], served[2], 10);
+  EXPECT_GE(served[2], 40);
+}
+
+TEST(Hsf, DrrLeafDrainsCompletely) {
+  HfscInstance h({8'000'000, 4096});
+  ASSERT_EQ(h.add_class("l", "root", {}, {1e6, 0, 1e6}, {},
+                        HfscInstance::LeafQdisc::drr, 500),
+            Status::ok);
+  ASSERT_EQ(h.bind_class(*aiu::Filter::parse("* * udp * * *"), "l"),
+            Status::ok);
+  for (std::uint16_t f = 1; f <= 3; ++f)
+    for (int i = 0; i < 7; ++i) ASSERT_TRUE(h.enqueue(flow_pkt(f), nullptr, 0));
+  int n = 0;
+  while (auto p = h.dequeue(n * 1000)) ++n;
+  EXPECT_EQ(n, 21);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.backlog_packets(), 0u);
+}
+
+TEST(Hsf, BadQdiscRejected) {
+  HfscInstance h({8'000'000, 64});
+  plugin::PluginMsg add;
+  add.custom_name = "addclass";
+  add.args.set("name", "x");
+  add.args.set("ls_m2", "1000000");
+  add.args.set("qdisc", "wfq");
+  plugin::PluginReply reply;
+  EXPECT_EQ(h.handle_message(add, reply), Status::invalid_argument);
+}
+
+TEST(Hsf, MixedLeavesCoexist) {
+  // One FIFO leaf and one DRR leaf under the same parent, both active.
+  HfscInstance h({8'000'000, 4096});
+  ASSERT_EQ(h.add_class("fifoL", "root", {}, {4e5, 0, 4e5}, {}), Status::ok);
+  ASSERT_EQ(h.add_class("drrL", "root", {}, {4e5, 0, 4e5}, {},
+                        HfscInstance::LeafQdisc::drr, 500),
+            Status::ok);
+  ASSERT_EQ(h.bind_class(*aiu::Filter::parse("* * udp 1 * *"), "fifoL"),
+            Status::ok);
+  ASSERT_EQ(h.bind_class(*aiu::Filter::parse("* * udp 2 * *"), "drrL"),
+            Status::ok);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(h.enqueue(flow_pkt(1), nullptr, 0));
+    EXPECT_TRUE(h.enqueue(flow_pkt(2), nullptr, 0));
+  }
+  std::map<std::uint16_t, int> served;
+  for (int i = 0; i < 40; ++i) {
+    auto p = h.dequeue(i * 1000);
+    ASSERT_NE(p, nullptr);
+    ++served[p->key.sport];
+  }
+  EXPECT_EQ(served[1], 20);
+  EXPECT_EQ(served[2], 20);
+}
+
+}  // namespace
+}  // namespace rp::sched

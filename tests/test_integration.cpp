@@ -1,0 +1,255 @@
+// Integration tests across the whole system: the EISR router configured via
+// pmgr with multiple plugin types active simultaneously, dynamic loading /
+// unloading while traffic is in flight (the paper's headline capability),
+// a VPN built from two routers with ESP plugins, and end-to-end DRR
+// link-sharing through the event loop.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+#include "sched/drr.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp {
+namespace {
+
+using netbase::SimTime;
+using netbase::Status;
+
+pkt::PacketPtr udp(std::uint16_t sport, std::uint8_t src = 1,
+                   std::size_t payload = 472) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, src));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = sport;
+  s.dport = 80;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+TEST(Integration, MultiPluginPipeline) {
+  // stats + firewall + DRR all active on distinct (and overlapping) flows.
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  auto& out = k.add_interface("out0");
+  mgmt::RouterPluginLib lib(k);
+  mgmt::PluginManager pmgr(lib);
+
+  auto r = pmgr.run_script(R"(
+route add 20.0.0.0/8 if1
+modload stats
+modload firewall
+modload drr
+create stats mode=bytes
+bind stats 1 <*, *, *, *, *, *>
+create firewall policy=deny
+bind firewall 1 <10.0.0.99, *, *, *, *, *>
+create drr
+attach drr 1 if1
+)");
+  ASSERT_TRUE(r.ok()) << r.text;
+
+  std::size_t delivered = 0;
+  out.set_tx_sink([&](pkt::PacketPtr, SimTime) { ++delivered; });
+
+  for (int i = 0; i < 10; ++i) k.inject(i * 1000, 0, udp(1, 1));
+  for (int i = 0; i < 5; ++i) k.inject(i * 1000 + 500, 0, udp(2, 99));
+  k.run_to_completion();
+
+  EXPECT_EQ(delivered, 10u);
+  EXPECT_EQ(k.core().counters().dropped(core::DropReason::policy), 5u);
+  // The stats instance saw every packet (it runs before the firewall drop?
+  // gate order is ipopt, ipsec, firewall, stats — so stats sees only the
+  // forwarded ones).
+  auto rep = pmgr.exec("msg stats 1 report");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_NE(rep.text.find("total_packets=10"), std::string::npos);
+}
+
+TEST(Integration, DynamicLoadUnloadUnderTraffic) {
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  k.add_interface("out0");
+  mgmt::RouterPluginLib lib(k);
+  mgmt::PluginManager pmgr(lib);
+  ASSERT_TRUE(pmgr.exec("route add 20.0.0.0/8 if1").ok());
+
+  // Phase 1: plain forwarding.
+  k.inject(0, 0, udp(1));
+  k.run_to_completion();
+  EXPECT_EQ(k.core().counters().forwarded, 1u);
+
+  // Phase 2: hot-load a deny firewall for this very flow; cached flow state
+  // must be invalidated so the next packet hits the new policy.
+  ASSERT_TRUE(pmgr.exec("modload firewall").ok());
+  ASSERT_TRUE(pmgr.exec("create firewall policy=deny").ok());
+  ASSERT_TRUE(pmgr.exec("bind firewall 1 <10.0.0.1, *, *, *, *, *>").ok());
+  k.inject(0, 0, udp(1));
+  k.run_to_completion();
+  EXPECT_EQ(k.core().counters().dropped(core::DropReason::policy), 1u);
+
+  // Phase 3: unload the module entirely; traffic flows again and no
+  // dangling references remain.
+  ASSERT_TRUE(pmgr.exec("modunload firewall").ok());
+  EXPECT_EQ(k.aiu().filter_table(plugin::PluginType::firewall)->size(), 0u);
+  k.inject(0, 0, udp(1));
+  k.run_to_completion();
+  EXPECT_EQ(k.core().counters().forwarded, 2u);
+
+  // Phase 4: reload works.
+  EXPECT_TRUE(pmgr.exec("modload firewall").ok());
+}
+
+TEST(Integration, DrrSharesLinkUnderSaturation) {
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  auto& out = k.interfaces().add("out0", 8'000'000);  // 8 Mb/s bottleneck
+  mgmt::RouterPluginLib lib(k);
+  mgmt::PluginManager pmgr(lib);
+  auto r = pmgr.run_script(R"(
+route add 20.0.0.0/8 if1
+modload drr
+create drr quantum=500
+attach drr 1 if1
+msg drr 1 setweight filter=<10.0.0.3,*,udp,*,*,*> weight=2
+)");
+  ASSERT_TRUE(r.ok()) << r.text;
+
+  std::map<std::uint8_t, std::size_t> bytes;  // by source octet
+  out.set_tx_sink([&](pkt::PacketPtr p, SimTime) {
+    bytes[static_cast<std::uint8_t>(p->key.src.v4().v & 0xff)] += p->size();
+  });
+
+  // Three sources each offering ~8 Mb/s (3x overload): 500-byte packets
+  // every 500 us.
+  for (std::uint8_t src = 1; src <= 3; ++src) {
+    for (SimTime t = 0; t < 300 * netbase::kNsPerMs; t += 500'000)
+      k.inject(t, 0, udp(src, src));
+  }
+  k.run_until(300 * netbase::kNsPerMs);
+
+  ASSERT_GT(bytes[1], 0u);
+  ASSERT_GT(bytes[2], 0u);
+  ASSERT_GT(bytes[3], 0u);
+  // Equal-weight flows equal; weight-2 flow gets twice the service.
+  EXPECT_NEAR(static_cast<double>(bytes[2]) / bytes[1], 1.0, 0.15);
+  EXPECT_NEAR(static_cast<double>(bytes[3]) / bytes[1], 2.0, 0.4);
+}
+
+TEST(Integration, VpnTunnelBetweenTwoRouters) {
+  mgmt::register_builtin_modules();
+
+  // Router A encrypts 10.0.0.0/8 -> 20.0.0.0/8 traffic; router B decrypts.
+  auto setup = [](core::RouterKernel& k, const char* mode) {
+    k.add_interface("in0");
+    k.add_interface("out0");
+    mgmt::RouterPluginLib lib(k);
+    mgmt::PluginManager pmgr(lib);
+    auto r = pmgr.run_script(std::string(R"(
+route add 20.0.0.0/8 if1
+modload ipsec
+msg ipsec - addsa spi=9 auth_key=00112233445566778899aabbccddeeff enc_key=000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f
+)") + "create ipsec mode=" + mode + " spi=9\n" +
+                             "bind ipsec 1 <10.0.0.0/8, *, *, *, *, *>\n");
+    ASSERT_TRUE(r.ok()) << r.text;
+  };
+
+  core::RouterKernel a, b;
+  setup(a, "esp-encrypt");
+  setup(b, "esp-decrypt");
+
+  // Chain: A's out0 feeds B's in0.
+  std::vector<pkt::PacketPtr> delivered;
+  a.interfaces().by_index(1)->set_tx_sink(
+      [&](pkt::PacketPtr p, SimTime t) {
+        // Verify the wire format is ESP.
+        EXPECT_EQ(p->data()[9], 50);
+        // Re-inject into router B as a fresh arrival.
+        auto fresh = pkt::make_packet(p->size());
+        std::memcpy(fresh->data(), p->data(), p->size());
+        b.inject(t, 0, std::move(fresh));
+      });
+  b.interfaces().by_index(1)->set_tx_sink(
+      [&](pkt::PacketPtr p, SimTime) { delivered.push_back(std::move(p)); });
+
+  auto original = udp(1234, 1, 64);
+  auto want = pkt::clone_packet(*original);
+  a.inject(0, 0, std::move(original));
+  a.run_to_completion();
+  b.run_to_completion();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  // Inner packet restored; TTL decremented twice (two routers).
+  auto& got = *delivered[0];
+  EXPECT_EQ(got.size(), want->size());
+  EXPECT_EQ(got.data()[9], 17);  // UDP again
+  EXPECT_EQ(got.data()[8], want->data()[8] - 2);
+  // Payload identical.
+  EXPECT_EQ(0, std::memcmp(got.data() + 28, want->data() + 28,
+                           got.size() - 28));
+}
+
+TEST(Integration, VpnDropsTamperedPackets) {
+  mgmt::register_builtin_modules();
+  core::RouterKernel b;
+  b.add_interface("in0");
+  b.add_interface("out0");
+  mgmt::RouterPluginLib lib(b);
+  mgmt::PluginManager pmgr(lib);
+  auto r = pmgr.run_script(R"(
+route add 20.0.0.0/8 if1
+modload ipsec
+msg ipsec - addsa spi=9 auth_key=00112233445566778899aabbccddeeff enc_key=000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f
+create ipsec mode=esp-decrypt spi=9
+bind ipsec 1 <10.0.0.0/8, *, *, *, *, *>
+)");
+  ASSERT_TRUE(r.ok()) << r.text;
+
+  // A plain (never encrypted) packet arriving at the decryptor is dropped
+  // as malformed ESP.
+  b.inject(0, 0, udp(1));
+  b.run_to_completion();
+  EXPECT_EQ(b.core().counters().dropped(core::DropReason::policy), 1u);
+}
+
+TEST(Integration, FlowCacheStatsAcrossBursts) {
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  k.add_interface("out0");
+  mgmt::RouterPluginLib lib(k);
+  mgmt::PluginManager pmgr(lib);
+  pmgr.run_script(
+      "route add 20.0.0.0/8 if1\nmodload stats\ncreate stats\nbind stats 1 "
+      "<*, *, *, *, *, *>");
+
+  // 10 flows x 20 packets: 10 misses (first packets), 190 hits.
+  tgen::MixSpec mix;
+  mix.n_flows = 10;
+  mix.n_packets = 200;
+  mix.zipf_s = 0;
+  mix.burst_len = 20;
+  mix.seed = 3;
+  for (auto& a : tgen::flow_mix(mix)) k.inject(a.t, a.iface, std::move(a.p));
+  // flow_mix generates random destinations: route everything.
+  pmgr.exec("route add 0.0.0.0/0 if1");
+  k.run_to_completion();
+
+  const auto& fs = k.aiu().flow_table().stats();
+  // One miss per distinct flow (at most 10), everything else cache hits.
+  EXPECT_EQ(fs.inserts, fs.misses);
+  EXPECT_LE(fs.misses, 10u);
+  EXPECT_GE(fs.misses, 2u);
+  EXPECT_EQ(fs.hits, 200u - fs.misses);
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,130 @@
+// Tests for the IPv6 option plugins (router alert recognition, option
+// validation and RFC 2460 unknown-option handling).
+#include <gtest/gtest.h>
+
+#include "ipopt/ipopt_plugins.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+
+namespace rp::ipopt {
+namespace {
+
+using plugin::Verdict;
+
+pkt::PacketPtr v6_with_opts(std::span<const std::uint8_t> opts) {
+  pkt::UdpSpec s;
+  s.src = *netbase::IpAddr::parse("2001:db8::1");
+  s.dst = *netbase::IpAddr::parse("2001:db8::2");
+  s.sport = 1;
+  s.dport = 2;
+  s.payload_len = 16;
+  return pkt::build_udp6_hopopts(s, opts);
+}
+
+pkt::PacketPtr v6_plain() {
+  pkt::UdpSpec s;
+  s.src = *netbase::IpAddr::parse("2001:db8::1");
+  s.dst = *netbase::IpAddr::parse("2001:db8::2");
+  s.sport = 1;
+  s.dport = 2;
+  s.payload_len = 16;
+  return pkt::build_udp(s);
+}
+
+TEST(RouterAlert, CountsAlertedPackets) {
+  RouterAlertInstance inst;
+  const std::uint8_t alert[] = {kOptRouterAlert, 2, 0, 0};  // RSVP alert
+  auto p1 = v6_with_opts(alert);
+  EXPECT_EQ(inst.handle_packet(*p1, nullptr), Verdict::cont);
+  auto p2 = v6_plain();
+  EXPECT_EQ(inst.handle_packet(*p2, nullptr), Verdict::cont);
+  const std::uint8_t padded[] = {kOptPadN, 2, 0, 0};
+  auto p3 = v6_with_opts(padded);
+  inst.handle_packet(*p3, nullptr);
+  EXPECT_EQ(inst.alerts(), 1u);
+
+  plugin::PluginMsg msg;
+  msg.custom_name = "stats";
+  plugin::PluginReply reply;
+  EXPECT_EQ(inst.handle_message(msg, reply), netbase::Status::ok);
+  EXPECT_NE(reply.text.find("packets=3"), std::string::npos);
+  EXPECT_NE(reply.text.find("alerts=1"), std::string::npos);
+}
+
+TEST(RouterAlert, IgnoresIpv4) {
+  RouterAlertInstance inst;
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(1, 1, 1, 1));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(2, 2, 2, 2));
+  s.payload_len = 8;
+  auto p = pkt::build_udp(s);
+  EXPECT_EQ(inst.handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(inst.alerts(), 0u);
+}
+
+TEST(OptCheck, AcceptsValidPadding) {
+  OptCheckInstance inst;
+  const std::uint8_t padn[] = {kOptPadN, 4, 0, 0, 0, 0};
+  auto p = v6_with_opts(padn);
+  EXPECT_EQ(inst.handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(inst.malformed(), 0u);
+}
+
+TEST(OptCheck, DropsNonZeroPadN) {
+  OptCheckInstance inst;
+  const std::uint8_t bad[] = {kOptPadN, 2, 0xde, 0xad};
+  auto p = v6_with_opts(bad);
+  EXPECT_EQ(inst.handle_packet(*p, nullptr), Verdict::drop);
+  EXPECT_EQ(inst.malformed(), 1u);
+}
+
+TEST(OptCheck, UnknownOptionActionBits) {
+  OptCheckInstance inst;
+  // Action bits 00 (skip): type 0x1e is unknown but skippable.
+  const std::uint8_t skippable[] = {0x1e, 2, 1, 2};
+  auto p1 = v6_with_opts(skippable);
+  EXPECT_EQ(inst.handle_packet(*p1, nullptr), Verdict::cont);
+  // Action bits 01 (0x40 set): discard.
+  const std::uint8_t discard[] = {0x5e, 2, 1, 2};
+  auto p2 = v6_with_opts(discard);
+  EXPECT_EQ(inst.handle_packet(*p2, nullptr), Verdict::drop);
+}
+
+TEST(OptCheck, DropsTruncatedOptionArea) {
+  OptCheckInstance inst;
+  const std::uint8_t alert[] = {kOptRouterAlert, 2, 0, 0};
+  auto p = v6_with_opts(alert);
+  // Declare a longer hop-by-hop area than the packet carries.
+  p->data()[pkt::Ipv6Header::kSize + 1] = 40;
+  EXPECT_EQ(inst.handle_packet(*p, nullptr), Verdict::drop);
+  EXPECT_EQ(inst.malformed(), 1u);
+}
+
+TEST(OptCheck, PassesIpv4AndPlainV6) {
+  OptCheckInstance inst;
+  auto p = v6_plain();
+  EXPECT_EQ(inst.handle_packet(*p, nullptr), Verdict::cont);
+}
+
+TEST(ForEachHopopt, WalksAllOptions) {
+  // Two options: router alert + skippable unknown.
+  const std::uint8_t opts[] = {kOptRouterAlert, 2, 0, 0, 0x1e, 2, 9, 9};
+  auto p = v6_with_opts(opts);
+  struct Ctx {
+    int count{0};
+  } ctx;
+  bool ok = for_each_hopopt(
+      *p,
+      [](void* c, std::uint8_t, std::uint8_t, const std::uint8_t*) {
+        ++static_cast<Ctx*>(c)->count;
+        return true;
+      },
+      &ctx);
+  EXPECT_TRUE(ok);
+  // Pad1/PadN fillers added by the builder are included in the walk for
+  // PadN but Pad1 is skipped silently; at least our two options are seen.
+  EXPECT_GE(ctx.count, 2);
+}
+
+}  // namespace
+}  // namespace rp::ipopt

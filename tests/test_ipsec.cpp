@@ -1,0 +1,297 @@
+// Tests for the IP security stack: SHA-256 / HMAC / ChaCha20 against
+// published test vectors, the SA database and anti-replay window, and the
+// AH/ESP plugin transforms (round trip, tamper detection, replay drops).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "ipsec/chacha20.hpp"
+#include "ipsec/hmac.hpp"
+#include "ipsec/ipsec_plugins.hpp"
+#include "ipsec/sha256.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+
+namespace rp::ipsec {
+namespace {
+
+using netbase::Status;
+using plugin::Verdict;
+
+std::string hex(std::span<const std::uint8_t> d) {
+  static const char* k = "0123456789abcdef";
+  std::string out;
+  for (auto b : d) {
+    out += k[b >> 4];
+    out += k[b & 0xf];
+  }
+  return out;
+}
+
+std::span<const std::uint8_t> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)};
+}
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(hex(Sha256::digest(bytes_of(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex(Sha256::digest(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex(Sha256::digest(bytes_of(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::uint8_t block[1000];
+  std::memset(block, 'a', sizeof block);
+  for (int i = 0; i < 1000; ++i) h.update(block, sizeof block);
+  EXPECT_EQ(hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::uint8_t data[517];
+  for (std::size_t i = 0; i < sizeof data; ++i)
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  auto one_shot = Sha256::digest(data);
+  Sha256 h;
+  h.update(data, 100);
+  h.update(data + 100, 1);
+  h.update(data + 101, 416);
+  EXPECT_EQ(h.finish(), one_shot);
+}
+
+TEST(HmacSha256, Rfc4231Vectors) {
+  // Test case 1.
+  std::uint8_t key1[20];
+  std::memset(key1, 0x0b, sizeof key1);
+  EXPECT_EQ(hex(HmacSha256::mac(key1, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2: key "Jefe".
+  EXPECT_EQ(
+      hex(HmacSha256::mac(bytes_of("Jefe"),
+                          bytes_of("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  std::uint8_t key[131];
+  std::memset(key, 0xaa, sizeof key);
+  // RFC 4231 test case 6.
+  EXPECT_EQ(
+      hex(HmacSha256::mac(
+          key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key "
+                        "First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(MacEqual, ConstantTimeCompareSemantics) {
+  std::uint8_t a[4] = {1, 2, 3, 4};
+  std::uint8_t b[4] = {1, 2, 3, 4};
+  std::uint8_t c[4] = {1, 2, 3, 5};
+  EXPECT_TRUE(mac_equal(a, b));
+  EXPECT_FALSE(mac_equal(a, c));
+  EXPECT_FALSE(mac_equal({a, 3}, {b, 4}));
+}
+
+TEST(ChaCha20, Rfc8439Vector) {
+  // RFC 8439 §2.4.2.
+  std::uint8_t key[32];
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::uint8_t nonce[12] = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  const char* msg =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> buf(
+      reinterpret_cast<const std::uint8_t*>(msg),
+      reinterpret_cast<const std::uint8_t*>(msg) + std::strlen(msg));
+  ChaCha20 c(key, nonce, 1);
+  c.crypt(buf.data(), buf.size());
+  EXPECT_EQ(hex({buf.data(), 16}), "6e2e359a2568f98041ba0728dd0d6981");
+  // Decrypt restores the plaintext.
+  ChaCha20 d(key, nonce, 1);
+  d.crypt(buf.data(), buf.size());
+  EXPECT_EQ(std::memcmp(buf.data(), msg, buf.size()), 0);
+}
+
+TEST(ParseHexKey, Validation) {
+  EXPECT_EQ(parse_hex_key("0aff").size(), 2u);
+  EXPECT_EQ(parse_hex_key("0aff")[0], 0x0a);
+  EXPECT_EQ(parse_hex_key("0aff")[1], 0xff);
+  EXPECT_TRUE(parse_hex_key("0af").empty());   // odd length
+  EXPECT_TRUE(parse_hex_key("zz").empty());    // bad digit
+}
+
+TEST(ReplayWindow, AcceptsFreshRejectsReplayAndStale) {
+  SecurityAssociation sa;
+  EXPECT_TRUE(sa.replay_check_and_update(5));
+  EXPECT_FALSE(sa.replay_check_and_update(5));   // exact replay
+  EXPECT_TRUE(sa.replay_check_and_update(3));    // in-window, fresh
+  EXPECT_FALSE(sa.replay_check_and_update(3));
+  EXPECT_TRUE(sa.replay_check_and_update(100));  // window advances
+  EXPECT_FALSE(sa.replay_check_and_update(36));  // fell off the 64 window
+  EXPECT_TRUE(sa.replay_check_and_update(37));   // oldest in-window slot
+  EXPECT_FALSE(sa.replay_check_and_update(0));   // seq 0 invalid
+}
+
+// ---------------------------------------------------------------------------
+
+class IpsecFixture : public ::testing::Test {
+ protected:
+  IpsecFixture() {
+    plugin::PluginMsg addsa;
+    addsa.custom_name = "addsa";
+    addsa.args.set("spi", "1000");
+    addsa.args.set("auth_key", "00112233445566778899aabbccddeeff");
+    addsa.args.set("enc_key",
+                   "000102030405060708090a0b0c0d0e0f"
+                   "101112131415161718191a1b1c1d1e1f");
+    plugin::PluginReply reply;
+    EXPECT_EQ(plugin_.handle_message(addsa, reply), Status::ok);
+  }
+
+  IpsecInstance* instance(IpsecMode mode) {
+    instances_.push_back(std::make_unique<IpsecInstance>(plugin_, mode, 1000));
+    return instances_.back().get();
+  }
+
+  static pkt::PacketPtr sample_packet(std::uint8_t fill = 0x5a) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 1));
+    s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 2));
+    s.sport = 4000;
+    s.dport = 500;
+    s.payload_len = 64;
+    s.payload_fill = fill;
+    return pkt::build_udp(s);
+  }
+
+  IpsecPlugin plugin_;
+  std::vector<std::unique_ptr<IpsecInstance>> instances_;
+};
+
+TEST_F(IpsecFixture, AhAddVerifyRoundTrip) {
+  auto* add = instance(IpsecMode::ah_add);
+  auto* verify = instance(IpsecMode::ah_verify);
+
+  auto p = sample_packet();
+  auto orig = pkt::clone_packet(*p);
+  ASSERT_EQ(add->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(p->size(), orig->size() + 28);
+  EXPECT_EQ(p->data()[9], 51);  // proto = AH
+  EXPECT_TRUE(pkt::Ipv4Header::verify_checksum({p->data(), 20}));
+
+  ASSERT_EQ(verify->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(p->size(), orig->size());
+  EXPECT_EQ(0, std::memcmp(p->data(), orig->data(), orig->size()));
+  EXPECT_EQ(verify->counters().auth_failures, 0u);
+}
+
+TEST_F(IpsecFixture, AhVerifyDetectsTamper) {
+  auto* add = instance(IpsecMode::ah_add);
+  auto* verify = instance(IpsecMode::ah_verify);
+  auto p = sample_packet();
+  add->handle_packet(*p, nullptr);
+  p->data()[p->size() - 1] ^= 0x01;  // flip a payload bit
+  EXPECT_EQ(verify->handle_packet(*p, nullptr), Verdict::drop);
+  EXPECT_EQ(verify->counters().auth_failures, 1u);
+}
+
+TEST_F(IpsecFixture, AhReplayDropped) {
+  auto* add = instance(IpsecMode::ah_add);
+  auto* verify = instance(IpsecMode::ah_verify);
+  auto p = sample_packet();
+  add->handle_packet(*p, nullptr);
+  auto replay = pkt::clone_packet(*p);
+  EXPECT_EQ(verify->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(verify->handle_packet(*replay, nullptr), Verdict::drop);
+  EXPECT_EQ(verify->counters().replay_drops, 1u);
+}
+
+TEST_F(IpsecFixture, EspEncryptDecryptRoundTrip) {
+  auto* enc = instance(IpsecMode::esp_encrypt);
+  auto* dec = instance(IpsecMode::esp_decrypt);
+  auto p = sample_packet(0x11);
+  auto orig = pkt::clone_packet(*p);
+
+  ASSERT_EQ(enc->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(p->data()[9], 50);  // proto = ESP
+  EXPECT_EQ(p->size(), orig->size() + 8 + 2 + 16);
+  // The payload must actually be encrypted (differs from plaintext).
+  EXPECT_NE(0, std::memcmp(p->data() + 28, orig->data() + 20, 20));
+
+  ASSERT_EQ(dec->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(p->size(), orig->size());
+  EXPECT_EQ(0, std::memcmp(p->data(), orig->data(), orig->size()));
+}
+
+TEST_F(IpsecFixture, EspDetectsCiphertextTamper) {
+  auto* enc = instance(IpsecMode::esp_encrypt);
+  auto* dec = instance(IpsecMode::esp_decrypt);
+  auto p = sample_packet();
+  enc->handle_packet(*p, nullptr);
+  p->data()[30] ^= 0xff;
+  EXPECT_EQ(dec->handle_packet(*p, nullptr), Verdict::drop);
+  EXPECT_EQ(dec->counters().auth_failures, 1u);
+}
+
+TEST_F(IpsecFixture, EspReplayDropped) {
+  auto* enc = instance(IpsecMode::esp_encrypt);
+  auto* dec = instance(IpsecMode::esp_decrypt);
+  auto p = sample_packet();
+  enc->handle_packet(*p, nullptr);
+  auto replay = pkt::clone_packet(*p);
+  EXPECT_EQ(dec->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(dec->handle_packet(*replay, nullptr), Verdict::drop);
+}
+
+TEST_F(IpsecFixture, WrongSpiDropsAsMalformed) {
+  auto* enc = instance(IpsecMode::esp_encrypt);
+  auto p = sample_packet();
+  enc->handle_packet(*p, nullptr);
+  instances_.push_back(
+      std::make_unique<IpsecInstance>(plugin_, IpsecMode::esp_decrypt, 77));
+  auto* dec = instances_.back().get();
+  EXPECT_EQ(dec->handle_packet(*p, nullptr), Verdict::drop);  // no SA 77
+}
+
+TEST_F(IpsecFixture, Ipv6AhRoundTrip) {
+  auto* add = instance(IpsecMode::ah_add);
+  auto* verify = instance(IpsecMode::ah_verify);
+  pkt::UdpSpec s;
+  s.src = *netbase::IpAddr::parse("2001:db8::1");
+  s.dst = *netbase::IpAddr::parse("2001:db8::2");
+  s.sport = 1;
+  s.dport = 2;
+  s.payload_len = 40;
+  auto p = pkt::build_udp(s);
+  auto orig = pkt::clone_packet(*p);
+  ASSERT_EQ(add->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(p->data()[6], 51);
+  ASSERT_EQ(verify->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(0, std::memcmp(p->data(), orig->data(), orig->size()));
+}
+
+TEST(IpsecPlugin, InstanceConfigValidation) {
+  IpsecPlugin p;
+  plugin::InstanceId id = plugin::kNoInstance;
+  EXPECT_EQ(p.create_instance({{"mode", "ah-add"}, {"spi", "5"}}, id),
+            Status::ok);
+  EXPECT_EQ(p.create_instance({{"mode", "bogus"}, {"spi", "5"}}, id),
+            Status::invalid_argument);
+  EXPECT_EQ(p.create_instance({{"mode", "ah-add"}}, id),
+            Status::invalid_argument);
+  plugin::PluginMsg bad;
+  bad.custom_name = "addsa";
+  bad.args.set("spi", "1");
+  bad.args.set("auth_key", "zz");
+  plugin::PluginReply reply;
+  EXPECT_EQ(p.handle_message(bad, reply), Status::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::ipsec

@@ -1,0 +1,197 @@
+// Tests for the management plane: pmgr command parsing, configuration
+// scripts (the paper's §6.1 DRR setup), the Router Plugin Library, the SSP
+// daemon, and the firewall plugin.
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+#include "mgmt/firewall_plugin.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "mgmt/ssp.hpp"
+#include "pkt/builder.hpp"
+
+namespace rp::mgmt {
+namespace {
+
+using netbase::Status;
+
+pkt::PacketPtr udp(std::uint16_t sport, std::uint8_t src_octet = 1) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, src_octet));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = sport;
+  s.dport = 80;
+  s.payload_len = 100;
+  return pkt::build_udp(s);
+}
+
+class MgmtTest : public ::testing::Test {
+ protected:
+  MgmtTest() : lib_(kernel_), pmgr_(lib_) {
+    register_builtin_modules();
+    kernel_.add_interface("if0");
+    kernel_.add_interface("if1");
+  }
+
+  core::RouterKernel kernel_;
+  RouterPluginLib lib_;
+  PluginManager pmgr_;
+};
+
+TEST_F(MgmtTest, PaperStyleDrrConfigurationScript) {
+  // The §6.1 flavour: load DRR, create an instance for the output
+  // interface, bind flows, give one a reservation weight.
+  const char* script = R"(
+# boot-time configuration
+route add 20.0.0.0/8 if1
+modload drr
+create drr quantum=1500
+attach drr 1 if1
+bind drr 1 <10.0.0.0/8, *, udp, *, *, *>
+msg drr 1 setweight filter=<10.0.0.2,*,udp,*,*,*> weight=10
+)";
+  auto r = pmgr_.run_script(script);
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_TRUE(kernel_.loader().loaded("drr"));
+  EXPECT_NE(kernel_.core().port_scheduler(1), nullptr);
+  EXPECT_EQ(kernel_.aiu()
+                .filter_table(plugin::PluginType::sched)
+                ->size(),
+            1u);
+}
+
+TEST_F(MgmtTest, ExecErrors) {
+  EXPECT_FALSE(pmgr_.exec("frobnicate").ok());
+  EXPECT_FALSE(pmgr_.exec("modload").ok());
+  EXPECT_FALSE(pmgr_.exec("modload no_such_module").ok());
+  EXPECT_FALSE(pmgr_.exec("create ghost").ok());
+  EXPECT_FALSE(pmgr_.exec("bind drr x <..>").ok());
+  EXPECT_FALSE(pmgr_.exec("attach drr 1 if9").ok());
+  EXPECT_FALSE(pmgr_.exec("route add bogus if0").ok());
+  EXPECT_TRUE(pmgr_.exec("# just a comment").ok());
+  EXPECT_TRUE(pmgr_.exec("").ok());
+}
+
+TEST_F(MgmtTest, LsmodListsModules) {
+  pmgr_.exec("modload fifo");
+  auto r = pmgr_.exec("lsmod");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("drr"), std::string::npos);
+  EXPECT_NE(r.text.find("loaded: fifo"), std::string::npos);
+}
+
+TEST_F(MgmtTest, ScriptStopsAtFirstError) {
+  auto r = pmgr_.run_script("modload fifo\nmodload nope\nmodload drr");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("modload nope"), std::string::npos);
+  EXPECT_FALSE(kernel_.loader().loaded("drr"));  // stopped before
+}
+
+TEST_F(MgmtTest, CreateFreeInstanceViaLibrary) {
+  ASSERT_EQ(lib_.modload("fifo"), Status::ok);
+  plugin::InstanceId id = plugin::kNoInstance;
+  ASSERT_EQ(lib_.create_instance("fifo", {}, id), Status::ok);
+  EXPECT_NE(kernel_.pcu().find_instance("fifo", id), nullptr);
+  ASSERT_EQ(lib_.free_instance("fifo", id), Status::ok);
+  EXPECT_EQ(kernel_.pcu().find_instance("fifo", id), nullptr);
+}
+
+TEST_F(MgmtTest, AttachRejectsNonScheduler) {
+  ASSERT_EQ(lib_.modload("stats"), Status::ok);
+  plugin::InstanceId id = plugin::kNoInstance;
+  ASSERT_EQ(lib_.create_instance("stats", {}, id), Status::ok);
+  EXPECT_EQ(lib_.attach_scheduler("stats", id, 0), Status::invalid_argument);
+}
+
+TEST_F(MgmtTest, FirewallPolicyEndToEnd) {
+  pmgr_.exec("route add 20.0.0.0/8 if1");
+  ASSERT_TRUE(pmgr_.exec("modload firewall").ok());
+  ASSERT_TRUE(pmgr_.exec("create firewall policy=deny").ok());
+  ASSERT_TRUE(pmgr_.exec("bind firewall 1 <10.0.0.66, *, *, *, *, *>").ok());
+
+  kernel_.inject(0, 0, udp(1, 66));  // blocked source
+  kernel_.inject(0, 0, udp(1, 1));   // allowed source
+  kernel_.run_to_completion();
+  EXPECT_EQ(kernel_.core().counters().dropped(core::DropReason::policy), 1u);
+  EXPECT_EQ(kernel_.core().counters().forwarded, 1u);
+
+  auto r = pmgr_.exec("msg firewall 1 stats");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("deny hits=1"), std::string::npos);
+}
+
+TEST_F(MgmtTest, SspReservationLifecycle) {
+  pmgr_.exec("route add 20.0.0.0/8 if1");
+  ASSERT_TRUE(pmgr_.exec("modload drr").ok());
+  ASSERT_TRUE(pmgr_.exec("create drr").ok());
+  ASSERT_TRUE(pmgr_.exec("attach drr 1 if1").ok());
+
+  SspDaemon ssp(lib_, "drr", 1, 1'000'000);  // weight unit: 1 Mb/s
+  // RESV without PATH state fails.
+  EXPECT_EQ(ssp.resv(7, 5'000'000), Status::not_found);
+
+  ASSERT_EQ(ssp.path(7, "<10.0.0.1, 20.0.0.1, udp, 1000, 80, *>"), Status::ok);
+  ASSERT_EQ(ssp.resv(7, 5'000'000), Status::ok);
+  const auto* sess = ssp.session(7);
+  ASSERT_NE(sess, nullptr);
+  EXPECT_TRUE(sess->reserved);
+  EXPECT_EQ(sess->weight, 5u);
+  // The reservation installed a filter at the scheduling gate.
+  EXPECT_EQ(kernel_.aiu().filter_table(plugin::PluginType::sched)->size(), 1u);
+
+  ASSERT_EQ(ssp.teardown(7), Status::ok);
+  EXPECT_EQ(kernel_.aiu().filter_table(plugin::PluginType::sched)->size(), 0u);
+  EXPECT_EQ(ssp.teardown(7), Status::not_found);
+  EXPECT_EQ(ssp.session_count(), 0u);
+}
+
+TEST_F(MgmtTest, SspRejectsBadFilter) {
+  SspDaemon ssp(lib_, "drr", 1);
+  EXPECT_EQ(ssp.path(1, "garbage"), Status::invalid_argument);
+}
+
+
+TEST_F(MgmtTest, AiuIntrospectionCommand) {
+  pmgr_.exec("route add 20.0.0.0/8 if1");
+  pmgr_.exec("modload firewall");
+  pmgr_.exec("create firewall policy=deny");
+  pmgr_.exec("bind firewall 1 <10.0.0.66, *, *, *, *, *>");
+  kernel_.inject(0, 0, udp(1, 1));
+  kernel_.inject(100, 0, udp(1, 1));
+  kernel_.run_to_completion();
+
+  auto r = pmgr_.exec("aiu");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("hits=1"), std::string::npos) << r.text;
+  EXPECT_NE(r.text.find("misses=1"), std::string::npos) << r.text;
+  EXPECT_NE(r.text.find("firewall=1"), std::string::npos) << r.text;
+}
+
+TEST(Firewall, InstancePolicies) {
+  FirewallPlugin p;
+  plugin::InstanceId permit_id = plugin::kNoInstance, deny_id = plugin::kNoInstance;
+  ASSERT_EQ(p.create_instance({{"policy", "permit"}}, permit_id), Status::ok);
+  ASSERT_EQ(p.create_instance({{"policy", "deny"}}, deny_id), Status::ok);
+  plugin::InstanceId bad;
+  EXPECT_EQ(p.create_instance({}, bad), Status::invalid_argument);
+
+  auto pkt = udp(1);
+  EXPECT_EQ(p.instance(permit_id)->handle_packet(*pkt, nullptr),
+            plugin::Verdict::cont);
+  EXPECT_EQ(p.instance(deny_id)->handle_packet(*pkt, nullptr),
+            plugin::Verdict::drop);
+}
+
+TEST(PluginSocket, CountsMessages) {
+  core::RouterKernel k;
+  RouterPluginLib lib(k);
+  register_builtin_modules();
+  lib.modload("fifo");
+  plugin::InstanceId id = plugin::kNoInstance;
+  lib.create_instance("fifo", {}, id);
+  EXPECT_EQ(lib.socket().messages_sent(), 1u);
+}
+
+}  // namespace
+}  // namespace rp::mgmt

@@ -1,0 +1,200 @@
+// Unit tests for the netbase foundation: U128, addresses/prefixes,
+// checksums, RNG determinism, memory-access accounting.
+#include <gtest/gtest.h>
+
+#include "netbase/byteorder.hpp"
+#include "netbase/checksum.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/memaccess.hpp"
+#include "netbase/rng.hpp"
+#include "netbase/u128.hpp"
+
+namespace rp::netbase {
+namespace {
+
+TEST(U128, ShiftsAndMasks) {
+  U128 one{0, 1};
+  EXPECT_EQ(one << 1, (U128{0, 2}));
+  EXPECT_EQ(one << 64, (U128{1, 0}));
+  EXPECT_EQ(one << 127, (U128{0x8000000000000000ULL, 0}));
+  EXPECT_EQ(one << 128, (U128{}));
+  U128 top{0x8000000000000000ULL, 0};
+  EXPECT_EQ(top >> 64, (U128{0, 0x8000000000000000ULL}));
+  EXPECT_EQ(top >> 127, one);
+
+  EXPECT_EQ(U128::prefix_mask(0), (U128{}));
+  EXPECT_EQ(U128::prefix_mask(64), (U128{~0ULL, 0}));
+  EXPECT_EQ(U128::prefix_mask(128), (U128{~0ULL, ~0ULL}));
+  EXPECT_EQ(U128::prefix_mask(8), (U128{0xff00000000000000ULL, 0}));
+  EXPECT_EQ(U128::prefix_mask(72), (U128{~0ULL, 0xff00000000000000ULL}));
+}
+
+TEST(U128, BitIndexing) {
+  U128 v{0x8000000000000000ULL, 1};
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(127));
+  EXPECT_FALSE(v.bit(126));
+}
+
+TEST(U128, Ordering) {
+  EXPECT_LT((U128{0, 5}), (U128{1, 0}));
+  EXPECT_LT((U128{1, 1}), (U128{1, 2}));
+  EXPECT_EQ((U128{3, 4}), (U128{3, 4}));
+}
+
+TEST(Ipv4Addr, ParseFormat) {
+  auto a = Ipv4Addr::parse("192.168.1.200");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "192.168.1.200");
+  EXPECT_EQ(a->v, 0xc0a801c8u);
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+}
+
+TEST(Ipv6Addr, ParseFormat) {
+  auto a = Ipv6Addr::parse("2001:db8::1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+  EXPECT_EQ(a->v.hi, 0x20010db800000000ULL);
+  EXPECT_EQ(a->v.lo, 1u);
+
+  EXPECT_EQ(Ipv6Addr::parse("::")->to_string(), "::");
+  EXPECT_EQ(Ipv6Addr::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(Ipv6Addr::parse("fe80::")->to_string(), "fe80::");
+  EXPECT_EQ(
+      Ipv6Addr::parse("1:2:3:4:5:6:7:8")->to_string(), "1:2:3:4:5:6:7:8");
+  EXPECT_FALSE(Ipv6Addr::parse("1:2:3"));
+  EXPECT_FALSE(Ipv6Addr::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(Ipv6Addr::parse(":::"));
+  EXPECT_FALSE(Ipv6Addr::parse("2001:db8::10000"));
+}
+
+TEST(Ipv6Addr, ByteRoundTrip) {
+  auto a = *Ipv6Addr::parse("2001:db8:1234:5678:9abc:def0:1122:3344");
+  std::uint8_t bytes[16];
+  a.to_bytes(bytes);
+  EXPECT_EQ(bytes[0], 0x20);
+  EXPECT_EQ(bytes[15], 0x44);
+  EXPECT_EQ(Ipv6Addr::from_bytes(bytes), a);
+}
+
+TEST(IpAddr, KeyAlignment) {
+  IpAddr v4(Ipv4Addr(10, 0, 0, 1));
+  // IPv4 keys are left-aligned in the 128-bit space.
+  EXPECT_EQ(v4.key(), (U128{0x0a00000100000000ULL, 0}));
+  EXPECT_EQ(v4.width(), 32u);
+  IpAddr v6(*Ipv6Addr::parse("2001::"));
+  EXPECT_EQ(v6.key().hi, 0x2001000000000000ULL);
+  EXPECT_EQ(v6.width(), 128u);
+}
+
+TEST(IpPrefix, Normalization) {
+  IpPrefix p(IpAddr(Ipv4Addr(129, 42, 7, 9)), 8);
+  EXPECT_EQ(p.to_string(), "129.0.0.0/8");
+  EXPECT_TRUE(p.contains(IpAddr(Ipv4Addr(129, 200, 1, 1))));
+  EXPECT_FALSE(p.contains(IpAddr(Ipv4Addr(130, 0, 0, 1))));
+}
+
+TEST(IpPrefix, CoversNesting) {
+  auto p8 = *IpPrefix::parse("10.0.0.0/8");
+  auto p16 = *IpPrefix::parse("10.1.0.0/16");
+  auto other = *IpPrefix::parse("11.0.0.0/8");
+  EXPECT_TRUE(p8.covers(p16));
+  EXPECT_FALSE(p16.covers(p8));
+  EXPECT_TRUE(p8.covers(p8));
+  EXPECT_FALSE(p8.covers(other));
+}
+
+TEST(IpPrefix, WildcardMatchesBothFamilies) {
+  IpPrefix wild;  // len 0
+  EXPECT_TRUE(wild.contains(IpAddr(Ipv4Addr(1, 2, 3, 4))));
+  EXPECT_TRUE(wild.contains(IpAddr(*Ipv6Addr::parse("2001::1"))));
+  EXPECT_TRUE(wild.covers(*IpPrefix::parse("2001::/16")));
+}
+
+TEST(IpPrefix, ParseForms) {
+  EXPECT_EQ(IpPrefix::parse("10.0.0.0/8")->len, 8);
+  EXPECT_EQ(IpPrefix::parse("10.1.2.3")->len, 32);  // bare address: full len
+  EXPECT_EQ(IpPrefix::parse("*")->len, 0);
+  EXPECT_EQ(IpPrefix::parse("2001:db8::/32")->len, 32);
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0/x"));
+}
+
+TEST(Checksum, KnownVector) {
+  // Classic example from RFC 1071 materials.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(checksum_partial(data, sizeof data), 0xddf2);
+  EXPECT_EQ(checksum(data, sizeof data), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, OddLength) {
+  const std::uint8_t data[] = {0x12, 0x34, 0x56};
+  // Pads with a zero byte: 0x1234 + 0x5600
+  EXPECT_EQ(checksum_partial(data, 3), 0x1234 + 0x5600);
+}
+
+TEST(Checksum, IncrementalUpdateMatchesRecompute) {
+  std::uint8_t hdr[20] = {0x45, 0, 0, 100, 0x12, 0x34, 0, 0, 64, 17,
+                          0,    0, 10, 0,  0,    1,    10, 0, 0,  2};
+  // Compute the initial checksum.
+  store_be16(&hdr[10], checksum(hdr, sizeof hdr));
+  ASSERT_EQ(checksum_partial(hdr, sizeof hdr), 0xffff);
+  // Decrement the TTL (byte 8) and update incrementally.
+  std::uint16_t old_word = load_be16(&hdr[8]);
+  --hdr[8];
+  std::uint16_t new_word = load_be16(&hdr[8]);
+  std::uint16_t old_ck = load_be16(&hdr[10]);
+  store_be16(&hdr[10], checksum_update16(old_ck, old_word, new_word));
+  EXPECT_EQ(checksum_partial(hdr, sizeof hdr), 0xffff);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  Rng a2(1);
+  for (int i = 0; i < 100; ++i) differs |= a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, RangesAreBounded) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    auto u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(MemAccess, CountsAndScopes) {
+  MemAccess::reset();
+  MemAccess::count();
+  MemAccess::count(5);
+  EXPECT_EQ(MemAccess::total(), 6u);
+  MemAccessScope scope;
+  MemAccess::count(3);
+  EXPECT_EQ(scope.elapsed(), 3u);
+}
+
+TEST(ByteOrder, RoundTrips) {
+  std::uint8_t buf[8];
+  store_be16(buf, 0xbeef);
+  EXPECT_EQ(load_be16(buf), 0xbeef);
+  store_be32(buf, 0xdeadbeef);
+  EXPECT_EQ(load_be32(buf), 0xdeadbeefu);
+  store_be64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(load_be64(buf), 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+}
+
+}  // namespace
+}  // namespace rp::netbase

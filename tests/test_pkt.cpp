@@ -1,0 +1,295 @@
+// Unit tests for the packet layer: header codecs, the mbuf-like buffer, and
+// flow-key extraction.
+#include <gtest/gtest.h>
+
+#include "netbase/byteorder.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::pkt {
+namespace {
+
+using netbase::IpAddr;
+using netbase::Ipv4Addr;
+using netbase::Ipv6Addr;
+using netbase::IpVersion;
+
+TEST(Packet, PrependPullAppendTrim) {
+  Packet p(10);
+  EXPECT_EQ(p.size(), 10u);
+  EXPECT_EQ(p.headroom(), Packet::kDefaultHeadroom);
+
+  std::uint8_t* front = p.prepend(4);
+  EXPECT_EQ(front, p.data());
+  EXPECT_EQ(p.size(), 14u);
+  EXPECT_EQ(p.headroom(), Packet::kDefaultHeadroom - 4);
+
+  p.pull(4);
+  EXPECT_EQ(p.size(), 10u);
+
+  std::uint8_t* tail = p.append(6);
+  EXPECT_EQ(tail, p.data() + 10);
+  EXPECT_EQ(p.size(), 16u);
+  p.trim(6);
+  EXPECT_EQ(p.size(), 10u);
+}
+
+TEST(Packet, PrependBeyondHeadroomReallocates) {
+  Packet p(8, 4);
+  p.data()[0] = 0xab;
+  p.prepend(100);  // forces growth
+  EXPECT_EQ(p.size(), 108u);
+  EXPECT_EQ(p.data()[100], 0xab);
+}
+
+TEST(Packet, PullAndTrimClampToSize) {
+  Packet p(5);
+  p.pull(100);
+  EXPECT_EQ(p.size(), 0u);
+  Packet q(5);
+  q.trim(100);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Ipv4HeaderCodec, RoundTrip) {
+  Ipv4Header h;
+  h.tos = 0x20;
+  h.total_len = 1500;
+  h.id = 0x1234;
+  h.flags = 2;  // DF
+  h.frag_off = 0;
+  h.ttl = 61;
+  h.proto = 17;
+  h.src = Ipv4Addr(10, 1, 2, 3);
+  h.dst = Ipv4Addr(192, 168, 0, 1);
+
+  std::uint8_t buf[20];
+  h.write(buf);
+  Ipv4Header::finalize_checksum(buf, sizeof buf);
+  EXPECT_TRUE(Ipv4Header::verify_checksum(buf));
+
+  Ipv4Header r;
+  ASSERT_TRUE(r.parse(buf));
+  EXPECT_EQ(r.tos, h.tos);
+  EXPECT_EQ(r.total_len, h.total_len);
+  EXPECT_EQ(r.id, h.id);
+  EXPECT_EQ(r.flags, h.flags);
+  EXPECT_EQ(r.ttl, h.ttl);
+  EXPECT_EQ(r.proto, h.proto);
+  EXPECT_EQ(r.src, h.src);
+  EXPECT_EQ(r.dst, h.dst);
+}
+
+TEST(Ipv4HeaderCodec, RejectsBadInput) {
+  std::uint8_t buf[20] = {};
+  Ipv4Header h;
+  EXPECT_FALSE(h.parse({buf, 10}));   // truncated
+  buf[0] = 0x62;                       // version 6
+  EXPECT_FALSE(h.parse(buf));
+  buf[0] = 0x43;                       // ihl 3 < 5
+  EXPECT_FALSE(h.parse(buf));
+  buf[0] = 0x4f;                       // ihl 15 -> 60 bytes > span
+  EXPECT_FALSE(h.parse(buf));
+}
+
+TEST(Ipv6HeaderCodec, RoundTrip) {
+  Ipv6Header h;
+  h.traffic_class = 0xb8;
+  h.flow_label = 0x12345;
+  h.payload_len = 4096;
+  h.next_header = 17;
+  h.hop_limit = 61;
+  h.src = *Ipv6Addr::parse("2001:db8::1");
+  h.dst = *Ipv6Addr::parse("2001:db8::2");
+
+  std::uint8_t buf[40];
+  h.write(buf);
+  Ipv6Header r;
+  ASSERT_TRUE(r.parse(buf));
+  EXPECT_EQ(r.traffic_class, h.traffic_class);
+  EXPECT_EQ(r.flow_label, h.flow_label);
+  EXPECT_EQ(r.payload_len, h.payload_len);
+  EXPECT_EQ(r.next_header, h.next_header);
+  EXPECT_EQ(r.hop_limit, h.hop_limit);
+  EXPECT_EQ(r.src, h.src);
+  EXPECT_EQ(r.dst, h.dst);
+}
+
+TEST(TcpUdpCodec, RoundTrip) {
+  UdpHeader u{1234, 80, 100, 0};
+  std::uint8_t ub[8];
+  u.write(ub);
+  UdpHeader ur;
+  ASSERT_TRUE(ur.parse(ub));
+  EXPECT_EQ(ur.sport, 1234);
+  EXPECT_EQ(ur.dport, 80);
+  EXPECT_EQ(ur.length, 100);
+
+  TcpHeader t;
+  t.sport = 4000;
+  t.dport = 443;
+  t.seq = 0xdeadbeef;
+  t.ack = 0x1;
+  t.flags = 0x18;
+  t.window = 8192;
+  std::uint8_t tb[20];
+  t.write(tb);
+  TcpHeader tr;
+  ASSERT_TRUE(tr.parse(tb));
+  EXPECT_EQ(tr.sport, 4000);
+  EXPECT_EQ(tr.dport, 443);
+  EXPECT_EQ(tr.seq, 0xdeadbeefu);
+  EXPECT_EQ(tr.flags, 0x18);
+  EXPECT_EQ(tr.window, 8192);
+}
+
+TEST(FlowKeyExtract, UdpV4) {
+  UdpSpec s;
+  s.src = IpAddr(Ipv4Addr(10, 0, 0, 1));
+  s.dst = IpAddr(Ipv4Addr(10, 0, 0, 2));
+  s.sport = 5000;
+  s.dport = 53;
+  s.payload_len = 64;
+  auto p = build_udp(s);
+  p->in_iface = 2;
+  p->key_valid = false;  // force re-extraction with the iface set
+  ASSERT_TRUE(extract_flow_key(*p));
+  EXPECT_EQ(p->ip_version, IpVersion::v4);
+  EXPECT_EQ(p->key.src.v4().to_string(), "10.0.0.1");
+  EXPECT_EQ(p->key.dst.v4().to_string(), "10.0.0.2");
+  EXPECT_EQ(p->key.proto, 17);
+  EXPECT_EQ(p->key.sport, 5000);
+  EXPECT_EQ(p->key.dport, 53);
+  EXPECT_EQ(p->key.in_iface, 2);
+  EXPECT_EQ(p->l4_offset, 20);
+}
+
+TEST(FlowKeyExtract, TcpV6) {
+  TcpSpec s;
+  s.src = IpAddr(*Ipv6Addr::parse("2001:db8::a"));
+  s.dst = IpAddr(*Ipv6Addr::parse("2001:db8::b"));
+  s.sport = 3333;
+  s.dport = 22;
+  s.payload_len = 10;
+  auto p = build_tcp(s);
+  ASSERT_TRUE(p->key_valid);
+  EXPECT_EQ(p->ip_version, IpVersion::v6);
+  EXPECT_EQ(p->key.proto, 6);
+  EXPECT_EQ(p->key.sport, 3333);
+  EXPECT_EQ(p->key.dport, 22);
+  EXPECT_EQ(p->l4_offset, 40);
+}
+
+TEST(FlowKeyExtract, V6HopByHopSkipsToTransport) {
+  UdpSpec s;
+  s.src = IpAddr(*Ipv6Addr::parse("fe80::1"));
+  s.dst = IpAddr(*Ipv6Addr::parse("fe80::2"));
+  s.sport = 7;
+  s.dport = 9;
+  s.payload_len = 4;
+  const std::uint8_t alert[] = {5, 2, 0, 0};  // router alert option
+  auto p = build_udp6_hopopts(s, alert);
+  ASSERT_TRUE(p->key_valid);
+  EXPECT_EQ(p->key.proto, 17);
+  EXPECT_EQ(p->key.sport, 7);
+  EXPECT_EQ(p->l4_offset, 48);  // 40 + 8 (one hbh unit)
+}
+
+TEST(FlowKeyExtract, V4FragmentHasNoPorts) {
+  UdpSpec s;
+  s.src = IpAddr(Ipv4Addr(1, 1, 1, 1));
+  s.dst = IpAddr(Ipv4Addr(2, 2, 2, 2));
+  s.sport = 1000;
+  s.dport = 2000;
+  s.payload_len = 16;
+  auto p = build_udp(s);
+  // Mark as a non-first fragment.
+  std::uint8_t* h = p->data();
+  netbase::store_be16(&h[6], 0x0080);  // frag offset 128
+  Ipv4Header::finalize_checksum(h, 20);
+  p->key_valid = false;
+  ASSERT_TRUE(extract_flow_key(*p));
+  EXPECT_EQ(p->key.sport, 0);
+  EXPECT_EQ(p->key.dport, 0);
+  EXPECT_EQ(p->key.proto, 17);
+}
+
+TEST(FlowKeyExtract, RejectsGarbage) {
+  auto p = make_packet(3);
+  p->data()[0] = 0x99;  // version 9
+  EXPECT_FALSE(extract_flow_key(*p));
+  auto empty = make_packet(0);
+  EXPECT_FALSE(extract_flow_key(*empty));
+}
+
+TEST(Builders, ChecksumsAreValid) {
+  UdpSpec s;
+  s.src = IpAddr(Ipv4Addr(10, 0, 0, 1));
+  s.dst = IpAddr(Ipv4Addr(10, 0, 0, 2));
+  s.sport = 1;
+  s.dport = 2;
+  s.payload_len = 33;  // odd length exercises checksum padding
+  auto p = build_udp(s);
+  EXPECT_TRUE(Ipv4Header::verify_checksum({p->data(), 20}));
+  // The stored L4 checksum must match recomputation.
+  EXPECT_EQ(netbase::load_be16(p->data() + p->l4_offset + 6), l4_checksum(*p));
+}
+
+TEST(Builders, V6UdpChecksum) {
+  UdpSpec s;
+  s.src = IpAddr(*Ipv6Addr::parse("2001::1"));
+  s.dst = IpAddr(*Ipv6Addr::parse("2001::2"));
+  s.sport = 9999;
+  s.dport = 80;
+  s.payload_len = 100;
+  auto p = build_udp(s);
+  EXPECT_EQ(netbase::load_be16(p->data() + p->l4_offset + 6), l4_checksum(*p));
+}
+
+TEST(Packet, ClonePreservesBytesAndMetadata) {
+  UdpSpec s;
+  s.src = IpAddr(Ipv4Addr(10, 0, 0, 1));
+  s.dst = IpAddr(Ipv4Addr(10, 0, 0, 2));
+  s.payload_len = 21;
+  auto p = build_udp(s);
+  p->fix = 42;
+  p->in_iface = 3;
+  auto c = clone_packet(*p);
+  EXPECT_EQ(c->size(), p->size());
+  EXPECT_EQ(0, memcmp(c->data(), p->data(), p->size()));
+  EXPECT_EQ(c->fix, 42);
+  EXPECT_EQ(c->in_iface, 3);
+  // Mutating the clone leaves the original alone.
+  c->data()[0] ^= 0xff;
+  EXPECT_NE(c->data()[0], p->data()[0]);
+}
+
+TEST(FlowKeyHash, EqualKeysEqualHashes) {
+  FlowKey a{IpAddr(Ipv4Addr(1, 2, 3, 4)), IpAddr(Ipv4Addr(5, 6, 7, 8)),
+            17, 1000, 2000, 0};
+  FlowKey b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.dport = 2001;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());  // overwhelmingly likely
+}
+
+TEST(Ipv6ExtHeaders, BoundedAndValidated) {
+  // Chain: hopopts -> dstopts -> udp
+  std::uint8_t buf[32] = {};
+  buf[0] = 60;  // next: dstopts
+  buf[1] = 0;   // 8 bytes
+  buf[8] = 17;  // next: udp
+  buf[9] = 0;
+  std::size_t l4 = 0;
+  auto nh = skip_ipv6_ext_headers({buf, 32}, 0 /*hopopt*/, l4);
+  ASSERT_TRUE(nh);
+  EXPECT_EQ(*nh, 17);
+  EXPECT_EQ(l4, 16u);
+  // Truncated extension header fails.
+  EXPECT_FALSE(skip_ipv6_ext_headers({buf, 4}, 0, l4));
+}
+
+}  // namespace
+}  // namespace rp::pkt

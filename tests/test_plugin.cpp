@@ -1,0 +1,230 @@
+// Tests for the plugin framework: PCU registration and dispatch, plugin
+// codes, instance lifecycle, the loader (modload/modunload), and hooks.
+#include <gtest/gtest.h>
+
+#include "plugin/loader.hpp"
+#include "plugin/pcu.hpp"
+
+namespace rp::plugin {
+namespace {
+
+class NullInstance final : public PluginInstance {
+ public:
+  Verdict handle_packet(pkt::Packet&, void**) override { return Verdict::cont; }
+  Status handle_message(const PluginMsg& msg, PluginReply& reply) override {
+    if (msg.custom_name == "ping") {
+      reply.text = "pong";
+      return Status::ok;
+    }
+    return Status::unsupported;
+  }
+};
+
+class TestPlugin final : public Plugin {
+ public:
+  explicit TestPlugin(std::string name, PluginType type = PluginType::stats)
+      : Plugin(std::move(name), type) {}
+
+  Status handle_message(const PluginMsg& msg, PluginReply& reply) override {
+    if (msg.custom_name == "whoami") {
+      reply.text = name();
+      return Status::ok;
+    }
+    return Status::unsupported;
+  }
+
+ protected:
+  std::unique_ptr<PluginInstance> make_instance(const Config& cfg) override {
+    if (cfg.contains("reject")) return nullptr;
+    return std::make_unique<NullInstance>();
+  }
+};
+
+TEST(PluginCode, PacksTypeAndImpl) {
+  PluginCode c(PluginType::sched, 7);
+  EXPECT_EQ(c.type(), PluginType::sched);
+  EXPECT_EQ(c.impl(), 7);
+  EXPECT_EQ(c.raw, (3u << 16) | 7u);
+}
+
+TEST(Config, TypedAccessors) {
+  Config c{{"iface", "3"}, {"name", "x"}, {"bad", "3x"}};
+  EXPECT_EQ(c.get_int("iface"), 3);
+  EXPECT_FALSE(c.get_int("bad"));
+  EXPECT_FALSE(c.get_int("missing"));
+  EXPECT_EQ(c.get_int_or("missing", 9), 9);
+  EXPECT_EQ(c.get_or("name", "y"), "x");
+  EXPECT_EQ(c.get_or("nope", "y"), "y");
+  EXPECT_TRUE(c.contains("bad"));
+}
+
+TEST(Pcu, RegisterAssignsPerTypeCodes) {
+  PluginControlUnit pcu;
+  ASSERT_EQ(pcu.register_plugin(
+                std::make_unique<TestPlugin>("a", PluginType::sched)),
+            Status::ok);
+  ASSERT_EQ(pcu.register_plugin(
+                std::make_unique<TestPlugin>("b", PluginType::sched)),
+            Status::ok);
+  ASSERT_EQ(pcu.register_plugin(
+                std::make_unique<TestPlugin>("c", PluginType::ipsec)),
+            Status::ok);
+  EXPECT_EQ(pcu.find("a")->code().impl(), 1);
+  EXPECT_EQ(pcu.find("b")->code().impl(), 2);
+  EXPECT_EQ(pcu.find("c")->code().impl(), 1);  // separate counter per type
+  EXPECT_EQ(pcu.find(PluginCode(PluginType::sched, 2)), pcu.find("b"));
+  EXPECT_EQ(pcu.plugin_names(PluginType::sched).size(), 2u);
+}
+
+TEST(Pcu, DuplicateNameRejected) {
+  PluginControlUnit pcu;
+  pcu.register_plugin(std::make_unique<TestPlugin>("dup"));
+  EXPECT_EQ(pcu.register_plugin(std::make_unique<TestPlugin>("dup")),
+            Status::already_exists);
+}
+
+TEST(Pcu, CreateFreeInstanceViaMessages) {
+  PluginControlUnit pcu;
+  pcu.register_plugin(std::make_unique<TestPlugin>("p"));
+
+  PluginMsg create;
+  create.kind = PluginMsg::Kind::create_instance;
+  create.plugin_name = "p";
+  auto r = pcu.dispatch(create);
+  ASSERT_EQ(r.status, Status::ok);
+  EXPECT_NE(r.instance, kNoInstance);
+  EXPECT_NE(pcu.find_instance("p", r.instance), nullptr);
+
+  PluginMsg free_msg;
+  free_msg.kind = PluginMsg::Kind::free_instance;
+  free_msg.plugin_name = "p";
+  free_msg.instance = r.instance;
+  EXPECT_EQ(pcu.dispatch(free_msg).status, Status::ok);
+  EXPECT_EQ(pcu.find_instance("p", r.instance), nullptr);
+  EXPECT_EQ(pcu.dispatch(free_msg).status, Status::not_found);
+}
+
+TEST(Pcu, RejectedConfigFailsCreate) {
+  PluginControlUnit pcu;
+  pcu.register_plugin(std::make_unique<TestPlugin>("p"));
+  PluginMsg create;
+  create.kind = PluginMsg::Kind::create_instance;
+  create.plugin_name = "p";
+  create.args.set("reject", "1");
+  EXPECT_EQ(pcu.dispatch(create).status, Status::invalid_argument);
+}
+
+TEST(Pcu, CustomMessagesRouteToPluginOrInstance) {
+  PluginControlUnit pcu;
+  pcu.register_plugin(std::make_unique<TestPlugin>("p"));
+  PluginMsg create;
+  create.kind = PluginMsg::Kind::create_instance;
+  create.plugin_name = "p";
+  auto id = pcu.dispatch(create).instance;
+
+  PluginMsg plugin_msg;
+  plugin_msg.plugin_name = "p";
+  plugin_msg.custom_name = "whoami";
+  EXPECT_EQ(pcu.dispatch(plugin_msg).text, "p");
+
+  PluginMsg inst_msg;
+  inst_msg.plugin_name = "p";
+  inst_msg.instance = id;
+  inst_msg.custom_name = "ping";
+  EXPECT_EQ(pcu.dispatch(inst_msg).text, "pong");
+
+  PluginMsg unknown;
+  unknown.plugin_name = "p";
+  unknown.custom_name = "nope";
+  EXPECT_EQ(pcu.dispatch(unknown).status, Status::unsupported);
+
+  PluginMsg missing;
+  missing.plugin_name = "ghost";
+  EXPECT_EQ(pcu.dispatch(missing).status, Status::not_found);
+}
+
+TEST(Pcu, RegisterHooksInvoked) {
+  PluginControlUnit pcu;
+  pcu.register_plugin(std::make_unique<TestPlugin>("p"));
+  PluginMsg create;
+  create.kind = PluginMsg::Kind::create_instance;
+  create.plugin_name = "p";
+  auto id = pcu.dispatch(create).instance;
+
+  std::string seen_spec;
+  PluginInstance* seen_inst = nullptr;
+  pcu.set_register_hook([&](PluginInstance* inst, const std::string& spec) {
+    seen_inst = inst;
+    seen_spec = spec;
+    return Status::ok;
+  });
+
+  PluginMsg reg;
+  reg.kind = PluginMsg::Kind::register_instance;
+  reg.plugin_name = "p";
+  reg.instance = id;
+  reg.filter_spec = "<*, *, tcp, *, *, *>";
+  EXPECT_EQ(pcu.dispatch(reg).status, Status::ok);
+  EXPECT_EQ(seen_spec, "<*, *, tcp, *, *, *>");
+  EXPECT_EQ(seen_inst, pcu.find_instance("p", id));
+
+  // Without a deregister hook the message is unsupported.
+  PluginMsg dereg;
+  dereg.kind = PluginMsg::Kind::deregister_instance;
+  dereg.plugin_name = "p";
+  dereg.instance = id;
+  EXPECT_EQ(pcu.dispatch(dereg).status, Status::unsupported);
+}
+
+TEST(Pcu, PurgeHookRunsOnFreeAndUnregister) {
+  PluginControlUnit pcu;
+  pcu.register_plugin(std::make_unique<TestPlugin>("p"));
+  PluginMsg create;
+  create.kind = PluginMsg::Kind::create_instance;
+  create.plugin_name = "p";
+  auto id1 = pcu.dispatch(create).instance;
+  pcu.dispatch(create);
+
+  int purged = 0;
+  pcu.add_purge_hook([&](PluginInstance*) { ++purged; });
+
+  PluginMsg free_msg;
+  free_msg.kind = PluginMsg::Kind::free_instance;
+  free_msg.plugin_name = "p";
+  free_msg.instance = id1;
+  pcu.dispatch(free_msg);
+  EXPECT_EQ(purged, 1);
+
+  // Unregistering the whole plugin purges the remaining instance.
+  EXPECT_EQ(pcu.unregister_plugin("p"), Status::ok);
+  EXPECT_EQ(purged, 2);
+  EXPECT_EQ(pcu.find("p"), nullptr);
+}
+
+TEST(Loader, LoadUnloadLifecycle) {
+  PluginLoader::register_module(
+      "loadertest", [] { return std::make_unique<TestPlugin>("loadertest"); });
+  PluginControlUnit pcu;
+  PluginLoader loader(pcu);
+  EXPECT_EQ(loader.load("nonexistent"), Status::not_found);
+  ASSERT_EQ(loader.load("loadertest"), Status::ok);
+  EXPECT_TRUE(loader.loaded("loadertest"));
+  EXPECT_NE(pcu.find("loadertest"), nullptr);
+  EXPECT_EQ(loader.load("loadertest"), Status::already_exists);
+  ASSERT_EQ(loader.unload("loadertest"), Status::ok);
+  EXPECT_EQ(pcu.find("loadertest"), nullptr);
+  EXPECT_EQ(loader.unload("loadertest"), Status::not_found);
+  // Reload after unload works (the module is still "on disk").
+  EXPECT_EQ(loader.load("loadertest"), Status::ok);
+}
+
+TEST(Loader, NameMismatchRejected) {
+  PluginLoader::register_module(
+      "alias", [] { return std::make_unique<TestPlugin>("realname"); });
+  PluginControlUnit pcu;
+  PluginLoader loader(pcu);
+  EXPECT_EQ(loader.load("alias"), Status::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::plugin

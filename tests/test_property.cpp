@@ -1,0 +1,239 @@
+// Property-based sweeps (parameterized gtest):
+//  * classifier equivalence DAG vs linear across many random seeds/shapes,
+//  * end-to-end flow conservation through the router under random mixes,
+//  * DRR fairness bound across weights and packet-size distributions,
+//  * crypto round-trip properties on random inputs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "aiu/filter_table.hpp"
+#include "core/router.hpp"
+#include "ipsec/chacha20.hpp"
+#include "ipsec/hmac.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "sched/drr.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp {
+namespace {
+
+using netbase::Rng;
+
+// ---------------------------------------------------------------------------
+// Classifier equivalence across seeds with varied wildcard density.
+
+class ClassifierProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClassifierProperty, DagEquivalentToLinearScan) {
+  const std::uint64_t seed = GetParam();
+  Rng shape(seed);
+  tgen::FilterSetSpec spec;
+  spec.count = 20 + shape.below(80);
+  spec.seed = seed * 31 + 1;
+  spec.ver = shape.chance(0.3) ? netbase::IpVersion::v6
+                               : netbase::IpVersion::v4;
+  spec.p_wild_src = shape.uniform01() * 0.5;
+  spec.p_wild_dst = shape.uniform01() * 0.5;
+  spec.p_wild_proto = shape.uniform01();
+  spec.p_port_exact = shape.uniform01() * 0.6;
+  spec.p_port_range = shape.uniform01() * 0.3;
+
+  aiu::DagFilterTable dag;
+  aiu::LinearFilterTable lin;
+  auto filters = tgen::random_filters(spec);
+  for (const auto& f : filters) {
+    dag.insert(f, nullptr);
+    lin.insert(f, nullptr);
+  }
+
+  Rng rng(seed ^ 0x5555);
+  for (int i = 0; i < 300; ++i) {
+    pkt::FlowKey k = (i % 2) ? tgen::random_key(rng, spec.ver)
+                             : tgen::matching_key(
+                                   filters[rng.below(filters.size())], rng);
+    const auto* d = dag.lookup(k);
+    const auto* l = lin.lookup(k);
+    ASSERT_EQ(d == nullptr, l == nullptr)
+        << "seed=" << seed << " key=" << k.to_string();
+    if (d && d != l) {
+      ASSERT_TRUE(d->filter.matches(k));
+      ASSERT_TRUE(l->filter.matches(k));
+      ASSERT_EQ(aiu::compare_specificity(d->filter, l->filter), 0)
+          << "seed=" << seed << " dag=" << d->filter.to_string()
+          << " lin=" << l->filter.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Mutation property: after random removals, the DAG still agrees.
+TEST_P(ClassifierProperty, EquivalenceSurvivesRemovals) {
+  const std::uint64_t seed = GetParam();
+  tgen::FilterSetSpec spec;
+  spec.count = 40;
+  spec.seed = seed;
+  auto filters = tgen::random_filters(spec);
+
+  aiu::DagFilterTable dag;
+  aiu::LinearFilterTable lin;
+  for (const auto& f : filters) {
+    dag.insert(f, nullptr);
+    lin.insert(f, nullptr);
+  }
+  Rng rng(seed + 99);
+  for (std::size_t i = 0; i < filters.size(); i += 2) {
+    dag.remove(filters[i]);
+    lin.remove(filters[i]);
+  }
+  for (int i = 0; i < 150; ++i) {
+    pkt::FlowKey k = tgen::matching_key(filters[rng.below(filters.size())],
+                                        rng);
+    const auto* d = dag.lookup(k);
+    const auto* l = lin.lookup(k);
+    ASSERT_EQ(d == nullptr, l == nullptr);
+    if (d && l) {
+      ASSERT_EQ(aiu::compare_specificity(d->filter, l->filter), 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router conservation: packets in == packets out + drops, across mixes.
+
+class RouterConservation
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(RouterConservation, NothingLostOrDuplicated) {
+  auto [flows, zipf] = GetParam();
+  core::RouterKernel k;
+  k.add_interface("in0");
+  auto& out = k.add_interface("out0");
+  k.routes().add(netbase::IpPrefix{}, {1, {}});  // default route
+
+  std::size_t delivered = 0;
+  out.set_tx_sink([&](pkt::PacketPtr p, netbase::SimTime) {
+    ASSERT_NE(p, nullptr);
+    ++delivered;
+  });
+
+  tgen::MixSpec mix;
+  mix.n_flows = flows;
+  mix.n_packets = 500;
+  mix.zipf_s = zipf;
+  mix.seed = flows * 17 + static_cast<std::uint64_t>(zipf * 10);
+  for (auto& a : tgen::flow_mix(mix)) k.inject(a.t, a.iface, std::move(a.p));
+  k.run_to_completion();
+
+  const auto& c = k.core().counters();
+  EXPECT_EQ(c.received, 500u);
+  EXPECT_EQ(c.forwarded + c.total_drops(), 500u);
+  EXPECT_EQ(delivered, c.forwarded);
+  // Flow-cache consistency: hits + misses == received.
+  const auto& fs = k.aiu().flow_table().stats();
+  EXPECT_EQ(fs.hits + fs.misses, 500u);
+  EXPECT_EQ(fs.misses, fs.inserts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, RouterConservation,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 10, 100, 400),
+                       ::testing::Values(0.0, 1.0)));
+
+// ---------------------------------------------------------------------------
+// DRR fairness bound across weight vectors.
+
+class DrrFairness
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::size_t>> {
+};
+
+TEST_P(DrrFairness, WeightedShareWithinBound) {
+  auto [weight, quantum] = GetParam();
+  sched::DrrInstance::Config cfg;
+  cfg.quantum = quantum;
+  cfg.per_flow_limit = 4000;
+  sched::DrrInstance d(cfg);
+
+  plugin::PluginMsg msg;
+  msg.custom_name = "setweight";
+  msg.args.set("filter", "<*, *, udp, 2, *, *>");  // sport 2 gets `weight`
+  msg.args.set("weight", std::to_string(weight));
+  plugin::PluginReply reply;
+  ASSERT_EQ(d.handle_message(msg, reply), netbase::Status::ok);
+
+  Rng rng(weight * 1000 + quantum);
+  void* soft[2] = {};
+  auto mk = [&](std::uint16_t sport) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 1));
+    s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+    s.sport = sport;
+    s.dport = 80;
+    s.payload_len = 28 + rng.below(1200);
+    return pkt::build_udp(s);
+  };
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(d.enqueue(mk(1), &soft[0], 0));
+    ASSERT_TRUE(d.enqueue(mk(2), &soft[1], 0));
+  }
+
+  std::map<std::uint16_t, double> bytes;
+  std::size_t served_bytes = 0;
+  while (served_bytes < 400'000) {
+    auto p = d.dequeue(0);
+    ASSERT_NE(p, nullptr);
+    bytes[p->key.sport] += static_cast<double>(p->size());
+    served_bytes += p->size();
+  }
+  // Normalized service difference bounded by one round's worth of slack
+  // (Shreedhar/Varghese Theorem 2, scaled by total service).
+  double norm1 = bytes[1] / 1.0;
+  double norm2 = bytes[2] / static_cast<double>(weight);
+  double bound = static_cast<double>(quantum) + 1256 + quantum;
+  EXPECT_LE(std::abs(norm1 - norm2), bound)
+      << "w=" << weight << " q=" << quantum;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Weights, DrrFairness,
+    ::testing::Combine(::testing::Values<std::uint32_t>(1, 2, 5, 10),
+                       ::testing::Values<std::size_t>(500, 1500, 4000)));
+
+// ---------------------------------------------------------------------------
+// Crypto round-trip properties.
+
+class CryptoProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CryptoProperty, ChaChaRoundTripAndHmacSensitivity) {
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> key(32), nonce(12), data(1 + rng.below(2000));
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.next());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  auto orig = data;
+
+  ipsec::ChaCha20 enc(key, nonce);
+  enc.crypt(data.data(), data.size());
+  if (data.size() > 8) {
+    EXPECT_NE(data, orig);  // overwhelmingly likely
+  }
+  ipsec::ChaCha20 dec(key, nonce);
+  dec.crypt(data.data(), data.size());
+  EXPECT_EQ(data, orig);
+
+  // HMAC changes completely under a single bit flip.
+  auto mac1 = ipsec::HmacSha256::mac(key, orig);
+  orig[rng.below(orig.size())] ^= 1 << rng.below(8);
+  auto mac2 = ipsec::HmacSha256::mac(key, orig);
+  EXPECT_NE(mac1, mac2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CryptoProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,164 @@
+// Tests for IPv4 reassembly, including a property sweep: fragment at random
+// MTUs through the core, reassemble at the receiver, compare byte-for-byte.
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+#include "netbase/byteorder.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+#include "pkt/reassembly.hpp"
+
+namespace rp::pkt {
+namespace {
+
+PacketPtr udp(std::size_t payload, std::uint16_t id = 0x77) {
+  UdpSpec s;
+  s.src = *netbase::IpAddr::parse("10.0.0.1");
+  s.dst = *netbase::IpAddr::parse("20.0.0.1");
+  s.sport = 5;
+  s.dport = 6;
+  s.payload_len = payload;
+  s.payload_fill = 0x3c;
+  auto p = build_udp(s);
+  netbase::store_be16(p->data() + 4, id);
+  Ipv4Header::finalize_checksum(p->data(), 20);
+  return p;
+}
+
+// Splits by hand with the core's fragmentation via a router.
+std::vector<PacketPtr> fragment_via_router(PacketPtr p, std::size_t mtu) {
+  core::RouterKernel k;
+  k.add_interface("in0");
+  auto& out = k.add_interface("out0");
+  out.set_mtu(mtu);
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  std::vector<PacketPtr> frags;
+  out.set_tx_sink(
+      [&](PacketPtr f, netbase::SimTime) { frags.push_back(std::move(f)); });
+  k.inject(0, 0, std::move(p));
+  k.run_to_completion();
+  return frags;
+}
+
+TEST(Reassembly, UnfragmentedPassesThrough) {
+  Ipv4Reassembler r;
+  auto p = udp(100);
+  auto out = r.feed(std::move(p), 0);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->size(), 128u);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Reassembly, InOrderFragments) {
+  auto original = udp(2000);
+  auto want = clone_packet(*original);
+  auto frags = fragment_via_router(std::move(original), 576);
+  ASSERT_GE(frags.size(), 3u);
+
+  Ipv4Reassembler r;
+  PacketPtr done;
+  for (auto& f : frags) {
+    auto res = r.feed(std::move(f), 0);
+    if (res) {
+      EXPECT_EQ(done, nullptr);
+      done = std::move(res);
+    }
+  }
+  ASSERT_NE(done, nullptr);
+  // TTL decremented by the router; compare payload and addresses.
+  EXPECT_EQ(done->size(), want->size());
+  EXPECT_EQ(0, std::memcmp(done->data() + 12, want->data() + 12,
+                           want->size() - 12));
+  EXPECT_TRUE(Ipv4Header::verify_checksum({done->data(), 20}));
+  EXPECT_EQ(r.completed(), 1u);
+}
+
+TEST(Reassembly, OutOfOrderAndDuplicateFragments) {
+  auto original = udp(3000);
+  auto want = clone_packet(*original);
+  auto frags = fragment_via_router(std::move(original), 576);
+  ASSERT_GE(frags.size(), 4u);
+
+  Ipv4Reassembler r;
+  // Feed in reverse, then duplicate the first two.
+  PacketPtr done;
+  for (auto it = frags.rbegin(); it != frags.rend(); ++it) {
+    auto copy = clone_packet(**it);
+    auto res = r.feed(std::move(copy), 0);
+    if (res) done = std::move(res);
+  }
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(0, std::memcmp(done->data() + 20, want->data() + 20,
+                           want->size() - 20));
+  // Duplicates of a finished datagram just open a new partial.
+  r.feed(clone_packet(*frags[0]), 0);
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+TEST(Reassembly, InterleavedDatagramsKeptApart) {
+  auto a = udp(1500, 0x100);
+  auto b = udp(1500, 0x200);
+  auto fa = fragment_via_router(std::move(a), 576);
+  auto fb = fragment_via_router(std::move(b), 576);
+  Ipv4Reassembler r;
+  int done = 0;
+  for (std::size_t i = 0; i < std::max(fa.size(), fb.size()); ++i) {
+    if (i < fa.size() && r.feed(std::move(fa[i]), 0)) ++done;
+    if (i < fb.size() && r.feed(std::move(fb[i]), 0)) ++done;
+  }
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Reassembly, TimeoutDiscardsPartials) {
+  auto original = udp(2000);
+  auto frags = fragment_via_router(std::move(original), 576);
+  Ipv4Reassembler r(netbase::kNsPerSec);
+  r.feed(std::move(frags[0]), 0);
+  EXPECT_EQ(r.pending(), 1u);
+  EXPECT_EQ(r.expire(netbase::kNsPerMs), 0u);  // too early
+  EXPECT_EQ(r.expire(2 * netbase::kNsPerSec), 1u);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Reassembly, MalformedFragmentsRejected) {
+  Ipv4Reassembler r;
+  // Middle fragment whose length is not a multiple of 8.
+  auto p = udp(100);
+  netbase::store_be16(p->data() + 6, 0x2000 | 4);  // MF, offset 32
+  Ipv4Header::finalize_checksum(p->data(), 20);
+  EXPECT_EQ(r.feed(std::move(p), 0), nullptr);
+  EXPECT_EQ(r.malformed(), 1u);
+  EXPECT_EQ(r.feed(nullptr, 0), nullptr);
+}
+
+class FragRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FragRoundTrip, FragmentsReassembleExactly) {
+  auto [payload, mtu] = GetParam();
+  auto original = udp(static_cast<std::size_t>(payload));
+  auto want = clone_packet(*original);
+  auto frags =
+      fragment_via_router(std::move(original), static_cast<std::size_t>(mtu));
+  ASSERT_FALSE(frags.empty());
+  for (const auto& f : frags) ASSERT_LE(f->size(), static_cast<std::size_t>(mtu));
+
+  Ipv4Reassembler r;
+  PacketPtr done;
+  for (auto& f : frags) {
+    auto res = r.feed(std::move(f), 0);
+    if (res) done = std::move(res);
+  }
+  ASSERT_NE(done, nullptr) << "payload=" << payload << " mtu=" << mtu;
+  ASSERT_EQ(done->size(), want->size());
+  EXPECT_EQ(0, std::memcmp(done->data() + 20, want->data() + 20,
+                           want->size() - 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FragRoundTrip,
+    ::testing::Combine(::testing::Values(100, 557, 1400, 2901, 8000),
+                       ::testing::Values(68, 576, 1500)));
+
+}  // namespace
+}  // namespace rp::pkt

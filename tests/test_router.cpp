@@ -1,0 +1,129 @@
+// End-to-end tests of the RouterKernel event loop: virtual-time arrivals,
+// link serialization, tx sinks, scheduler-driven draining.
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+#include "pkt/builder.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp::core {
+namespace {
+
+using netbase::IpAddr;
+using netbase::Ipv4Addr;
+using netbase::SimTime;
+
+pkt::PacketPtr udp(std::size_t payload = 100) {
+  pkt::UdpSpec s;
+  s.src = IpAddr(Ipv4Addr(10, 0, 0, 1));
+  s.dst = IpAddr(Ipv4Addr(20, 0, 0, 1));
+  s.sport = 1;
+  s.dport = 2;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+TEST(RouterKernel, ForwardsInjectedPacketToSink) {
+  RouterKernel k;
+  k.add_interface("in0");
+  auto& out = k.add_interface("out0");
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+
+  std::vector<SimTime> deliveries;
+  out.set_tx_sink([&](pkt::PacketPtr p, SimTime t) {
+    ASSERT_NE(p, nullptr);
+    deliveries.push_back(t);
+  });
+
+  k.inject(1000, 0, udp());
+  k.run_to_completion();
+  ASSERT_EQ(deliveries.size(), 1u);
+  // 128-byte packet on a 155 Mb/s link: ~6.6 us of serialization.
+  EXPECT_GT(deliveries[0], 1000);
+  EXPECT_EQ(k.core().counters().forwarded, 1u);
+  EXPECT_EQ(out.counters().tx_packets, 1u);
+}
+
+TEST(RouterKernel, LinkSerializationSpacesBackToBackPackets) {
+  RouterKernel k;
+  k.add_interface("in0");
+  auto& out = k.add_interface("out0", 1'000'000);  // 1 Mb/s: slow link
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+
+  std::vector<SimTime> deliveries;
+  std::size_t wire_bytes = 0;
+  out.set_tx_sink([&](pkt::PacketPtr p, SimTime t) {
+    wire_bytes = p->size();
+    deliveries.push_back(t);
+  });
+
+  // Two packets arrive simultaneously; the second must wait for the first
+  // to serialize (128-byte packets at 1 Mb/s = 1.024 ms each).
+  k.inject(0, 0, udp(100));
+  k.inject(0, 0, udp(100));
+  k.run_to_completion();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(wire_bytes, 128u);  // 20 IP + 8 UDP + 100 payload
+  SimTime gap = deliveries[1] - deliveries[0];
+  EXPECT_EQ(gap, out.tx_duration(wire_bytes));
+}
+
+TEST(RouterKernel, RunUntilProcessesOnlyDueEvents) {
+  RouterKernel k;
+  k.add_interface("in0");
+  k.add_interface("out0");
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  k.inject(100, 0, udp());
+  k.inject(10'000'000, 0, udp());
+  k.run_until(1'000'000);
+  EXPECT_EQ(k.core().counters().received, 1u);
+  EXPECT_FALSE(k.idle());
+  EXPECT_EQ(k.clock().now(), 1'000'000);
+  k.run_to_completion();
+  EXPECT_EQ(k.core().counters().received, 2u);
+}
+
+TEST(RouterKernel, InjectToUnknownInterfaceIsIgnored) {
+  RouterKernel k;
+  k.add_interface("in0");
+  k.inject(0, 7, udp());
+  k.run_to_completion();
+  EXPECT_EQ(k.core().counters().received, 0u);
+}
+
+TEST(RouterKernel, RxRingOverflowCountsDrops) {
+  RouterKernel k;
+  auto& in = k.interfaces().add("in0", 155'000'000, 0, 4);  // tiny rx ring
+  k.add_interface("out0");
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  // The kernel drains the ring immediately per arrival event, so overflow
+  // needs direct delivery (as a burst from the driver would).
+  for (int i = 0; i < 8; ++i) in.deliver(udp(), 0);
+  EXPECT_EQ(in.counters().rx_drops, 4u);
+  EXPECT_EQ(in.rx_depth(), 4u);
+}
+
+TEST(RouterKernel, TgenCbrStreamArrivesAtConfiguredRate) {
+  RouterKernel k;
+  k.add_interface("in0");
+  auto& out = k.add_interface("out0");
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+
+  tgen::CbrSpec spec;
+  spec.ep.src = IpAddr(Ipv4Addr(10, 0, 0, 1));
+  spec.ep.dst = IpAddr(Ipv4Addr(20, 0, 0, 1));
+  spec.ep.sport = 9;
+  spec.ep.dport = 10;
+  spec.count = 50;
+  spec.interval = netbase::kNsPerMs;
+  std::size_t received = 0;
+  out.set_tx_sink([&](pkt::PacketPtr, SimTime) { ++received; });
+  for (auto& a : tgen::cbr(spec)) k.inject(a.t, a.iface, std::move(a.p));
+  k.run_to_completion();
+  EXPECT_EQ(received, 50u);
+  // 50 packets at 1 ms spacing: the last leaves just after t = 49 ms.
+  EXPECT_GE(k.clock().now(), 49 * netbase::kNsPerMs);
+}
+
+}  // namespace
+}  // namespace rp::core

@@ -1,0 +1,140 @@
+// Tests for the RSVP daemon: PATH/RESV soft state, admission against the
+// sender TSpec, refresh semantics, timeout-driven teardown, and the kernel
+// filter/weight state it programs through the Router Plugin Library.
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rsvp.hpp"
+
+namespace rp::mgmt {
+namespace {
+
+using netbase::SimTime;
+
+class RsvpTest : public ::testing::Test {
+ protected:
+  RsvpTest() : lib_(kernel_), pmgr_(lib_) {
+    register_builtin_modules();
+    kernel_.add_interface("if0");
+    kernel_.add_interface("if1");
+    auto r = pmgr_.run_script(
+        "route add 20.0.0.0/8 if1\nmodload drr\ncreate drr\nattach drr 1 if1");
+    EXPECT_TRUE(r.ok()) << r.text;
+
+    cfg_.refresh_period = netbase::kNsPerSec;
+    cfg_.lifetime_refreshes = 3;
+    cfg_.weight_unit_bps = 1'000'000;
+  }
+
+  std::size_t sched_filters() {
+    auto* t = kernel_.aiu().filter_table(plugin::PluginType::sched);
+    return t ? t->size() : 0;
+  }
+
+  core::RouterKernel kernel_;
+  RouterPluginLib lib_;
+  PluginManager pmgr_;
+  RsvpDaemon::Config cfg_;
+
+  RsvpSession session_{*netbase::IpAddr::parse("20.0.0.1"), 17, 5004};
+  RsvpSender sender_{*netbase::IpAddr::parse("10.0.0.1"), 7000};
+};
+
+TEST_F(RsvpTest, ResvRequiresPathState) {
+  RsvpDaemon rsvp(lib_, cfg_);
+  EXPECT_EQ(rsvp.resv(session_, sender_, 2'000'000, 0), Status::not_found);
+  ASSERT_EQ(rsvp.path(session_, sender_, {5'000'000, 8192}, 0), Status::ok);
+  EXPECT_EQ(rsvp.resv(session_, sender_, 2'000'000, 0), Status::ok);
+  EXPECT_EQ(rsvp.path_count(), 1u);
+  EXPECT_EQ(rsvp.resv_count(), 1u);
+  EXPECT_EQ(sched_filters(), 1u);
+}
+
+TEST_F(RsvpTest, AdmissionAgainstTspec) {
+  RsvpDaemon rsvp(lib_, cfg_);
+  rsvp.path(session_, sender_, {5'000'000, 8192}, 0);
+  // More than the sender's TSpec: rejected.
+  EXPECT_EQ(rsvp.resv(session_, sender_, 9'000'000, 0),
+            Status::resource_limit);
+  EXPECT_EQ(rsvp.resv(session_, sender_, 0, 0), Status::resource_limit);
+  EXPECT_EQ(sched_filters(), 0u);
+  EXPECT_EQ(rsvp.resv(session_, sender_, 5'000'000, 0), Status::ok);
+}
+
+TEST_F(RsvpTest, FfFilterShape) {
+  auto f = RsvpDaemon::filter_for(session_, sender_);
+  EXPECT_TRUE(f.fully_specified() || f.in_iface.wild);
+  EXPECT_EQ(f.src.to_string(), "10.0.0.1/32");
+  EXPECT_EQ(f.dst.to_string(), "20.0.0.1/32");
+  EXPECT_EQ(f.proto.value, 17);
+  EXPECT_EQ(f.sport, aiu::PortSpec::exact(7000));
+  EXPECT_EQ(f.dport, aiu::PortSpec::exact(5004));
+}
+
+TEST_F(RsvpTest, SoftStateExpiresWithoutRefresh) {
+  RsvpDaemon rsvp(lib_, cfg_);
+  rsvp.path(session_, sender_, {5'000'000, 8192}, 0);
+  rsvp.resv(session_, sender_, 2'000'000, 0);
+  ASSERT_EQ(sched_filters(), 1u);
+
+  // Inside the lifetime (3 refresh periods): state survives.
+  EXPECT_EQ(rsvp.tick(2 * netbase::kNsPerSec), 0u);
+  EXPECT_EQ(rsvp.resv_count(), 1u);
+
+  // Past the lifetime with no refresh: everything evaporates, including
+  // the kernel filter.
+  EXPECT_GE(rsvp.tick(4 * netbase::kNsPerSec), 2u);
+  EXPECT_EQ(rsvp.path_count(), 0u);
+  EXPECT_EQ(rsvp.resv_count(), 0u);
+  EXPECT_EQ(sched_filters(), 0u);
+}
+
+TEST_F(RsvpTest, RefreshKeepsStateAlive) {
+  RsvpDaemon rsvp(lib_, cfg_);
+  SimTime t = 0;
+  rsvp.path(session_, sender_, {5'000'000, 8192}, t);
+  rsvp.resv(session_, sender_, 2'000'000, t);
+  // Refresh every second for 10 seconds; nothing may expire.
+  for (int i = 1; i <= 10; ++i) {
+    t = i * netbase::kNsPerSec;
+    EXPECT_EQ(rsvp.path(session_, sender_, {5'000'000, 8192}, t), Status::ok);
+    EXPECT_EQ(rsvp.resv(session_, sender_, 2'000'000, t), Status::ok);
+    EXPECT_EQ(rsvp.tick(t), 0u);
+  }
+  EXPECT_EQ(rsvp.resv_count(), 1u);
+  EXPECT_EQ(sched_filters(), 1u);
+}
+
+TEST_F(RsvpTest, ExplicitTears) {
+  RsvpDaemon rsvp(lib_, cfg_);
+  rsvp.path(session_, sender_, {5'000'000, 8192}, 0);
+  rsvp.resv(session_, sender_, 1'000'000, 0);
+
+  EXPECT_EQ(rsvp.resv_tear(session_, sender_), Status::ok);
+  EXPECT_EQ(sched_filters(), 0u);
+  EXPECT_EQ(rsvp.resv_tear(session_, sender_), Status::not_found);
+  EXPECT_EQ(rsvp.path_count(), 1u);  // path state independent
+
+  // PATHTEAR kills a dependent reservation too.
+  rsvp.resv(session_, sender_, 1'000'000, 0);
+  ASSERT_EQ(sched_filters(), 1u);
+  EXPECT_EQ(rsvp.path_tear(session_, sender_), Status::ok);
+  EXPECT_EQ(rsvp.resv_count(), 0u);
+  EXPECT_EQ(sched_filters(), 0u);
+}
+
+TEST_F(RsvpTest, MultipleSendersSameSession) {
+  RsvpDaemon rsvp(lib_, cfg_);
+  RsvpSender s2{*netbase::IpAddr::parse("10.0.0.2"), 7000};
+  rsvp.path(session_, sender_, {5'000'000, 8192}, 0);
+  rsvp.path(session_, s2, {3'000'000, 8192}, 0);
+  EXPECT_EQ(rsvp.resv(session_, sender_, 4'000'000, 0), Status::ok);
+  EXPECT_EQ(rsvp.resv(session_, s2, 3'000'000, 0), Status::ok);
+  EXPECT_EQ(rsvp.resv_count(), 2u);
+  EXPECT_EQ(sched_filters(), 2u);  // one FF filter per sender
+}
+
+}  // namespace
+}  // namespace rp::mgmt

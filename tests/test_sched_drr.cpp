@@ -1,0 +1,214 @@
+// Tests for the weighted DRR plugin: per-flow isolation, weighted shares,
+// the Shreedhar/Varghese fairness bound, soft-state lifecycle, and the
+// plugin messages.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/drr.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp::sched {
+namespace {
+
+using netbase::Status;
+
+pkt::PacketPtr flow_pkt(std::uint8_t flow, std::size_t payload) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, flow));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = flow;
+  s.dport = 80;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+TEST(Drr, RoundRobinIsFairForEqualWeights) {
+  DrrInstance::Config cfg;
+  cfg.quantum = 500;  // one 500-byte packet per round visit
+  DrrInstance d(cfg);
+  void* soft[3] = {};
+  // Backlog 30 equal-size packets per flow.
+  for (int r = 0; r < 30; ++r)
+    for (std::uint8_t f = 0; f < 3; ++f)
+      ASSERT_TRUE(d.enqueue(flow_pkt(f, 472), &soft[f], 0));
+
+  // Dequeue 30: each flow must get exactly 10 (perfect fairness for equal
+  // packet sizes and weights).
+  std::map<std::uint16_t, int> served;
+  for (int i = 0; i < 30; ++i) {
+    auto p = d.dequeue(0);
+    ASSERT_NE(p, nullptr);
+    ++served[p->key.sport];
+  }
+  EXPECT_EQ(served[0], 10);
+  EXPECT_EQ(served[1], 10);
+  EXPECT_EQ(served[2], 10);
+}
+
+TEST(Drr, WeightsSplitBandwidthProportionally) {
+  DrrInstance::Config cfg;
+  cfg.quantum = 500;
+  DrrInstance d(cfg);
+
+  // Give flow 2 weight 3 via the plugin message interface.
+  plugin::PluginMsg msg;
+  msg.custom_name = "setweight";
+  msg.args.set("filter", "<10.0.0.2, *, udp, *, *, *>");
+  msg.args.set("weight", "3");
+  plugin::PluginReply reply;
+  ASSERT_EQ(d.handle_message(msg, reply), Status::ok);
+
+  void* soft[3] = {};
+  for (int r = 0; r < 40; ++r)
+    for (std::uint8_t f = 0; f < 3; ++f)
+      ASSERT_TRUE(d.enqueue(flow_pkt(f, 472), &soft[f], 0));
+
+  std::map<std::uint16_t, std::size_t> bytes;
+  for (int i = 0; i < 50; ++i) {
+    auto p = d.dequeue(0);
+    ASSERT_NE(p, nullptr);
+    bytes[p->key.sport] += p->size();
+  }
+  // Flow 2 must receive ~3x the service of flows 0/1.
+  ASSERT_GT(bytes[0], 0u);
+  double ratio = static_cast<double>(bytes[2]) / bytes[0];
+  EXPECT_NEAR(ratio, 3.0, 0.75);
+  EXPECT_NEAR(static_cast<double>(bytes[1]) / bytes[0], 1.0, 0.25);
+}
+
+TEST(Drr, FairnessBoundHolds) {
+  // Shreedhar/Varghese: for backlogged flows with equal weights, the
+  // difference in service between any two flows over any interval is
+  // bounded by quantum + max packet size.
+  DrrInstance::Config cfg;
+  cfg.quantum = 1500;
+  cfg.per_flow_limit = 2000;
+  DrrInstance d(cfg);
+  netbase::Rng rng(5);
+  constexpr int kFlows = 4;
+  void* soft[kFlows] = {};
+  // Random packet sizes, heavily backlogged.
+  for (int r = 0; r < 200; ++r)
+    for (std::uint8_t f = 0; f < kFlows; ++f)
+      ASSERT_TRUE(
+          d.enqueue(flow_pkt(f, 28 + rng.below(1400)), &soft[f], 0));
+
+  std::map<std::uint16_t, std::int64_t> bytes;
+  for (int i = 0; i < 400; ++i) {
+    auto p = d.dequeue(0);
+    ASSERT_NE(p, nullptr);
+    bytes[p->key.sport] += static_cast<std::int64_t>(p->size());
+  }
+  std::int64_t lo = INT64_MAX, hi = 0;
+  for (auto& [f, b] : bytes) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  EXPECT_LE(hi - lo, 1500 + 1456 + 1500);  // quantum + max pkt + slack
+}
+
+TEST(Drr, PerFlowLimitDropsOnlyThatFlow) {
+  DrrInstance::Config cfg;
+  cfg.per_flow_limit = 4;
+  DrrInstance d(cfg);
+  void* a = nullptr;
+  void* b = nullptr;
+  for (int i = 0; i < 10; ++i) d.enqueue(flow_pkt(1, 100), &a, 0);
+  EXPECT_EQ(d.drops(), 6u);
+  EXPECT_TRUE(d.enqueue(flow_pkt(2, 100), &b, 0));  // other flow unaffected
+  EXPECT_EQ(d.backlog_packets(), 5u);
+}
+
+TEST(Drr, FlowRemovedFreesEmptyQueueImmediately) {
+  DrrInstance d({});
+  void* soft = nullptr;
+  d.enqueue(flow_pkt(1, 100), &soft, 0);
+  ASSERT_NE(soft, nullptr);
+  ASSERT_NE(d.dequeue(0), nullptr);
+  EXPECT_EQ(d.queue_count(), 1u);
+  d.flow_removed(soft);
+  EXPECT_EQ(d.queue_count(), 0u);
+}
+
+TEST(Drr, FlowRemovedWithBacklogDrainsThenFrees) {
+  DrrInstance d({});
+  void* soft = nullptr;
+  d.enqueue(flow_pkt(1, 100), &soft, 0);
+  d.enqueue(flow_pkt(1, 100), &soft, 0);
+  d.flow_removed(soft);          // flow entry recycled while backlogged
+  EXPECT_EQ(d.queue_count(), 1u);  // queue survives to drain
+  EXPECT_NE(d.dequeue(0), nullptr);
+  EXPECT_NE(d.dequeue(0), nullptr);
+  EXPECT_EQ(d.dequeue(0), nullptr);
+  EXPECT_EQ(d.queue_count(), 0u);  // freed once drained
+}
+
+TEST(Drr, NullSoftSlotTrafficGetsSelfClassifiedQueue) {
+  // Port-default traffic (no flow-table binding) still gets per-flow
+  // isolation: the plugin keys a queue on the exact flow key itself.
+  DrrInstance d({});
+  ASSERT_TRUE(d.enqueue(flow_pkt(9, 64), nullptr, 0));
+  ASSERT_TRUE(d.enqueue(flow_pkt(9, 64), nullptr, 0));
+  ASSERT_TRUE(d.enqueue(flow_pkt(8, 64), nullptr, 0));
+  EXPECT_EQ(d.queue_count(), 2u);  // one queue per distinct flow
+  auto p = d.dequeue(0);
+  ASSERT_NE(p, nullptr);
+  // The queue persists for future packets of the flow.
+  while (d.dequeue(0)) {
+  }
+  EXPECT_EQ(d.queue_count(), 2u);
+}
+
+TEST(Drr, EmptyDequeueReturnsNull) {
+  DrrInstance d({});
+  EXPECT_EQ(d.dequeue(0), nullptr);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Drr, LargePacketWaitsForDeficitAccumulation) {
+  // quantum 500 and a 1000-byte packet: the flow needs two round visits.
+  DrrInstance::Config cfg;
+  cfg.quantum = 500;
+  DrrInstance d(cfg);
+  void* a = nullptr;
+  void* b = nullptr;
+  d.enqueue(flow_pkt(1, 972), &a, 0);  // 1000 bytes on the wire
+  d.enqueue(flow_pkt(2, 72), &b, 0);   // 100 bytes
+  // First dequeue: flow 1 lacks deficit (500 < 1000), so flow 2 goes first.
+  auto p1 = d.dequeue(0);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->key.sport, 2);
+  auto p2 = d.dequeue(0);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->key.sport, 1);  // second visit: deficit 1000 suffices
+}
+
+TEST(Drr, StatsMessage) {
+  DrrInstance d({});
+  void* soft = nullptr;
+  d.enqueue(flow_pkt(1, 100), &soft, 0);
+  plugin::PluginMsg msg;
+  msg.custom_name = "stats";
+  plugin::PluginReply reply;
+  ASSERT_EQ(d.handle_message(msg, reply), Status::ok);
+  EXPECT_NE(reply.text.find("queues=1"), std::string::npos);
+  EXPECT_NE(reply.text.find("backlog_pkts=1"), std::string::npos);
+}
+
+TEST(Drr, SetWeightRejectsBadArgs) {
+  DrrInstance d({});
+  plugin::PluginMsg msg;
+  msg.custom_name = "setweight";
+  plugin::PluginReply reply;
+  EXPECT_EQ(d.handle_message(msg, reply), Status::invalid_argument);
+  msg.args.set("filter", "garbage");
+  msg.args.set("weight", "2");
+  EXPECT_EQ(d.handle_message(msg, reply), Status::invalid_argument);
+  msg.args.set("filter", "<*, *, udp, *, *, *>");
+  msg.args.set("weight", "0");
+  EXPECT_EQ(d.handle_message(msg, reply), Status::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::sched

@@ -1,0 +1,296 @@
+// Tests for the H-FSC plugin: runtime service-curve math, class hierarchy
+// management, link-sharing proportional to fsc curves, real-time guarantees
+// with delay/bandwidth decoupling, and the upper-limit (non-work-conserving)
+// behaviour with kernel wakeups.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/router.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+#include "sched/hfsc.hpp"
+
+namespace rp::sched {
+namespace {
+
+using netbase::Status;
+
+TEST(RuntimeSc, TwoPieceMapping) {
+  // 8 Mb/s (1e6 B/s) for 1 ms, then 0.8 Mb/s (1e5 B/s).
+  ServiceCurve sc{1e6, 1'000'000.0, 1e5};
+  RuntimeSc r;
+  r.init(sc, 0, 0);
+  EXPECT_DOUBLE_EQ(r.x2y(0), 0);
+  EXPECT_DOUBLE_EQ(r.x2y(500'000), 500.0);       // within the m1 segment
+  EXPECT_DOUBLE_EQ(r.x2y(1'000'000), 1000.0);    // knee
+  EXPECT_DOUBLE_EQ(r.x2y(2'000'000), 1100.0);    // m2 afterwards
+  EXPECT_DOUBLE_EQ(r.y2x(500), 500'000.0);
+  EXPECT_DOUBLE_EQ(r.y2x(1100), 2'000'000.0);
+}
+
+TEST(RuntimeSc, AnchorOffsets) {
+  ServiceCurve sc{1e6, 0, 1e6};  // linear 1 MB/s
+  RuntimeSc r;
+  r.init(sc, 5'000'000, 200);
+  EXPECT_DOUBLE_EQ(r.x2y(4'000'000), 200);  // before the anchor: y0
+  EXPECT_DOUBLE_EQ(r.x2y(6'000'000), 1200);
+  EXPECT_DOUBLE_EQ(r.y2x(1200), 6'000'000);
+  EXPECT_DOUBLE_EQ(r.y2x(100), 5'000'000);  // at or below y0: x0
+}
+
+TEST(RuntimeSc, MinWithConcaveReanchors) {
+  // Concave curve (burst then sustained), reactivated later with less
+  // cumulative service than the old curve would allow: curve must clamp.
+  ServiceCurve sc{2e6, 1'000'000.0, 1e6};
+  RuntimeSc r;
+  r.init(sc, 0, 0);
+  double before = r.x2y(3'000'000);
+  r.min_with(sc, 1'000'000, 500);  // re-anchor at (1 ms, 500 B served)
+  // The new curve at any time must not exceed the old one.
+  EXPECT_LE(r.x2y(3'000'000), before);
+  // And it must pass through (or below) the new anchor.
+  EXPECT_LE(r.x2y(1'000'000), 500 + 1e-6);
+}
+
+TEST(Hfsc, ClassManagement) {
+  HfscInstance h({8'000'000, 64});
+  ServiceCurve half{500'000, 0, 500'000};
+  EXPECT_EQ(h.add_class("a", "root", {}, half, {}), Status::ok);
+  EXPECT_EQ(h.add_class("a", "root", {}, half, {}), Status::already_exists);
+  EXPECT_EQ(h.add_class("b", "ghost", {}, half, {}), Status::not_found);
+  EXPECT_EQ(h.add_class("c", "root", {}, {}, {}), Status::invalid_argument);
+  EXPECT_EQ(h.bind_class(*aiu::Filter::parse("* * udp * * *"), "a"),
+            Status::ok);
+  EXPECT_EQ(h.bind_class(*aiu::Filter::parse("* * udp * * *"), "nope"),
+            Status::not_found);
+}
+
+// Runs a saturated two-class link-sharing scenario through the full router
+// kernel and returns bytes delivered per flow (keyed by sport).
+std::map<std::uint16_t, std::size_t> run_two_class(double rate_a,
+                                                   double rate_b,
+                                                   std::uint64_t link_bps,
+                                                   netbase::SimTime dur) {
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  auto& out = k.interfaces().add("out0", link_bps);
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+
+  mgmt::RouterPluginLib lib(k);
+  EXPECT_EQ(lib.modload("hfsc"), Status::ok);
+  plugin::InstanceId id = plugin::kNoInstance;
+  plugin::Config cfg;
+  cfg.set("bandwidth_bps", std::to_string(link_bps));
+  EXPECT_EQ(lib.create_instance("hfsc", cfg, id), Status::ok);
+  EXPECT_EQ(lib.attach_scheduler("hfsc", id, 1), Status::ok);
+
+  auto addclass = [&](const char* name, double bps) {
+    plugin::Config c;
+    c.set("name", name);
+    c.set("ls_m1", std::to_string(static_cast<std::int64_t>(bps)));
+    c.set("ls_m2", std::to_string(static_cast<std::int64_t>(bps)));
+    EXPECT_EQ(lib.message("hfsc", id, "addclass", c).status, Status::ok);
+  };
+  addclass("A", rate_a);
+  addclass("B", rate_b);
+  auto bindclass = [&](const char* cls, std::uint16_t sport) {
+    plugin::Config c;
+    c.set("class", cls);
+    c.set("filter",
+          "<*, *, udp, " + std::to_string(sport) + ", *, *>");
+    EXPECT_EQ(lib.message("hfsc", id, "bindclass", c).status, Status::ok);
+  };
+  bindclass("A", 1);
+  bindclass("B", 2);
+
+  std::map<std::uint16_t, std::size_t> delivered;
+  out.set_tx_sink([&](pkt::PacketPtr p, netbase::SimTime) {
+    delivered[p->key.sport] += p->size();
+  });
+
+  // Saturate: both flows send at the full link rate.
+  for (std::uint16_t f = 1; f <= 2; ++f) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, f));
+    s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+    s.sport = f;
+    s.dport = 80;
+    s.payload_len = 972;  // 1000-byte packets
+    const netbase::SimTime interval =
+        static_cast<netbase::SimTime>(1000.0 * 8 * 1e9 / link_bps);
+    for (netbase::SimTime t = 0; t < dur; t += interval)
+      k.inject(t, 0, pkt::build_udp(s));
+  }
+  k.run_until(dur);
+  return delivered;
+}
+
+TEST(Hfsc, LinkShareSplitsProportionally) {
+  // 75% / 25% split of an 8 Mb/s link.
+  auto bytes =
+      run_two_class(6'000'000, 2'000'000, 8'000'000, 500 * netbase::kNsPerMs);
+  ASSERT_GT(bytes[1], 0u);
+  ASSERT_GT(bytes[2], 0u);
+  double ratio = static_cast<double>(bytes[1]) / bytes[2];
+  EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+TEST(Hfsc, ExcessGoesToActiveClass) {
+  // Only class A sends: it must get (nearly) the whole link despite a 25%
+  // share — link-sharing is work conserving without upper limits.
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  auto& out = k.interfaces().add("out0", 8'000'000);
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  mgmt::RouterPluginLib lib(k);
+  lib.modload("hfsc");
+  plugin::InstanceId id = plugin::kNoInstance;
+  plugin::Config cfg;
+  cfg.set("bandwidth_bps", "8000000");
+  lib.create_instance("hfsc", cfg, id);
+  lib.attach_scheduler("hfsc", id, 1);
+  plugin::Config c;
+  c.set("name", "A");
+  c.set("ls_m1", "2000000");
+  c.set("ls_m2", "2000000");
+  ASSERT_EQ(lib.message("hfsc", id, "addclass", c).status, Status::ok);
+  plugin::Config b;
+  b.set("class", "A");
+  b.set("filter", "<*, *, udp, *, *, *>");
+  ASSERT_EQ(lib.message("hfsc", id, "bindclass", b).status, Status::ok);
+
+  std::size_t delivered = 0;
+  out.set_tx_sink(
+      [&](pkt::PacketPtr p, netbase::SimTime) { delivered += p->size(); });
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 1));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = 1;
+  s.dport = 80;
+  s.payload_len = 972;
+  for (netbase::SimTime t = 0; t < 500 * netbase::kNsPerMs; t += 1'000'000)
+    k.inject(t, 0, pkt::build_udp(s));  // 8 Mb/s offered
+  k.run_until(500 * netbase::kNsPerMs);
+  // 0.5 s at 8 Mb/s = 500 kB; expect most of it (not just the 25% share).
+  EXPECT_GT(delivered, 400'000u);
+}
+
+TEST(Hfsc, UpperLimitCapsThroughputViaWakeups) {
+  core::RouterKernel k;
+  mgmt::register_builtin_modules();
+  k.add_interface("in0");
+  auto& out = k.interfaces().add("out0", 8'000'000);
+  k.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  mgmt::RouterPluginLib lib(k);
+  lib.modload("hfsc");
+  plugin::InstanceId id = plugin::kNoInstance;
+  plugin::Config cfg;
+  cfg.set("bandwidth_bps", "8000000");
+  lib.create_instance("hfsc", cfg, id);
+  lib.attach_scheduler("hfsc", id, 1);
+  plugin::Config c;
+  c.set("name", "A");
+  c.set("ls_m1", "8000000");
+  c.set("ls_m2", "8000000");
+  c.set("ul_m1", "1000000");  // capped to 1 Mb/s
+  c.set("ul_m2", "1000000");
+  ASSERT_EQ(lib.message("hfsc", id, "addclass", c).status, Status::ok);
+  plugin::Config b;
+  b.set("class", "A");
+  b.set("filter", "<*, *, udp, *, *, *>");
+  ASSERT_EQ(lib.message("hfsc", id, "bindclass", b).status, Status::ok);
+
+  std::size_t delivered = 0;
+  out.set_tx_sink(
+      [&](pkt::PacketPtr p, netbase::SimTime) { delivered += p->size(); });
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 1));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = 1;
+  s.dport = 80;
+  s.payload_len = 972;
+  for (netbase::SimTime t = 0; t < netbase::kNsPerSec; t += 1'000'000)
+    k.inject(t, 0, pkt::build_udp(s));  // 8 Mb/s offered for 1 s
+  k.run_until(netbase::kNsPerSec);
+  // 1 Mb/s cap = 125 kB/s; allow slack for the trailing burst window.
+  EXPECT_LT(delivered, 180'000u);
+  EXPECT_GT(delivered, 80'000u);
+}
+
+TEST(Hfsc, RealTimeCurveDecouplesDelayFromBandwidth) {
+  // A low-bandwidth real-time class with a steep m1 segment gets its head
+  // packet out quickly even while a heavy best-effort class is backlogged.
+  HfscInstance h({8'000'000, 1024});
+  // RT class: burst 8 Mb/s for 2 ms, then only 0.4 Mb/s sustained.
+  ASSERT_EQ(h.add_class("rt", "root", {8e6 / 8.0 * 1.0, 2e6, 4e5 / 8.0},
+                        {4e5 / 8.0, 0, 4e5 / 8.0}, {}),
+            Status::ok);
+  // BE class: 7.6 Mb/s link share, no rt guarantee.
+  ASSERT_EQ(h.add_class("be", "root", {}, {7.6e6 / 8.0, 0, 7.6e6 / 8.0}, {}),
+            Status::ok);
+  ASSERT_EQ(h.bind_class(*aiu::Filter::parse("* * udp 1 * *"), "rt"),
+            Status::ok);
+  ASSERT_EQ(h.bind_class(*aiu::Filter::parse("* * udp 2 * *"), "be"),
+            Status::ok);
+
+  auto mk = [](std::uint16_t sport) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 1));
+    s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+    s.sport = sport;
+    s.dport = 80;
+    s.payload_len = 972;
+    return pkt::build_udp(s);
+  };
+  // Backlog 50 BE packets, then one RT packet arrives.
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(h.enqueue(mk(2), nullptr, 0));
+  ASSERT_TRUE(h.enqueue(mk(1), nullptr, 0));
+  // Dequeue at "now": the RT packet must be served within the first few
+  // slots thanks to its m1 burst allowance, despite its tiny m2 share.
+  int rt_position = -1;
+  for (int i = 0; i < 10; ++i) {
+    auto p = h.dequeue(1000);
+    ASSERT_NE(p, nullptr);
+    if (p->key.sport == 1) {
+      rt_position = i;
+      break;
+    }
+  }
+  ASSERT_GE(rt_position, 0);
+  EXPECT_LE(rt_position, 2);
+}
+
+TEST(Hfsc, DefaultLeafAbsorbsUnboundTraffic) {
+  HfscInstance h({8'000'000, 64});
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(1, 1, 1, 1));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(2, 2, 2, 2));
+  s.sport = 9;
+  s.dport = 9;
+  s.payload_len = 100;
+  ASSERT_TRUE(h.enqueue(pkt::build_udp(s), nullptr, 0));
+  auto p = h.dequeue(0);
+  ASSERT_NE(p, nullptr);
+  bool saw_default = false;
+  for (const auto& cs : h.class_stats())
+    if (cs.name == "default" && cs.pkts_sent == 1) saw_default = true;
+  EXPECT_TRUE(saw_default);
+}
+
+TEST(Hfsc, LeafLimitDrops) {
+  HfscInstance h({8'000'000, 2});
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(1, 1, 1, 1));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(2, 2, 2, 2));
+  s.payload_len = 100;
+  EXPECT_TRUE(h.enqueue(pkt::build_udp(s), nullptr, 0));
+  EXPECT_TRUE(h.enqueue(pkt::build_udp(s), nullptr, 0));
+  EXPECT_FALSE(h.enqueue(pkt::build_udp(s), nullptr, 0));
+}
+
+}  // namespace
+}  // namespace rp::sched

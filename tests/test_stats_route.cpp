@@ -1,0 +1,131 @@
+// Tests for the statistics plugin (the network-monitoring use case) and the
+// routing table / L4-switching route plugin.
+#include <gtest/gtest.h>
+
+#include "pkt/builder.hpp"
+#include "route/route_plugin.hpp"
+#include "route/routing_table.hpp"
+#include "stats/stats_plugin.hpp"
+
+namespace rp {
+namespace {
+
+using netbase::Status;
+using plugin::Verdict;
+
+pkt::PacketPtr udp(std::uint16_t sport, std::size_t payload = 100) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, 1));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = sport;
+  s.dport = 80;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+TEST(StatsPlugin, PerFlowCountersInSoftState) {
+  stats::StatsInstance inst(stats::StatsInstance::Mode::bytes);
+  void* soft_a = nullptr;
+  void* soft_b = nullptr;
+  for (int i = 0; i < 3; ++i) {
+    auto p = udp(1);
+    inst.handle_packet(*p, &soft_a);
+  }
+  auto p = udp(2, 200);
+  inst.handle_packet(*p, &soft_b);
+
+  EXPECT_EQ(inst.total_packets(), 4u);
+  EXPECT_EQ(inst.tracked_flows(), 2u);
+  auto* fa = static_cast<stats::StatsInstance::FlowCounter*>(soft_a);
+  ASSERT_NE(fa, nullptr);
+  EXPECT_EQ(fa->packets, 3u);
+  EXPECT_EQ(fa->bytes, 3u * 128u);
+}
+
+TEST(StatsPlugin, FlowRemovedDropsPerFlowRecordKeepsTotals) {
+  stats::StatsInstance inst(stats::StatsInstance::Mode::packets);
+  void* soft = nullptr;
+  auto p = udp(1);
+  inst.handle_packet(*p, &soft);
+  inst.flow_removed(soft);
+  EXPECT_EQ(inst.tracked_flows(), 0u);
+  EXPECT_EQ(inst.total_packets(), 1u);
+}
+
+TEST(StatsPlugin, RuntimeModeChangeAndReport) {
+  stats::StatsInstance inst(stats::StatsInstance::Mode::packets);
+  void* soft = nullptr;
+  auto p1 = udp(1);
+  inst.handle_packet(*p1, &soft);
+  auto* fc = static_cast<stats::StatsInstance::FlowCounter*>(soft);
+  EXPECT_EQ(fc->bytes, 0u);  // packets mode does not count bytes
+
+  plugin::PluginMsg setmode;
+  setmode.custom_name = "setmode";
+  setmode.args.set("mode", "sizes");
+  plugin::PluginReply reply;
+  ASSERT_EQ(inst.handle_message(setmode, reply), Status::ok);
+  auto p2 = udp(1, 2000);
+  inst.handle_packet(*p2, &soft);
+  EXPECT_GT(fc->bytes, 0u);
+  EXPECT_EQ(fc->size_hist[3], 1u);  // 2028 bytes -> <=4096 bucket
+
+  plugin::PluginMsg report;
+  report.custom_name = "report";
+  ASSERT_EQ(inst.handle_message(report, reply), Status::ok);
+  EXPECT_NE(reply.text.find("total_packets=2"), std::string::npos);
+
+  plugin::PluginMsg reset;
+  reset.custom_name = "reset";
+  ASSERT_EQ(inst.handle_message(reset, reply), Status::ok);
+  EXPECT_EQ(inst.total_packets(), 0u);
+  EXPECT_EQ(fc->packets, 0u);
+
+  setmode.args.set("mode", "bogus");
+  EXPECT_EQ(inst.handle_message(setmode, reply), Status::invalid_argument);
+}
+
+TEST(RoutingTable, LongestPrefixWins) {
+  route::RoutingTable t("bsl");
+  t.add(*netbase::IpPrefix::parse("0.0.0.0/0"), {0, {}});
+  t.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  t.add(*netbase::IpPrefix::parse("20.1.0.0/16"), {2, {}});
+  EXPECT_EQ(t.lookup(*netbase::IpAddr::parse("20.1.2.3"))->out_iface, 2);
+  EXPECT_EQ(t.lookup(*netbase::IpAddr::parse("20.9.2.3"))->out_iface, 1);
+  EXPECT_EQ(t.lookup(*netbase::IpAddr::parse("50.1.2.3"))->out_iface, 0);
+  EXPECT_EQ(t.remove(*netbase::IpPrefix::parse("20.1.0.0/16")), Status::ok);
+  EXPECT_EQ(t.lookup(*netbase::IpAddr::parse("20.1.2.3"))->out_iface, 1);
+}
+
+TEST(RoutingTable, DualStack) {
+  route::RoutingTable t("patricia");
+  t.add(*netbase::IpPrefix::parse("10.0.0.0/8"), {1, {}});
+  t.add(*netbase::IpPrefix::parse("2001:db8::/32"), {2, {}});
+  EXPECT_EQ(t.lookup(*netbase::IpAddr::parse("10.1.1.1"))->out_iface, 1);
+  EXPECT_EQ(t.lookup(*netbase::IpAddr::parse("2001:db8::9"))->out_iface, 2);
+  EXPECT_EQ(t.lookup(*netbase::IpAddr::parse("11.0.0.1")), nullptr);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(RoutePlugin, InstanceSetsOutputInterface) {
+  route::RoutePlugin plugin;
+  plugin::InstanceId id = plugin::kNoInstance;
+  ASSERT_EQ(plugin.create_instance({{"iface", "3"}}, id), Status::ok);
+  auto* inst = static_cast<route::RouteInstance*>(plugin.instance(id));
+  auto p = udp(1);
+  EXPECT_EQ(inst->handle_packet(*p, nullptr), Verdict::cont);
+  EXPECT_EQ(p->out_iface, 3);
+
+  plugin::PluginMsg msg;
+  msg.custom_name = "stats";
+  plugin::PluginReply reply;
+  EXPECT_EQ(inst->handle_message(msg, reply), Status::ok);
+  EXPECT_NE(reply.text.find("routed=1"), std::string::npos);
+
+  EXPECT_EQ(plugin.create_instance({}, id), Status::invalid_argument);
+  EXPECT_EQ(plugin.create_instance({{"iface", "70000"}}, id),
+            Status::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp

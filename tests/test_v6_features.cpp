@@ -1,0 +1,153 @@
+// Tests for the IPv6 feature set: flow-label classification (distinct
+// labels are distinct flows) and ICMPv6 error generation (hop limit
+// exceeded, packet too big with the next-hop MTU).
+#include <gtest/gtest.h>
+
+#include "aiu/aiu.hpp"
+#include "core/router.hpp"
+#include "netbase/byteorder.hpp"
+#include "netbase/checksum.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+#include "plugin/pcu.hpp"
+
+namespace rp {
+namespace {
+
+using netbase::SimTime;
+
+pkt::PacketPtr v6_udp(std::uint32_t flow_label, std::uint8_t hop_limit = 64,
+                      std::size_t payload = 64) {
+  pkt::UdpSpec s;
+  s.src = *netbase::IpAddr::parse("2001:db8::1");
+  s.dst = *netbase::IpAddr::parse("2001:db8:ffff::2");
+  s.sport = 1000;
+  s.dport = 2000;
+  s.payload_len = payload;
+  s.ttl = hop_limit;
+  s.flow_label = flow_label;
+  return pkt::build_udp(s);
+}
+
+TEST(FlowLabel, CarriedIntoFlowKey) {
+  auto p = v6_udp(0x12345);
+  ASSERT_TRUE(p->key_valid);
+  EXPECT_EQ(p->key.flow_label, 0x12345u);
+  // And survives the wire round trip.
+  pkt::Ipv6Header h;
+  ASSERT_TRUE(h.parse(p->bytes()));
+  EXPECT_EQ(h.flow_label, 0x12345u);
+}
+
+TEST(FlowLabel, DistinctLabelsAreDistinctFlows) {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  aiu::Aiu aiu(pcu, clock);
+
+  auto a = v6_udp(100);
+  auto b = v6_udp(200);  // identical 5-tuple, different label
+  auto a2 = v6_udp(100);
+
+  aiu.gate_lookup(*a, plugin::PluginType::stats);
+  aiu.gate_lookup(*b, plugin::PluginType::stats);
+  aiu.gate_lookup(*a2, plugin::PluginType::stats);
+
+  EXPECT_EQ(aiu.flow_table().active(), 2u);  // two label flows
+  EXPECT_EQ(aiu.flow_table().stats().hits, 1u);  // a2 hit a's entry
+  EXPECT_EQ(a2->fix, a->fix);
+  EXPECT_NE(b->fix, a->fix);
+}
+
+TEST(FlowLabel, V4KeysUnaffected) {
+  pkt::UdpSpec s;
+  s.src = *netbase::IpAddr::parse("10.0.0.1");
+  s.dst = *netbase::IpAddr::parse("10.0.0.2");
+  s.payload_len = 10;
+  auto p = pkt::build_udp(s);
+  EXPECT_EQ(p->key.flow_label, 0u);
+}
+
+class Icmpv6Test : public ::testing::Test {
+ protected:
+  Icmpv6Test() : kernel_(make_options()) {
+    kernel_.add_interface("in0");
+    out_ = &kernel_.add_interface("out0");
+    kernel_.routes().add(*netbase::IpPrefix::parse("2001:db8:ffff::/48"),
+                         {1, {}});
+    // Return path for the errors.
+    kernel_.routes().add(*netbase::IpPrefix::parse("2001:db8::/48"), {0, {}});
+    kernel_.interfaces().by_index(0)->set_tx_sink(
+        [this](pkt::PacketPtr p, SimTime) { back_.push_back(std::move(p)); });
+  }
+
+  static core::RouterKernel::Options make_options() {
+    core::RouterKernel::Options opt;
+    opt.core.emit_icmp_errors = true;
+    return opt;
+  }
+
+  // Validates the ICMPv6 checksum of a reply.
+  static bool icmp6_checksum_ok(const pkt::Packet& p) {
+    pkt::Ipv6Header h;
+    if (!h.parse(p.bytes())) return false;
+    std::uint8_t ph[40];
+    h.src.to_bytes(&ph[0]);
+    h.dst.to_bytes(&ph[16]);
+    netbase::store_be32(&ph[32], h.payload_len);
+    ph[36] = ph[37] = ph[38] = 0;
+    ph[39] = 58;
+    std::uint32_t sum = netbase::checksum_partial(ph, sizeof ph);
+    sum = netbase::checksum_partial(p.data() + 40, h.payload_len, sum);
+    return sum == 0xffff;
+  }
+
+  core::RouterKernel kernel_;
+  netdev::SimNic* out_;
+  std::vector<pkt::PacketPtr> back_;
+};
+
+TEST_F(Icmpv6Test, HopLimitExceeded) {
+  kernel_.inject(0, 0, v6_udp(0, /*hop_limit=*/1));
+  kernel_.run_to_completion();
+  EXPECT_EQ(kernel_.core().counters().dropped(core::DropReason::ttl_expired),
+            1u);
+  ASSERT_EQ(back_.size(), 1u);
+  const auto& e = *back_[0];
+  EXPECT_EQ(e.data()[6], 58);      // ICMPv6
+  EXPECT_EQ(e.data()[40], 3);      // time exceeded
+  EXPECT_EQ(e.data()[41], 0);
+  EXPECT_TRUE(icmp6_checksum_ok(e));
+  // Destination is the offender's source.
+  pkt::Ipv6Header h;
+  ASSERT_TRUE(h.parse(e.bytes()));
+  EXPECT_EQ(h.dst.to_string(), "2001:db8::1");
+}
+
+TEST_F(Icmpv6Test, PacketTooBigCarriesMtu) {
+  out_->set_mtu(1280);
+  kernel_.inject(0, 0, v6_udp(0, 64, /*payload=*/1400));
+  kernel_.run_to_completion();
+  EXPECT_EQ(kernel_.core().counters().dropped(core::DropReason::too_big), 1u);
+  ASSERT_EQ(back_.size(), 1u);
+  const auto& e = *back_[0];
+  EXPECT_EQ(e.data()[40], 2);  // packet too big
+  EXPECT_EQ(netbase::load_be32(e.data() + 44), 1280u);
+  EXPECT_TRUE(icmp6_checksum_ok(e));
+  // Quoted original is capped at the 1280-byte minimum MTU.
+  EXPECT_LE(e.size(), 1280u);
+}
+
+TEST_F(Icmpv6Test, NoIcmpAboutIcmpError) {
+  // An ICMPv6 packet with hop limit 1 is dropped silently.
+  auto p = v6_udp(0, 1);
+  p->data()[6] = 58;  // pretend it's ICMPv6
+  p->key_valid = false;
+  kernel_.inject(0, 0, std::move(p));
+  kernel_.run_to_completion();
+  EXPECT_EQ(kernel_.core().counters().dropped(core::DropReason::ttl_expired),
+            1u);
+  EXPECT_EQ(back_.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rp
