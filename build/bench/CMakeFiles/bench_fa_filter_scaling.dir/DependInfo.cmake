@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fa_filter_scaling.cpp" "bench/CMakeFiles/bench_fa_filter_scaling.dir/bench_fa_filter_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fa_filter_scaling.dir/bench_fa_filter_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_ipsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_ipopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_aiu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_bmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

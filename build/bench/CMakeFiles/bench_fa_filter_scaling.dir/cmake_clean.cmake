@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fa_filter_scaling.dir/bench_fa_filter_scaling.cpp.o"
+  "CMakeFiles/bench_fa_filter_scaling.dir/bench_fa_filter_scaling.cpp.o.d"
+  "bench_fa_filter_scaling"
+  "bench_fa_filter_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fa_filter_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fb_flowtable.dir/bench_fb_flowtable.cpp.o"
+  "CMakeFiles/bench_fb_flowtable.dir/bench_fb_flowtable.cpp.o.d"
+  "bench_fb_flowtable"
+  "bench_fb_flowtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fb_flowtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

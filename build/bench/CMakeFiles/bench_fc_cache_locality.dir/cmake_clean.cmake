@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fc_cache_locality.dir/bench_fc_cache_locality.cpp.o"
+  "CMakeFiles/bench_fc_cache_locality.dir/bench_fc_cache_locality.cpp.o.d"
+  "bench_fc_cache_locality"
+  "bench_fc_cache_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fc_cache_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

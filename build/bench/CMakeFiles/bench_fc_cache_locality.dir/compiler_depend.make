@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fc_cache_locality.
+# This may be replaced when dependencies are built.

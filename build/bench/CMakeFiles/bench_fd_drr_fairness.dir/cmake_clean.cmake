@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fd_drr_fairness.dir/bench_fd_drr_fairness.cpp.o"
+  "CMakeFiles/bench_fd_drr_fairness.dir/bench_fd_drr_fairness.cpp.o.d"
+  "bench_fd_drr_fairness"
+  "bench_fd_drr_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fd_drr_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fe_hfsc.dir/bench_fe_hfsc.cpp.o"
+  "CMakeFiles/bench_fe_hfsc.dir/bench_fe_hfsc.cpp.o.d"
+  "bench_fe_hfsc"
+  "bench_fe_hfsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fe_hfsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ff_bmp.dir/bench_ff_bmp.cpp.o"
+  "CMakeFiles/bench_ff_bmp.dir/bench_ff_bmp.cpp.o.d"
+  "bench_ff_bmp"
+  "bench_ff_bmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ff_bmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ff_bmp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fg_dag_ablation.dir/bench_fg_dag_ablation.cpp.o"
+  "CMakeFiles/bench_fg_dag_ablation.dir/bench_fg_dag_ablation.cpp.o.d"
+  "bench_fg_dag_ablation"
+  "bench_fg_dag_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fg_dag_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_filter_memaccess.dir/bench_t2_filter_memaccess.cpp.o"
+  "CMakeFiles/bench_t2_filter_memaccess.dir/bench_t2_filter_memaccess.cpp.o.d"
+  "bench_t2_filter_memaccess"
+  "bench_t2_filter_memaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_filter_memaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

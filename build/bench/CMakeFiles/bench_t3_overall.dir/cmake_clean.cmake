@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_overall.dir/bench_t3_overall.cpp.o"
+  "CMakeFiles/bench_t3_overall.dir/bench_t3_overall.cpp.o.d"
+  "bench_t3_overall"
+  "bench_t3_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alg_gateway.dir/alg_gateway.cpp.o"
+  "CMakeFiles/alg_gateway.dir/alg_gateway.cpp.o.d"
+  "alg_gateway"
+  "alg_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

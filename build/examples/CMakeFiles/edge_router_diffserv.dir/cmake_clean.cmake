@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_router_diffserv.dir/edge_router_diffserv.cpp.o"
+  "CMakeFiles/edge_router_diffserv.dir/edge_router_diffserv.cpp.o.d"
+  "edge_router_diffserv"
+  "edge_router_diffserv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_router_diffserv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon_firewall.dir/netmon_firewall.cpp.o"
+  "CMakeFiles/netmon_firewall.dir/netmon_firewall.cpp.o.d"
+  "netmon_firewall"
+  "netmon_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmgr_cli.dir/pmgr_cli.cpp.o"
+  "CMakeFiles/pmgr_cli.dir/pmgr_cli.cpp.o.d"
+  "pmgr_cli"
+  "pmgr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmgr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

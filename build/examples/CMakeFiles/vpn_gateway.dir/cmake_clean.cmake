@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpn_gateway.dir/vpn_gateway.cpp.o"
+  "CMakeFiles/vpn_gateway.dir/vpn_gateway.cpp.o.d"
+  "vpn_gateway"
+  "vpn_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpn_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

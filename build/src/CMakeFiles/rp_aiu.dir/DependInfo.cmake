@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aiu/aiu.cpp" "src/CMakeFiles/rp_aiu.dir/aiu/aiu.cpp.o" "gcc" "src/CMakeFiles/rp_aiu.dir/aiu/aiu.cpp.o.d"
+  "/root/repo/src/aiu/filter.cpp" "src/CMakeFiles/rp_aiu.dir/aiu/filter.cpp.o" "gcc" "src/CMakeFiles/rp_aiu.dir/aiu/filter.cpp.o.d"
+  "/root/repo/src/aiu/filter_table.cpp" "src/CMakeFiles/rp_aiu.dir/aiu/filter_table.cpp.o" "gcc" "src/CMakeFiles/rp_aiu.dir/aiu/filter_table.cpp.o.d"
+  "/root/repo/src/aiu/flow_table.cpp" "src/CMakeFiles/rp_aiu.dir/aiu/flow_table.cpp.o" "gcc" "src/CMakeFiles/rp_aiu.dir/aiu/flow_table.cpp.o.d"
+  "/root/repo/src/aiu/grid_of_tries.cpp" "src/CMakeFiles/rp_aiu.dir/aiu/grid_of_tries.cpp.o" "gcc" "src/CMakeFiles/rp_aiu.dir/aiu/grid_of_tries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_bmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_aiu.dir/aiu/aiu.cpp.o"
+  "CMakeFiles/rp_aiu.dir/aiu/aiu.cpp.o.d"
+  "CMakeFiles/rp_aiu.dir/aiu/filter.cpp.o"
+  "CMakeFiles/rp_aiu.dir/aiu/filter.cpp.o.d"
+  "CMakeFiles/rp_aiu.dir/aiu/filter_table.cpp.o"
+  "CMakeFiles/rp_aiu.dir/aiu/filter_table.cpp.o.d"
+  "CMakeFiles/rp_aiu.dir/aiu/flow_table.cpp.o"
+  "CMakeFiles/rp_aiu.dir/aiu/flow_table.cpp.o.d"
+  "CMakeFiles/rp_aiu.dir/aiu/grid_of_tries.cpp.o"
+  "CMakeFiles/rp_aiu.dir/aiu/grid_of_tries.cpp.o.d"
+  "librp_aiu.a"
+  "librp_aiu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_aiu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmp/cpe.cpp" "src/CMakeFiles/rp_bmp.dir/bmp/cpe.cpp.o" "gcc" "src/CMakeFiles/rp_bmp.dir/bmp/cpe.cpp.o.d"
+  "/root/repo/src/bmp/engine_factory.cpp" "src/CMakeFiles/rp_bmp.dir/bmp/engine_factory.cpp.o" "gcc" "src/CMakeFiles/rp_bmp.dir/bmp/engine_factory.cpp.o.d"
+  "/root/repo/src/bmp/patricia.cpp" "src/CMakeFiles/rp_bmp.dir/bmp/patricia.cpp.o" "gcc" "src/CMakeFiles/rp_bmp.dir/bmp/patricia.cpp.o.d"
+  "/root/repo/src/bmp/waldvogel.cpp" "src/CMakeFiles/rp_bmp.dir/bmp/waldvogel.cpp.o" "gcc" "src/CMakeFiles/rp_bmp.dir/bmp/waldvogel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_bmp.dir/bmp/cpe.cpp.o"
+  "CMakeFiles/rp_bmp.dir/bmp/cpe.cpp.o.d"
+  "CMakeFiles/rp_bmp.dir/bmp/engine_factory.cpp.o"
+  "CMakeFiles/rp_bmp.dir/bmp/engine_factory.cpp.o.d"
+  "CMakeFiles/rp_bmp.dir/bmp/patricia.cpp.o"
+  "CMakeFiles/rp_bmp.dir/bmp/patricia.cpp.o.d"
+  "CMakeFiles/rp_bmp.dir/bmp/waldvogel.cpp.o"
+  "CMakeFiles/rp_bmp.dir/bmp/waldvogel.cpp.o.d"
+  "librp_bmp.a"
+  "librp_bmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_bmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_core.dir/core/best_effort.cpp.o"
+  "CMakeFiles/rp_core.dir/core/best_effort.cpp.o.d"
+  "CMakeFiles/rp_core.dir/core/ip_core.cpp.o"
+  "CMakeFiles/rp_core.dir/core/ip_core.cpp.o.d"
+  "CMakeFiles/rp_core.dir/core/router.cpp.o"
+  "CMakeFiles/rp_core.dir/core/router.cpp.o.d"
+  "librp_core.a"
+  "librp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

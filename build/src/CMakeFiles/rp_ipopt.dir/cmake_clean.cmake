@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_ipopt.dir/ipopt/ipopt_plugins.cpp.o"
+  "CMakeFiles/rp_ipopt.dir/ipopt/ipopt_plugins.cpp.o.d"
+  "librp_ipopt.a"
+  "librp_ipopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_ipopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipsec/chacha20.cpp" "src/CMakeFiles/rp_ipsec.dir/ipsec/chacha20.cpp.o" "gcc" "src/CMakeFiles/rp_ipsec.dir/ipsec/chacha20.cpp.o.d"
+  "/root/repo/src/ipsec/hmac.cpp" "src/CMakeFiles/rp_ipsec.dir/ipsec/hmac.cpp.o" "gcc" "src/CMakeFiles/rp_ipsec.dir/ipsec/hmac.cpp.o.d"
+  "/root/repo/src/ipsec/ipsec_plugins.cpp" "src/CMakeFiles/rp_ipsec.dir/ipsec/ipsec_plugins.cpp.o" "gcc" "src/CMakeFiles/rp_ipsec.dir/ipsec/ipsec_plugins.cpp.o.d"
+  "/root/repo/src/ipsec/sha256.cpp" "src/CMakeFiles/rp_ipsec.dir/ipsec/sha256.cpp.o" "gcc" "src/CMakeFiles/rp_ipsec.dir/ipsec/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_aiu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_bmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_ipsec.dir/ipsec/chacha20.cpp.o"
+  "CMakeFiles/rp_ipsec.dir/ipsec/chacha20.cpp.o.d"
+  "CMakeFiles/rp_ipsec.dir/ipsec/hmac.cpp.o"
+  "CMakeFiles/rp_ipsec.dir/ipsec/hmac.cpp.o.d"
+  "CMakeFiles/rp_ipsec.dir/ipsec/ipsec_plugins.cpp.o"
+  "CMakeFiles/rp_ipsec.dir/ipsec/ipsec_plugins.cpp.o.d"
+  "CMakeFiles/rp_ipsec.dir/ipsec/sha256.cpp.o"
+  "CMakeFiles/rp_ipsec.dir/ipsec/sha256.cpp.o.d"
+  "librp_ipsec.a"
+  "librp_ipsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_ipsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_mgmt.dir/mgmt/firewall_plugin.cpp.o"
+  "CMakeFiles/rp_mgmt.dir/mgmt/firewall_plugin.cpp.o.d"
+  "CMakeFiles/rp_mgmt.dir/mgmt/pmgr.cpp.o"
+  "CMakeFiles/rp_mgmt.dir/mgmt/pmgr.cpp.o.d"
+  "CMakeFiles/rp_mgmt.dir/mgmt/register_all.cpp.o"
+  "CMakeFiles/rp_mgmt.dir/mgmt/register_all.cpp.o.d"
+  "CMakeFiles/rp_mgmt.dir/mgmt/rplib.cpp.o"
+  "CMakeFiles/rp_mgmt.dir/mgmt/rplib.cpp.o.d"
+  "CMakeFiles/rp_mgmt.dir/mgmt/rsvp.cpp.o"
+  "CMakeFiles/rp_mgmt.dir/mgmt/rsvp.cpp.o.d"
+  "CMakeFiles/rp_mgmt.dir/mgmt/ssp.cpp.o"
+  "CMakeFiles/rp_mgmt.dir/mgmt/ssp.cpp.o.d"
+  "librp_mgmt.a"
+  "librp_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_netbase.dir/netbase/checksum.cpp.o"
+  "CMakeFiles/rp_netbase.dir/netbase/checksum.cpp.o.d"
+  "CMakeFiles/rp_netbase.dir/netbase/ip.cpp.o"
+  "CMakeFiles/rp_netbase.dir/netbase/ip.cpp.o.d"
+  "librp_netbase.a"
+  "librp_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

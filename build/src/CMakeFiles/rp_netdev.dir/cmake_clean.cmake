@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_netdev.dir/netdev/netdev.cpp.o"
+  "CMakeFiles/rp_netdev.dir/netdev/netdev.cpp.o.d"
+  "librp_netdev.a"
+  "librp_netdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_netdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pkt/builder.cpp" "src/CMakeFiles/rp_pkt.dir/pkt/builder.cpp.o" "gcc" "src/CMakeFiles/rp_pkt.dir/pkt/builder.cpp.o.d"
+  "/root/repo/src/pkt/flow_key.cpp" "src/CMakeFiles/rp_pkt.dir/pkt/flow_key.cpp.o" "gcc" "src/CMakeFiles/rp_pkt.dir/pkt/flow_key.cpp.o.d"
+  "/root/repo/src/pkt/headers.cpp" "src/CMakeFiles/rp_pkt.dir/pkt/headers.cpp.o" "gcc" "src/CMakeFiles/rp_pkt.dir/pkt/headers.cpp.o.d"
+  "/root/repo/src/pkt/packet.cpp" "src/CMakeFiles/rp_pkt.dir/pkt/packet.cpp.o" "gcc" "src/CMakeFiles/rp_pkt.dir/pkt/packet.cpp.o.d"
+  "/root/repo/src/pkt/reassembly.cpp" "src/CMakeFiles/rp_pkt.dir/pkt/reassembly.cpp.o" "gcc" "src/CMakeFiles/rp_pkt.dir/pkt/reassembly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

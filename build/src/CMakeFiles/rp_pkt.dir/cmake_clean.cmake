@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_pkt.dir/pkt/builder.cpp.o"
+  "CMakeFiles/rp_pkt.dir/pkt/builder.cpp.o.d"
+  "CMakeFiles/rp_pkt.dir/pkt/flow_key.cpp.o"
+  "CMakeFiles/rp_pkt.dir/pkt/flow_key.cpp.o.d"
+  "CMakeFiles/rp_pkt.dir/pkt/headers.cpp.o"
+  "CMakeFiles/rp_pkt.dir/pkt/headers.cpp.o.d"
+  "CMakeFiles/rp_pkt.dir/pkt/packet.cpp.o"
+  "CMakeFiles/rp_pkt.dir/pkt/packet.cpp.o.d"
+  "CMakeFiles/rp_pkt.dir/pkt/reassembly.cpp.o"
+  "CMakeFiles/rp_pkt.dir/pkt/reassembly.cpp.o.d"
+  "librp_pkt.a"
+  "librp_pkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_pkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

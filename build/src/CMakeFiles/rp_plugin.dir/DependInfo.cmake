@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plugin/loader.cpp" "src/CMakeFiles/rp_plugin.dir/plugin/loader.cpp.o" "gcc" "src/CMakeFiles/rp_plugin.dir/plugin/loader.cpp.o.d"
+  "/root/repo/src/plugin/pcu.cpp" "src/CMakeFiles/rp_plugin.dir/plugin/pcu.cpp.o" "gcc" "src/CMakeFiles/rp_plugin.dir/plugin/pcu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_plugin.dir/plugin/loader.cpp.o"
+  "CMakeFiles/rp_plugin.dir/plugin/loader.cpp.o.d"
+  "CMakeFiles/rp_plugin.dir/plugin/pcu.cpp.o"
+  "CMakeFiles/rp_plugin.dir/plugin/pcu.cpp.o.d"
+  "librp_plugin.a"
+  "librp_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

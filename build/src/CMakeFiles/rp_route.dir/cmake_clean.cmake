@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_route.dir/route/route_plugin.cpp.o"
+  "CMakeFiles/rp_route.dir/route/route_plugin.cpp.o.d"
+  "CMakeFiles/rp_route.dir/route/routing_table.cpp.o"
+  "CMakeFiles/rp_route.dir/route/routing_table.cpp.o.d"
+  "librp_route.a"
+  "librp_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

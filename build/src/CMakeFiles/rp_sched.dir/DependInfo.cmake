@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/drr.cpp" "src/CMakeFiles/rp_sched.dir/sched/drr.cpp.o" "gcc" "src/CMakeFiles/rp_sched.dir/sched/drr.cpp.o.d"
+  "/root/repo/src/sched/hfsc.cpp" "src/CMakeFiles/rp_sched.dir/sched/hfsc.cpp.o" "gcc" "src/CMakeFiles/rp_sched.dir/sched/hfsc.cpp.o.d"
+  "/root/repo/src/sched/policer.cpp" "src/CMakeFiles/rp_sched.dir/sched/policer.cpp.o" "gcc" "src/CMakeFiles/rp_sched.dir/sched/policer.cpp.o.d"
+  "/root/repo/src/sched/red.cpp" "src/CMakeFiles/rp_sched.dir/sched/red.cpp.o" "gcc" "src/CMakeFiles/rp_sched.dir/sched/red.cpp.o.d"
+  "/root/repo/src/sched/register.cpp" "src/CMakeFiles/rp_sched.dir/sched/register.cpp.o" "gcc" "src/CMakeFiles/rp_sched.dir/sched/register.cpp.o.d"
+  "/root/repo/src/sched/wf2q.cpp" "src/CMakeFiles/rp_sched.dir/sched/wf2q.cpp.o" "gcc" "src/CMakeFiles/rp_sched.dir/sched/wf2q.cpp.o.d"
+  "/root/repo/src/sched/wfq_altq.cpp" "src/CMakeFiles/rp_sched.dir/sched/wfq_altq.cpp.o" "gcc" "src/CMakeFiles/rp_sched.dir/sched/wfq_altq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_aiu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_bmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

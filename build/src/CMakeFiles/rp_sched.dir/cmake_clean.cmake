@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_sched.dir/sched/drr.cpp.o"
+  "CMakeFiles/rp_sched.dir/sched/drr.cpp.o.d"
+  "CMakeFiles/rp_sched.dir/sched/hfsc.cpp.o"
+  "CMakeFiles/rp_sched.dir/sched/hfsc.cpp.o.d"
+  "CMakeFiles/rp_sched.dir/sched/policer.cpp.o"
+  "CMakeFiles/rp_sched.dir/sched/policer.cpp.o.d"
+  "CMakeFiles/rp_sched.dir/sched/red.cpp.o"
+  "CMakeFiles/rp_sched.dir/sched/red.cpp.o.d"
+  "CMakeFiles/rp_sched.dir/sched/register.cpp.o"
+  "CMakeFiles/rp_sched.dir/sched/register.cpp.o.d"
+  "CMakeFiles/rp_sched.dir/sched/wf2q.cpp.o"
+  "CMakeFiles/rp_sched.dir/sched/wf2q.cpp.o.d"
+  "CMakeFiles/rp_sched.dir/sched/wfq_altq.cpp.o"
+  "CMakeFiles/rp_sched.dir/sched/wfq_altq.cpp.o.d"
+  "librp_sched.a"
+  "librp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

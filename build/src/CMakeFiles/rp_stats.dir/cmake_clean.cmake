@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_stats.dir/stats/stats_plugin.cpp.o"
+  "CMakeFiles/rp_stats.dir/stats/stats_plugin.cpp.o.d"
+  "CMakeFiles/rp_stats.dir/stats/tcpmon_plugin.cpp.o"
+  "CMakeFiles/rp_stats.dir/stats/tcpmon_plugin.cpp.o.d"
+  "librp_stats.a"
+  "librp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_tgen.dir/tgen/trace.cpp.o"
+  "CMakeFiles/rp_tgen.dir/tgen/trace.cpp.o.d"
+  "CMakeFiles/rp_tgen.dir/tgen/workload.cpp.o"
+  "CMakeFiles/rp_tgen.dir/tgen/workload.cpp.o.d"
+  "librp_tgen.a"
+  "librp_tgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_tgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aiu.cpp" "tests/CMakeFiles/rp_tests.dir/test_aiu.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_aiu.cpp.o.d"
+  "/root/repo/tests/test_bmp.cpp" "tests/CMakeFiles/rp_tests.dir/test_bmp.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_bmp.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/rp_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_e2e_qos.cpp" "tests/CMakeFiles/rp_tests.dir/test_e2e_qos.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_e2e_qos.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/rp_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/rp_tests.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_filter_table.cpp" "tests/CMakeFiles/rp_tests.dir/test_filter_table.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_filter_table.cpp.o.d"
+  "/root/repo/tests/test_flow_table.cpp" "tests/CMakeFiles/rp_tests.dir/test_flow_table.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_flow_table.cpp.o.d"
+  "/root/repo/tests/test_grid_of_tries.cpp" "tests/CMakeFiles/rp_tests.dir/test_grid_of_tries.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_grid_of_tries.cpp.o.d"
+  "/root/repo/tests/test_hfsc_curves.cpp" "tests/CMakeFiles/rp_tests.dir/test_hfsc_curves.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_hfsc_curves.cpp.o.d"
+  "/root/repo/tests/test_hsf.cpp" "tests/CMakeFiles/rp_tests.dir/test_hsf.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_hsf.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ipopt.cpp" "tests/CMakeFiles/rp_tests.dir/test_ipopt.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_ipopt.cpp.o.d"
+  "/root/repo/tests/test_ipsec.cpp" "tests/CMakeFiles/rp_tests.dir/test_ipsec.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_ipsec.cpp.o.d"
+  "/root/repo/tests/test_live_upgrade.cpp" "tests/CMakeFiles/rp_tests.dir/test_live_upgrade.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_live_upgrade.cpp.o.d"
+  "/root/repo/tests/test_mgmt.cpp" "tests/CMakeFiles/rp_tests.dir/test_mgmt.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_mgmt.cpp.o.d"
+  "/root/repo/tests/test_netbase.cpp" "tests/CMakeFiles/rp_tests.dir/test_netbase.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_netbase.cpp.o.d"
+  "/root/repo/tests/test_netdev_tgen.cpp" "tests/CMakeFiles/rp_tests.dir/test_netdev_tgen.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_netdev_tgen.cpp.o.d"
+  "/root/repo/tests/test_pkt.cpp" "tests/CMakeFiles/rp_tests.dir/test_pkt.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_pkt.cpp.o.d"
+  "/root/repo/tests/test_plugin.cpp" "tests/CMakeFiles/rp_tests.dir/test_plugin.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_plugin.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/rp_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_reassembly.cpp" "tests/CMakeFiles/rp_tests.dir/test_reassembly.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_reassembly.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/rp_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_rsvp.cpp" "tests/CMakeFiles/rp_tests.dir/test_rsvp.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_rsvp.cpp.o.d"
+  "/root/repo/tests/test_sched_drr.cpp" "tests/CMakeFiles/rp_tests.dir/test_sched_drr.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_sched_drr.cpp.o.d"
+  "/root/repo/tests/test_sched_hfsc.cpp" "tests/CMakeFiles/rp_tests.dir/test_sched_hfsc.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_sched_hfsc.cpp.o.d"
+  "/root/repo/tests/test_sched_misc.cpp" "tests/CMakeFiles/rp_tests.dir/test_sched_misc.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_sched_misc.cpp.o.d"
+  "/root/repo/tests/test_stats_route.cpp" "tests/CMakeFiles/rp_tests.dir/test_stats_route.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_stats_route.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/rp_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/rp_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_v6_features.cpp" "tests/CMakeFiles/rp_tests.dir/test_v6_features.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_v6_features.cpp.o.d"
+  "/root/repo/tests/test_wf2q_policer.cpp" "tests/CMakeFiles/rp_tests.dir/test_wf2q_policer.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_wf2q_policer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_ipsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_ipopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_aiu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_bmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
