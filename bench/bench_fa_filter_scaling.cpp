@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "aiu/filter_table.hpp"
+#include "bench_json.hpp"
 #include "netbase/memaccess.hpp"
 #include "tgen/workload.hpp"
 
@@ -74,6 +75,15 @@ int main() {
     Sample l = measure(lin, filters, n + 1);
     std::printf("%8zu  %12.1f %12.1f  %14.1f %14.1f\n", n, d.ns, l.ns,
                 d.accesses, l.accesses);
+    if (n == 16384) {
+      rp::bench::BenchJson("fa_filter_scaling")
+          .num("filters", static_cast<double>(n))
+          .num("dag_ns", d.ns)
+          .num("linear_ns", l.ns)
+          .num("dag_accesses", d.accesses)
+          .num("linear_accesses", l.accesses)
+          .emit();
+    }
   }
 
   std::printf(

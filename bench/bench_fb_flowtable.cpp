@@ -7,9 +7,11 @@
 // probe + chain links), using google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <vector>
 
 #include "aiu/flow_table.hpp"
+#include "bench_json.hpp"
 #include "netbase/memaccess.hpp"
 #include "tgen/workload.hpp"
 
@@ -55,6 +57,29 @@ void BM_FlowTableMiss(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowTableMiss);
 
+void BM_FlowTableHitPrecomputedHash(benchmark::State& state) {
+  // The burst path's two-stage lookup: hash computed once up front (and
+  // used for prefetch), probe with the precomputed value.
+  const std::size_t flows = static_cast<std::size_t>(state.range(0));
+  aiu::FlowTable table(32768, 1024, 1 << 21);
+  netbase::Rng rng(flows);
+  std::vector<pkt::FlowKey> keys;
+  std::vector<std::uint64_t> hashes;
+  keys.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    keys.push_back(tgen::random_key(rng));
+    hashes.push_back(keys.back().hash());
+    table.insert(keys.back(), hashes.back(), 0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    table.prefetch(hashes[i]);
+    benchmark::DoNotOptimize(table.lookup(keys[i], hashes[i], 1));
+    if (++i == keys.size()) i = 0;
+  }
+}
+BENCHMARK(BM_FlowTableHitPrecomputedHash)->RangeMultiplier(8)->Range(64, 1 << 18);
+
 void BM_FlowHashOnly(benchmark::State& state) {
   // The paper's 17-cycle flow hash, in isolation.
   netbase::Rng rng(3);
@@ -80,6 +105,48 @@ void BM_FlowTableInsertRecycle(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowTableInsertRecycle);
 
+// Headline numbers for the machine-readable line: cached-hit cost with and
+// without a precomputed hash at 64 Ki concurrent flows.
+void emit_json() {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::size_t kFlows = 1 << 16;
+  constexpr std::size_t kLookups = 1 << 20;
+  aiu::FlowTable table(1 << 17, kFlows, 1 << 21);
+  netbase::Rng rng(kFlows);
+  std::vector<pkt::FlowKey> keys;
+  std::vector<std::uint64_t> hashes;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    keys.push_back(tgen::random_key(rng));
+    hashes.push_back(keys.back().hash());
+    table.insert(keys.back(), hashes.back(), 0);
+  }
+  auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kLookups; ++i)
+    benchmark::DoNotOptimize(table.lookup(keys[i % kFlows], 1));
+  auto t1 = Clock::now();
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    table.prefetch(hashes[(i + 8) % kFlows]);  // burst-style lookahead
+    benchmark::DoNotOptimize(
+        table.lookup(keys[i % kFlows], hashes[i % kFlows], 1));
+  }
+  auto t2 = Clock::now();
+  const double n = static_cast<double>(kLookups);
+  rp::bench::BenchJson("fb_flowtable")
+      .num("flows", static_cast<double>(kFlows))
+      .num("hit_ns",
+           std::chrono::duration<double, std::nano>(t1 - t0).count() / n)
+      .num("hit_prehash_prefetch_ns",
+           std::chrono::duration<double, std::nano>(t2 - t1).count() / n)
+      .emit();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_json();
+  return 0;
+}

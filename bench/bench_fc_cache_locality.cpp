@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "aiu/aiu.hpp"
+#include "bench_json.hpp"
 #include "netbase/memaccess.hpp"
 #include "plugin/pcu.hpp"
 #include "tgen/workload.hpp"
@@ -122,6 +123,15 @@ int main() {
     Result r = run(gates, 16, 1000);
     std::printf("%8d %14.1f %14.1f %14.1f\n", gates, r.avg_accesses,
                 r.first_pkt_accesses, r.cached_accesses);
+    if (gates == 4) {
+      rp::bench::BenchJson("fc_cache_locality")
+          .num("gates", 4)
+          .num("burst", 16)
+          .num("avg_accesses", r.avg_accesses)
+          .num("first_pkt_accesses", r.first_pkt_accesses)
+          .num("cached_accesses", r.cached_accesses)
+          .emit();
+    }
   }
 
   std::printf(

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_json.hpp"
 #include "core/router.hpp"
 #include "mgmt/pmgr.hpp"
 #include "mgmt/register_all.hpp"
@@ -90,6 +91,11 @@ bind drr 1 <10.0.0.0/8, *, udp, *, *, *>
               jain);
   std::printf("weight-10 flow vs weight-1 flow ratio: %.2f (ideal 10.0)\n",
               w1_bytes ? static_cast<double>(bytes[4]) / w1_bytes : 0.0);
+  rp::bench::BenchJson("fd_drr_fairness")
+      .num("jain_index", jain)
+      .num("w10_vs_w1_ratio",
+           w1_bytes ? static_cast<double>(bytes[4]) / w1_bytes : 0.0)
+      .emit();
   std::printf(
       "\nExpected shape: shares proportional to weights (index ~= 1.0),\n"
       "as in the paper's link-sharing demonstrations.\n");

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/router.hpp"
 #include "mgmt/register_all.hpp"
 #include "mgmt/rplib.hpp"
@@ -37,7 +38,8 @@ pkt::PacketPtr flow_pkt(std::uint16_t sport, std::size_t payload) {
   return pkt::build_udp(s);
 }
 
-void link_sharing_run() {
+// Returns A.voice's worst queueing delay in ms (the decoupling headline).
+double link_sharing_run() {
   const std::uint64_t link = 10'000'000;
   core::RouterKernel k;
   k.add_interface("in0");
@@ -116,9 +118,15 @@ void link_sharing_run() {
       "\nDecoupling check: A.voice's worst queueing delay stays small (its\n"
       "rt curve m1 drains bursts at 5 Mb/s) although its bandwidth share\n"
       "is only 1 Mb/s — delay is decoupled from rate.\n\n");
+  return worst_delay[1];
 }
 
-void overhead_run() {
+struct OverheadResult {
+  double drr_ns;
+  double hfsc_ns;
+};
+
+OverheadResult overhead_run() {
   // Enqueue+dequeue CPU cost: DRR vs H-FSC (the paper quotes H-FSC's
   // 6.8-10.3 us on a P200 ~ 25-37% overhead vs DRR's ~20%).
   constexpr int kOps = 200'000;
@@ -168,6 +176,7 @@ void overhead_run() {
   std::printf("H-FSC / DRR cost ratio: %.2f (paper: H-FSC costlier; its\n",
               h / d);
   std::printf("queueing corresponds to 25-37%% kernel overhead vs DRR ~20%%)\n");
+  return {d, h};
 }
 
 }  // namespace
@@ -175,7 +184,13 @@ void overhead_run() {
 int main() {
   std::printf("Figure E — H-FSC: hierarchy, decoupling, and overhead\n\n");
   mgmt::register_builtin_modules();
-  link_sharing_run();
-  overhead_run();
+  const double voice_delay_ms = link_sharing_run();
+  const OverheadResult o = overhead_run();
+  rp::bench::BenchJson("fe_hfsc")
+      .num("voice_worst_delay_ms", voice_delay_ms)
+      .num("drr_ns", o.drr_ns)
+      .num("hfsc_ns", o.hfsc_ns)
+      .num("hfsc_vs_drr_ratio", o.drr_ns ? o.hfsc_ns / o.drr_ns : 0.0)
+      .emit();
   return 0;
 }

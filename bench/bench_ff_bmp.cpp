@@ -4,8 +4,10 @@
 // state of the art). google-benchmark over database size and family.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bmp/lpm.hpp"
 #include "netbase/memaccess.hpp"
 #include "tgen/workload.hpp"
@@ -81,4 +83,35 @@ BENCHMARK_CAPTURE(bm_engine, cpe_v6, "cpe", 128)
     ->RangeMultiplier(8)
     ->Range(1024, 65536);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Headline numbers: ns/lookup per engine at 64 Ki IPv4 prefixes.
+void emit_json() {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::size_t kLookups = 1 << 20;
+  rp::bench::BenchJson json("ff_bmp");
+  json.num("prefixes", 65536);
+  for (const char* engine : {"patricia", "bsl", "cpe"}) {
+    Db db = build(engine, 32, 65536);
+    bmp::LpmMatch m;
+    auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kLookups; ++i)
+      benchmark::DoNotOptimize(db.engine->lookup(db.probes[i % db.probes.size()], m));
+    auto t1 = Clock::now();
+    json.num(std::string(engine) + "_v4_ns",
+             std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                 static_cast<double>(kLookups));
+  }
+  json.emit();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_json();
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "aiu/aiu.hpp"
 #include "aiu/grid_of_tries.hpp"
+#include "bench_json.hpp"
 #include "netbase/memaccess.hpp"
 #include "plugin/pcu.hpp"
 #include "tgen/workload.hpp"
@@ -66,7 +67,13 @@ void ablate_collapse() {
   std::printf("\n");
 }
 
-void ablate_cache() {
+struct CacheAblation {
+  double on_accesses;
+  double off_accesses;
+};
+
+CacheAblation ablate_cache() {
+  CacheAblation result{};
   std::printf("-- 2. flow cache on/off (1000 filters, burst 16) --\n");
   std::printf("%12s %22s\n", "flow cache", "avg accesses/packet");
   tgen::FilterSetSpec spec;
@@ -100,11 +107,13 @@ void ablate_cache() {
         aiu.gate_lookup(*p, plugin::PluginType::ipsec);
       }
     }
-    std::printf("%12s %22.1f\n", cache ? "on" : "off",
-                static_cast<double>(netbase::MemAccess::total()) /
-                    (kFlows * kBurst));
+    const double avg = static_cast<double>(netbase::MemAccess::total()) /
+                       (kFlows * kBurst);
+    (cache ? result.on_accesses : result.off_accesses) = avg;
+    std::printf("%12s %22.1f\n", cache ? "on" : "off", avg);
   }
   std::printf("\n");
+  return result;
 }
 
 void ablate_bmp() {
@@ -193,9 +202,13 @@ void compare_grid_of_tries() {
 int main() {
   std::printf("Figure G — DAG classifier ablations\n\n");
   ablate_collapse();
-  ablate_cache();
+  const CacheAblation cache = ablate_cache();
   ablate_bmp();
   compare_grid_of_tries();
+  rp::bench::BenchJson("fg_dag_ablation")
+      .num("cache_on_accesses", cache.on_accesses)
+      .num("cache_off_accesses", cache.off_accesses)
+      .emit();
   std::printf(
       "\nExpected shape: collapsing shrinks the DAG and trims accesses on\n"
       "wildcarded levels; the flow cache turns ~20+ accesses into ~2; BSL\n"

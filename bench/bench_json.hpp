@@ -1,0 +1,44 @@
+// Machine-readable benchmark output. Every bench binary keeps its human
+// tables and additionally emits exactly one line of the form
+//
+//   BENCH_JSON {"bench":"<name>","<metric>":<value>,...}
+//
+// so scripts (and the repo's perf trajectory, BENCH_*.json) can scrape
+// results without parsing prose. Keys are flat; values are numbers or
+// strings. Nothing here allocates on the data path — it runs once at exit.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rp::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& name) {
+    line_ = "{\"bench\":\"" + name + "\"";
+  }
+
+  BenchJson& num(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    line_ += ",\"" + key + "\":" + buf;
+    return *this;
+  }
+
+  BenchJson& str(const std::string& key, const std::string& v) {
+    line_ += ",\"" + key + "\":\"" + v + "\"";
+    return *this;
+  }
+
+  // Prints the single line to stdout (flushed, so it survives early exits).
+  void emit() {
+    std::printf("BENCH_JSON %s}\n", line_.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string line_;
+};
+
+}  // namespace rp::bench

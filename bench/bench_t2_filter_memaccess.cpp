@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "aiu/filter_table.hpp"
+#include "bench_json.hpp"
 #include "netbase/memaccess.hpp"
 #include "tgen/workload.hpp"
 
@@ -94,14 +95,22 @@ int main() {
   std::printf("%10s  %6s  %14s  %12s\n", "filters", "family", "worst accesses",
               "avg accesses");
 
+  rp::bench::BenchJson json("t2_filter_memaccess");
   for (auto ver : {netbase::IpVersion::v4, netbase::IpVersion::v6}) {
     for (std::size_t n : {1000UL, 10000UL, 50000UL}) {
       Row r = measure(n, ver, "bsl");
       std::printf("%10zu  %6s  %14llu  %12.1f\n", r.filters,
                   r.ver == netbase::IpVersion::v4 ? "IPv4" : "IPv6",
                   static_cast<unsigned long long>(r.worst), r.avg);
+      if (n == 50000UL) {
+        const char* fam = ver == netbase::IpVersion::v4 ? "v4" : "v6";
+        json.num(std::string(fam) + "_worst_accesses",
+                 static_cast<double>(r.worst));
+        json.num(std::string(fam) + "_avg_accesses", r.avg);
+      }
     }
   }
+  json.emit();
 
   std::printf(
       "\nPer-component accounting (paper Table 2 vs this implementation):\n"

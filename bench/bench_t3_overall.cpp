@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/best_effort.hpp"
 #include "core/ip_core.hpp"
 #include "plugin/pcu.hpp"
@@ -226,6 +227,13 @@ int main() {
     std::printf("%-38s %12.0f %10.0f %9.2fx %11.2fx %12.0f\n", r.name, r.ns,
                 r.ns - base, r.ns / base, r.paper_rel, 1e9 / r.ns);
   }
+  rp::bench::BenchJson("t3_overall")
+      .num("unmodified_ns", rows[0].ns)
+      .num("plugin_3gates_ns", rows[1].ns)
+      .num("altq_drr_ns", rows[2].ns)
+      .num("plugin_drr_ns", rows[3].ns)
+      .num("plugin_overhead_rel", rows[1].ns / base)
+      .emit();
   std::printf(
       "\nPaper: 6460 / 6970 / 8160 / 8110 cycles per packet on a P6/233\n"
       "(27.7 / 29.9 / 35.0 / 34.8 us); the plugin architecture added ~500\n"

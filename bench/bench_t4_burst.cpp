@@ -1,0 +1,219 @@
+// T4 (this repo's addition, PR 1): per-packet cost of the batched datapath
+// versus the single-packet path.
+//
+// The workload is Table-3 style — UDP flows through the plugin architecture
+// with three empty-plugin gates and 16 installed filters — but scaled from
+// the paper's 3 concurrent flows to 64 Ki so the flow table (the per-flow
+// state the AIU touches on every packet) far exceeds the CPU caches, the
+// regime the paper's ATM testbed never reached. Packets arrive in short
+// per-flow trains (the "flow-like characteristics" §5.2 banks on).
+//
+// The burst path (IpCore::process_burst) computes all flow hashes for a
+// burst up front, prefetches the flow-table buckets and then the chained
+// records, and memoizes the last resolved flow so train packets skip the
+// probe. Burst size 1 *is* the single-packet path (process() is a burst of
+// one), so the comparison isolates exactly the batching win.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/ip_core.hpp"
+#include "plugin/pcu.hpp"
+#include "tgen/workload.hpp"
+
+using namespace rp;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::size_t kFlows = 1 << 18;   // 256 Ki concurrent flows (~80 MB)
+constexpr std::size_t kTrainLen = 4;      // packets per per-flow train
+constexpr std::size_t kBatch = 8192;      // packets built (untimed) per rep
+constexpr int kReps = 40;
+constexpr std::size_t kPayload = 512;
+const std::size_t kBurstSizes[] = {1, 4, 8, 16, 32};
+
+class EmptyInstance final : public plugin::PluginInstance {
+ public:
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    return plugin::Verdict::cont;
+  }
+};
+class EmptyPlugin final : public plugin::Plugin {
+ public:
+  EmptyPlugin(std::string name, plugin::PluginType t)
+      : Plugin(std::move(name), t) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<EmptyInstance>();
+  }
+};
+
+tgen::FlowEndpoints endpoints(std::size_t f) {
+  tgen::FlowEndpoints ep;
+  ep.src = netbase::IpAddr(netbase::Ipv4Addr(
+      10, static_cast<std::uint8_t>(f >> 16), static_cast<std::uint8_t>(f >> 8),
+      static_cast<std::uint8_t>(f)));
+  ep.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  ep.proto = 17;
+  ep.sport = static_cast<std::uint16_t>(1024 + (f % 60000));
+  ep.dport = 9000;
+  return ep;
+}
+
+// The paper's 16 filters per gate: 13 that never match plus catch-alls.
+void install_filters(aiu::Aiu& aiu, plugin::PluginType gate,
+                     plugin::PluginInstance* inst) {
+  for (int i = 0; i < 13; ++i) {
+    aiu::Filter f;
+    f.src = *netbase::IpPrefix::parse("99.77." + std::to_string(i) + ".0/24");
+    f.proto = aiu::ProtoSpec::exact(6);
+    aiu.create_filter(gate, f, inst);
+  }
+  aiu::Filter all = *aiu::Filter::parse("10.0.0.0/8 * udp * * *");
+  aiu.create_filter(gate, all, inst);
+}
+
+struct Bench {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  std::unique_ptr<aiu::Aiu> aiu;
+  route::RoutingTable routes{"bsl"};
+  netdev::InterfaceTable ifs;
+  std::unique_ptr<core::IpCore> core;
+
+  Bench() {
+    aiu::Aiu::Options aopt;
+    aopt.initial_flows = kFlows;    // steady state, not growth, is measured
+    aopt.flow_buckets = kFlows * 2; // short chains even at 256 Ki flows
+    aiu = std::make_unique<aiu::Aiu>(pcu, clock, aopt);
+    ifs.add("if0");
+    ifs.add("if1");
+    routes.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+
+    core::CoreConfig cfg;
+    cfg.input_gates = {plugin::PluginType::ipopt, plugin::PluginType::ipsec,
+                       plugin::PluginType::stats};
+    cfg.port_fifo_limit = kBatch + 64;  // drain once per rep, no drops
+    core = std::make_unique<core::IpCore>(*aiu, routes, ifs, clock, cfg);
+
+    const plugin::PluginType gates[3] = {plugin::PluginType::ipopt,
+                                         plugin::PluginType::ipsec,
+                                         plugin::PluginType::stats};
+    const char* names[3] = {"e1", "e2", "e3"};
+    for (int g = 0; g < 3; ++g) {
+      pcu.register_plugin(std::make_unique<EmptyPlugin>(names[g], gates[g]));
+      plugin::InstanceId id = plugin::kNoInstance;
+      pcu.find(names[g])->create_instance({}, id);
+      install_filters(*aiu, gates[g], pcu.find(names[g])->instance(id));
+    }
+  }
+};
+
+// Train-structured batch: flows chosen pseudo-randomly, kTrainLen
+// consecutive packets each, identical across burst-size configurations.
+void make_batch(std::vector<pkt::PacketPtr>& batch, std::uint64_t seed) {
+  netbase::Rng rng(seed);
+  batch.clear();
+  while (batch.size() < kBatch) {
+    const auto ep = endpoints(rng.below(kFlows));
+    for (std::size_t i = 0; i < kTrainLen && batch.size() < kBatch; ++i)
+      batch.push_back(tgen::packet_for(ep, kPayload));
+  }
+}
+
+void warmup(Bench& b) {
+  // Create every flow entry so the timed reps measure the cached steady
+  // state (as in Table 3).
+  for (std::size_t f = 0; f < kFlows; ++f)
+    b.core->process(tgen::packet_for(endpoints(f), kPayload));
+  while (b.core->next_for_tx(1, 0)) {
+  }
+}
+
+// One timed pass of `batch` through `b` at the given burst size; returns
+// ns/packet. The output drain (FIFO pop + packet free) is identical
+// constant work for every burst size; it stays outside the timing so the
+// input path is what's measured.
+double timed_pass(Bench& b, std::vector<pkt::PacketPtr>& batch,
+                  std::size_t burst) {
+  const auto t0 = Clock::now();
+  for (std::size_t off = 0; off < batch.size(); off += burst) {
+    const std::size_t n = std::min(burst, batch.size() - off);
+    b.core->process_burst({batch.data() + off, n});
+  }
+  const auto t1 = Clock::now();
+  pkt::PacketPtr out;
+  while ((out = b.core->next_for_tx(1, 0))) out.reset();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(batch.size());
+}
+
+double median(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "T4 — Burst datapath vs single-packet path\n"
+      "(Table-3 style: UDP, 16 filters, 3 empty gates; %zu flows, trains of "
+      "%zu,\n %zu-packet reps x %d)\n\n",
+      kFlows, kTrainLen, kBatch, kReps);
+
+  rp::bench::BenchJson json("t4_burst");
+  json.num("flows", static_cast<double>(kFlows));
+  json.num("train_len", static_cast<double>(kTrainLen));
+
+  // One independent router (own flow table) per burst size, all warmed up
+  // front. The timed reps interleave the configurations so slow machine
+  // drift (frequency scaling, co-tenants) hits every burst size equally;
+  // the median rep discards interference spikes.
+  constexpr std::size_t kConfigs = std::size(kBurstSizes);
+  std::vector<std::unique_ptr<Bench>> benches;
+  for (std::size_t c = 0; c < kConfigs; ++c) {
+    benches.push_back(std::make_unique<Bench>());
+    warmup(*benches.back());
+  }
+
+  std::vector<double> samples[kConfigs];
+  std::vector<pkt::PacketPtr> batch;
+  batch.reserve(kBatch);
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t c = 0; c < kConfigs; ++c) {
+      make_batch(batch, 1000 + rep);  // construction excluded from timing
+      samples[c].push_back(timed_pass(*benches[c], batch, kBurstSizes[c]));
+    }
+  }
+
+  double base = 0;
+  double last = 0;
+  std::printf("%10s %12s %10s %12s\n", "burst", "ns/packet", "speedup",
+              "pkts/sec");
+  for (std::size_t c = 0; c < kConfigs; ++c) {
+    const double ns = median(samples[c]);
+    if (kBurstSizes[c] == 1) base = ns;
+    last = ns;
+    std::printf("%10zu %12.1f %9.2fx %12.0f\n", kBurstSizes[c], ns, base / ns,
+                1e9 / ns);
+    json.num("burst_" + std::to_string(kBurstSizes[c]) + "_ns", ns);
+  }
+  json.num("speedup_32_vs_1", last == 0 ? 0 : base / last);
+  json.emit();
+
+  std::printf(
+      "\nBurst 1 is the single-packet path (process() is a burst of one).\n"
+      "Gains come from hash-once + bucket/record prefetch hiding the DRAM\n"
+      "latency of the %zu flow records, and the last-flow memo collapsing\n"
+      "train packets to an LRU touch.\n",
+      kFlows);
+  return 0;
+}

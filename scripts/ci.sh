@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass, runnable locally or from CI:
+#
+#   scripts/ci.sh            # configure+build+ctest, then ASan+UBSan tests
+#   scripts/ci.sh --fast     # skip the sanitizer build
+#
+# Exits non-zero on the first failure. Build trees live under build/ (the
+# regular tree) and build-asan/ (the sanitizer tree); both are gitignored.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== tier 1: build + tests (RelWithDebInfo) =="
+cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure
+
+if [[ "$fast" == "1" ]]; then
+  echo "== skipping sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== tier 2: ASan + UBSan test build =="
+cmake -S "$repo" -B "$repo/build-asan" -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build "$repo/build-asan" -j "$jobs" --target rp_tests
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
+  --output-on-failure
+
+echo "== ci: all green =="

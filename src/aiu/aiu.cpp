@@ -1,5 +1,7 @@
 #include "aiu/aiu.hpp"
 
+#include <algorithm>
+
 #include "pkt/builder.hpp"
 
 namespace rp::aiu {
@@ -80,7 +82,7 @@ const FilterRecord* Aiu::classify_uncached(const pkt::FlowKey& key,
 }
 
 pkt::FlowIndex Aiu::create_flow_entry(pkt::Packet& p) {
-  pkt::FlowIndex i = flows_.insert(p.key, clock_.now());
+  pkt::FlowIndex i = flows_.insert(p.key, p.flow_hash(), clock_.now());
   FlowRecord& r = flows_.rec(i);
   // n gates -> n filter-table lookups, one flow entry (Section 3.2).
   for (std::size_t g = 0; g < kNumGates; ++g) {
@@ -119,10 +121,85 @@ GateBinding* Aiu::gate_lookup(pkt::Packet& p, plugin::PluginType gate) {
     return &tmp;
   }
 
-  pkt::FlowIndex i = flows_.lookup(p.key, clock_.now());
+  pkt::FlowIndex i = flows_.lookup(p.key, p.flow_hash(), clock_.now());
   if (i == pkt::kNoFlow) i = create_flow_entry(p);
   p.fix = i;
   return &flows_.rec(i).gates[gi];
+}
+
+void Aiu::resolve_flows_burst(std::span<pkt::Packet* const> pkts) {
+  if (!opt_.flow_cache_enabled) return;
+  const netbase::SimTime now = clock_.now();
+
+  std::uint64_t hashes[kMaxBurst];
+  bool parsed[kMaxBurst];
+  for (std::size_t base = 0; base < pkts.size(); base += kMaxBurst) {
+    const std::size_t n = std::min(kMaxBurst, pkts.size() - base);
+    auto chunk = pkts.subspan(base, n);
+
+    // Pass 1: hash every key once and start pulling the bucket heads.
+    for (std::size_t i = 0; i < n; ++i) {
+      pkt::Packet& p = *chunk[i];
+      parsed[i] = p.key_valid || pkt::extract_flow_key(p);
+      if (!parsed[i]) continue;
+      hashes[i] = p.flow_hash();
+      flows_.prefetch(hashes[i]);
+    }
+    // Pass 2: bucket heads are (becoming) resident; chase one level into
+    // the chain so the FlowRecords arrive before the probe loop needs them.
+    for (std::size_t i = 0; i < n; ++i)
+      if (parsed[i]) flows_.prefetch_record(hashes[i]);
+
+    // Pass 3: resolve. Packet trains put many back-to-back packets of one
+    // flow in a burst; the memo turns those into a straight LRU touch.
+    const pkt::Packet* last = nullptr;
+    std::uint64_t last_hash = 0;
+    pkt::FlowIndex last_fix = pkt::kNoFlow;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!parsed[i]) continue;
+      pkt::Packet& p = *chunk[i];
+      if (p.fix != pkt::kNoFlow) continue;  // e.g. reprocessed fragment
+      if (last && hashes[i] == last_hash && p.key == last->key) {
+        flows_.touch(last_fix, now);
+        p.fix = last_fix;
+        continue;
+      }
+      pkt::FlowIndex f = flows_.lookup(p.key, hashes[i], now);
+      if (f == pkt::kNoFlow) f = create_flow_entry(p);
+      p.fix = f;
+      last = &p;
+      last_hash = hashes[i];
+      last_fix = f;
+    }
+  }
+}
+
+void Aiu::gate_lookup_burst(std::span<pkt::Packet* const> pkts,
+                            plugin::PluginType gate, GateBinding** out) {
+  if (!opt_.flow_cache_enabled) {
+    // Ablation: classify each packet at this gate only, like gate_lookup,
+    // but into per-burst scratch slots so the bindings don't alias.
+    burst_tmp_.assign(pkts.size(), GateBinding{});
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      pkt::Packet& p = *pkts[i];
+      if (!p.key_valid && !pkt::extract_flow_key(p)) {
+        out[i] = nullptr;
+        continue;
+      }
+      if (const FilterRecord* fr = classify_uncached(p.key, gate)) {
+        burst_tmp_[i].instance = fr->instance;
+        burst_tmp_[i].filter = fr;
+      }
+      out[i] = &burst_tmp_[i];
+    }
+    return;
+  }
+  resolve_flows_burst(pkts);
+  const std::size_t gi = gate_index(gate);
+  for (std::size_t i = 0; i < pkts.size(); ++i)
+    out[i] = pkts[i]->fix != pkt::kNoFlow
+                 ? &flows_.rec(pkts[i]->fix).gates[gi]
+                 : nullptr;
 }
 
 }  // namespace rp::aiu

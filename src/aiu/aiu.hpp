@@ -17,6 +17,8 @@
 
 #include <array>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "aiu/filter_table.hpp"
 #include "aiu/flow_table.hpp"
@@ -65,6 +67,30 @@ class Aiu {
   // matched — the gate simply continues.
   GateBinding* gate_lookup(pkt::Packet& p, plugin::PluginType gate);
 
+  // Burst data path. Packets are processed in chunks of at most kMaxBurst.
+  static constexpr std::size_t kMaxBurst = 32;
+
+  // Resolves the flow index for every packet of a burst and stores it in the
+  // packet (p->fix), after which each gate's lookup is a direct array
+  // access. Three passes per chunk: (1) hash every key once (cached on the
+  // packet) and prefetch the flow-table bucket heads, (2) prefetch the
+  // chained FlowRecords, (3) probe with the precomputed hashes — where a
+  // single-entry "last flow" memo lets back-to-back packets of one flow
+  // skip even the hash probe. Packets must have a valid key (the core
+  // parses headers before classification); with the flow cache disabled
+  // this is a no-op and the per-gate ablation path applies.
+  //
+  // Note: like the single-packet path, resolved indices assume the entry
+  // survives until the packet leaves the core; keep max_flows well above
+  // kMaxBurst so LRU recycling cannot evict a burst-mate's flow.
+  void resolve_flows_burst(std::span<pkt::Packet* const> pkts);
+
+  // Burst variant of gate_lookup: resolve_flows_burst + gather the bindings
+  // at `gate` into `out[i]` (null where the packet is unparseable). `out`
+  // must have room for pkts.size() entries.
+  void gate_lookup_burst(std::span<pkt::Packet* const> pkts,
+                         plugin::PluginType gate, GateBinding** out);
+
   // One-gate classification without touching the cache (used by benches and
   // by the no-cache ablation path).
   const FilterRecord* classify_uncached(const pkt::FlowKey& key,
@@ -81,6 +107,9 @@ class Aiu {
   std::array<std::unique_ptr<FilterTableBase>, kNumGates> tables_;
   FlowTable flows_;
   Stats stats_;
+  // Scratch bindings for gate_lookup_burst under the no-cache ablation
+  // (nothing persists across packets there; see gate_lookup).
+  std::vector<GateBinding> burst_tmp_;
 };
 
 }  // namespace rp::aiu

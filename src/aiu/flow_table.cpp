@@ -70,13 +70,14 @@ void FlowTable::unchain(pkt::FlowIndex i) {
   r.hash_next = -1;
 }
 
-pkt::FlowIndex FlowTable::lookup(const pkt::FlowKey& key, netbase::SimTime now) {
+pkt::FlowIndex FlowTable::lookup(const pkt::FlowKey& key, std::uint64_t hash,
+                                 netbase::SimTime now) {
   MemAccess::count();  // bucket head probe
-  std::int32_t i = buckets_[bucket_of(key)];
+  std::int32_t i = buckets_[bucket_of(hash)];
   while (i >= 0) {
     MemAccess::count();  // chain entry fetch
     FlowRecord& r = recs_[i];
-    if (r.key == key) {
+    if (r.hash == hash && r.key == key) {
       r.last_used = now;
       r.packets++;
       lru_touch(i);
@@ -89,7 +90,8 @@ pkt::FlowIndex FlowTable::lookup(const pkt::FlowKey& key, netbase::SimTime now) 
   return pkt::kNoFlow;
 }
 
-pkt::FlowIndex FlowTable::insert(const pkt::FlowKey& key, netbase::SimTime now) {
+pkt::FlowIndex FlowTable::insert(const pkt::FlowKey& key, std::uint64_t hash,
+                                 netbase::SimTime now) {
   if (free_head_ < 0 && recs_.size() < max_records_) grow_free_list();
   pkt::FlowIndex i;
   if (free_head_ >= 0) {
@@ -109,9 +111,10 @@ pkt::FlowIndex FlowTable::insert(const pkt::FlowKey& key, netbase::SimTime now) 
   FlowRecord& r = recs_[i];
   r = FlowRecord{};
   r.key = key;
+  r.hash = hash;
   r.last_used = now;
   r.in_use = true;
-  r.bucket = bucket_of(key);
+  r.bucket = bucket_of(hash);
   r.hash_next = buckets_[r.bucket];
   buckets_[r.bucket] = i;
   lru_push_front(i);

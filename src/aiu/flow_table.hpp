@@ -34,6 +34,7 @@ struct GateBinding {
 
 struct FlowRecord {
   pkt::FlowKey key{};
+  std::uint64_t hash{0};  // full key hash, compared before the key itself
   GateBinding gates[kNumGates]{};
   netbase::SimTime last_used{0};
   std::uint64_t packets{0};
@@ -66,11 +67,48 @@ class FlowTable {
 
   // Data-path lookup; counts one memory access for the bucket probe plus one
   // per chain link traversed. A hit refreshes LRU position and last_used.
-  pkt::FlowIndex lookup(const pkt::FlowKey& key, netbase::SimTime now);
+  pkt::FlowIndex lookup(const pkt::FlowKey& key, netbase::SimTime now) {
+    return lookup(key, key.hash(), now);
+  }
+  // Two-stage variant: the burst path hashes a whole burst first (issuing
+  // prefetches in between), then probes with the precomputed hash.
+  pkt::FlowIndex lookup(const pkt::FlowKey& key, std::uint64_t hash,
+                        netbase::SimTime now);
 
   // Inserts a record for `key` (which must not be present). May grow the
   // free list or recycle the LRU entry. Never fails.
-  pkt::FlowIndex insert(const pkt::FlowKey& key, netbase::SimTime now);
+  pkt::FlowIndex insert(const pkt::FlowKey& key, netbase::SimTime now) {
+    return insert(key, key.hash(), now);
+  }
+  pkt::FlowIndex insert(const pkt::FlowKey& key, std::uint64_t hash,
+                        netbase::SimTime now);
+
+  // Pulls the bucket head for `hash` toward the cache ahead of a lookup.
+  void prefetch(std::uint64_t hash) const noexcept {
+    __builtin_prefetch(&buckets_[bucket_of(hash)]);
+  }
+  // Second prefetch stage: once the bucket head is resident, pull the first
+  // chained FlowRecord. Two lines: the first covers key+hash (the compare),
+  // the second the start of the gate bindings the core reads right after.
+  void prefetch_record(std::uint64_t hash) const noexcept {
+    const std::int32_t i = buckets_[bucket_of(hash)];
+    if (i >= 0) {
+      const char* r = reinterpret_cast<const char*>(&recs_[i]);
+      __builtin_prefetch(r);
+      __builtin_prefetch(r + 64);
+    }
+  }
+
+  // Refreshes a known-live entry without re-probing the hash chain — the
+  // burst path's last-flow memo uses this so back-to-back packets of one
+  // flow skip the probe entirely. Accounting matches a lookup hit.
+  void touch(pkt::FlowIndex i, netbase::SimTime now) {
+    FlowRecord& r = recs_[i];
+    r.last_used = now;
+    r.packets++;
+    lru_touch(i);
+    ++stats_.hits;
+  }
 
   FlowRecord& rec(pkt::FlowIndex i) noexcept { return recs_[i]; }
   const FlowRecord& rec(pkt::FlowIndex i) const noexcept { return recs_[i]; }
@@ -88,13 +126,14 @@ class FlowTable {
 
   std::size_t active() const noexcept { return active_; }
   std::size_t capacity() const noexcept { return recs_.size(); }
+  std::size_t max_records() const noexcept { return max_records_; }
   std::size_t bucket_count() const noexcept { return buckets_.size(); }
   const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
  private:
-  std::uint32_t bucket_of(const pkt::FlowKey& key) const noexcept {
-    return static_cast<std::uint32_t>(key.hash() & (buckets_.size() - 1));
+  std::uint32_t bucket_of(std::uint64_t hash) const noexcept {
+    return static_cast<std::uint32_t>(hash & (buckets_.size() - 1));
   }
   void grow_free_list();
   void lru_push_front(pkt::FlowIndex i);

@@ -3,6 +3,8 @@
 // measure both (Table 3 compares exactly these two kernels).
 #pragma once
 
+#include <span>
+
 #include "netbase/clock.hpp"
 #include "pkt/packet.hpp"
 
@@ -14,6 +16,14 @@ class DataPath {
 
   // Input path for one received packet (already timestamped by the NIC).
   virtual void process(pkt::PacketPtr p) = 0;
+
+  // Input path for a burst of received packets (a NIC ring drain). Every
+  // slot is consumed. The default processes packets one at a time; cores
+  // with a batched fast path (IpCore) override it.
+  virtual void process_burst(std::span<pkt::PacketPtr> batch) {
+    for (auto& p : batch)
+      if (p) process(std::move(p));
+  }
 
   // Next packet to transmit on `iface`, or nullptr.
   virtual pkt::PacketPtr next_for_tx(pkt::IfIndex iface,

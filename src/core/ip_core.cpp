@@ -1,5 +1,6 @@
 #include "core/ip_core.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "netbase/byteorder.hpp"
@@ -34,28 +35,66 @@ void IpCore::drop(pkt::PacketPtr p, DropReason r) {
 }
 
 void IpCore::process(pkt::PacketPtr p) {
+  process_burst({&p, 1});
+}
+
+void IpCore::process_burst(std::span<pkt::PacketPtr> batch) {
+  pkt::Packet* live[aiu::Aiu::kMaxBurst];
+  for (std::size_t base = 0; base < batch.size();
+       base += aiu::Aiu::kMaxBurst) {
+    auto chunk = batch.subspan(
+        base, std::min(aiu::Aiu::kMaxBurst, batch.size() - base));
+
+    // Stage 1: header validation for the whole chunk (drops fall out here,
+    // exactly as in the single-packet path).
+    std::size_t n_live = 0;
+    for (auto& p : chunk)
+      if (p && validate(p)) live[n_live++] = p.get();
+
+    // Stage 2: one AIU pass resolves every survivor's flow index with
+    // precomputed hashes and flow-table prefetch.
+    aiu_.resolve_flows_burst({live, n_live});
+
+    // Stage 3: the unchanged per-packet machinery; every gate lookup is now
+    // a direct flow-table array access.
+    for (auto& p : chunk)
+      if (p) process_classified(std::move(p));
+  }
+}
+
+bool IpCore::validate(pkt::PacketPtr& p) {
   ++counters_.received;
 
   // ---- header validation (stable core code, not a plugin) ----
-  if (!pkt::extract_flow_key(*p)) return drop(std::move(p), DropReason::malformed);
+  if (!pkt::extract_flow_key(*p)) {
+    drop(std::move(p), DropReason::malformed);
+    return false;
+  }
 
   std::uint8_t* h = p->data();
   if (p->ip_version == IpVersion::v4) {
     const std::size_t hlen = std::size_t{static_cast<std::size_t>(h[0] & 0x0f)} * 4;
     if (cfg_.verify_ipv4_checksum &&
-        !pkt::Ipv4Header::verify_checksum({h, hlen}))
-      return drop(std::move(p), DropReason::bad_checksum);
+        !pkt::Ipv4Header::verify_checksum({h, hlen})) {
+      drop(std::move(p), DropReason::bad_checksum);
+      return false;
+    }
     if (cfg_.decrement_ttl && h[8] <= 1) {
       if (cfg_.emit_icmp_errors) emit_icmp_error(*p, 11, 0);  // time exceeded
-      return drop(std::move(p), DropReason::ttl_expired);
+      drop(std::move(p), DropReason::ttl_expired);
+      return false;
     }
   } else {
     if (cfg_.decrement_ttl && h[7] <= 1) {
       if (cfg_.emit_icmp_errors) emit_icmpv6_error(*p, 3, 0, 0);
-      return drop(std::move(p), DropReason::ttl_expired);
+      drop(std::move(p), DropReason::ttl_expired);
+      return false;
     }
   }
+  return true;
+}
 
+void IpCore::process_classified(pkt::PacketPtr p) {
   // ---- pre-routing gates (Section 3.2) ----
   for (PluginType gate : cfg_.input_gates) {
     aiu::GateBinding* b = aiu_.gate_lookup(*p, gate);
@@ -89,9 +128,9 @@ void IpCore::process(pkt::PacketPtr p) {
     return drop(std::move(p), DropReason::no_route);
 
   // ---- TTL / hop limit, with RFC 1624 incremental checksum update ----
-  // Re-fetch the header pointer: gate plugins (AH/ESP) may have prepended
-  // headers and moved the packet's data start.
-  h = p->data();
+  // Fetch the header pointer only now: gate plugins (AH/ESP) may have
+  // prepended headers and moved the packet's data start.
+  std::uint8_t* h = p->data();
   if (cfg_.decrement_ttl) {
     if (p->ip_version == IpVersion::v4) {
       const std::uint16_t old_word = netbase::load_be16(&h[8]);

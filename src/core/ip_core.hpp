@@ -77,7 +77,16 @@ class IpCore final : public DataPath {
 
   // Full EISR input path for one received packet; ends with the packet
   // dropped or queued on an output port (scheduler or port FIFO).
+  // Implemented as a burst of one so the two entry points cannot diverge.
   void process(pkt::PacketPtr p) override;
+
+  // Batched input path (the tentpole of the burst datapath): validates the
+  // whole burst, then resolves every packet's flow binding in one AIU pass
+  // (hash-once + bucket/record prefetch + last-flow memo), then runs the
+  // unchanged per-packet gate/forwarding machinery — which now always hits
+  // the FIX fast path. Gate order, drops, ICMP, fragmentation, and counters
+  // are identical to the single-packet path.
+  void process_burst(std::span<pkt::PacketPtr> batch) override;
 
   // Output side, driven by the router kernel when a link goes idle: the
   // port FIFO (control/unscheduled traffic) drains ahead of the scheduler.
@@ -109,6 +118,14 @@ class IpCore final : public DataPath {
     OutputScheduler* sched{nullptr};
     std::deque<pkt::PacketPtr> fifo;
   };
+
+  // Stage 1 of the input path: parse + header validation (checksum, TTL).
+  // On failure the packet is dropped (slot nulled) and false returned.
+  bool validate(pkt::PacketPtr& p);
+  // Stages 2+3: gates, forwarding decision, TTL decrement, MTU handling,
+  // output enqueue. The flow index is already resolved (or resolvable via
+  // the per-gate slow path when the cache is disabled).
+  void process_classified(pkt::PacketPtr p);
 
   void drop(pkt::PacketPtr p, DropReason r);
   void emit_icmp_error(const pkt::Packet& orig, std::uint8_t type,

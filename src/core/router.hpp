@@ -38,6 +38,10 @@ class RouterKernel {
     netbase::SimTime flow_sweep_interval{netbase::kNsPerSec};
   };
 
+  // Receive bursts: how many ring packets are handed to the core at once
+  // (matches the AIU's per-chunk burst width).
+  static constexpr std::size_t kRxBurst = aiu::Aiu::kMaxBurst;
+
   RouterKernel();
   explicit RouterKernel(Options opt);
   ~RouterKernel();

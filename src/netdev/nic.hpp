@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <string>
 
 #include "netbase/clock.hpp"
@@ -68,12 +69,25 @@ class SimNic {
 
   bool rx_pending() const noexcept { return !rx_ring_.empty(); }
   std::size_t rx_depth() const noexcept { return rx_ring_.size(); }
+  std::size_t rx_capacity() const noexcept { return rx_ring_size_; }
 
   pkt::PacketPtr rx_pop() {
     if (rx_ring_.empty()) return nullptr;
     auto p = std::move(rx_ring_.front());
     rx_ring_.pop_front();
     return p;
+  }
+
+  // Burst drain: pops up to out.size() packets from the receive ring in
+  // arrival order (what a DPDK-style rx_burst does against a descriptor
+  // ring). Returns the number of slots filled.
+  std::size_t rx_burst(std::span<pkt::PacketPtr> out) {
+    std::size_t n = 0;
+    while (n < out.size() && !rx_ring_.empty()) {
+      out[n++] = std::move(rx_ring_.front());
+      rx_ring_.pop_front();
+    }
+    return n;
   }
 
   // ---- transmit side (router -> wire) ----

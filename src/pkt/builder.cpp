@@ -161,6 +161,7 @@ PacketPtr build_udp6_hopopts(const UdpSpec& spec,
 
 bool extract_flow_key(Packet& p) noexcept {
   if (p.key_valid) return true;
+  p.invalidate_flow_hash();
   auto b = p.bytes();
   if (b.empty()) return false;
 

@@ -97,10 +97,25 @@ class Packet {
   netbase::IpVersion ip_version{netbase::IpVersion::v4};
   std::uint16_t l4_offset{0};  // offset of the transport header
 
+  // Hash-once cache over `key`: the burst path hashes every packet of a
+  // burst up front (to prefetch flow-table buckets) and the flow lookup
+  // then reuses the same value, so the mix runs once per packet no matter
+  // how many gates probe. Invalidated whenever `key` is (re)derived.
+  std::uint64_t flow_hash() noexcept {
+    if (!key_hash_valid_) {
+      key_hash_ = key.hash();
+      key_hash_valid_ = true;
+    }
+    return key_hash_;
+  }
+  void invalidate_flow_hash() noexcept { key_hash_valid_ = false; }
+
  private:
   std::vector<std::uint8_t> buf_;
   std::size_t head_;
   std::size_t len_;
+  std::uint64_t key_hash_{0};
+  bool key_hash_valid_{false};
 };
 
 using PacketPtr = std::unique_ptr<Packet>;

@@ -3,6 +3,8 @@
 // expiry, and the flow_removed soft-state callback.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "aiu/flow_table.hpp"
 #include "netbase/memaccess.hpp"
 #include "tgen/workload.hpp"
@@ -175,6 +177,136 @@ TEST(FlowTable, ClearEmptiesEverything) {
     EXPECT_EQ(t.lookup(mk(i), 99), pkt::kNoFlow);
   // Table remains usable after clear.
   EXPECT_NE(t.insert(mk(5), 1), pkt::kNoFlow);
+}
+
+TEST(FlowTable, ChurnAtCapStaysConsistent) {
+  // Sustained churn far past the record cap: the free list never grows past
+  // max_records, every insert beyond it recycles the LRU entry, and the
+  // most recent kCap keys always remain resolvable (two-stage lookup, as
+  // the burst path probes).
+  constexpr std::uint32_t kCap = 64;
+  FlowTable t(256, 4, kCap);
+  netbase::SimTime now = 0;
+  for (std::uint32_t i = 0; i < 10 * kCap; ++i) {
+    auto k = mk(i);
+    t.insert(k, k.hash(), ++now);
+    ASSERT_LE(t.active(), kCap);
+    ASSERT_LE(t.capacity(), kCap);
+  }
+  EXPECT_EQ(t.active(), kCap);
+  EXPECT_EQ(t.stats().recycled, 9 * kCap);
+  // The newest kCap flows survived; everything older was recycled.
+  for (std::uint32_t i = 9 * kCap; i < 10 * kCap; ++i) {
+    auto k = mk(i);
+    EXPECT_NE(t.lookup(k, k.hash(), now), pkt::kNoFlow) << i;
+  }
+  for (std::uint32_t i = 0; i < kCap; ++i) {
+    auto k = mk(i);
+    EXPECT_EQ(t.lookup(k, k.hash(), now), pkt::kNoFlow) << i;
+  }
+}
+
+TEST(FlowTable, ExpireIdleThenPrecomputedHashLookup) {
+  // expire_idle must unchain records such that the two-stage (precomputed
+  // hash) probe agrees with the key-only probe, and reinsertion after
+  // expiry produces a findable record with the stored hash refreshed.
+  FlowTable t(64, 8, 64);
+  auto k1 = mk(1), k2 = mk(2), k3 = mk(3);
+  t.insert(k1, k1.hash(), 100);
+  t.insert(k2, k2.hash(), 200);
+  t.insert(k3, k3.hash(), 300);
+  t.lookup(k1, k1.hash(), 400);        // refresh flow 1
+  EXPECT_EQ(t.expire_idle(250), 1u);   // only flow 2 idle since before 250
+  EXPECT_EQ(t.lookup(k2, k2.hash(), 500), pkt::kNoFlow);
+  EXPECT_EQ(t.lookup(k2, 500), pkt::kNoFlow);
+  auto i2 = t.insert(k2, k2.hash(), 600);
+  ASSERT_NE(i2, pkt::kNoFlow);
+  EXPECT_EQ(t.rec(i2).hash, k2.hash());
+  EXPECT_EQ(t.lookup(k2, k2.hash(), 700), i2);
+}
+
+TEST(FlowTable, TouchMatchesLookupHitAccounting) {
+  // The burst path's last-flow memo refreshes via touch(); its effect on
+  // the record and the stats must be indistinguishable from a lookup hit.
+  FlowTable t(64, 8, 64);
+  auto k = mk(7);
+  auto i = t.insert(k, k.hash(), 10);
+  t.touch(i, 20);
+  EXPECT_EQ(t.rec(i).last_used, 20);
+  EXPECT_EQ(t.rec(i).packets, 1u);
+  EXPECT_EQ(t.stats().hits, 1u);
+  t.lookup(k, k.hash(), 30);
+  EXPECT_EQ(t.rec(i).packets, 2u);
+  EXPECT_EQ(t.stats().hits, 2u);
+  // touch() refreshes LRU position: with the cap full, the touched entry
+  // must not be the recycling victim.
+  FlowTable t2(64, 4, 4);
+  pkt::FlowIndex first = t2.insert(mk(0), 0);
+  for (std::uint32_t i2 = 1; i2 < 4; ++i2) t2.insert(mk(i2), i2);
+  t2.touch(first, 50);
+  t2.insert(mk(99), 60);  // must evict mk(1), not the touched mk(0)
+  EXPECT_NE(t2.lookup(mk(0), 70), pkt::kNoFlow);
+  EXPECT_EQ(t2.lookup(mk(1), 70), pkt::kNoFlow);
+}
+
+TEST(FlowTable, PrefetchHasNoObservableEffect) {
+  // prefetch()/prefetch_record() are pure performance hints: legal on any
+  // hash (empty bucket, populated bucket) and invisible to stats/state.
+  FlowTable t(64, 8, 64);
+  auto k = mk(3);
+  t.prefetch(k.hash());
+  t.prefetch_record(k.hash());  // empty bucket: must not dereference
+  auto i = t.insert(k, k.hash(), 1);
+  t.prefetch(k.hash());
+  t.prefetch_record(k.hash());
+  EXPECT_EQ(t.stats().hits, 0u);
+  EXPECT_EQ(t.stats().misses, 0u);
+  EXPECT_EQ(t.rec(i).packets, 0u);
+  EXPECT_EQ(t.lookup(k, k.hash(), 2), i);
+}
+
+TEST(FlowKeyHash, SensitiveToEveryField) {
+  // Each component of the six-tuple must perturb the hash — the flow table
+  // compares stored hashes before keys, so a field the hash ignores would
+  // silently degrade every chain with near-identical keys.
+  pkt::FlowKey base = mk(42);
+  const std::uint64_t h = base.hash();
+  auto differs = [&](pkt::FlowKey k) { return k.hash() != h; };
+  pkt::FlowKey k = base;
+  k.src = netbase::IpAddr(netbase::Ipv4Addr(9, 9, 9, 9));
+  EXPECT_TRUE(differs(k));
+  k = base;
+  k.dst = netbase::IpAddr(netbase::Ipv4Addr(9, 9, 9, 9));
+  EXPECT_TRUE(differs(k));
+  k = base;
+  k.proto = 6;
+  EXPECT_TRUE(differs(k));
+  k = base;
+  k.sport = static_cast<std::uint16_t>(base.sport + 1);
+  EXPECT_TRUE(differs(k));
+  k = base;
+  k.dport = static_cast<std::uint16_t>(base.dport + 1);
+  EXPECT_TRUE(differs(k));
+}
+
+TEST(FlowKeyHash, LowBitsDistributeSequentialFlows) {
+  // bucket_of() masks the low bits, so sequential flows (the common
+  // pattern: one host, incrementing ports) must spread across buckets
+  // rather than pile up. Bound the worst chain at ~4x the ideal load.
+  constexpr std::size_t kBuckets = 1024;
+  constexpr std::size_t kKeys = 16 * kBuckets;
+  std::vector<std::uint32_t> load(kBuckets, 0);
+  pkt::FlowKey k = mk(1);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    k.sport = static_cast<std::uint16_t>(i);
+    k.dport = static_cast<std::uint16_t>(i >> 16);
+    ++load[k.hash() & (kBuckets - 1)];
+  }
+  const std::uint32_t worst = *std::max_element(load.begin(), load.end());
+  const std::size_t empty =
+      static_cast<std::size_t>(std::count(load.begin(), load.end(), 0u));
+  EXPECT_LE(worst, 64u);                // ideal 16; allow 4x skew
+  EXPECT_LE(empty, kBuckets / 8);       // at most 12.5% empty buckets
 }
 
 TEST(FlowTable, StressRandomOpsAgainstReference) {
