@@ -29,7 +29,7 @@ Sample measure(aiu::FilterTableBase& table,
   netbase::Rng rng(seed);
   // Pre-generate probe keys (half matching, half random).
   std::vector<pkt::FlowKey> keys;
-  const int kProbes = 2000;
+  const int kProbes = rp::bench::scaled(2000, 20);
   keys.reserve(kProbes);
   for (int i = 0; i < kProbes; ++i) {
     keys.push_back(i % 2 ? tgen::random_key(rng)
@@ -56,7 +56,8 @@ int main() {
   std::printf("%8s  %12s %12s  %14s %14s\n", "filters", "dag ns", "linear ns",
               "dag accesses", "lin accesses");
 
-  for (std::size_t n = 16; n <= 16384; n *= 4) {
+  const std::size_t kMaxFilters = rp::bench::scaled<std::size_t>(16384, 256);
+  for (std::size_t n = 16; n <= kMaxFilters; n *= 4) {
     tgen::FilterSetSpec spec;
     spec.count = n;
     spec.seed = n;
@@ -75,7 +76,7 @@ int main() {
     Sample l = measure(lin, filters, n + 1);
     std::printf("%8zu  %12.1f %12.1f  %14.1f %14.1f\n", n, d.ns, l.ns,
                 d.accesses, l.accesses);
-    if (n == 16384) {
+    if (n == kMaxFilters) {
       rp::bench::BenchJson("fa_filter_scaling")
           .num("filters", static_cast<double>(n))
           .num("dag_ns", d.ns)

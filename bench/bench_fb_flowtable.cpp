@@ -110,7 +110,7 @@ BENCHMARK(BM_FlowTableInsertRecycle);
 void emit_json() {
   using Clock = std::chrono::steady_clock;
   constexpr std::size_t kFlows = 1 << 16;
-  constexpr std::size_t kLookups = 1 << 20;
+  const std::size_t kLookups = rp::bench::scaled<std::size_t>(1 << 20, 1 << 12);
   aiu::FlowTable table(1 << 17, kFlows, 1 << 21);
   netbase::Rng rng(kFlows);
   std::vector<pkt::FlowKey> keys;
@@ -145,7 +145,8 @@ void emit_json() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // See bench_ff: the adaptive sweep is skipped in RP_BENCH_SMOKE mode.
+  if (!rp::bench::smoke_mode()) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   emit_json();
   return 0;

@@ -74,7 +74,7 @@ Result run(int gates, std::size_t burst, std::size_t n_filters) {
   }
 
   netbase::Rng rng(7);
-  constexpr int kFlowsMeasured = 200;
+  const int kFlowsMeasured = rp::bench::scaled(200, 10);
   std::uint64_t total = 0, first = 0, cached = 0;
   std::uint64_t first_n = 0, cached_n = 0;
   for (int fl = 0; fl < kFlowsMeasured; ++fl) {

@@ -22,7 +22,8 @@ using namespace rp;
 int main() {
   const std::uint32_t weights[4] = {1, 1, 2, 10};
   const std::uint64_t link_bps = 8'000'000;
-  const netbase::SimTime duration = netbase::kNsPerSec;
+  const netbase::SimTime duration = rp::bench::scaled<netbase::SimTime>(
+      netbase::kNsPerSec, 20 * netbase::kNsPerMs);
 
   core::RouterKernel k;
   mgmt::register_builtin_modules();

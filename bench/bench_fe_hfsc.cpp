@@ -129,7 +129,7 @@ struct OverheadResult {
 OverheadResult overhead_run() {
   // Enqueue+dequeue CPU cost: DRR vs H-FSC (the paper quotes H-FSC's
   // 6.8-10.3 us on a P200 ~ 25-37% overhead vs DRR's ~20%).
-  constexpr int kOps = 200'000;
+  const int kOps = rp::bench::scaled(200'000, 2000);
 
   sched::DrrInstance drr({});
   sched::HfscInstance hfsc({10'000'000, 4096});

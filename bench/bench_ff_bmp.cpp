@@ -88,7 +88,7 @@ namespace {
 // Headline numbers: ns/lookup per engine at 64 Ki IPv4 prefixes.
 void emit_json() {
   using Clock = std::chrono::steady_clock;
-  constexpr std::size_t kLookups = 1 << 20;
+  const std::size_t kLookups = rp::bench::scaled<std::size_t>(1 << 20, 1 << 12);
   rp::bench::BenchJson json("ff_bmp");
   json.num("prefixes", 65536);
   for (const char* engine : {"patricia", "bsl", "cpe"}) {
@@ -110,7 +110,9 @@ void emit_json() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // The google-benchmark sweep sizes itself adaptively and ignores
+  // RP_BENCH_SMOKE; in smoke mode only the headline emit_json pass runs.
+  if (!rp::bench::smoke_mode()) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   emit_json();
   return 0;

@@ -57,7 +57,7 @@ void ablate_collapse() {
     t.prepare();
     netbase::Rng rng(9);
     netbase::MemAccess::reset();
-    const int kProbes = 3000;
+    const int kProbes = rp::bench::scaled(3000, 30);
     for (int i = 0; i < kProbes; ++i)
       t.lookup(tgen::matching_key(filters[rng.below(filters.size())], rng));
     std::printf("%12s %12zu %16.1f\n", collapse ? "on" : "off",
@@ -133,7 +133,7 @@ void ablate_bmp() {
     t.prepare();
     netbase::Rng rng(8);
     std::uint64_t total = 0, worst = 0;
-    const int kProbes = 3000;
+    const int kProbes = rp::bench::scaled(3000, 30);
     for (int i = 0; i < kProbes; ++i) {
       netbase::MemAccess::reset();
       t.lookup(tgen::matching_key(filters[rng.below(filters.size())], rng));
@@ -179,7 +179,7 @@ void compare_grid_of_tries() {
                      const char* name) {
     netbase::Rng rng(12);
     std::uint64_t total = 0, worst = 0;
-    const int kProbes = 3000;
+    const int kProbes = rp::bench::scaled(3000, 30);
     for (int i = 0; i < kProbes; ++i) {
       auto k = tgen::matching_key(filters[rng.below(filters.size())], rng);
       netbase::MemAccess::reset();

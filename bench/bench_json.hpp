@@ -9,9 +9,25 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace rp::bench {
+
+// Smoke mode (RP_BENCH_SMOKE=1 in the environment): every bench shrinks its
+// repetition counts so the whole suite finishes in seconds. CI runs the
+// benches this way (ctest label `bench-smoke`) purely to prove they build,
+// run, and emit their BENCH_JSON line — smoke numbers are meaningless.
+inline bool smoke_mode() {
+  const char* e = std::getenv("RP_BENCH_SMOKE");
+  return e && *e && *e != '0';
+}
+
+// `scaled(full)` -> `full` normally, a ~1-iteration stand-in under smoke.
+template <typename T>
+inline T scaled(T full, T smoke = T{1}) {
+  return smoke_mode() ? smoke : full;
+}
 
 class BenchJson {
  public:

@@ -68,7 +68,7 @@ Row measure(std::size_t n, netbase::IpVersion ver, const char* engine) {
 
   netbase::Rng rng(7);
   std::uint64_t worst = 0, total = 0;
-  constexpr int kProbes = 5000;
+  const int kProbes = rp::bench::scaled(5000, 50);
   for (int i = 0; i < kProbes; ++i) {
     // Probe with keys that match installed filters (worst case walks the
     // full DAG depth) and with random keys.

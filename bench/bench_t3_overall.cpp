@@ -30,7 +30,7 @@ namespace {
 
 constexpr int kFlows = 3;
 constexpr int kPacketsPerFlow = 100;
-constexpr int kReps = 1000;
+const int kReps = rp::bench::scaled(1000, 2);
 constexpr std::size_t kPayload = 8192;  // 8 KB datagrams, no fragmentation
 
 // An empty plugin: the paper's row-2 measurement calls plugins that do

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Full benchmark sweep: Release build, run every bench binary, scrape each
+# one's BENCH_JSON line into a single JSON array.
+#
+#   scripts/bench_all.sh [out.json]     # default out: BENCH_pr2.json
+#
+# Every bench prints exactly one line `BENCH_JSON {...}` (bench/bench_json.hpp);
+# this script owns the build flags and the collection so "the numbers in
+# BENCH_*.json" always means "Release, full iteration counts, this script".
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_pr2.json}"
+build="$repo/build-bench"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== bench_all: Release build =="
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" -j "$jobs" >/dev/null
+
+benches=("$build"/bench/bench_*)
+lines=()
+for b in "${benches[@]}"; do
+  [[ -x "$b" && ! -d "$b" ]] || continue
+  name="$(basename "$b")"
+  echo "== $name =="
+  # Benches must not inherit a stale smoke flag from the environment.
+  line="$(env -u RP_BENCH_SMOKE "$b" | grep '^BENCH_JSON ' | tail -1)" || {
+    echo "error: $name emitted no BENCH_JSON line" >&2
+    exit 1
+  }
+  echo "   ${line#BENCH_JSON }"
+  lines+=("${line#BENCH_JSON }")
+done
+
+{
+  echo "["
+  for i in "${!lines[@]}"; do
+    sep=","
+    [[ "$i" == "$((${#lines[@]} - 1))" ]] && sep=""
+    echo "  ${lines[$i]}$sep"
+  done
+  echo "]"
+} > "$out"
+
+echo "== wrote $out (${#lines[@]} benches) =="

@@ -16,7 +16,13 @@ fast=0
 echo "== tier 1: build + tests (RelWithDebInfo) =="
 cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$repo/build" -j "$jobs"
-ctest --test-dir "$repo/build" --output-on-failure
+ctest --test-dir "$repo/build" --output-on-failure -LE bench-smoke
+
+echo "== bench smoke: every bench runs 1 iteration and emits BENCH_JSON =="
+# RP_BENCH_SMOKE=1 is baked into these tests' environment; this only proves
+# the benches build, run, and emit their line. scripts/bench_all.sh produces
+# the real numbers.
+ctest --test-dir "$repo/build" --output-on-failure -L bench-smoke
 
 if [[ "$fast" == "1" ]]; then
   echo "== skipping sanitizer pass (--fast) =="
@@ -27,7 +33,8 @@ echo "== tier 2: ASan + UBSan test build =="
 cmake -S "$repo" -B "$repo/build-asan" -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build "$repo/build-asan" -j "$jobs" --target rp_tests
+# Only rp_tests is built in the sanitizer tree; exclude the bench smokes.
 ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
-  --output-on-failure
+  --output-on-failure -LE bench-smoke
 
 echo "== ci: all green =="

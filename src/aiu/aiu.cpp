@@ -84,6 +84,9 @@ const FilterRecord* Aiu::classify_uncached(const pkt::FlowKey& key,
 pkt::FlowIndex Aiu::create_flow_entry(pkt::Packet& p) {
   pkt::FlowIndex i = flows_.insert(p.key, p.flow_hash(), clock_.now());
   FlowRecord& r = flows_.rec(i);
+  // The creating packet is packet #1 of the flow. insert() itself stays
+  // neutral (it is also used to pre-create entries), so count it here.
+  r.packets = 1;
   // n gates -> n filter-table lookups, one flow entry (Section 3.2).
   for (std::size_t g = 0; g < kNumGates; ++g) {
     if (!tables_[g]) continue;
@@ -124,6 +127,9 @@ GateBinding* Aiu::gate_lookup(pkt::Packet& p, plugin::PluginType gate) {
   pkt::FlowIndex i = flows_.lookup(p.key, p.flow_hash(), clock_.now());
   if (i == pkt::kNoFlow) i = create_flow_entry(p);
   p.fix = i;
+  // Ingress byte accounting (once per packet: fix was kNoFlow until here);
+  // the record line is already hot from the probe.
+  flows_.rec(i).bytes += p.size();
   return &flows_.rec(i).gates[gi];
 }
 
@@ -162,11 +168,13 @@ void Aiu::resolve_flows_burst(std::span<pkt::Packet* const> pkts) {
       if (last && hashes[i] == last_hash && p.key == last->key) {
         flows_.touch(last_fix, now);
         p.fix = last_fix;
+        flows_.rec(last_fix).bytes += p.size();
         continue;
       }
       pkt::FlowIndex f = flows_.lookup(p.key, hashes[i], now);
       if (f == pkt::kNoFlow) f = create_flow_entry(p);
       p.fix = f;
+      flows_.rec(f).bytes += p.size();
       last = &p;
       last_hash = hashes[i];
       last_fix = f;

@@ -101,7 +101,7 @@ pkt::FlowIndex FlowTable::insert(const pkt::FlowKey& key, std::uint64_t hash,
     // Record cap reached: recycle the oldest entry (§5.2 item 4).
     i = lru_tail_;
     assert(i >= 0);
-    remove(i);
+    remove(i, RemoveReason::recycled);
     ++stats_.recycled;
     --stats_.removed;  // recycling is not an explicit removal
     i = free_head_;
@@ -113,6 +113,7 @@ pkt::FlowIndex FlowTable::insert(const pkt::FlowKey& key, std::uint64_t hash,
   r.key = key;
   r.hash = hash;
   r.last_used = now;
+  r.first_seen = now;
   r.in_use = true;
   r.bucket = bucket_of(hash);
   r.hash_next = buckets_[r.bucket];
@@ -123,7 +124,7 @@ pkt::FlowIndex FlowTable::insert(const pkt::FlowKey& key, std::uint64_t hash,
   return i;
 }
 
-void FlowTable::remove(pkt::FlowIndex i) {
+void FlowTable::remove(pkt::FlowIndex i, RemoveReason why) {
   FlowRecord& r = recs_[i];
   if (!r.in_use) return;
   // Give each plugin a chance to free its per-flow soft state.
@@ -131,6 +132,8 @@ void FlowTable::remove(pkt::FlowIndex i) {
     if (g.instance && g.soft) g.instance->flow_removed(g.soft);
     g = {};
   }
+  // Accounting export point: the record still holds key/packets/bytes.
+  if (remove_hook_) remove_hook_(r, why);
   unchain(i);
   lru_unlink(i);
   r.in_use = false;
@@ -146,7 +149,7 @@ std::size_t FlowTable::purge_instance(const plugin::PluginInstance* inst) {
     if (!recs_[i].in_use) continue;
     for (const auto& g : recs_[i].gates) {
       if (g.instance == inst) {
-        remove(static_cast<pkt::FlowIndex>(i));
+        remove(static_cast<pkt::FlowIndex>(i), RemoveReason::purged);
         ++n;
         break;
       }
@@ -161,7 +164,7 @@ std::size_t FlowTable::purge_filter(const FilterRecord* filter) {
     if (!recs_[i].in_use) continue;
     for (const auto& g : recs_[i].gates) {
       if (g.filter == filter) {
-        remove(static_cast<pkt::FlowIndex>(i));
+        remove(static_cast<pkt::FlowIndex>(i), RemoveReason::purged);
         ++n;
         break;
       }
@@ -174,7 +177,7 @@ std::size_t FlowTable::expire_idle(netbase::SimTime cutoff) {
   std::size_t n = 0;
   // Walk from the LRU tail; stop at the first fresh entry.
   while (lru_tail_ >= 0 && recs_[lru_tail_].last_used < cutoff) {
-    remove(lru_tail_);
+    remove(lru_tail_, RemoveReason::expired);
     ++n;
   }
   return n;
@@ -182,7 +185,8 @@ std::size_t FlowTable::expire_idle(netbase::SimTime cutoff) {
 
 void FlowTable::clear() {
   for (std::size_t i = 0; i < recs_.size(); ++i)
-    if (recs_[i].in_use) remove(static_cast<pkt::FlowIndex>(i));
+    if (recs_[i].in_use)
+      remove(static_cast<pkt::FlowIndex>(i), RemoveReason::cleared);
 }
 
 }  // namespace rp::aiu

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "aiu/filter_table.hpp"
@@ -37,7 +38,12 @@ struct FlowRecord {
   std::uint64_t hash{0};  // full key hash, compared before the key itself
   GateBinding gates[kNumGates]{};
   netbase::SimTime last_used{0};
+  netbase::SimTime first_seen{0};
   std::uint64_t packets{0};
+  // L3 bytes at ingress, accumulated by the AIU's burst resolver; together
+  // with packets/first_seen/last_used this makes every entry a NetFlow-style
+  // accounting record the telemetry subsystem exports when the entry dies.
+  std::uint64_t bytes{0};
   bool in_use{false};
 
   std::int32_t hash_next{-1};
@@ -48,6 +54,20 @@ struct FlowRecord {
 
 class FlowTable {
  public:
+  // Why an entry is leaving the table; forwarded to the remove hook so a
+  // flow-export subsystem can label its records.
+  enum class RemoveReason : std::uint8_t {
+    removed = 0,  // explicit remove()
+    recycled,     // LRU eviction at the record cap
+    expired,      // idle-timeout sweep
+    purged,       // instance/filter teardown
+    cleared,      // table flush
+  };
+  // Observes every entry removal, after the flow_removed plugin callbacks
+  // and before the record is wiped (control path only; remove is never on
+  // the per-packet fast path).
+  using RemoveHook = std::function<void(const FlowRecord&, RemoveReason)>;
+
   struct Stats {
     std::uint64_t hits{0};
     std::uint64_t misses{0};
@@ -115,7 +135,10 @@ class FlowTable {
 
   // Removes an entry, invoking each bound instance's flow_removed callback
   // for its soft state.
-  void remove(pkt::FlowIndex i);
+  void remove(pkt::FlowIndex i) { remove(i, RemoveReason::removed); }
+  void remove(pkt::FlowIndex i, RemoveReason why);
+
+  void set_remove_hook(RemoveHook hook) { remove_hook_ = std::move(hook); }
 
   // Removes every flow with a binding to `inst` / derived from `filter`.
   std::size_t purge_instance(const plugin::PluginInstance* inst);
@@ -149,6 +172,7 @@ class FlowTable {
   std::size_t max_records_;
   std::size_t active_{0};
   Stats stats_;
+  RemoveHook remove_hook_;
 };
 
 }  // namespace rp::aiu

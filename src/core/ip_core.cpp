@@ -44,6 +44,8 @@ void IpCore::process_burst(std::span<pkt::PacketPtr> batch) {
        base += aiu::Aiu::kMaxBurst) {
     auto chunk = batch.subspan(
         base, std::min(aiu::Aiu::kMaxBurst, batch.size() - base));
+    ++counters_.bursts;
+    counters_.burst_packets += chunk.size();
 
     // Stage 1: header validation for the whole chunk (drops fall out here,
     // exactly as in the single-packet path).
@@ -95,14 +97,55 @@ bool IpCore::validate(pkt::PacketPtr& p) {
 }
 
 void IpCore::process_classified(pkt::PacketPtr p) {
+#if RP_TELEMETRY
+  // The sampled 1-in-N take the Traced instantiation; everyone else pays
+  // exactly one counter decrement (sample_tick) over the pre-telemetry code.
+  if (tel_ && tel_->sample_tick()) [[unlikely]]
+    return process_classified_impl<true>(std::move(p), tel_->trace_begin(*p));
+#endif
+  process_classified_impl<false>(std::move(p), nullptr);
+}
+
+template <bool Traced>
+void IpCore::process_classified_impl(pkt::PacketPtr p,
+                                     [[maybe_unused]] telemetry::TraceRecord* tr) {
+  [[maybe_unused]] std::uint64_t t_start = 0;
+  if constexpr (Traced) t_start = telemetry::cycles();
+
+  auto finish_drop = [&](pkt::PacketPtr q, DropReason r) {
+    if constexpr (Traced)
+      tel_->trace_end(tr, telemetry::Disposition::dropped,
+                      static_cast<std::uint8_t>(r), pkt::kAnyIface,
+                      telemetry::cycles() - t_start);
+    drop(std::move(q), r);
+  };
+  // Dispatches one gate, timing the plugin call on the traced instantiation.
+  auto run_gate = [&](PluginType gate, aiu::GateBinding* b) {
+    ++counters_.gate_calls;
+    if constexpr (Traced) {
+      const std::uint64_t c0 = telemetry::cycles();
+      Verdict v = b->instance->handle_packet(*p, &b->soft);
+      tel_->record_gate(tr, gate, static_cast<std::uint8_t>(v),
+                        telemetry::cycles() - c0);
+      return v;
+    } else {
+      return b->instance->handle_packet(*p, &b->soft);
+    }
+  };
+
   // ---- pre-routing gates (Section 3.2) ----
   for (PluginType gate : cfg_.input_gates) {
     aiu::GateBinding* b = aiu_.gate_lookup(*p, gate);
     if (!b || !b->instance) continue;  // no plugin bound for this flow
-    ++counters_.gate_calls;
-    Verdict v = b->instance->handle_packet(*p, &b->soft);
-    if (v == Verdict::drop) return drop(std::move(p), DropReason::policy);
-    if (v == Verdict::consumed) return;  // plugin took the packet
+    Verdict v = run_gate(gate, b);
+    if (v == Verdict::drop)
+      return finish_drop(std::move(p), DropReason::policy);
+    if (v == Verdict::consumed) {  // plugin took the packet
+      if constexpr (Traced)
+        tel_->trace_end(tr, telemetry::Disposition::consumed, 0,
+                        pkt::kAnyIface, telemetry::cycles() - t_start);
+      return;
+    }
   }
 
   // ---- forwarding decision ----
@@ -110,9 +153,8 @@ void IpCore::process_classified(pkt::PacketPtr p) {
   if (p->out_iface == pkt::kAnyIface) {
     aiu::GateBinding* b = aiu_.gate_lookup(*p, PluginType::routing);
     if (b && b->instance) {
-      ++counters_.gate_calls;
-      if (b->instance->handle_packet(*p, &b->soft) == Verdict::drop)
-        return drop(std::move(p), DropReason::policy);
+      if (run_gate(PluginType::routing, b) == Verdict::drop)
+        return finish_drop(std::move(p), DropReason::policy);
     }
   }
   if (p->out_iface == pkt::kAnyIface) {
@@ -120,12 +162,12 @@ void IpCore::process_classified(pkt::PacketPtr p) {
     if (!hop) {
       if (cfg_.emit_icmp_errors && p->ip_version == IpVersion::v4)
         emit_icmp_error(*p, 3, 0);  // destination unreachable
-      return drop(std::move(p), DropReason::no_route);
+      return finish_drop(std::move(p), DropReason::no_route);
     }
     p->out_iface = hop->out_iface;
   }
   if (!ifs_.by_index(p->out_iface))
-    return drop(std::move(p), DropReason::no_route);
+    return finish_drop(std::move(p), DropReason::no_route);
 
   // ---- TTL / hop limit, with RFC 1624 incremental checksum update ----
   // Fetch the header pointer only now: gate plugins (AH/ESP) may have
@@ -159,39 +201,83 @@ void IpCore::process_classified(pkt::PacketPtr p) {
         else
           emit_icmpv6_error(*p, 2, 0, static_cast<std::uint32_t>(mtu));
       }
-      return drop(std::move(p), DropReason::too_big);
+      return finish_drop(std::move(p), DropReason::too_big);
     }
     auto frags = fragment_ipv4(std::move(p), mtu);
     if (frags.empty())
-      return drop(nullptr, DropReason::malformed);
+      return finish_drop(nullptr, DropReason::malformed);
     counters_.fragments_created += frags.size();
-    for (auto& f : frags) enqueue_output(std::move(f), b);
+    // The trace follows the first fragment through the output stage.
+    bool first = true;
+    for (auto& f : frags) {
+      enqueue_output<Traced>(std::move(f), b, first ? tr : nullptr, t_start);
+      first = false;
+    }
     return;
   }
-  enqueue_output(std::move(p), b);
+  enqueue_output<Traced>(std::move(p), b, tr, t_start);
 }
 
-void IpCore::enqueue_output(pkt::PacketPtr p, aiu::GateBinding* b) {
-  Port& out = port(p->out_iface);
+template <bool Traced>
+void IpCore::enqueue_output(pkt::PacketPtr p, aiu::GateBinding* b,
+                            [[maybe_unused]] telemetry::TraceRecord* tr,
+                            [[maybe_unused]] std::uint64_t t_start) {
+  const pkt::IfIndex oif = p->out_iface;
+  Port& out = port(oif);
   OutputScheduler* sched =
       b && b->instance ? static_cast<OutputScheduler*>(b->instance)
                        : out.sched;
   ++counters_.forwarded;
   if (sched) {
     ++counters_.gate_calls;
-    if (!sched->enqueue(std::move(p), b && b->instance ? &b->soft : nullptr,
-                        clock_.now())) {
+    bool accepted;
+    if constexpr (Traced) {
+      const std::uint64_t c0 = telemetry::cycles();
+      accepted = sched->enqueue(std::move(p),
+                                b && b->instance ? &b->soft : nullptr,
+                                clock_.now());
+      if (tr)
+        tel_->record_gate(tr, PluginType::sched,
+                          static_cast<std::uint8_t>(accepted
+                                                        ? Verdict::consumed
+                                                        : Verdict::drop),
+                          telemetry::cycles() - c0);
+    } else {
+      accepted = sched->enqueue(std::move(p),
+                                b && b->instance ? &b->soft : nullptr,
+                                clock_.now());
+    }
+    if (!accepted) {
       --counters_.forwarded;
       ++counters_.drops[static_cast<std::size_t>(DropReason::queue_full)];
+      if constexpr (Traced)
+        if (tr)
+          tel_->trace_end(tr, telemetry::Disposition::dropped,
+                          static_cast<std::uint8_t>(DropReason::queue_full),
+                          oif, telemetry::cycles() - t_start);
+      return;
     }
+    if constexpr (Traced)
+      if (tr)
+        tel_->trace_end(tr, telemetry::Disposition::queued, 0, oif,
+                        telemetry::cycles() - t_start);
     return;
   }
   if (out.fifo.size() >= cfg_.port_fifo_limit) {
     --counters_.forwarded;
     ++counters_.drops[static_cast<std::size_t>(DropReason::queue_full)];
+    if constexpr (Traced)
+      if (tr)
+        tel_->trace_end(tr, telemetry::Disposition::dropped,
+                        static_cast<std::uint8_t>(DropReason::queue_full),
+                        oif, telemetry::cycles() - t_start);
     return;
   }
   out.fifo.push_back(std::move(p));
+  if constexpr (Traced)
+    if (tr)
+      tel_->trace_end(tr, telemetry::Disposition::queued, 0, oif,
+                      telemetry::cycles() - t_start);
 }
 
 std::vector<pkt::PacketPtr> IpCore::fragment_ipv4(pkt::PacketPtr p,

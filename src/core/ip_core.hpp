@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "aiu/aiu.hpp"
@@ -21,6 +22,7 @@
 #include "core/scheduler_base.hpp"
 #include "netdev/iftable.hpp"
 #include "route/routing_table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rp::core {
 
@@ -35,6 +37,21 @@ enum class DropReason : std::uint8_t {
   too_big,      // exceeds the output MTU and cannot be fragmented
   kCount,
 };
+
+constexpr std::string_view to_string(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::none: return "none";
+    case DropReason::malformed: return "malformed";
+    case DropReason::bad_checksum: return "bad_checksum";
+    case DropReason::ttl_expired: return "ttl_expired";
+    case DropReason::no_route: return "no_route";
+    case DropReason::policy: return "policy";
+    case DropReason::queue_full: return "queue_full";
+    case DropReason::too_big: return "too_big";
+    case DropReason::kCount: break;
+  }
+  return "unknown";
+}
 
 struct CoreConfig {
   bool verify_ipv4_checksum{true};
@@ -56,6 +73,8 @@ struct CoreCounters {
   std::uint64_t gate_calls{0};
   std::uint64_t icmp_errors_sent{0};
   std::uint64_t fragments_created{0};
+  std::uint64_t bursts{0};         // process_burst chunks entered
+  std::uint64_t burst_packets{0};  // packets entering via those chunks
 
   std::uint64_t dropped(DropReason r) const noexcept {
     return drops[static_cast<std::size_t>(r)];
@@ -110,8 +129,18 @@ class IpCore final : public DataPath {
   }
 
   const CoreCounters& counters() const noexcept { return counters_; }
-  void reset_counters() noexcept { counters_ = {}; }
+  // Resets every CoreCounters field — received/forwarded/drops AND the
+  // derived-rate counters (gate_calls, bursts, burst_packets) — so a
+  // measurement window started after reset is consistent across the
+  // process() and process_burst() entry points.
+  void reset_counters() noexcept { counters_ = CoreCounters{}; }
   CoreConfig& config() noexcept { return cfg_; }
+
+  // Attach the telemetry subsystem (histograms + sampled tracing recorded
+  // around gate dispatch). Null detaches; with RP_TELEMETRY=0 the
+  // instrumentation is compiled out and this is inert.
+  void set_telemetry(telemetry::Telemetry* t) noexcept { tel_ = t; }
+  telemetry::Telemetry* telemetry_sink() const noexcept { return tel_; }
 
  private:
   struct Port {
@@ -124,8 +153,13 @@ class IpCore final : public DataPath {
   bool validate(pkt::PacketPtr& p);
   // Stages 2+3: gates, forwarding decision, TTL decrement, MTU handling,
   // output enqueue. The flow index is already resolved (or resolvable via
-  // the per-gate slow path when the cache is disabled).
+  // the per-gate slow path when the cache is disabled). The dispatcher picks
+  // the Traced instantiation for the telemetry-sampled 1-in-N packets; both
+  // share one body so the paths cannot diverge, and the untraced
+  // instantiation compiles to the exact pre-telemetry code.
   void process_classified(pkt::PacketPtr p);
+  template <bool Traced>
+  void process_classified_impl(pkt::PacketPtr p, telemetry::TraceRecord* tr);
 
   void drop(pkt::PacketPtr p, DropReason r);
   void emit_icmp_error(const pkt::Packet& orig, std::uint8_t type,
@@ -137,7 +171,9 @@ class IpCore final : public DataPath {
   // RFC 791 fragmentation toward an output MTU; returns the fragments (the
   // original is consumed). Empty on DF or malformed input.
   std::vector<pkt::PacketPtr> fragment_ipv4(pkt::PacketPtr p, std::size_t mtu);
-  void enqueue_output(pkt::PacketPtr p, aiu::GateBinding* b);
+  template <bool Traced>
+  void enqueue_output(pkt::PacketPtr p, aiu::GateBinding* b,
+                      telemetry::TraceRecord* tr, std::uint64_t t_start);
   Port& port(pkt::IfIndex iface);
 
   aiu::Aiu& aiu_;
@@ -148,6 +184,7 @@ class IpCore final : public DataPath {
   // deque: resize never relocates existing Ports (their FIFOs are move-only)
   std::deque<Port> ports_;
   CoreCounters counters_;
+  telemetry::Telemetry* tel_{nullptr};
 };
 
 }  // namespace rp::core

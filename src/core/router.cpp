@@ -6,9 +6,26 @@ namespace rp::core {
 
 RouterKernel::RouterKernel() : RouterKernel(Options{}) {}
 
+namespace {
+
+telemetry::ExportReason export_reason(aiu::FlowTable::RemoveReason why) {
+  using R = aiu::FlowTable::RemoveReason;
+  switch (why) {
+    case R::recycled: return telemetry::ExportReason::recycled;
+    case R::expired: return telemetry::ExportReason::expired;
+    case R::purged: return telemetry::ExportReason::purged;
+    case R::cleared: return telemetry::ExportReason::cleared;
+    case R::removed: break;
+  }
+  return telemetry::ExportReason::removed;
+}
+
+}  // namespace
+
 RouterKernel::RouterKernel(Options opt)
     : loader_(pcu_),
       routes_(opt.route_engine),
+      telemetry_(std::make_unique<telemetry::Telemetry>(opt.telemetry)),
       aiu_(std::make_unique<aiu::Aiu>(pcu_, clock_, opt.aiu)),
       core_(std::make_unique<IpCore>(*aiu_, routes_, ifs_, clock_,
                                      std::move(opt.core))),
@@ -18,6 +35,15 @@ RouterKernel::RouterKernel(Options opt)
   // is scheduling (the AIU's hook handles flow/filter references).
   pcu_.add_purge_hook(
       [this](plugin::PluginInstance* inst) { core_->detach_scheduler(inst); });
+  // Telemetry: gate histograms + sampled tracing in the core, and flow-record
+  // export whenever a flow-table entry dies (the AIU's soft state already
+  // accumulates packets/bytes/first/last — §6's accounting made router-wide).
+  core_->set_telemetry(telemetry_.get());
+  aiu_->flow_table().set_remove_hook(
+      [this](const aiu::FlowRecord& r, aiu::FlowTable::RemoveReason why) {
+        telemetry_->flow_closed({r.key, r.packets, r.bytes, r.first_seen,
+                                 r.last_used, export_reason(why)});
+      });
 }
 
 RouterKernel::~RouterKernel() = default;

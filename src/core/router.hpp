@@ -21,6 +21,7 @@
 #include "plugin/loader.hpp"
 #include "plugin/pcu.hpp"
 #include "route/routing_table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rp::core {
 
@@ -36,6 +37,7 @@ class RouterKernel {
     // entries idle longer than `flow_idle_timeout`. 0 disables sweeping.
     netbase::SimTime flow_idle_timeout{30 * netbase::kNsPerSec};
     netbase::SimTime flow_sweep_interval{netbase::kNsPerSec};
+    telemetry::Telemetry::Options telemetry{};
   };
 
   // Receive bursts: how many ring packets are handed to the core at once
@@ -54,6 +56,7 @@ class RouterKernel {
   netdev::InterfaceTable& interfaces() noexcept { return ifs_; }
   route::RoutingTable& routes() noexcept { return routes_; }
   IpCore& core() noexcept { return *core_; }
+  telemetry::Telemetry& telemetry() noexcept { return *telemetry_; }
 
   // Convenience: add a NIC (see InterfaceTable::add).
   netdev::SimNic& add_interface(std::string name,
@@ -90,6 +93,9 @@ class RouterKernel {
   plugin::PluginLoader loader_;
   netdev::InterfaceTable ifs_;
   route::RoutingTable routes_;
+  // Declared before aiu_: the flow table's remove hook exports records into
+  // telemetry during Aiu destruction, so telemetry must outlive it.
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::unique_ptr<aiu::Aiu> aiu_;
   std::unique_ptr<IpCore> core_;
 

@@ -1,7 +1,10 @@
 #include "mgmt/pmgr.hpp"
 
 #include <charconv>
+#include <memory>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace rp::mgmt {
 
@@ -43,6 +46,47 @@ plugin::Config parse_kv(const std::vector<std::string>& tok, std::size_t from) {
       cfg.set(tok[i].substr(0, eq), tok[i].substr(eq + 1));
   }
   return cfg;
+}
+
+bool parse_gate(std::string_view s, plugin::PluginType& out) {
+  for (std::uint16_t t = 1; t < telemetry::kGateSlots; ++t) {
+    auto type = static_cast<plugin::PluginType>(t);
+    if (s == plugin::to_string(type)) {
+      out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* verdict_name(std::uint8_t v) {
+  switch (static_cast<plugin::Verdict>(v)) {
+    case plugin::Verdict::cont: return "cont";
+    case plugin::Verdict::consumed: return "consumed";
+    case plugin::Verdict::drop: return "drop";
+  }
+  return "?";
+}
+
+std::string format_trace(const telemetry::TraceRecord& tr) {
+  std::string out = "#" + std::to_string(tr.seq) + " " + tr.key.to_string() +
+                    " if" + std::to_string(tr.in_iface) + "->";
+  out += tr.out_iface == pkt::kAnyIface ? "-"
+                                        : "if" + std::to_string(tr.out_iface);
+  out += " ";
+  out += telemetry::to_string(tr.disposition);
+  if (tr.disposition == telemetry::Disposition::dropped)
+    out += "(" + std::string(core::to_string(
+                     static_cast<core::DropReason>(tr.drop_reason))) +
+           ")";
+  out += " cycles=" + std::to_string(tr.total_cycles);
+  for (std::uint8_t i = 0; i < tr.n_steps; ++i) {
+    const auto& s = tr.steps[i];
+    out += std::string("\n    ") + std::string(plugin::to_string(s.gate)) +
+           ": " + verdict_name(s.verdict) + " " + std::to_string(s.cycles) +
+           "cy";
+  }
+  return out;
 }
 
 std::string join_from(const std::vector<std::string>& tok, std::size_t from) {
@@ -143,6 +187,114 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
                 std::to_string(table->size());
     }
     return {Status::ok, text};
+  }
+  if (cmd == "telemetry") {
+    auto& tel = lib_.kernel().telemetry();
+    // telemetry -> one-screen summary of the observability state.
+    if (tok.size() == 1) {
+      const auto& cc = lib_.kernel().core().counters();
+      std::string text =
+          "sampling: 1-in-" +
+          (tel.sample_every() ? std::to_string(tel.sample_every())
+                              : std::string("off")) +
+          " samples=" + std::to_string(tel.samples()) +
+          " traces=" + std::to_string(tel.traces().captured()) + "/" +
+          std::to_string(tel.traces().capacity()) +
+          "\nflow-export: records=" + std::to_string(tel.flows_exported()) +
+          " sink=" + tel.sink().describe() +
+          "\ncore: received=" + std::to_string(cc.received) +
+          " forwarded=" + std::to_string(cc.forwarded) +
+          " gate_calls=" + std::to_string(cc.gate_calls) +
+          " bursts=" + std::to_string(cc.bursts) +
+          "\ndrops: total=" + std::to_string(cc.total_drops());
+      for (std::size_t r = 1; r < static_cast<std::size_t>(core::DropReason::kCount); ++r)
+        if (cc.drops[r])
+          text += " " + std::string(core::to_string(
+                            static_cast<core::DropReason>(r))) +
+                  "=" + std::to_string(cc.drops[r]);
+      return {Status::ok, text};
+    }
+    const std::string& sub = tok[1];
+    if (sub == "hist") {
+      // telemetry hist            -> whole-pipeline cycle histogram
+      // telemetry hist <gate>     -> per-gate histogram (ipopt, ipsec, ...)
+      if (tok.size() == 2)
+        return {Status::ok, "pipeline: " + tel.pipeline_hist().to_string()};
+      plugin::PluginType gate;
+      if (tok.size() != 3 || !parse_gate(tok[2], gate))
+        return usage("telemetry hist [gate]");
+      return {Status::ok, std::string(plugin::to_string(gate)) + ": " +
+                              tel.gate_hist(gate).to_string()};
+    }
+    if (sub == "trace") {
+      // telemetry trace [n] -> the n most recent sampled path traces.
+      std::uint32_t n = 8;
+      if (tok.size() > 3 || (tok.size() == 3 && !parse_u32(tok[2], n)))
+        return usage("telemetry trace [n]");
+      const auto& ring = tel.traces();
+      if (n > ring.stored()) n = static_cast<std::uint32_t>(ring.stored());
+      std::string text;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!text.empty()) text += "\n";
+        text += format_trace(ring.recent(i));
+      }
+      return {Status::ok, text.empty() ? "no traces captured" : text};
+    }
+    if (sub == "sample") {
+      // telemetry sample <N|off> -> instrument 1-in-N packets.
+      std::uint32_t n = 0;
+      if (tok.size() != 3 || (tok[2] != "off" && !parse_u32(tok[2], n)))
+        return usage("telemetry sample <N|off>");
+      tel.set_sample_every(n);
+      return {Status::ok, n ? "sampling 1-in-" + std::to_string(n)
+                            : std::string("sampling off")};
+    }
+    if (sub == "export") {
+      // telemetry export -> snapshot every live flow-table entry through the
+      // sink (reason=on-demand); eviction/expiry exports happen on their own.
+      auto& ft = lib_.kernel().aiu().flow_table();
+      std::size_t n = 0;
+      for (pkt::FlowIndex i = 0; i < ft.capacity(); ++i) {
+        const auto& r = ft.rec(i);
+        if (!r.in_use) continue;
+        tel.flow_closed({r.key, r.packets, r.bytes, r.first_seen, r.last_used,
+                         telemetry::ExportReason::on_demand});
+        ++n;
+      }
+      tel.sink().flush();
+      return {Status::ok, "exported " + std::to_string(n) + " live flows"};
+    }
+    if (sub == "sink") {
+      // telemetry sink mem | telemetry sink jsonl <path>
+      if (tok.size() == 3 && tok[2] == "mem") {
+        tel.set_sink(std::make_unique<telemetry::MemorySink>());
+        return {Status::ok, tel.sink().describe()};
+      }
+      if (tok.size() == 4 && tok[2] == "jsonl") {
+        auto sink = std::make_unique<telemetry::JsonlFileSink>(tok[3]);
+        if (!sink->ok())
+          return {Status::invalid_argument, "cannot open " + tok[3]};
+        tel.set_sink(std::move(sink));
+        return {Status::ok, tel.sink().describe()};
+      }
+      return usage("telemetry sink <mem | jsonl <path>>");
+    }
+    if (sub == "metrics") {
+      // telemetry metrics -> every counter plugins registered (docs §8).
+      std::string text = telemetry::metrics().report();
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      return {Status::ok, text.empty() ? "no metrics registered" : text};
+    }
+    if (sub == "reset") {
+      // Clears histograms/traces/sample counters AND the core counters so a
+      // measurement window is consistent across both surfaces.
+      tel.reset();
+      lib_.kernel().core().reset_counters();
+      return {Status::ok, "telemetry reset"};
+    }
+    return usage(
+        "telemetry [hist [gate] | trace [n] | sample <N|off> | export | "
+        "sink <mem|jsonl <path>> | metrics | reset]");
   }
   if (cmd == "route") {
     if (tok.size() == 4 && tok[1] == "add") {

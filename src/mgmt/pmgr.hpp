@@ -14,6 +14,14 @@
 //   attach <plugin> <id> <iface>        make a scheduler the port discipline
 //   route add <prefix> <iface>          add a route
 //   aiu                                 classifier/flow-cache statistics
+//   telemetry                           observability summary (drops by name)
+//   telemetry hist [gate]               pipeline / per-gate cycle histogram
+//   telemetry trace [n]                 n most recent sampled path traces
+//   telemetry sample <N|off>            instrument 1-in-N packets
+//   telemetry export                    flow-export snapshot of live flows
+//   telemetry sink <mem|jsonl <path>>   choose the flow-record sink
+//   telemetry metrics                   plugin-registered counters (docs §8)
+//   telemetry reset                     clear histograms/traces/core counters
 //   For k=v values containing spaces (e.g. filter=<a, b, ...>) use commas
 //   instead of spaces inside the value.
 //

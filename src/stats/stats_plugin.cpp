@@ -1,11 +1,25 @@
 #include "stats/stats_plugin.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace rp::stats {
 
 using netbase::Status;
 using plugin::Verdict;
 
+StatsInstance::StatsInstance(Mode mode) : mode_(mode) {
+  // Export the aggregate counters through the telemetry metric registry
+  // (`pmgr> telemetry metrics`); the data path keeps incrementing the same
+  // members it always did — registration is a control-path pointer hand-off.
+  // The worked example for docs/plugin_authoring.md §8.
+  static std::uint64_t next_tag = 0;
+  const std::string prefix = "stats." + std::to_string(next_tag++) + ".";
+  telemetry::metrics().add(prefix + "total_packets", &total_packets_, this);
+  telemetry::metrics().add(prefix + "total_bytes", &total_bytes_, this);
+}
+
 StatsInstance::~StatsInstance() {
+  telemetry::metrics().remove_owner(this);
   for (auto& f : flows_)
     if (f->soft_slot) *f->soft_slot = nullptr;
 }

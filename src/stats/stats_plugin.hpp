@@ -23,7 +23,7 @@ class StatsInstance final : public plugin::PluginInstance {
  public:
   enum class Mode { packets, bytes, sizes };
 
-  explicit StatsInstance(Mode mode) : mode_(mode) {}
+  explicit StatsInstance(Mode mode);
   ~StatsInstance() override;
 
   plugin::Verdict handle_packet(pkt::Packet& p, void** flow_soft) override;

@@ -1,0 +1,30 @@
+// Cheap cycle counter for data-path instrumentation. The paper measures
+// per-packet cost with the Pentium cycle counter; telemetry does the same —
+// a raw TSC read (~20 cycles, no serialization) on x86, the virtual counter
+// on aarch64, and a steady_clock fallback elsewhere. Values are only ever
+// differenced over short spans and bucketed into log2 histograms, so neither
+// TSC/core-clock ratio nor cross-core skew matters here.
+#pragma once
+
+#include <cstdint>
+
+#if !defined(__x86_64__) && !defined(__i386__) && !defined(__aarch64__)
+#include <chrono>
+#endif
+
+namespace rp::telemetry {
+
+inline std::uint64_t cycles() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+}  // namespace rp::telemetry

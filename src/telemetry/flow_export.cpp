@@ -1,0 +1,52 @@
+#include "telemetry/flow_export.hpp"
+
+namespace rp::telemetry {
+
+std::string FlowExportRecord::to_string() const {
+  return key.to_string() + " pkts=" + std::to_string(packets) +
+         " bytes=" + std::to_string(bytes) +
+         " first=" + std::to_string(first_seen) +
+         " last=" + std::to_string(last_seen) + " reason=" +
+         telemetry::to_string(reason);
+}
+
+std::string FlowExportRecord::to_json() const {
+  return std::string("{\"flow\":\"") + key.to_string() +
+         "\",\"packets\":" + std::to_string(packets) +
+         ",\"bytes\":" + std::to_string(bytes) +
+         ",\"first_ns\":" + std::to_string(first_seen) +
+         ",\"last_ns\":" + std::to_string(last_seen) + ",\"reason\":\"" +
+         telemetry::to_string(reason) + "\"}";
+}
+
+std::string MemorySink::describe() const {
+  return "mem(cap=" + std::to_string(ring_.size()) +
+         " written=" + std::to_string(next_) + ")";
+}
+
+JsonlFileSink::JsonlFileSink(std::string path) : path_(std::move(path)) {
+  f_ = std::fopen(path_.c_str(), "a");
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (f_) std::fclose(f_);
+}
+
+void JsonlFileSink::write(const FlowExportRecord& r) {
+  if (!f_) return;
+  const std::string line = r.to_json();
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fputc('\n', f_);
+  ++written_;
+}
+
+void JsonlFileSink::flush() {
+  if (f_) std::fflush(f_);
+}
+
+std::string JsonlFileSink::describe() const {
+  return "jsonl(path=" + path_ + (f_ ? "" : " UNWRITABLE") +
+         " written=" + std::to_string(written_) + ")";
+}
+
+}  // namespace rp::telemetry

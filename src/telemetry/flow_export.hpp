@@ -1,0 +1,112 @@
+// Flow-record export — the NetFlow-v5 idea on top of the AIU's flow cache:
+// every flow-table entry already accumulates packets/bytes/first/last, so
+// when the entry dies (idle expiry, LRU recycling, explicit removal) the
+// router emits an accounting record through a pluggable sink. Sinks are
+// control-path objects; the only data-path cost is the byte accumulation the
+// AIU does on an already-hot cache line.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netbase/clock.hpp"
+#include "pkt/flow_key.hpp"
+
+namespace rp::telemetry {
+
+// Why the record was emitted (superset of the flow table's removal causes).
+enum class ExportReason : std::uint8_t {
+  expired = 0,   // idle timeout sweep
+  recycled,      // LRU eviction at the record cap
+  removed,       // explicit removal
+  purged,        // instance/filter teardown removed the flow
+  cleared,       // table flush (reconfiguration, shutdown)
+  on_demand,     // operator snapshot of a still-live flow
+};
+
+constexpr const char* to_string(ExportReason r) noexcept {
+  switch (r) {
+    case ExportReason::expired: return "expired";
+    case ExportReason::recycled: return "recycled";
+    case ExportReason::removed: return "removed";
+    case ExportReason::purged: return "purged";
+    case ExportReason::cleared: return "cleared";
+    case ExportReason::on_demand: return "on-demand";
+  }
+  return "?";
+}
+
+// The v5-style record: key + counters + first/last timestamps.
+struct FlowExportRecord {
+  pkt::FlowKey key{};
+  std::uint64_t packets{0};
+  std::uint64_t bytes{0};
+  netbase::SimTime first_seen{0};
+  netbase::SimTime last_seen{0};
+  ExportReason reason{ExportReason::expired};
+
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+class FlowSink {
+ public:
+  virtual ~FlowSink() = default;
+  virtual void write(const FlowExportRecord& r) = 0;
+  virtual void flush() {}
+  virtual std::string describe() const = 0;
+};
+
+// Keeps the most recent `capacity` records in memory (overwrite-oldest).
+class MemorySink final : public FlowSink {
+ public:
+  explicit MemorySink(std::size_t capacity = 1024)
+      : ring_(capacity ? capacity : 1) {}
+
+  void write(const FlowExportRecord& r) override {
+    ring_[next_++ % ring_.size()] = r;
+  }
+  std::string describe() const override;
+
+  std::uint64_t written() const noexcept { return next_; }
+  std::size_t stored() const noexcept {
+    return next_ < ring_.size() ? static_cast<std::size_t>(next_)
+                                : ring_.size();
+  }
+  // i = 0 is the most recent record.
+  const FlowExportRecord& recent(std::size_t i) const noexcept {
+    return ring_[(next_ - 1 - i) % ring_.size()];
+  }
+
+ private:
+  std::vector<FlowExportRecord> ring_;
+  std::uint64_t next_{0};
+};
+
+// Appends one JSON object per record to a file (JSONL), the standard
+// ingestion format for downstream collectors.
+class JsonlFileSink final : public FlowSink {
+ public:
+  // Throws nothing; a failed open leaves the sink inert (written() stays 0,
+  // ok() false) so a bad path cannot take down the router.
+  explicit JsonlFileSink(std::string path);
+  ~JsonlFileSink() override;
+
+  void write(const FlowExportRecord& r) override;
+  void flush() override;
+  std::string describe() const override;
+
+  bool ok() const noexcept { return f_ != nullptr; }
+  std::uint64_t written() const noexcept { return written_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_{nullptr};
+  std::uint64_t written_{0};
+};
+
+}  // namespace rp::telemetry

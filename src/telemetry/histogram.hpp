@@ -1,0 +1,76 @@
+// Log2-bucketed latency histogram. Bucket k counts samples in
+// [2^(k-1), 2^k) cycles (bucket 0 is the value 0), so one record is a
+// count-leading-zeros plus two increments — cheap enough to sit inside the
+// sampled gate-dispatch path. Fixed storage, no allocation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace rp::telemetry {
+
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 40;  // up to ~2^39 cycles
+
+  std::uint64_t counts[kBuckets]{};
+  std::uint64_t samples{0};
+  std::uint64_t total{0};
+  std::uint64_t max{0};
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    const std::size_t b = 64 - static_cast<std::size_t>(std::countl_zero(v | 1));
+    return v == 0 ? 0 : (b < kBuckets ? b : kBuckets - 1);
+  }
+  // Lower bound of bucket b (inclusive).
+  static constexpr std::uint64_t bucket_floor(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++counts[bucket_of(v)];
+    ++samples;
+    total += v;
+    if (v > max) max = v;
+  }
+
+  double mean() const noexcept {
+    return samples ? static_cast<double>(total) / static_cast<double>(samples)
+                   : 0.0;
+  }
+
+  // Upper bound of the bucket containing the q-quantile sample (q in [0,1]) —
+  // the usual log2-histogram approximation of p50/p99.
+  std::uint64_t quantile(double q) const noexcept {
+    if (!samples) return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(q * samples);
+    if (rank >= samples) rank = samples - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > rank) return b + 1 < kBuckets ? bucket_floor(b + 1) - 1 : max;
+    }
+    return max;
+  }
+
+  void reset() noexcept { *this = LatencyHistogram{}; }
+
+  // One line per non-empty bucket: "[lo,hi) count".
+  std::string to_string() const {
+    std::string out = "samples=" + std::to_string(samples) +
+                      " mean=" + std::to_string(static_cast<std::uint64_t>(mean())) +
+                      " p50<=" + std::to_string(quantile(0.50)) +
+                      " p99<=" + std::to_string(quantile(0.99)) +
+                      " max=" + std::to_string(max) + "\n";
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (!counts[b]) continue;
+      const std::uint64_t lo = bucket_floor(b);
+      const std::uint64_t hi = b + 1 < kBuckets ? bucket_floor(b + 1) : max + 1;
+      out += "  [" + std::to_string(lo) + "," + std::to_string(hi) + ") " +
+             std::to_string(counts[b]) + "\n";
+    }
+    return out;
+  }
+};
+
+}  // namespace rp::telemetry

@@ -1,0 +1,104 @@
+// Sampled path tracing: for 1-in-N packets the core records the full gate
+// sequence — which plugin ran at each gate, its verdict, and its cycle cost —
+// plus the flow key and the packet's final disposition. Records live in a
+// fixed ring that is allocated once; capturing a trace is a pointer bump and
+// a handful of stores, never an allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/clock.hpp"
+#include "pkt/flow_key.hpp"
+#include "plugin/code.hpp"
+
+namespace rp::telemetry {
+
+struct TraceStep {
+  plugin::PluginType gate{plugin::PluginType::none};
+  std::uint8_t verdict{0};  // plugin::Verdict
+  std::uint32_t cycles{0};  // clipped to 32 bits; a gate never runs that long
+};
+
+enum class Disposition : std::uint8_t {
+  in_flight = 0,  // trace started but never finalized (packet mid-pipeline)
+  queued,         // handed to the output stage (scheduler or port FIFO)
+  consumed,       // a plugin took ownership
+  dropped,
+};
+
+constexpr const char* to_string(Disposition d) noexcept {
+  switch (d) {
+    case Disposition::in_flight: return "in-flight";
+    case Disposition::queued: return "queued";
+    case Disposition::consumed: return "consumed";
+    case Disposition::dropped: return "dropped";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  static constexpr std::size_t kMaxSteps = 12;
+
+  std::uint64_t seq{0};  // monotone sample number (ring position proxy)
+  netbase::SimTime arrival{0};
+  pkt::FlowKey key{};
+  pkt::IfIndex in_iface{0};
+  pkt::IfIndex out_iface{pkt::kAnyIface};
+  Disposition disposition{Disposition::in_flight};
+  std::uint8_t drop_reason{0};  // core::DropReason when dropped
+  std::uint8_t n_steps{0};
+  TraceStep steps[kMaxSteps]{};
+  std::uint64_t total_cycles{0};
+
+  void add_step(plugin::PluginType gate, std::uint8_t verdict,
+                std::uint64_t cyc) noexcept {
+    if (n_steps >= kMaxSteps) return;
+    steps[n_steps++] = {gate, verdict,
+                        cyc > 0xffffffffULL
+                            ? 0xffffffffU
+                            : static_cast<std::uint32_t>(cyc)};
+  }
+};
+
+// A default-constructed record to copy from when recycling ring slots.
+// (An lvalue: assigning a braced TraceRecord temporary trips gcc 12 — a
+// rejected `r = {}` in one spot and an ICE in another.)
+inline const TraceRecord kEmptyTraceRecord{};
+
+// Fixed-capacity overwrite-oldest ring of trace records.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity)
+      : ring_(capacity ? capacity : 1) {}
+
+  TraceRecord* begin_record() noexcept {
+    TraceRecord& r = ring_[next_ % ring_.size()];
+    r = kEmptyTraceRecord;
+    r.seq = next_++;
+    return &r;
+  }
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  std::uint64_t captured() const noexcept { return next_; }
+  std::size_t stored() const noexcept {
+    return next_ < ring_.size() ? static_cast<std::size_t>(next_)
+                                : ring_.size();
+  }
+  // i = 0 is the most recent record, i = stored()-1 the oldest retained.
+  const TraceRecord& recent(std::size_t i) const noexcept {
+    return ring_[(next_ - 1 - i) % ring_.size()];
+  }
+
+  void reset() noexcept {
+    next_ = 0;
+    for (auto& r : ring_) r = kEmptyTraceRecord;
+  }
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::uint64_t next_{0};
+};
+
+}  // namespace rp::telemetry

@@ -1,0 +1,10 @@
+#include "telemetry/telemetry.hpp"
+
+namespace rp::telemetry {
+
+MetricRegistry& metrics() {
+  static MetricRegistry reg;
+  return reg;
+}
+
+}  // namespace rp::telemetry

@@ -1,0 +1,194 @@
+// Telemetry — router-wide observability threaded through the datapath:
+//
+//   * per-gate latency histograms: log2-bucketed cycle counts around each
+//     gate dispatch, keyed by plugin::PluginType, plus a whole-pipeline
+//     histogram per sampled packet;
+//   * sampled path tracing: for 1-in-N packets (N runtime-configurable) the
+//     full gate sequence, verdicts, flow key and disposition land in a
+//     fixed ring (path_trace.hpp);
+//   * flow-record export: NetFlow-v5-style records emitted when flow-table
+//     entries die and on operator demand, through a pluggable sink
+//     (flow_export.hpp);
+//   * a process-wide metric registry plugins can export named counters
+//     through (see docs/plugin_authoring.md §8).
+//
+// Cost model: the *unsampled* hot path pays one counter decrement per packet
+// (sample_tick) and nothing else; all timing, tracing, and histogram work
+// happens only on the sampled 1-in-N. Define RP_TELEMETRY=0 to compile even
+// that out of the core (the types and control-path API stay available so
+// nothing else needs to change).
+#pragma once
+
+#ifndef RP_TELEMETRY
+#define RP_TELEMETRY 1
+#endif
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pkt/packet.hpp"
+#include "plugin/code.hpp"
+#include "telemetry/cycles.hpp"
+#include "telemetry/flow_export.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/path_trace.hpp"
+
+namespace rp::telemetry {
+
+// One histogram slot per gate/plugin type (mirrors aiu::kNumGates without
+// depending on the AIU), plus slot 0 for the whole pipeline.
+constexpr std::size_t kGateSlots = 9;
+
+class Telemetry {
+ public:
+  struct Options {
+    // 1-in-N packets instrumented; 0 = off. 128 keeps the measured burst-path
+    // overhead inside the 3% budget (bench_t5_telemetry) while a 256-entry
+    // trace ring still turns over every few ms at line rate.
+    std::uint32_t sample_every{128};
+    std::size_t trace_ring{256};     // trace records retained
+    std::size_t memory_sink_cap{1024};
+  };
+
+  Telemetry() : Telemetry(Options{}) {}
+  explicit Telemetry(Options opt)
+      : opt_(opt),
+        countdown_(opt.sample_every ? 1 : 0),
+        ring_(opt.trace_ring),
+        sink_(std::make_unique<MemorySink>(opt.memory_sink_cap)) {}
+
+  // ---- hot path (everything below runs only for sampled packets) ----
+
+  // One decrement per packet; true on the sampled 1-in-N (the first packet
+  // after enabling sampling is sampled, so short tests see traces).
+  bool sample_tick() noexcept {
+    if (countdown_ == 0) return false;  // sampling off
+    if (--countdown_ > 0) return false;
+    countdown_ = opt_.sample_every;
+    return true;
+  }
+
+  TraceRecord* trace_begin(const pkt::Packet& p) noexcept {
+    TraceRecord* tr = ring_.begin_record();
+    tr->arrival = p.arrival;
+    tr->key = p.key;
+    tr->in_iface = p.in_iface;
+    return tr;
+  }
+
+  // Records one gate dispatch: histogram keyed by gate type + trace step.
+  void record_gate(TraceRecord* tr, plugin::PluginType gate,
+                   std::uint8_t verdict, std::uint64_t cyc) noexcept {
+    const std::size_t gi = static_cast<std::size_t>(gate);
+    gate_hist_[gi < kGateSlots ? gi : 0].record(cyc);
+    tr->add_step(gate, verdict, cyc);
+  }
+
+  void trace_end(TraceRecord* tr, Disposition d, std::uint8_t drop_reason,
+                 pkt::IfIndex out_iface, std::uint64_t total_cyc) noexcept {
+    tr->disposition = d;
+    tr->drop_reason = drop_reason;
+    tr->out_iface = out_iface;
+    tr->total_cycles = total_cyc;
+    pipeline_hist_.record(total_cyc);
+    ++samples_;
+  }
+
+  // ---- flow export (control path: eviction/expiry/teardown + on demand) --
+
+  void flow_closed(const FlowExportRecord& r) {
+    ++flows_exported_;
+    sink_->write(r);
+  }
+
+  void set_sink(std::unique_ptr<FlowSink> sink) {
+    if (sink) sink_ = std::move(sink);
+  }
+  FlowSink& sink() noexcept { return *sink_; }
+
+  // ---- configuration / introspection ----
+
+  void set_sample_every(std::uint32_t n) noexcept {
+    opt_.sample_every = n;
+    countdown_ = n ? 1 : 0;  // 0 disables; otherwise next packet is sampled
+  }
+  std::uint32_t sample_every() const noexcept { return opt_.sample_every; }
+
+  std::uint64_t samples() const noexcept { return samples_; }
+  std::uint64_t flows_exported() const noexcept { return flows_exported_; }
+
+  const LatencyHistogram& gate_hist(plugin::PluginType gate) const noexcept {
+    const std::size_t gi = static_cast<std::size_t>(gate);
+    return gate_hist_[gi < kGateSlots ? gi : 0];
+  }
+  const LatencyHistogram& pipeline_hist() const noexcept {
+    return pipeline_hist_;
+  }
+  const TraceRing& traces() const noexcept { return ring_; }
+
+  // Clears histograms, traces, and counters; sink and sampling config stay.
+  void reset() noexcept {
+    for (auto& h : gate_hist_) h.reset();
+    pipeline_hist_.reset();
+    ring_.reset();
+    samples_ = 0;
+    flows_exported_ = 0;
+    countdown_ = opt_.sample_every ? 1 : 0;
+  }
+
+ private:
+  Options opt_;
+  std::uint32_t countdown_;
+  LatencyHistogram gate_hist_[kGateSlots]{};
+  LatencyHistogram pipeline_hist_{};
+  TraceRing ring_;
+  std::unique_ptr<FlowSink> sink_;
+  std::uint64_t samples_{0};
+  std::uint64_t flows_exported_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Metric registry: plugins export named counters by pointer; the CLI reads
+// them live (`telemetry metrics`). Registration is control-path only — the
+// data path just increments its own counters as it always did. Owners must
+// deregister before the counter's storage dies (instance destructor).
+class MetricRegistry {
+ public:
+  void add(std::string name, const std::uint64_t* counter, const void* owner) {
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.push_back({std::move(name), counter, owner});
+  }
+  void remove_owner(const void* owner) {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::erase_if(entries_, [owner](const Entry& e) { return e.owner == owner; });
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+  }
+  std::string report() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out;
+    for (const auto& e : entries_)
+      out += e.name + "=" + std::to_string(*e.counter) + "\n";
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    const std::uint64_t* counter;
+    const void* owner;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+// The process-wide registry (plugins have no kernel handle at create time;
+// a global mirrors how /proc-style metric surfaces work).
+MetricRegistry& metrics();
+
+}  // namespace rp::telemetry

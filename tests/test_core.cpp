@@ -99,6 +99,53 @@ TEST_F(CoreTest, ForwardsAndDecrementsTtlWithValidChecksum) {
   EXPECT_TRUE(pkt::Ipv4Header::verify_checksum({out->data(), 20}));
 }
 
+TEST_F(CoreTest, ResetCountersZeroesEveryFieldOnBothEntryPoints) {
+  add_plugin("e1", PluginType::ipsec, plugin::Verdict::cont,
+             "10.0.0.0/8 * udp * * *");
+  // Drive both entry points: single-packet process() and a multi-packet
+  // burst, with a mix of forwards and drops.
+  core_.process(udp("10.0.0.1", "20.0.0.5"));
+  core_.process(udp("10.0.0.1", "99.0.0.5"));  // no_route drop
+  pkt::PacketPtr burst[3] = {udp("10.0.0.2", "20.0.0.5"),
+                             udp("10.0.0.3", "20.0.0.5"),
+                             udp("10.0.0.4", "20.0.0.5")};
+  core_.process_burst({burst, 3});
+
+  const CoreCounters& c = core_.counters();
+  EXPECT_EQ(c.received, 5u);
+  EXPECT_EQ(c.forwarded, 4u);
+  EXPECT_EQ(c.total_drops(), 1u);
+  EXPECT_GT(c.gate_calls, 0u);
+  // process() is a burst of one: 2 single + 1 real burst = 3 chunks.
+  EXPECT_EQ(c.bursts, 3u);
+  EXPECT_EQ(c.burst_packets, 5u);
+
+  core_.reset_counters();
+
+  // Every field must read zero — including the counters the burst path
+  // maintains (bursts, burst_packets, gate_calls), which a measurement
+  // window started after reset depends on.
+  EXPECT_EQ(c.received, 0u);
+  EXPECT_EQ(c.forwarded, 0u);
+  EXPECT_EQ(c.total_drops(), 0u);
+  EXPECT_EQ(c.gate_calls, 0u);
+  EXPECT_EQ(c.icmp_errors_sent, 0u);
+  EXPECT_EQ(c.fragments_created, 0u);
+  EXPECT_EQ(c.bursts, 0u);
+  EXPECT_EQ(c.burst_packets, 0u);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(DropReason::kCount); ++r)
+    EXPECT_EQ(c.drops[r], 0u) << "drop reason " << r;
+
+  // Counting resumes cleanly on both paths after the reset.
+  core_.process(udp("10.0.0.5", "20.0.0.5"));
+  pkt::PacketPtr again[2] = {udp("10.0.0.6", "20.0.0.5"),
+                             udp("10.0.0.7", "20.0.0.5")};
+  core_.process_burst({again, 2});
+  EXPECT_EQ(c.received, 3u);
+  EXPECT_EQ(c.bursts, 2u);
+  EXPECT_EQ(c.burst_packets, 3u);
+}
+
 TEST_F(CoreTest, DropsOnNoRoute) {
   core_.process(udp("10.0.0.1", "99.0.0.5"));
   EXPECT_EQ(core_.counters().dropped(DropReason::no_route), 1u);

@@ -2,10 +2,12 @@
 // routing table / L4-switching route plugin.
 #include <gtest/gtest.h>
 
+#include "aiu/flow_table.hpp"
 #include "pkt/builder.hpp"
 #include "route/route_plugin.hpp"
 #include "route/routing_table.hpp"
 #include "stats/stats_plugin.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rp {
 namespace {
@@ -83,6 +85,92 @@ TEST(StatsPlugin, RuntimeModeChangeAndReport) {
 
   setmode.args.set("mode", "bogus");
   EXPECT_EQ(inst.handle_message(setmode, reply), Status::invalid_argument);
+}
+
+TEST(StatsPlugin, ReportListsEveryTrackedFlow) {
+  stats::StatsInstance inst(stats::StatsInstance::Mode::bytes);
+  void* soft_a = nullptr;
+  void* soft_b = nullptr;
+  auto pa = udp(1111);
+  auto pb = udp(2222);
+  inst.handle_packet(*pa, &soft_a);
+  inst.handle_packet(*pb, &soft_b);
+
+  plugin::PluginMsg report;
+  report.custom_name = "report";
+  plugin::PluginReply reply;
+  ASSERT_EQ(inst.handle_message(report, reply), Status::ok);
+  EXPECT_NE(reply.text.find("flows=2"), std::string::npos);
+  EXPECT_NE(reply.text.find(pa->key.to_string()), std::string::npos);
+  EXPECT_NE(reply.text.find(pb->key.to_string()), std::string::npos);
+}
+
+TEST(StatsPlugin, UnknownMessageIsUnsupported) {
+  stats::StatsInstance inst(stats::StatsInstance::Mode::packets);
+  plugin::PluginMsg msg;
+  msg.custom_name = "frobnicate";
+  plugin::PluginReply reply;
+  EXPECT_EQ(inst.handle_message(msg, reply), Status::unsupported);
+}
+
+TEST(StatsPlugin, SetmodeSwitchesCountingAtRuntime) {
+  stats::StatsInstance inst(stats::StatsInstance::Mode::packets);
+  void* soft = nullptr;
+  auto p1 = udp(1, 300);
+  inst.handle_packet(*p1, &soft);
+  auto* fc = static_cast<stats::StatsInstance::FlowCounter*>(soft);
+  EXPECT_EQ(fc->bytes, 0u);
+
+  plugin::PluginMsg setmode;
+  setmode.custom_name = "setmode";
+  setmode.args.set("mode", "bytes");
+  plugin::PluginReply reply;
+  ASSERT_EQ(inst.handle_message(setmode, reply), Status::ok);
+  auto p2 = udp(1, 300);
+  inst.handle_packet(*p2, &soft);
+  EXPECT_EQ(fc->bytes, p2->size());  // only the post-switch packet counted
+
+  setmode.args.set("mode", "packets");
+  ASSERT_EQ(inst.handle_message(setmode, reply), Status::ok);
+  auto p3 = udp(1, 300);
+  inst.handle_packet(*p3, &soft);
+  EXPECT_EQ(fc->bytes, p2->size());  // back to packets: bytes frozen
+  EXPECT_EQ(fc->packets, 3u);
+}
+
+// flow_removed driven the way the router drives it: through a flow-table
+// entry carrying the instance's soft state in its gate slot.
+TEST(StatsPlugin, FlowTableRemovalCleansSoftState) {
+  stats::StatsInstance inst(stats::StatsInstance::Mode::packets);
+  aiu::FlowTable table(64, 8, 64);
+  auto p = udp(7777);
+  pkt::FlowIndex fix = table.insert(p->key, 0);
+  aiu::GateBinding& b = table.rec(fix).gates[aiu::gate_index(
+      plugin::PluginType::stats)];
+  b.instance = &inst;
+  inst.handle_packet(*p, &b.soft);
+  ASSERT_NE(b.soft, nullptr);
+  EXPECT_EQ(inst.tracked_flows(), 1u);
+
+  table.remove(fix);  // must call inst.flow_removed(b.soft)
+  EXPECT_EQ(inst.tracked_flows(), 0u);
+  EXPECT_EQ(inst.total_packets(), 1u);  // totals survive the flow
+}
+
+TEST(StatsPlugin, RegistersAggregateCountersWithTelemetry) {
+  const std::size_t before = telemetry::metrics().size();
+  {
+    stats::StatsInstance inst(stats::StatsInstance::Mode::packets);
+    EXPECT_EQ(telemetry::metrics().size(), before + 2);
+    void* soft = nullptr;
+    auto p = udp(1);
+    inst.handle_packet(*p, &soft);
+    const std::string report = telemetry::metrics().report();
+    EXPECT_NE(report.find("total_packets=1"), std::string::npos);
+    EXPECT_NE(report.find("total_bytes="), std::string::npos);
+  }
+  // Destruction must deregister (the registry stores raw pointers).
+  EXPECT_EQ(telemetry::metrics().size(), before);
 }
 
 TEST(RoutingTable, LongestPrefixWins) {

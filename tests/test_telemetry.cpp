@@ -1,0 +1,397 @@
+// Tests for the telemetry subsystem: histogram bucket math, sampling
+// cadence, the trace ring, flow-export sinks and the metric registry (unit),
+// plus end-to-end round trips through RouterKernel + pmgr `telemetry`
+// commands (TelemetryE2e, labelled integration).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace rp {
+namespace {
+
+using netbase::Status;
+
+// ---------------------------------------------------------------- histogram
+
+TEST(LatencyHistogram, BucketMathIsLog2) {
+  using H = telemetry::LatencyHistogram;
+  EXPECT_EQ(H::bucket_of(0), 0u);
+  EXPECT_EQ(H::bucket_of(1), 1u);
+  EXPECT_EQ(H::bucket_of(2), 2u);
+  EXPECT_EQ(H::bucket_of(3), 2u);
+  EXPECT_EQ(H::bucket_of(4), 3u);
+  EXPECT_EQ(H::bucket_of(1023), 10u);
+  EXPECT_EQ(H::bucket_of(1024), 11u);
+  // Saturates in the last bucket rather than indexing out of range.
+  EXPECT_EQ(H::bucket_of(~0ULL), H::kBuckets - 1);
+  // bucket_floor is the inverse boundary: value v lands in a bucket whose
+  // floor is <= v.
+  for (std::uint64_t v : {1ULL, 2ULL, 7ULL, 100ULL, 65536ULL}) {
+    const std::size_t b = H::bucket_of(v);
+    EXPECT_LE(H::bucket_floor(b), v);
+    if (b + 1 < H::kBuckets) {
+      EXPECT_GT(H::bucket_floor(b + 1), v);
+    }
+  }
+}
+
+TEST(LatencyHistogram, RecordMeanQuantileReset) {
+  telemetry::LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  EXPECT_EQ(h.samples, 100u);
+  EXPECT_EQ(h.max, 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), (90.0 * 10 + 10.0 * 1000) / 100);
+  // p50 falls in the [8,16) bucket, p99 in the bucket holding 1000.
+  EXPECT_LT(h.quantile(0.50), 16u);
+  EXPECT_GE(h.quantile(0.99), 1000u);
+  EXPECT_NE(h.to_string().find("samples=100"), std::string::npos);
+
+  h.reset();
+  EXPECT_EQ(h.samples, 0u);
+  EXPECT_EQ(h.max, 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+// ----------------------------------------------------------------- sampling
+
+TEST(TelemetrySampling, FirstPacketThenEveryNth) {
+  telemetry::Telemetry::Options opt;
+  opt.sample_every = 4;
+  telemetry::Telemetry tel(opt);
+  // The first packet after enabling is sampled, then every 4th.
+  std::vector<int> sampled;
+  for (int i = 0; i < 12; ++i)
+    if (tel.sample_tick()) sampled.push_back(i);
+  EXPECT_EQ(sampled, (std::vector<int>{0, 4, 8}));
+}
+
+TEST(TelemetrySampling, OffMeansNever) {
+  telemetry::Telemetry::Options opt;
+  opt.sample_every = 0;
+  telemetry::Telemetry tel(opt);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(tel.sample_tick());
+  // Turning it on mid-stream samples the very next packet.
+  tel.set_sample_every(2);
+  EXPECT_TRUE(tel.sample_tick());
+  EXPECT_FALSE(tel.sample_tick());
+  EXPECT_TRUE(tel.sample_tick());
+  // And off again stops immediately.
+  tel.set_sample_every(0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(tel.sample_tick());
+}
+
+// --------------------------------------------------------------- trace ring
+
+TEST(TraceRing, WrapKeepsMostRecent) {
+  telemetry::TraceRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    telemetry::TraceRecord* r = ring.begin_record();
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->seq, i);
+    r->total_cycles = 100 + i;
+  }
+  EXPECT_EQ(ring.captured(), 6u);
+  EXPECT_EQ(ring.stored(), 4u);
+  // recent(0) is the newest; the two oldest were overwritten.
+  EXPECT_EQ(ring.recent(0).seq, 5u);
+  EXPECT_EQ(ring.recent(3).seq, 2u);
+  // begin_record wipes the slot it reuses.
+  EXPECT_EQ(ring.recent(0).n_steps, 0u);
+
+  ring.reset();
+  EXPECT_EQ(ring.captured(), 0u);
+  EXPECT_EQ(ring.stored(), 0u);
+}
+
+TEST(TraceRing, StepsClipAtMax) {
+  telemetry::TraceRecord r;
+  for (std::size_t i = 0; i < telemetry::TraceRecord::kMaxSteps + 3; ++i)
+    r.add_step(plugin::PluginType::ipsec, 0, i);
+  EXPECT_EQ(r.n_steps, telemetry::TraceRecord::kMaxSteps);
+  // Cycle counts clip to 32 bits instead of wrapping.
+  telemetry::TraceRecord big;
+  big.add_step(plugin::PluginType::stats, 0, ~0ULL);
+  EXPECT_EQ(big.steps[0].cycles, 0xffffffffU);
+}
+
+// -------------------------------------------------------------------- sinks
+
+telemetry::FlowExportRecord record(std::uint16_t sport, std::uint64_t pkts) {
+  telemetry::FlowExportRecord r;
+  r.key.sport = sport;
+  r.packets = pkts;
+  r.bytes = pkts * 100;
+  r.first_seen = 10;
+  r.last_seen = 20;
+  r.reason = telemetry::ExportReason::expired;
+  return r;
+}
+
+TEST(FlowSinks, MemorySinkOverwritesOldest) {
+  telemetry::MemorySink sink(2);
+  sink.write(record(1, 1));
+  sink.write(record(2, 2));
+  sink.write(record(3, 3));
+  EXPECT_EQ(sink.written(), 3u);
+  EXPECT_EQ(sink.stored(), 2u);
+  EXPECT_EQ(sink.recent(0).key.sport, 3u);
+  EXPECT_EQ(sink.recent(1).key.sport, 2u);
+  EXPECT_NE(sink.describe().find("written=3"), std::string::npos);
+}
+
+TEST(FlowSinks, JsonlFileSinkWritesOneObjectPerLine) {
+  const std::string path =
+      ::testing::TempDir() + "rp_telemetry_flows_test.jsonl";
+  std::remove(path.c_str());
+  {
+    telemetry::JsonlFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    sink.write(record(42, 7));
+    sink.write(record(43, 8));
+    sink.flush();
+    EXPECT_EQ(sink.written(), 2u);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  const std::string line(buf);
+  EXPECT_NE(line.find("\"packets\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"expired\""), std::string::npos);
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);  // second record
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(FlowSinks, JsonlFileSinkIsInertOnBadPath) {
+  telemetry::JsonlFileSink sink("/nonexistent-dir/x/y/flows.jsonl");
+  EXPECT_FALSE(sink.ok());
+  sink.write(record(1, 1));  // must not crash
+  EXPECT_EQ(sink.written(), 0u);
+  EXPECT_NE(sink.describe().find("UNWRITABLE"), std::string::npos);
+}
+
+// ---------------------------------------------------------- metric registry
+
+TEST(MetricRegistry, AddReportRemoveOwner) {
+  telemetry::MetricRegistry reg;
+  std::uint64_t a = 5, b = 7;
+  int owner1, owner2;
+  reg.add("x.a", &a, &owner1);
+  reg.add("x.b", &b, &owner2);
+  EXPECT_EQ(reg.size(), 2u);
+  a = 6;  // live pointer: report sees the current value
+  const std::string rep = reg.report();
+  EXPECT_NE(rep.find("x.a=6"), std::string::npos);
+  EXPECT_NE(rep.find("x.b=7"), std::string::npos);
+  reg.remove_owner(&owner1);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.report().find("x.a"), std::string::npos);
+}
+
+// -------------------------------------------------- end-to-end (integration)
+
+pkt::PacketPtr flow_udp(std::uint16_t sport, std::uint8_t src_octet = 1,
+                        std::size_t payload = 100) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, src_octet));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = sport;
+  s.dport = 80;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+class TelemetryE2e : public ::testing::Test {
+ protected:
+  TelemetryE2e() : lib_(kernel_), pmgr_(lib_) {
+    mgmt::register_builtin_modules();
+    kernel_.add_interface("if0");
+    kernel_.add_interface("if1");
+    auto r = pmgr_.run_script(R"(
+route add 20.0.0.0/8 if1
+telemetry sample 1
+)");
+    EXPECT_TRUE(r.ok()) << r.text;
+  }
+
+  // Injects `n` packets of one flow starting at virtual time `at`.
+  void offer(std::uint16_t sport, int n, netbase::SimTime at = 0) {
+    for (int i = 0; i < n; ++i)
+      kernel_.inject(at + i * netbase::kNsPerMs, 0, flow_udp(sport));
+  }
+
+  core::RouterKernel kernel_;
+  mgmt::RouterPluginLib lib_;
+  mgmt::PluginManager pmgr_;
+};
+
+#if RP_TELEMETRY
+
+TEST_F(TelemetryE2e, HistogramTraceSummaryRoundTrip) {
+  offer(1111, 20);
+  kernel_.run_until(100 * netbase::kNsPerMs);
+
+  // Summary reflects the sampled packets and the core counters.
+  auto sum = pmgr_.exec("telemetry");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NE(sum.text.find("sampling: 1-in-1"), std::string::npos);
+  EXPECT_NE(sum.text.find("received=20"), std::string::npos);
+
+  // Pipeline histogram saw every packet (sampling 1-in-1).
+  auto hist = pmgr_.exec("telemetry hist");
+  ASSERT_TRUE(hist.ok());
+  EXPECT_NE(hist.text.find("samples=20"), std::string::npos);
+
+  // Traces carry the flow key and the queued disposition with the output
+  // interface the route lookup chose.
+  auto tr = pmgr_.exec("telemetry trace 3");
+  ASSERT_TRUE(tr.ok());
+  EXPECT_NE(tr.text.find(flow_udp(1111)->key.to_string()), std::string::npos);
+  EXPECT_NE(tr.text.find("queued"), std::string::npos);
+  EXPECT_NE(tr.text.find("->if1"), std::string::npos);
+
+  // Unknown gate name is rejected, valid one accepted.
+  EXPECT_FALSE(pmgr_.exec("telemetry hist bogus").ok());
+  EXPECT_TRUE(pmgr_.exec("telemetry hist ipsec").ok());
+}
+
+TEST_F(TelemetryE2e, GateHistogramAndVerdictInTraces) {
+  auto r = pmgr_.run_script(R"(
+modload firewall
+create firewall policy=deny
+bind firewall 1 <10.0.0.66, *, udp, *, *, *>
+)");
+  ASSERT_TRUE(r.ok()) << r.text;
+  offer(2222, 5);            // forwarded flow
+  for (int i = 0; i < 5; ++i)  // denied flow
+    kernel_.inject(i * netbase::kNsPerMs, 0, flow_udp(3333, 66));
+  kernel_.run_until(100 * netbase::kNsPerMs);
+
+  // The firewall gate ran (and was timed) for the denied packets only.
+  auto hist = pmgr_.exec("telemetry hist firewall");
+  ASSERT_TRUE(hist.ok());
+  EXPECT_NE(hist.text.find("samples=5"), std::string::npos);
+
+  // Drop reason is spelled out by name both in traces and the summary.
+  auto tr = pmgr_.exec("telemetry trace 20");
+  ASSERT_TRUE(tr.ok());
+  EXPECT_NE(tr.text.find("dropped(policy)"), std::string::npos);
+  EXPECT_NE(tr.text.find("firewall: drop"), std::string::npos);
+  auto sum = pmgr_.exec("telemetry");
+  EXPECT_NE(sum.text.find("policy=5"), std::string::npos);
+}
+
+TEST_F(TelemetryE2e, SamplingRateChangesCadence) {
+  ASSERT_TRUE(pmgr_.exec("telemetry sample 4").ok());
+  offer(4444, 16);
+  kernel_.run_until(100 * netbase::kNsPerMs);
+  // 1-in-4 with the first packet sampled: packets 0,4,8,12 -> 4 samples.
+  EXPECT_EQ(kernel_.telemetry().samples(), 4u);
+
+  ASSERT_TRUE(pmgr_.exec("telemetry sample off").ok());
+  offer(4444, 16, 200 * netbase::kNsPerMs);
+  kernel_.run_until(400 * netbase::kNsPerMs);
+  EXPECT_EQ(kernel_.telemetry().samples(), 4u);  // unchanged
+}
+
+#endif  // RP_TELEMETRY
+
+TEST_F(TelemetryE2e, FlowExportOnDemandAndOnExpiry) {
+  offer(5555, 4);
+  offer(6666, 2);
+  kernel_.run_until(100 * netbase::kNsPerMs);  // flows still cached
+
+  // On-demand snapshot of the two live flows.
+  auto ex = pmgr_.exec("telemetry export");
+  ASSERT_TRUE(ex.ok());
+  EXPECT_NE(ex.text.find("exported 2 live flows"), std::string::npos);
+  auto& mem = static_cast<telemetry::MemorySink&>(kernel_.telemetry().sink());
+  ASSERT_GE(mem.stored(), 2u);
+  EXPECT_EQ(mem.recent(0).reason, telemetry::ExportReason::on_demand);
+  // Byte accounting from the AIU: 4 packets * (100 payload + 28 hdr).
+  bool found = false;
+  for (std::size_t i = 0; i < mem.stored(); ++i) {
+    const auto& r = mem.recent(i);
+    if (r.key.sport == 5555) {
+      found = true;
+      EXPECT_EQ(r.packets, 4u);
+      EXPECT_EQ(r.bytes, 4u * flow_udp(5555)->size());
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Let the idle sweep evict: the same flows come back as reason=expired.
+  kernel_.run_to_completion();
+  EXPECT_EQ(kernel_.aiu().flow_table().active(), 0u);
+  EXPECT_GE(kernel_.telemetry().flows_exported(), 4u);
+  EXPECT_EQ(mem.recent(0).reason, telemetry::ExportReason::expired);
+}
+
+TEST_F(TelemetryE2e, JsonlSinkViaCli) {
+  const std::string path = ::testing::TempDir() + "rp_telemetry_e2e.jsonl";
+  std::remove(path.c_str());
+  ASSERT_FALSE(pmgr_.exec("telemetry sink jsonl /no/such/dir/f.jsonl").ok());
+  ASSERT_TRUE(pmgr_.exec("telemetry sink jsonl " + path).ok());
+
+  offer(7777, 3);
+  kernel_.run_until(50 * netbase::kNsPerMs);
+  ASSERT_TRUE(pmgr_.exec("telemetry export").ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_NE(std::string(buf).find("\"reason\":\"on-demand\""),
+            std::string::npos);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  // Back to the memory sink for the rest of the kernel's lifetime (the
+  // teardown sweep writes records; they must not land in the closed file).
+  ASSERT_TRUE(pmgr_.exec("telemetry sink mem").ok());
+}
+
+TEST_F(TelemetryE2e, MetricsCommandSeesPluginCounters) {
+  auto r = pmgr_.run_script(R"(
+modload stats
+create stats mode=bytes
+bind stats 1 <*, *, *, *, *, *>
+)");
+  ASSERT_TRUE(r.ok()) << r.text;
+  offer(8888, 6);
+  kernel_.run_until(50 * netbase::kNsPerMs);
+
+  auto m = pmgr_.exec("telemetry metrics");
+  ASSERT_TRUE(m.ok());
+  EXPECT_NE(m.text.find("total_packets=6"), std::string::npos);
+  EXPECT_NE(m.text.find("total_bytes="), std::string::npos);
+}
+
+TEST_F(TelemetryE2e, ResetClearsHistogramsTracesAndCoreCounters) {
+  offer(9999, 10);
+  kernel_.run_until(50 * netbase::kNsPerMs);
+  ASSERT_TRUE(pmgr_.exec("telemetry reset").ok());
+  EXPECT_EQ(kernel_.telemetry().samples(), 0u);
+  EXPECT_EQ(kernel_.telemetry().traces().captured(), 0u);
+  EXPECT_EQ(kernel_.core().counters().received, 0u);
+  EXPECT_EQ(kernel_.core().counters().bursts, 0u);
+#if RP_TELEMETRY
+  // Sampling stays configured: the next packet is traced again.
+  offer(9999, 1, 100 * netbase::kNsPerMs);
+  kernel_.run_until(200 * netbase::kNsPerMs);
+  EXPECT_EQ(kernel_.telemetry().samples(), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace rp
