@@ -1,0 +1,277 @@
+// T6 (PR 3): cost of the resilience supervisor on the burst datapath.
+//
+// Same Table-3-style workload as T4/T5 (UDP flows, 16 filters, 3 empty-plugin
+// gates, trains of 4, bursts of 32), measured in three configurations:
+//
+//   none      no Supervisor attached — the raw dispatch path
+//   disarmed  Supervisor attached and *quiet* (no injection rules, no
+//             cycle budgets, all breakers closed): every dispatch is one
+//             flag check + try/catch + verdict range check
+//   armed     1% probabilistic exception injection at one gate — the
+//             slow path with fault recording, fail-open recovery
+//
+// The contract (docs/resilience.md): the disarmed guard must cost <= 1%
+// over `none`, because table-based unwinding makes the try/catch free when
+// nothing throws. `overhead_rel_disarmed` in the BENCH_JSON line is the
+// number the acceptance criterion reads.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/ip_core.hpp"
+#include "plugin/pcu.hpp"
+#include "resilience/resilience.hpp"
+#include "tgen/workload.hpp"
+
+using namespace rp;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+const std::size_t kFlows = rp::bench::scaled<std::size_t>(1 << 18, 1 << 10);
+constexpr std::size_t kTrainLen = 4;
+constexpr std::size_t kBatch = 8192;
+const int kReps = rp::bench::scaled(48, 1);
+constexpr std::size_t kPayload = 512;
+constexpr std::size_t kBurst = 32;
+
+class EmptyInstance final : public plugin::PluginInstance {
+ public:
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    return plugin::Verdict::cont;
+  }
+};
+class EmptyPlugin final : public plugin::Plugin {
+ public:
+  EmptyPlugin(std::string name, plugin::PluginType t)
+      : Plugin(std::move(name), t) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<EmptyInstance>();
+  }
+};
+
+tgen::FlowEndpoints endpoints(std::size_t f) {
+  tgen::FlowEndpoints ep;
+  ep.src = netbase::IpAddr(netbase::Ipv4Addr(
+      10, static_cast<std::uint8_t>(f >> 16), static_cast<std::uint8_t>(f >> 8),
+      static_cast<std::uint8_t>(f)));
+  ep.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  ep.proto = 17;
+  ep.sport = static_cast<std::uint16_t>(1024 + (f % 60000));
+  ep.dport = 9000;
+  return ep;
+}
+
+void install_filters(aiu::Aiu& aiu, plugin::PluginType gate,
+                     plugin::PluginInstance* inst) {
+  for (int i = 0; i < 13; ++i) {
+    aiu::Filter f;
+    f.src = *netbase::IpPrefix::parse("99.77." + std::to_string(i) + ".0/24");
+    f.proto = aiu::ProtoSpec::exact(6);
+    aiu.create_filter(gate, f, inst);
+  }
+  aiu::Filter all = *aiu::Filter::parse("10.0.0.0/8 * udp * * *");
+  aiu.create_filter(gate, all, inst);
+}
+
+struct Bench {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  std::unique_ptr<aiu::Aiu> aiu;
+  route::RoutingTable routes{"bsl"};
+  netdev::InterfaceTable ifs;
+  std::unique_ptr<core::IpCore> core;
+  // Destroyed before pcu (member order), so the supervisor's destructor can
+  // still null each live instance's cached guard slot.
+  std::unique_ptr<resilience::Supervisor> sup;
+
+  Bench() {
+    aiu::Aiu::Options aopt;
+    aopt.initial_flows = kFlows;
+    aopt.flow_buckets = kFlows * 2;
+    aiu = std::make_unique<aiu::Aiu>(pcu, clock, aopt);
+    ifs.add("if0");
+    ifs.add("if1");
+    routes.add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+
+    core::CoreConfig cfg;
+    cfg.input_gates = {plugin::PluginType::ipopt, plugin::PluginType::ipsec,
+                       plugin::PluginType::stats};
+    cfg.port_fifo_limit = kBatch + 64;
+    core = std::make_unique<core::IpCore>(*aiu, routes, ifs, clock, cfg);
+
+    resilience::Supervisor::Options sopt;
+    // Error budget wide enough that the 1% armed run never trips a
+    // breaker — this bench measures dispatch cost, not recovery.
+    sopt.breaker.window = 64;
+    sopt.breaker.max_faults = 64;
+    sup = std::make_unique<resilience::Supervisor>(sopt);
+    sup->set_aiu(aiu.get());
+    sup->set_clock(&clock);
+
+    const plugin::PluginType gates[3] = {plugin::PluginType::ipopt,
+                                         plugin::PluginType::ipsec,
+                                         plugin::PluginType::stats};
+    const char* names[3] = {"e1", "e2", "e3"};
+    for (int g = 0; g < 3; ++g) {
+      pcu.register_plugin(std::make_unique<EmptyPlugin>(names[g], gates[g]));
+      plugin::InstanceId id = plugin::kNoInstance;
+      pcu.find(names[g])->create_instance({}, id);
+      install_filters(*aiu, gates[g], pcu.find(names[g])->instance(id));
+    }
+  }
+
+  // All three configurations run on this one router: the supervisor is
+  // attached/detached at run time so only the code path differs between
+  // measurements, never the heap/cache placement of the flow table. (A
+  // router-per-config layout was tried first; inter-instance placement
+  // skew alone produced ±2–3% run-to-run bias, swamping the effect.)
+  void attach(bool on) { core->set_resilience(on ? sup.get() : nullptr); }
+
+  void arm(bool on) {
+    if (on)
+      sup->set_injection(plugin::PluginType::ipopt,
+                         resilience::FaultKind::exception,
+                         {.probability = 0.01});
+    else
+      sup->clear_injection();
+  }
+};
+
+void make_batch(std::vector<pkt::PacketPtr>& batch, std::uint64_t seed) {
+  netbase::Rng rng(seed);
+  batch.clear();
+  while (batch.size() < kBatch) {
+    const auto ep = endpoints(rng.below(kFlows));
+    for (std::size_t i = 0; i < kTrainLen && batch.size() < kBatch; ++i)
+      batch.push_back(tgen::packet_for(ep, kPayload));
+  }
+}
+
+void warmup(Bench& b) {
+  for (std::size_t f = 0; f < kFlows; ++f)
+    b.core->process(tgen::packet_for(endpoints(f), kPayload));
+  while (b.core->next_for_tx(1, 0)) {
+  }
+}
+
+// One pass over the batch, alternating the supervisor attachment every
+// burst: even bursts run the baseline (detached), odd bursts the measured
+// configuration, `flip` swapping the roles so neither side systematically
+// gets the first (coldest) burst. Both sides therefore ride the identical
+// cache/frequency warm-up curve microseconds apart — consecutive identical
+// passes on this machine differ by up to 27% (cold vs warmed), so any
+// scheme that times whole passes measures position, not configuration.
+// The switch itself is one pointer store (IpCore::set_resilience).
+//
+// Each burst's ns/packet is recorded individually: a millisecond-scale
+// preemption then shows up as a handful of outlier bursts that the median
+// discards, instead of silently inflating whichever side's per-pass sum it
+// happened to land in.
+void timed_alternating(Bench& b, std::vector<pkt::PacketPtr>& batch,
+                       bool flip, std::vector<double>& base,
+                       std::vector<double>& conf) {
+  bool measured = flip;
+  for (std::size_t off = 0; off < batch.size(); off += kBurst) {
+    const std::size_t len = std::min(kBurst, batch.size() - off);
+    b.attach(measured);
+    const auto t0 = Clock::now();
+    b.core->process_burst({batch.data() + off, len});
+    const auto t1 = Clock::now();
+    (measured ? conf : base)
+        .push_back(std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                   static_cast<double>(len));
+    measured = !measured;
+  }
+  pkt::PacketPtr out;
+  while ((out = b.core->next_for_tx(1, 0))) out.reset();
+}
+
+double median(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "T6 — Resilience supervisor overhead on the burst datapath\n"
+      "(Table-3 style: UDP, 16 filters, 3 empty gates; %zu flows, trains of "
+      "%zu,\n bursts of %zu, %zu-packet reps x %d)\n\n",
+      kFlows, kTrainLen, kBurst, kBatch, kReps);
+
+  rp::bench::BenchJson json("t6_resilience");
+  json.num("flows", static_cast<double>(kFlows));
+  json.num("burst", static_cast<double>(kBurst));
+
+  // One router, warmed to the cached steady state; reps interleave the
+  // configurations (attach/detach at run time) so machine drift hits all
+  // three equally and all three share one memory layout.
+  Bench bench;
+  warmup(bench);
+
+  std::vector<pkt::PacketPtr> batch;
+  batch.reserve(kBatch);
+  // Per rep: one burst-alternating pass comparing detached vs disarmed,
+  // one comparing detached vs armed (its own flow sample). `flip`
+  // alternates per rep which side of the even/odd split each
+  // configuration gets.
+  std::vector<double> nd_base, nd_conf, na_base, na_conf;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(rep);
+    const bool flip = (rep & 1) != 0;
+    bench.arm(false);
+    make_batch(batch, seed);
+    timed_alternating(bench, batch, flip, nd_base, nd_conf);
+    bench.arm(true);
+    make_batch(batch, seed + 500000);
+    timed_alternating(bench, batch, flip, na_base, na_conf);
+    bench.arm(false);
+  }
+  bench.attach(true);  // leave attached+disarmed for the stats below
+
+  // Reported overhead = ratio of per-burst medians, each config against
+  // the baseline bursts interleaved with it in the same passes.
+  const double none_ns = median(nd_base);
+  const double dis_ns = median(nd_conf);
+  const double armed_base_ns = median(na_base);
+  const double armed_ns = median(na_conf);
+  const double dis_over = dis_ns / none_ns - 1.0;
+  const double armed_over = armed_ns / armed_base_ns - 1.0;
+  std::printf("%10s %12s %10s\n", "resilience", "ns/packet", "overhead");
+  std::printf("%10s %12.1f %9.2f%%\n", "none", none_ns, 0.0);
+  std::printf("%10s %12.1f %9.2f%%\n", "disarmed", dis_ns, 100.0 * dis_over);
+  std::printf("%10s %12.1f %9.2f%%\n", "armed", armed_ns, 100.0 * armed_over);
+  json.num("none_ns", none_ns);
+  json.num("disarmed_ns", dis_ns);
+  json.num("overhead_rel_disarmed", dis_over);
+  json.num("armed_ns", armed_ns);
+  json.num("overhead_rel_armed", armed_over);
+  json.emit();
+
+  // Show the armed reps actually injected: ~1% of their ipopt dispatches
+  // faulted and were contained fail-open.
+  {
+    const auto& s = *bench.sup;
+    std::printf("\narmed reps: faults=%llu (all injected: %s), "
+                "breaker opens=%llu\n",
+                static_cast<unsigned long long>(s.faults_total()),
+                s.faults_injected() == s.faults_total() ? "yes" : "NO",
+                static_cast<unsigned long long>(s.breaker_opens()));
+  }
+  std::printf(
+      "\nDisarmed (quiet supervisor), every dispatch pays one flag load, a\n"
+      "try/catch frame (free via table-based unwinding), and a verdict\n"
+      "range check — no per-instance state, no stores: breaker windows\n"
+      "ride the core's gate-dispatch counter and guards materialize only\n"
+      "on faults. The acceptance budget is overhead_rel_disarmed <= 0.01.\n");
+  return 0;
+}

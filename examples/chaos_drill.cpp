@@ -1,0 +1,116 @@
+// Chaos drill — exercising the resilience subsystem end to end:
+//   1. bind a (deliberately flaky) firewall plugin to a flow filter,
+//   2. inject faults through the supervisor's harness (pmgr resilience),
+//   3. watch the circuit breaker trip, bypass, and recover,
+//   4. read the fault ledger: status, events, and telemetry metrics.
+//
+// Run:  ./chaos_drill
+#include <cstdio>
+#include <memory>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+#include "resilience/resilience.hpp"
+
+using namespace rp;
+
+namespace {
+
+// A plugin with a bug we can switch on: when `broken`, every packet throws.
+class FlakyInstance final : public plugin::PluginInstance {
+ public:
+  static inline bool broken = false;
+  plugin::Verdict handle_packet(pkt::Packet&, void**) override {
+    if (broken) throw std::runtime_error("use-after-free in rule cache");
+    return plugin::Verdict::cont;
+  }
+};
+
+class FlakyPlugin final : public plugin::Plugin {
+ public:
+  FlakyPlugin() : Plugin("flaky_fw", plugin::PluginType::firewall) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<FlakyInstance>();
+  }
+};
+
+pkt::PacketPtr udp_packet(std::uint16_t sport) {
+  pkt::UdpSpec u;
+  u.src = *netbase::IpAddr::parse("10.0.0.7");
+  u.dst = *netbase::IpAddr::parse("20.0.0.1");
+  u.sport = sport;
+  u.dport = 53;
+  u.payload_len = 64;
+  return pkt::build_udp(u);
+}
+
+void show(mgmt::PluginManager& pmgr, const char* cmd) {
+  auto r = pmgr.exec(cmd);
+  std::printf("pmgr> %s\n%s\n\n", cmd, r.text.c_str());
+}
+
+}  // namespace
+
+int main() {
+  core::RouterKernel router;
+  mgmt::register_builtin_modules();
+  router.add_interface("if0");
+  router.add_interface("if1");
+
+  mgmt::RouterPluginLib lib(router);
+  mgmt::PluginManager pmgr(lib);
+  pmgr.exec("route add 20.0.0.0/8 if1");
+
+  // Install the flaky firewall on all UDP from 10/8.
+  router.pcu().register_plugin(std::make_unique<FlakyPlugin>());
+  plugin::InstanceId id = plugin::kNoInstance;
+  router.pcu().find("flaky_fw")->create_instance({}, id);
+  router.aiu().create_filter(plugin::PluginType::firewall,
+                             *aiu::Filter::parse("10.0.0.0/8 * udp * * *"),
+                             router.pcu().find("flaky_fw")->instance(id));
+
+  auto send = [&](int n) {
+    for (int i = 0; i < n; ++i)
+      router.core().process(udp_packet(static_cast<std::uint16_t>(4000 + i)));
+  };
+
+  std::puts("== 1. healthy traffic ==\n");
+  send(20);
+  show(pmgr, "resilience status");
+
+  std::puts("== 2. the plugin starts crashing (tight error budget) ==\n");
+  pmgr.exec("resilience budget 64 3 8 2");  // 3 faults trip; 8-call cooldown
+  FlakyInstance::broken = true;
+  send(3);  // three throws: contained fail_open, breaker trips
+  show(pmgr, "resilience status");
+  show(pmgr, "resilience events 3");
+
+  std::puts("== 3. while Open the instance is bypassed entirely ==\n");
+  send(7);  // cooldown: the plugin is never called, packets fail open
+  show(pmgr, "resilience status");
+
+  std::puts("== 4. the bug is fixed; probes re-admit the instance ==\n");
+  FlakyInstance::broken = false;
+  send(4);  // half-open probes succeed -> breaker closes
+  show(pmgr, "resilience status");
+
+  std::puts("== 5. the injection harness does the same without a bug ==\n");
+  pmgr.exec("resilience reset all");
+  show(pmgr, "resilience inject firewall bad_verdict every 5");
+  send(20);
+  show(pmgr, "resilience status");
+  pmgr.exec("resilience inject off");
+
+  const auto& cc = router.core().counters();
+  std::printf("conservation: received=%llu forwarded=%llu drops=%llu\n",
+              static_cast<unsigned long long>(cc.received),
+              static_cast<unsigned long long>(cc.forwarded),
+              static_cast<unsigned long long>(cc.total_drops()));
+  return 0;
+}

@@ -2,24 +2,42 @@
 # Full benchmark sweep: Release build, run every bench binary, scrape each
 # one's BENCH_JSON line into a single JSON array.
 #
-#   scripts/bench_all.sh [out.json]     # default out: BENCH_pr2.json
+#   scripts/bench_all.sh [out.json]     # default out: BENCH_pr3.json
 #
 # Every bench prints exactly one line `BENCH_JSON {...}` (bench/bench_json.hpp);
 # this script owns the build flags and the collection so "the numbers in
 # BENCH_*.json" always means "Release, full iteration counts, this script".
+# The first array element is a meta record stamping the git SHA, date, and
+# build flags the numbers were produced with.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo/BENCH_pr2.json}"
+out="${1:-$repo/BENCH_pr3.json}"
 build="$repo/build-bench"
 jobs="$(nproc 2>/dev/null || echo 4)"
+build_type="Release"
 
-echo "== bench_all: Release build =="
-cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+echo "== bench_all: $build_type build =="
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE="$build_type" >/dev/null
 cmake --build "$build" -j "$jobs" >/dev/null
 
+# Provenance for the emitted numbers. `git describe --dirty` flags a tree
+# with uncommitted changes; flags come from the configured cache so they
+# match what the binaries were actually compiled with.
+sha="$(git -C "$repo" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+dirty="$(git -C "$repo" status --porcelain 2>/dev/null | head -1)"
+[[ -n "$dirty" ]] && sha="$sha-dirty"
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+cxx_flags="$(grep -m1 '^CMAKE_CXX_FLAGS_RELEASE:' "$build/CMakeCache.txt" \
+  | cut -d= -f2- || true)"
+compiler="$(grep -m1 '^CMAKE_CXX_COMPILER:' "$build/CMakeCache.txt" \
+  | cut -d= -f2- || true)"
+meta="{\"bench\":\"meta\",\"git_sha\":\"$sha\",\"date\":\"$stamp\",\
+\"build_type\":\"$build_type\",\"cxx_flags\":\"$cxx_flags\",\
+\"compiler\":\"$compiler\"}"
+
 benches=("$build"/bench/bench_*)
-lines=()
+lines=("$meta")
 for b in "${benches[@]}"; do
   [[ -x "$b" && ! -d "$b" ]] || continue
   name="$(basename "$b")"
@@ -43,4 +61,4 @@ done
   echo "]"
 } > "$out"
 
-echo "== wrote $out (${#lines[@]} benches) =="
+echo "== wrote $out ($((${#lines[@]} - 1)) benches + meta) =="

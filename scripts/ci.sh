@@ -33,8 +33,17 @@ echo "== tier 2: ASan + UBSan test build =="
 cmake -S "$repo" -B "$repo/build-asan" -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build "$repo/build-asan" -j "$jobs" --target rp_tests
-# Only rp_tests is built in the sanitizer tree; exclude the bench smokes.
+# Only rp_tests is built in the sanitizer tree; exclude the bench smokes
+# and the chaos soaks (the soaks get their own stage below).
 ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
-  --output-on-failure -LE bench-smoke
+  --output-on-failure -LE "bench-smoke|chaos"
+
+echo "== chaos: fault-injection soak under ASan/UBSan =="
+# The resilience acceptance gate (docs/resilience.md): >= 100k packets with
+# ~1% injected faults across every gate type — zero crashes, counters
+# balance, breakers cycle. Runs in the sanitizer tree so a contained fault
+# that corrupts memory still fails the build.
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
+  --output-on-failure -L chaos
 
 echo "== ci: all green =="

@@ -66,6 +66,12 @@ Status Aiu::remove_filter(plugin::PluginType gate, const Filter& f) {
   return s;
 }
 
+std::size_t Aiu::rebind_instance(const plugin::PluginInstance* inst) {
+  const std::size_t purged = flows_.purge_instance(inst);
+  stats_.flows_rebound += purged;
+  return purged;
+}
+
 void Aiu::flush_cache() {
   if (flows_.active() != 0) {
     flows_.clear();

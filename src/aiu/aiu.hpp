@@ -42,6 +42,7 @@ class Aiu {
     std::uint64_t uncached_classifications{0};  // flow-entry creations
     std::uint64_t filter_lookups{0};
     std::uint64_t cache_flushes{0};
+    std::uint64_t flows_rebound{0};  // entries purged by rebind_instance
   };
 
   Aiu(plugin::PluginControlUnit& pcu, netbase::SimClock& clock);
@@ -52,6 +53,13 @@ class Aiu {
   Status create_filter(plugin::PluginType gate, const Filter& f,
                        plugin::PluginInstance* inst);
   Status remove_filter(plugin::PluginType gate, const Filter& f);
+
+  // Purges every flow-table entry bound to `inst` so the next packet of each
+  // affected flow re-classifies against the filter tables and binds to
+  // whatever matches now. Used by the resilience supervisor when an
+  // instance's circuit breaker opens (call only between bursts: in-flight
+  // GateBindings point into the purged entries). Returns entries purged.
+  std::size_t rebind_instance(const plugin::PluginInstance* inst);
 
   FilterTableBase* filter_table(plugin::PluginType gate) noexcept {
     return tables_[gate_index(gate)].get();

@@ -7,6 +7,7 @@
 #include "netbase/checksum.hpp"
 #include "pkt/builder.hpp"
 #include "pkt/headers.hpp"
+#include "resilience/resilience.hpp"
 
 namespace rp::core {
 
@@ -24,6 +25,13 @@ IpCore::IpCore(aiu::Aiu& aiu, route::RoutingTable& routes,
     : aiu_(aiu), routes_(routes), ifs_(ifs), clock_(clock),
       cfg_(std::move(cfg)) {}
 
+void IpCore::set_resilience(resilience::Supervisor* s) noexcept {
+  res_ = s;
+  // Breaker error windows are measured against this core's dispatch
+  // counter, so the supervisor's hot path never has to count invocations.
+  if (s) s->set_invocation_clock(&counters_.gate_calls);
+}
+
 IpCore::Port& IpCore::port(pkt::IfIndex iface) {
   if (ports_.size() <= iface) ports_.resize(std::size_t{iface} + 1);
   return ports_[iface];
@@ -39,6 +47,7 @@ void IpCore::process(pkt::PacketPtr p) {
 }
 
 void IpCore::process_burst(std::span<pkt::PacketPtr> batch) {
+  ++burst_depth_;
   pkt::Packet* live[aiu::Aiu::kMaxBurst];
   for (std::size_t base = 0; base < batch.size();
        base += aiu::Aiu::kMaxBurst) {
@@ -62,6 +71,10 @@ void IpCore::process_burst(std::span<pkt::PacketPtr> batch) {
     for (auto& p : chunk)
       if (p) process_classified(std::move(p));
   }
+  // Apply deferred breaker rebinds only at the outermost burst boundary:
+  // ICMP errors re-enter via process(), and purging flow entries while
+  // their GateBindings are live would dangle pointers.
+  if (--burst_depth_ == 0 && res_) res_->end_of_burst();
 }
 
 bool IpCore::validate(pkt::PacketPtr& p) {
@@ -120,16 +133,24 @@ void IpCore::process_classified_impl(pkt::PacketPtr p,
     drop(std::move(q), r);
   };
   // Dispatches one gate, timing the plugin call on the traced instantiation.
+  // With a supervisor attached the call runs through its guard (containment
+  // + breaker); without one this is exactly the pre-resilience direct call.
   auto run_gate = [&](PluginType gate, aiu::GateBinding* b) {
     ++counters_.gate_calls;
     if constexpr (Traced) {
       const std::uint64_t c0 = telemetry::cycles();
-      Verdict v = b->instance->handle_packet(*p, &b->soft);
-      tel_->record_gate(tr, gate, static_cast<std::uint8_t>(v),
+      resilience::Decision d =
+          res_ ? res_->dispatch(gate, *b, *p)
+               : resilience::Decision{
+                     b->instance->handle_packet(*p, &b->soft), false};
+      tel_->record_gate(tr, gate, static_cast<std::uint8_t>(d.verdict),
                         telemetry::cycles() - c0);
-      return v;
+      return d;
     } else {
-      return b->instance->handle_packet(*p, &b->soft);
+      if (res_) [[likely]]
+        return res_->dispatch(gate, *b, *p);
+      return resilience::Decision{b->instance->handle_packet(*p, &b->soft),
+                                  false};
     }
   };
 
@@ -137,10 +158,11 @@ void IpCore::process_classified_impl(pkt::PacketPtr p,
   for (PluginType gate : cfg_.input_gates) {
     aiu::GateBinding* b = aiu_.gate_lookup(*p, gate);
     if (!b || !b->instance) continue;  // no plugin bound for this flow
-    Verdict v = run_gate(gate, b);
-    if (v == Verdict::drop)
-      return finish_drop(std::move(p), DropReason::policy);
-    if (v == Verdict::consumed) {  // plugin took the packet
+    resilience::Decision d = run_gate(gate, b);
+    if (d.verdict == Verdict::drop)
+      return finish_drop(std::move(p), d.fault_drop ? DropReason::plugin_fault
+                                                    : DropReason::policy);
+    if (d.verdict == Verdict::consumed) {  // plugin took the packet
       if constexpr (Traced)
         tel_->trace_end(tr, telemetry::Disposition::consumed, 0,
                         pkt::kAnyIface, telemetry::cycles() - t_start);
@@ -153,8 +175,11 @@ void IpCore::process_classified_impl(pkt::PacketPtr p,
   if (p->out_iface == pkt::kAnyIface) {
     aiu::GateBinding* b = aiu_.gate_lookup(*p, PluginType::routing);
     if (b && b->instance) {
-      if (run_gate(PluginType::routing, b) == Verdict::drop)
-        return finish_drop(std::move(p), DropReason::policy);
+      resilience::Decision d = run_gate(PluginType::routing, b);
+      if (d.verdict == Verdict::drop)
+        return finish_drop(std::move(p), d.fault_drop
+                                             ? DropReason::plugin_fault
+                                             : DropReason::policy);
     }
   }
   if (p->out_iface == pkt::kAnyIface) {
@@ -224,60 +249,83 @@ void IpCore::enqueue_output(pkt::PacketPtr p, aiu::GateBinding* b,
                             [[maybe_unused]] std::uint64_t t_start) {
   const pkt::IfIndex oif = p->out_iface;
   Port& out = port(oif);
+  const bool bound = b && b->instance;
   OutputScheduler* sched =
-      b && b->instance ? static_cast<OutputScheduler*>(b->instance)
-                       : out.sched;
+      bound ? static_cast<OutputScheduler*>(b->instance) : out.sched;
   ++counters_.forwarded;
-  if (sched) {
-    ++counters_.gate_calls;
-    bool accepted;
-    if constexpr (Traced) {
-      const std::uint64_t c0 = telemetry::cycles();
-      accepted = sched->enqueue(std::move(p),
-                                b && b->instance ? &b->soft : nullptr,
-                                clock_.now());
+
+  auto end_dropped = [&](pkt::PacketPtr q, DropReason r) {
+    --counters_.forwarded;
+    if constexpr (Traced)
       if (tr)
-        tel_->record_gate(tr, PluginType::sched,
-                          static_cast<std::uint8_t>(accepted
-                                                        ? Verdict::consumed
-                                                        : Verdict::drop),
-                          telemetry::cycles() - c0);
-    } else {
-      accepted = sched->enqueue(std::move(p),
-                                b && b->instance ? &b->soft : nullptr,
-                                clock_.now());
-    }
-    if (!accepted) {
-      --counters_.forwarded;
-      ++counters_.drops[static_cast<std::size_t>(DropReason::queue_full)];
-      if constexpr (Traced)
-        if (tr)
-          tel_->trace_end(tr, telemetry::Disposition::dropped,
-                          static_cast<std::uint8_t>(DropReason::queue_full),
-                          oif, telemetry::cycles() - t_start);
-      return;
-    }
+        tel_->trace_end(tr, telemetry::Disposition::dropped,
+                        static_cast<std::uint8_t>(r), oif,
+                        telemetry::cycles() - t_start);
+    drop(std::move(q), r);
+  };
+  auto end_queued = [&] {
     if constexpr (Traced)
       if (tr)
         tel_->trace_end(tr, telemetry::Disposition::queued, 0, oif,
                         telemetry::cycles() - t_start);
-    return;
+  };
+  auto fifo_enqueue = [&](pkt::PacketPtr q) {
+    if (out.fifo.size() >= cfg_.port_fifo_limit)
+      return end_dropped(std::move(q), DropReason::queue_full);
+    out.fifo.push_back(std::move(q));
+    end_queued();
+  };
+
+  if (sched && res_) [[likely]] {
+    // Breaker consult before ownership moves into the plugin: an Open
+    // scheduler degrades to the port FIFO (best_effort/fail_open) or drops
+    // (fail_closed) without being called at all.
+    switch (res_->sched_admit(*sched)) {
+      case resilience::SchedAdmit::admit:
+        break;
+      case resilience::SchedAdmit::bypass:
+        sched = nullptr;
+        break;
+      case resilience::SchedAdmit::drop:
+        return end_dropped(std::move(p), DropReason::plugin_fault);
+    }
   }
-  if (out.fifo.size() >= cfg_.port_fifo_limit) {
-    --counters_.forwarded;
-    ++counters_.drops[static_cast<std::size_t>(DropReason::queue_full)];
+
+  if (sched) {
+    ++counters_.gate_calls;
+    void** soft = bound ? &b->soft : nullptr;
+    bool accepted = false;
+    bool ok = true;
+    [[maybe_unused]] std::uint64_t c0 = 0;
+    if constexpr (Traced) c0 = telemetry::cycles();
+    if (res_) [[likely]] {
+      ok = res_->guard_enqueue(*sched, [&] {
+        accepted = sched->enqueue(std::move(p), soft, clock_.now());
+      });
+    } else {
+      accepted = sched->enqueue(std::move(p), soft, clock_.now());
+    }
     if constexpr (Traced)
       if (tr)
-        tel_->trace_end(tr, telemetry::Disposition::dropped,
-                        static_cast<std::uint8_t>(DropReason::queue_full),
-                        oif, telemetry::cycles() - t_start);
-    return;
+        tel_->record_gate(tr, PluginType::sched,
+                          static_cast<std::uint8_t>(ok && accepted
+                                                        ? Verdict::consumed
+                                                        : Verdict::drop),
+                          telemetry::cycles() - c0);
+    if (!ok) [[unlikely]] {
+      // The enqueue threw. An injected throw fires before the call and
+      // leaves the packet intact — apply the sched fallback; a real throw
+      // consumed the packet mid-move, so there is nothing to salvage and
+      // the loss is accounted as a plugin_fault drop.
+      if (p && res_->fallback(PluginType::sched) !=
+                   resilience::Fallback::fail_closed)
+        return fifo_enqueue(std::move(p));
+      return end_dropped(std::move(p), DropReason::plugin_fault);
+    }
+    if (!accepted) return end_dropped(std::move(p), DropReason::queue_full);
+    return end_queued();
   }
-  out.fifo.push_back(std::move(p));
-  if constexpr (Traced)
-    if (tr)
-      tel_->trace_end(tr, telemetry::Disposition::queued, 0, oif,
-                      telemetry::cycles() - t_start);
+  fifo_enqueue(std::move(p));
 }
 
 std::vector<pkt::PacketPtr> IpCore::fragment_ipv4(pkt::PacketPtr p,

@@ -24,6 +24,10 @@
 #include "route/routing_table.hpp"
 #include "telemetry/telemetry.hpp"
 
+namespace rp::resilience {
+class Supervisor;
+}
+
 namespace rp::core {
 
 enum class DropReason : std::uint8_t {
@@ -32,9 +36,10 @@ enum class DropReason : std::uint8_t {
   bad_checksum,
   ttl_expired,
   no_route,
-  policy,       // gate plugin returned Verdict::drop
-  queue_full,   // scheduler refused the packet
-  too_big,      // exceeds the output MTU and cannot be fragmented
+  policy,        // gate plugin returned Verdict::drop
+  queue_full,    // scheduler refused the packet
+  too_big,       // exceeds the output MTU and cannot be fragmented
+  plugin_fault,  // resilience containment: fault/bypass at a fail-closed gate
   kCount,
 };
 
@@ -48,6 +53,7 @@ constexpr std::string_view to_string(DropReason r) noexcept {
     case DropReason::policy: return "policy";
     case DropReason::queue_full: return "queue_full";
     case DropReason::too_big: return "too_big";
+    case DropReason::plugin_fault: return "plugin_fault";
     case DropReason::kCount: break;
   }
   return "unknown";
@@ -142,6 +148,16 @@ class IpCore final : public DataPath {
   void set_telemetry(telemetry::Telemetry* t) noexcept { tel_ = t; }
   telemetry::Telemetry* telemetry_sink() const noexcept { return tel_; }
 
+  // Attach the resilience supervisor: gate dispatch then runs through its
+  // guard (exception containment, verdict validation, cycle budgets, circuit
+  // breakers, fallback policies). Null detaches — plugins run bare, exactly
+  // the pre-resilience code path.
+  // Attaches the supervisor and points its breaker-window clock at this
+  // core's gate-dispatch counter (defined in ip_core.cpp: Supervisor is
+  // only forward-declared here).
+  void set_resilience(resilience::Supervisor* s) noexcept;
+  resilience::Supervisor* resilience_sink() const noexcept { return res_; }
+
  private:
   struct Port {
     OutputScheduler* sched{nullptr};
@@ -185,6 +201,10 @@ class IpCore final : public DataPath {
   std::deque<Port> ports_;
   CoreCounters counters_;
   telemetry::Telemetry* tel_{nullptr};
+  resilience::Supervisor* res_{nullptr};
+  // Nesting depth of process_burst (ICMP errors re-enter via process);
+  // deferred breaker rebinds apply only when the outermost burst ends.
+  unsigned burst_depth_{0};
 };
 
 }  // namespace rp::core

@@ -20,6 +20,7 @@
 #include "netdev/iftable.hpp"
 #include "plugin/loader.hpp"
 #include "plugin/pcu.hpp"
+#include "resilience/resilience.hpp"
 #include "route/routing_table.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -38,6 +39,7 @@ class RouterKernel {
     netbase::SimTime flow_idle_timeout{30 * netbase::kNsPerSec};
     netbase::SimTime flow_sweep_interval{netbase::kNsPerSec};
     telemetry::Telemetry::Options telemetry{};
+    resilience::Supervisor::Options resilience{};
   };
 
   // Receive bursts: how many ring packets are handed to the core at once
@@ -57,6 +59,7 @@ class RouterKernel {
   route::RoutingTable& routes() noexcept { return routes_; }
   IpCore& core() noexcept { return *core_; }
   telemetry::Telemetry& telemetry() noexcept { return *telemetry_; }
+  resilience::Supervisor& resilience() noexcept { return *resil_; }
 
   // Convenience: add a NIC (see InterfaceTable::add).
   netdev::SimNic& add_interface(std::string name,
@@ -96,6 +99,10 @@ class RouterKernel {
   // Declared before aiu_: the flow table's remove hook exports records into
   // telemetry during Aiu destruction, so telemetry must outlive it.
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+  // Declared before aiu_/core_ (so it outlives every dispatch) but after
+  // pcu_ (so its destructor runs while instances are still alive and can
+  // null each instance's cached guard slot).
+  std::unique_ptr<resilience::Supervisor> resil_;
   std::unique_ptr<aiu::Aiu> aiu_;
   std::unique_ptr<IpCore> core_;
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "resilience/resilience.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace rp::mgmt {
@@ -24,6 +25,16 @@ std::vector<std::string> split_ws(std::string_view s) {
 }
 
 bool parse_u32(std::string_view s, std::uint32_t& out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_f64(std::string_view s, double& out) {
   auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
   return ec == std::errc{} && p == s.data() + s.size();
 }
@@ -53,6 +64,28 @@ bool parse_gate(std::string_view s, plugin::PluginType& out) {
     auto type = static_cast<plugin::PluginType>(t);
     if (s == plugin::to_string(type)) {
       out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_fault_kind(std::string_view s, resilience::FaultKind& out) {
+  for (std::size_t k = 0; k < resilience::kFaultKinds; ++k) {
+    auto kind = static_cast<resilience::FaultKind>(k);
+    if (s == resilience::to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_fallback(std::string_view s, resilience::Fallback& out) {
+  for (auto f : {resilience::Fallback::fail_open, resilience::Fallback::fail_closed,
+                 resilience::Fallback::best_effort}) {
+    if (s == resilience::to_string(f)) {
+      out = f;
       return true;
     }
   }
@@ -120,6 +153,7 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
     return {s, s == Status::ok ? "unloaded " + tok[1] : "modunload failed"};
   }
   if (cmd == "lsmod") {
+    if (tok.size() != 1) return usage("lsmod");
     std::string text = "available:";
     for (const auto& m : plugin::PluginLoader::available_modules())
       text += " " + m;
@@ -169,6 +203,7 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
   if (cmd == "aiu") {
     // Classifier introspection: flow-cache statistics and per-gate filter
     // counts — what an operator checks before/after reconfiguration.
+    if (tok.size() != 1) return usage("aiu");
     auto& a = lib_.kernel().aiu();
     const auto& ft = a.flow_table();
     const auto& fs = ft.stats();
@@ -252,9 +287,11 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
     if (sub == "export") {
       // telemetry export -> snapshot every live flow-table entry through the
       // sink (reason=on-demand); eviction/expiry exports happen on their own.
+      if (tok.size() != 2) return usage("telemetry export");
       auto& ft = lib_.kernel().aiu().flow_table();
       std::size_t n = 0;
-      for (pkt::FlowIndex i = 0; i < ft.capacity(); ++i) {
+      for (pkt::FlowIndex i = 0;
+           i < static_cast<pkt::FlowIndex>(ft.capacity()); ++i) {
         const auto& r = ft.rec(i);
         if (!r.in_use) continue;
         tel.flow_closed({r.key, r.packets, r.bytes, r.first_seen, r.last_used,
@@ -281,6 +318,7 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
     }
     if (sub == "metrics") {
       // telemetry metrics -> every counter plugins registered (docs §8).
+      if (tok.size() != 2) return usage("telemetry metrics");
       std::string text = telemetry::metrics().report();
       if (!text.empty() && text.back() == '\n') text.pop_back();
       return {Status::ok, text.empty() ? "no metrics registered" : text};
@@ -288,13 +326,207 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
     if (sub == "reset") {
       // Clears histograms/traces/sample counters AND the core counters so a
       // measurement window is consistent across both surfaces.
+      if (tok.size() != 2) return usage("telemetry reset");
       tel.reset();
       lib_.kernel().core().reset_counters();
       return {Status::ok, "telemetry reset"};
     }
-    return usage(
-        "telemetry [hist [gate] | trace [n] | sample <N|off> | export | "
-        "sink <mem|jsonl <path>> | metrics | reset]");
+    return {Status::invalid_argument,
+            "unknown telemetry subcommand: " + sub +
+                "; expected hist|trace|sample|export|sink|metrics|reset"};
+  }
+  if (cmd == "resilience") {
+    auto& res = lib_.kernel().resilience();
+    // resilience | resilience status -> containment/breaker overview.
+    if (tok.size() == 1 || (tok.size() == 2 && tok[1] == "status")) {
+      const auto& cfg = res.breaker_config();
+      std::string text =
+          "faults: total=" + std::to_string(res.faults_total()) +
+          " injected=" + std::to_string(res.faults_injected());
+      for (std::size_t k = 0; k < resilience::kFaultKinds; ++k) {
+        auto kind = static_cast<resilience::FaultKind>(k);
+        text += " " + std::string(resilience::to_string(kind)) + "=" +
+                std::to_string(res.fault_kind_total(kind));
+      }
+      text += "\nbreakers: opens=" + std::to_string(res.breaker_opens()) +
+              " bypassed=" + std::to_string(res.bypassed_total()) +
+              " fallback_drops=" + std::to_string(res.fallback_drops()) +
+              " flows_rebound=" + std::to_string(res.flows_rebound()) +
+              " guards=" + std::to_string(res.guard_count()) +
+              "\nbudget: window=" + std::to_string(cfg.window) +
+              " max_faults=" + std::to_string(cfg.max_faults) +
+              " cooldown=" + std::to_string(cfg.cooldown) +
+              " probes=" + std::to_string(cfg.probes) +
+              (res.armed() ? "\ninjection: armed" : "\ninjection: disarmed");
+      res.for_each_guard([&](const resilience::InstanceGuard& g) {
+        text += "\n  " +
+                (g.inst->owner() ? g.inst->owner()->name() : std::string("?")) +
+                "#" + std::to_string(g.inst->id()) + ": " +
+                std::string(resilience::to_string(g.breaker.state)) +
+                " faults=" + std::to_string(g.faults) +
+                " bypassed=" + std::to_string(g.bypassed) +
+                " opens=" + std::to_string(g.breaker.opens);
+      });
+      return {Status::ok, text};
+    }
+    const std::string& sub = tok[1];
+    if (sub == "events") {
+      // resilience events [n] -> the n most recent recorded faults.
+      std::uint32_t n = 8;
+      if (tok.size() > 3 || (tok.size() == 3 && !parse_u32(tok[2], n)))
+        return usage("resilience events [n]");
+      const auto& evs = res.events();
+      if (n > evs.size()) n = static_cast<std::uint32_t>(evs.size());
+      std::string text;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto& ev = evs[evs.size() - 1 - i];  // newest first
+        if (!text.empty()) text += "\n";
+        text += "[" + std::string(plugin::to_string(ev.gate)) + "] " +
+                std::string(resilience::to_string(ev.kind)) + " " + ev.plugin +
+                "#" + std::to_string(ev.instance) +
+                (ev.injected ? " (injected)" : "");
+        if (ev.cycles) text += " cycles=" + std::to_string(ev.cycles);
+        if (!ev.detail.empty()) text += " \"" + ev.detail + "\"";
+      }
+      return {Status::ok, text.empty() ? "no faults recorded" : text};
+    }
+    if (sub == "budget") {
+      // resilience budget                                   -> show
+      // resilience budget <window> <max_faults> <cooldown> <probes>
+      // resilience budget cycles <gate> <N|off>             -> cycle budget
+      if (tok.size() == 2) {
+        const auto& cfg = res.breaker_config();
+        std::string text = "window=" + std::to_string(cfg.window) +
+                           " max_faults=" + std::to_string(cfg.max_faults) +
+                           " cooldown=" + std::to_string(cfg.cooldown) +
+                           " probes=" + std::to_string(cfg.probes) +
+                           "\ncycles:";
+        for (std::uint16_t t = 1; t < aiu::kNumGates; ++t) {
+          auto type = static_cast<plugin::PluginType>(t);
+          text += " " + std::string(plugin::to_string(type)) + "=";
+          const auto b = res.cycle_budget(type);
+          text += b ? std::to_string(b) : std::string("off");
+        }
+        return {Status::ok, text};
+      }
+      if (tok[2] == "cycles") {
+        plugin::PluginType gate;
+        std::uint64_t n = 0;
+        if (tok.size() != 5 || !parse_gate(tok[3], gate) ||
+            (tok[4] != "off" && !parse_u64(tok[4], n)))
+          return usage("resilience budget cycles <gate> <N|off>");
+        res.set_cycle_budget(gate, n);
+        return {Status::ok, std::string(plugin::to_string(gate)) +
+                                " cycle budget " +
+                                (n ? std::to_string(n) : std::string("off"))};
+      }
+      std::uint32_t w, f, c, p;
+      if (tok.size() != 6 || !parse_u32(tok[2], w) || !parse_u32(tok[3], f) ||
+          !parse_u32(tok[4], c) || !parse_u32(tok[5], p) || w == 0 || f == 0 ||
+          c == 0 || p == 0)
+        return usage(
+            "resilience budget [<window> <max_faults> <cooldown> <probes> | "
+            "cycles <gate> <N|off>]");
+      res.breaker_config() = {w, f, c, p};
+      return {Status::ok, "error budget: " + std::to_string(f) + " faults per " +
+                              std::to_string(w) + " calls"};
+    }
+    if (sub == "trip" || sub == "reset") {
+      // resilience trip <plugin> <id> | resilience reset <plugin> <id> | all
+      if (sub == "reset" && tok.size() == 3 && tok[2] == "all") {
+        res.reset_all();
+        return {Status::ok, "all breakers closed, counters cleared"};
+      }
+      std::uint32_t id;
+      if (tok.size() != 4 || !parse_u32(tok[3], id))
+        return usage(sub == "trip" ? "resilience trip <plugin> <id>"
+                                   : "resilience reset <plugin> <id> | all");
+      auto* inst = lib_.kernel().pcu().find_instance(tok[2], id);
+      if (!inst)
+        return {Status::not_found, "no instance " + tok[2] + "#" + tok[3]};
+      if (sub == "trip") {
+        res.trip(*inst);
+        return {Status::ok, tok[2] + "#" + tok[3] + " tripped (open)"};
+      }
+      res.reset(*inst);
+      return {Status::ok, tok[2] + "#" + tok[3] + " reset (closed)"};
+    }
+    if (sub == "fallback") {
+      // resilience fallback                 -> show matrix
+      // resilience fallback <gate> <policy>
+      if (tok.size() == 2) {
+        std::string text;
+        for (std::uint16_t t = 1; t < aiu::kNumGates; ++t) {
+          auto type = static_cast<plugin::PluginType>(t);
+          if (!text.empty()) text += " ";
+          text += std::string(plugin::to_string(type)) + "=" +
+                  std::string(resilience::to_string(res.fallback(type)));
+        }
+        return {Status::ok, text};
+      }
+      plugin::PluginType gate;
+      resilience::Fallback f;
+      if (tok.size() != 4 || !parse_gate(tok[2], gate) ||
+          !parse_fallback(tok[3], f))
+        return usage(
+            "resilience fallback [<gate> <fail_open|fail_closed|best_effort>]");
+      res.set_fallback(gate, f);
+      return {Status::ok, std::string(plugin::to_string(gate)) + " falls back " +
+                              std::string(resilience::to_string(f))};
+    }
+    if (sub == "inject") {
+      // resilience inject off
+      // resilience inject seed <n>
+      // resilience inject <gate> <kind> every <N>
+      // resilience inject <gate> <kind> prob <p>
+      // resilience inject <gate> <kind> off
+      if (tok.size() == 3 && tok[2] == "off") {
+        res.clear_injection();
+        return {Status::ok, "injection disarmed"};
+      }
+      if (tok.size() == 4 && tok[2] == "seed") {
+        std::uint64_t seed;
+        if (!parse_u64(tok[3], seed))
+          return usage("resilience inject seed <n>");
+        res.reseed_injection(seed);
+        return {Status::ok, "injector reseeded"};
+      }
+      plugin::PluginType gate;
+      resilience::FaultKind kind;
+      if (tok.size() >= 4 && parse_gate(tok[2], gate) &&
+          parse_fault_kind(tok[3], kind)) {
+        if (tok.size() == 5 && tok[4] == "off") {
+          res.set_injection(gate, kind, {});
+          return {Status::ok, "rule cleared"};
+        }
+        if (tok.size() == 6 && tok[4] == "every") {
+          std::uint32_t n;
+          if (!parse_u32(tok[5], n) || n == 0)
+            return usage("resilience inject <gate> <kind> every <N>");
+          res.set_injection(gate, kind, {.every = n});
+          return {Status::ok,
+                  "inject " + std::string(resilience::to_string(kind)) +
+                      " at " + std::string(plugin::to_string(gate)) +
+                      " every " + std::to_string(n)};
+        }
+        if (tok.size() == 6 && tok[4] == "prob") {
+          double p;
+          if (!parse_f64(tok[5], p) || p <= 0.0 || p > 1.0)
+            return usage("resilience inject <gate> <kind> prob <0<p<=1>");
+          res.set_injection(gate, kind, {.probability = p});
+          return {Status::ok,
+                  "inject " + std::string(resilience::to_string(kind)) +
+                      " at " + std::string(plugin::to_string(gate)) +
+                      " prob " + tok[5]};
+        }
+      }
+      return usage(
+          "resilience inject <off | seed <n> | <gate> <kind> "
+          "<every <N> | prob <p> | off>>");
+    }
+    return {Status::invalid_argument,
+            "unknown resilience subcommand: " + sub +
+                "; expected status|events|budget|trip|reset|fallback|inject"};
   }
   if (cmd == "route") {
     if (tok.size() == 4 && tok[1] == "add") {

@@ -60,10 +60,19 @@ class PluginInstance {
   Plugin* owner() const noexcept { return owner_; }
   InstanceId id() const noexcept { return id_; }
 
+  // Opaque per-instance slot owned by the resilience supervisor: it caches
+  // the instance's guard (circuit breaker + fault counters) here so gate
+  // dispatch dereferences one pointer instead of probing a map. Null until
+  // the supervisor first sees the instance; the supervisor nulls it again
+  // when the instance is forgotten or the supervisor dies.
+  void* resil_slot() const noexcept { return resil_slot_; }
+  void set_resil_slot(void* s) noexcept { resil_slot_ = s; }
+
  private:
   friend class Plugin;
   Plugin* owner_{nullptr};
   InstanceId id_{kNoInstance};
+  void* resil_slot_{nullptr};
 };
 
 class Plugin {

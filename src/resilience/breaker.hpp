@@ -1,0 +1,118 @@
+// Per-instance circuit breaker (the resilience subsystem's state machine).
+//
+// A plugin instance accumulates faults (exceptions, invalid verdicts, cycle
+// budget overruns) against an error budget: `max_faults` faults within a
+// tumbling window of `window` invocations trips the breaker
+// Closed -> Open. While Open the gate bypasses the instance entirely (the
+// packet follows the gate's fallback policy); after `cooldown` bypassed
+// invocations the breaker goes HalfOpen and lets probe packets through.
+// `probes` consecutive successful probes close it again; any probe fault
+// re-opens it immediately.
+//
+// The breaker does not count its own invocations: the Closed-state success
+// path performs no stores at all, so the guard costs nothing measurable when
+// plugins behave (bench_t6_resilience). Instead the window is anchored to an
+// external monotonic invocation clock — the supervisor passes the IP core's
+// gate-dispatch counter, which the datapath already maintains — and all
+// bookkeeping happens on the fault path.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rp::resilience {
+
+enum class BreakerState : std::uint8_t { closed = 0, open, half_open };
+
+constexpr std::string_view to_string(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::closed: return "closed";
+    case BreakerState::open: return "open";
+    case BreakerState::half_open: return "half-open";
+  }
+  return "?";
+}
+
+// Runtime-configurable error budget (pmgr resilience budget ...). One config
+// is shared by every breaker the supervisor owns. `window` is measured in
+// ticks of the supervisor's invocation clock (router-wide gate dispatches).
+struct BreakerConfig {
+  std::uint32_t window{64};     // invocation-clock ticks per error window
+  std::uint32_t max_faults{8};  // faults within one window that trip Open
+  std::uint32_t cooldown{256};  // bypassed invocations in Open before HalfOpen
+  std::uint32_t probes{4};      // consecutive HalfOpen successes to re-close
+};
+
+struct CircuitBreaker {
+  BreakerState state{BreakerState::closed};
+  std::uint64_t window_start{0};   // clock value when the window opened
+  std::uint32_t window_faults{0};  // faults since window_start
+  std::uint32_t bypassed{0};       // consecutive bypasses while Open
+  std::uint32_t probe_ok{0};       // consecutive HalfOpen successes
+  std::uint64_t opens{0};          // lifetime Closed/HalfOpen -> Open count
+
+  bool closed() const noexcept { return state == BreakerState::closed; }
+
+  // Open: count the bypass and, after the cooldown, fall to HalfOpen —
+  // admitting the current call as the first probe. Returns true when the
+  // caller must bypass the instance.
+  bool should_bypass(const BreakerConfig& cfg) noexcept {
+    if (state == BreakerState::closed) [[likely]] return false;
+    if (state == BreakerState::open) {
+      if (++bypassed < cfg.cooldown) return true;
+      state = BreakerState::half_open;
+      probe_ok = 0;
+    }
+    return false;  // half-open: admit the probe
+  }
+
+  // Success is a no-op while Closed (nothing to record); while HalfOpen it
+  // advances the probe count toward recovery. Returns true when this
+  // success closed the breaker (the supervisor re-evaluates its quiet flag
+  // on that transition).
+  bool on_success(const BreakerConfig& cfg) noexcept {
+    if (state != BreakerState::half_open) return false;
+    if (++probe_ok >= cfg.probes) {
+      reset();
+      return true;
+    }
+    return false;
+  }
+
+  // `now` is the supervisor's invocation clock. Returns true when this
+  // fault tripped the breaker (-> Open).
+  bool on_fault(const BreakerConfig& cfg, std::uint64_t now) noexcept {
+    if (state == BreakerState::half_open) {
+      trip();
+      return true;
+    }
+    if (now - window_start > cfg.window) {  // tumbling window rolled over
+      window_start = now;
+      window_faults = 0;
+    }
+    if (++window_faults >= cfg.max_faults) {
+      trip();
+      return true;
+    }
+    return false;
+  }
+
+  // Force Open (pmgr resilience trip, or a fault over budget).
+  void trip() noexcept {
+    state = BreakerState::open;
+    ++opens;
+    bypassed = 0;
+    probe_ok = 0;
+    window_faults = 0;
+  }
+
+  // Force Closed and clear window state (pmgr resilience reset / recovery).
+  void reset() noexcept {
+    state = BreakerState::closed;
+    bypassed = 0;
+    probe_ok = 0;
+    window_faults = 0;
+  }
+};
+
+}  // namespace rp::resilience

@@ -1,0 +1,109 @@
+// Fault-injection harness for chaos testing the datapath (compiled in
+// always, zero-cost when disarmed: the supervisor checks one bool before
+// consulting any rule).
+//
+// A rule targets one (plugin type, fault kind) pair and fires either
+// deterministically (every Nth dispatch at that gate) or probabilistically
+// (Bernoulli per dispatch, seeded xoshiro so runs reproduce). Injected
+// faults flow through exactly the machinery real faults do — guard, fault
+// ring, breaker, fallback — which is the point: the chaos soak proves the
+// containment path under load, not a simulation of it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "netbase/rng.hpp"
+#include "plugin/code.hpp"
+
+namespace rp::resilience {
+
+// Mirrors telemetry::kGateSlots / aiu::kNumGates without depending on either.
+constexpr std::size_t kGateSlots = 9;
+
+enum class FaultKind : std::uint8_t {
+  exception = 0,   // handle_packet threw
+  bad_verdict,     // returned a value outside the Verdict enum
+  budget_overrun,  // exceeded the gate's cycle budget
+  kCount,
+};
+
+constexpr std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::exception: return "exception";
+    case FaultKind::bad_verdict: return "bad_verdict";
+    case FaultKind::budget_overrun: return "budget_overrun";
+    case FaultKind::kCount: break;
+  }
+  return "?";
+}
+
+constexpr std::size_t kFaultKinds = static_cast<std::size_t>(FaultKind::kCount);
+
+class FaultInjector {
+ public:
+  struct Rule {
+    std::uint32_t every{0};    // deterministic: fire every Nth dispatch
+    double probability{0.0};   // probabilistic: Bernoulli per dispatch
+    std::uint32_t counter{0};  // deterministic-mode progress
+    bool active() const noexcept { return every > 0 || probability > 0.0; }
+  };
+
+  explicit FaultInjector(std::uint64_t seed = 0x5eedf00dULL) : rng_(seed) {}
+
+  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+  // Installs (or, with an inactive rule, removes) the rule for one
+  // (gate, kind) pair. `gate` indexes by plugin type.
+  void set(plugin::PluginType gate, FaultKind kind, Rule r) {
+    Rule& slot = rules_[gate_slot(gate)][static_cast<std::size_t>(kind)];
+    if (slot.active()) --active_;
+    slot = r;
+    slot.counter = 0;
+    if (slot.active()) ++active_;
+  }
+
+  void clear() {
+    for (auto& per_gate : rules_)
+      for (auto& r : per_gate) r = Rule{};
+    active_ = 0;
+  }
+
+  bool armed() const noexcept { return active_ > 0; }
+
+  const Rule& rule(plugin::PluginType gate, FaultKind kind) const noexcept {
+    return rules_[gate_slot(gate)][static_cast<std::size_t>(kind)];
+  }
+
+  // Consulted once per guarded dispatch at `gate` (only when armed). At most
+  // one fault fires per dispatch; kinds are tried in enum order.
+  bool pick(plugin::PluginType gate, FaultKind& out) noexcept {
+    auto& per_gate = rules_[gate_slot(gate)];
+    for (std::size_t k = 0; k < kFaultKinds; ++k) {
+      Rule& r = per_gate[k];
+      if (r.every > 0) {
+        if (++r.counter >= r.every) {
+          r.counter = 0;
+          out = static_cast<FaultKind>(k);
+          return true;
+        }
+      } else if (r.probability > 0.0 && rng_.chance(r.probability)) {
+        out = static_cast<FaultKind>(k);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static std::size_t gate_slot(plugin::PluginType gate) noexcept {
+    const auto g = static_cast<std::size_t>(gate);
+    return g < kGateSlots ? g : 0;
+  }
+
+  Rule rules_[kGateSlots][kFaultKinds]{};
+  std::uint32_t active_{0};
+  netbase::Rng rng_;
+};
+
+}  // namespace rp::resilience

@@ -1,0 +1,212 @@
+#include "resilience/resilience.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "aiu/aiu.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace rp::resilience {
+
+Supervisor::Supervisor() : Supervisor(Options{}) {}
+
+Supervisor::Supervisor(Options opt)
+    : opt_(opt), cfg_(opt.breaker), injector_(opt.inject_seed) {
+  // Default fallback matrix (ISSUE 3): security fails closed, the scheduler
+  // degrades to the port FIFO, option/statistics/policy gates fail open.
+  for (auto& f : fallback_) f = Fallback::fail_open;
+  fallback_[aiu::gate_index(plugin::PluginType::ipsec)] = Fallback::fail_closed;
+  fallback_[kSchedGate] = Fallback::best_effort;
+  register_metrics();
+}
+
+Supervisor::~Supervisor() {
+  telemetry::metrics().remove_owner(this);
+  // Instances outlive this supervisor only at kernel teardown (RouterKernel
+  // destroys the supervisor before the PCU); null the cached slots so a
+  // later supervisor never trusts a stale pointer.
+  for (auto& [inst, g] : guards_)
+    const_cast<plugin::PluginInstance*>(inst)->set_resil_slot(nullptr);
+}
+
+void Supervisor::register_metrics() {
+  auto& m = telemetry::metrics();
+  m.add("resilience.faults_total", &faults_total_, this);
+  m.add("resilience.faults_injected", &injected_total_, this);
+  m.add("resilience.breaker_opens", &opens_total_, this);
+  m.add("resilience.bypassed", &bypassed_total_, this);
+  m.add("resilience.fallback_drops", &fallback_drops_, this);
+  m.add("resilience.flows_rebound", &flows_rebound_, this);
+  for (std::size_t k = 0; k < kFaultKinds; ++k)
+    m.add("resilience.faults." +
+              std::string(to_string(static_cast<FaultKind>(k))),
+          &kind_total_[k], this);
+}
+
+InstanceGuard& Supervisor::make_guard(plugin::PluginInstance& inst) {
+  auto g = std::make_unique<InstanceGuard>();
+  g->inst = &inst;
+  InstanceGuard& ref = *g;
+  guards_[&inst] = std::move(g);
+  inst.set_resil_slot(&ref);
+  return ref;
+}
+
+Decision Supervisor::dispatch_slow(plugin::PluginType gate, std::size_t gi,
+                                   InstanceGuard& g, aiu::GateBinding& b,
+                                   pkt::Packet& p) {
+  if (g.breaker.should_bypass(cfg_)) {
+    ++g.bypassed;
+    ++bypassed_total_;
+    if (fallback_[gi] == Fallback::fail_closed) {
+      ++fallback_drops_;
+      return {plugin::Verdict::drop, true};
+    }
+    return {plugin::Verdict::cont, false};
+  }
+  FaultKind inj{};
+  const bool do_inject = armed_ && injector_.pick(gate, inj);
+  const std::uint64_t budget = cycle_budget_[gi];
+  const std::uint64_t t0 = budget != 0 ? telemetry::cycles() : 0;
+  plugin::Verdict v;
+  try {
+    if (do_inject && inj == FaultKind::exception) throw InjectedFault{};
+    v = b.instance->handle_packet(p, &b.soft);
+    if (do_inject && inj == FaultKind::bad_verdict)
+      v = static_cast<plugin::Verdict>(0x6b);
+  } catch (const std::exception& e) {
+    return fault_decision(g, gate, gi, FaultKind::exception, do_inject, 0,
+                          e.what());
+  } catch (...) {
+    return fault_decision(g, gate, gi, FaultKind::exception, do_inject, 0,
+                          "non-standard exception");
+  }
+  if (static_cast<std::uint8_t>(v) > kMaxVerdict)
+    return fault_decision(g, gate, gi, FaultKind::bad_verdict, do_inject, 0,
+                          {});
+  if (budget != 0 || (do_inject && inj == FaultKind::budget_overrun)) {
+    std::uint64_t elapsed = budget != 0 ? telemetry::cycles() - t0 : 0;
+    bool overrun = budget != 0 && elapsed > budget;
+    if (do_inject && inj == FaultKind::budget_overrun) {
+      overrun = true;
+      if (elapsed <= budget) elapsed = budget + kInjectedOverrunCycles;
+    }
+    if (overrun) {
+      // The plugin already rendered a valid verdict; it stands. The overrun
+      // only feeds the breaker (repeat offenders get bypassed).
+      note_fault(g, gate, gi, FaultKind::budget_overrun, do_inject, elapsed,
+                 {});
+      return {v, false};
+    }
+  }
+  if (g.breaker.on_success(cfg_)) refresh_quiet();
+  return {v, false};
+}
+
+SchedAdmit Supervisor::sched_admit_slow(InstanceGuard& g) {
+  if (!g.breaker.should_bypass(cfg_)) return SchedAdmit::admit;
+  ++g.bypassed;
+  ++bypassed_total_;
+  if (fallback_[kSchedGate] == Fallback::fail_closed) {
+    ++fallback_drops_;
+    return SchedAdmit::drop;
+  }
+  return SchedAdmit::bypass;  // best_effort / fail_open: port FIFO
+}
+
+Decision Supervisor::fault_decision(InstanceGuard& g, plugin::PluginType gate,
+                                    std::size_t gi, FaultKind kind,
+                                    bool injected, std::uint64_t cycles,
+                                    std::string detail) {
+  note_fault(g, gate, gi, kind, injected, cycles, std::move(detail));
+  if (fallback_[gi] == Fallback::fail_closed) {
+    ++fallback_drops_;
+    return {plugin::Verdict::drop, true};
+  }
+  return {plugin::Verdict::cont, false};
+}
+
+void Supervisor::note_fault(InstanceGuard& g, plugin::PluginType gate,
+                            std::size_t gi, FaultKind kind, bool injected,
+                            std::uint64_t cycles, std::string detail) {
+  ++g.faults;
+  ++faults_total_;
+  ++kind_total_[static_cast<std::size_t>(kind)];
+  ++gate_faults_[gi][static_cast<std::size_t>(kind)];
+  if (injected) ++injected_total_;
+
+  FaultEvent ev;
+  ev.plugin = g.inst->owner() ? g.inst->owner()->name() : std::string("?");
+  ev.instance = g.inst->id();
+  ev.gate = gate;
+  ev.kind = kind;
+  ev.injected = injected;
+  ev.cycles = cycles;
+  ev.when = clock_ ? clock_->now() : 0;
+  ev.detail = std::move(detail);
+  events_.push_back(std::move(ev));
+  if (events_.size() > opt_.fault_ring) events_.pop_front();
+
+  if (g.breaker.on_fault(cfg_, *invocations_)) breaker_opened(g);
+}
+
+void Supervisor::breaker_opened(InstanceGuard& g) {
+  ++opens_total_;
+  refresh_quiet();
+  if (std::find(pending_rebinds_.begin(), pending_rebinds_.end(), g.inst) ==
+      pending_rebinds_.end())
+    pending_rebinds_.push_back(g.inst);
+}
+
+void Supervisor::apply_rebinds() {
+  if (aiu_) {
+    for (plugin::PluginInstance* inst : pending_rebinds_)
+      flows_rebound_ += aiu_->rebind_instance(inst);
+  }
+  pending_rebinds_.clear();
+}
+
+void Supervisor::forget(const plugin::PluginInstance* inst) {
+  auto it = guards_.find(inst);
+  if (it == guards_.end()) return;
+  const_cast<plugin::PluginInstance*>(inst)->set_resil_slot(nullptr);
+  guards_.erase(it);
+  refresh_quiet();
+  pending_rebinds_.erase(
+      std::remove(pending_rebinds_.begin(), pending_rebinds_.end(), inst),
+      pending_rebinds_.end());
+}
+
+void Supervisor::trip(plugin::PluginInstance& inst) {
+  InstanceGuard& g = guard_of(inst);
+  g.breaker.trip();
+  breaker_opened(g);  // counts the open and queues the flow rebind
+}
+
+void Supervisor::reset(plugin::PluginInstance& inst) {
+  InstanceGuard& g = guard_of(inst);
+  g.breaker.reset();
+  refresh_quiet();
+}
+
+void Supervisor::reset_all() {
+  for (auto& [inst, g] : guards_) {
+    g->breaker.reset();
+    g->faults = 0;
+    g->bypassed = 0;
+  }
+  pending_rebinds_.clear();
+  events_.clear();
+  faults_total_ = 0;
+  injected_total_ = 0;
+  opens_total_ = 0;
+  bypassed_total_ = 0;
+  fallback_drops_ = 0;
+  flows_rebound_ = 0;
+  for (auto& k : kind_total_) k = 0;
+  for (auto& per_gate : gate_faults_)
+    for (auto& k : per_gate) k = 0;
+  refresh_quiet();
+}
+
+}  // namespace rp::resilience

@@ -1,0 +1,459 @@
+// Resilience supervisor — the containment layer between the IP core's gates
+// and third-party plugin code.
+//
+// The paper trusts dynamically loaded plugins with every packet; this layer
+// makes that trust survivable. Every gate dispatch is routed through
+// Supervisor::dispatch, which
+//   1. catches anything handle_packet throws,
+//   2. rejects verdicts outside the Verdict enum,
+//   3. enforces an optional per-gate cycle budget (telemetry/cycles.hpp), and
+//   4. feeds every violation into the instance's circuit breaker
+//      (breaker.hpp) as a FaultEvent instead of letting it crash the router.
+// When a breaker opens, the instance is bypassed and the packet follows the
+// gate's fallback policy (fail open / fail closed / best effort); flows
+// bound to the tripped instance are queued for AIU rebinding, applied at
+// burst boundaries so no in-flight GateBinding pointer dangles.
+//
+// Cost model: while the supervisor is *quiet* — nothing armed, no cycle
+// budget set, every breaker closed, i.e. the steady state of a healthy
+// router — a dispatch is one branch on the `quiet_` flag ahead of the
+// virtual call and a verdict range check after it. No per-instance state
+// is touched (guards materialize lazily on the first fault or non-quiet
+// dispatch), and no stores happen at all: the breaker's error window is
+// anchored to the IP core's gate-dispatch counter (set_invocation_clock)
+// instead of a counter of its own, so every piece of bookkeeping lives on
+// the fault path. Exception handling uses table-based unwinding (free
+// until a throw). bench_t6_resilience measures this via burst-level
+// baseline/guarded interleaving; the disarmed guard is indistinguishable
+// from no supervisor (<= 1% acceptance budget, ~0% measured).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aiu/flow_table.hpp"
+#include "netbase/clock.hpp"
+#include "pkt/packet.hpp"
+#include "plugin/plugin.hpp"
+#include "resilience/breaker.hpp"
+#include "resilience/fault_injector.hpp"
+#include "telemetry/cycles.hpp"
+
+namespace rp::aiu {
+class Aiu;
+}
+
+namespace rp::resilience {
+
+// What a gate does with a packet when its instance is bypassed or faults.
+enum class Fallback : std::uint8_t {
+  fail_open,    // pass: packet continues along the IP core path
+  fail_closed,  // drop: packet discarded (DropReason::plugin_fault)
+  best_effort,  // degrade: meaningful at the scheduling gate (FIFO bypass);
+                // elsewhere identical to fail_open
+};
+
+constexpr std::string_view to_string(Fallback f) noexcept {
+  switch (f) {
+    case Fallback::fail_open: return "fail_open";
+    case Fallback::fail_closed: return "fail_closed";
+    case Fallback::best_effort: return "best_effort";
+  }
+  return "?";
+}
+
+// Outcome of a guarded dispatch. `fault_drop` distinguishes a containment
+// drop (counted under DropReason::plugin_fault) from a plugin's own verdict.
+struct Decision {
+  plugin::Verdict verdict{plugin::Verdict::cont};
+  bool fault_drop{false};
+};
+
+// Outcome of the scheduling-gate admission check (breaker consult before
+// ownership of the packet transfers into the scheduler).
+enum class SchedAdmit : std::uint8_t {
+  admit,   // breaker closed / probing: call the scheduler
+  bypass,  // breaker open, best_effort/fail_open: use the port FIFO
+  drop,    // breaker open, fail_closed
+};
+
+// Thrown by the injector through the real containment path (never escapes
+// the supervisor; catching std::exception handles it like any plugin bug).
+struct InjectedFault : std::runtime_error {
+  InjectedFault() : std::runtime_error("injected fault") {}
+};
+
+// One recorded containment event (ring buffer, newest last).
+struct FaultEvent {
+  std::string plugin;  // owning plugin's name (copied: instance may die)
+  plugin::InstanceId instance{plugin::kNoInstance};
+  plugin::PluginType gate{};
+  FaultKind kind{};
+  bool injected{false};
+  std::uint64_t cycles{0};  // elapsed cycles (budget overruns only)
+  netbase::SimTime when{0};
+  std::string detail;  // exception what(), when there was one
+};
+
+// Per-instance supervision state, cached in PluginInstance::resil_slot so
+// the hot path costs one pointer dereference.
+struct InstanceGuard {
+  CircuitBreaker breaker;
+  plugin::PluginInstance* inst{nullptr};
+  std::uint64_t faults{0};    // lifetime faults at this instance
+  std::uint64_t bypassed{0};  // lifetime bypasses (breaker open)
+};
+
+class Supervisor {
+ public:
+  struct Options {
+    BreakerConfig breaker{};
+    std::size_t fault_ring{128};  // FaultEvents retained
+    std::uint64_t inject_seed{0x5eedf00dULL};
+  };
+
+  Supervisor();
+  explicit Supervisor(Options opt);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // -- wiring (RouterKernel / IpCore) --
+  void set_aiu(aiu::Aiu* a) noexcept { aiu_ = a; }
+  void set_clock(const netbase::SimClock* c) noexcept { clock_ = c; }
+  // Monotonic dispatch counter the breaker windows are measured against;
+  // IpCore points this at its gate_calls counter so the supervisor never
+  // has to count invocations itself. Null restores the internal (frozen)
+  // clock, under which windows never tumble.
+  void set_invocation_clock(const std::uint64_t* c) noexcept {
+    invocations_ = c ? c : &no_clock_;
+  }
+  std::uint64_t invocation_now() const noexcept { return *invocations_; }
+
+  // ---------------------------------------------------------------- hot path
+
+  // Guarded gate dispatch. `b.instance` must be non-null (the gate already
+  // skipped unbound packets). Never throws.
+  //
+  // `quiet_` folds the whole supervisor state into one load: no injection
+  // armed, no cycle budget set, every breaker closed. While quiet — the
+  // steady state of a healthy router — the dispatch touches no per-instance
+  // state at all: one flag, a try/catch frame (free via table-based
+  // unwinding), and a verdict range check. The guard is only looked up on
+  // the fault path.
+  Decision dispatch(plugin::PluginType gate, aiu::GateBinding& b,
+                    pkt::Packet& p) {
+    if (!quiet_) [[unlikely]] return dispatch_guarded(gate, b, p);
+    plugin::Verdict v;
+    try {
+      v = b.instance->handle_packet(p, &b.soft);
+    } catch (const std::exception& e) {
+      return fault_decision(guard_of(*b.instance), gate,
+                            aiu::gate_index(gate), FaultKind::exception,
+                            false, 0, e.what());
+    } catch (...) {
+      return fault_decision(guard_of(*b.instance), gate,
+                            aiu::gate_index(gate), FaultKind::exception,
+                            false, 0, "non-standard exception");
+    }
+    if (static_cast<std::uint8_t>(v) > kMaxVerdict) [[unlikely]]
+      return fault_decision(guard_of(*b.instance), gate,
+                            aiu::gate_index(gate), FaultKind::bad_verdict,
+                            false, 0, {});
+    return {v, false};
+  }
+
+  // Scheduling-gate admission: consulted before OutputScheduler::enqueue,
+  // because ownership of the packet moves into the plugin there (no verdict
+  // comes back to validate).
+  SchedAdmit sched_admit(plugin::PluginInstance& inst) {
+    if (quiet_) [[likely]] return SchedAdmit::admit;
+    InstanceGuard& g = guard_of(inst);
+    if (!slow_path_ && g.breaker.closed()) return SchedAdmit::admit;
+    return sched_admit_slow(g);
+  }
+
+  // Guards the enqueue call itself. Returns true when the call completed
+  // (possibly with a recorded budget-overrun fault — the packet is already
+  // queued, so the outcome stands); returns false when it threw, in which
+  // case the caller applies the sched fallback to whatever remains of the
+  // packet. An injected throw fires *before* `fn`, leaving the packet
+  // intact; a real throw typically consumed it — the caller distinguishes by
+  // testing its PacketPtr.
+  template <class F>
+  bool guard_enqueue(plugin::PluginInstance& inst, F&& fn) {
+    if (!quiet_) [[unlikely]] {
+      InstanceGuard& g = guard_of(inst);
+      if (slow_path_ || !g.breaker.closed())
+        return guard_enqueue_slow(g, std::forward<F>(fn));
+      // Not quiet, but *this* instance is healthy and nothing is armed:
+      // same contained call as the quiet path below.
+    }
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      note_fault(guard_of(inst), plugin::PluginType::sched, kSchedGate,
+                 FaultKind::exception, false, 0, e.what());
+      return false;
+    } catch (...) {
+      note_fault(guard_of(inst), plugin::PluginType::sched, kSchedGate,
+                 FaultKind::exception, false, 0, "non-standard exception");
+      return false;
+    }
+    return true;  // success is a no-op while the breaker is closed
+  }
+
+  // Called by IpCore when the outermost burst finishes: applies deferred
+  // flow rebinds for instances whose breakers opened mid-burst (purging
+  // flow-table bindings while bindings are in use would dangle pointers).
+  void end_of_burst() {
+    if (pending_rebinds_.empty()) [[likely]] return;
+    apply_rebinds();
+  }
+
+  // -------------------------------------------------------------- control
+
+  // PCU purge hook: the instance is being freed — drop its guard and any
+  // pending rebind (the PCU already purged its flows/filters).
+  void forget(const plugin::PluginInstance* inst);
+
+  // Manual breaker control (pmgr resilience trip/reset). Unknown instances
+  // get a guard on demand; trip queues a flow rebind like a real open.
+  void trip(plugin::PluginInstance& inst);
+  void reset(plugin::PluginInstance& inst);
+  // Closes every breaker and clears fault totals, histograms, and the ring.
+  void reset_all();
+
+  // Error budget (shared by all breakers; pmgr resilience budget).
+  BreakerConfig& breaker_config() noexcept { return cfg_; }
+  const BreakerConfig& breaker_config() const noexcept { return cfg_; }
+
+  // Per-gate cycle budget; 0 disables (the default — the guard then never
+  // reads the cycle counter for that gate).
+  void set_cycle_budget(plugin::PluginType gate, std::uint64_t cycles) {
+    cycle_budget_[aiu::gate_index(gate)] = cycles;
+    refresh_slow_path();
+  }
+  std::uint64_t cycle_budget(plugin::PluginType gate) const noexcept {
+    return cycle_budget_[aiu::gate_index(gate)];
+  }
+
+  // Per-gate fallback policy.
+  void set_fallback(plugin::PluginType gate, Fallback f) {
+    fallback_[aiu::gate_index(gate)] = f;
+  }
+  Fallback fallback(plugin::PluginType gate) const noexcept {
+    return fallback_[aiu::gate_index(gate)];
+  }
+
+  // Fault injection (owns the armed flag: route all rule changes here).
+  void set_injection(plugin::PluginType gate, FaultKind kind,
+                     FaultInjector::Rule r) {
+    injector_.set(gate, kind, r);
+    armed_ = injector_.armed();
+    refresh_slow_path();
+  }
+  void clear_injection() {
+    injector_.clear();
+    armed_ = false;
+    refresh_slow_path();
+  }
+  void reseed_injection(std::uint64_t seed) { injector_.reseed(seed); }
+  const FaultInjector& injector() const noexcept { return injector_; }
+  bool armed() const noexcept { return armed_; }
+
+  // -------------------------------------------------------------- observe
+
+  std::uint64_t faults_total() const noexcept { return faults_total_; }
+  std::uint64_t faults_injected() const noexcept { return injected_total_; }
+  std::uint64_t breaker_opens() const noexcept { return opens_total_; }
+  std::uint64_t bypassed_total() const noexcept { return bypassed_total_; }
+  std::uint64_t fallback_drops() const noexcept { return fallback_drops_; }
+  std::uint64_t flows_rebound() const noexcept { return flows_rebound_; }
+  std::uint64_t fault_kind_total(FaultKind k) const noexcept {
+    return kind_total_[static_cast<std::size_t>(k)];
+  }
+  // Fault histogram cell: faults of `kind` observed at `gate`.
+  std::uint64_t gate_faults(plugin::PluginType gate, FaultKind k) const {
+    return gate_faults_[aiu::gate_index(gate)][static_cast<std::size_t>(k)];
+  }
+
+  const std::deque<FaultEvent>& events() const noexcept { return events_; }
+  std::size_t guard_count() const noexcept { return guards_.size(); }
+  void for_each_guard(
+      const std::function<void(const InstanceGuard&)>& fn) const {
+    for (const auto& [inst, g] : guards_) fn(*g);
+  }
+  // Null when the supervisor has never seen the instance.
+  const InstanceGuard* guard(const plugin::PluginInstance& inst) const {
+    return static_cast<const InstanceGuard*>(inst.resil_slot());
+  }
+
+  std::size_t pending_rebinds() const noexcept {
+    return pending_rebinds_.size();
+  }
+
+ private:
+  static constexpr std::uint8_t kMaxVerdict =
+      static_cast<std::uint8_t>(plugin::Verdict::drop);
+  static constexpr std::size_t kSchedGate =
+      aiu::gate_index(plugin::PluginType::sched);
+  // Synthetic "elapsed" margin recorded for injected overruns that did not
+  // actually blow the budget.
+  static constexpr std::uint64_t kInjectedOverrunCycles = 1'000'000;
+
+  InstanceGuard& guard_of(plugin::PluginInstance& inst) {
+    if (void* s = inst.resil_slot()) [[likely]]
+      return *static_cast<InstanceGuard*>(s);
+    return make_guard(inst);
+  }
+
+  // Full-featured enqueue guard: injection, cycle budget, half-open probe
+  // accounting. Reached when `slow_path_` is set or the breaker is not
+  // closed (sched_admit already turned an open breaker into bypass/drop, so
+  // "not closed" here means a half-open probe).
+  template <class F>
+  bool guard_enqueue_slow(InstanceGuard& g, F&& fn) {
+    constexpr auto gate = plugin::PluginType::sched;
+    FaultKind inj{};
+    bool do_inject = armed_ && injector_.pick(gate, inj);
+    const std::uint64_t budget = cycle_budget_[kSchedGate];
+    const std::uint64_t t0 = budget != 0 ? telemetry::cycles() : 0;
+    try {
+      // The enqueue has no verdict to corrupt, so a bad_verdict injection
+      // degenerates to a throw: the containment path is the same.
+      if (do_inject && inj != FaultKind::budget_overrun) [[unlikely]]
+        throw InjectedFault{};
+      fn();
+    } catch (const std::exception& e) {
+      note_fault(g, gate, kSchedGate, FaultKind::exception, do_inject, 0,
+                 e.what());
+      return false;
+    } catch (...) {
+      note_fault(g, gate, kSchedGate, FaultKind::exception, do_inject, 0,
+                 "non-standard exception");
+      return false;
+    }
+    if (budget != 0 || do_inject) {
+      std::uint64_t elapsed = budget != 0 ? telemetry::cycles() - t0 : 0;
+      bool overrun = budget != 0 && elapsed > budget;
+      if (do_inject) {  // only budget_overrun reaches here
+        overrun = true;
+        if (elapsed <= budget) elapsed = budget + kInjectedOverrunCycles;
+      }
+      if (overrun) {
+        // The packet is queued; the fault only feeds the breaker.
+        note_fault(g, gate, kSchedGate, FaultKind::budget_overrun, do_inject,
+                   elapsed, {});
+        return true;
+      }
+    }
+    if (g.breaker.on_success(cfg_)) refresh_quiet();
+    return true;
+  }
+
+  // Per-instance dispatch, reached when the supervisor is not quiet: some
+  // breaker is non-closed, injection is armed, or a cycle budget is set.
+  // `slow_path_` folds the latter two into one load.
+  Decision dispatch_guarded(plugin::PluginType gate, aiu::GateBinding& b,
+                            pkt::Packet& p) {
+    InstanceGuard& g = guard_of(*b.instance);
+    if (slow_path_ || !g.breaker.closed())
+      return dispatch_slow(gate, aiu::gate_index(gate), g, b, p);
+    plugin::Verdict v;
+    try {
+      v = b.instance->handle_packet(p, &b.soft);
+    } catch (const std::exception& e) {
+      return fault_decision(g, gate, aiu::gate_index(gate),
+                            FaultKind::exception, false, 0, e.what());
+    } catch (...) {
+      return fault_decision(g, gate, aiu::gate_index(gate),
+                            FaultKind::exception, false, 0,
+                            "non-standard exception");
+    }
+    if (static_cast<std::uint8_t>(v) > kMaxVerdict) [[unlikely]]
+      return fault_decision(g, gate, aiu::gate_index(gate),
+                            FaultKind::bad_verdict, false, 0, {});
+    return {v, false};
+  }
+
+  // Keeps the precomputed fast-path discriminators in sync with the armed
+  // flag and the per-gate budgets.
+  void refresh_slow_path() noexcept {
+    slow_path_ = armed_;
+    for (std::uint64_t b : cycle_budget_)
+      if (b != 0) slow_path_ = true;
+    refresh_quiet();
+  }
+
+  // Recomputes `quiet_` (nothing armed, no budgets, every breaker closed).
+  // Called only from cold paths: config changes, breaker transitions,
+  // guard teardown.
+  void refresh_quiet() noexcept {
+    bool all_closed = true;
+    for (const auto& [inst, g] : guards_)
+      if (!g->breaker.closed()) {
+        all_closed = false;
+        break;
+      }
+    quiet_ = !slow_path_ && all_closed;
+  }
+
+  InstanceGuard& make_guard(plugin::PluginInstance& inst);
+  Decision dispatch_slow(plugin::PluginType gate, std::size_t gi,
+                         InstanceGuard& g, aiu::GateBinding& b,
+                         pkt::Packet& p);
+  SchedAdmit sched_admit_slow(InstanceGuard& g);
+  // Records the fault, advances the breaker (possibly tripping it), and
+  // returns the gate's fallback as a Decision.
+  Decision fault_decision(InstanceGuard& g, plugin::PluginType gate,
+                          std::size_t gi, FaultKind kind, bool injected,
+                          std::uint64_t cycles, std::string detail);
+  void note_fault(InstanceGuard& g, plugin::PluginType gate, std::size_t gi,
+                  FaultKind kind, bool injected, std::uint64_t cycles,
+                  std::string detail);
+  void breaker_opened(InstanceGuard& g);
+  void apply_rebinds();
+  void register_metrics();
+
+  Options opt_;
+  BreakerConfig cfg_;
+  FaultInjector injector_;
+  bool armed_{false};
+  // armed_ || any nonzero cycle budget — read by the per-instance paths.
+  bool slow_path_{false};
+  // !slow_path_ && every breaker closed — the ONE flag the hot paths read.
+  bool quiet_{true};
+  std::uint64_t cycle_budget_[aiu::kNumGates]{};
+  Fallback fallback_[aiu::kNumGates]{};
+
+  std::unordered_map<const plugin::PluginInstance*,
+                     std::unique_ptr<InstanceGuard>>
+      guards_;
+  std::vector<plugin::PluginInstance*> pending_rebinds_;
+  std::deque<FaultEvent> events_;
+
+  aiu::Aiu* aiu_{nullptr};
+  const netbase::SimClock* clock_{nullptr};
+  std::uint64_t no_clock_{0};  // stand-in until IpCore wires the real one
+  const std::uint64_t* invocations_{&no_clock_};
+
+  // Totals (exported via telemetry::MetricRegistry, owner = this).
+  std::uint64_t faults_total_{0};
+  std::uint64_t injected_total_{0};
+  std::uint64_t opens_total_{0};
+  std::uint64_t bypassed_total_{0};
+  std::uint64_t fallback_drops_{0};
+  std::uint64_t flows_rebound_{0};
+  std::uint64_t kind_total_[kFaultKinds]{};
+  std::uint64_t gate_faults_[aiu::kNumGates][kFaultKinds]{};
+};
+
+}  // namespace rp::resilience

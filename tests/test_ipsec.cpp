@@ -98,6 +98,77 @@ TEST(MacEqual, ConstantTimeCompareSemantics) {
   EXPECT_FALSE(mac_equal({a, 3}, {b, 4}));
 }
 
+TEST(HmacSha256, Rfc4231CombinedKeyAndData) {
+  // RFC 4231 test cases 3 and 4: repeated-byte keys and data.
+  std::vector<std::uint8_t> key3(20, 0xaa), data3(50, 0xdd);
+  EXPECT_EQ(hex(HmacSha256::mac(key3, data3)),
+            "773ea91e36800e46854db8ebd09181a7"
+            "2959098b3ef8c122d9635514ced565fe");
+  std::vector<std::uint8_t> key4;
+  for (std::uint8_t b = 0x01; b <= 0x19; ++b) key4.push_back(b);
+  std::vector<std::uint8_t> data4(50, 0xcd);
+  EXPECT_EQ(hex(HmacSha256::mac(key4, data4)),
+            "82558a389a443c0ea4cc819899f2083a"
+            "85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231TruncatedTag) {
+  // RFC 4231 test case 5: the output is truncated to 128 bits, as AH-style
+  // transforms do. Only the first 16 digest bytes are specified.
+  std::vector<std::uint8_t> key(20, 0x0c);
+  auto d = HmacSha256::mac(key, bytes_of("Test With Truncation"));
+  EXPECT_EQ(hex({d.data(), 16}), "a3b6167473100ee06e0c796c2955552b");
+}
+
+TEST(HmacSha256, Rfc4231LargeKeyAndLargeData) {
+  // RFC 4231 test case 7: both key and data exceed the SHA-256 block size.
+  std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(hex(HmacSha256::mac(
+                key, bytes_of("This is a test using a larger than "
+                              "block-size key and a larger than block-size "
+                              "data. The key needs to be hashed before "
+                              "being used by the HMAC algorithm."))),
+            "9b09ffa71b942fcb27635fbcd5b0e944"
+            "bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// Keystream extraction: crypt() XORs the keystream into the buffer, so
+// encrypting zeros yields the raw keystream block.
+std::string keystream_hex(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> nonce,
+                          std::uint32_t counter, std::size_t len) {
+  std::vector<std::uint8_t> buf(len, 0);
+  ChaCha20 c(key, nonce, counter);
+  c.crypt(buf.data(), buf.size());
+  return hex(buf);
+}
+
+TEST(ChaCha20, Rfc8439BlockFunctionVectors) {
+  // RFC 8439 appendix A.1, test vectors 1 and 2: all-zero key and nonce at
+  // block counters 0 and 1.
+  std::uint8_t zkey[32] = {};
+  std::uint8_t znonce[12] = {};
+  EXPECT_EQ(keystream_hex(zkey, znonce, 0, 64),
+            "76b8e0ada0f13d90405d6ae55386bd28"
+            "bdd219b8a08ded1aa836efcc8b770dc7"
+            "da41597c5157488d7724e03fb8d84a37"
+            "6a43b8f41518a11cc387b669b2ee6586");
+  EXPECT_EQ(keystream_hex(zkey, znonce, 1, 64),
+            "9f07e7be5551387a98ba977c732d080d"
+            "cb0f29a048e3656912c6533e32ee7aed"
+            "29b721769ce64e43d57133b074d839d5"
+            "31ed1f28510afb45ace10a1f4b794d6f");
+  // RFC 8439 section 2.3.2: sequential key, structured nonce.
+  std::uint8_t key[32];
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::uint8_t nonce[12] = {0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  EXPECT_EQ(keystream_hex(key, nonce, 1, 64),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
 TEST(ChaCha20, Rfc8439Vector) {
   // RFC 8439 §2.4.2.
   std::uint8_t key[32];
@@ -111,7 +182,18 @@ TEST(ChaCha20, Rfc8439Vector) {
       reinterpret_cast<const std::uint8_t*>(msg) + std::strlen(msg));
   ChaCha20 c(key, nonce, 1);
   c.crypt(buf.data(), buf.size());
-  EXPECT_EQ(hex({buf.data(), 16}), "6e2e359a2568f98041ba0728dd0d6981");
+  // Full 114-byte ciphertext from RFC 8439 section 2.4.2 (spans two
+  // keystream blocks, so it also exercises the block-boundary refill).
+  ASSERT_EQ(buf.size(), 114u);
+  EXPECT_EQ(hex(buf),
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d");
   // Decrypt restores the plaintext.
   ChaCha20 d(key, nonce, 1);
   d.crypt(buf.data(), buf.size());

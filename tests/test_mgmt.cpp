@@ -73,6 +73,24 @@ TEST_F(MgmtTest, ExecErrors) {
   EXPECT_TRUE(pmgr_.exec("").ok());
 }
 
+TEST_F(MgmtTest, RejectsTrailingGarbageOnBareCommands) {
+  // Commands that take no arguments must not silently ignore extras.
+  EXPECT_FALSE(pmgr_.exec("lsmod extra").ok());
+  EXPECT_FALSE(pmgr_.exec("aiu extra").ok());
+  EXPECT_FALSE(pmgr_.exec("telemetry metrics extra").ok());
+  EXPECT_FALSE(pmgr_.exec("telemetry export now").ok());
+  EXPECT_FALSE(pmgr_.exec("telemetry reset please").ok());
+}
+
+TEST_F(MgmtTest, TelemetryUnknownSubcommandIsAnError) {
+  auto r = pmgr_.exec("telemetry bogus");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("unknown telemetry subcommand"), std::string::npos);
+  // Malformed numeric arguments must fail loudly, not no-op.
+  EXPECT_FALSE(pmgr_.exec("telemetry sample abc").ok());
+  EXPECT_FALSE(pmgr_.exec("telemetry trace xyz").ok());
+}
+
 TEST_F(MgmtTest, LsmodListsModules) {
   pmgr_.exec("modload fifo");
   auto r = pmgr_.exec("lsmod");

@@ -1,0 +1,508 @@
+// Resilience subsystem tests: circuit-breaker state machine, fault
+// injector, supervised gate dispatch (containment + fallback policies),
+// flow rebinding on breaker open, and the pmgr `resilience` family.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/router.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/builder.hpp"
+#include "resilience/resilience.hpp"
+
+namespace rp::resilience {
+namespace {
+
+using netbase::Status;
+using plugin::PluginType;
+using plugin::Verdict;
+
+// ---------------------------------------------------------------- breaker
+
+TEST(Breaker, TripsAfterErrorBudget) {
+  BreakerConfig cfg{.window = 16, .max_faults = 3, .cooldown = 4, .probes = 2};
+  CircuitBreaker b;
+  // `now` is the supervisor's invocation clock; three faults close together
+  // land in one window and trip the breaker.
+  EXPECT_FALSE(b.on_fault(cfg, 10));
+  EXPECT_FALSE(b.on_fault(cfg, 12));
+  EXPECT_TRUE(b.closed());
+  EXPECT_TRUE(b.on_fault(cfg, 14));  // third fault within the window trips
+  EXPECT_EQ(b.state, BreakerState::open);
+  EXPECT_EQ(b.opens, 1u);
+}
+
+TEST(Breaker, WindowTumblesSoSparseFaultsNeverTrip) {
+  BreakerConfig cfg{.window = 4, .max_faults = 2, .cooldown = 4, .probes = 2};
+  CircuitBreaker b;
+  // One fault per 10 clock ticks: each fault lands in a fresh window.
+  for (std::uint64_t now = 10; now <= 50; now += 10)
+    EXPECT_FALSE(b.on_fault(cfg, now)) << "now " << now;
+  EXPECT_TRUE(b.closed());
+  // The same number of faults bunched inside one window trips.
+  EXPECT_TRUE(b.on_fault(cfg, 61) || b.on_fault(cfg, 62));
+  EXPECT_EQ(b.state, BreakerState::open);
+}
+
+TEST(Breaker, CooldownHalfOpenRecovery) {
+  BreakerConfig cfg{.window = 8, .max_faults = 1, .cooldown = 3, .probes = 2};
+  CircuitBreaker b;
+  EXPECT_TRUE(b.on_fault(cfg, 1));
+  // Open: cooldown bypasses, then the next call is admitted as a probe.
+  EXPECT_TRUE(b.should_bypass(cfg));
+  EXPECT_TRUE(b.should_bypass(cfg));
+  EXPECT_FALSE(b.should_bypass(cfg));  // 3rd consult: falls to half-open
+  EXPECT_EQ(b.state, BreakerState::half_open);
+  b.on_success(cfg);
+  EXPECT_EQ(b.state, BreakerState::half_open);  // 1 of 2 probes
+  b.on_success(cfg);
+  EXPECT_TRUE(b.closed());  // recovered
+}
+
+TEST(Breaker, HalfOpenFaultReopensImmediately) {
+  BreakerConfig cfg{.window = 8, .max_faults = 1, .cooldown = 1, .probes = 4};
+  CircuitBreaker b;
+  b.on_fault(cfg, 1);
+  while (b.should_bypass(cfg)) {
+  }
+  ASSERT_EQ(b.state, BreakerState::half_open);
+  EXPECT_TRUE(b.on_fault(cfg, 2));  // probe fault
+  EXPECT_EQ(b.state, BreakerState::open);
+  EXPECT_EQ(b.opens, 2u);
+}
+
+TEST(Breaker, ManualTripAndReset) {
+  CircuitBreaker b;
+  b.trip();
+  EXPECT_EQ(b.state, BreakerState::open);
+  b.reset();
+  EXPECT_TRUE(b.closed());
+  EXPECT_EQ(b.opens, 1u);  // lifetime count survives reset
+}
+
+// --------------------------------------------------------------- injector
+
+TEST(Injector, EveryNIsDeterministic) {
+  FaultInjector inj;
+  inj.set(PluginType::firewall, FaultKind::exception, {.every = 3});
+  EXPECT_TRUE(inj.armed());
+  int fired = 0;
+  FaultKind k{};
+  for (int i = 0; i < 9; ++i)
+    if (inj.pick(PluginType::firewall, k)) ++fired;
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(k, FaultKind::exception);
+  // Other gates are untouched.
+  EXPECT_FALSE(inj.pick(PluginType::ipsec, k));
+}
+
+TEST(Injector, ProbabilityOneAlwaysFires) {
+  FaultInjector inj;
+  inj.set(PluginType::ipsec, FaultKind::bad_verdict, {.probability = 1.0});
+  FaultKind k{};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(inj.pick(PluginType::ipsec, k));
+    EXPECT_EQ(k, FaultKind::bad_verdict);
+  }
+}
+
+TEST(Injector, ClearAndInactiveRuleDisarm) {
+  FaultInjector inj;
+  inj.set(PluginType::sched, FaultKind::budget_overrun, {.every = 2});
+  inj.set(PluginType::sched, FaultKind::budget_overrun, {});  // remove
+  EXPECT_FALSE(inj.armed());
+  inj.set(PluginType::sched, FaultKind::exception, {.probability = 0.5});
+  EXPECT_TRUE(inj.armed());
+  inj.clear();
+  EXPECT_FALSE(inj.armed());
+}
+
+// ------------------------------------------------- supervised gate dispatch
+
+class FaultyInstance : public plugin::PluginInstance {
+ public:
+  enum class Mode { ok, throw_std, throw_odd, bad_verdict, drop, slow };
+  Mode mode{Mode::ok};
+  int calls{0};
+
+  Verdict handle_packet(pkt::Packet&, void**) override {
+    ++calls;
+    switch (mode) {
+      case Mode::throw_std: throw std::runtime_error("plugin bug");
+      case Mode::throw_odd: throw 42;  // not derived from std::exception
+      case Mode::bad_verdict: return static_cast<Verdict>(0x7f);
+      case Mode::drop: return Verdict::drop;
+      case Mode::slow: {  // burn enough time that any cycle budget blows
+        volatile unsigned x = 0;
+        for (unsigned i = 0; i < 50000; ++i) x = x + i;
+        break;
+      }
+      case Mode::ok: break;
+    }
+    return Verdict::cont;
+  }
+};
+
+class FaultyPlugin : public plugin::Plugin {
+ public:
+  using Plugin::Plugin;
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config&) override {
+    return std::make_unique<FaultyInstance>();
+  }
+};
+
+// An output scheduler whose enqueue always throws (after taking ownership —
+// the worst case: the packet is gone).
+class ThrowingSched : public core::OutputScheduler {
+ public:
+  bool enqueue(pkt::PacketPtr, void**, netbase::SimTime) override {
+    throw std::runtime_error("scheduler bug");
+  }
+  pkt::PacketPtr dequeue(netbase::SimTime) override { return nullptr; }
+  bool empty() const override { return true; }
+  std::size_t backlog_packets() const override { return 0; }
+  std::size_t backlog_bytes() const override { return 0; }
+};
+
+pkt::PacketPtr udp(std::uint16_t sport = 1000, std::uint8_t src_octet = 1) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, 0, src_octet));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = sport;
+  s.dport = 80;
+  s.payload_len = 64;
+  return pkt::build_udp(s);
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  // Declared before kernel_ so it outlives the supervisor's destructor
+  // (which nulls the cached guard slot of every instance it has seen).
+  ThrowingSched bad_sched_;
+  core::RouterKernel kernel_;
+  mgmt::RouterPluginLib lib_;
+  mgmt::PluginManager pmgr_;
+
+  ResilienceTest() : lib_(kernel_), pmgr_(lib_) {
+    mgmt::register_builtin_modules();
+    kernel_.add_interface("if0");
+    kernel_.add_interface("if1");
+    EXPECT_TRUE(pmgr_.exec("route add 20.0.0.0/8 if1").ok());
+  }
+
+  FaultyInstance* install(PluginType gate,
+                          const char* filter = "* * udp * * *") {
+    const std::string name =
+        "faulty_" + std::string(plugin::to_string(gate));
+    if (!kernel_.pcu().find(name))
+      kernel_.pcu().register_plugin(std::make_unique<FaultyPlugin>(name, gate));
+    plugin::InstanceId id = plugin::kNoInstance;
+    EXPECT_EQ(kernel_.pcu().find(name)->create_instance({}, id), Status::ok);
+    auto* inst =
+        static_cast<FaultyInstance*>(kernel_.pcu().find(name)->instance(id));
+    EXPECT_EQ(kernel_.aiu().create_filter(gate, *aiu::Filter::parse(filter),
+                                          inst),
+              Status::ok);
+    return inst;
+  }
+
+  void send(int n, std::uint16_t sport = 1000) {
+    for (int i = 0; i < n; ++i) kernel_.core().process(udp(sport));
+  }
+
+  Supervisor& res() { return kernel_.resilience(); }
+  const core::CoreCounters& cc() { return kernel_.core().counters(); }
+};
+
+TEST_F(ResilienceTest, ThrowingPluginIsContainedFailOpen) {
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::throw_std;
+  send(5);
+  // fail_open: every packet continued and was forwarded; faults recorded.
+  EXPECT_EQ(cc().received, 5u);
+  EXPECT_EQ(cc().forwarded, 5u);
+  EXPECT_EQ(res().faults_total(), 5u);
+  EXPECT_EQ(res().fault_kind_total(FaultKind::exception), 5u);
+  EXPECT_EQ(res().gate_faults(PluginType::firewall, FaultKind::exception), 5u);
+  ASSERT_FALSE(res().events().empty());
+  EXPECT_EQ(res().events().back().detail, "plugin bug");
+}
+
+TEST_F(ResilienceTest, NonStdExceptionIsContained) {
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::throw_odd;
+  send(1);
+  EXPECT_EQ(cc().forwarded, 1u);
+  EXPECT_EQ(res().faults_total(), 1u);
+  EXPECT_EQ(res().events().back().detail, "non-standard exception");
+}
+
+TEST_F(ResilienceTest, BadVerdictIsContained) {
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::bad_verdict;
+  send(3);
+  EXPECT_EQ(cc().forwarded, 3u);
+  EXPECT_EQ(res().fault_kind_total(FaultKind::bad_verdict), 3u);
+}
+
+TEST_F(ResilienceTest, LegitimateDropIsNotAFault) {
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::drop;
+  send(4);
+  EXPECT_EQ(res().faults_total(), 0u);
+  EXPECT_EQ(cc().dropped(core::DropReason::policy), 4u);
+  EXPECT_EQ(cc().dropped(core::DropReason::plugin_fault), 0u);
+}
+
+TEST_F(ResilienceTest, IpsecGateFailsClosed) {
+  auto* inst = install(PluginType::ipsec);
+  inst->mode = FaultyInstance::Mode::throw_std;
+  send(3);
+  EXPECT_EQ(cc().forwarded, 0u);
+  EXPECT_EQ(cc().dropped(core::DropReason::plugin_fault), 3u);
+  EXPECT_EQ(res().fallback_drops(), 3u);
+}
+
+TEST_F(ResilienceTest, FallbackPolicyIsConfigurable) {
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::throw_std;
+  res().set_fallback(PluginType::firewall, Fallback::fail_closed);
+  send(2);
+  EXPECT_EQ(cc().dropped(core::DropReason::plugin_fault), 2u);
+  res().set_fallback(PluginType::firewall, Fallback::fail_open);
+  send(2);
+  EXPECT_EQ(cc().forwarded, 2u);
+}
+
+TEST_F(ResilienceTest, CycleBudgetOverrunKeepsVerdict) {
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::slow;
+  res().set_cycle_budget(PluginType::firewall, 1);  // impossible budget
+  send(2);
+  // The verdict (cont) stood — packets forwarded — but overruns counted.
+  EXPECT_EQ(cc().forwarded, 2u);
+  EXPECT_EQ(res().fault_kind_total(FaultKind::budget_overrun), 2u);
+  EXPECT_GT(res().events().back().cycles, 1u);
+  res().set_cycle_budget(PluginType::firewall, 0);
+  send(1);
+  EXPECT_EQ(res().faults_total(), 2u);  // disabled budget: no new faults
+  EXPECT_EQ(inst->calls, 3);
+}
+
+TEST_F(ResilienceTest, BreakerOpensBypassesAndRecovers) {
+  res().breaker_config() = {.window = 8, .max_faults = 2, .cooldown = 3,
+                            .probes = 2};
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::throw_std;
+  send(2);  // trips on the 2nd fault
+  const InstanceGuard* g = res().guard(*inst);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->breaker.state, BreakerState::open);
+  EXPECT_EQ(res().breaker_opens(), 1u);
+
+  inst->mode = FaultyInstance::Mode::ok;
+  send(2);  // cooldown: bypassed without calling the plugin
+  EXPECT_EQ(inst->calls, 2);
+  EXPECT_EQ(res().bypassed_total(), 2u);
+  send(1);  // 3rd consult falls to half-open; admitted as the first probe
+  EXPECT_EQ(g->breaker.state, BreakerState::half_open);
+  EXPECT_EQ(inst->calls, 3);
+  send(1);  // second successful probe closes it
+  EXPECT_EQ(g->breaker.state, BreakerState::closed);
+  EXPECT_EQ(inst->calls, 4);
+  // Every packet was forwarded throughout (fail_open while bypassed).
+  EXPECT_EQ(cc().forwarded, cc().received);
+}
+
+TEST_F(ResilienceTest, HalfOpenProbeFaultReopens) {
+  res().breaker_config() = {.window = 8, .max_faults = 1, .cooldown = 2,
+                            .probes = 4};
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::throw_std;
+  send(3);  // fault->open, then 2 bypasses -> half_open on next consult
+  send(1);  // probe faults -> reopen
+  const InstanceGuard* g = res().guard(*inst);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->breaker.state, BreakerState::open);
+  EXPECT_EQ(res().breaker_opens(), 2u);
+}
+
+TEST_F(ResilienceTest, FlowsAreReboundWhenBreakerOpens) {
+  res().breaker_config() = {.window = 8, .max_faults = 2, .cooldown = 4,
+                            .probes = 2};
+  auto* inst = install(PluginType::firewall, "10.0.0.0/8 * udp * * *");
+  send(1);  // healthy packet creates and binds the flow
+  ASSERT_GE(kernel_.aiu().flow_table().active(), 1u);
+  inst->mode = FaultyInstance::Mode::throw_std;
+  send(2);  // breaker opens; rebind applies at the burst boundary
+  EXPECT_GE(res().flows_rebound(), 1u);
+  EXPECT_GE(kernel_.aiu().stats().flows_rebound, 1u);
+  EXPECT_EQ(kernel_.aiu().flow_table().active(), 0u);
+}
+
+TEST_F(ResilienceTest, SchedulerRealThrowIsAccountedAsPluginFault) {
+  kernel_.core().set_port_scheduler(1, &bad_sched_);
+  send(1);
+  // The packet was consumed mid-throw: counted as a plugin_fault drop so
+  // received == forwarded + drops still balances.
+  EXPECT_EQ(cc().forwarded, 0u);
+  EXPECT_EQ(cc().dropped(core::DropReason::plugin_fault), 1u);
+  EXPECT_EQ(res().gate_faults(PluginType::sched, FaultKind::exception), 1u);
+  kernel_.core().set_port_scheduler(1, nullptr);
+}
+
+TEST_F(ResilienceTest, SchedulerInjectedThrowFallsBackToFifo) {
+  ASSERT_TRUE(pmgr_.exec("modload fifo").ok());
+  ASSERT_TRUE(pmgr_.exec("create fifo").ok());
+  ASSERT_TRUE(pmgr_.exec("attach fifo 1 if1").ok());
+  res().set_injection(PluginType::sched, FaultKind::exception, {.every = 1});
+  send(1);
+  // The injected throw fires before the enqueue: the packet survives and
+  // degrades to the port FIFO (best_effort), still counted as forwarded.
+  EXPECT_EQ(cc().forwarded, 1u);
+  EXPECT_EQ(res().faults_injected(), 1u);
+  res().clear_injection();
+  auto p = kernel_.core().next_for_tx(1, kernel_.clock().now());
+  EXPECT_NE(p, nullptr);  // it is in the FIFO, not the scheduler
+}
+
+TEST_F(ResilienceTest, OpenSchedulerBreakerBypassesToFifo) {
+  ASSERT_TRUE(pmgr_.exec("modload fifo").ok());
+  ASSERT_TRUE(pmgr_.exec("create fifo").ok());
+  ASSERT_TRUE(pmgr_.exec("attach fifo 1 if1").ok());
+  ASSERT_TRUE(pmgr_.exec("resilience trip fifo 1").ok());
+  send(2);
+  EXPECT_EQ(cc().forwarded, 2u);
+  EXPECT_EQ(res().bypassed_total(), 2u);
+  EXPECT_EQ(kernel_.core().port_scheduler(1)->backlog_packets(), 0u);
+  // fail_closed at the sched gate drops instead.
+  ASSERT_TRUE(
+      pmgr_.exec("resilience fallback sched fail_closed").ok());
+  send(1);
+  EXPECT_EQ(cc().dropped(core::DropReason::plugin_fault), 1u);
+}
+
+TEST_F(ResilienceTest, DeterministicInjectionAtInputGate) {
+  install(PluginType::firewall);
+  res().set_injection(PluginType::firewall, FaultKind::exception, {.every = 3});
+  send(9);
+  EXPECT_EQ(res().faults_injected(), 3u);
+  EXPECT_EQ(cc().forwarded, 9u);  // fail_open
+  res().clear_injection();
+  EXPECT_FALSE(res().armed());
+}
+
+TEST_F(ResilienceTest, DisarmedGuardChangesNothing) {
+  auto* inst = install(PluginType::firewall);
+  send(10);
+  EXPECT_EQ(res().faults_total(), 0u);
+  EXPECT_EQ(cc().forwarded, 10u);
+  // While the supervisor is quiet (nothing armed, every breaker closed) a
+  // healthy instance accrues no per-instance state at all — not even a
+  // guard: those materialize on the first fault or non-quiet dispatch.
+  EXPECT_EQ(res().guard(*inst), nullptr);
+  EXPECT_EQ(res().guard_count(), 0u);
+}
+
+TEST_F(ResilienceTest, FreeingInstanceForgetsGuard) {
+  ASSERT_TRUE(pmgr_.exec("modload fifo").ok());
+  ASSERT_TRUE(pmgr_.exec("create fifo").ok());
+  ASSERT_TRUE(pmgr_.exec("attach fifo 1 if1").ok());
+  send(1);
+  auto* inst = kernel_.pcu().find_instance("fifo", 1);
+  ASSERT_NE(inst, nullptr);
+  // A quiet dispatch leaves no guard behind; materialize one via a manual
+  // trip/reset cycle, then check that freeing the instance drops it.
+  ASSERT_TRUE(pmgr_.exec("resilience trip fifo 1").ok());
+  ASSERT_TRUE(pmgr_.exec("resilience reset fifo 1").ok());
+  EXPECT_NE(res().guard(*inst), nullptr);
+  const std::size_t before = res().guard_count();
+  ASSERT_TRUE(pmgr_.exec("free fifo 1").ok());
+  EXPECT_EQ(res().guard_count(), before - 1);
+}
+
+TEST_F(ResilienceTest, CountersExportedThroughMetricRegistry) {
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::throw_std;
+  send(2);
+  auto r = pmgr_.exec("telemetry metrics");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("resilience.faults_total=2"), std::string::npos);
+  EXPECT_NE(r.text.find("resilience.faults.exception=2"), std::string::npos);
+}
+
+// ------------------------------------------------------------ pmgr family
+
+TEST_F(ResilienceTest, PmgrStatusAndEvents) {
+  auto* inst = install(PluginType::firewall);
+  inst->mode = FaultyInstance::Mode::throw_std;
+  send(1);
+  auto r = pmgr_.exec("resilience status");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("faults: total=1"), std::string::npos);
+  EXPECT_NE(r.text.find("faulty_firewall#1"), std::string::npos);
+  r = pmgr_.exec("resilience events 4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("[firewall] exception"), std::string::npos);
+  EXPECT_NE(r.text.find("plugin bug"), std::string::npos);
+}
+
+TEST_F(ResilienceTest, PmgrBudgetFallbackInject) {
+  ASSERT_TRUE(pmgr_.exec("resilience budget 16 4 8 2").ok());
+  EXPECT_EQ(res().breaker_config().window, 16u);
+  EXPECT_EQ(res().breaker_config().probes, 2u);
+  ASSERT_TRUE(pmgr_.exec("resilience budget cycles firewall 5000").ok());
+  EXPECT_EQ(res().cycle_budget(PluginType::firewall), 5000u);
+  ASSERT_TRUE(pmgr_.exec("resilience budget cycles firewall off").ok());
+  EXPECT_EQ(res().cycle_budget(PluginType::firewall), 0u);
+  auto r = pmgr_.exec("resilience budget");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("window=16"), std::string::npos);
+
+  ASSERT_TRUE(pmgr_.exec("resilience fallback stats fail_closed").ok());
+  EXPECT_EQ(res().fallback(PluginType::stats), Fallback::fail_closed);
+  r = pmgr_.exec("resilience fallback");
+  EXPECT_NE(r.text.find("stats=fail_closed"), std::string::npos);
+  EXPECT_NE(r.text.find("ipsec=fail_closed"), std::string::npos);
+  EXPECT_NE(r.text.find("sched=best_effort"), std::string::npos);
+
+  ASSERT_TRUE(
+      pmgr_.exec("resilience inject firewall bad_verdict every 7").ok());
+  EXPECT_TRUE(res().armed());
+  EXPECT_EQ(res().injector().rule(PluginType::firewall,
+                                  FaultKind::bad_verdict).every,
+            7u);
+  ASSERT_TRUE(pmgr_.exec("resilience inject off").ok());
+  EXPECT_FALSE(res().armed());
+  ASSERT_TRUE(pmgr_.exec("resilience reset all").ok());
+}
+
+TEST_F(ResilienceTest, PmgrRejectsMalformedInput) {
+  EXPECT_FALSE(pmgr_.exec("resilience bogus").ok());
+  EXPECT_NE(pmgr_.exec("resilience bogus").text.find("unknown resilience"),
+            std::string::npos);
+  EXPECT_FALSE(pmgr_.exec("resilience budget 0 1 2 3").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience budget 1 2 3").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience budget x y z w").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience budget cycles nope 100").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience budget cycles firewall abc").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience fallback firewall maybe").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience fallback nosuchgate fail_open").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience inject firewall nope every 3").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience inject firewall exception every 0").ok());
+  EXPECT_FALSE(
+      pmgr_.exec("resilience inject firewall exception prob 1.5").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience inject firewall exception prob x").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience trip ghost 1").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience trip fifo abc").ok());
+  EXPECT_FALSE(pmgr_.exec("resilience events abc").ok());
+}
+
+}  // namespace
+}  // namespace rp::resilience
