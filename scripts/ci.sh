@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass, runnable locally or from CI:
+# Tier-1 verification plus the sanitizer passes, runnable locally or from CI:
 #
-#   scripts/ci.sh            # configure+build+ctest, then ASan+UBSan tests
-#   scripts/ci.sh --fast     # skip the sanitizer build
+#   scripts/ci.sh            # tier-1, diff, then ASan+UBSan and TSan stages
+#   scripts/ci.sh --fast     # skip the sanitizer builds
 #
 # Exits non-zero on the first failure. Build trees live under build/ (the
-# regular tree) and build-asan/ (the sanitizer tree); both are gitignored.
+# regular tree), build-asan/ and build-tsan/ (the sanitizer trees); all are
+# gitignored.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,8 +25,15 @@ echo "== bench smoke: every bench runs 1 iteration and emits BENCH_JSON =="
 # the real numbers.
 ctest --test-dir "$repo/build" --output-on-failure -L bench-smoke
 
+echo "== diff: single-threaded vs sharded datapath equivalence =="
+# The sharded-datapath acceptance gate: the same seeded traces through the
+# 1-worker and N-worker paths must produce identical per-flow and aggregate
+# results (tests/test_shard_diff.cpp). Already ran in tier 1; re-run as a
+# named stage so a diff regression is called out by the stage banner.
+ctest --test-dir "$repo/build" --output-on-failure -L diff
+
 if [[ "$fast" == "1" ]]; then
-  echo "== skipping sanitizer pass (--fast) =="
+  echo "== skipping sanitizer passes (--fast) =="
   exit 0
 fi
 
@@ -45,5 +53,16 @@ echo "== chaos: fault-injection soak under ASan/UBSan =="
 # that corrupts memory still fails the build.
 ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
   --output-on-failure -L chaos
+
+echo "== tier 3: TSan build + parallel/chaos tests =="
+# ThreadSanitizer over everything that runs worker threads: the sharded
+# datapath suites (SPSC rings, epoch reclamation, differential replay,
+# mid-traffic control) plus the chaos soaks. RelWithDebInfo: TSan needs
+# optimised code to interleave realistically, debug info for reports.
+cmake -S "$repo" -B "$repo/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build "$repo/build-tsan" -j "$jobs" --target rp_tests
+TSAN_OPTIONS=halt_on_error=1 ctest --test-dir "$repo/build-tsan" \
+  --output-on-failure -L tsan
 
 echo "== ci: all green =="

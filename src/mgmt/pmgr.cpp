@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "parallel/sharded_datapath.hpp"
 #include "resilience/resilience.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -527,6 +528,130 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
     return {Status::invalid_argument,
             "unknown resilience subcommand: " + sub +
                 "; expected status|events|budget|trip|reset|fallback|inject"};
+  }
+  if (cmd == "shard") {
+    // Operator views over the N-worker datapath. Reads come in two grades:
+    // `status` copies each worker's lock-free snapshot (slightly stale, never
+    // blocks traffic); everything else aggregates exactly via gather(), which
+    // runs on each worker thread at a burst boundary.
+    if (!sharded_)
+      return {Status::not_found, "no sharded datapath attached"};
+    auto& dp = *sharded_;
+    if (tok.size() == 1 || (tok.size() == 2 && tok[1] == "status")) {
+      std::string text = "workers=" + std::to_string(dp.workers()) +
+                         " submitted=" + std::to_string(dp.submitted());
+      for (const auto& s : dp.status_all())
+        text += "\n  shard" + std::to_string(s.shard_id) +
+                ": processed=" + std::to_string(s.packets_processed) +
+                " bursts=" + std::to_string(s.bursts) +
+                " forwarded=" + std::to_string(s.counters.forwarded) +
+                " drops=" + std::to_string(s.counters.total_drops()) +
+                " flows=" + std::to_string(s.flows_active) +
+                " samples=" + std::to_string(s.telemetry_samples) +
+                " faults=" + std::to_string(s.faults_total);
+      return {Status::ok, text};
+    }
+    const std::string& sub = tok[1];
+    if (sub == "counters") {
+      if (tok.size() != 2) return usage("shard counters");
+      dp.quiesce();
+      const auto cc = dp.aggregate_counters();
+      std::string text =
+          "received=" + std::to_string(cc.received) +
+          " forwarded=" + std::to_string(cc.forwarded) +
+          " gate_calls=" + std::to_string(cc.gate_calls) +
+          " bursts=" + std::to_string(cc.bursts) +
+          "\ndrops: total=" + std::to_string(cc.total_drops());
+      for (std::size_t r = 1;
+           r < static_cast<std::size_t>(core::DropReason::kCount); ++r)
+        if (cc.drops[r])
+          text += " " +
+                  std::string(core::to_string(static_cast<core::DropReason>(r))) +
+                  "=" + std::to_string(cc.drops[r]);
+      return {Status::ok, text};
+    }
+    if (sub == "telemetry") {
+      // One router-wide view merged from the per-worker telemetry state.
+      if (tok.size() != 2) return usage("shard telemetry");
+      struct PerShard {
+        telemetry::LatencyHistogram pipeline;
+        std::uint64_t samples, flows_exported, traces;
+      };
+      std::vector<PerShard> per(dp.workers());
+      dp.gather([&per](parallel::ShardContext& ctx) {
+        auto& tel = ctx.telemetry();
+        per[ctx.id()] = {tel.pipeline_hist(), tel.samples(),
+                         tel.flows_exported(), tel.traces().captured()};
+      });
+      telemetry::LatencyHistogram merged;
+      std::uint64_t samples = 0, flows = 0, traces = 0;
+      for (const auto& p : per) {
+        merged.merge(p.pipeline);
+        samples += p.samples;
+        flows += p.flows_exported;
+        traces += p.traces;
+      }
+      std::string text = "samples=" + std::to_string(samples) +
+                         " traces=" + std::to_string(traces) +
+                         " flow-exports=" + std::to_string(flows) +
+                         "\npipeline: " + merged.to_string();
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      return {Status::ok, text};
+    }
+    if (sub == "resilience") {
+      if (tok.size() != 2) return usage("shard resilience");
+      struct PerShard {
+        std::uint64_t faults, injected, opens, bypassed, drops, rebound;
+      };
+      std::vector<PerShard> per(dp.workers());
+      dp.gather([&per](parallel::ShardContext& ctx) {
+        auto& r = ctx.resilience();
+        per[ctx.id()] = {r.faults_total(),    r.faults_injected(),
+                         r.breaker_opens(),   r.bypassed_total(),
+                         r.fallback_drops(),  r.flows_rebound()};
+      });
+      PerShard sum{};
+      for (const auto& p : per) {
+        sum.faults += p.faults;
+        sum.injected += p.injected;
+        sum.opens += p.opens;
+        sum.bypassed += p.bypassed;
+        sum.drops += p.drops;
+        sum.rebound += p.rebound;
+      }
+      std::string text =
+          "faults: total=" + std::to_string(sum.faults) +
+          " injected=" + std::to_string(sum.injected) +
+          "\nbreakers: opens=" + std::to_string(sum.opens) +
+          " bypassed=" + std::to_string(sum.bypassed) +
+          " fallback_drops=" + std::to_string(sum.drops) +
+          " flows_rebound=" + std::to_string(sum.rebound);
+      for (std::uint32_t i = 0; i < dp.workers(); ++i)
+        text += "\n  shard" + std::to_string(i) +
+                ": faults=" + std::to_string(per[i].faults) +
+                " opens=" + std::to_string(per[i].opens);
+      return {Status::ok, text};
+    }
+    if (sub == "reset") {
+      // Counter + telemetry reset on every shard, applied at each worker's
+      // next burst boundary — the quiesce hook, safe mid-traffic.
+      if (tok.size() != 2) return usage("shard reset");
+      dp.gather([](parallel::ShardContext& ctx) {
+        ctx.core().reset_counters();
+        ctx.telemetry().reset();
+      });
+      return {Status::ok, "all shards reset"};
+    }
+    if (sub == "sweep") {
+      std::uint64_t cutoff;
+      if (tok.size() != 3 || !parse_u64(tok[2], cutoff))
+        return usage("shard sweep <ns>");
+      dp.sweep_flows(static_cast<netbase::SimTime>(cutoff));
+      return {Status::ok, "swept flows idle since " + tok[2]};
+    }
+    return {Status::invalid_argument,
+            "unknown shard subcommand: " + sub +
+                "; expected status|counters|telemetry|resilience|reset|sweep"};
   }
   if (cmd == "route") {
     if (tok.size() == 4 && tok[1] == "add") {

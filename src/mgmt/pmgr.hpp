@@ -22,6 +22,13 @@
 //   telemetry sink <mem|jsonl <path>>   choose the flow-record sink
 //   telemetry metrics                   plugin-registered counters (docs §8)
 //   telemetry reset                     clear histograms/traces/core counters
+//   shard [status]                      per-shard snapshots (lock-free reads)
+//   shard counters                      exact aggregate core counters (gather)
+//   shard telemetry                     merged per-worker histograms + samples
+//   shard resilience                    summed per-worker fault/breaker totals
+//   shard reset                         reset counters+telemetry on all shards
+//   shard sweep <ns>                    expire idle flows on every shard
+//   (shard commands need a ShardedDatapath attached via attach_sharded)
 //   For k=v values containing spaces (e.g. filter=<a, b, ...>) use commas
 //   instead of spaces inside the value.
 //
@@ -33,6 +40,10 @@
 #include <string_view>
 
 #include "mgmt/rplib.hpp"
+
+namespace rp::parallel {
+class ShardedDatapath;
+}
 
 namespace rp::mgmt {
 
@@ -46,12 +57,20 @@ class PluginManager {
 
   explicit PluginManager(RouterPluginLib& lib) : lib_(lib) {}
 
+  // Points the `shard` command family at a running sharded datapath. The
+  // lib's kernel stays the control-plane template; the datapath is where
+  // traffic actually flows. Null detaches.
+  void attach_sharded(parallel::ShardedDatapath* dp) noexcept {
+    sharded_ = dp;
+  }
+
   Result exec(std::string_view command);
   // Executes line by line; stops at the first failure unless keep_going.
   Result run_script(std::string_view script, bool keep_going = false);
 
  private:
   RouterPluginLib& lib_;
+  parallel::ShardedDatapath* sharded_{nullptr};
 };
 
 }  // namespace rp::mgmt

@@ -5,7 +5,9 @@
 // directly: the classifier and the BMP engines call `count()` at every
 // pointer dereference / hash-bucket probe that would be a dependent memory
 // access in the kernel implementation. Counting is a plain increment on a
-// global counter; benches snapshot it around lookups.
+// thread-local counter; benches snapshot it around lookups. Thread-local
+// (not a shared global) so the sharded datapath's workers count their own
+// accesses without a contended atomic on the per-packet path.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +21,7 @@ class MemAccess {
   static void reset() noexcept { total_ = 0; }
 
  private:
-  static inline std::uint64_t total_{0};
+  static inline thread_local std::uint64_t total_{0};
 };
 
 // Snapshot helper: accesses since construction.

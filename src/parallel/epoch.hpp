@@ -1,0 +1,165 @@
+// Epoch-based reclamation for read-mostly shared state — the RCU of the
+// sharded datapath.
+//
+// A `Versioned<T>` holds one atomic pointer to an immutable snapshot. The
+// single writer replaces it with `publish()` and *retires* the old snapshot
+// into an EpochDomain instead of deleting it; readers access the current
+// snapshot through an `EpochGuard`, which pins the reader's slot for the
+// duration of the read so retired snapshots they may still hold are never
+// freed under them. Neither side ever takes a lock: a read is two atomic
+// stores and two loads, a publish is an exchange plus a bounded scan of the
+// reader slots. This is how worker shards export status snapshots that the
+// control plane reads while traffic flows, and how control-plane config
+// reaches packet-path readers without a lock (docs/concurrency.md).
+//
+// Correctness sketch (single writer per domain, up to kMaxReaders readers):
+// a reader first marks its slot kBusy (seq_cst), then loads the domain
+// epoch and stores it into the slot, then loads the versioned pointer. The
+// writer swaps the pointer, tags the retired snapshot with the pre-bump
+// epoch E, bumps the epoch, then scans the slots. If the scan saw the
+// reader's kBusy/E pin, the snapshot survives; if it saw the slot idle, the
+// seq_cst total order forces the reader's subsequent epoch load to observe
+// E+1 — and the epoch bump happens after the pointer swap, so that reader
+// can only have loaded the *new* pointer. Either way no reader is left
+// holding freed memory.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace rp::parallel {
+
+class EpochDomain {
+ public:
+  static constexpr std::size_t kMaxReaders = 16;
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::uint64_t kBusy = ~std::uint64_t{0};
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+  ~EpochDomain() { reclaim_all(); }
+
+  // Claims a reader slot (control path; typically once per thread). Slots
+  // are never reused within a domain's lifetime — kMaxReaders is a bound on
+  // distinct reader registrations, not concurrency.
+  std::size_t register_reader() {
+    const std::size_t i = n_readers_.fetch_add(1, std::memory_order_acq_rel);
+    return i < kMaxReaders ? i : kMaxReaders - 1;  // clamp (see docs)
+  }
+
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  // -- writer side (one writer per domain) --
+
+  // Called by Versioned::publish: takes ownership of `old` tagged with the
+  // pre-bump epoch, bumps the epoch, and frees whatever became unreachable.
+  void retire(std::function<void()> deleter) {
+    const std::uint64_t tag = epoch_.fetch_add(1, std::memory_order_seq_cst);
+    limbo_.push_back({tag, std::move(deleter)});
+    try_reclaim();
+  }
+
+  // Frees every retired snapshot no pinned reader can still hold.
+  void try_reclaim() {
+    std::uint64_t safe_before = epoch_.load(std::memory_order_seq_cst);
+    const std::size_t n = std::min(
+        n_readers_.load(std::memory_order_acquire), kMaxReaders);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+      if (e == kIdle) continue;
+      if (e == kBusy) {
+        safe_before = 0;  // reader mid-pin: epoch unknown, free nothing
+        break;
+      }
+      if (e < safe_before) safe_before = e;
+    }
+    std::erase_if(limbo_, [safe_before](Retired& r) {
+      if (r.tag >= safe_before) return false;
+      r.deleter();
+      return true;
+    });
+  }
+
+  // Writer teardown: spins until readers unpin, then frees everything.
+  void reclaim_all() {
+    while (!limbo_.empty()) try_reclaim();
+  }
+
+  std::size_t limbo_size() const noexcept { return limbo_.size(); }
+
+ private:
+  friend class EpochGuard;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+  };
+  struct Retired {
+    std::uint64_t tag;
+    std::function<void()> deleter;
+  };
+
+  // Epochs start at 1 so kIdle (0) never collides with a real pin.
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::size_t> n_readers_{0};
+  Slot slots_[kMaxReaders];
+  std::vector<Retired> limbo_;  // writer-owned
+};
+
+// Pins one reader slot for the scope of a read-side critical section.
+class EpochGuard {
+ public:
+  EpochGuard(EpochDomain& d, std::size_t slot) : slot_(d.slots_[slot]) {
+    slot_.epoch.store(EpochDomain::kBusy, std::memory_order_seq_cst);
+    slot_.epoch.store(d.epoch_.load(std::memory_order_seq_cst),
+                      std::memory_order_seq_cst);
+  }
+  ~EpochGuard() {
+    slot_.epoch.store(EpochDomain::kIdle, std::memory_order_release);
+  }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain::Slot& slot_;
+};
+
+// A versioned pointer to an immutable snapshot. One writer publishes; any
+// registered reader of the domain loads under an EpochGuard.
+template <typename T>
+class Versioned {
+ public:
+  explicit Versioned(EpochDomain& d) : domain_(d) {}
+  ~Versioned() {
+    delete ptr_.exchange(nullptr, std::memory_order_acq_rel);
+  }
+  Versioned(const Versioned&) = delete;
+  Versioned& operator=(const Versioned&) = delete;
+
+  // Writer: swaps in a new snapshot, retires the old one into the domain.
+  void publish(std::unique_ptr<T> next) {
+    T* old = ptr_.exchange(next.release(), std::memory_order_acq_rel);
+    if (old)
+      domain_.retire([old] { delete old; });
+    else
+      domain_.try_reclaim();
+  }
+
+  // Reader: valid only while an EpochGuard for this domain is live, and
+  // only until the guard is released. May be null before the first publish.
+  const T* load() const noexcept {
+    return ptr_.load(std::memory_order_acquire);
+  }
+
+ private:
+  EpochDomain& domain_;
+  std::atomic<T*> ptr_{nullptr};
+};
+
+}  // namespace rp::parallel

@@ -1,0 +1,109 @@
+#include "parallel/sharded_datapath.hpp"
+
+#include <latch>
+
+#include "pkt/builder.hpp"
+
+namespace rp::parallel {
+
+ShardedDatapath::ShardedDatapath(const Options& opt, const Setup& setup) {
+  const std::uint32_t n = opt.workers ? opt.workers : 1;
+  workers_.reserve(n);
+  reader_slots_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>(i, opt.shard, opt.ring_capacity);
+    w->set_measure_busy(opt.measure_busy);
+    reader_slots_.push_back(w->register_reader());
+    if (setup) setup(w->ctx());
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) w->start();
+}
+
+ShardedDatapath::~ShardedDatapath() { stop(); }
+
+void ShardedDatapath::set_tx_handler(Worker::TxHandler h) {
+  for (auto& w : workers_) w->set_tx_handler(h);
+}
+
+void ShardedDatapath::submit(pkt::PacketPtr p) {
+  std::uint32_t target;
+  if (pkt::extract_flow_key(*p)) {
+    target = shard_of(p->flow_hash());
+  } else {
+    target = static_cast<std::uint32_t>(rr_++ % workers_.size());
+  }
+  workers_[target]->submit_blocking(std::move(p));
+}
+
+std::uint64_t ShardedDatapath::submitted() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->submitted();
+  return n;
+}
+
+void ShardedDatapath::broadcast(Worker::Command c) {
+  for (auto& w : workers_) w->post(c);
+}
+
+void ShardedDatapath::gather(const std::function<void(ShardContext&)>& fn) {
+  std::latch done(static_cast<std::ptrdiff_t>(workers_.size()));
+  for (auto& w : workers_)
+    w->post([&fn, &done](ShardContext& ctx) {
+      fn(ctx);
+      done.count_down();
+    });
+  done.wait();
+}
+
+void ShardedDatapath::quiesce() {
+  for (auto& w : workers_) w->quiesce();
+}
+
+void ShardedDatapath::reset_counters() {
+  gather([](ShardContext& ctx) { ctx.core().reset_counters(); });
+}
+
+void ShardedDatapath::sweep_flows(netbase::SimTime cutoff) {
+  gather([cutoff](ShardContext& ctx) {
+    ctx.aiu().flow_table().expire_idle(cutoff);
+  });
+}
+
+core::CoreCounters ShardedDatapath::aggregate_counters() {
+  std::vector<core::CoreCounters> per(workers_.size());
+  gather([&per](ShardContext& ctx) {
+    per[ctx.id()] = ctx.core().counters();
+  });
+  core::CoreCounters sum{};
+  for (const auto& c : per) {
+    sum.received += c.received;
+    sum.forwarded += c.forwarded;
+    for (std::size_t i = 0; i < std::size(sum.drops); ++i)
+      sum.drops[i] += c.drops[i];
+    sum.gate_calls += c.gate_calls;
+    sum.icmp_errors_sent += c.icmp_errors_sent;
+    sum.fragments_created += c.fragments_created;
+    sum.bursts += c.bursts;
+    sum.burst_packets += c.burst_packets;
+  }
+  return sum;
+}
+
+ShardSnapshot ShardedDatapath::status(std::uint32_t shard) const {
+  return workers_[shard]->snapshot(reader_slots_[shard]);
+}
+
+std::vector<ShardSnapshot> ShardedDatapath::status_all() const {
+  std::vector<ShardSnapshot> out;
+  out.reserve(workers_.size());
+  for (std::uint32_t i = 0; i < workers_.size(); ++i)
+    out.push_back(workers_[i]->snapshot(reader_slots_[i]));
+  return out;
+}
+
+void ShardedDatapath::stop() {
+  for (auto& w : workers_) w->stop_and_join();
+}
+
+}  // namespace rp::parallel

@@ -1,0 +1,103 @@
+// The N-worker datapath: RSS-style flow sharding over private router stacks.
+//
+// Ingress steers each packet to worker `(flow_hash >> 56) % N` — the *high*
+// bits, because the per-shard FlowTable indexes buckets with the low bits
+// (`hash & (buckets-1)`); using disjoint bit ranges keeps every shard's flow
+// table fully utilised. A flow's packets always land on one worker, in
+// submission order, so per-flow semantics (gate order, flow state, drop
+// reasons, byte counts) are exactly those of the single-threaded path — the
+// differential test holds the two to bit-equality.
+//
+// Control-plane interaction is lock-free on the packet path:
+//   * mutations  — broadcast() posts a command to every worker's command
+//     ring; workers apply it at the next burst boundary (the quiesce hook);
+//   * aggregation — gather() runs a closure on each worker thread (exact,
+//     race-free reads of worker-owned state) and joins on a latch;
+//   * monitoring — status() copies the worker's latest epoch-protected
+//     snapshot without stopping it (see parallel/epoch.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "parallel/shard.hpp"
+
+namespace rp::parallel {
+
+class ShardedDatapath {
+ public:
+  struct Options {
+    std::uint32_t workers{1};
+    std::size_t ring_capacity{1024};
+    ShardOptions shard{};
+    bool measure_busy{false};
+  };
+
+  // Runs on each shard before its worker thread starts: install routes,
+  // interfaces, plugin instances, filters. Replicated configuration is the
+  // sharing model — every shard gets the same control state.
+  using Setup = std::function<void(ShardContext&)>;
+
+  explicit ShardedDatapath(const Options& opt, const Setup& setup = nullptr);
+  ~ShardedDatapath();
+
+  ShardedDatapath(const ShardedDatapath&) = delete;
+  ShardedDatapath& operator=(const ShardedDatapath&) = delete;
+
+  std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  Worker& worker(std::uint32_t i) noexcept { return *workers_[i]; }
+
+  // Which worker a packet with this flow hash is steered to.
+  std::uint32_t shard_of(std::uint64_t flow_hash) const noexcept {
+    return static_cast<std::uint32_t>((flow_hash >> 56) % workers_.size());
+  }
+
+  // Per-packet egress callback, set before traffic (forwarded to workers).
+  void set_tx_handler(Worker::TxHandler h);
+
+  // -- ingress (single submitting thread) --
+
+  // Parses the six-tuple if needed, steers by flow hash, and enqueues on the
+  // owning worker's ring (blocking while full — lossless). Unparseable
+  // packets round-robin; they carry no flow state, so placement is free.
+  void submit(pkt::PacketPtr p);
+  std::uint64_t submitted() const noexcept;
+
+  // -- control (single control thread; may be the submitting thread) --
+
+  // Posts `c` to every worker, to run at its next burst boundary.
+  void broadcast(Worker::Command c);
+  // Runs `fn` on every worker thread at a burst boundary and blocks until
+  // all have run — the exact-aggregation primitive.
+  void gather(const std::function<void(ShardContext&)>& fn);
+  // Blocks until every submitted packet and posted command has completed.
+  void quiesce();
+
+  // Control-path mutations proven safe mid-traffic (the quiesce-hook fix):
+  // both run at burst boundaries on the owning worker, never mid-burst.
+  void reset_counters();
+  void sweep_flows(netbase::SimTime cutoff);
+
+  // Exact aggregate across all shards (uses gather(); waits for a burst
+  // boundary on each worker).
+  core::CoreCounters aggregate_counters();
+
+  // Lock-free monitoring reads from the workers' published snapshots —
+  // slightly stale (≤16 bursts), never blocks the packet path.
+  ShardSnapshot status(std::uint32_t shard) const;
+  std::vector<ShardSnapshot> status_all() const;
+
+  void stop();  // drain + join all workers (idempotent; dtor calls it)
+
+ private:
+  std::vector<std::unique_ptr<Worker>> workers_;
+  // Control thread's reader slot in each worker's status domain.
+  std::vector<std::size_t> reader_slots_;
+  std::uint64_t rr_{0};  // round-robin cursor for unparseable packets
+};
+
+}  // namespace rp::parallel

@@ -1,0 +1,108 @@
+// Fixed-size single-producer / single-consumer ring — the steering fabric of
+// the sharded datapath. One ring connects the ingress thread to each worker
+// (packets) and the control thread to each worker (commands), so a flow's
+// packets are delivered to its owning worker in submission order and the
+// packet path never takes a lock.
+//
+// Classic Lamport queue with C++11 atomics: the producer owns `tail_`, the
+// consumer owns `head_`, and each side keeps a cached copy of the other's
+// index so the common case touches only its own cache line (the cached peer
+// index is refreshed — one acquire load — only when the ring looks full or
+// empty). Capacity is rounded up to a power of two; one slot is sacrificed
+// to distinguish full from empty.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace rp::parallel {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity + 1)),
+        mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Usable capacity (one slot is reserved).
+  std::size_t capacity() const noexcept { return slots_.size() - 1; }
+
+  // ---- producer side ----
+
+  bool try_push(T& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (t + 1) & mask_;
+    if (next == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (next == head_cache_) return false;  // full
+    }
+    slots_[t] = std::move(v);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+  bool try_push(T&& v) { return try_push(v); }
+
+  // Pushes as many of `batch` as fit; returns how many were consumed.
+  std::size_t push_burst(std::span<T> batch) {
+    std::size_t n = 0;
+    for (auto& v : batch) {
+      if (!try_push(v)) break;
+      ++n;
+    }
+    return n;
+  }
+
+  // ---- consumer side ----
+
+  bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;  // empty
+    }
+    out = std::move(slots_[h]);
+    head_.store((h + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  // Pops up to out.size() elements; returns how many were written.
+  std::size_t pop_burst(std::span<T> out) {
+    std::size_t n = 0;
+    for (auto& slot : out) {
+      if (!try_pop(slot)) break;
+      ++n;
+    }
+    return n;
+  }
+
+  // ---- either side (approximate between threads, exact within one) ----
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t size_approx() const noexcept {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return (t - h) & mask_;
+  }
+
+ private:
+  std::vector<T> slots_;
+  const std::size_t mask_;
+
+  // Producer line: tail + cached head. Consumer line: head + cached tail.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_{0};
+};
+
+}  // namespace rp::parallel

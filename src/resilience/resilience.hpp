@@ -28,6 +28,7 @@
 // from no supervisor (<= 1% acceptance budget, ~0% measured).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -445,14 +446,16 @@ class Supervisor {
   std::uint64_t no_clock_{0};  // stand-in until IpCore wires the real one
   const std::uint64_t* invocations_{&no_clock_};
 
-  // Totals (exported via telemetry::MetricRegistry, owner = this).
-  std::uint64_t faults_total_{0};
-  std::uint64_t injected_total_{0};
-  std::uint64_t opens_total_{0};
-  std::uint64_t bypassed_total_{0};
-  std::uint64_t fallback_drops_{0};
-  std::uint64_t flows_rebound_{0};
-  std::uint64_t kind_total_[kFaultKinds]{};
+  // Totals (exported via telemetry::MetricRegistry, owner = this). Atomic
+  // because the registry's report() may read them from the control thread
+  // while a worker shard's supervisor increments on its datapath.
+  std::atomic<std::uint64_t> faults_total_{0};
+  std::atomic<std::uint64_t> injected_total_{0};
+  std::atomic<std::uint64_t> opens_total_{0};
+  std::atomic<std::uint64_t> bypassed_total_{0};
+  std::atomic<std::uint64_t> fallback_drops_{0};
+  std::atomic<std::uint64_t> flows_rebound_{0};
+  std::atomic<std::uint64_t> kind_total_[kFaultKinds]{};
   std::uint64_t gate_faults_[aiu::kNumGates][kFaultKinds]{};
 };
 

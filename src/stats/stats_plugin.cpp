@@ -12,7 +12,7 @@ StatsInstance::StatsInstance(Mode mode) : mode_(mode) {
   // (`pmgr> telemetry metrics`); the data path keeps incrementing the same
   // members it always did — registration is a control-path pointer hand-off.
   // The worked example for docs/plugin_authoring.md §8.
-  static std::uint64_t next_tag = 0;
+  static std::atomic<std::uint64_t> next_tag{0};
   const std::string prefix = "stats." + std::to_string(next_tag++) + ".";
   telemetry::metrics().add(prefix + "total_packets", &total_packets_, this);
   telemetry::metrics().add(prefix + "total_bytes", &total_bytes_, this);
@@ -37,8 +37,8 @@ Verdict StatsInstance::handle_packet(pkt::Packet& p, void** flow_soft) {
     if (flow_soft) *flow_soft = fc;
   }
 
-  ++total_packets_;
-  total_bytes_ += p.size();
+  total_packets_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(p.size(), std::memory_order_relaxed);
   ++fc->packets;
   if (mode_ == Mode::bytes || mode_ == Mode::sizes) fc->bytes += p.size();
   if (mode_ == Mode::sizes) {

@@ -10,6 +10,7 @@
 // demonstrating run-time reconfiguration of monitoring.
 #pragma once
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <string>
@@ -47,8 +48,10 @@ class StatsInstance final : public plugin::PluginInstance {
  private:
   Mode mode_;
   std::list<std::unique_ptr<FlowCounter>> flows_;
-  std::uint64_t total_packets_{0};
-  std::uint64_t total_bytes_{0};
+  // Atomic (relaxed): registered with telemetry::metrics(), whose report()
+  // may run on the control thread while this instance counts on a worker.
+  std::atomic<std::uint64_t> total_packets_{0};
+  std::atomic<std::uint64_t> total_bytes_{0};
 };
 
 class StatsPlugin final : public plugin::Plugin {

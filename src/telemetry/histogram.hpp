@@ -55,6 +55,15 @@ struct LatencyHistogram {
 
   void reset() noexcept { *this = LatencyHistogram{}; }
 
+  // Fold another histogram in (bucket-wise sum) — how the sharded datapath
+  // presents one router-wide latency distribution from per-worker histograms.
+  void merge(const LatencyHistogram& o) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) counts[b] += o.counts[b];
+    samples += o.samples;
+    total += o.total;
+    if (o.max > max) max = o.max;
+  }
+
   // One line per non-empty bucket: "[lo,hi) count".
   std::string to_string() const {
     std::string out = "samples=" + std::to_string(samples) +

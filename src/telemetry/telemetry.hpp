@@ -23,6 +23,7 @@
 #define RP_TELEMETRY 1
 #endif
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -155,9 +156,14 @@ class Telemetry {
 // them live (`telemetry metrics`). Registration is control-path only — the
 // data path just increments its own counters as it always did. Owners must
 // deregister before the counter's storage dies (instance destructor).
+// Counters are atomics: with the sharded datapath the registry is read from
+// the control thread while worker threads increment, so exported counters
+// must be `std::atomic<std::uint64_t>` (relaxed increments keep the data
+// path at plain-store cost on x86).
 class MetricRegistry {
  public:
-  void add(std::string name, const std::uint64_t* counter, const void* owner) {
+  void add(std::string name, const std::atomic<std::uint64_t>* counter,
+           const void* owner) {
     std::lock_guard<std::mutex> lk(mu_);
     entries_.push_back({std::move(name), counter, owner});
   }
@@ -173,14 +179,15 @@ class MetricRegistry {
     std::lock_guard<std::mutex> lk(mu_);
     std::string out;
     for (const auto& e : entries_)
-      out += e.name + "=" + std::to_string(*e.counter) + "\n";
+      out += e.name + "=" +
+             std::to_string(e.counter->load(std::memory_order_relaxed)) + "\n";
     return out;
   }
 
  private:
   struct Entry {
     std::string name;
-    const std::uint64_t* counter;
+    const std::atomic<std::uint64_t>* counter;
     const void* owner;
   };
   mutable std::mutex mu_;

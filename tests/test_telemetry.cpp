@@ -4,6 +4,8 @@
 // commands (TelemetryE2e, labelled integration).
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include <cstdio>
 
 #include "core/router.hpp"
@@ -184,7 +186,7 @@ TEST(FlowSinks, JsonlFileSinkIsInertOnBadPath) {
 
 TEST(MetricRegistry, AddReportRemoveOwner) {
   telemetry::MetricRegistry reg;
-  std::uint64_t a = 5, b = 7;
+  std::atomic<std::uint64_t> a{5}, b{7};
   int owner1, owner2;
   reg.add("x.a", &a, &owner1);
   reg.add("x.b", &b, &owner2);
