@@ -42,9 +42,9 @@ cmake -S "$repo" -B "$repo/build-asan" -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build "$repo/build-asan" -j "$jobs" --target rp_tests
 # Only rp_tests is built in the sanitizer tree; exclude the bench smokes
-# and the chaos soaks (the soaks get their own stage below).
+# and the chaos/fuzz soaks (those get their own stages below).
 ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
-  --output-on-failure -LE "bench-smoke|chaos"
+  --output-on-failure -LE "bench-smoke|chaos|fuzz"
 
 echo "== chaos: fault-injection soak under ASan/UBSan =="
 # The resilience acceptance gate (docs/resilience.md): >= 100k packets with
@@ -53,6 +53,15 @@ echo "== chaos: fault-injection soak under ASan/UBSan =="
 # that corrupts memory still fails the build.
 ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
   --output-on-failure -L chaos
+
+echo "== wire fuzz: adversarial packet soak under ASan/UBSan =="
+# The wire-hardening acceptance gate (docs/wire_hardening.md): >= 100k
+# structure-aware mutants per seed through the kernel and the reassembler —
+# zero crashes, forwarded + dropped == injected, bounded reassembly state.
+# Seeds are compiled in (tests/test_wire_fuzz.cpp); on failure the test
+# prints a "REPLAY:" line with the seed to rerun.
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
+  --output-on-failure -L '^fuzz$'
 
 echo "== tier 3: TSan build + parallel/chaos tests =="
 # ThreadSanitizer over everything that runs worker threads: the sharded

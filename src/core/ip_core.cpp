@@ -80,7 +80,22 @@ void IpCore::process_burst(std::span<pkt::PacketPtr> batch) {
 bool IpCore::validate(pkt::PacketPtr& p) {
   ++counters_.received;
 
-  // ---- header validation (stable core code, not a plugin) ----
+  // ---- ingress sanitization (stable core code, not a plugin) ----
+  // Every untrusted length field and chain is checked before the packet can
+  // reach classification or any plugin; the per-check counter says which
+  // invariant adversarial traffic is probing (docs/wire_hardening.md).
+  if (cfg_.sanitize) {
+    bool trimmed = false;
+    const auto check = pkt::sanitize_packet(*p, trimmed);
+    if (check != pkt::SanitizeCheck::ok) {
+      ++counters_.sanitize_drops[static_cast<std::size_t>(check)];
+      drop(std::move(p), DropReason::malformed);
+      return false;
+    }
+    if (trimmed) ++counters_.sanitize_trimmed;
+  }
+
+  // ---- header validation ----
   if (!pkt::extract_flow_key(*p)) {
     drop(std::move(p), DropReason::malformed);
     return false;

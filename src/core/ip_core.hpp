@@ -21,6 +21,7 @@
 #include "core/datapath.hpp"
 #include "core/scheduler_base.hpp"
 #include "netdev/iftable.hpp"
+#include "pkt/sanitize.hpp"
 #include "route/routing_table.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -60,6 +61,10 @@ constexpr std::string_view to_string(DropReason r) noexcept {
 }
 
 struct CoreConfig {
+  // Ingress sanitization (pkt/sanitize.hpp): canonical validation of every
+  // length field and chain before classification. On by default; the off
+  // switch exists for measuring its cost, not for production use.
+  bool sanitize{true};
   bool verify_ipv4_checksum{true};
   bool decrement_ttl{true};
   bool emit_icmp_errors{false};
@@ -81,9 +86,24 @@ struct CoreCounters {
   std::uint64_t fragments_created{0};
   std::uint64_t bursts{0};         // process_burst chunks entered
   std::uint64_t burst_packets{0};  // packets entering via those chunks
+  // Per-check ingress sanitization drops (indexed by pkt::SanitizeCheck;
+  // slot 0 / "ok" stays zero) plus packets whose capture padding was
+  // trimmed. Sanitize drops are double-counted into drops[malformed] so
+  // total_drops() keeps meaning "every packet that went nowhere".
+  std::uint64_t sanitize_drops[static_cast<std::size_t>(
+      pkt::SanitizeCheck::kCount)]{};
+  std::uint64_t sanitize_trimmed{0};
 
   std::uint64_t dropped(DropReason r) const noexcept {
     return drops[static_cast<std::size_t>(r)];
+  }
+  std::uint64_t sanitize_dropped(pkt::SanitizeCheck c) const noexcept {
+    return sanitize_drops[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t total_sanitize_drops() const noexcept {
+    std::uint64_t n = 0;
+    for (auto d : sanitize_drops) n += d;
+    return n;
   }
   std::uint64_t total_drops() const noexcept {
     std::uint64_t n = 0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "parallel/sharded_datapath.hpp"
+#include "pkt/sanitize.hpp"
 #include "resilience/resilience.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -120,6 +121,21 @@ std::string format_trace(const telemetry::TraceRecord& tr) {
            ": " + verdict_name(s.verdict) + " " + std::to_string(s.cycles) +
            "cy";
   }
+  return out;
+}
+
+// One line of per-check ingress-sanitization counters; shared by the
+// `sanitize` command, the telemetry summary, and `shard counters`.
+std::string format_sanitize(const core::CoreCounters& cc) {
+  std::string out = "sanitize: dropped=" +
+                    std::to_string(cc.total_sanitize_drops()) +
+                    " trimmed=" + std::to_string(cc.sanitize_trimmed);
+  for (std::size_t i = 1;
+       i < static_cast<std::size_t>(pkt::SanitizeCheck::kCount); ++i)
+    if (cc.sanitize_drops[i])
+      out += " " + std::string(pkt::to_string(
+                       static_cast<pkt::SanitizeCheck>(i))) +
+             "=" + std::to_string(cc.sanitize_drops[i]);
   return out;
 }
 
@@ -248,6 +264,7 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
           text += " " + std::string(core::to_string(
                             static_cast<core::DropReason>(r))) +
                   "=" + std::to_string(cc.drops[r]);
+      text += "\n" + format_sanitize(cc);
       return {Status::ok, text};
     }
     const std::string& sub = tok[1];
@@ -568,6 +585,7 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
           text += " " +
                   std::string(core::to_string(static_cast<core::DropReason>(r))) +
                   "=" + std::to_string(cc.drops[r]);
+      text += "\n" + format_sanitize(cc);
       return {Status::ok, text};
     }
     if (sub == "telemetry") {
@@ -652,6 +670,22 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
     return {Status::invalid_argument,
             "unknown shard subcommand: " + sub +
                 "; expected status|counters|telemetry|resilience|reset|sweep"};
+  }
+  if (cmd == "sanitize") {
+    auto& core = lib_.kernel().core();
+    // sanitize -> per-check ingress-sanitization counters.
+    if (tok.size() == 1) {
+      std::string text = format_sanitize(core.counters());
+      text += std::string("\nstate: ") + (core.config().sanitize ? "on" : "off");
+      return {Status::ok, text};
+    }
+    // sanitize on|off -> toggle the gate (off exists to measure its cost;
+    // the flow-key parser still fails closed on malformed lengths).
+    if (tok.size() == 2 && (tok[1] == "on" || tok[1] == "off")) {
+      core.config().sanitize = tok[1] == "on";
+      return {Status::ok, "sanitize " + tok[1]};
+    }
+    return usage("sanitize [on|off]");
   }
   if (cmd == "route") {
     if (tok.size() == 4 && tok[1] == "add") {

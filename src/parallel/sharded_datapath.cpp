@@ -86,6 +86,9 @@ core::CoreCounters ShardedDatapath::aggregate_counters() {
     sum.fragments_created += c.fragments_created;
     sum.bursts += c.bursts;
     sum.burst_packets += c.burst_packets;
+    for (std::size_t i = 0; i < std::size(sum.sanitize_drops); ++i)
+      sum.sanitize_drops[i] += c.sanitize_drops[i];
+    sum.sanitize_trimmed += c.sanitize_trimmed;
   }
   return sum;
 }

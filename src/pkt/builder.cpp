@@ -167,14 +167,18 @@ bool extract_flow_key(Packet& p) noexcept {
 
   std::uint8_t proto = 0;
   std::size_t l4 = 0;
+  std::size_t limit = 0;    // end of the L3 datagram within the capture
+  bool fragmented = false;  // part of a fragment series (first or later)
   if ((b[0] >> 4) == 4) {
     Ipv4Header ip;
-    if (!ip.parse(b)) return false;
+    if (!ip.parse(b)) return false;  // enforces total_len bounds
     p.ip_version = IpVersion::v4;
     p.key.src = netbase::IpAddr(ip.src);
     p.key.dst = netbase::IpAddr(ip.dst);
     proto = ip.proto;
     l4 = ip.header_len();
+    limit = ip.total_len;
+    fragmented = ip.frag_off != 0 || (ip.flags & 0x1) != 0;
     // Fragments other than the first carry no L4 header.
     if (ip.frag_off != 0) {
       p.key.proto = proto;
@@ -191,12 +195,28 @@ bool extract_flow_key(Packet& p) noexcept {
     p.key.src = netbase::IpAddr(ip.src);
     p.key.dst = netbase::IpAddr(ip.dst);
     p.key.flow_label = ip.flow_label;
-    std::size_t ext_off = 0;
-    auto nh = skip_ipv6_ext_headers(b.subspan(Ipv6Header::kSize),
-                                    ip.next_header, ext_off);
-    if (!nh) return false;
-    proto = *nh;
-    l4 = Ipv6Header::kSize + ext_off;
+    // The ext-header walk is bounded by payload_len, not the capture: a
+    // lying payload_len must not let the walk read padding bytes.
+    if (Ipv6Header::kSize + std::size_t{ip.payload_len} > b.size())
+      return false;
+    Ipv6ExtWalk walk;
+    if (!walk_ipv6_ext_headers(
+            b.subspan(Ipv6Header::kSize, ip.payload_len), ip.next_header,
+            walk))
+      return false;
+    proto = walk.l4_proto;
+    l4 = Ipv6Header::kSize + walk.l4_offset;
+    limit = Ipv6Header::kSize + ip.payload_len;
+    fragmented = walk.has_fragment;
+    // Non-first v6 fragments carry no L4 header: same treatment as v4.
+    if (walk.has_fragment && walk.frag_off != 0) {
+      p.key.proto = proto;
+      p.key.sport = p.key.dport = 0;
+      p.key.in_iface = p.in_iface;
+      p.l4_offset = static_cast<std::uint16_t>(l4);
+      p.key_valid = true;
+      return true;
+    }
   } else {
     return false;
   }
@@ -205,9 +225,24 @@ bool extract_flow_key(Packet& p) noexcept {
   p.key.sport = p.key.dport = 0;
   if (proto == static_cast<std::uint8_t>(IpProto::udp) ||
       proto == static_cast<std::uint8_t>(IpProto::tcp)) {
-    if (l4 + 4 <= b.size()) {
-      p.key.sport = load_be16(&b[l4]);
-      p.key.dport = load_be16(&b[l4 + 2]);
+    // Fail closed: a TCP/UDP packet whose ports don't fit inside the
+    // datagram is malformed, not a portless flow.
+    if (l4 + 4 > limit) return false;
+    p.key.sport = load_be16(&b[l4]);
+    p.key.dport = load_be16(&b[l4 + 2]);
+    if (!fragmented) {
+      if (proto == static_cast<std::uint8_t>(IpProto::udp)) {
+        // UDP length must cover its own header and fit in the datagram.
+        // Fragments are exempt: the first fragment's UDP length describes
+        // the reassembled datagram, not this piece.
+        if (l4 + UdpHeader::kSize > limit) return false;
+        const std::size_t ulen = load_be16(&b[l4 + 4]);
+        if (ulen < UdpHeader::kSize || l4 + ulen > limit) return false;
+      } else {
+        if (l4 + TcpHeader::kMinSize > limit) return false;
+        const std::size_t doff = std::size_t{b[l4 + 12] >> 4} * 4;
+        if (doff < TcpHeader::kMinSize || l4 + doff > limit) return false;
+      }
     }
   }
   p.key.in_iface = p.in_iface;

@@ -17,6 +17,11 @@ bool Ipv4Header::parse(std::span<const std::uint8_t> b) noexcept {
   if (ihl < 5 || header_len() > b.size()) return false;
   tos = b[1];
   total_len = load_be16(&b[2]);
+  // The length field is attacker-controlled: it must cover at least the
+  // header it describes and never claim more bytes than were captured.
+  // Capture longer than total_len (L2 padding) is accepted here; the
+  // ingress sanitizer trims it (see docs/wire_hardening.md).
+  if (total_len < header_len() || total_len > b.size()) return false;
   id = load_be16(&b[4]);
   std::uint16_t ff = load_be16(&b[6]);
   flags = static_cast<std::uint8_t>(ff >> 13);
@@ -82,6 +87,9 @@ bool UdpHeader::parse(std::span<const std::uint8_t> b) noexcept {
   sport = load_be16(&b[0]);
   dport = load_be16(&b[2]);
   length = load_be16(&b[4]);
+  // A UDP length below the header size is always a lie. Containment within
+  // the IP payload is checked by the caller (the span may be a prefix).
+  if (length < kSize) return false;
   checksum = load_be16(&b[6]);
   return true;
 }
@@ -136,25 +144,48 @@ void IcmpHeader::write(std::uint8_t* out) const noexcept {
   store_be32(&out[4], rest);
 }
 
-std::optional<std::uint8_t> skip_ipv6_ext_headers(
-    std::span<const std::uint8_t> b, std::uint8_t first_nh,
-    std::size_t& l4_offset) noexcept {
+bool walk_ipv6_ext_headers(std::span<const std::uint8_t> b,
+                           std::uint8_t first_nh, Ipv6ExtWalk& out) noexcept {
   std::uint8_t nh = first_nh;
   std::size_t off = 0;
   // Bounded walk: at most 8 chained extension headers (defensive limit).
   for (int depth = 0; depth < 8; ++depth) {
     if (!is_ipv6_ext_header(nh)) {
-      l4_offset = off;
-      return nh;
+      out.l4_proto = nh;
+      out.l4_offset = off;
+      return true;
     }
-    if (off + 2 > b.size()) return std::nullopt;
+    if (off + 2 > b.size()) return false;
     std::uint8_t next = b[off];
-    std::size_t len = (std::size_t{b[off + 1]} + 1) * 8;
-    if (off + len > b.size()) return std::nullopt;
+    std::size_t len;
+    if (nh == static_cast<std::uint8_t>(IpProto::ipv6_frag)) {
+      // Fragment header: fixed 8 bytes; byte 1 is reserved, NOT a length.
+      len = 8;
+      if (off + len > b.size()) return false;
+      std::uint16_t fo = load_be16(&b[off + 2]);
+      out.has_fragment = true;
+      out.frag_off = fo >> 3;
+      out.frag_more = (fo & 0x1) != 0;
+    } else if (nh == static_cast<std::uint8_t>(IpProto::ah)) {
+      // AH measures its length in 4-byte units: (payload_len + 2) * 4.
+      len = (std::size_t{b[off + 1]} + 2) * 4;
+    } else {
+      len = (std::size_t{b[off + 1]} + 1) * 8;
+    }
+    if (off + len > b.size()) return false;
     nh = next;
     off += len;
   }
-  return std::nullopt;
+  return false;
+}
+
+std::optional<std::uint8_t> skip_ipv6_ext_headers(
+    std::span<const std::uint8_t> b, std::uint8_t first_nh,
+    std::size_t& l4_offset) noexcept {
+  Ipv6ExtWalk walk;
+  if (!walk_ipv6_ext_headers(b, first_nh, walk)) return std::nullopt;
+  l4_offset = walk.l4_offset;
+  return walk.l4_proto;
 }
 
 }  // namespace rp::pkt

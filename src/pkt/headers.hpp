@@ -106,10 +106,28 @@ struct Ipv6ExtHeader {
   }
 };
 
+// Result of walking an IPv6 extension-header chain. `l4_proto`/`l4_offset`
+// describe the first non-extension header; the fragment fields are filled
+// when a Fragment (44) header was seen on the way.
+struct Ipv6ExtWalk {
+  std::uint8_t l4_proto{0};
+  std::size_t l4_offset{0};
+  bool has_fragment{false};
+  std::uint16_t frag_off{0};  // in 8-byte units
+  bool frag_more{false};
+};
+
 // Walks IPv6 extension headers starting at `b` (which begins with the header
-// of type `first_nh`), stopping at the first non-extension header. On
-// success returns the final (transport) next-header value and sets
-// `l4_offset` to its offset within `b`.
+// of type `first_nh`), stopping at the first non-extension header. Handles
+// the generic TLV layout (hop-by-hop / routing / destination options), the
+// Fragment header's fixed 8-byte layout (byte 1 is reserved, not a length),
+// and AH's 4-byte length units. Returns false on truncation or a chain
+// deeper than the defensive limit.
+bool walk_ipv6_ext_headers(std::span<const std::uint8_t> b,
+                           std::uint8_t first_nh, Ipv6ExtWalk& out) noexcept;
+
+// Legacy wrapper around walk_ipv6_ext_headers: returns the final (transport)
+// next-header value and sets `l4_offset` to its offset within `b`.
 std::optional<std::uint8_t> skip_ipv6_ext_headers(
     std::span<const std::uint8_t> b, std::uint8_t first_nh,
     std::size_t& l4_offset) noexcept;
@@ -117,6 +135,8 @@ std::optional<std::uint8_t> skip_ipv6_ext_headers(
 inline bool is_ipv6_ext_header(std::uint8_t nh) noexcept {
   return nh == static_cast<std::uint8_t>(IpProto::hopopt) ||
          nh == static_cast<std::uint8_t>(IpProto::ipv6_route) ||
+         nh == static_cast<std::uint8_t>(IpProto::ipv6_frag) ||
+         nh == static_cast<std::uint8_t>(IpProto::ah) ||
          nh == static_cast<std::uint8_t>(IpProto::ipv6_dstopts);
 }
 

@@ -1,5 +1,6 @@
 #include "pkt/reassembly.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "netbase/byteorder.hpp"
@@ -17,6 +18,28 @@ bool Ipv4Reassembler::Partial::complete() const {
   return true;
 }
 
+Ipv4Reassembler::PartialMap::iterator Ipv4Reassembler::erase_partial(
+    PartialMap::iterator it) {
+  buffered_bytes_ -= it->second.payload.size();
+  return partials_.erase(it);
+}
+
+// Frees room by dropping the oldest partial; `keep` (the datagram being
+// fed) is never the victim.
+void Ipv4Reassembler::evict_for_budget(const Key* keep) {
+  auto oldest = partials_.end();
+  for (auto it = partials_.begin(); it != partials_.end(); ++it) {
+    if (&it->first == keep) continue;
+    if (oldest == partials_.end() ||
+        it->second.first_seen < oldest->second.first_seen)
+      oldest = it;
+  }
+  if (oldest != partials_.end()) {
+    erase_partial(oldest);
+    ++evicted_;
+  }
+}
+
 PacketPtr Ipv4Reassembler::feed(PacketPtr p, netbase::SimTime now) {
   Ipv4Header h;
   if (!p || !h.parse(p->bytes())) {
@@ -27,23 +50,66 @@ PacketPtr Ipv4Reassembler::feed(PacketPtr p, netbase::SimTime now) {
   if (h.frag_off == 0 && !mf) return p;  // not fragmented
 
   const std::size_t hlen = h.header_len();
-  const std::size_t frag_len = p->size() - hlen;
+  // Payload length comes from the length *field*, not the capture: parse()
+  // guarantees hlen <= total_len <= capture, so a padded capture cannot
+  // inflate the fragment.
+  const std::size_t frag_len = h.total_len - hlen;
   const std::size_t off = std::size_t{h.frag_off} * 8;
   if (frag_len == 0 || (mf && frag_len % 8 != 0) ||
-      off + frag_len > 65535) {
+      hlen + off + frag_len > 65535) {
     ++malformed_;
     return nullptr;
   }
 
   Key k{netbase::IpAddr(h.src).key(), netbase::IpAddr(h.dst).key(), h.proto,
         h.id};
-  Partial& part = partials_[k];
-  if (part.first_seen == 0) part.first_seen = now;
+  auto it = partials_.find(k);
+  if (it == partials_.end()) {
+    while (partials_.size() >= max_partials_ ||
+           (!partials_.empty() &&
+            buffered_bytes_ + off + frag_len > max_bytes_))
+      evict_for_budget();
+    it = partials_.emplace(k, Partial{}).first;
+    it->second.first_seen = now;
+  }
+  Partial& part = it->second;
 
-  if (part.payload.size() < off + frag_len) part.payload.resize(off + frag_len);
-  std::memcpy(part.payload.data() + off, p->data() + hlen, frag_len);
+  // A fragment may not contradict the established datagram end: no data at
+  // or past a recorded total_len, and no second, different "last" fragment.
+  if (part.total_len != 0 &&
+      (off + frag_len > part.total_len ||
+       (!mf && off + frag_len != part.total_len))) {
+    erase_partial(it);
+    ++overlaps_;
+    return nullptr;
+  }
+
+  if (part.payload.size() < off + frag_len) {
+    buffered_bytes_ += off + frag_len - part.payload.size();
+    part.payload.resize(off + frag_len);
+    // Growth of an existing partial counts against the byte budget too
+    // (a single partial may exceed it alone — bounded by 64KiB).
+    while (buffered_bytes_ > max_bytes_ && partials_.size() > 1)
+      evict_for_budget(&it->first);
+  }
+  // Overlap policy: byte-identical retransmissions are fine; a fragment
+  // that rewrites already-received bytes with different content (teardrop
+  // family) poisons the whole datagram, which is discarded.
   const std::size_t first_block = off / 8;
   const std::size_t blocks = (frag_len + 7) / 8;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    if (first_block + i >= part.have.size() || !part.have[first_block + i])
+      continue;
+    const std::size_t lo = off + i * 8;
+    const std::size_t n = std::min<std::size_t>(8, off + frag_len - lo);
+    if (std::memcmp(part.payload.data() + lo, p->data() + hlen + (lo - off),
+                    n) != 0) {
+      erase_partial(it);
+      ++overlaps_;
+      return nullptr;
+    }
+  }
+  std::memcpy(part.payload.data() + off, p->data() + hlen, frag_len);
   if (part.have.size() < first_block + blocks)
     part.have.resize(first_block + blocks);
   for (std::size_t i = 0; i < blocks; ++i) part.have[first_block + i] = true;
@@ -53,6 +119,15 @@ PacketPtr Ipv4Reassembler::feed(PacketPtr p, netbase::SimTime now) {
     part.header.assign(p->data(), p->data() + hlen);
 
   if (!part.complete()) return nullptr;
+
+  // The rebuilt total length must fit its 16-bit field; per-fragment checks
+  // bound each fragment's own hlen, but the kept header is the offset-0
+  // fragment's and may be longer.
+  if (part.header.size() + part.total_len > 65535) {
+    erase_partial(it);
+    ++oversize_;
+    return nullptr;
+  }
 
   // Rebuild the datagram: original header (offset-0 fragment's), cleared
   // fragment fields, recomputed checksum.
@@ -64,7 +139,7 @@ PacketPtr Ipv4Reassembler::feed(PacketPtr p, netbase::SimTime now) {
                       static_cast<std::uint16_t>(out->size()));
   netbase::store_be16(out->data() + 6, 0);  // no flags, offset 0
   Ipv4Header::finalize_checksum(out->data(), part.header.size());
-  partials_.erase(k);
+  erase_partial(it);
   ++completed_;
   extract_flow_key(*out);
   return out;
@@ -74,7 +149,7 @@ std::size_t Ipv4Reassembler::expire(netbase::SimTime now) {
   std::size_t n = 0;
   for (auto it = partials_.begin(); it != partials_.end();) {
     if (now - it->second.first_seen >= timeout_) {
-      it = partials_.erase(it);
+      it = erase_partial(it);
       ++n;
     } else {
       ++it;

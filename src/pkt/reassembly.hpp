@@ -18,8 +18,16 @@ namespace rp::pkt {
 
 class Ipv4Reassembler {
  public:
-  explicit Ipv4Reassembler(netbase::SimTime timeout = 30 * netbase::kNsPerSec)
-      : timeout_(timeout) {}
+  // State-exhaustion guards: at most `max_partials` in-flight datagrams and
+  // `max_bytes` of buffered payload; the oldest partial is evicted (and
+  // counted) when either budget would be exceeded by a new fragment.
+  static constexpr std::size_t kDefaultMaxPartials = 256;
+  static constexpr std::size_t kDefaultMaxBytes = 1u << 20;  // 1 MiB
+
+  explicit Ipv4Reassembler(netbase::SimTime timeout = 30 * netbase::kNsPerSec,
+                           std::size_t max_partials = kDefaultMaxPartials,
+                           std::size_t max_bytes = kDefaultMaxBytes)
+      : timeout_(timeout), max_partials_(max_partials), max_bytes_(max_bytes) {}
 
   // Feeds one packet. Unfragmented packets come straight back. If the
   // packet completes a datagram, the reassembled datagram is returned;
@@ -30,8 +38,17 @@ class Ipv4Reassembler {
   std::size_t expire(netbase::SimTime now);
 
   std::size_t pending() const noexcept { return partials_.size(); }
+  std::size_t buffered_bytes() const noexcept { return buffered_bytes_; }
   std::uint64_t completed() const noexcept { return completed_; }
   std::uint64_t malformed() const noexcept { return malformed_; }
+  // Datagrams discarded because a fragment rewrote already-received bytes
+  // with different content (teardrop-style overlap) or contradicted the
+  // established datagram end.
+  std::uint64_t overlaps() const noexcept { return overlaps_; }
+  // Datagrams discarded because header + payload would exceed 65535.
+  std::uint64_t oversize() const noexcept { return oversize_; }
+  // Partials evicted by the count/byte budgets.
+  std::uint64_t evicted() const noexcept { return evicted_; }
 
  private:
   struct Key {
@@ -54,10 +71,21 @@ class Ipv4Reassembler {
     bool complete() const;
   };
 
+  using PartialMap = std::map<Key, Partial>;
+  PartialMap::iterator erase_partial(PartialMap::iterator it);
+  // Evicts the oldest partial (skipping `keep`, if given).
+  void evict_for_budget(const Key* keep = nullptr);
+
   netbase::SimTime timeout_;
-  std::map<Key, Partial> partials_;
+  std::size_t max_partials_;
+  std::size_t max_bytes_;
+  std::size_t buffered_bytes_{0};
+  PartialMap partials_;
   std::uint64_t completed_{0};
   std::uint64_t malformed_{0};
+  std::uint64_t overlaps_{0};
+  std::uint64_t oversize_{0};
+  std::uint64_t evicted_{0};
 };
 
 }  // namespace rp::pkt

@@ -1,0 +1,46 @@
+// Ingress sanitization: canonical validation of untrusted wire bytes before
+// the packet reaches classification or any plugin. Every check has its own
+// counter slot so telemetry can say *which* invariant adversarial traffic is
+// probing (see docs/wire_hardening.md for the threat model).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "pkt/packet.hpp"
+
+namespace rp::pkt {
+
+// One slot per validation rule. Order is stable: counters are exported by
+// index (CoreCounters::sanitize_drops, pmgr `sanitize`).
+enum class SanitizeCheck : std::uint8_t {
+  ok = 0,
+  runt,            // empty / too short to carry a version nibble
+  bad_version,     // version nibble is neither 4 nor 6
+  v4_header,       // capture < 20B, IHL < 5, or options run past capture
+  v4_total_len,    // total_len < header or > capture (length-field lie)
+  v4_frag_range,   // fragment's reassembled end would pass 64KiB
+  l4_tcp,          // TCP data offset < 5 or header past the datagram end
+  l4_udp,          // UDP length < 8 or past the datagram end
+  v6_header,       // capture < 40B
+  v6_payload_len,  // payload_len claims more bytes than were captured
+  v6_ext_chain,    // ext-header chain truncated, looping, or too deep
+  kCount
+};
+
+std::string_view to_string(SanitizeCheck c) noexcept;
+
+// Validates `p` against every check above. Returns SanitizeCheck::ok and
+// canonicalizes the packet (trailing capture padding beyond the L3 datagram
+// length is trimmed, `trimmed` set) on success; returns the first failing
+// check otherwise, leaving the packet untouched. L4 length checks apply only
+// to unfragmented datagrams — a first fragment's UDP length legitimately
+// describes the reassembled datagram, not the piece in hand.
+SanitizeCheck sanitize_packet(Packet& p, bool& trimmed) noexcept;
+
+inline SanitizeCheck sanitize_packet(Packet& p) noexcept {
+  bool trimmed = false;
+  return sanitize_packet(p, trimmed);
+}
+
+}  // namespace rp::pkt

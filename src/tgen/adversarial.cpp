@@ -1,0 +1,312 @@
+#include "tgen/adversarial.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "netbase/byteorder.hpp"
+#include "pkt/builder.hpp"
+#include "pkt/headers.hpp"
+
+namespace rp::tgen {
+
+using netbase::IpAddr;
+using netbase::IpVersion;
+using netbase::load_be16;
+using netbase::store_be16;
+using netbase::U128;
+
+namespace {
+
+// Mutations rewrite header bytes under the parser's feet: every cached
+// parse result is stale and must be rebuilt by the datapath.
+void invalidate(pkt::Packet& p) {
+  p.key_valid = false;
+  p.fix = pkt::kNoFlow;
+  p.invalidate_flow_hash();
+}
+
+// Refreshes the v4 header checksum so a mutant is rejected for its length
+// lie, not masked by an incidental checksum failure.
+void refresh_v4_checksum(pkt::Packet& p) {
+  if ((p.data()[0] >> 4) != 4 || p.size() < pkt::Ipv4Header::kMinSize) return;
+  const std::size_t hlen = std::size_t{p.data()[0] & 0x0fu} * 4;
+  if (hlen >= pkt::Ipv4Header::kMinSize && hlen <= p.size())
+    pkt::Ipv4Header::finalize_checksum(p.data(), hlen);
+}
+
+}  // namespace
+
+std::string_view to_string(MutationKind k) noexcept {
+  switch (k) {
+    case MutationKind::clean: return "clean";
+    case MutationKind::truncate: return "truncate";
+    case MutationKind::v4_total_len_lie: return "v4-total-len-lie";
+    case MutationKind::v4_ihl_abuse: return "v4-ihl-abuse";
+    case MutationKind::udp_len_lie: return "udp-len-lie";
+    case MutationKind::tcp_off_abuse: return "tcp-off-abuse";
+    case MutationKind::v6_payload_lie: return "v6-payload-lie";
+    case MutationKind::v6_ext_chain: return "v6-ext-chain";
+    case MutationKind::frag_series: return "frag-series";
+    case MutationKind::random_bytes: return "random-bytes";
+    case MutationKind::kCount: break;
+  }
+  return "?";
+}
+
+pkt::PacketPtr AdversarialGen::base_packet() {
+  const IpVersion ver = rng_.chance(0.35) ? IpVersion::v6 : IpVersion::v4;
+  const std::size_t payload = rng_.below(256);
+  if (rng_.chance(0.4)) {
+    pkt::TcpSpec s;
+    s.src = ver == IpVersion::v4
+                ? IpAddr(netbase::Ipv4Addr(static_cast<std::uint32_t>(rng_.next())))
+                : IpAddr(netbase::Ipv6Addr(U128{rng_.next(), rng_.next()}));
+    s.dst = ver == IpVersion::v4
+                ? IpAddr(netbase::Ipv4Addr(static_cast<std::uint32_t>(rng_.next())))
+                : IpAddr(netbase::Ipv6Addr(U128{rng_.next(), rng_.next()}));
+    s.sport = static_cast<std::uint16_t>(rng_.range(1, 65535));
+    s.dport = static_cast<std::uint16_t>(rng_.range(1, 65535));
+    s.payload_len = payload;
+    return pkt::build_tcp(s);
+  }
+  pkt::UdpSpec s;
+  s.src = ver == IpVersion::v4
+              ? IpAddr(netbase::Ipv4Addr(static_cast<std::uint32_t>(rng_.next())))
+              : IpAddr(netbase::Ipv6Addr(U128{rng_.next(), rng_.next()}));
+  s.dst = ver == IpVersion::v4
+              ? IpAddr(netbase::Ipv4Addr(static_cast<std::uint32_t>(rng_.next())))
+              : IpAddr(netbase::Ipv6Addr(U128{rng_.next(), rng_.next()}));
+  s.sport = static_cast<std::uint16_t>(rng_.range(1, 65535));
+  s.dport = static_cast<std::uint16_t>(rng_.range(1, 65535));
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+// Queues a v4 fragment series for one UDP datagram, then corrupts it with
+// one of the classic reassembly attacks. Fragments are built by hand so the
+// series can lie in ways the output fragmenter never would.
+void AdversarialGen::queue_frag_series() {
+  const std::uint16_t id = next_ip_id_++;
+  const std::size_t n_frags = rng_.range(2, 5);
+  const std::size_t frag_payload = 8 * rng_.range(1, 8);  // 8..64B each
+
+  auto make_frag = [&](std::size_t off_units, std::size_t len, bool mf,
+                       std::uint8_t fill) {
+    auto p = pkt::make_packet(pkt::Ipv4Header::kMinSize + len);
+    pkt::Ipv4Header h;
+    h.total_len = static_cast<std::uint16_t>(pkt::Ipv4Header::kMinSize + len);
+    h.id = id;
+    h.flags = mf ? 1 : 0;
+    h.frag_off = static_cast<std::uint16_t>(off_units);
+    h.proto = static_cast<std::uint8_t>(pkt::IpProto::udp);
+    h.src = netbase::Ipv4Addr(0x0a000001u + (id % 7));
+    h.dst = netbase::Ipv4Addr(0x14000001u + (id % 5));
+    h.write(p->data());
+    pkt::Ipv4Header::finalize_checksum(p->data(), pkt::Ipv4Header::kMinSize);
+    std::memset(p->data() + pkt::Ipv4Header::kMinSize, fill, len);
+    return p;
+  };
+
+  // Start from a well-formed series...
+  for (std::size_t i = 0; i < n_frags; ++i) {
+    const bool last = i + 1 == n_frags;
+    pending_.push_back(make_frag(i * frag_payload / 8, frag_payload, !last,
+                                 static_cast<std::uint8_t>(i)));
+  }
+  // ...then corrupt it.
+  switch (rng_.below(5)) {
+    case 0:  // clean series (control; must account like any other packets)
+      break;
+    case 1: {  // teardrop: overlapping rewrite with different content
+      pending_.push_back(make_frag(rng_.below(n_frags) * frag_payload / 8,
+                                   frag_payload, true, 0xAA));
+      break;
+    }
+    case 2: {  // oversize: reassembled end past 64KiB
+      pending_.push_back(
+          make_frag(0x1fff, frag_payload, rng_.chance(0.5), 0xBB));
+      break;
+    }
+    case 3:  // incomplete: drop the last fragment (reassembly state leak)
+      pending_.pop_back();
+      break;
+    case 4: {  // conflicting "last" fragment: different datagram end
+      pending_.push_back(
+          make_frag((n_frags + 2) * frag_payload / 8, frag_payload, false,
+                    0xCC));
+      break;
+    }
+  }
+}
+
+pkt::PacketPtr AdversarialGen::mutate(pkt::PacketPtr p, MutationKind k) {
+  std::uint8_t* b = p->data();
+  switch (k) {
+    case MutationKind::truncate:
+      p->trim(rng_.range(1, p->size()));
+      break;
+    case MutationKind::v4_total_len_lie: {
+      switch (rng_.below(3)) {
+        case 0:  // shorter than the IPv4 header itself
+          store_be16(&b[2], static_cast<std::uint16_t>(rng_.below(20)));
+          break;
+        case 1:  // claims more bytes than captured
+          store_be16(&b[2], static_cast<std::uint16_t>(
+                                std::min<std::uint64_t>(
+                                    65535, p->size() + rng_.range(1, 2000))));
+          break;
+        case 2:  // shorter than capture: legal, capture padding gets trimmed
+          store_be16(&b[2], static_cast<std::uint16_t>(
+                                rng_.range(28, p->size())));
+          break;
+      }
+      refresh_v4_checksum(*p);
+      break;
+    }
+    case MutationKind::v4_ihl_abuse:
+      b[0] = static_cast<std::uint8_t>(0x40 | rng_.below(16));
+      refresh_v4_checksum(*p);
+      break;
+    case MutationKind::udp_len_lie: {
+      const std::size_t l4 = p->l4_offset;
+      if (l4 + 6 <= p->size()) {
+        store_be16(&b[l4 + 4],
+                   rng_.chance(0.5)
+                       ? static_cast<std::uint16_t>(rng_.below(8))
+                       : static_cast<std::uint16_t>(
+                             p->size() - l4 + rng_.range(1, 400)));
+      }
+      break;
+    }
+    case MutationKind::tcp_off_abuse: {
+      const std::size_t l4 = p->l4_offset;
+      if (l4 + 13 <= p->size())
+        b[l4 + 12] = static_cast<std::uint8_t>(rng_.below(16) << 4);
+      break;
+    }
+    case MutationKind::v6_payload_lie:
+      store_be16(&b[4], static_cast<std::uint16_t>(
+                            std::min<std::uint64_t>(
+                                65535, p->size() + rng_.range(1, 3000))));
+      break;
+    case MutationKind::random_bytes: {
+      const std::size_t n = rng_.range(1, 120);
+      p = pkt::make_packet(n);
+      for (std::size_t i = 0; i < n; ++i)
+        p->data()[i] = static_cast<std::uint8_t>(rng_.next());
+      break;
+    }
+    case MutationKind::clean:
+    case MutationKind::v6_ext_chain:
+    case MutationKind::frag_series:
+    case MutationKind::kCount:
+      break;
+  }
+  invalidate(*p);
+  return p;
+}
+
+pkt::PacketPtr AdversarialGen::next() {
+  ++index_;
+  if (!pending_.empty()) {
+    auto p = std::move(pending_.front());
+    pending_.pop_front();
+    invalidate(*p);
+    return p;
+  }
+
+  const auto k = static_cast<MutationKind>(
+      rng_.below(static_cast<std::uint64_t>(MutationKind::kCount)));
+  kind_ = k;
+  switch (k) {
+    case MutationKind::clean:
+      return base_packet();
+    case MutationKind::frag_series: {
+      queue_frag_series();
+      auto p = std::move(pending_.front());
+      pending_.pop_front();
+      invalidate(*p);
+      return p;
+    }
+    case MutationKind::v6_ext_chain: {
+      // Hand-built v6 header + ext chain; variants cover bogus TLV lengths,
+      // over-deep chains, fragment headers (first and non-first), and AH.
+      const std::size_t variant = rng_.below(4);
+      const std::size_t n_ext = variant == 1 ? rng_.range(9, 12)  // too deep
+                                             : rng_.range(1, 3);
+      const std::size_t udp_payload = rng_.below(64);
+      const std::size_t udp_len = pkt::UdpHeader::kSize + udp_payload;
+      auto p = pkt::make_packet(pkt::Ipv6Header::kSize + n_ext * 8 + udp_len);
+      pkt::Ipv6Header ip;
+      ip.payload_len = static_cast<std::uint16_t>(n_ext * 8 + udp_len);
+      ip.next_header = static_cast<std::uint8_t>(
+          variant == 2 ? pkt::IpProto::ipv6_frag : pkt::IpProto::hopopt);
+      ip.src = netbase::Ipv6Addr(U128{rng_.next(), rng_.next()});
+      ip.dst = netbase::Ipv6Addr(U128{rng_.next(), rng_.next()});
+      ip.write(p->data());
+      std::uint8_t* ext = p->data() + pkt::Ipv6Header::kSize;
+      for (std::size_t i = 0; i < n_ext; ++i) {
+        const bool last = i + 1 == n_ext;
+        ext[0] = static_cast<std::uint8_t>(
+            last ? pkt::IpProto::udp
+                 : (variant == 2 && i == 0 ? pkt::IpProto::ipv6_frag
+                                           : pkt::IpProto::hopopt));
+        // Variant 0 lies about the TLV length; fragment headers use byte 1
+        // as reserved, everything else as (len/8)-1.
+        ext[1] = variant == 0 ? static_cast<std::uint8_t>(rng_.below(256))
+                              : 0;
+        if (variant == 2 && i == 0) {
+          // Fragment header: random offset (0 = first fragment, which has
+          // an L4 header; >0 = non-first, which must be treated portless).
+          store_be16(&ext[2], static_cast<std::uint16_t>(
+                                  (rng_.below(32) << 3) |
+                                  (rng_.chance(0.5) ? 1 : 0)));
+          store_be16(&ext[4], 0);
+          store_be16(&ext[6], next_ip_id_++);
+        } else if (variant == 3 && i == 0) {
+          // AH: length in 4-byte units; 1 means the 8-byte slot we built.
+          ext[0] = static_cast<std::uint8_t>(
+              last ? pkt::IpProto::udp : pkt::IpProto::hopopt);
+          // Overwrite this slot's type by patching the *previous* next
+          // header: simplest is to rewrite the IP next_header to AH.
+          p->data()[6] = static_cast<std::uint8_t>(pkt::IpProto::ah);
+          ext[1] = rng_.chance(0.7) ? 0 : static_cast<std::uint8_t>(
+                                              rng_.below(256));
+        } else {
+          std::memset(ext + 2, 0, 6);
+        }
+        ext += 8;
+      }
+      pkt::UdpHeader udp;
+      udp.sport = static_cast<std::uint16_t>(rng_.range(1, 65535));
+      udp.dport = static_cast<std::uint16_t>(rng_.range(1, 65535));
+      udp.length = static_cast<std::uint16_t>(udp_len);
+      udp.write(ext);
+      std::memset(ext + pkt::UdpHeader::kSize, 0x5A, udp_payload);
+      invalidate(*p);
+      return p;
+    }
+    default:
+      break;
+  }
+
+  auto p = base_packet();
+  const bool v4 = (p->data()[0] >> 4) == 4;
+  // Re-roll kind-specific mismatches (e.g. a v4-only mutation on a v6
+  // packet) into truncation so every call still mutates something.
+  MutationKind eff = k;
+  if (!v4 && (k == MutationKind::v4_total_len_lie ||
+              k == MutationKind::v4_ihl_abuse))
+    eff = MutationKind::truncate;
+  if (v4 && k == MutationKind::v6_payload_lie) eff = MutationKind::truncate;
+  if (k == MutationKind::udp_len_lie &&
+      p->key.proto != static_cast<std::uint8_t>(pkt::IpProto::udp))
+    eff = MutationKind::tcp_off_abuse;
+  if (k == MutationKind::tcp_off_abuse &&
+      p->key.proto != static_cast<std::uint8_t>(pkt::IpProto::tcp))
+    eff = MutationKind::truncate;
+  kind_ = eff;
+  return mutate(std::move(p), eff);
+}
+
+}  // namespace rp::tgen

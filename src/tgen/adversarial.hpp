@@ -1,0 +1,62 @@
+// Structure-aware adversarial packet generation for wire-path fuzzing.
+//
+// Unlike random byte noise, every mutant starts from a well-formed packet
+// (built with pkt/builder) and applies one targeted corruption class —
+// truncation, length-field lies, extension-header chain abuse, fragment
+// overlap/teardrop/oversize series — so the mutants land exactly on the
+// branches the ingress sanitizer and parsers must defend. Everything is
+// driven by an explicit seed (same replay discipline as test_filter_fuzz:
+// one seed reproduces the whole stream).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+
+#include "netbase/rng.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::tgen {
+
+enum class MutationKind : std::uint8_t {
+  clean = 0,         // well-formed packet (control group: must forward)
+  truncate,          // capture cut short anywhere in the header stack
+  v4_total_len_lie,  // total_len inflated past the capture or under the IHL
+  v4_ihl_abuse,      // IHL < 5, options past capture/total_len
+  udp_len_lie,       // UDP length < 8 or past the datagram end
+  tcp_off_abuse,     // TCP data offset < 5 or past the datagram end
+  v6_payload_lie,    // payload_len past the capture
+  v6_ext_chain,      // ext-header chain: bad lengths, deep chains, frag/AH
+  frag_series,       // v4 fragment series: overlap, teardrop, oversize, runs
+  random_bytes,      // unstructured garbage (version nibble random too)
+  kCount
+};
+
+std::string_view to_string(MutationKind k) noexcept;
+
+// Seeded stream of adversarial packets. next() returns one mutant per call
+// (fragment series are internally queued and drained one packet at a time,
+// so every call yields exactly one packet). The same seed yields the same
+// byte-exact stream; `last_kind()`/`index()` label failures for replay.
+class AdversarialGen {
+ public:
+  explicit AdversarialGen(std::uint64_t seed) : rng_(seed) {}
+
+  pkt::PacketPtr next();
+
+  MutationKind last_kind() const noexcept { return kind_; }
+  std::uint64_t index() const noexcept { return index_; }  // packets emitted
+
+ private:
+  pkt::PacketPtr base_packet();
+  pkt::PacketPtr mutate(pkt::PacketPtr p, MutationKind k);
+  void queue_frag_series();
+
+  netbase::Rng rng_;
+  std::deque<pkt::PacketPtr> pending_;  // rest of a fragment series
+  MutationKind kind_{MutationKind::clean};
+  std::uint64_t index_{0};
+  std::uint16_t next_ip_id_{1};
+};
+
+}  // namespace rp::tgen

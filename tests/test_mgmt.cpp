@@ -9,6 +9,7 @@
 #include "mgmt/register_all.hpp"
 #include "mgmt/rplib.hpp"
 #include "mgmt/ssp.hpp"
+#include "netbase/byteorder.hpp"
 #include "pkt/builder.hpp"
 
 namespace rp::mgmt {
@@ -89,6 +90,33 @@ TEST_F(MgmtTest, TelemetryUnknownSubcommandIsAnError) {
   // Malformed numeric arguments must fail loudly, not no-op.
   EXPECT_FALSE(pmgr_.exec("telemetry sample abc").ok());
   EXPECT_FALSE(pmgr_.exec("telemetry trace xyz").ok());
+}
+
+TEST_F(MgmtTest, SanitizeCountersCommand) {
+  ASSERT_TRUE(pmgr_.exec("route add 20.0.0.0/8 if1").ok());
+
+  auto bad = udp(1234);
+  netbase::store_be16(bad->data() + 2, 19);  // total_len < header
+  bad->key_valid = false;
+  bad->invalidate_flow_hash();
+  kernel_.core().process(std::move(bad));
+
+  auto r = pmgr_.exec("sanitize");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.text.find("dropped=1"), std::string::npos) << r.text;
+  EXPECT_NE(r.text.find("v4-total-len=1"), std::string::npos) << r.text;
+  EXPECT_NE(r.text.find("state: on"), std::string::npos) << r.text;
+
+  // The telemetry summary carries the same line.
+  auto t = pmgr_.exec("telemetry");
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(t.text.find("sanitize: dropped=1"), std::string::npos) << t.text;
+
+  EXPECT_TRUE(pmgr_.exec("sanitize off").ok());
+  EXPECT_FALSE(kernel_.core().config().sanitize);
+  EXPECT_TRUE(pmgr_.exec("sanitize on").ok());
+  EXPECT_TRUE(kernel_.core().config().sanitize);
+  EXPECT_FALSE(pmgr_.exec("sanitize bogus").ok());
 }
 
 TEST_F(MgmtTest, LsmodListsModules) {

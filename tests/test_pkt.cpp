@@ -2,6 +2,8 @@
 // flow-key extraction.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "netbase/byteorder.hpp"
 #include "pkt/builder.hpp"
 #include "pkt/headers.hpp"
@@ -64,10 +66,12 @@ TEST(Ipv4HeaderCodec, RoundTrip) {
   h.src = Ipv4Addr(10, 1, 2, 3);
   h.dst = Ipv4Addr(192, 168, 0, 1);
 
-  std::uint8_t buf[20];
+  // parse() validates total_len against the capture, so parse from a
+  // buffer as long as the datagram the header claims.
+  std::uint8_t buf[1500] = {};
   h.write(buf);
-  Ipv4Header::finalize_checksum(buf, sizeof buf);
-  EXPECT_TRUE(Ipv4Header::verify_checksum(buf));
+  Ipv4Header::finalize_checksum(buf, 20);
+  EXPECT_TRUE(Ipv4Header::verify_checksum({buf, 20}));
 
   Ipv4Header r;
   ASSERT_TRUE(r.parse(buf));
@@ -91,6 +95,37 @@ TEST(Ipv4HeaderCodec, RejectsBadInput) {
   EXPECT_FALSE(h.parse(buf));
   buf[0] = 0x4f;                       // ihl 15 -> 60 bytes > span
   EXPECT_FALSE(h.parse(buf));
+}
+
+// Regression (wire hardening): the total-length field is validated against
+// both the header it must contain and the capture it must fit in.
+TEST(Ipv4HeaderCodec, RejectsLyingTotalLength) {
+  std::uint8_t buf[64] = {};
+  Ipv4Header h;
+  h.total_len = 64;
+  h.proto = 17;
+  h.write(buf);
+  Ipv4Header r;
+  ASSERT_TRUE(r.parse(buf));
+
+  netbase::store_be16(&buf[2], 19);  // < header_len
+  EXPECT_FALSE(r.parse(buf));
+  netbase::store_be16(&buf[2], 65);  // > capture
+  EXPECT_FALSE(r.parse(buf));
+  netbase::store_be16(&buf[2], 40);  // < capture: fine (padding trimmable)
+  EXPECT_TRUE(r.parse(buf));
+}
+
+// Regression (wire hardening): a UDP length below its own header size is
+// always rejected at the codec level.
+TEST(TcpUdpCodec, RejectsRuntUdpLength) {
+  UdpHeader u{1234, 80, 7, 0};
+  std::uint8_t ub[8];
+  u.write(ub);
+  UdpHeader r;
+  EXPECT_FALSE(r.parse(ub));
+  netbase::store_be16(&ub[4], 8);
+  EXPECT_TRUE(r.parse(ub));
 }
 
 TEST(Ipv6HeaderCodec, RoundTrip) {
@@ -289,6 +324,112 @@ TEST(Ipv6ExtHeaders, BoundedAndValidated) {
   EXPECT_EQ(l4, 16u);
   // Truncated extension header fails.
   EXPECT_FALSE(skip_ipv6_ext_headers({buf, 4}, 0, l4));
+}
+
+// Regression (wire hardening): the Fragment header (44) is an extension
+// header with a fixed 8-byte layout — byte 1 is reserved, not a length —
+// and must never be returned as the L4 protocol.
+TEST(Ipv6ExtHeaders, FragmentHeaderRecognized) {
+  std::uint8_t buf[16] = {};
+  buf[0] = 17;    // next: udp
+  buf[1] = 0xff;  // reserved byte; a length-style read would walk 2KiB
+  netbase::store_be16(&buf[2], (176 << 3) | 1);  // frag_off 176, MF
+  Ipv6ExtWalk w;
+  ASSERT_TRUE(walk_ipv6_ext_headers(
+      {buf, 16}, static_cast<std::uint8_t>(IpProto::ipv6_frag), w));
+  EXPECT_EQ(w.l4_proto, 17);
+  EXPECT_EQ(w.l4_offset, 8u);
+  EXPECT_TRUE(w.has_fragment);
+  EXPECT_EQ(w.frag_off, 176);
+  EXPECT_TRUE(w.frag_more);
+}
+
+// Regression (wire hardening): AH (51) measures its length in 4-byte units
+// ((payload_len + 2) * 4), unlike the 8-byte units of the options headers.
+TEST(Ipv6ExtHeaders, AhLengthUnits) {
+  std::uint8_t buf[32] = {};
+  buf[0] = 6;  // next: tcp
+  buf[1] = 4;  // (4 + 2) * 4 = 24 bytes
+  Ipv6ExtWalk w;
+  ASSERT_TRUE(walk_ipv6_ext_headers(
+      {buf, 32}, static_cast<std::uint8_t>(IpProto::ah), w));
+  EXPECT_EQ(w.l4_proto, 6);
+  EXPECT_EQ(w.l4_offset, 24u);
+  // An AH that runs past the chain is rejected, not misparsed.
+  EXPECT_FALSE(walk_ipv6_ext_headers(
+      {buf, 20}, static_cast<std::uint8_t>(IpProto::ah), w));
+}
+
+// Regression (wire hardening): a non-first v6 fragment gets the same
+// no-L4 treatment as a v4 fragment — previously the fragment header's
+// bytes were read as TCP/UDP ports.
+TEST(FlowKeyExtract, V6NonFirstFragmentHasNoPorts) {
+  auto p = make_packet(Ipv6Header::kSize + 8 + 32);
+  Ipv6Header ip;
+  ip.payload_len = 8 + 32;
+  ip.next_header = static_cast<std::uint8_t>(IpProto::ipv6_frag);
+  ip.src = *Ipv6Addr::parse("2001:db8::1");
+  ip.dst = *Ipv6Addr::parse("2001:db8::2");
+  ip.write(p->data());
+  std::uint8_t* frag = p->data() + Ipv6Header::kSize;
+  frag[0] = 17;  // inner proto udp
+  frag[1] = 0;
+  netbase::store_be16(&frag[2], (16 << 3) | 1);  // offset 16, MF
+  // Payload bytes that would misparse as huge ports.
+  std::memset(p->data() + Ipv6Header::kSize + 8, 0xee, 32);
+  ASSERT_TRUE(extract_flow_key(*p));
+  EXPECT_EQ(p->key.proto, 17);
+  EXPECT_EQ(p->key.sport, 0);
+  EXPECT_EQ(p->key.dport, 0);
+}
+
+// Regression (wire hardening): extract_flow_key fails closed on length
+// lies instead of returning a half-parsed key.
+TEST(FlowKeyExtract, FailsClosedOnLengthLies) {
+  UdpSpec s;
+  s.src = IpAddr(Ipv4Addr(10, 0, 0, 1));
+  s.dst = IpAddr(Ipv4Addr(10, 0, 0, 2));
+  s.sport = 5000;
+  s.dport = 53;
+  s.payload_len = 32;
+  {
+    auto p = build_udp(s);  // UDP length past the datagram end
+    netbase::store_be16(p->data() + p->l4_offset + 4, 200);
+    p->key_valid = false;
+    EXPECT_FALSE(extract_flow_key(*p));
+  }
+  {
+    auto p = build_udp(s);  // UDP length below its own header
+    netbase::store_be16(p->data() + p->l4_offset + 4, 4);
+    p->key_valid = false;
+    EXPECT_FALSE(extract_flow_key(*p));
+  }
+  {
+    auto p = build_udp(s);  // v4 total_len past the capture
+    netbase::store_be16(p->data() + 2, 1400);
+    p->key_valid = false;
+    EXPECT_FALSE(extract_flow_key(*p));
+  }
+  {
+    TcpSpec t;
+    t.src = s.src;
+    t.dst = s.dst;
+    t.sport = 1;
+    t.dport = 2;
+    auto p = build_tcp(t);  // TCP data offset past the datagram end
+    p->data()[p->l4_offset + 12] = 0xf0;
+    p->key_valid = false;
+    EXPECT_FALSE(extract_flow_key(*p));
+  }
+  {
+    UdpSpec v6 = s;  // v6 payload_len past the capture
+    v6.src = IpAddr(*Ipv6Addr::parse("2001:db8::a"));
+    v6.dst = IpAddr(*Ipv6Addr::parse("2001:db8::b"));
+    auto p = build_udp(v6);
+    netbase::store_be16(p->data() + 4, 2000);
+    p->key_valid = false;
+    EXPECT_FALSE(extract_flow_key(*p));
+  }
 }
 
 }  // namespace

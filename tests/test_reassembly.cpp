@@ -132,6 +132,121 @@ TEST(Reassembly, MalformedFragmentsRejected) {
   EXPECT_EQ(r.feed(nullptr, 0), nullptr);
 }
 
+// Hand-built fragment for the adversarial cases (the router's fragmenter
+// never lies, so these must be crafted).
+PacketPtr make_frag(std::uint16_t id, std::size_t off_units, std::size_t len,
+                    bool mf, std::uint8_t fill, std::uint8_t ihl = 5) {
+  const std::size_t hlen = std::size_t{ihl} * 4;
+  auto p = make_packet(hlen + len);
+  Ipv4Header h;
+  h.ihl = ihl;
+  h.total_len = static_cast<std::uint16_t>(hlen + len);
+  h.id = id;
+  h.flags = mf ? 1 : 0;
+  h.frag_off = static_cast<std::uint16_t>(off_units);
+  h.proto = 17;
+  h.src = netbase::Ipv4Addr(10, 0, 0, 1);
+  h.dst = netbase::Ipv4Addr(20, 0, 0, 1);
+  h.write(p->data());
+  std::memset(p->data() + 20, 0, hlen - 20);  // options all zero (EOL)
+  Ipv4Header::finalize_checksum(p->data(), hlen);
+  std::memset(p->data() + hlen, fill, len);
+  return p;
+}
+
+// Regression (wire hardening): fragment payload length comes from
+// total_len, not the capture, so trailing capture padding cannot inflate
+// the reassembled datagram.
+TEST(Reassembly, LyingCaptureUsesTotalLen) {
+  Ipv4Reassembler r;
+  auto first = make_frag(0x9a, 0, 16, true, 0x11);
+  std::memset(first->append(64), 0xff, 64);  // capture padding
+  EXPECT_EQ(r.feed(std::move(first), 0), nullptr);
+  auto last = make_frag(0x9a, 2, 8, false, 0x22);
+  auto out = r.feed(std::move(last), 0);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->size(), 20u + 24u);  // not 20 + 80
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(out->data()[20 + i], 0x11);
+}
+
+// Regression (wire hardening): a fragment that rewrites already-received
+// bytes with different content (teardrop family) discards the datagram;
+// byte-identical retransmissions stay accepted.
+TEST(Reassembly, OverlapRewriteDiscardsDatagram) {
+  Ipv4Reassembler r;
+  EXPECT_EQ(r.feed(make_frag(0x42, 0, 16, true, 0x11), 0), nullptr);
+  EXPECT_EQ(r.feed(make_frag(0x42, 0, 16, true, 0x11), 0), nullptr);  // dup ok
+  EXPECT_EQ(r.overlaps(), 0u);
+  EXPECT_EQ(r.feed(make_frag(0x42, 1, 16, true, 0x99), 0), nullptr);
+  EXPECT_EQ(r.overlaps(), 1u);
+  EXPECT_EQ(r.pending(), 0u);  // the whole partial is gone
+  // The datagram cannot complete afterwards.
+  EXPECT_EQ(r.feed(make_frag(0x42, 4, 8, false, 0x22), 0), nullptr);
+  EXPECT_EQ(r.completed(), 0u);
+}
+
+// Regression (wire hardening): a second "last" fragment that contradicts
+// the established datagram end poisons the datagram.
+TEST(Reassembly, ConflictingLastFragmentDiscards) {
+  Ipv4Reassembler r;
+  EXPECT_EQ(r.feed(make_frag(0x43, 0, 16, true, 0x11), 0), nullptr);
+  EXPECT_EQ(r.feed(make_frag(0x43, 4, 8, false, 0x22), 0), nullptr);  // end=40
+  EXPECT_EQ(r.feed(make_frag(0x43, 8, 8, false, 0x33), 0), nullptr);  // end=72
+  EXPECT_EQ(r.overlaps(), 1u);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+// Regression (wire hardening): per-fragment bounds use each fragment's own
+// header length, so an offset-0 fragment with options can still push
+// header+payload past 65535 — the rebuild must reject, never truncate the
+// 16-bit total-length field.
+TEST(Reassembly, OversizeReassemblyRejected) {
+  Ipv4Reassembler r;
+  // Offset-0 fragment carries 24B of header (ihl 6).
+  EXPECT_EQ(r.feed(make_frag(0x44, 0, 8, true, 0x11, 6), 0), nullptr);
+  // Payload end at 65512; 20+65512 fits, but 24+65512 = 65536 does not.
+  EXPECT_EQ(r.feed(make_frag(0x44, 1, 65504, false, 0x22), 0), nullptr);
+  EXPECT_EQ(r.oversize(), 1u);
+  EXPECT_EQ(r.completed(), 0u);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+// Regression (wire hardening): state-exhaustion guards — partial-datagram
+// count and byte budgets evict the oldest partial instead of growing
+// without bound.
+TEST(Reassembly, PartialCountCapEvictsOldest) {
+  Ipv4Reassembler r;
+  for (std::uint16_t id = 0; id < 300; ++id)
+    r.feed(make_frag(id, 0, 8, true, 0x11), id);
+  EXPECT_LE(r.pending(), Ipv4Reassembler::kDefaultMaxPartials);
+  EXPECT_EQ(r.evicted(), 300 - Ipv4Reassembler::kDefaultMaxPartials);
+  // The survivors are the newest ones: completing id 299 still works.
+  auto out = r.feed(make_frag(299, 1, 8, false, 0x22), 1000);
+  ASSERT_NE(out, nullptr);
+}
+
+TEST(Reassembly, ByteBudgetEvicts) {
+  Ipv4Reassembler r(30 * netbase::kNsPerSec, 1000, 4096);
+  for (std::uint16_t id = 0; id < 8; ++id)
+    r.feed(make_frag(id, 0, 1024, true, 0x11), id);
+  EXPECT_LE(r.buffered_bytes(), 4096u);
+  EXPECT_GE(r.evicted(), 4u);
+}
+
+// Growing an *existing* partial past the byte budget must evict others
+// (never the one being fed), not slip past the new-partial check.
+TEST(Reassembly, ByteBudgetEvictsOnPartialGrowth) {
+  Ipv4Reassembler r(30 * netbase::kNsPerSec, 1000, 4096);
+  for (std::uint16_t id = 0; id < 3; ++id)
+    r.feed(make_frag(id, 0, 1024, true, 0x11), id);
+  EXPECT_EQ(r.evicted(), 0u);
+  // Extend datagram 0 to 3KiB: 3 * 1024 + 2048 extra > 4096.
+  r.feed(make_frag(0, 128, 2048, true, 0x22), 10);
+  EXPECT_LE(r.buffered_bytes(), 4096u);
+  EXPECT_GE(r.evicted(), 1u);
+  EXPECT_EQ(r.pending(), 2u);  // ids 0 (grown) and 2 survive; 1 evicted
+}
+
 class FragRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(FragRoundTrip, FragmentsReassembleExactly) {
