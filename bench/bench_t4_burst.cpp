@@ -13,6 +13,21 @@
 // records, and memoizes the last resolved flow so train packets skip the
 // probe. Burst size 1 *is* the single-packet path (process() is a burst of
 // one), so the comparison isolates exactly the batching win.
+//
+// Provenance note (PR 6): BENCH_pr5.json recorded burst_4 = 1277 ns vs
+// burst_1 = 796 ns — a 1.6x inversion at ~3x the absolute level of every
+// other sweep. That was a recording artifact of the PR 5 sweep environment
+// (the same sweep's t3 numbers are ~3x PR 4's), not an algorithmic effect.
+// Every other sweep (BENCH_pr1..pr4 and fresh runs, e.g. 309.4 / 298.4 /
+// 243.4 / 214.9 / 197.8 ns for bursts 1/4/8/16/32) shows the real shape:
+// burst_4 runs within a few percent of burst_1 — with train_len = 4 a
+// 4-packet burst is a single train, so the resolve pass's hash/prefetch
+// setup buys only memo hits the per-packet FIX path nearly matches — and
+// the prefetch pipeline wins monotonically from burst 8 up. The reported
+// figure is a median over reps with the configs interleaved round-robin,
+// which resists transient interference but not interference sustained
+// across a whole sweep — compare curves across BENCH_*.json files
+// (scripts/bench_compare.py) before reading anything into one recording.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

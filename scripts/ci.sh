@@ -25,6 +25,17 @@ echo "== bench smoke: every bench runs 1 iteration and emits BENCH_JSON =="
 # the real numbers.
 ctest --test-dir "$repo/build" --output-on-failure -L bench-smoke
 
+echo "== bench diff: headline metrics vs previous PR's sweep =="
+# Non-strict: prints the t3/t4/t8 headline deltas (and any >10% regression)
+# between the last two recorded sweeps without failing a noisy CI box. Run
+# scripts/bench_compare.py --strict locally when the numbers must hold.
+if [[ -f "$repo/BENCH_pr5.json" && -f "$repo/BENCH_pr6.json" ]]; then
+  python3 "$repo/scripts/bench_compare.py" \
+    "$repo/BENCH_pr5.json" "$repo/BENCH_pr6.json"
+else
+  echo "   (skipped: need both BENCH_pr5.json and BENCH_pr6.json)"
+fi
+
 echo "== diff: single-threaded vs sharded datapath equivalence =="
 # The sharded-datapath acceptance gate: the same seeded traces through the
 # 1-worker and N-worker paths must produce identical per-flow and aggregate

@@ -101,6 +101,7 @@ pkt::FlowIndex Aiu::create_flow_entry(pkt::Packet& p) {
     if (fr) {
       r.gates[g].instance = fr->instance;
       r.gates[g].filter = fr;
+      if (fr->instance) r.bound_mask |= std::uint32_t{1} << g;
     }
   }
   ++stats_.uncached_classifications;
@@ -162,28 +163,40 @@ void Aiu::resolve_flows_burst(std::span<pkt::Packet* const> pkts) {
     for (std::size_t i = 0; i < n; ++i)
       if (parsed[i]) flows_.prefetch_record(hashes[i]);
 
-    // Pass 3: resolve. Packet trains put many back-to-back packets of one
-    // flow in a burst; the memo turns those into a straight LRU touch.
-    const pkt::Packet* last = nullptr;
-    std::uint64_t last_hash = 0;
-    pkt::FlowIndex last_fix = pkt::kNoFlow;
+    // Pass 3: resolve. A small memo of the chunk's recent flows turns both
+    // packet trains (back-to-back packets of one flow) and round-robin
+    // interleavings of a few flows into straight LRU touches, skipping the
+    // hash-chain probe. The memo keys on hash *and* full key equality, so a
+    // collision can never bind a packet to the wrong flow; a memo hit's
+    // accounting (touch + bytes) is exactly a lookup hit's.
+    constexpr std::size_t kMemo = 4;
+    const pkt::Packet* mpkt[kMemo] = {};
+    std::uint64_t mhash[kMemo] = {};
+    pkt::FlowIndex mfix[kMemo] = {};
+    std::size_t mn = 0, mvict = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (!parsed[i]) continue;
       pkt::Packet& p = *chunk[i];
       if (p.fix != pkt::kNoFlow) continue;  // e.g. reprocessed fragment
-      if (last && hashes[i] == last_hash && p.key == last->key) {
-        flows_.touch(last_fix, now);
-        p.fix = last_fix;
-        flows_.rec(last_fix).bytes += p.size();
-        continue;
+      bool hit = false;
+      for (std::size_t s = 0; s < mn; ++s) {
+        if (mhash[s] == hashes[i] && p.key == mpkt[s]->key) {
+          flows_.touch(mfix[s], now);
+          p.fix = mfix[s];
+          flows_.rec(mfix[s]).bytes += p.size();
+          hit = true;
+          break;
+        }
       }
+      if (hit) continue;
       pkt::FlowIndex f = flows_.lookup(p.key, hashes[i], now);
       if (f == pkt::kNoFlow) f = create_flow_entry(p);
       p.fix = f;
       flows_.rec(f).bytes += p.size();
-      last = &p;
-      last_hash = hashes[i];
-      last_fix = f;
+      const std::size_t s = mn < kMemo ? mn++ : mvict++ % kMemo;
+      mpkt[s] = &p;
+      mhash[s] = hashes[i];
+      mfix[s] = f;
     }
   }
 }

@@ -67,6 +67,11 @@ class Aiu {
   FlowTable& flow_table() noexcept { return flows_; }
   const Stats& stats() const noexcept { return stats_; }
 
+  // Whether the flow cache is on. The grouped gate dispatcher requires it:
+  // with the cache disabled gate_lookup hands out aliasing scratch bindings
+  // (see below), so the core falls back to the per-packet gate loop there.
+  bool flow_cache_enabled() const noexcept { return opt_.flow_cache_enabled; }
+
   // -- data path --
 
   // The body of the gate macro: returns the binding (instance + per-flow
@@ -74,6 +79,17 @@ class Aiu {
   // packet is unparseable. A binding with a null instance means no filter
   // matched — the gate simply continues.
   GateBinding* gate_lookup(pkt::Packet& p, plugin::PluginType gate);
+
+  // Inline fast path of gate_lookup for packets already resolved by
+  // resolve_flows_burst in this chunk (p.fix set): a direct flow-table array
+  // access, no out-of-line call. Falls back to the full lookup for the rare
+  // unresolved packet, so the result always matches gate_lookup exactly.
+  // `gi` must be gate_index(gate), hoisted by the caller.
+  GateBinding* gate_lookup_resolved(pkt::Packet& p, plugin::PluginType gate,
+                                    std::size_t gi) {
+    if (p.fix != pkt::kNoFlow) [[likely]] return &flows_.rec(p.fix).gates[gi];
+    return gate_lookup(p, gate);
+  }
 
   // Burst data path. Packets are processed in chunks of at most kMaxBurst.
   static constexpr std::size_t kMaxBurst = 32;

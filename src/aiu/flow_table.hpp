@@ -22,6 +22,7 @@ namespace rp::aiu {
 
 // One gate slot per plugin type (types 1..8; slot 0 unused).
 constexpr std::size_t kNumGates = 9;
+static_assert(kNumGates <= 32, "FlowRecord::bound_mask is a 32-bit mask");
 
 constexpr std::size_t gate_index(plugin::PluginType t) noexcept {
   return static_cast<std::size_t>(t);
@@ -36,6 +37,11 @@ struct GateBinding {
 struct FlowRecord {
   pkt::FlowKey key{};
   std::uint64_t hash{0};  // full key hash, compared before the key itself
+  // Bit `gate_index(g)` set iff gates[gate_index(g)] has a bound instance.
+  // Written once at classification time (records are immutable afterwards:
+  // any filter change flushes the cache), so the core can skip a whole gate
+  // for a burst chunk with one mask test instead of touching every binding.
+  std::uint32_t bound_mask{0};
   GateBinding gates[kNumGates]{};
   netbase::SimTime last_used{0};
   netbase::SimTime first_seen{0};

@@ -1,6 +1,7 @@
 #include "core/ip_core.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "netbase/byteorder.hpp"
@@ -48,7 +49,21 @@ void IpCore::process(pkt::PacketPtr p) {
 
 void IpCore::process_burst(std::span<pkt::PacketPtr> batch) {
   ++burst_depth_;
+  // Grouped dispatch needs stable per-packet bindings, which only the flow
+  // cache provides (the ablation path hands out shared scratch bindings).
+  const bool grouped = cfg_.batch_gates && aiu_.flow_cache_enabled();
+  // The fused chain is the compile-time instantiation of the full
+  // sanitize -> classify -> gates pipeline for the paper's 3-gate
+  // configuration; one vector compare per call selects it. It hard-codes
+  // the default validation config (sanitize + checksum + TTL all on), so
+  // any other combination takes the generic path.
+  const bool fused =
+      grouped && cfg_.sanitize && cfg_.verify_ipv4_checksum &&
+      cfg_.decrement_ttl &&
+      std::equal(cfg_.input_gates.begin(), cfg_.input_gates.end(),
+                 FusedGateList3::kGates.begin(), FusedGateList3::kGates.end());
   pkt::Packet* live[aiu::Aiu::kMaxBurst];
+  pkt::PacketPtr* slots[aiu::Aiu::kMaxBurst];
   for (std::size_t base = 0; base < batch.size();
        base += aiu::Aiu::kMaxBurst) {
     auto chunk = batch.subspan(
@@ -56,18 +71,55 @@ void IpCore::process_burst(std::span<pkt::PacketPtr> batch) {
     ++counters_.bursts;
     counters_.burst_packets += chunk.size();
 
-    // Stage 1: header validation for the whole chunk (drops fall out here,
-    // exactly as in the single-packet path).
-    std::size_t n_live = 0;
+    // Warm every header line before the validation loop reads it: the
+    // buffers were DMA'd (or, in the harness, built) long enough ago that
+    // first touch is typically an L3 round-trip, and issuing the whole
+    // chunk's loads up front overlaps those misses instead of serializing
+    // them through the validators.
     for (auto& p : chunk)
-      if (p && validate(p)) live[n_live++] = p.get();
+      if (p) __builtin_prefetch(p->data());
+
+    // Stage 1: header validation for the whole chunk (drops fall out here,
+    // exactly as in the single-packet path). The fused chain takes the
+    // single-pass validator; its fallback is validate() itself, so the two
+    // can never diverge.
+    std::size_t n_live = 0;
+    if (fused) {
+      for (auto& p : chunk)
+        if (p && validate_fast(p)) {
+          slots[n_live] = &p;
+          live[n_live++] = p.get();
+        }
+    } else {
+      for (auto& p : chunk)
+        if (p && validate(p)) {
+          slots[n_live] = &p;
+          live[n_live++] = p.get();
+        }
+    }
 
     // Stage 2: one AIU pass resolves every survivor's flow index with
     // precomputed hashes and flow-table prefetch.
     aiu_.resolve_flows_burst({live, n_live});
 
-    // Stage 3: the unchanged per-packet machinery; every gate lookup is now
-    // a direct flow-table array access.
+    // Stage 3a (grouped): partition by resolved instance at each gate and
+    // dispatch once per group; drop/consume splits compact between gates.
+    // A single survivor has nothing to group — it takes the per-packet
+    // machinery below, which also keeps process() (a burst of one) on
+    // exactly the pre-batching path.
+    if (grouped && n_live > 1) {
+      if (fused) {
+        ++counters_.fused_bursts;
+        process_chunk_grouped(FusedGateList3{}, slots, n_live);
+      } else {
+        process_chunk_grouped(RuntimeGateList{cfg_.input_gates}, slots,
+                              n_live);
+      }
+      continue;
+    }
+
+    // Stage 3b: the unchanged per-packet machinery; every gate lookup is
+    // now a direct flow-table array access.
     for (auto& p : chunk)
       if (p) process_classified(std::move(p));
   }
@@ -120,6 +172,74 @@ bool IpCore::validate(pkt::PacketPtr& p) {
       drop(std::move(p), DropReason::ttl_expired);
       return false;
     }
+  }
+  return true;
+}
+
+bool IpCore::validate_fast(pkt::PacketPtr& p) {
+  using netbase::load_be16;
+  const auto b = p->bytes();
+  // Fast path: IPv4, no options, unfragmented, TCP/UDP. One set of header
+  // loads feeds the checksum and every sanitize/validate check below;
+  // anything else (including every would-fail packet) re-runs the generic
+  // validate() from scratch, which owns all drop accounting.
+  if (b.size() < 28 || b[0] != 0x45) return validate(p);
+  const std::uint8_t* h = b.data();
+  // RFC 1071 sum over the 20-byte header in three wide loads. The one's-
+  // complement sum is byte-order independent up to a final swap, so the
+  // verdict is identical to summing big-endian 16-bit words.
+  std::uint64_t q0, q1;
+  std::uint32_t q2;
+  std::memcpy(&q0, h, 8);
+  std::memcpy(&q1, h + 8, 8);
+  std::memcpy(&q2, h + 16, 4);
+  const unsigned __int128 acc =
+      static_cast<unsigned __int128>(q0) + q1 + q2;
+  std::uint64_t sum =
+      static_cast<std::uint64_t>(acc) + static_cast<std::uint64_t>(acc >> 64);
+  sum += sum < static_cast<std::uint64_t>(acc);  // end-around carry
+  sum = (sum & 0xffffffff) + (sum >> 32);
+  sum = (sum & 0xffff) + (sum >> 16);
+  sum = (sum & 0xffff) + (sum >> 16);
+  sum = (sum & 0xffff) + (sum >> 16);
+  if constexpr (std::endian::native == std::endian::little)
+    sum = ((sum & 0xff) << 8) | (sum >> 8);
+  const std::size_t total_len = load_be16(&h[2]);
+  if (total_len > b.size() || (load_be16(&h[6]) & 0x3fff) != 0)
+    return validate(p);
+  const std::uint8_t proto = h[9];
+  if (proto == static_cast<std::uint8_t>(pkt::IpProto::udp)) {
+    if (total_len < 20 + pkt::UdpHeader::kSize) return validate(p);
+    const std::size_t ulen = load_be16(&h[24]);
+    if (ulen < pkt::UdpHeader::kSize || 20 + ulen > total_len)
+      return validate(p);
+  } else if (proto == static_cast<std::uint8_t>(pkt::IpProto::tcp)) {
+    if (total_len < 20 + pkt::TcpHeader::kMinSize) return validate(p);
+    const std::size_t doff = static_cast<std::size_t>(h[32] >> 4) * 4;
+    if (doff < pkt::TcpHeader::kMinSize || 20 + doff > total_len)
+      return validate(p);
+  } else {
+    return validate(p);
+  }
+  if (sum != 0xffff) return validate(p);  // bad checksum: generic drops it
+  if (h[8] <= 1) return validate(p);      // TTL expired: generic drops it
+  // Success: exactly the side effects of sanitize + extract + validate.
+  ++counters_.received;
+  if (b.size() > total_len) {
+    p->trim(b.size() - total_len);
+    ++counters_.sanitize_trimmed;
+  }
+  if (!p->key_valid) {
+    p->invalidate_flow_hash();
+    p->ip_version = IpVersion::v4;
+    p->key.src = netbase::IpAddr(netbase::Ipv4Addr(netbase::load_be32(&h[12])));
+    p->key.dst = netbase::IpAddr(netbase::Ipv4Addr(netbase::load_be32(&h[16])));
+    p->key.proto = proto;
+    p->key.sport = load_be16(&h[20]);
+    p->key.dport = load_be16(&h[22]);
+    p->key.in_iface = p->in_iface;
+    p->l4_offset = 20;
+    p->key_valid = true;
   }
   return true;
 }
@@ -185,20 +305,95 @@ void IpCore::process_classified_impl(pkt::PacketPtr p,
     }
   }
 
+  // ---- tail: forwarding decision, TTL, MTU, output ----
+  finish_packet<Traced, false, false>(
+      std::move(p), tr, t_start, nullptr, nullptr,
+      [this](pkt::PacketPtr q, aiu::GateBinding* b, telemetry::TraceRecord* tr2,
+             std::uint64_t ts) {
+        enqueue_output<Traced>(std::move(q), b, tr2, ts);
+      });
+}
+
+// The tail shared by process_classified_impl and the grouped engine; the
+// differences are what `emit` does with an output-bound packet (enqueue
+// immediately vs defer into the chunk's op list) and whether the chunk-scoped
+// memo / inline binding accessors are used (UseMemo — the grouped engine; the
+// per-packet path compiles to exactly the pre-batching tail).
+template <bool Traced, bool UseMemo, bool SkipGates, class Emit>
+void IpCore::finish_packet(pkt::PacketPtr p,
+                           [[maybe_unused]] telemetry::TraceRecord* tr,
+                           [[maybe_unused]] std::uint64_t t_start,
+                           [[maybe_unused]] FwdMemo* memo,
+                           [[maybe_unused]] aiu::FlowRecord* frp, Emit&& emit) {
+  static_assert(UseMemo || !SkipGates, "SkipGates requires the grouped tail");
+  auto finish_drop = [&](pkt::PacketPtr q, DropReason r) {
+    if constexpr (Traced)
+      tel_->trace_end(tr, telemetry::Disposition::dropped,
+                      static_cast<std::uint8_t>(r), pkt::kAnyIface,
+                      telemetry::cycles() - t_start);
+    drop(std::move(q), r);
+  };
+  auto run_gate = [&](PluginType gate, aiu::GateBinding* b) {
+    ++counters_.gate_calls;
+    if constexpr (Traced) {
+      const std::uint64_t c0 = telemetry::cycles();
+      resilience::Decision d =
+          res_ ? res_->dispatch(gate, *b, *p)
+               : resilience::Decision{
+                     b->instance->handle_packet(*p, &b->soft), false};
+      tel_->record_gate(tr, gate, static_cast<std::uint8_t>(d.verdict),
+                        telemetry::cycles() - c0);
+      return d;
+    } else {
+      if (res_) [[likely]]
+        return res_->dispatch(gate, *b, *p);
+      return resilience::Decision{b->instance->handle_packet(*p, &b->soft),
+                                  false};
+    }
+  };
+
   // ---- forwarding decision ----
   // The routing gate (L4 switching) may pre-empt the destination lookup.
-  if (p->out_iface == pkt::kAnyIface) {
-    aiu::GateBinding* b = aiu_.gate_lookup(*p, PluginType::routing);
-    if (b && b->instance) {
-      resilience::Decision d = run_gate(PluginType::routing, b);
-      if (d.verdict == Verdict::drop)
-        return finish_drop(std::move(p), d.fault_drop
-                                             ? DropReason::plugin_fault
-                                             : DropReason::policy);
+  // It stays per-packet even under grouped dispatch: its verdict gates a
+  // per-packet control decision, and it is unbound in every built-in
+  // configuration.
+  if constexpr (!SkipGates) {
+    if (p->out_iface == pkt::kAnyIface) {
+      aiu::GateBinding* b;
+      if constexpr (UseMemo) {
+        constexpr std::size_t kGiRouting =
+            aiu::gate_index(PluginType::routing);
+        b = frp ? &frp->gates[kGiRouting]
+                : aiu_.gate_lookup(*p, PluginType::routing);
+      } else {
+        b = aiu_.gate_lookup(*p, PluginType::routing);
+      }
+      if (b && b->instance) {
+        resilience::Decision d = run_gate(PluginType::routing, b);
+        if (d.verdict == Verdict::drop)
+          return finish_drop(std::move(p), d.fault_drop
+                                               ? DropReason::plugin_fault
+                                               : DropReason::policy);
+      }
     }
   }
   if (p->out_iface == pkt::kAnyIface) {
-    const route::NextHop* hop = routes_.lookup(p->key.dst);
+    // Chunk-scoped memo: a flow's train shares one destination, so the trie
+    // walk runs once per run of same-dst packets (lookup is const — the
+    // cached pointer is exactly what a fresh lookup would return).
+    const route::NextHop* hop;
+    if constexpr (UseMemo) {
+      if (memo->dst_valid && memo->dst == p->key.dst) {
+        hop = memo->hop;
+      } else {
+        hop = routes_.lookup(p->key.dst);
+        memo->dst = p->key.dst;
+        memo->hop = hop;
+        memo->dst_valid = true;
+      }
+    } else {
+      hop = routes_.lookup(p->key.dst);
+    }
     if (!hop) {
       if (cfg_.emit_icmp_errors && p->ip_version == IpVersion::v4)
         emit_icmp_error(*p, 3, 0);  // destination unreachable
@@ -206,8 +401,22 @@ void IpCore::process_classified_impl(pkt::PacketPtr p,
     }
     p->out_iface = hop->out_iface;
   }
-  if (!ifs_.by_index(p->out_iface))
-    return finish_drop(std::move(p), DropReason::no_route);
+  [[maybe_unused]] netdev::SimNic* nic = nullptr;
+  if constexpr (UseMemo) {
+    if (memo->nic && memo->oif == p->out_iface) {
+      nic = memo->nic;
+    } else {
+      nic = ifs_.by_index(p->out_iface);
+      if (nic) {
+        memo->oif = p->out_iface;
+        memo->nic = nic;
+      }
+    }
+    if (!nic) return finish_drop(std::move(p), DropReason::no_route);
+  } else {
+    if (!ifs_.by_index(p->out_iface))
+      return finish_drop(std::move(p), DropReason::no_route);
+  }
 
   // ---- TTL / hop limit, with RFC 1624 incremental checksum update ----
   // Fetch the header pointer only now: gate plugins (AH/ESP) may have
@@ -227,8 +436,19 @@ void IpCore::process_classified_impl(pkt::PacketPtr p,
   }
 
   // ---- MTU handling (RFC 791 fragmentation) ----
-  aiu::GateBinding* b = aiu_.gate_lookup(*p, PluginType::sched);
-  const std::size_t mtu = ifs_.by_index(p->out_iface)->mtu();
+  aiu::GateBinding* b;
+  std::size_t mtu;
+  if constexpr (SkipGates) {
+    b = nullptr;  // sched gate provably unbound for the chunk
+    mtu = nic->mtu();
+  } else if constexpr (UseMemo) {
+    constexpr std::size_t kGiSched = aiu::gate_index(PluginType::sched);
+    b = frp ? &frp->gates[kGiSched] : aiu_.gate_lookup(*p, PluginType::sched);
+    mtu = nic->mtu();
+  } else {
+    b = aiu_.gate_lookup(*p, PluginType::sched);
+    mtu = ifs_.by_index(p->out_iface)->mtu();
+  }
   if (p->size() > mtu) {
     const bool df = p->ip_version == IpVersion::v4 &&
                     (p->data()[6] & 0x40) != 0;  // Don't Fragment
@@ -250,12 +470,493 @@ void IpCore::process_classified_impl(pkt::PacketPtr p,
     // The trace follows the first fragment through the output stage.
     bool first = true;
     for (auto& f : frags) {
-      enqueue_output<Traced>(std::move(f), b, first ? tr : nullptr, t_start);
+      emit(std::move(f), b, first ? tr : nullptr, t_start);
       first = false;
     }
     return;
   }
-  enqueue_output<Traced>(std::move(p), b, tr, t_start);
+  emit(std::move(p), b, tr, t_start);
+}
+
+// ---- grouped (batch-native) gate dispatch --------------------------------
+//
+// The engine never reorders packets: the live list stays in arrival order
+// and each group is *gathered* into per-group scratch arrays, so a flow's
+// packets — and the chunk's egress — leave in exactly the per-packet path's
+// order. Counter equivalence is exact: gate_calls advances once per packet
+// dispatched (the breaker windows are anchored to it); the group counters
+// ride alongside.
+template <class GateList>
+void IpCore::process_chunk_grouped(GateList gl, pkt::PacketPtr** slots,
+                                   std::size_t n) {
+  constexpr std::size_t kMax = aiu::Aiu::kMaxBurst;
+
+  // Per-packet trace state; the sampling cadence (one tick per packet, in
+  // arrival order) is identical to the per-packet path's. With no telemetry
+  // sink attached the arrays stay uninitialized and every read site is
+  // guarded on tel_.
+#if RP_TELEMETRY
+  telemetry::TraceRecord* tr[kMax];
+  std::uint64_t t0[kMax];
+  if (tel_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      tr[i] = tel_->sample_tick() ? tel_->trace_begin(*slots[i]->get())
+                                  : nullptr;
+      t0[i] = tr[i] ? telemetry::cycles() : 0;
+    }
+  }
+#endif
+
+  // Live packets in arrival order: slot indices plus parallel raw-pointer
+  // arrays (packet, flow record), compacted together, so the gate loops
+  // never chase PacketPtr double indirection and each gate's binding is one
+  // indexed load off the hoisted record.
+  std::size_t live[kMax];
+  pkt::Packet* lp[kMax];
+  aiu::FlowRecord* fr[kMax];
+  std::size_t n_live = n;
+  aiu::FlowTable& flows = aiu_.flow_table();
+  // Union of the chunk's bound-gate masks: one test skips a whole gate (or
+  // the tail's routing/sched lookups) when no live flow binds it. An
+  // unresolved packet contributes all-ones — it must take the full lookups.
+  std::uint32_t bound_union = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    live[i] = i;
+    lp[i] = slots[i]->get();
+    const pkt::FlowIndex fix = lp[i]->fix;
+    fr[i] = fix != pkt::kNoFlow ? &flows.rec(fix) : nullptr;
+    bound_union |= fr[i] ? fr[i]->bound_mask : ~std::uint32_t{0};
+  }
+
+  Verdict verdict[kMax];
+  bool fdrop[kMax];
+
+  for (PluginType gate : gl.list()) {
+    if (n_live == 0) break;
+    const std::size_t gi = aiu::gate_index(gate);
+    if (!(bound_union & (std::uint32_t{1} << gi)))
+      continue;  // gate unbound for every live flow: provably a no-op
+
+    // Bindings for every live packet: resolve_flows_burst already set every
+    // FIX, so each lookup is one indexed load off the hoisted flow record,
+    // and the binding pointers are stable for the whole chunk. Detect on the
+    // fly whether one instance spans the chunk — the common case (one
+    // filter's flows arriving in trains) then dispatches with no gather at
+    // all.
+    aiu::GateBinding* bind[kMax];
+    void** gsoft[kMax];
+    plugin::PluginInstance* first = nullptr;
+    bool mixed = false;
+    for (std::size_t k = 0; k < n_live; ++k) {
+      aiu::GateBinding* b =
+          fr[k] ? &fr[k]->gates[gi] : aiu_.gate_lookup(*lp[k], gate);
+      bind[k] = b;
+      // Speculative per-packet state for the no-gather dispatch below; the
+      // gather path refills its own scratch, so a mixed chunk just wastes
+      // these few stores.
+      gsoft[k] = b ? &b->soft : nullptr;
+      verdict[k] = Verdict::cont;
+      fdrop[k] = false;
+      plugin::PluginInstance* inst = b ? b->instance : nullptr;
+      if (k == 0)
+        first = inst;
+      else
+        mixed |= inst != first;
+    }
+    if (!mixed && !first) continue;  // gate unbound for the whole chunk
+
+    // Whether any packet left `cont` at this gate; when none did (by far
+    // the common case for filter-style gates) the verdict-apply/compaction
+    // pass is skipped outright — the live list is already correct.
+    bool any_noncont = false;
+
+    // Dispatches one gathered group through the batch ABI: one breaker
+    // consult, one containment frame, one virtual call. `pos` maps group
+    // member -> live index (null = identity, the no-gather fast path).
+    auto run_group = [&](plugin::PluginInstance& inst, pkt::Packet* const* gp,
+                         void** const* gsoft, Verdict* gv, std::size_t m,
+                         const std::size_t* pos) {
+      counters_.gate_calls += m;
+      ++counters_.gate_groups;
+      counters_.gate_group_pkts += m;
+      ++counters_.group_size_hist[CoreCounters::group_hist_bucket(m)];
+      plugin::PacketRun run(gp, gsoft, gv, m);
+#if RP_TELEMETRY
+      bool timed = false;
+      if (tel_)
+        for (std::size_t x = 0; x < m && !timed; ++x)
+          timed = tr[live[pos ? pos[x] : x]] != nullptr;
+      const std::uint64_t c0 = timed ? telemetry::cycles() : 0;
+#endif
+      resilience::Decision d{};
+      if (res_) {
+        d = res_->dispatch_run(gate, inst, [&] { inst.handle_burst(run); });
+      } else {
+        inst.handle_burst(run);
+      }
+#if RP_TELEMETRY
+      // Traced members record the amortized per-packet cost of the group.
+      const std::uint64_t dc = timed ? (telemetry::cycles() - c0) / m : 0;
+#endif
+      if (d.fault_drop) {
+        // Containment fallback (fail_closed) governs the whole run: a
+        // partially-processed run cannot tell which packets the plugin
+        // already judged. fail_open comes back as cont and keeps whatever
+        // verdicts the run had written before the fault.
+        any_noncont = true;
+        for (std::size_t x = 0; x < m; ++x) {
+          const std::size_t k = pos ? pos[x] : x;
+          verdict[k] = Verdict::drop;
+          fdrop[k] = true;
+        }
+      } else {
+        for (std::size_t x = 0; x < m; ++x) {
+          const std::size_t k = pos ? pos[x] : x;
+          Verdict v = gv[x];
+          if (static_cast<std::uint8_t>(v) >
+              static_cast<std::uint8_t>(Verdict::drop)) [[unlikely]] {
+            // Out-of-enum verdict: same fault the per-packet dispatch()
+            // raises; the bare (unsupervised) path treats it as cont, like
+            // the per-packet verdict switch.
+            if (res_) {
+              resilience::Decision bd = res_->bad_verdict(gate, inst);
+              v = bd.verdict;
+              fdrop[k] = bd.fault_drop;
+            } else {
+              v = Verdict::cont;
+            }
+          }
+          verdict[k] = v;
+          any_noncont |= v != Verdict::cont;
+        }
+      }
+#if RP_TELEMETRY
+      if (timed)
+        for (std::size_t x = 0; x < m; ++x) {
+          const std::size_t k = pos ? pos[x] : x;
+          if (telemetry::TraceRecord* t = tr[live[k]])
+            tel_->record_gate(t, gate,
+                              static_cast<std::uint8_t>(verdict[k]), dc);
+        }
+#endif
+    };
+
+    if (res_ && !res_->quiet()) [[unlikely]] {
+      // Injection armed, a budget set, or a breaker non-closed: per-packet
+      // dispatch in arrival order keeps those semantics exact — windows,
+      // probes, per-packet fallbacks, and each gate's injection rule stream
+      // advance exactly as on the per-packet path.
+      for (std::size_t k = 0; k < n_live; ++k) {
+        if (!bind[k] || !bind[k]->instance) {
+          verdict[k] = Verdict::cont;
+          fdrop[k] = false;
+          continue;
+        }
+        ++counters_.gate_calls;
+#if RP_TELEMETRY
+        telemetry::TraceRecord* t = tel_ ? tr[live[k]] : nullptr;
+        const std::uint64_t c0 = t ? telemetry::cycles() : 0;
+#endif
+        resilience::Decision d = res_->dispatch(gate, *bind[k], *lp[k]);
+#if RP_TELEMETRY
+        if (t)
+          tel_->record_gate(t, gate, static_cast<std::uint8_t>(d.verdict),
+                            telemetry::cycles() - c0);
+#endif
+        verdict[k] = d.verdict;
+        fdrop[k] = d.fault_drop;
+        any_noncont |= d.verdict != Verdict::cont;
+      }
+    } else if (!mixed) {
+      // One instance spans the chunk (per-flow soft slots still differ):
+      // dispatch the live list as a single group straight out of lp[],
+      // writing verdicts in place.
+      run_group(*first, lp, gsoft, verdict, n_live, nullptr);
+    } else {
+      // Mixed instances: gather each group into scratch, in arrival order.
+      // Grouping can never split or reorder a flow — all packets of one
+      // flow share one binding.
+      pkt::Packet* gp[kMax];
+      void** gs[kMax];
+      Verdict gv[kMax];
+      std::size_t gpos[kMax];  // group member -> position in live[]
+      bool taken[kMax];
+      for (std::size_t k = 0; k < n_live; ++k) taken[k] = false;
+      for (std::size_t k = 0; k < n_live; ++k) {
+        if (taken[k]) continue;
+        plugin::PluginInstance* inst = bind[k] ? bind[k]->instance : nullptr;
+        if (!inst) continue;  // unbound for this flow: the gate is a no-op
+        std::size_t m = 0;
+        for (std::size_t j = k; j < n_live; ++j) {
+          if (taken[j] || !bind[j] || bind[j]->instance != inst) continue;
+          taken[j] = true;
+          gp[m] = lp[j];
+          gs[m] = &bind[j]->soft;
+          gv[m] = Verdict::cont;
+          gpos[m] = j;
+          ++m;
+        }
+        run_group(*inst, gp, gs, gv, m, gpos);
+      }
+    }
+
+    // Apply dispositions and compact the live list (arrival order kept):
+    // survivors re-partition at the next gate.
+    if (!any_noncont) continue;  // every verdict cont: nothing to compact
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < n_live; ++k) {
+      const std::size_t s = live[k];
+      switch (verdict[k]) {
+        case Verdict::cont:
+          live[w] = s;
+          lp[w] = lp[k];
+          fr[w] = fr[k];
+          ++w;
+          break;
+        case Verdict::drop:
+#if RP_TELEMETRY
+          if (tel_ && tr[s])
+            tel_->trace_end(tr[s], telemetry::Disposition::dropped,
+                            static_cast<std::uint8_t>(
+                                fdrop[k] ? DropReason::plugin_fault
+                                         : DropReason::policy),
+                            pkt::kAnyIface, telemetry::cycles() - t0[s]);
+#endif
+          drop(std::move(*slots[s]), fdrop[k] ? DropReason::plugin_fault
+                                              : DropReason::policy);
+          break;
+        case Verdict::consumed:
+          // Same as the per-packet path's early return: the core's
+          // ownership ends here.
+#if RP_TELEMETRY
+          if (tel_ && tr[s])
+            tel_->trace_end(tr[s], telemetry::Disposition::consumed, 0,
+                            pkt::kAnyIface, telemetry::cycles() - t0[s]);
+#endif
+          slots[s]->reset();
+          break;
+      }
+    }
+    n_live = w;
+  }
+
+  // ---- shared per-packet tail ----
+  // Scheduler-bound outputs defer into the op list so same-scheduler runs
+  // batch through enqueue_burst; plain FIFO outputs (no scheduler on the
+  // port) have nothing to batch and enqueue in place — each queue still
+  // fills in arrival order, so drain order is untouched. emit_icmp_error
+  // flushes cur_ops_ before re-entering process(), so an error datagram
+  // cannot overtake a packet forwarded before it.
+  FwdMemo memo;
+  OutOpList ops;
+  OutOpList* prev = cur_ops_;
+  cur_ops_ = &ops;
+  auto defer = [&](pkt::PacketPtr q, aiu::GateBinding* b,
+                   telemetry::TraceRecord* t, std::uint64_t ts) {
+    OutputScheduler* sched;
+    if (b && b->instance) {
+      sched = static_cast<OutputScheduler*>(b->instance);
+    } else {
+      // Memoized port fetch: a chunk's packets overwhelmingly share one
+      // output interface.
+      Port* pt;
+      if (memo.fifo_port && memo.fifo_oif == q->out_iface) {
+        pt = memo.fifo_port;
+      } else {
+        pt = &port(q->out_iface);
+        memo.fifo_oif = q->out_iface;
+        memo.fifo_port = pt;
+      }
+      sched = pt->sched;
+      if (!sched) {
+        if (t) [[unlikely]] {  // rare traced packet: full path, exact trace
+          enqueue_output<true>(std::move(q), b, t, ts);
+          return;
+        }
+        // Untraced, unbound, unscheduled: exactly enqueue_output<false>'s
+        // FIFO path, with the Port fetch memoized away.
+        ++counters_.forwarded;
+        if (pt->fifo.size() >= cfg_.port_fifo_limit) [[unlikely]] {
+          --counters_.forwarded;
+          drop(std::move(q), DropReason::queue_full);
+          return;
+        }
+        pt->fifo.push_back(std::move(q));
+        return;
+      }
+    }
+    if (ops.n == OutOpList::kCap) flush_output_ops(ops);
+    ops.ops[ops.n++] = OutOp{std::move(q), b, t, ts};
+  };
+  const bool skip_rs =
+      (bound_union &
+       ((std::uint32_t{1} << aiu::gate_index(PluginType::routing)) |
+        (std::uint32_t{1} << aiu::gate_index(PluginType::sched)))) == 0;
+  for (std::size_t k = 0; k < n_live; ++k) {
+    const std::size_t s = live[k];
+#if RP_TELEMETRY
+    if (tel_ && tr[s]) {
+      finish_packet<true, true, false>(std::move(*slots[s]), tr[s], t0[s],
+                                       &memo, fr[k], defer);
+      continue;
+    }
+#endif
+    if (skip_rs)
+      finish_packet<false, true, true>(std::move(*slots[s]), nullptr, 0, &memo,
+                                       nullptr, defer);
+    else
+      finish_packet<false, true, false>(std::move(*slots[s]), nullptr, 0,
+                                        &memo, fr[k], defer);
+  }
+  flush_output_ops(ops);
+  cur_ops_ = prev;
+}
+
+// Flushes deferred output ops in order, batching each maximal consecutive
+// same-scheduler run through OutputScheduler::enqueue_burst. FIFO-bound ops
+// and runs under a non-quiet supervisor (whose per-packet admission/guard
+// semantics must hold exactly) take the per-packet enqueue_output path, in
+// place, so relative order is always preserved.
+void IpCore::flush_output_ops(OutOpList& l) {
+  std::size_t i = 0;
+  while (i < l.n) {
+    OutOp& op = l.ops[i];
+    if (!op.p) {
+      ++i;
+      continue;
+    }
+    const bool bound = op.b && op.b->instance;
+    OutputScheduler* sched =
+        bound ? static_cast<OutputScheduler*>(op.b->instance)
+              : port(op.p->out_iface).sched;
+
+    std::size_t j = i + 1;
+    if (sched && (!res_ || res_->quiet())) {
+      while (j < l.n && l.ops[j].p) {
+        const OutOp& nx = l.ops[j];
+        const bool nb = nx.b && nx.b->instance;
+        OutputScheduler* ns =
+            nb ? static_cast<OutputScheduler*>(nx.b->instance)
+               : port(nx.p->out_iface).sched;
+        if (ns != sched) break;
+        ++j;
+      }
+    }
+    const std::size_t m = j - i;
+    if (m == 1) {
+      if (op.tr)
+        enqueue_output<true>(std::move(op.p), op.b, op.tr, op.t_start);
+      else
+        enqueue_output<false>(std::move(op.p), op.b, nullptr, 0);
+      ++i;
+      continue;
+    }
+
+    // ---- batched enqueue for the run [i, j) ----
+    // Quiet (or no supervisor) is guaranteed here, so sched_admit would
+    // admit unconditionally — the breaker consult folds into one quiet()
+    // read above; a fault below flips quiet off and the next run falls back
+    // to the per-packet path.
+    pkt::PacketPtr run_pkts[OutOpList::kCap];
+    void** run_softs[OutOpList::kCap];
+    bool accepted[OutOpList::kCap];
+    pkt::IfIndex oifs[OutOpList::kCap];
+    for (std::size_t x = 0; x < m; ++x) {
+      OutOp& o = l.ops[i + x];
+      oifs[x] = o.p->out_iface;
+      run_softs[x] = (o.b && o.b->instance) ? &o.b->soft : nullptr;
+      accepted[x] = false;
+      run_pkts[x] = std::move(o.p);
+    }
+    counters_.gate_calls += m;
+    counters_.forwarded += m;
+    ++counters_.gate_groups;
+    counters_.gate_group_pkts += m;
+    ++counters_.group_size_hist[CoreCounters::group_hist_bucket(m)];
+
+#if RP_TELEMETRY
+    bool timed = false;
+    if (tel_)
+      for (std::size_t x = 0; x < m && !timed; ++x)
+        timed = l.ops[i + x].tr != nullptr;
+    const std::uint64_t c0 = timed ? telemetry::cycles() : 0;
+#endif
+    bool ok = true;
+    if (res_) {
+      ok = res_->guard_enqueue(*sched, [&] {
+        sched->enqueue_burst(run_pkts, run_softs, accepted, m, clock_.now());
+      });
+    } else {
+      sched->enqueue_burst(run_pkts, run_softs, accepted, m, clock_.now());
+    }
+#if RP_TELEMETRY
+    const std::uint64_t dc = timed ? (telemetry::cycles() - c0) / m : 0;
+#endif
+
+    for (std::size_t x = 0; x < m; ++x) {
+      [[maybe_unused]] OutOp& o = l.ops[i + x];
+      const bool succeeded = ok && accepted[x];
+#if RP_TELEMETRY
+      if (o.tr)
+        tel_->record_gate(o.tr, PluginType::sched,
+                          static_cast<std::uint8_t>(
+                              succeeded ? Verdict::consumed : Verdict::drop),
+                          dc);
+      auto end_trace = [&](telemetry::Disposition disp, DropReason r) {
+        if (o.tr)
+          tel_->trace_end(o.tr, disp, static_cast<std::uint8_t>(r), oifs[x],
+                          telemetry::cycles() - o.t_start);
+      };
+#else
+      auto end_trace = [](telemetry::Disposition, DropReason) {};
+#endif
+      if (ok) {
+        if (accepted[x]) {
+          end_trace(telemetry::Disposition::queued, DropReason::none);
+        } else {
+          --counters_.forwarded;
+          end_trace(telemetry::Disposition::dropped, DropReason::queue_full);
+          drop(std::move(run_pkts[x]), DropReason::queue_full);
+        }
+        continue;
+      }
+      // The burst call threw (real plugin bug on the quiet path — injected
+      // throws imply a non-quiet supervisor, which never reaches here).
+      if (run_pkts[x]) {
+        // Untouched by the plugin: apply the sched fallback, per packet.
+        if (res_->fallback(PluginType::sched) !=
+            resilience::Fallback::fail_closed) {
+          Port& out = port(oifs[x]);
+          if (out.fifo.size() >= cfg_.port_fifo_limit) {
+            --counters_.forwarded;
+            end_trace(telemetry::Disposition::dropped,
+                      DropReason::queue_full);
+            drop(std::move(run_pkts[x]), DropReason::queue_full);
+          } else {
+            out.fifo.push_back(std::move(run_pkts[x]));
+            end_trace(telemetry::Disposition::queued, DropReason::none);
+          }
+        } else {
+          --counters_.forwarded;
+          end_trace(telemetry::Disposition::dropped,
+                    DropReason::plugin_fault);
+          drop(std::move(run_pkts[x]), DropReason::plugin_fault);
+        }
+      } else if (accepted[x]) {
+        // Queued before the throw; the outcome stands.
+        end_trace(telemetry::Disposition::queued, DropReason::none);
+      } else {
+        // Consumed by the throw — or rejected just before it, which is
+        // indistinguishable once the pointer is gone. Account the
+        // conservative reading: a containment loss.
+        --counters_.forwarded;
+        end_trace(telemetry::Disposition::dropped, DropReason::plugin_fault);
+        drop(nullptr, DropReason::plugin_fault);
+      }
+    }
+    i = j;
+  }
+  l.n = 0;
 }
 
 template <bool Traced>
@@ -454,8 +1155,11 @@ void IpCore::emit_icmp_error(const pkt::Packet& orig, std::uint8_t type,
       ic + 2, netbase::checksum(ic, pkt::IcmpHeader::kSize + quote));
 
   ++counters_.icmp_errors_sent;
-  // Re-enter the core so the error is routed like any other packet; guard
-  // against recursion via the ICMP-about-ICMP rule above.
+  // Flush any output the grouped chunk deferred before this point, so the
+  // error cannot overtake packets forwarded ahead of it; then re-enter the
+  // core so the error is routed like any other packet (recursion guarded by
+  // the ICMP-about-ICMP rule above).
+  if (cur_ops_) flush_output_ops(*cur_ops_);
   process(std::move(icmp));
 }
 
@@ -497,6 +1201,7 @@ void IpCore::emit_icmpv6_error(const pkt::Packet& orig, std::uint8_t type,
   netbase::store_be16(&ic[2], static_cast<std::uint16_t>(~sum));
 
   ++counters_.icmp_errors_sent;
+  if (cur_ops_) flush_output_ops(*cur_ops_);  // keep egress order (see above)
   process(std::move(icmp));
 }
 

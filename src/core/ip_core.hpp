@@ -11,8 +11,10 @@
 // order of pre-routing gates is configurable.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -75,6 +77,15 @@ struct CoreConfig {
       plugin::PluginType::firewall, plugin::PluginType::congestion,
       plugin::PluginType::stats};
   std::size_t port_fifo_limit{1024};  // default per-port FIFO depth
+  // Batch-native gate dispatch (docs/plugin_authoring.md §11): partition
+  // each resolved burst chunk by (gate, instance) and hand every group to
+  // the instance as one handle_burst call, compacting drop/consume splits
+  // between gates. Off = the per-packet gate loop; the switch exists so
+  // benches and the differential tests can compare both paths in one
+  // binary. The grouped path also requires the AIU flow cache (the no-cache
+  // ablation hands out aliasing scratch bindings) and falls back to the
+  // per-packet loop for single-survivor chunks, so process() is unchanged.
+  bool batch_gates{true};
 };
 
 struct CoreCounters {
@@ -86,6 +97,25 @@ struct CoreCounters {
   std::uint64_t fragments_created{0};
   std::uint64_t bursts{0};         // process_burst chunks entered
   std::uint64_t burst_packets{0};  // packets entering via those chunks
+  // Grouped (batch-native) gate dispatch. A "group" is one handle_burst
+  // call: all packets of a chunk that resolved to the same instance at one
+  // gate, in arrival order (batched scheduler enqueues count too).
+  // gate_calls above still counts per packet-dispatch, so its meaning —
+  // and the breaker windows anchored to it — is unchanged.
+  std::uint64_t gate_groups{0};
+  std::uint64_t gate_group_pkts{0};
+  std::uint64_t fused_bursts{0};  // chunks taken by the template-fused chain
+  // Group-size histogram: 1, 2, 3-4, 5-8, 9-16, 17+ packets per group.
+  static constexpr std::size_t kGroupHistBuckets = 6;
+  std::uint64_t group_size_hist[kGroupHistBuckets]{};
+  static constexpr std::size_t group_hist_bucket(std::size_t n) noexcept {
+    return n <= 1 ? 0 : n == 2 ? 1 : n <= 4 ? 2 : n <= 8 ? 3 : n <= 16 ? 4 : 5;
+  }
+  static constexpr std::string_view group_hist_label(std::size_t b) noexcept {
+    constexpr std::string_view labels[kGroupHistBuckets] = {
+        "1", "2", "3-4", "5-8", "9-16", "17+"};
+    return labels[b];
+  }
   // Per-check ingress sanitization drops (indexed by pkt::SanitizeCheck;
   // slot 0 / "ok" stays zero) plus packets whose capture padding was
   // trimmed. Sanitize drops are double-counted into drops[malformed] so
@@ -156,9 +186,9 @@ class IpCore final : public DataPath {
 
   const CoreCounters& counters() const noexcept { return counters_; }
   // Resets every CoreCounters field — received/forwarded/drops AND the
-  // derived-rate counters (gate_calls, bursts, burst_packets) — so a
-  // measurement window started after reset is consistent across the
-  // process() and process_burst() entry points.
+  // derived-rate counters (gate_calls, bursts, burst_packets, the grouped
+  // dispatch stats) — so a measurement window started after reset is
+  // consistent across the process() and process_burst() entry points.
   void reset_counters() noexcept { counters_ = CoreCounters{}; }
   CoreConfig& config() noexcept { return cfg_; }
 
@@ -187,6 +217,14 @@ class IpCore final : public DataPath {
   // Stage 1 of the input path: parse + header validation (checksum, TTL).
   // On failure the packet is dropped (slot nulled) and false returned.
   bool validate(pkt::PacketPtr& p);
+  // Fused stage 1 used by the specialized chain: sanitize + checksum + key
+  // extraction + TTL in one pass over the common IPv4/no-options header
+  // (one set of loads feeds the checksum and every check). Anything
+  // unusual — options, fragments, v6, non-TCP/UDP, or any check that would
+  // fail — falls back to validate(), so outcomes, counters, and drop
+  // reasons are identical by construction. Requires cfg_.sanitize,
+  // verify_ipv4_checksum, and decrement_ttl (the caller checks).
+  bool validate_fast(pkt::PacketPtr& p);
   // Stages 2+3: gates, forwarding decision, TTL decrement, MTU handling,
   // output enqueue. The flow index is already resolved (or resolvable via
   // the per-gate slow path when the cache is disabled). The dispatcher picks
@@ -196,6 +234,75 @@ class IpCore final : public DataPath {
   void process_classified(pkt::PacketPtr p);
   template <bool Traced>
   void process_classified_impl(pkt::PacketPtr p, telemetry::TraceRecord* tr);
+  // Single-entry forwarding memo, valid for one grouped chunk: a flow's
+  // back-to-back packets share destination and output interface, so the
+  // route lookup and interface resolve hit here instead of the tables.
+  // Safe because RoutingTable::lookup is const and nothing mutates routes
+  // or interfaces mid-chunk (ICMP re-entry only emits packets).
+  struct FwdMemo {
+    netbase::IpAddr dst{};
+    const route::NextHop* hop{nullptr};
+    bool dst_valid{false};
+    pkt::IfIndex oif{0};
+    netdev::SimNic* nic{nullptr};
+    // Output-FIFO port memo for the grouped tail's untraced fast path.
+    pkt::IfIndex fifo_oif{0};
+    Port* fifo_port{nullptr};
+  };
+  // The tail shared by the per-packet and grouped paths: routing gate, route
+  // lookup, TTL decrement, MTU/fragmentation. `emit(p, sched_binding, tr,
+  // t_start)` receives each output-bound packet (fragments individually) —
+  // the per-packet path enqueues immediately, the grouped path defers into
+  // the chunk's output-op list so same-scheduler runs batch. UseMemo selects
+  // the chunk-scoped lookup memos and inline binding accessors of the
+  // grouped engine (`frp` is the packet's hoisted flow record, null when
+  // unresolved); with UseMemo=false (`memo`/`frp` null) this compiles to
+  // exactly the pre-batching per-packet tail. SkipGates (grouped engine
+  // only, implies UseMemo) is set when the chunk's flow records prove the
+  // routing and sched gates unbound for every packet, eliding both lookups.
+  template <bool Traced, bool UseMemo, bool SkipGates, class Emit>
+  void finish_packet(pkt::PacketPtr p, telemetry::TraceRecord* tr,
+                     std::uint64_t t_start, FwdMemo* memo,
+                     aiu::FlowRecord* frp, Emit&& emit);
+
+  // ---- grouped (batch-native) gate dispatch ----
+  // Gate lists for the grouped engine: the generic runtime list, and the
+  // compile-time fused instantiation for the paper's common 3-gate chain
+  // (T3: ipopt -> ipsec -> stats) — the constexpr analogue of PacketMill's
+  // chain specialization, selected per burst when cfg_.input_gates matches.
+  struct RuntimeGateList {
+    std::span<const plugin::PluginType> gates;
+    std::span<const plugin::PluginType> list() const noexcept { return gates; }
+  };
+  struct FusedGateList3 {
+    static constexpr std::array<plugin::PluginType, 3> kGates{
+        plugin::PluginType::ipopt, plugin::PluginType::ipsec,
+        plugin::PluginType::stats};
+    constexpr const std::array<plugin::PluginType, 3>& list() const noexcept {
+      return kGates;
+    }
+  };
+  // Deferred output op: one packet ready to enqueue, with the sched-gate
+  // binding it resolved and its trace state. A chunk's ops flush in order,
+  // batching maximal consecutive same-scheduler runs via enqueue_burst.
+  struct OutOp {
+    pkt::PacketPtr p;
+    aiu::GateBinding* b;
+    telemetry::TraceRecord* tr;
+    std::uint64_t t_start;
+  };
+  struct OutOpList {
+    static constexpr std::size_t kCap = 2 * aiu::Aiu::kMaxBurst;
+    OutOp ops[kCap];
+    std::size_t n{0};
+  };
+  // Runs the input gates group-at-a-time over a chunk's validated survivors
+  // (`slots` point at the owning PacketPtrs, arrival order), then the shared
+  // per-packet tail, then flushes the output ops.
+  template <class GateList>
+  void process_chunk_grouped(GateList gl, pkt::PacketPtr** slots,
+                             std::size_t n);
+  void flush_output_ops(OutOpList& l);
 
   void drop(pkt::PacketPtr p, DropReason r);
   void emit_icmp_error(const pkt::Packet& orig, std::uint8_t type,
@@ -225,6 +332,10 @@ class IpCore final : public DataPath {
   // Nesting depth of process_burst (ICMP errors re-enter via process);
   // deferred breaker rebinds apply only when the outermost burst ends.
   unsigned burst_depth_{0};
+  // The grouped chunk currently deferring output ops, or null. emit_icmp
+  // flushes it before re-entering process() so an error datagram can never
+  // overtake a packet that was forwarded before it.
+  OutOpList* cur_ops_{nullptr};
 };
 
 }  // namespace rp::core

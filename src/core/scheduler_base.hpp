@@ -23,6 +23,19 @@ class OutputScheduler : public plugin::PluginInstance {
   virtual bool enqueue(pkt::PacketPtr p, void** flow_soft,
                        netbase::SimTime now) = 0;
 
+  // Batch enqueue (the batch-native gate ABI at the scheduling gate): queues
+  // `n` packets that all resolved to this scheduler instance on one output
+  // port, in arrival order. `softs[i]` is packet i's per-flow soft-state
+  // slot (or nullptr), `accepted[i]` reports per-packet admission exactly as
+  // enqueue() would have. The default shim loops enqueue(); DRR and H-FSC
+  // override it to amortize the per-call preamble across the run.
+  virtual void enqueue_burst(pkt::PacketPtr* pkts, void** const* softs,
+                             bool* accepted, std::size_t n,
+                             netbase::SimTime now) {
+    for (std::size_t i = 0; i < n; ++i)
+      accepted[i] = enqueue(std::move(pkts[i]), softs[i], now);
+  }
+
   // Next packet to put on the wire; nullptr if no backlog.
   virtual pkt::PacketPtr dequeue(netbase::SimTime now) = 0;
 

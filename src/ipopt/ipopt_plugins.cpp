@@ -51,6 +51,22 @@ Verdict RouterAlertInstance::handle_packet(pkt::Packet& p, void**) {
   return Verdict::cont;
 }
 
+void RouterAlertInstance::handle_burst(plugin::PacketRun& run) {
+  packets_ += run.size();
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    const pkt::Packet& p = run.packet(i);
+    if (p.ip_version != netbase::IpVersion::v6) continue;  // no hop-by-hop
+    for_each_hopopt(
+        p,
+        [](void* ctx, std::uint8_t type, std::uint8_t, const std::uint8_t*) {
+          if (type == kOptRouterAlert)
+            ++static_cast<RouterAlertInstance*>(ctx)->alerts_;
+          return true;
+        },
+        this);
+  }
+}
+
 Status RouterAlertInstance::handle_message(const plugin::PluginMsg& msg,
                                            plugin::PluginReply& reply) {
   if (msg.custom_name == "stats") {
@@ -110,6 +126,15 @@ Verdict OptCheckInstance::handle_packet(pkt::Packet& p, void**) {
     return Verdict::drop;
   }
   return Verdict::cont;
+}
+
+void OptCheckInstance::handle_burst(plugin::PacketRun& run) {
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    if (run.packet(i).ip_version != netbase::IpVersion::v6)
+      continue;  // verdict stays cont, as handle_packet's early-out
+    const Verdict v = handle_packet(run.packet(i), run.soft(i));
+    if (v != Verdict::cont) run.set_verdict(i, v);
+  }
 }
 
 void register_ipopt_plugins() {

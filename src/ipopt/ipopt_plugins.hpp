@@ -30,6 +30,9 @@ constexpr std::uint8_t kOptRouterAlert = 5;
 class RouterAlertInstance final : public plugin::PluginInstance {
  public:
   plugin::Verdict handle_packet(pkt::Packet& p, void** flow_soft) override;
+  // Batch-native: one counter add per run, and the v4 common case (no
+  // hop-by-hop header possible) short-circuits without the option walk.
+  void handle_burst(plugin::PacketRun& run) override;
   std::uint64_t alerts() const noexcept { return alerts_; }
   netbase::Status handle_message(const plugin::PluginMsg& msg,
                                  plugin::PluginReply& reply) override;
@@ -42,6 +45,9 @@ class RouterAlertInstance final : public plugin::PluginInstance {
 class OptCheckInstance final : public plugin::PluginInstance {
  public:
   plugin::Verdict handle_packet(pkt::Packet& p, void** flow_soft) override;
+  // Batch-native: hoists the per-packet virtual dispatch and the non-v6
+  // early-out; only drop verdicts are written back.
+  void handle_burst(plugin::PacketRun& run) override;
   std::uint64_t malformed() const noexcept { return malformed_; }
 
  private:

@@ -111,6 +111,28 @@ Verdict IpsecInstance::handle_packet(pkt::Packet& p, void** /*flow_soft*/) {
   return Verdict::cont;
 }
 
+void IpsecInstance::handle_burst(plugin::PacketRun& run) {
+  SecurityAssociation* sa = plugin_.sadb().find(spi_);
+  if (!sa) {
+    counters_.malformed += run.size();
+    for (std::size_t i = 0; i < run.size(); ++i)
+      run.set_verdict(i, Verdict::drop);
+    return;
+  }
+  counters_.processed += run.size();
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    pkt::Packet& p = run.packet(i);
+    Verdict v = Verdict::cont;
+    switch (mode_) {
+      case IpsecMode::ah_add: v = ah_add(p, *sa); break;
+      case IpsecMode::ah_verify: v = ah_verify(p, *sa); break;
+      case IpsecMode::esp_encrypt: v = esp_encrypt(p, *sa); break;
+      case IpsecMode::esp_decrypt: v = esp_decrypt(p, *sa); break;
+    }
+    if (v != Verdict::cont) run.set_verdict(i, v);
+  }
+}
+
 Verdict IpsecInstance::ah_add(pkt::Packet& p, SecurityAssociation& sa) {
   const std::size_t iphl = ip_header_len(p);
   const std::uint8_t orig_proto = get_ip_proto(p);

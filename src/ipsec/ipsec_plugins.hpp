@@ -32,6 +32,9 @@ class IpsecInstance final : public plugin::PluginInstance {
       : plugin_(owner), mode_(mode), spi_(spi) {}
 
   plugin::Verdict handle_packet(pkt::Packet& p, void** flow_soft) override;
+  // Batch-native: one SADB probe for the whole run (every packet of a run
+  // uses this instance's SA) and one processed-counter add.
+  void handle_burst(plugin::PacketRun& run) override;
 
   struct Counters {
     std::uint64_t processed{0};

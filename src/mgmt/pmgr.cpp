@@ -264,6 +264,15 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
           text += " " + std::string(core::to_string(
                             static_cast<core::DropReason>(r))) +
                   "=" + std::to_string(cc.drops[r]);
+      text += "\ngate-batch: groups=" + std::to_string(cc.gate_groups) +
+              " group_pkts=" + std::to_string(cc.gate_group_pkts) +
+              " fused_bursts=" + std::to_string(cc.fused_bursts) + " hist[";
+      for (std::size_t b = 0; b < core::CoreCounters::kGroupHistBuckets; ++b) {
+        if (b) text += " ";
+        text += std::string(core::CoreCounters::group_hist_label(b)) + "=" +
+                std::to_string(cc.group_size_hist[b]);
+      }
+      text += "]";
       text += "\n" + format_sanitize(cc);
       return {Status::ok, text};
     }
@@ -585,6 +594,9 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
           text += " " +
                   std::string(core::to_string(static_cast<core::DropReason>(r))) +
                   "=" + std::to_string(cc.drops[r]);
+      text += "\ngate-batch: groups=" + std::to_string(cc.gate_groups) +
+              " group_pkts=" + std::to_string(cc.gate_group_pkts) +
+              " fused_bursts=" + std::to_string(cc.fused_bursts);
       text += "\n" + format_sanitize(cc);
       return {Status::ok, text};
     }

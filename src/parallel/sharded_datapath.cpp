@@ -86,6 +86,11 @@ core::CoreCounters ShardedDatapath::aggregate_counters() {
     sum.fragments_created += c.fragments_created;
     sum.bursts += c.bursts;
     sum.burst_packets += c.burst_packets;
+    sum.gate_groups += c.gate_groups;
+    sum.gate_group_pkts += c.gate_group_pkts;
+    sum.fused_bursts += c.fused_bursts;
+    for (std::size_t i = 0; i < std::size(sum.group_size_hist); ++i)
+      sum.group_size_hist[i] += c.group_size_hist[i];
     for (std::size_t i = 0; i < std::size(sum.sanitize_drops); ++i)
       sum.sanitize_drops[i] += c.sanitize_drops[i];
     sum.sanitize_trimmed += c.sanitize_trimmed;

@@ -30,6 +30,43 @@ enum class Verdict : std::uint8_t {
   drop,      // discard (policy/authentication failure, RED drop, ...)
 };
 
+// A run of packets that all resolved to the *same* plugin instance at one
+// gate (the batch-native gate ABI). The IP core partitions each burst by
+// resolved binding after the one-pass AIU classification and hands every
+// group to the instance as one call, so dispatch, soft-state access and
+// instruction-cache warmth amortize across the run instead of being paid
+// per packet.
+//
+// Contract (docs/plugin_authoring.md §11):
+//   * packets appear in arrival order; all packets of one flow that are in
+//     the burst are in the run, in order (grouping never splits a flow);
+//   * `soft(i)` is packet i's per-flow soft-state slot for this gate — the
+//     same pointer handle_packet would have received. Different packets of
+//     the run may belong to different flows, so slots differ per packet;
+//   * verdicts are prefilled with Verdict::cont; an implementation only
+//     writes the exceptions (drop/consumed). Ownership follows the same
+//     rules as handle_packet: `consumed` means the core releases the packet.
+class PacketRun {
+ public:
+  PacketRun(pkt::Packet* const* pkts, void** const* softs, Verdict* verdicts,
+            std::size_t n) noexcept
+      : pkts_(pkts), softs_(softs), verdicts_(verdicts), n_(n) {}
+
+  std::size_t size() const noexcept { return n_; }
+  pkt::Packet& packet(std::size_t i) const noexcept { return *pkts_[i]; }
+  // Per-flow soft-state slot for packet i; null for flow-less packets.
+  void** soft(std::size_t i) const noexcept { return softs_[i]; }
+
+  void set_verdict(std::size_t i, Verdict v) noexcept { verdicts_[i] = v; }
+  Verdict verdict(std::size_t i) const noexcept { return verdicts_[i]; }
+
+ private:
+  pkt::Packet* const* pkts_;
+  void** const* softs_;
+  Verdict* verdicts_;
+  std::size_t n_;
+};
+
 class PluginInstance {
  public:
   virtual ~PluginInstance() = default;
@@ -40,6 +77,16 @@ class PluginInstance {
   // per-flow state there — e.g. the DRR plugin keeps its per-flow queue
   // pointer in it (Section 5.2).
   virtual Verdict handle_packet(pkt::Packet& p, void** flow_soft) = 0;
+
+  // Burst entry point: one call for a whole run of packets bound to this
+  // instance at one gate. The default shim loops handle_packet, so every
+  // existing plugin keeps working unchanged; hot plugins override this to
+  // hoist per-call work (mode checks, SA lookups, counter updates) out of
+  // the per-packet loop. See PacketRun for the ordering/soft-state contract.
+  virtual void handle_burst(PacketRun& run) {
+    for (std::size_t i = 0; i < run.size(); ++i)
+      run.set_verdict(i, handle_packet(run.packet(i), run.soft(i)));
+  }
 
   // Called by the AIU when a flow-table entry bound to this instance is
   // removed/recycled, so the instance can release its per-flow soft state.

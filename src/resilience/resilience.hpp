@@ -171,6 +171,46 @@ class Supervisor {
     return {v, false};
   }
 
+  // True while nothing is armed, no cycle budget is set, and every breaker
+  // is closed — the steady state. The grouped gate dispatcher reads this
+  // once per *group*: while quiet it runs the whole run through one
+  // contained handle_burst call; when not quiet it falls back to per-packet
+  // dispatch() so injection, budgets and half-open probes keep their exact
+  // per-packet semantics.
+  bool quiet() const noexcept { return quiet_; }
+
+  // Grouped-dispatch containment (quiet path only): runs `fn` — the
+  // handle_burst call for one run — in the quiet-path try/catch. On success
+  // returns {cont, false}; on a throw records ONE fault at `inst` and
+  // returns the gate's fallback as a Decision, which the core applies to
+  // every packet of the run (a partially-processed run cannot tell which
+  // packets the plugin already judged, so the fallback governs all of them —
+  // fail_closed drops the run, fail_open forwards it).
+  template <class F>
+  Decision dispatch_run(plugin::PluginType gate, plugin::PluginInstance& inst,
+                        F&& fn) {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      return fault_decision(guard_of(inst), gate, aiu::gate_index(gate),
+                            FaultKind::exception, false, 0, e.what());
+    } catch (...) {
+      return fault_decision(guard_of(inst), gate, aiu::gate_index(gate),
+                            FaultKind::exception, false, 0,
+                            "non-standard exception");
+    }
+    return {plugin::Verdict::cont, false};
+  }
+
+  // Per-packet verdict validation for the grouped path: handle_burst wrote a
+  // verdict outside the enum for one packet of its run. Records the fault
+  // and returns the gate's fallback, exactly as per-packet dispatch() does
+  // for a bad verdict.
+  Decision bad_verdict(plugin::PluginType gate, plugin::PluginInstance& inst) {
+    return fault_decision(guard_of(inst), gate, aiu::gate_index(gate),
+                          FaultKind::bad_verdict, false, 0, {});
+  }
+
   // Scheduling-gate admission: consulted before OutputScheduler::enqueue,
   // because ownership of the packet moves into the plugin there (no verdict
   // comes back to validate).

@@ -55,6 +55,44 @@ bool DrrInstance::enqueue(pkt::PacketPtr p, void** flow_soft,
   return true;
 }
 
+void DrrInstance::enqueue_burst(pkt::PacketPtr* pkts, void** const* softs,
+                                bool* accepted, std::size_t n,
+                                netbase::SimTime /*now*/) {
+  // A run shares one flow-table soft slot across its train, so the flow
+  // queue resolves once; the fallback path (no slot) still classifies each
+  // packet. Per-packet admission is unchanged from enqueue().
+  void** memo_soft = nullptr;
+  FlowQueue* memo_q = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    pkt::PacketPtr p = std::move(pkts[i]);
+    FlowQueue* q;
+    if (softs[i] && softs[i] == memo_soft) {
+      q = memo_q;
+    } else {
+      q = queue_for(*p, softs[i]);
+      if (softs[i]) {
+        memo_soft = softs[i];
+        memo_q = q;
+      }
+    }
+    if (q->pkts.size() >= cfg_.per_flow_limit) {
+      ++drops_;
+      accepted[i] = false;
+      p.reset();  // rejected packets are freed, as by-value enqueue() does
+      continue;
+    }
+    backlog_bytes_ += p->size();
+    ++backlog_pkts_;
+    q->pkts.push_back(std::move(p));
+    if (!q->active) {
+      q->active = true;
+      q->fresh_visit = true;
+      active_.push_back(q);
+    }
+    accepted[i] = true;
+  }
+}
+
 pkt::PacketPtr DrrInstance::dequeue(netbase::SimTime /*now*/) {
   while (!active_.empty()) {
     FlowQueue* q = active_.front();

@@ -33,6 +33,11 @@ class DrrInstance final : public core::OutputScheduler {
 
   bool enqueue(pkt::PacketPtr p, void** flow_soft,
                netbase::SimTime now) override;
+  // Batch-native enqueue: one virtual call per run, with the per-flow queue
+  // memoized across a train's back-to-back packets (same soft slot).
+  void enqueue_burst(pkt::PacketPtr* pkts, void** const* softs,
+                     bool* accepted, std::size_t n,
+                     netbase::SimTime now) override;
   pkt::PacketPtr dequeue(netbase::SimTime now) override;
   bool empty() const override { return backlog_pkts_ == 0; }
   std::size_t backlog_packets() const override { return backlog_pkts_; }

@@ -344,6 +344,42 @@ bool HfscInstance::enqueue(pkt::PacketPtr p, void** flow_soft,
   return true;
 }
 
+void HfscInstance::enqueue_burst(pkt::PacketPtr* pkts, void** const* softs,
+                                 bool* accepted, std::size_t n,
+                                 netbase::SimTime now) {
+  // A run shares one flow-table soft slot across its train, so the leaf
+  // resolves once; admission, backlog and activation stay per-packet —
+  // set_active must see the true head length when the leaf wakes.
+  void** memo_soft = nullptr;
+  Class* memo_leaf = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    pkt::PacketPtr p = std::move(pkts[i]);
+    Class* leaf;
+    if (softs[i] && softs[i] == memo_soft) {
+      leaf = memo_leaf;
+    } else {
+      leaf = leaf_for(*p, softs[i]);
+      if (softs[i]) {
+        memo_soft = softs[i];
+        memo_leaf = leaf;
+      }
+    }
+    if (leaf->backlog >= cfg_.leaf_limit) {
+      ++leaf->drops;
+      accepted[i] = false;
+      p.reset();  // rejected packets are freed, as by-value enqueue() does
+      continue;
+    }
+    const bool was_empty = leaf->leaf_empty();
+    backlog_bytes_ += p->size();
+    ++backlog_pkts_;
+    const std::size_t len = p->size();
+    leaf->leaf_enqueue(std::move(p));
+    if (was_empty) set_active(leaf, static_cast<double>(now), len);
+    accepted[i] = true;
+  }
+}
+
 pkt::PacketPtr HfscInstance::dequeue(netbase::SimTime now) {
   if (backlog_pkts_ == 0) return nullptr;
   const double t = static_cast<double>(now);

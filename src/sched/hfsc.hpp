@@ -72,6 +72,11 @@ class HfscInstance final : public core::OutputScheduler {
 
   bool enqueue(pkt::PacketPtr p, void** flow_soft,
                netbase::SimTime now) override;
+  // Batch-native enqueue: one virtual call per run; the leaf lookup is
+  // memoized across a train's back-to-back packets (same soft slot).
+  void enqueue_burst(pkt::PacketPtr* pkts, void** const* softs,
+                     bool* accepted, std::size_t n,
+                     netbase::SimTime now) override;
   pkt::PacketPtr dequeue(netbase::SimTime now) override;
   bool empty() const override { return backlog_pkts_ == 0; }
   std::size_t backlog_packets() const override { return backlog_pkts_; }

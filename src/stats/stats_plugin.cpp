@@ -24,29 +24,54 @@ StatsInstance::~StatsInstance() {
     if (f->soft_slot) *f->soft_slot = nullptr;
 }
 
-Verdict StatsInstance::handle_packet(pkt::Packet& p, void** flow_soft) {
-  FlowCounter* fc = nullptr;
-  if (flow_soft && *flow_soft) {
-    fc = static_cast<FlowCounter*>(*flow_soft);
-  } else {
-    auto owned = std::make_unique<FlowCounter>();
-    owned->key = p.key;
-    owned->soft_slot = flow_soft;
-    fc = owned.get();
-    flows_.push_back(std::move(owned));
-    if (flow_soft) *flow_soft = fc;
-  }
+StatsInstance::FlowCounter* StatsInstance::counter_for(const pkt::Packet& p,
+                                                       void** flow_soft) {
+  if (flow_soft && *flow_soft) return static_cast<FlowCounter*>(*flow_soft);
+  auto owned = std::make_unique<FlowCounter>();
+  owned->key = p.key;
+  owned->soft_slot = flow_soft;
+  FlowCounter* fc = owned.get();
+  flows_.push_back(std::move(owned));
+  if (flow_soft) *flow_soft = fc;
+  return fc;
+}
 
-  total_packets_.fetch_add(1, std::memory_order_relaxed);
-  total_bytes_.fetch_add(p.size(), std::memory_order_relaxed);
-  ++fc->packets;
-  if (mode_ == Mode::bytes || mode_ == Mode::sizes) fc->bytes += p.size();
+void StatsInstance::count(FlowCounter& fc, const pkt::Packet& p) {
+  ++fc.packets;
+  if (mode_ == Mode::bytes || mode_ == Mode::sizes) fc.bytes += p.size();
   if (mode_ == Mode::sizes) {
     const std::size_t s = p.size();
     int b = s <= 64 ? 0 : s <= 256 ? 1 : s <= 1024 ? 2 : s <= 4096 ? 3 : 4;
-    ++fc->size_hist[b];
+    ++fc.size_hist[b];
   }
+}
+
+Verdict StatsInstance::handle_packet(pkt::Packet& p, void** flow_soft) {
+  total_packets_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(p.size(), std::memory_order_relaxed);
+  count(*counter_for(p, flow_soft), p);
   return Verdict::cont;
+}
+
+void StatsInstance::handle_burst(plugin::PacketRun& run) {
+  // The aggregate counters are the shared (atomic) state: batch them into
+  // one fetch_add each per run. The per-flow counter stays a pointer chase
+  // through the soft slot, memoized for the back-to-back packets of a train.
+  std::uint64_t bytes = 0;
+  FlowCounter* fc = nullptr;
+  void** memo_soft = nullptr;
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    const pkt::Packet& p = run.packet(i);
+    bytes += p.size();
+    void** soft = run.soft(i);
+    if (!fc || !soft || soft != memo_soft) {
+      fc = counter_for(p, soft);
+      memo_soft = soft;
+    }
+    count(*fc, p);
+  }
+  total_packets_.fetch_add(run.size(), std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 void StatsInstance::flow_removed(void* flow_soft) {
