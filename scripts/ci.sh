@@ -29,11 +29,11 @@ echo "== bench diff: headline metrics vs previous PR's sweep =="
 # Non-strict: prints the t3/t4/t8 headline deltas (and any >10% regression)
 # between the last two recorded sweeps without failing a noisy CI box. Run
 # scripts/bench_compare.py --strict locally when the numbers must hold.
-if [[ -f "$repo/BENCH_pr5.json" && -f "$repo/BENCH_pr6.json" ]]; then
+if [[ -f "$repo/BENCH_pr6.json" && -f "$repo/BENCH_pr7.json" ]]; then
   python3 "$repo/scripts/bench_compare.py" \
-    "$repo/BENCH_pr5.json" "$repo/BENCH_pr6.json"
+    "$repo/BENCH_pr6.json" "$repo/BENCH_pr7.json"
 else
-  echo "   (skipped: need both BENCH_pr5.json and BENCH_pr6.json)"
+  echo "   (skipped: need both BENCH_pr6.json and BENCH_pr7.json)"
 fi
 
 echo "== diff: single-threaded vs sharded datapath equivalence =="
@@ -73,6 +73,15 @@ echo "== wire fuzz: adversarial packet soak under ASan/UBSan =="
 # prints a "REPLAY:" line with the seed to rerun.
 ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
   --output-on-failure -L '^fuzz$'
+
+echo "== l7 fuzz: segment-evasion differential under ASan/UBSan =="
+# The L7 inspection acceptance gate (docs/l7_inspection.md): evaded TCP
+# conversations (reordering, tiny splits, duplicates, overlap rewrites)
+# through the reassembler and the l7ids gate must produce exactly the hits
+# a full-stream oracle predicts. The sharded variant (l7-fuzz-parallel-tsan)
+# runs in the TSan lane below via -L tsan.
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
+  --output-on-failure -L '^l7-fuzz$'
 
 echo "== tier 3: TSan build + parallel/chaos tests =="
 # ThreadSanitizer over everything that runs worker threads: the sharded

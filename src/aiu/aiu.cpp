@@ -41,6 +41,29 @@ void Aiu::install_pcu_hooks() {
     for (auto& t : tables_)
       if (t) t->purge_instance(inst);
   });
+  // Verdict-cache offload (L7): clear one flow's binding at the caller's
+  // gate so the bound_mask skip makes the gate free for that flow. Fails
+  // closed on anything stale: with the cache disabled gate_lookup hands out
+  // scratch bindings (nothing to clear), and a recycled entry no longer
+  // matches the caller's instance+soft pair. The caller has already
+  // released the soft state, so the binding is just wiped.
+  pcu_.set_flow_offload_hook([this](pkt::FlowIndex fix,
+                                    plugin::PluginInstance* inst,
+                                    plugin::PluginType gate,
+                                    void* expected_soft) {
+    if (!opt_.flow_cache_enabled || !inst) return false;
+    if (fix < 0 || fix >= static_cast<pkt::FlowIndex>(flows_.capacity()))
+      return false;
+    FlowRecord& r = flows_.rec(fix);
+    const std::size_t gi = gate_index(gate);
+    GateBinding& g = r.gates[gi];
+    if (!r.in_use || g.instance != inst || g.soft != expected_soft)
+      return false;
+    g = {};
+    r.bound_mask &= ~(std::uint32_t{1} << gi);
+    ++stats_.flows_offloaded;
+    return true;
+  });
 }
 
 Status Aiu::create_filter(plugin::PluginType gate, const Filter& f,

@@ -43,6 +43,9 @@ class Aiu {
     std::uint64_t filter_lookups{0};
     std::uint64_t cache_flushes{0};
     std::uint64_t flows_rebound{0};  // entries purged by rebind_instance
+    // Bindings cleared through the flow-offload hook (L7 verdict cache:
+    // a flow judged clean bypasses its inspection gate from then on).
+    std::uint64_t flows_offloaded{0};
   };
 
   Aiu(plugin::PluginControlUnit& pcu, netbase::SimClock& clock);

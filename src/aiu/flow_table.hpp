@@ -20,8 +20,8 @@
 
 namespace rp::aiu {
 
-// One gate slot per plugin type (types 1..8; slot 0 unused).
-constexpr std::size_t kNumGates = 9;
+// One gate slot per plugin type (types 1..9; slot 0 unused).
+constexpr std::size_t kNumGates = 10;
 static_assert(kNumGates <= 32, "FlowRecord::bound_mask is a 32-bit mask");
 
 constexpr std::size_t gate_index(plugin::PluginType t) noexcept {
@@ -38,9 +38,12 @@ struct FlowRecord {
   pkt::FlowKey key{};
   std::uint64_t hash{0};  // full key hash, compared before the key itself
   // Bit `gate_index(g)` set iff gates[gate_index(g)] has a bound instance.
-  // Written once at classification time (records are immutable afterwards:
-  // any filter change flushes the cache), so the core can skip a whole gate
-  // for a burst chunk with one mask test instead of touching every binding.
+  // Written at classification time, so the core can skip a whole gate for a
+  // burst chunk with one mask test instead of touching every binding. Any
+  // filter change flushes the cache; the only in-place mutation is the L7
+  // verdict-cache offload (Aiu's flow-offload hook clears one binding and
+  // its mask bit once a flow is judged clean — same-thread with dispatch,
+  // and only ever *removing* work, so in-flight chunks stay correct).
   std::uint32_t bound_mask{0};
   GateBinding gates[kNumGates]{};
   netbase::SimTime last_used{0};

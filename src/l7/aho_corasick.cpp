@@ -1,0 +1,143 @@
+#include "l7/aho_corasick.hpp"
+
+#include <deque>
+
+namespace rp::l7 {
+
+std::uint32_t AhoCorasick::add(std::string pattern) {
+  patterns_.push_back(std::move(pattern));
+  return static_cast<std::uint32_t>(patterns_.size() - 1);
+}
+
+void AhoCorasick::clear() {
+  patterns_.clear();
+  next_.clear();
+  out_.clear();
+  has_out_.clear();
+}
+
+void AhoCorasick::build() {
+  // Trie construction. Node 0 is the root; kNoEdge marks absent goto edges
+  // until the fail pass fills them in.
+  constexpr State kNoEdge = -1;
+  next_.clear();
+  out_.clear();
+  next_.emplace_back();
+  next_[0].fill(kNoEdge);
+  out_.emplace_back();
+  for (std::uint32_t id = 0; id < patterns_.size(); ++id) {
+    State s = kRoot;
+    for (unsigned char c : patterns_[id]) {
+      State t = next_[static_cast<std::size_t>(s)][c];
+      if (t == kNoEdge) {
+        t = static_cast<State>(next_.size());
+        next_.emplace_back();
+        next_.back().fill(kNoEdge);
+        out_.emplace_back();
+        next_[static_cast<std::size_t>(s)][c] = t;
+      }
+      s = t;
+    }
+    if (!patterns_[id].empty()) out_[static_cast<std::size_t>(s)].push_back(id);
+  }
+
+  // BFS failure links, folding goto+fail into a complete transition table
+  // and merging each node's output set with its failure node's (so a hit is
+  // reported from whatever state the scan lands in, no suffix walk).
+  std::vector<State> fail(next_.size(), kRoot);
+  std::deque<State> q;
+  for (int c = 0; c < 256; ++c) {
+    State t = next_[0][static_cast<std::size_t>(c)];
+    if (t == kNoEdge) {
+      next_[0][static_cast<std::size_t>(c)] = kRoot;
+    } else {
+      fail[static_cast<std::size_t>(t)] = kRoot;
+      q.push_back(t);
+    }
+  }
+  while (!q.empty()) {
+    State s = q.front();
+    q.pop_front();
+    const State f = fail[static_cast<std::size_t>(s)];
+    auto& fo = out_[static_cast<std::size_t>(f)];
+    auto& so = out_[static_cast<std::size_t>(s)];
+    so.insert(so.end(), fo.begin(), fo.end());
+    for (int c = 0; c < 256; ++c) {
+      State t = next_[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)];
+      const State via_fail =
+          next_[static_cast<std::size_t>(f)][static_cast<std::size_t>(c)];
+      if (t == kNoEdge) {
+        next_[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
+            via_fail;
+      } else {
+        fail[static_cast<std::size_t>(t)] = via_fail;
+        q.push_back(t);
+      }
+    }
+  }
+
+  has_out_.assign(next_.size(), 0);
+  for (std::size_t i = 0; i < out_.size(); ++i)
+    has_out_[i] = out_[i].empty() ? 0 : 1;
+  ++gen_;
+}
+
+namespace {
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool parse_patterns(std::string_view spec, std::vector<std::string>& out) {
+  std::string cur;
+  std::size_t added = 0;  // patterns appended by THIS call; `out` may be
+                          // non-empty on entry and must not vouch for us
+  auto flush = [&] {
+    if (cur.empty()) return false;
+    out.push_back(cur);
+    cur.clear();
+    ++added;
+    return true;
+  };
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    char c = spec[i];
+    if (c == ',') {
+      if (!flush()) return false;
+      continue;
+    }
+    if (c == '\\') {
+      if (i + 3 >= spec.size() || spec[i + 1] != 'x') return false;
+      const int hi = hex_val(spec[i + 2]), lo = hex_val(spec[i + 3]);
+      if (hi < 0 || lo < 0) return false;
+      cur.push_back(static_cast<char>(hi * 16 + lo));
+      i += 3;
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (!flush() && added != 0) return false;  // trailing comma
+  return added != 0;
+}
+
+std::string format_pattern(std::string_view pat) {
+  static constexpr char hexd[] = "0123456789abcdef";
+  std::string out;
+  for (char c : pat) {
+    auto u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7f && c != ',' && c != '\\' && c != ' ') {
+      out.push_back(c);
+    } else {
+      out += "\\x";
+      out.push_back(hexd[u >> 4]);
+      out.push_back(hexd[u & 0xf]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rp::l7

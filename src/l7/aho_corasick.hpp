@@ -1,0 +1,80 @@
+// Aho-Corasick multi-pattern matcher for the L7 inspection gate.
+//
+// The automaton is built goto/fail (trie + BFS failure links), then folded
+// into a dense DFA so the streaming scan is one table load per byte with no
+// failure chasing — the shape IDS engines use for moderate rule sets. Match
+// state is a single integer, carried in the per-connection soft state across
+// segment boundaries, so a pattern split over TCP segments (or over tiny
+// evasion slivers) is still found.
+//
+// Rule sets are runtime-loadable: add()/clear() stage patterns, build()
+// compiles them and bumps the generation. Connections stamp the generation
+// with their carried state; a state from an older build restarts at the
+// root (documented in docs/l7_inspection.md — a pattern spanning the exact
+// rebuild instant can be missed, nothing else changes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rp::l7 {
+
+class AhoCorasick {
+ public:
+  using State = std::int32_t;
+  static constexpr State kRoot = 0;
+
+  // Stages a pattern (arbitrary bytes, non-empty) for the next build();
+  // returns its pattern id. Duplicate patterns get distinct ids.
+  std::uint32_t add(std::string pattern);
+  void clear();
+
+  // Compiles the staged set. Safe to call with zero patterns (the scan then
+  // never matches). Bumps generation().
+  void build();
+
+  std::size_t pattern_count() const noexcept { return patterns_.size(); }
+  const std::string& pattern(std::uint32_t id) const { return patterns_[id]; }
+  const std::vector<std::string>& patterns() const noexcept {
+    return patterns_;
+  }
+  std::uint32_t generation() const noexcept { return gen_; }
+  std::size_t state_count() const noexcept { return next_.size(); }
+
+  // Streaming scan: consumes `n` bytes starting in state `s`, invoking
+  // `on_hit(pattern_id, end_offset)` for every match, where end_offset is
+  // `base_off` + the index one past the match's last byte (i.e. the stream
+  // offset the match ends at). Returns the state to carry forward.
+  template <class F>
+  State scan(State s, const std::uint8_t* data, std::size_t n,
+             std::uint64_t base_off, F&& on_hit) const {
+    if (next_.empty()) return kRoot;
+    for (std::size_t i = 0; i < n; ++i) {
+      s = next_[static_cast<std::size_t>(s)][data[i]];
+      if (has_out_[static_cast<std::size_t>(s)])
+        for (std::uint32_t id : out_[static_cast<std::size_t>(s)])
+          on_hit(id, base_off + i + 1);
+    }
+    return s;
+  }
+
+ private:
+  std::vector<std::string> patterns_;
+  // Dense DFA: next_[state][byte] -> state; out_[state] lists pattern ids
+  // ending there (failure-closure merged in at build time).
+  std::vector<std::array<State, 256>> next_;
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::uint8_t> has_out_;
+  std::uint32_t gen_{0};
+};
+
+// Parses a comma-separated pattern list with `\xNN` hex escapes (use \x2c
+// for a literal comma, \x5c for a backslash). Returns false on a malformed
+// escape or an empty element.
+bool parse_patterns(std::string_view spec, std::vector<std::string>& out);
+// Renders a pattern printably (non-ASCII and separators as \xNN).
+std::string format_pattern(std::string_view pat);
+
+}  // namespace rp::l7

@@ -1,0 +1,116 @@
+// Streaming HTTP/1.x request-line + header classifier for the L7 gate.
+//
+// Feeds on the client-direction reassembled byte stream, so it is immune to
+// segmentation: a request line split across ten tiny segments parses the
+// same as one. It extracts the method, target, and version from the request
+// line and then scans headers until the blank line, capturing Host and
+// User-Agent. Line buffering is bounded (kMaxLine); an over-long line or a
+// non-HTTP first line moves the parser to `not_http`, which the engine maps
+// to "nothing more to learn here".
+//
+// This is a classifier, not a proxy: it does not validate the message body,
+// chunked encoding, or pipelining — once the first request's header block
+// is parsed the verdict is made and the engine stops feeding it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rp::l7 {
+
+class HttpParser {
+ public:
+  enum class State : std::uint8_t {
+    request_line,  // accumulating the first line
+    headers,       // request line parsed, scanning headers
+    done,          // blank line seen: header block complete
+    not_http,      // gave up (malformed / over-long / not HTTP)
+  };
+
+  static constexpr std::size_t kMaxLine = 1024;
+
+  // Consumes reassembled client-direction bytes. Returns true while the
+  // parser still wants input (request_line / headers).
+  bool feed(const std::uint8_t* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state_ == State::done || state_ == State::not_http) return false;
+      const char c = static_cast<char>(data[i]);
+      if (c == '\n') {
+        std::string_view sv{line_};
+        if (!sv.empty() && sv.back() == '\r') sv.remove_suffix(1);
+        consume_line(sv);
+        line_.clear();
+        continue;
+      }
+      if (line_.size() >= kMaxLine) {
+        state_ = State::not_http;
+        return false;
+      }
+      line_.push_back(c);
+    }
+    return state_ == State::request_line || state_ == State::headers;
+  }
+
+  State state() const noexcept { return state_; }
+  bool done() const noexcept { return state_ == State::done; }
+  const std::string& method() const noexcept { return method_; }
+  const std::string& target() const noexcept { return target_; }
+  const std::string& version() const noexcept { return version_; }
+  const std::string& host() const noexcept { return host_; }
+  const std::string& user_agent() const noexcept { return user_agent_; }
+  std::uint32_t header_count() const noexcept { return header_count_; }
+
+ private:
+  void consume_line(std::string_view line) {
+    if (state_ == State::request_line) {
+      if (line.empty()) return;  // tolerate leading CRLF (RFC 9112 §2.2)
+      const auto sp1 = line.find(' ');
+      const auto sp2 = sp1 == std::string_view::npos
+                           ? std::string_view::npos
+                           : line.find(' ', sp1 + 1);
+      if (sp2 == std::string_view::npos ||
+          line.substr(sp2 + 1, 5) != "HTTP/") {
+        state_ = State::not_http;
+        return;
+      }
+      method_.assign(line.substr(0, sp1));
+      target_.assign(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      version_.assign(line.substr(sp2 + 1));
+      state_ = State::headers;
+      return;
+    }
+    // headers
+    if (line.empty()) {
+      state_ = State::done;
+      return;
+    }
+    ++header_count_;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return;
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t'))
+      value.remove_prefix(1);
+    if (iequal(name, "host")) host_.assign(value);
+    else if (iequal(name, "user-agent")) user_agent_.assign(value);
+  }
+
+  static bool iequal(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      char x = a[i], y = b[i];
+      if (x >= 'A' && x <= 'Z') x += 32;
+      if (y >= 'A' && y <= 'Z') y += 32;
+      if (x != y) return false;
+    }
+    return true;
+  }
+
+  State state_{State::request_line};
+  std::string line_;
+  std::string method_, target_, version_, host_, user_agent_;
+  std::uint32_t header_count_{0};
+};
+
+}  // namespace rp::l7

@@ -1,0 +1,428 @@
+#include "l7/l7_engine.hpp"
+
+#include "pkt/headers.hpp"
+#include "plugin/pcu.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace rp::l7 {
+
+using plugin::Verdict;
+
+const char* to_string(ConnVerdict v) noexcept {
+  switch (v) {
+    case ConnVerdict::inspecting: return "inspecting";
+    case ConnVerdict::clean: return "clean";
+    case ConnVerdict::alert: return "alert";
+    case ConnVerdict::overflow: return "overflow";
+  }
+  return "?";
+}
+
+L7Engine::Options L7Engine::parse_options(const plugin::Config& cfg) {
+  Options o;
+  o.per_flow_budget =
+      static_cast<std::size_t>(cfg.get_int_or("per_flow_budget", 64 * 1024));
+  o.global_budget = static_cast<std::size_t>(
+      cfg.get_int_or("global_budget", 8 * 1024 * 1024));
+  o.inspect_limit =
+      static_cast<std::uint64_t>(cfg.get_int_or("inspect_limit", 16 * 1024));
+  o.max_conns = static_cast<std::size_t>(cfg.get_int_or("max_conns", 4096));
+  o.offload = cfg.get_int_or("offload", 1) != 0;
+  o.drop_on_alert = cfg.get_int_or("drop_on_alert", 0) != 0;
+  return o;
+}
+
+L7Engine::~L7Engine() {
+  telemetry::metrics().remove_owner(this);
+  // Any handle still alive here has a live, bound flow entry (every
+  // flow-table removal path fires flow_removed first), so nulling the soft
+  // slots is safe and prevents a later callback into a dead instance.
+  while (lru_head_) evict_conn(lru_head_, /*touch_slots=*/true);
+}
+
+void L7Engine::lru_touch(Conn* c) {
+  if (lru_head_ == c) return;
+  lru_unlink(c);
+  c->lru_next = lru_head_;
+  c->lru_prev = nullptr;
+  if (lru_head_) lru_head_->lru_prev = c;
+  lru_head_ = c;
+  if (!lru_tail_) lru_tail_ = c;
+}
+
+void L7Engine::lru_unlink(Conn* c) {
+  if (c->lru_prev) c->lru_prev->lru_next = c->lru_next;
+  if (c->lru_next) c->lru_next->lru_prev = c->lru_prev;
+  if (lru_head_ == c) lru_head_ = c->lru_next;
+  if (lru_tail_ == c) lru_tail_ = c->lru_prev;
+  c->lru_prev = c->lru_next = nullptr;
+}
+
+Conn* L7Engine::create_conn(const ConnKey& ck, const pkt::FlowKey& first) {
+  if (conns_.size() >= opt_.max_conns && lru_tail_)
+    evict_conn(lru_tail_, /*touch_slots=*/true);
+  auto conn = std::make_unique<Conn>(opt_.per_flow_budget);
+  Conn* c = conn.get();
+  c->key = ck;
+  c->client_addr = first.src;
+  c->client_port = first.sport;
+  conns_.emplace(ck, std::move(conn));
+  lru_touch(c);
+  ctrs_.conns_created.fetch_add(1, std::memory_order_relaxed);
+  ctrs_.conns_active.store(conns_.size(), std::memory_order_relaxed);
+  return c;
+}
+
+void L7Engine::release_handle(Conn& c, unsigned dir) {
+  DirHandle* h = c.handles[dir];
+  if (!h) return;
+  if (h->slot) *h->slot = nullptr;
+  delete h;
+  c.handles[dir] = nullptr;
+  ctrs_.handles_released.fetch_add(1, std::memory_order_relaxed);
+}
+
+void L7Engine::try_offload(Conn& c) {
+  plugin::Plugin* pl = owner();
+  if (!pl || !pl->pcu()) return;
+  for (unsigned d = 0; d < 2; ++d) {
+    DirHandle* h = c.handles[d];
+    if (!h) continue;
+    if (pl->pcu()->offload_flow(h->fix, this, pl->type(), h)) {
+      // Hook cleared the binding (soft included); just drop the handle.
+      delete h;
+      c.handles[d] = nullptr;
+      ctrs_.handles_offloaded.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ctrs_.offload_fail.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void L7Engine::release_buffers(Conn& c, bool overflow) {
+  const std::size_t held = c.buffered();
+  buffered_total_ -= held;
+  c.streams[0].release(overflow);
+  c.streams[1].release(overflow);
+  ctrs_.buffered_bytes.store(buffered_total_, std::memory_order_relaxed);
+}
+
+void L7Engine::evict_conn(Conn* c, bool touch_slots) {
+  for (unsigned d = 0; d < 2; ++d) {
+    DirHandle* h = c->handles[d];
+    if (!h) continue;
+    if (touch_slots && h->slot) *h->slot = nullptr;
+    delete h;
+    c->handles[d] = nullptr;
+    ctrs_.handles_released.fetch_add(1, std::memory_order_relaxed);
+  }
+  buffered_total_ -= c->buffered();
+  lru_unlink(c);
+  conns_.erase(c->key);  // frees the Conn
+  ctrs_.conns_evicted.fetch_add(1, std::memory_order_relaxed);
+  ctrs_.conns_active.store(conns_.size(), std::memory_order_relaxed);
+  ctrs_.buffered_bytes.store(buffered_total_, std::memory_order_relaxed);
+}
+
+void L7Engine::enforce_global_budget(Conn* current) {
+  while (buffered_total_ > opt_.global_budget) {
+    Conn* victim = lru_tail_;
+    while (victim && victim == current) victim = victim->lru_prev;
+    if (!victim) {
+      if (!current) return;
+      // The current connection alone blew the global budget: fail open on
+      // it rather than evicting the state mid-packet.
+      if (current->verdict == ConnVerdict::inspecting) {
+        current->verdict = ConnVerdict::overflow;
+        ctrs_.verdict_overflow.fetch_add(1, std::memory_order_relaxed);
+      }
+      release_buffers(*current, /*overflow=*/true);
+      return;
+    }
+    evict_conn(victim, /*touch_slots=*/true);
+  }
+}
+
+void L7Engine::flow_removed(void* flow_soft) {
+  auto* h = static_cast<DirHandle*>(flow_soft);
+  if (h->conn && h->conn->handles[h->dir] == h)
+    h->conn->handles[h->dir] = nullptr;
+  delete h;
+  ctrs_.handles_flow_removed.fetch_add(1, std::memory_order_relaxed);
+}
+
+Verdict L7Engine::handle_packet(pkt::Packet& p, void** flow_soft) {
+  ensure_metrics();
+  Local l;
+  Verdict v = process(p, flow_soft, l);
+  flush(l);
+  return v;
+}
+
+void L7Engine::handle_burst(plugin::PacketRun& run) {
+  ensure_metrics();
+  Local l;
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    Verdict v = process(run.packet(i), run.soft(i), l);
+    if (v != Verdict::cont) run.set_verdict(i, v);
+  }
+  flush(l);
+}
+
+Verdict L7Engine::process(pkt::Packet& p, void** soft, Local& l) {
+  ++l.packets;
+  if (!p.key_valid ||
+      p.key.proto != static_cast<std::uint8_t>(pkt::IpProto::tcp)) {
+    ++l.non_tcp;
+    return Verdict::cont;
+  }
+  pkt::TcpHeader tcp;
+  if (p.size() < p.l4_offset ||
+      !tcp.parse({p.data() + p.l4_offset, p.size() - p.l4_offset}) ||
+      p.l4_offset + tcp.header_len() > p.size()) {
+    ++l.non_tcp;
+    return Verdict::cont;
+  }
+  const std::uint8_t* payload = p.data() + p.l4_offset + tcp.header_len();
+  const std::size_t plen = p.size() - p.l4_offset - tcp.header_len();
+  const bool syn = (tcp.flags & 0x02) != 0;
+
+  Conn* c;
+  unsigned dir;
+  auto* h = soft ? static_cast<DirHandle*>(*soft) : nullptr;
+  if (h) {
+    c = h->conn;
+    dir = h->dir;
+  } else {
+    const ConnKey ck = ConnKey::from(p.key);
+    auto it = conns_.find(ck);
+    c = it != conns_.end() ? it->second.get() : create_conn(ck, p.key);
+    dir = (p.key.src == c->client_addr && p.key.sport == c->client_port) ? 0
+                                                                         : 1;
+    // Attach the per-direction handle into the flow entry's soft slot, but
+    // only when the packet is bound to a real flow entry (with the flow
+    // cache disabled the slot is per-lookup scratch — nothing may persist
+    // there). A second flow entry mapping to the same direction (same
+    // stream seen on another interface) stays unattached and takes the
+    // table-lookup path.
+    if (soft && p.fix != pkt::kNoFlow && !c->handles[dir]) {
+      h = new DirHandle{c, static_cast<std::uint8_t>(dir), soft, p.fix};
+      *soft = h;
+      c->handles[dir] = h;
+      ctrs_.handles_created.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  lru_touch(c);
+
+  if (c->verdict != ConnVerdict::inspecting) {
+    // Verdict cache hit. A clean connection with a still-attached handle
+    // means a previous offload attempt failed (or a fresh flow entry was
+    // just bound) — retry so the gate-skip kicks in.
+    if (c->verdict == ConnVerdict::clean && opt_.offload) try_offload(*c);
+    if (c->verdict == ConnVerdict::alert && opt_.drop_on_alert) {
+      ctrs_.alert_drops.fetch_add(1, std::memory_order_relaxed);
+      return Verdict::drop;
+    }
+    return Verdict::cont;
+  }
+
+  StreamReassembler& rs = c->streams[dir];
+  if (syn) rs.on_syn(tcp.seq);
+  if (plen != 0) {
+    ++l.segments;
+    const std::size_t buf_before = rs.stats().buffered_bytes;
+    const std::uint64_t del_before = rs.delivered();
+    // A SYN's payload (e.g. fast-open) begins one past the SYN's sequence.
+    const bool ok = rs.segment(
+        tcp.seq + (syn ? 1 : 0), payload, plen,
+        [&](const std::uint8_t* d, std::size_t n, std::uint64_t off) {
+          inspect(*c, dir, d, n, off);
+        });
+    buffered_total_ += rs.stats().buffered_bytes;
+    buffered_total_ -= buf_before;
+    ctrs_.buffered_bytes.store(buffered_total_, std::memory_order_relaxed);
+    l.delivered += rs.delivered() - del_before;
+    if (!ok && c->verdict == ConnVerdict::inspecting)
+      c->verdict = ConnVerdict::overflow;
+  }
+
+  if (c->verdict == ConnVerdict::inspecting && opt_.inspect_limit != 0 &&
+      c->delivered() >= opt_.inspect_limit)
+    c->verdict = ConnVerdict::clean;
+
+  if (c->verdict != ConnVerdict::inspecting) {
+    // Transition made during this packet: settle buffers + verdict cache.
+    switch (c->verdict) {
+      case ConnVerdict::clean:
+        ctrs_.verdict_clean.fetch_add(1, std::memory_order_relaxed);
+        release_buffers(*c, /*overflow=*/false);
+        if (opt_.offload) try_offload(*c);
+        break;
+      case ConnVerdict::alert:
+        ctrs_.verdict_alert.fetch_add(1, std::memory_order_relaxed);
+        release_buffers(*c, /*overflow=*/false);
+        if (opt_.drop_on_alert) {
+          ctrs_.alert_drops.fetch_add(1, std::memory_order_relaxed);
+          return Verdict::drop;
+        }
+        break;
+      case ConnVerdict::overflow:
+        ctrs_.verdict_overflow.fetch_add(1, std::memory_order_relaxed);
+        release_buffers(*c, /*overflow=*/true);
+        break;
+      default:
+        break;
+    }
+    return Verdict::cont;
+  }
+
+  enforce_global_budget(c);
+  return Verdict::cont;
+}
+
+void L7Engine::note_finding(std::string text) {
+  constexpr std::size_t kKeep = 32;
+  findings_.push_back(std::move(text));
+  if (findings_.size() > kKeep)
+    findings_.erase(findings_.begin(),
+                    findings_.begin() + (findings_.size() - kKeep));
+}
+
+netbase::Status L7Engine::custom_message(const plugin::PluginMsg& msg,
+                                         plugin::PluginReply& reply) {
+  (void)msg;
+  (void)reply;
+  return netbase::Status::unsupported;
+}
+
+std::string L7Engine::status_text() const {
+  auto g = [](const std::atomic<std::uint64_t>& a) {
+    return std::to_string(a.load(std::memory_order_relaxed));
+  };
+  std::string out;
+  out += "conns=" + std::to_string(conns_.size());
+  out += " buffered=" + std::to_string(buffered_total_);
+  out += "/" + std::to_string(opt_.global_budget);
+  out += " per_flow_budget=" + std::to_string(opt_.per_flow_budget);
+  out += " inspect_limit=" + std::to_string(opt_.inspect_limit);
+  out += " max_conns=" + std::to_string(opt_.max_conns);
+  out += std::string(" offload=") + (opt_.offload ? "on" : "off");
+  out += std::string(" drop_on_alert=") + (opt_.drop_on_alert ? "on" : "off");
+  out += "\npackets=" + g(ctrs_.packets) + " non_tcp=" + g(ctrs_.non_tcp) +
+         " segments=" + g(ctrs_.segments) +
+         " delivered_bytes=" + g(ctrs_.delivered_bytes);
+  out += "\nconns_created=" + g(ctrs_.conns_created) +
+         " conns_evicted=" + g(ctrs_.conns_evicted);
+  out += "\nhandles created=" + g(ctrs_.handles_created) +
+         " flow_removed=" + g(ctrs_.handles_flow_removed) +
+         " offloaded=" + g(ctrs_.handles_offloaded) +
+         " released=" + g(ctrs_.handles_released);
+  out += "\nverdicts clean=" + g(ctrs_.verdict_clean) +
+         " alert=" + g(ctrs_.verdict_alert) +
+         " overflow=" + g(ctrs_.verdict_overflow) +
+         " offload_fail=" + g(ctrs_.offload_fail) +
+         " alert_drops=" + g(ctrs_.alert_drops);
+  append_status(out);
+  return out;
+}
+
+netbase::Status L7Engine::handle_message(const plugin::PluginMsg& msg,
+                                         plugin::PluginReply& reply) {
+  ensure_metrics();
+  if (msg.custom_name == "status") {
+    reply.text = status_text();
+    return netbase::Status::ok;
+  }
+  if (msg.custom_name == "verdicts") {
+    auto g = [](const std::atomic<std::uint64_t>& a) {
+      return std::to_string(a.load(std::memory_order_relaxed));
+    };
+    reply.text = "clean=" + g(ctrs_.verdict_clean) +
+                 " alert=" + g(ctrs_.verdict_alert) +
+                 " overflow=" + g(ctrs_.verdict_overflow) +
+                 " offloaded=" + g(ctrs_.handles_offloaded);
+    for (const auto& f : findings_) reply.text += "\n" + f;
+    return netbase::Status::ok;
+  }
+  if (msg.custom_name == "budget") {
+    // Optional updates; new per-conn budgets apply to connections created
+    // from now on (existing reassemblers keep the cap they were built with).
+    if (auto v = msg.args.get_int("global_budget"))
+      opt_.global_budget = static_cast<std::size_t>(*v);
+    if (auto v = msg.args.get_int("per_flow_budget"))
+      opt_.per_flow_budget = static_cast<std::size_t>(*v);
+    if (auto v = msg.args.get_int("inspect_limit"))
+      opt_.inspect_limit = static_cast<std::uint64_t>(*v);
+    if (auto v = msg.args.get_int("max_conns"))
+      opt_.max_conns = static_cast<std::size_t>(*v);
+    if (auto v = msg.args.get_int("offload")) opt_.offload = *v != 0;
+    if (auto v = msg.args.get_int("drop_on_alert"))
+      opt_.drop_on_alert = *v != 0;
+    enforce_global_budget(nullptr);
+    reply.text = "per_flow_budget=" + std::to_string(opt_.per_flow_budget) +
+                 " global_budget=" + std::to_string(opt_.global_budget) +
+                 " inspect_limit=" + std::to_string(opt_.inspect_limit) +
+                 " max_conns=" + std::to_string(opt_.max_conns) +
+                 " offload=" + std::to_string(opt_.offload ? 1 : 0) +
+                 " drop_on_alert=" + std::to_string(opt_.drop_on_alert ? 1 : 0) +
+                 " buffered=" + std::to_string(buffered_total_);
+    return netbase::Status::ok;
+  }
+  if (msg.custom_name == "reset") {
+    std::size_t n = 0;
+    while (lru_head_) {
+      evict_conn(lru_head_, /*touch_slots=*/true);
+      ++n;
+    }
+    findings_.clear();
+    reply.text = "reset " + std::to_string(n) + " conns";
+    return netbase::Status::ok;
+  }
+  return custom_message(msg, reply);
+}
+
+const std::string& L7Engine::metric_prefix() {
+  ensure_metrics();
+  return metric_prefix_;
+}
+
+void L7Engine::ensure_metrics() {
+  if (metrics_registered_ || !owner()) return;
+  metric_prefix_ =
+      "l7." + owner()->name() + "." + std::to_string(id()) + ".";
+  auto& reg = telemetry::metrics();
+  auto add = [&](const char* name, const std::atomic<std::uint64_t>& a) {
+    reg.add(metric_prefix_ + name, &a, this);
+  };
+  add("packets", ctrs_.packets);
+  add("non_tcp", ctrs_.non_tcp);
+  add("segments", ctrs_.segments);
+  add("delivered_bytes", ctrs_.delivered_bytes);
+  add("conns_created", ctrs_.conns_created);
+  add("conns_evicted", ctrs_.conns_evicted);
+  add("conns_active", ctrs_.conns_active);
+  add("buffered_bytes", ctrs_.buffered_bytes);
+  add("handles_created", ctrs_.handles_created);
+  add("handles_flow_removed", ctrs_.handles_flow_removed);
+  add("handles_offloaded", ctrs_.handles_offloaded);
+  add("handles_released", ctrs_.handles_released);
+  add("verdict_clean", ctrs_.verdict_clean);
+  add("verdict_alert", ctrs_.verdict_alert);
+  add("verdict_overflow", ctrs_.verdict_overflow);
+  add("offload_fail", ctrs_.offload_fail);
+  add("alert_drops", ctrs_.alert_drops);
+  metrics_registered_ = true;
+}
+
+void L7Engine::flush(const Local& l) {
+  if (l.packets)
+    ctrs_.packets.fetch_add(l.packets, std::memory_order_relaxed);
+  if (l.non_tcp)
+    ctrs_.non_tcp.fetch_add(l.non_tcp, std::memory_order_relaxed);
+  if (l.segments)
+    ctrs_.segments.fetch_add(l.segments, std::memory_order_relaxed);
+  if (l.delivered)
+    ctrs_.delivered_bytes.fetch_add(l.delivered, std::memory_order_relaxed);
+}
+
+}  // namespace rp::l7

@@ -1,0 +1,245 @@
+// L7Engine — the stateful inspection core behind the l7 gate's plugins.
+//
+// The engine is a PluginInstance that hangs heavyweight per-connection soft
+// state off the AIU flow table: each direction's flow entry stores a small
+// heap DirHandle in its l7-gate soft slot, both handles pointing at one
+// shared Conn that owns the two per-direction stream reassemblers and the
+// inspector state (Aho-Corasick match state / HTTP parser). Segments are
+// normalized into in-order byte streams (first-wins overlap policy, see
+// reassembler.hpp) and handed to the subclass inspect() hook, so pattern
+// matching and protocol parsing are immune to segmentation, reordering and
+// overlap-rewrite evasion by construction.
+//
+// Verdict cache: a connection starts `inspecting`; once the subclass rules
+// it `clean` (or the inspect_limit byte budget is reached with nothing
+// found) the engine *offloads* the flow — it asks the AIU, through the
+// PCU's flow-offload hook, to clear this gate's binding on both direction
+// entries, so the bound_mask gate skip makes further packets of the flow
+// bypass the gate entirely. `alert` flags the connection (optionally
+// dropping its packets); `overflow` is the fail-open verdict when a
+// direction's reassembly budget is exhausted.
+//
+// Budgets: per-direction out-of-order buffer cap (reassembler), a global
+// buffered-byte budget with oldest-first (LRU) connection eviction, and a
+// connection-count cap. All eviction paths release handles engine-side by
+// nulling the flow-table soft slot — never leaving a dangling pointer for a
+// later flow_removed.
+//
+// Threading: all state is private to the owning instance; under the sharded
+// datapath each shard constructs its own instances (shard-private by
+// construction), so nothing here locks. Exported counters are atomics only
+// because the control thread reads them live (docs/concurrency.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "l7/aho_corasick.hpp"
+#include "l7/http_parser.hpp"
+#include "l7/reassembler.hpp"
+#include "plugin/plugin.hpp"
+
+namespace rp::l7 {
+
+// Canonical direction-independent connection key: the six-tuple's endpoint
+// pairs sorted so both directions of a connection map to one Conn. The
+// incoming interface is deliberately excluded — the two directions of one
+// TCP connection arrive on different interfaces of a router.
+struct ConnKey {
+  netbase::U128 a{}, b{};  // IpAddr::key() form, (a,ap) <= (b,bp)
+  std::uint16_t ap{0}, bp{0};
+  std::uint8_t proto{0};
+
+  friend bool operator==(const ConnKey&, const ConnKey&) = default;
+
+  static ConnKey from(const pkt::FlowKey& k) noexcept {
+    ConnKey c;
+    c.proto = k.proto;
+    const netbase::U128 s = k.src.key(), d = k.dst.key();
+    if (s < d || (s == d && k.sport <= k.dport)) {
+      c.a = s; c.ap = k.sport; c.b = d; c.bp = k.dport;
+    } else {
+      c.a = d; c.ap = k.dport; c.b = s; c.bp = k.sport;
+    }
+    return c;
+  }
+
+  std::size_t hash() const noexcept {
+    std::uint64_t h = a.hi ^ (a.lo * 0x9e3779b97f4a7c15ULL);
+    h ^= b.hi * 0xc2b2ae3d27d4eb4fULL;
+    h ^= b.lo + (h << 6) + (h >> 2);
+    h ^= (std::uint64_t{ap} << 24) ^ (std::uint64_t{bp} << 8) ^ proto;
+    h ^= h >> 29;
+    h *= 0xff51afd7ed558ccdULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+struct ConnKeyHash {
+  std::size_t operator()(const ConnKey& k) const noexcept { return k.hash(); }
+};
+
+enum class ConnVerdict : std::uint8_t { inspecting, clean, alert, overflow };
+const char* to_string(ConnVerdict v) noexcept;
+
+struct Conn;
+
+// The per-direction soft-state handle stored in a flow entry's l7 gate
+// slot. `slot` points back at that soft slot so engine-side eviction can
+// null it (a live handle's flow entry is guaranteed live and bound: every
+// flow-table removal path fires flow_removed, which deletes the handle).
+struct DirHandle {
+  Conn* conn{nullptr};
+  std::uint8_t dir{0};
+  void** slot{nullptr};
+  pkt::FlowIndex fix{pkt::kNoFlow};
+};
+
+struct Conn {
+  explicit Conn(std::size_t dir_budget)
+      : streams{StreamReassembler(dir_budget), StreamReassembler(dir_budget)} {}
+
+  ConnKey key{};
+  // Direction 0's sender = connection initiator (first segment seen).
+  netbase::IpAddr client_addr{};
+  std::uint16_t client_port{0};
+
+  StreamReassembler streams[2];
+  DirHandle* handles[2]{nullptr, nullptr};
+  ConnVerdict verdict{ConnVerdict::inspecting};
+
+  // Inspector state (owned by the subclass hooks; the engine core only
+  // zero-initializes it). IDS: streaming automaton state per direction plus
+  // the rule-set generation it belongs to. HTTP: the request parser.
+  AhoCorasick::State mstate[2]{AhoCorasick::kRoot, AhoCorasick::kRoot};
+  std::uint32_t mgen{0};
+  HttpParser http;
+
+  std::uint32_t hits{0};  // inspector findings on this connection
+
+  Conn* lru_prev{nullptr};
+  Conn* lru_next{nullptr};
+
+  std::uint64_t delivered() const noexcept {
+    return streams[0].delivered() + streams[1].delivered();
+  }
+  std::size_t buffered() const noexcept {
+    return streams[0].stats().buffered_bytes + streams[1].stats().buffered_bytes;
+  }
+};
+
+class L7Engine : public plugin::PluginInstance {
+ public:
+  struct Options {
+    std::size_t per_flow_budget{64 * 1024};  // per-direction ooo buffer cap
+    std::size_t global_budget{8 * 1024 * 1024};  // all conns' buffered bytes
+    std::uint64_t inspect_limit{16 * 1024};  // bytes/conn; 0 = never give up
+    std::size_t max_conns{4096};
+    bool offload{true};         // verdict-cache gate-skip on clean
+    bool drop_on_alert{false};  // inline IPS mode
+  };
+
+  // Exported live via telemetry::metrics() (atomic: control thread reads
+  // while a worker increments). Handle-lifecycle counters are the
+  // exactly-once audit surface: at quiescence
+  //   handles_created == handles_flow_removed + handles_offloaded
+  //                      + handles_released.
+  struct Counters {
+    std::atomic<std::uint64_t> packets{0};
+    std::atomic<std::uint64_t> non_tcp{0};
+    std::atomic<std::uint64_t> segments{0};
+    std::atomic<std::uint64_t> delivered_bytes{0};
+    std::atomic<std::uint64_t> conns_created{0};
+    std::atomic<std::uint64_t> conns_evicted{0};
+    std::atomic<std::uint64_t> conns_active{0};  // gauge
+    std::atomic<std::uint64_t> buffered_bytes{0};  // gauge
+    std::atomic<std::uint64_t> handles_created{0};
+    std::atomic<std::uint64_t> handles_flow_removed{0};  // via flow_removed
+    std::atomic<std::uint64_t> handles_offloaded{0};     // via offload hook
+    std::atomic<std::uint64_t> handles_released{0};      // engine-side evict
+    std::atomic<std::uint64_t> verdict_clean{0};
+    std::atomic<std::uint64_t> verdict_alert{0};
+    std::atomic<std::uint64_t> verdict_overflow{0};
+    std::atomic<std::uint64_t> offload_fail{0};
+    std::atomic<std::uint64_t> alert_drops{0};
+  };
+
+  static Options parse_options(const plugin::Config& cfg);
+
+  explicit L7Engine(Options opt) : opt_(opt) {}
+  ~L7Engine() override;
+
+  // -- PluginInstance --
+  plugin::Verdict handle_packet(pkt::Packet& p, void** flow_soft) override;
+  void handle_burst(plugin::PacketRun& run) override;
+  void flow_removed(void* flow_soft) override;
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override;
+
+  const Options& options() const noexcept { return opt_; }
+  const Counters& counters() const noexcept { return ctrs_; }
+  std::size_t conn_count() const noexcept { return conns_.size(); }
+
+ protected:
+  // Subclass inspection hook: called with contiguous in-order stream bytes
+  // of one direction (off = stream offset of data[0]). Runs inside the
+  // reassembler's delivery loop: implementations must not touch the
+  // reassemblers or evict connections — flag the verdict with set_alert /
+  // set_clean and the engine applies it after the segment is fully fed.
+  virtual void inspect(Conn& c, unsigned dir, const std::uint8_t* data,
+                       std::size_t n, std::uint64_t off) = 0;
+
+  // Subclass-specific control messages ("rules", ...) and status lines.
+  virtual netbase::Status custom_message(const plugin::PluginMsg& msg,
+                                         plugin::PluginReply& reply);
+  virtual void append_status(std::string& out) const { (void)out; }
+
+  // Verdict flags for inspect() (applied after the feed completes).
+  void set_alert(Conn& c) noexcept {
+    if (c.verdict == ConnVerdict::inspecting) c.verdict = ConnVerdict::alert;
+    ++c.hits;
+  }
+  void set_clean(Conn& c) noexcept {
+    if (c.verdict == ConnVerdict::inspecting) c.verdict = ConnVerdict::clean;
+  }
+
+  // Bounded log of recent findings, surfaced by `pmgr l7 verdicts`.
+  void note_finding(std::string text);
+
+  const std::string& metric_prefix();
+
+ private:
+  // Per-call batched counter deltas: handle_burst flushes one atomic add
+  // per counter per run instead of per packet.
+  struct Local {
+    std::uint64_t packets{0}, non_tcp{0}, segments{0}, delivered{0};
+  };
+
+  plugin::Verdict process(pkt::Packet& p, void** soft, Local& l);
+  Conn* create_conn(const ConnKey& ck, const pkt::FlowKey& first);
+  void release_handle(Conn& c, unsigned dir);  // engine-side (nulls the slot)
+  void try_offload(Conn& c);
+  void evict_conn(Conn* c, bool touch_slots);
+  void release_buffers(Conn& c, bool overflow);
+  void enforce_global_budget(Conn* current);
+  void lru_touch(Conn* c);
+  void lru_unlink(Conn* c);
+  void ensure_metrics();
+  void flush(const Local& l);
+  std::string status_text() const;
+
+  Options opt_;
+  Counters ctrs_;
+  std::unordered_map<ConnKey, std::unique_ptr<Conn>, ConnKeyHash> conns_;
+  Conn* lru_head_{nullptr};  // most recently used
+  Conn* lru_tail_{nullptr};
+  std::size_t buffered_total_{0};
+  std::vector<std::string> findings_;  // bounded ring, newest last
+  bool metrics_registered_{false};
+  std::string metric_prefix_;
+};
+
+}  // namespace rp::l7

@@ -1,0 +1,142 @@
+#include "l7/l7_plugins.hpp"
+
+#include "plugin/loader.hpp"
+
+namespace rp::l7 {
+
+using netbase::Status;
+
+// ---------------------------------------------------------------------------
+// l7ids
+
+IdsInstance::IdsInstance(Options opt, std::vector<std::string> patterns,
+                         bool alert_on_match, bool log_hits)
+    : L7Engine(opt), alert_on_match_(alert_on_match), log_hits_(log_hits) {
+  for (auto& p : patterns) ac_.add(std::move(p));
+  ac_.build();
+}
+
+void IdsInstance::inspect(Conn& c, unsigned dir, const std::uint8_t* data,
+                          std::size_t n, std::uint64_t off) {
+  if (ac_.pattern_count() == 0) return;
+  if (c.mgen != ac_.generation()) {
+    // Rule set rebuilt since this connection last matched: the carried
+    // state indexes a dead automaton, so restart at the root (a pattern
+    // spanning the exact rebuild instant can be missed; nothing else).
+    c.mstate[0] = c.mstate[1] = AhoCorasick::kRoot;
+    c.mgen = ac_.generation();
+  }
+  c.mstate[dir] =
+      ac_.scan(c.mstate[dir], data, n, off,
+               [&](std::uint32_t id, std::uint64_t end) {
+                 ++matches_;
+                 if (log_hits_ && hit_log_.size() < kMaxHitLog)
+                   hit_log_.push_back(
+                       {id, static_cast<std::uint8_t>(dir), end});
+                 note_finding("match id=" + std::to_string(id) + " pat=" +
+                              format_pattern(ac_.pattern(id)) + " dir=" +
+                              std::to_string(dir) + " end=" +
+                              std::to_string(end));
+                 if (alert_on_match_) set_alert(c);
+               });
+}
+
+Status IdsInstance::custom_message(const plugin::PluginMsg& msg,
+                                   plugin::PluginReply& reply) {
+  if (msg.custom_name != "rules") return Status::unsupported;
+  const std::string op = msg.args.get_or("op", "list");
+  if (op == "list") {
+    reply.text = "generation=" + std::to_string(ac_.generation()) +
+                 " patterns=" + std::to_string(ac_.pattern_count());
+    for (std::uint32_t i = 0; i < ac_.pattern_count(); ++i)
+      reply.text += "\n" + std::to_string(i) + " " +
+                    format_pattern(ac_.pattern(i));
+    return Status::ok;
+  }
+  if (op == "add" || op == "set") {
+    auto spec = msg.args.get("patterns");
+    if (!spec) return Status::invalid_argument;
+    std::vector<std::string> pats;
+    if (!parse_patterns(*spec, pats)) return Status::invalid_argument;
+    if (op == "set") ac_.clear();
+    for (auto& p : pats) ac_.add(std::move(p));
+    ac_.build();
+    reply.text = "patterns=" + std::to_string(ac_.pattern_count()) +
+                 " states=" + std::to_string(ac_.state_count()) +
+                 " generation=" + std::to_string(ac_.generation());
+    return Status::ok;
+  }
+  if (op == "clear") {
+    ac_.clear();
+    ac_.build();
+    reply.text = "patterns=0 generation=" + std::to_string(ac_.generation());
+    return Status::ok;
+  }
+  return Status::invalid_argument;
+}
+
+void IdsInstance::append_status(std::string& out) const {
+  out += "\nids patterns=" + std::to_string(ac_.pattern_count()) +
+         " states=" + std::to_string(ac_.state_count()) +
+         " generation=" + std::to_string(ac_.generation()) +
+         " matches=" + std::to_string(matches_);
+}
+
+std::unique_ptr<plugin::PluginInstance> IdsPlugin::make_instance(
+    const plugin::Config& cfg) {
+  std::vector<std::string> pats;
+  if (auto spec = cfg.get("patterns"))
+    if (!parse_patterns(*spec, pats)) return nullptr;
+  return std::make_unique<IdsInstance>(
+      L7Engine::parse_options(cfg), std::move(pats),
+      cfg.get_int_or("alert_on_match", 1) != 0,
+      cfg.get_int_or("log_hits", 0) != 0);
+}
+
+// ---------------------------------------------------------------------------
+// l7http
+
+void HttpInstance::inspect(Conn& c, unsigned dir, const std::uint8_t* data,
+                           std::size_t n, std::uint64_t off) {
+  (void)off;
+  if (dir != 0) return;  // requests travel the initiator direction
+  if (c.http.done() || c.http.state() == HttpParser::State::not_http) return;
+  if (c.http.feed(data, n)) return;  // parser still wants bytes
+  if (c.http.done()) {
+    ++requests_;
+    note_finding("http " + c.http.method() + " " + c.http.target() +
+                 " host=" + c.http.host() + " headers=" +
+                 std::to_string(c.http.header_count()));
+    if (!alert_host_.empty() && c.http.host() == alert_host_)
+      set_alert(c);
+    else
+      set_clean(c);
+  } else {
+    ++non_http_;
+    set_clean(c);  // not HTTP: nothing more this classifier can learn
+  }
+}
+
+void HttpInstance::append_status(std::string& out) const {
+  out += "\nhttp requests=" + std::to_string(requests_) +
+         " non_http=" + std::to_string(non_http_) +
+         (alert_host_.empty() ? std::string{}
+                              : " alert_host=" + alert_host_);
+}
+
+std::unique_ptr<plugin::PluginInstance> HttpPlugin::make_instance(
+    const plugin::Config& cfg) {
+  return std::make_unique<HttpInstance>(L7Engine::parse_options(cfg),
+                                        cfg.get_or("alert_host", ""));
+}
+
+// ---------------------------------------------------------------------------
+
+RP_REGISTER_PLUGIN(l7ids, [] { return std::make_unique<IdsPlugin>(); });
+RP_REGISTER_PLUGIN(l7http, [] { return std::make_unique<HttpPlugin>(); });
+
+void register_l7_plugins() {
+  // Static registrations above run at load; this anchor forces the TU in.
+}
+
+}  // namespace rp::l7

@@ -1,0 +1,93 @@
+// The l7 gate's plugin modules, both built on L7Engine:
+//
+//   * l7ids  — Aho-Corasick multi-pattern matcher over the reassembled
+//     byte streams of both directions. Rules are runtime-loadable (create
+//     config or the "rules" message); match state is a single automaton
+//     state per direction carried across segment boundaries.
+//   * l7http — HTTP/1.x request-line + header classifier on the client
+//     direction. Once the header block is parsed (or the stream is clearly
+//     not HTTP) the connection is ruled clean and offloaded.
+//
+// Both inherit the engine's reassembly, budgets, verdict cache/offload, and
+// control-message surface; see docs/l7_inspection.md.
+#pragma once
+
+#include "l7/l7_engine.hpp"
+
+namespace rp::l7 {
+
+struct MatchHit {
+  std::uint32_t pattern{0};
+  std::uint8_t dir{0};
+  std::uint64_t end{0};  // stream offset one past the match's last byte
+  friend bool operator==(const MatchHit&, const MatchHit&) = default;
+};
+
+class IdsInstance : public L7Engine {
+ public:
+  IdsInstance(Options opt, std::vector<std::string> patterns,
+              bool alert_on_match, bool log_hits);
+
+  const AhoCorasick& matcher() const noexcept { return ac_; }
+  std::uint64_t matches() const noexcept { return matches_; }
+  // Full hit log (tests' differential oracle); only kept with log_hits=1.
+  const std::vector<MatchHit>& hit_log() const noexcept { return hit_log_; }
+
+ protected:
+  void inspect(Conn& c, unsigned dir, const std::uint8_t* data, std::size_t n,
+               std::uint64_t off) override;
+  netbase::Status custom_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override;
+  void append_status(std::string& out) const override;
+
+ private:
+  static constexpr std::size_t kMaxHitLog = 1 << 20;
+
+  AhoCorasick ac_;
+  bool alert_on_match_;
+  bool log_hits_;
+  std::uint64_t matches_{0};
+  std::vector<MatchHit> hit_log_;
+};
+
+class HttpInstance : public L7Engine {
+ public:
+  HttpInstance(Options opt, std::string alert_host)
+      : L7Engine(opt), alert_host_(std::move(alert_host)) {}
+
+  std::uint64_t requests() const noexcept { return requests_; }
+  std::uint64_t non_http() const noexcept { return non_http_; }
+
+ protected:
+  void inspect(Conn& c, unsigned dir, const std::uint8_t* data, std::size_t n,
+               std::uint64_t off) override;
+  void append_status(std::string& out) const override;
+
+ private:
+  std::string alert_host_;  // non-empty: alert on requests to this Host
+  std::uint64_t requests_{0};
+  std::uint64_t non_http_{0};
+};
+
+class IdsPlugin : public plugin::Plugin {
+ public:
+  IdsPlugin() : Plugin("l7ids", plugin::PluginType::l7) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override;
+};
+
+class HttpPlugin : public plugin::Plugin {
+ public:
+  HttpPlugin() : Plugin("l7http", plugin::PluginType::l7) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override;
+};
+
+// Anchors the module's static registrations (see loader.hpp).
+void register_l7_plugins();
+
+}  // namespace rp::l7

@@ -1,0 +1,61 @@
+#include "l7/reassembler.hpp"
+
+#include <algorithm>
+
+namespace rp::l7 {
+
+void StreamReassembler::on_syn(std::uint32_t isn) {
+  if (stats_.synced) return;
+  base_ = isn + 1;  // SYN consumes one sequence number
+  stats_.synced = true;
+}
+
+void StreamReassembler::release(bool overflow) {
+  for (auto& [off, piece] : ooo_) stats_.buffered_bytes -= piece.size();
+  ooo_.clear();
+  if (overflow) stats_.overflowed = true;
+}
+
+bool StreamReassembler::buffer_ooo(std::uint64_t off, const std::uint8_t* data,
+                                   std::size_t len) {
+  // Clip the incoming range around every buffered piece it overlaps
+  // (first-wins: buffered bytes arrived earlier), inserting the surviving
+  // gaps as new pieces. Walk pieces that could intersect [off, off+len).
+  std::uint64_t cur = off;
+  const std::uint64_t end = off + len;
+  auto it = ooo_.upper_bound(off);
+  if (it != ooo_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() > cur) {
+      const std::uint64_t pe = prev->first + prev->second.size();
+      stats_.trimmed_bytes += std::min(pe, end) - cur;
+      cur = pe;
+    }
+  }
+  while (cur < end) {
+    std::uint64_t gap_end = end;
+    if (it != ooo_.end() && it->first < end)
+      gap_end = std::min(gap_end, it->first);
+    if (cur < gap_end) {
+      const std::size_t n = static_cast<std::size_t>(gap_end - cur);
+      if (stats_.buffered_bytes + n > budget_) {
+        release(true);
+        return false;
+      }
+      const std::uint8_t* src = data + (cur - off);
+      ooo_.emplace(cur, std::vector<std::uint8_t>(src, src + n));
+      stats_.buffered_bytes += n;
+      ++stats_.ooo_segments;
+      cur = gap_end;
+    }
+    if (it != ooo_.end() && it->first < end) {
+      const std::uint64_t pe = it->first + it->second.size();
+      stats_.trimmed_bytes += std::min(pe, end) - std::max(it->first, cur);
+      cur = std::max(cur, pe);
+      ++it;
+    }
+  }
+  return true;
+}
+
+}  // namespace rp::l7

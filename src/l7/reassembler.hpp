@@ -1,0 +1,138 @@
+// Per-direction TCP stream reassembler for the L7 inspection gate.
+//
+// One instance tracks one direction of one connection: a 32-bit sequence
+// base established on SYN (or synced on the first segment seen mid-stream),
+// a delivered-byte watermark, and a bounded out-of-order buffer. Segments
+// are normalized into a contiguous in-order byte stream handed to the
+// inspection callback.
+//
+// Overlap policy is explicit **first-wins**: the first-arriving copy of any
+// byte offset is what the stream delivers. Data below the delivered
+// watermark is trimmed; data overlapping buffered out-of-order pieces is
+// clipped around them. This is the conservative normalization an inline IDS
+// wants — a retransmission with different content cannot rewrite what was
+// already inspected, so overlap-rewrite evasion degenerates to the first
+// (true) copy. docs/l7_inspection.md discusses the policy and its limits.
+//
+// Budgets: the out-of-order buffer is capped per direction. When a segment
+// would push buffered bytes past the cap, the reassembler enters overflow
+// (fail-open): buffers are freed and the stream stops delivering. The
+// owning engine maps overflow to a fail-open verdict and counts it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rp::l7 {
+
+class StreamReassembler {
+ public:
+  struct Stats {
+    std::uint64_t delivered_bytes{0};  // handed to the inspector, in order
+    std::uint64_t buffered_bytes{0};   // currently held out of order
+    std::uint64_t trimmed_bytes{0};    // clipped by first-wins overlap policy
+    std::uint64_t ooo_segments{0};     // segments buffered (not in-order)
+    bool synced{false};
+    bool overflowed{false};
+  };
+
+  explicit StreamReassembler(std::size_t budget) : budget_(budget) {}
+
+  // Establishes the sequence base from a SYN (the SYN consumes one sequence
+  // number: first payload byte is seq+1). Idempotent for retransmitted SYNs
+  // with the same ISN; a different ISN after sync is ignored.
+  void on_syn(std::uint32_t isn);
+
+  // Feeds one segment's payload. `deliver(data, len, stream_off)` is invoked
+  // zero or more times with contiguous in-order bytes (stream_off is the
+  // offset of data[0] from the first payload byte). If no SYN was seen, the
+  // first segment syncs the base (mid-stream pickup). Returns false once the
+  // direction is in overflow.
+  template <class F>
+  bool segment(std::uint32_t seq, const std::uint8_t* data, std::size_t len,
+               F&& deliver) {
+    if (stats_.overflowed) return false;
+    if (!stats_.synced) sync(seq);
+    if (len == 0) return true;
+    // Wrap-safe stream offset; streams < 4 GiB stay in range.
+    std::uint64_t off = static_cast<std::uint32_t>(seq - base_);
+    return ingest(off, data, len, deliver);
+  }
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::uint64_t delivered() const noexcept { return stats_.delivered_bytes; }
+
+  // Frees the out-of-order buffer (engine budget reclaim / teardown).
+  // `overflow` additionally poisons the direction so it stops delivering.
+  void release(bool overflow);
+
+ private:
+  void sync(std::uint32_t seq) {
+    base_ = seq;
+    stats_.synced = true;
+  }
+
+  template <class F>
+  bool ingest(std::uint64_t off, const std::uint8_t* data, std::size_t len,
+              F&& deliver) {
+    std::uint64_t end = off + len;
+    // First-wins: everything below the delivered watermark is final.
+    if (end <= delivered_) {
+      stats_.trimmed_bytes += len;
+      return true;
+    }
+    if (off < delivered_) {
+      const std::uint64_t cut = delivered_ - off;
+      stats_.trimmed_bytes += cut;
+      data += cut;
+      len -= static_cast<std::size_t>(cut);
+      off = delivered_;
+    }
+    if (off == delivered_) {
+      deliver(data, len, off);
+      delivered_ += len;
+      stats_.delivered_bytes += len;
+      drain(deliver);
+      return true;
+    }
+    return buffer_ooo(off, data, len);
+  }
+
+  // Delivers buffered pieces that have become contiguous.
+  template <class F>
+  void drain(F&& deliver) {
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first <= delivered_) {
+      const std::uint64_t piece_end = it->first + it->second.size();
+      if (piece_end > delivered_) {
+        const std::size_t skip =
+            static_cast<std::size_t>(delivered_ - it->first);
+        const std::size_t n = it->second.size() - skip;
+        deliver(it->second.data() + skip, n, delivered_);
+        delivered_ += n;
+        stats_.delivered_bytes += n;
+        stats_.trimmed_bytes += skip;
+      } else {
+        stats_.trimmed_bytes += it->second.size();
+      }
+      stats_.buffered_bytes -= it->second.size();
+      it = ooo_.erase(it);
+    }
+  }
+
+  bool buffer_ooo(std::uint64_t off, const std::uint8_t* data,
+                  std::size_t len);
+
+  std::size_t budget_;
+  std::uint32_t base_{0};
+  std::uint64_t delivered_{0};
+  // Non-overlapping out-of-order pieces keyed by stream offset. Invariant:
+  // pieces never overlap each other or the delivered range (new data is
+  // clipped around existing pieces on insert — first-wins).
+  std::map<std::uint64_t, std::vector<std::uint8_t>> ooo_;
+  Stats stats_;
+};
+
+}  // namespace rp::l7

@@ -699,6 +699,72 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
     }
     return usage("sanitize [on|off]");
   }
+  if (cmd == "l7") {
+    // Operator surface of the stateful L7 inspection gate. status/verdicts/
+    // budget/reset broadcast to every instance of every l7-type plugin (and,
+    // with a sharded datapath attached, to each shard's private instances
+    // via the quiesce-safe gather hook); `rules` targets one instance.
+    const std::string sub = tok.size() > 1 ? tok[1] : "status";
+    auto broadcast = [](plugin::PluginControlUnit& pcu, const std::string& name,
+                        const plugin::Config& args, std::string& text) {
+      for (const auto& pname : pcu.plugin_names(plugin::PluginType::l7)) {
+        plugin::Plugin* pl = pcu.find(pname);
+        if (!pl) continue;
+        for (auto& [id, inst] : *pl) {
+          plugin::PluginMsg msg;
+          msg.plugin_name = pname;
+          msg.instance = id;
+          msg.custom_name = name;
+          msg.args = args;
+          plugin::PluginReply reply;
+          if (inst->handle_message(msg, reply) != Status::ok) continue;
+          if (!text.empty()) text += "\n";
+          text += pname + "#" + std::to_string(id) + ": " + reply.text;
+        }
+      }
+    };
+    if (sub == "status" || sub == "verdicts" || sub == "reset" ||
+        sub == "budget") {
+      plugin::Config args;
+      if (sub == "budget") args = parse_kv(tok, 2);
+      std::string text;
+      broadcast(lib_.kernel().pcu(), sub, args, text);
+      if (sharded_) {
+        std::vector<std::string> per(sharded_->workers());
+        sharded_->gather([&](parallel::ShardContext& ctx) {
+          broadcast(ctx.pcu(), sub, args, per[ctx.id()]);
+        });
+        for (std::uint32_t i = 0; i < sharded_->workers(); ++i)
+          if (!per[i].empty())
+            text += (text.empty() ? "" : "\n") + ("shard" + std::to_string(i)) +
+                    ":\n" + per[i];
+      }
+      return {Status::ok, text.empty() ? "no l7 instances" : text};
+    }
+    if (sub == "rules") {
+      // l7 rules <plugin> <id> [list | clear | add <pats> | set <pats>]
+      // Patterns are comma-separated with \xNN escapes (see l7ids docs).
+      const char* u = "l7 rules <plugin> <id> [list|clear|add <patterns>|set "
+                      "<patterns>]";
+      if (tok.size() < 4) return usage(u);
+      std::uint32_t id;
+      if (!parse_u32(tok[3], id)) return usage(u);
+      const std::string op = tok.size() > 4 ? tok[4] : "list";
+      plugin::Config args;
+      args.set("op", op);
+      if (op == "add" || op == "set") {
+        if (tok.size() != 6) return usage(u);
+        args.set("patterns", tok[5]);
+      } else if (tok.size() != 5 && tok.size() != 4) {
+        return usage(u);
+      }
+      auto reply = lib_.message(tok[2], id, "rules", args);
+      return {reply.status, reply.text};
+    }
+    return {Status::invalid_argument,
+            "unknown l7 subcommand: " + sub +
+                "; expected status|rules|verdicts|budget|reset"};
+  }
   if (cmd == "route") {
     if (tok.size() == 4 && tok[1] == "add") {
       pkt::IfIndex iface;

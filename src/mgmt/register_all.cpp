@@ -2,6 +2,7 @@
 
 #include "ipopt/ipopt_plugins.hpp"
 #include "ipsec/ipsec_plugins.hpp"
+#include "l7/l7_plugins.hpp"
 #include "mgmt/firewall_plugin.hpp"
 #include "route/route_plugin.hpp"
 #include "sched/register.hpp"
@@ -17,6 +18,7 @@ void register_builtin_modules() {
   stats::register_stats_plugins();
   stats::register_tcpmon_plugin();
   route::register_route_plugins();
+  l7::register_l7_plugins();
   register_firewall_plugins();
 }
 

@@ -113,8 +113,12 @@ PacketPtr build_tcp(const TcpSpec& spec) {
   tcp.flags = spec.flags;
   tcp.window = 65535;
   tcp.write(p->data() + p->l4_offset);
-  std::memset(p->data() + p->l4_offset + TcpHeader::kMinSize, 0,
-              spec.payload_len);
+  if (spec.payload)
+    std::memcpy(p->data() + p->l4_offset + TcpHeader::kMinSize, spec.payload,
+                spec.payload_len);
+  else
+    std::memset(p->data() + p->l4_offset + TcpHeader::kMinSize, 0,
+                spec.payload_len);
 
   extract_flow_key(*p);
   store_be16(p->data() + p->l4_offset + 16, l4_checksum(*p));

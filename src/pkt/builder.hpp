@@ -35,6 +35,9 @@ struct TcpSpec {
   std::uint32_t ack{0};
   std::uint8_t flags{0x10};  // ACK
   std::size_t payload_len{0};
+  // Payload content: when non-null, payload_len bytes are copied from here
+  // (the stateful TCP generator carries real stream bytes); null zero-fills.
+  const std::uint8_t* payload{nullptr};
   std::uint8_t ttl{64};
 };
 

@@ -20,6 +20,7 @@ enum class PluginType : std::uint16_t {
   stats = 6,      // statistics gathering (network management use case)
   congestion = 7, // congestion control, e.g. RED
   firewall = 8,   // firewall / ALG policy
+  l7 = 9,         // stateful L7 inspection (stream reassembly + IDS/HTTP)
 };
 
 constexpr std::string_view to_string(PluginType t) noexcept {
@@ -33,6 +34,7 @@ constexpr std::string_view to_string(PluginType t) noexcept {
     case PluginType::stats: return "stats";
     case PluginType::congestion: return "congestion";
     case PluginType::firewall: return "firewall";
+    case PluginType::l7: return "l7";
   }
   return "unknown";
 }

@@ -8,6 +8,7 @@ Status PluginControlUnit::register_plugin(std::unique_ptr<Plugin> p) {
   if (plugins_.contains(p->name())) return Status::already_exists;
   auto type_raw = static_cast<std::uint16_t>(p->type());
   p->code_ = PluginCode(p->type(), ++next_impl_[type_raw]);
+  p->pcu_ = this;
   plugins_[p->name()] = std::move(p);
   return Status::ok;
 }

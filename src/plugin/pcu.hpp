@@ -31,6 +31,18 @@ class PluginControlUnit {
   // Purges all flow-table and filter-table references to an instance;
   // called before free_instance and before unload.
   using PurgeHook = std::function<void(PluginInstance* inst)>;
+  // Clears one flow's binding to `inst` at `gate` (and its bound_mask bit)
+  // so the flow bypasses the gate from the next chunk on — the L7 verdict
+  // cache's "mark clean, offload to the fast path". `expected_soft` must
+  // match the binding's current soft pointer: a stale flow index (the entry
+  // was recycled, or the same instance is bound to a different flow there)
+  // then fails closed. Returns false when the hook refuses (no flow cache,
+  // bad index, soft/instance mismatch). The caller must have released the
+  // soft state already: the hook clears the slot without calling
+  // flow_removed. Installed by the AIU; same-thread with gate dispatch.
+  using FlowOffloadHook = std::function<bool(
+      pkt::FlowIndex fix, PluginInstance* inst, PluginType gate,
+      void* expected_soft)>;
 
   // -- loading-time interface (used by PluginLoader / modload equivalent) --
 
@@ -54,6 +66,15 @@ class PluginControlUnit {
 
   void set_register_hook(RegisterHook h) { register_hook_ = std::move(h); }
   void set_deregister_hook(DeregisterHook h) { deregister_hook_ = std::move(h); }
+  void set_flow_offload_hook(FlowOffloadHook h) {
+    flow_offload_hook_ = std::move(h);
+  }
+  // Data-path entry for plugins (via owner()->pcu()): see FlowOffloadHook.
+  bool offload_flow(pkt::FlowIndex fix, PluginInstance* inst, PluginType gate,
+                    void* expected_soft) {
+    return flow_offload_hook_ &&
+           flow_offload_hook_(fix, inst, gate, expected_soft);
+  }
   // Purge hooks chain: the AIU drops flow/filter references, the core
   // detaches port schedulers, etc. All run before an instance is freed.
   void add_purge_hook(PurgeHook h) { purge_hooks_.push_back(std::move(h)); }
@@ -69,6 +90,7 @@ class PluginControlUnit {
 
   RegisterHook register_hook_;
   DeregisterHook deregister_hook_;
+  FlowOffloadHook flow_offload_hook_;
   std::vector<PurgeHook> purge_hooks_;
 };
 

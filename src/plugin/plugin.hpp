@@ -22,6 +22,7 @@ namespace rp::plugin {
 using netbase::Status;
 
 class Plugin;
+class PluginControlUnit;
 
 // What the gate should do with the packet after the instance returns.
 enum class Verdict : std::uint8_t {
@@ -134,6 +135,10 @@ class Plugin {
   const std::string& name() const noexcept { return name_; }
   PluginType type() const noexcept { return type_; }
   PluginCode code() const noexcept { return code_; }
+  // The PCU this plugin is registered with (set at registration, null
+  // before). Instances reach kernel services published as PCU hooks — e.g.
+  // the AIU's flow-offload hook — through owner()->pcu().
+  PluginControlUnit* pcu() const noexcept { return pcu_; }
 
   // -- standardized messages (Section 4) --
 
@@ -181,6 +186,7 @@ class Plugin {
   std::string name_;
   PluginType type_;
   PluginCode code_{};  // assigned by the PCU at registration
+  PluginControlUnit* pcu_{nullptr};  // set by the PCU at registration
   InstanceId next_id_{1};
   std::map<InstanceId, std::unique_ptr<PluginInstance>> instances_;
 };

@@ -19,7 +19,7 @@
 namespace rp::resilience {
 
 // Mirrors telemetry::kGateSlots / aiu::kNumGates without depending on either.
-constexpr std::size_t kGateSlots = 9;
+constexpr std::size_t kGateSlots = 10;
 
 enum class FaultKind : std::uint8_t {
   exception = 0,   // handle_packet threw

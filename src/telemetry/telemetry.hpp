@@ -41,7 +41,7 @@ namespace rp::telemetry {
 
 // One histogram slot per gate/plugin type (mirrors aiu::kNumGates without
 // depending on the AIU), plus slot 0 for the whole pipeline.
-constexpr std::size_t kGateSlots = 9;
+constexpr std::size_t kGateSlots = 10;
 
 class Telemetry {
  public:

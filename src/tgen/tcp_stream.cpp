@@ -1,0 +1,226 @@
+#include "tgen/tcp_stream.hpp"
+
+#include <algorithm>
+
+namespace rp::tgen {
+
+namespace {
+
+constexpr std::uint8_t kSyn = 0x02;
+constexpr std::uint8_t kAck = 0x10;
+constexpr std::uint8_t kFin = 0x01;
+
+// One wire segment before packetization. `pinned` marks arrivals the
+// evasion mutator must not displace (per-direction sequence-base anchors).
+struct Seg {
+  bool reverse{false};  // server -> client
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  std::uint8_t flags{kAck};
+  std::vector<std::uint8_t> bytes;
+  bool pinned{false};
+  bool data{false};  // carries true stream payload (mutation target)
+};
+
+std::vector<Seg> conversation(const TcpStreamSpec& spec) {
+  std::vector<Seg> segs;
+  const std::uint32_t cbase = spec.client_isn + 1;
+  const std::uint32_t sbase = spec.server_isn + 1;
+
+  if (spec.handshake) {
+    segs.push_back({false, spec.client_isn, 0, kSyn, {}, true, false});
+    segs.push_back(
+        {true, spec.server_isn, cbase, kSyn | kAck, {}, true, false});
+    segs.push_back({false, cbase, sbase, kAck, {}, false, false});
+  }
+
+  // Cut both streams into MSS segments, interleaved round-robin so the two
+  // directions progress together (a request/response-ish shape without
+  // modeling application turns).
+  const std::size_t mss = spec.mss ? spec.mss : 512;
+  std::size_t coff = 0, soff = 0;
+  bool cfirst = true, sfirst = true;
+  while (coff < spec.payload.size() || soff < spec.reverse_payload.size()) {
+    if (coff < spec.payload.size()) {
+      const std::size_t n = std::min(mss, spec.payload.size() - coff);
+      Seg s{false, static_cast<std::uint32_t>(cbase + coff), sbase, kAck,
+            {spec.payload.begin() + coff, spec.payload.begin() + coff + n},
+            false, true};
+      // Without a handshake the first data segment is the sync anchor.
+      s.pinned = !spec.handshake && cfirst;
+      cfirst = false;
+      segs.push_back(std::move(s));
+      coff += n;
+    }
+    if (soff < spec.reverse_payload.size()) {
+      const std::size_t n =
+          std::min(mss, spec.reverse_payload.size() - soff);
+      Seg s{true, static_cast<std::uint32_t>(sbase + soff), cbase, kAck,
+            {spec.reverse_payload.begin() + soff,
+             spec.reverse_payload.begin() + soff + n},
+            false, true};
+      s.pinned = !spec.handshake && sfirst;
+      sfirst = false;
+      segs.push_back(std::move(s));
+      soff += n;
+    }
+  }
+
+  if (spec.fin) {
+    segs.push_back({false, static_cast<std::uint32_t>(cbase + coff), sbase,
+                    kFin | kAck, {}, false, false});
+    segs.push_back({true, static_cast<std::uint32_t>(sbase + soff), cbase,
+                    kFin | kAck, {}, false, false});
+  }
+  return segs;
+}
+
+std::vector<Arrival> packetize(const TcpStreamSpec& spec,
+                               const std::vector<Seg>& segs) {
+  std::vector<Arrival> out;
+  out.reserve(segs.size());
+  netbase::SimTime t = spec.start;
+  for (const Seg& s : segs) {
+    pkt::TcpSpec ts;
+    if (s.reverse) {
+      ts.src = spec.ep.dst;
+      ts.dst = spec.ep.src;
+      ts.sport = spec.ep.dport;
+      ts.dport = spec.ep.sport;
+    } else {
+      ts.src = spec.ep.src;
+      ts.dst = spec.ep.dst;
+      ts.sport = spec.ep.sport;
+      ts.dport = spec.ep.dport;
+    }
+    ts.seq = s.seq;
+    ts.ack = s.ack;
+    ts.flags = s.flags;
+    ts.payload_len = s.bytes.size();
+    ts.payload = s.bytes.empty() ? nullptr : s.bytes.data();
+    Arrival a;
+    a.t = t;
+    a.iface = s.reverse ? spec.reverse_iface : spec.ep.in_iface;
+    a.p = pkt::build_tcp(ts);
+    a.p->arrival = t;
+    a.p->in_iface = a.iface;
+    // build_tcp caches the flow key before the arrival iface is known;
+    // restamp it so the packet looks exactly like one extracted on ingress.
+    a.p->key.in_iface = a.iface;
+    a.p->invalidate_flow_hash();
+    out.push_back(std::move(a));
+    t += spec.interval;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Arrival> tcp_stream(const TcpStreamSpec& spec) {
+  return packetize(spec, conversation(spec));
+}
+
+std::vector<Arrival> tcp_stream_evasion(const TcpStreamSpec& spec,
+                                        const EvasionSpec& ev) {
+  netbase::Rng rng(ev.seed);
+  std::vector<Seg> segs = conversation(spec);
+
+  // 1. Tiny-segment splitting: replace a data segment with consecutive
+  //    1-8 byte slivers covering the same sequence range (true content, so
+  //    any later passes may still move them freely).
+  if (ev.tiny_split_prob > 0) {
+    std::vector<Seg> split;
+    split.reserve(segs.size());
+    for (Seg& s : segs) {
+      if (!s.data || s.pinned || s.bytes.size() <= 1 ||
+          !rng.chance(ev.tiny_split_prob)) {
+        split.push_back(std::move(s));
+        continue;
+      }
+      std::size_t off = 0;
+      bool first = true;
+      while (off < s.bytes.size()) {
+        const std::size_t n = std::min<std::size_t>(
+            rng.range(1, 8), s.bytes.size() - off);
+        Seg t{s.reverse, static_cast<std::uint32_t>(s.seq + off), s.ack,
+              s.flags,
+              {s.bytes.begin() + off, s.bytes.begin() + off + n},
+              s.pinned && first, true};
+        first = false;
+        split.push_back(std::move(t));
+        off += n;
+      }
+    }
+    segs = std::move(split);
+  }
+
+  // 2. Bounded reordering of true segments. All content is true at this
+  //    point, so any permutation keeps the first-wins oracle — except for
+  //    the pinned per-direction anchors, which must stay put.
+  if (ev.reorder_window > 0) {
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      if (segs[i].pinned) continue;
+      const std::size_t hi =
+          std::min(segs.size() - 1, i + ev.reorder_window);
+      std::size_t j = rng.range(i, hi);
+      if (j != i && !segs[j].pinned) std::swap(segs[i], segs[j]);
+    }
+  }
+
+  // 3. Overlap rewrites: immediately after a true data segment, emit a
+  //    garbage copy of the same sequence range. Arriving second, the
+  //    first-wins policy discards every byte of it; a last-wins or
+  //    unnormalized inspector would see the garbage instead.
+  // 4. Exact-duplicate retransmits: true content re-sent at the tail of
+  //    the conversation (late retransmit permutation — safe anywhere).
+  std::vector<Seg> out;
+  std::vector<Seg> late;
+  out.reserve(segs.size());
+  for (Seg& s : segs) {
+    const bool data = s.data;
+    const bool rewrite = data && rng.chance(ev.overlap_rewrite_prob);
+    const bool dup = data && rng.chance(ev.dup_prob);
+    if (dup) late.push_back(s);
+    Seg garbage;
+    if (rewrite) {
+      garbage = s;
+      garbage.pinned = false;
+      garbage.data = false;
+      for (auto& b : garbage.bytes)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    out.push_back(std::move(s));
+    if (rewrite) out.push_back(std::move(garbage));
+  }
+  for (Seg& s : late) {
+    s.pinned = false;
+    out.push_back(std::move(s));
+  }
+
+  return packetize(spec, out);
+}
+
+std::vector<std::uint8_t> http_request(const std::string& method,
+                                       const std::string& target,
+                                       const std::string& host,
+                                       const std::string& extra_headers) {
+  std::string req = method + " " + target + " HTTP/1.1\r\n" +
+                    "Host: " + host + "\r\n" +
+                    "User-Agent: rp-tgen\r\n" + extra_headers + "\r\n";
+  return {req.begin(), req.end()};
+}
+
+std::vector<std::uint8_t> plant(
+    std::size_t n, std::uint64_t seed,
+    const std::vector<std::pair<std::size_t, std::string>>& patterns) {
+  netbase::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>('a' + rng.below(26));
+  for (const auto& [off, pat] : patterns) {
+    if (off + pat.size() > out.size()) continue;
+    std::copy(pat.begin(), pat.end(), out.begin() + off);
+  }
+  return out;
+}
+
+}  // namespace rp::tgen

@@ -1,0 +1,74 @@
+// Stateful TCP/HTTP traffic generation for the L7 inspection subsystem.
+//
+// `tcp_stream` produces a sequence-correct bidirectional TCP conversation:
+// optional three-way handshake, the client and server byte streams cut into
+// MSS-sized segments with correct sequence numbers, optional FIN. On top of
+// it, `tcp_stream_evasion` applies segment-level adversarial rewrites —
+// bounded reordering, tiny-segment splitting, exact-duplicate retransmits,
+// and overlap rewrites (a garbage copy of a segment's sequence range) — all
+// constrained so that a first-wins reassembler provably reconstructs the
+// original stream:
+//
+//   * for every byte offset, the first-arriving segment covering it carries
+//     the true content (garbage copies are only ever emitted *after* their
+//     true counterpart; exact duplicates are true content and go anywhere);
+//   * each direction's first arrival (SYN, or the first data segment when
+//     no handshake) is never displaced, so sequence-base sync is stable.
+//
+// Under these rules, the reassembled stream must equal the original payload
+// byte-for-byte — the invariant the l7 differential fuzz tests check.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tgen/workload.hpp"
+
+namespace rp::tgen {
+
+struct TcpStreamSpec {
+  FlowEndpoints ep{};  // client -> server (proto is forced to TCP)
+  std::vector<std::uint8_t> payload;          // client -> server stream
+  std::vector<std::uint8_t> reverse_payload;  // server -> client stream
+  std::size_t mss{512};
+  bool handshake{true};
+  bool fin{false};
+  std::uint32_t client_isn{0x10000};
+  std::uint32_t server_isn{0x20000};
+  pkt::IfIndex reverse_iface{1};  // server->client packets arrive here
+  netbase::SimTime start{0};
+  netbase::SimTime interval{1000};  // ns between consecutive arrivals
+};
+
+// In-order, loss-free rendition of the conversation.
+std::vector<Arrival> tcp_stream(const TcpStreamSpec& spec);
+
+struct EvasionSpec {
+  std::size_t reorder_window{0};     // max displacement; 0 = no reordering
+  double tiny_split_prob{0.0};       // split a data segment into 1-8B slivers
+  double dup_prob{0.0};              // re-emit an exact duplicate late
+  double overlap_rewrite_prob{0.0};  // garbage copy right after the true one
+  std::uint64_t seed{1};
+};
+
+// The same conversation mutated per `ev` (see the invariants above).
+std::vector<Arrival> tcp_stream_evasion(const TcpStreamSpec& spec,
+                                        const EvasionSpec& ev);
+
+// A minimal well-formed HTTP/1.1 request (request line + Host + User-Agent
+// + `extra_headers`, each "Name: value\r\n", then the blank line).
+std::vector<std::uint8_t> http_request(const std::string& method,
+                                       const std::string& target,
+                                       const std::string& host,
+                                       const std::string& extra_headers = "");
+
+// A pseudo-random lowercase filler stream of `n` bytes with `patterns`
+// copied in at the given offsets (offset + pattern must fit). Lowercase
+// filler lets tests plant patterns containing other character classes
+// without accidental extra matches.
+std::vector<std::uint8_t> plant(
+    std::size_t n, std::uint64_t seed,
+    const std::vector<std::pair<std::size_t, std::string>>& patterns);
+
+}  // namespace rp::tgen

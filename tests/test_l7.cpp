@@ -1,0 +1,839 @@
+// Tests for the stateful L7 inspection subsystem (PR 7): the Aho-Corasick
+// multi-pattern matcher, the per-direction TCP stream reassembler, the HTTP
+// request classifier, the L7Engine verdict cache + flow offload through a
+// full RouterKernel, the pmgr `l7` control surface, and the DirHandle
+// exactly-once lifecycle audit across every flow-table removal path
+// (expiry sweep, LRU recycle, explicit remove, clear, purge, filter flip,
+// offload, engine-side eviction, and stack teardown). The adversarial
+// differential variants live in test_l7_fuzz.cpp (L7Fuzz / L7FuzzShard).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aiu/flow_table.hpp"
+#include "core/ip_core.hpp"
+#include "core/router.hpp"
+#include "l7/aho_corasick.hpp"
+#include "l7/http_parser.hpp"
+#include "l7/l7_plugins.hpp"
+#include "l7/reassembler.hpp"
+#include "mgmt/pmgr.hpp"
+#include "mgmt/register_all.hpp"
+#include "mgmt/rplib.hpp"
+#include "pkt/headers.hpp"
+#include "tgen/tcp_stream.hpp"
+
+namespace rp::l7 {
+namespace {
+
+using netbase::Status;
+using plugin::PluginType;
+
+// ---------------------------------------------------------------------------
+// Aho-Corasick
+
+struct Hit {
+  std::uint32_t id;
+  std::uint64_t end;
+  friend bool operator==(const Hit&, const Hit&) = default;
+  friend bool operator<(const Hit& a, const Hit& b) {
+    return std::pair(a.end, a.id) < std::pair(b.end, b.id);
+  }
+};
+
+std::vector<Hit> scan_all(const AhoCorasick& ac, std::string_view text) {
+  std::vector<Hit> hits;
+  ac.scan(AhoCorasick::kRoot,
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size(), 0,
+          [&](std::uint32_t id, std::uint64_t end) {
+            hits.push_back({id, end});
+          });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+TEST(AhoCorasick, ClassicOverlappingPatternSet) {
+  AhoCorasick ac;
+  const std::uint32_t he = ac.add("he");
+  const std::uint32_t she = ac.add("she");
+  const std::uint32_t his = ac.add("his");
+  const std::uint32_t hers = ac.add("hers");
+  ac.build();
+  EXPECT_EQ(ac.pattern_count(), 4u);
+  EXPECT_EQ(ac.generation(), 1u);
+
+  // "ushers": she ends at 4, he (failure closure of she) at 4, hers at 6.
+  std::vector<Hit> expect = {{he, 4}, {she, 4}, {hers, 6}};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(scan_all(ac, "ushers"), expect);
+  EXPECT_EQ(scan_all(ac, "this"), std::vector<Hit>({{his, 4}}));
+  EXPECT_EQ(scan_all(ac, "xyz"), std::vector<Hit>());
+}
+
+TEST(AhoCorasick, StreamingStateCarriesAcrossChunks) {
+  AhoCorasick ac;
+  ac.add("needle");
+  ac.build();
+  const std::string text = "say: nee" + std::string("dle here");
+  std::vector<Hit> hits;
+  AhoCorasick::State s = AhoCorasick::kRoot;
+  // Feed byte-at-a-time with absolute base offsets: the match must fire
+  // exactly once, at the absolute stream offset, despite the split.
+  for (std::size_t i = 0; i < text.size(); ++i)
+    s = ac.scan(s, reinterpret_cast<const std::uint8_t*>(text.data()) + i, 1,
+                i, [&](std::uint32_t id, std::uint64_t end) {
+                  hits.push_back({id, end});
+                });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (Hit{0, 11}));  // "needle" ends at offset 11
+}
+
+TEST(AhoCorasick, EmptyAndRebuiltRuleSets) {
+  AhoCorasick ac;
+  ac.build();  // zero patterns: scan never matches, never crashes
+  EXPECT_EQ(scan_all(ac, "anything"), std::vector<Hit>());
+  EXPECT_EQ(ac.generation(), 1u);
+
+  ac.add("abc");
+  ac.build();
+  EXPECT_EQ(ac.generation(), 2u);
+  EXPECT_EQ(scan_all(ac, "xxabcxx").size(), 1u);
+
+  ac.clear();
+  ac.add("xx");
+  ac.build();
+  EXPECT_EQ(ac.generation(), 3u);
+  // Old rule gone, new rule matches (twice in "xxx": ends 2 and 3).
+  EXPECT_EQ(scan_all(ac, "abc"), std::vector<Hit>());
+  EXPECT_EQ(scan_all(ac, "xxx"), std::vector<Hit>({{0, 2}, {0, 3}}));
+}
+
+TEST(AhoCorasick, ParsePatternsEscapes) {
+  std::vector<std::string> out;
+  ASSERT_TRUE(parse_patterns("abc,de", out));
+  EXPECT_EQ(out, std::vector<std::string>({"abc", "de"}));
+
+  out.clear();
+  ASSERT_TRUE(parse_patterns("a\\x00b,\\xff,\\x2c,\\x5c", out));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], std::string("a\0b", 3));
+  EXPECT_EQ(out[1], "\xff");
+  EXPECT_EQ(out[2], ",");
+  EXPECT_EQ(out[3], "\\");
+
+  // Malformed: empty elements, trailing comma, broken escapes.
+  for (const char* bad : {"", "a,,b", "a,", ",a", "\\xg1", "a\\x1", "a\\y00"}) {
+    out.clear();
+    EXPECT_FALSE(parse_patterns(bad, out)) << bad;
+  }
+
+  // format_pattern renders separators and non-printables as escapes.
+  EXPECT_EQ(format_pattern("a,b"), "a\\x2cb");
+  EXPECT_EQ(format_pattern(std::string("\x01", 1)), "\\x01");
+}
+
+// ---------------------------------------------------------------------------
+// StreamReassembler
+
+struct Sink {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t next{0};
+  bool contiguous{true};
+
+  auto fn() {
+    return [this](const std::uint8_t* d, std::size_t n, std::uint64_t off) {
+      if (off != next) contiguous = false;
+      next = off + n;
+      for (std::size_t i = 0; i < n; ++i) bytes.push_back(d[i]);
+    };
+  }
+  std::string str() const { return {bytes.begin(), bytes.end()}; }
+};
+
+const std::uint8_t* u8(const char* s) {
+  return reinterpret_cast<const std::uint8_t*>(s);
+}
+
+TEST(Reassembler, InOrderDelivery) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  EXPECT_TRUE(rs.segment(100, u8("hello "), 6, sink.fn()));
+  EXPECT_TRUE(rs.segment(106, u8("world"), 5, sink.fn()));
+  EXPECT_EQ(sink.str(), "hello world");
+  EXPECT_TRUE(sink.contiguous);
+  EXPECT_EQ(rs.delivered(), 11u);
+  EXPECT_EQ(rs.stats().buffered_bytes, 0u);
+  EXPECT_EQ(rs.stats().ooo_segments, 0u);
+}
+
+TEST(Reassembler, OutOfOrderBuffersAndDrains) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  rs.on_syn(99);  // seq 100 == stream offset 0
+  // Arrivals: [6,11) [16,20) [0,6) [11,16) — two gaps filled in turn.
+  EXPECT_TRUE(rs.segment(106, u8("world"), 5, sink.fn()));
+  EXPECT_TRUE(rs.segment(116, u8("gain"), 4, sink.fn()));
+  EXPECT_EQ(sink.bytes.size(), 0u);
+  EXPECT_EQ(rs.stats().buffered_bytes, 9u);
+  EXPECT_EQ(rs.stats().ooo_segments, 2u);
+
+  EXPECT_TRUE(rs.segment(100, u8("hello "), 6, sink.fn()));
+  EXPECT_EQ(sink.str(), "hello world");  // first gap closed, second held
+  EXPECT_TRUE(rs.segment(111, u8(" off "), 5, sink.fn()));
+  EXPECT_EQ(sink.str(), "hello world off gain");
+  EXPECT_TRUE(sink.contiguous);
+  EXPECT_EQ(rs.stats().buffered_bytes, 0u);
+}
+
+TEST(Reassembler, FirstWinsAgainstDeliveredWatermark) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  EXPECT_TRUE(rs.segment(100, u8("trueDATA"), 8, sink.fn()));
+  // Full retransmit with different content: every byte already delivered,
+  // so the rewrite is discarded wholesale.
+  EXPECT_TRUE(rs.segment(100, u8("EVILDATA"), 8, sink.fn()));
+  EXPECT_EQ(sink.str(), "trueDATA");
+  EXPECT_EQ(rs.stats().trimmed_bytes, 8u);
+  // Partial overlap: the overlapping prefix is trimmed, the novel suffix
+  // (never seen before) is delivered — its first copy is this one.
+  EXPECT_TRUE(rs.segment(104, u8("DATAmore"), 8, sink.fn()));
+  EXPECT_EQ(sink.str(), "trueDATAmore");
+  EXPECT_EQ(rs.stats().trimmed_bytes, 12u);
+  EXPECT_TRUE(sink.contiguous);
+}
+
+TEST(Reassembler, FirstWinsAgainstBufferedPieces) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  rs.on_syn(99);  // seq 100 == stream offset 0
+  // Buffer a true out-of-order piece at [10,16).
+  EXPECT_TRUE(rs.segment(110, u8("MIDDLE"), 6, sink.fn()));
+  // A later segment spanning [5,21) with garbage in the middle: the
+  // buffered piece wins its range, only the flanks survive.
+  EXPECT_TRUE(rs.segment(105, u8("lhs..XXXXXX..rhs"), 16, sink.fn()));
+  EXPECT_EQ(rs.stats().buffered_bytes, 16u);  // [5,10) + [10,16) + [16,21)
+  EXPECT_EQ(rs.stats().trimmed_bytes, 6u);
+  // Close the head gap; everything drains in offset order, garbage gone.
+  EXPECT_TRUE(rs.segment(100, u8("head!"), 5, sink.fn()));
+  EXPECT_EQ(sink.str(), "head!lhs..MIDDLE..rhs");
+  EXPECT_TRUE(sink.contiguous);
+  EXPECT_EQ(rs.stats().buffered_bytes, 0u);
+}
+
+TEST(Reassembler, BufferedPieceStraddlingWatermarkIsClipped) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  rs.on_syn(99);  // seq 100 == stream offset 0
+  // Buffer [5,15), then deliver [0,10): the drain must skip the already-
+  // delivered half of the buffered piece and emit only [10,15).
+  EXPECT_TRUE(rs.segment(105, u8("5678901234"), 10, sink.fn()));
+  EXPECT_TRUE(rs.segment(100, u8("0123456789"), 10, sink.fn()));
+  EXPECT_EQ(sink.str(), "012345678901234");
+  EXPECT_TRUE(sink.contiguous);
+  EXPECT_EQ(rs.delivered(), 15u);
+  EXPECT_EQ(rs.stats().trimmed_bytes, 5u);
+}
+
+TEST(Reassembler, SynConsumesOneSequenceNumber) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  rs.on_syn(1000);
+  rs.on_syn(1000);  // retransmitted SYN: idempotent
+  rs.on_syn(4242);  // different ISN after sync: ignored
+  EXPECT_TRUE(rs.segment(1001, u8("abc"), 3, sink.fn()));
+  EXPECT_EQ(sink.str(), "abc");
+  EXPECT_EQ(sink.next, 3u);  // first payload byte is stream offset 0
+}
+
+TEST(Reassembler, MidStreamPickupSyncsOnFirstSegment) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  EXPECT_TRUE(rs.segment(555000, u8("pickup"), 6, sink.fn()));
+  EXPECT_EQ(sink.str(), "pickup");
+  EXPECT_TRUE(rs.stats().synced);
+  EXPECT_TRUE(rs.segment(555006, u8(" later"), 6, sink.fn()));
+  EXPECT_EQ(sink.str(), "pickup later");
+}
+
+TEST(Reassembler, SequenceNumberWraparound) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  const std::uint32_t base = 0xFFFFFFFAu;  // 6 bytes below the wrap
+  rs.on_syn(base - 1);                     // payload starts at `base`
+  EXPECT_TRUE(rs.segment(base, u8("abcdef"), 6, sink.fn()));  // ends at 0
+  EXPECT_TRUE(rs.segment(0, u8("ghij"), 4, sink.fn()));       // post-wrap
+  EXPECT_EQ(sink.str(), "abcdefghij");
+  EXPECT_TRUE(sink.contiguous);
+  EXPECT_EQ(rs.delivered(), 10u);
+}
+
+TEST(Reassembler, BudgetOverflowFailsOpen) {
+  StreamReassembler rs(8);  // tiny out-of-order budget
+  Sink sink;
+  rs.on_syn(99);  // seq 100 == stream offset 0
+  EXPECT_TRUE(rs.segment(108, u8("12345678"), 8, sink.fn()));  // fills it
+  EXPECT_EQ(rs.stats().buffered_bytes, 8u);
+  // One more out-of-order byte blows the budget: overflow, buffers freed,
+  // and the direction stops delivering.
+  EXPECT_FALSE(rs.segment(120, u8("x"), 1, sink.fn()));
+  EXPECT_TRUE(rs.stats().overflowed);
+  EXPECT_EQ(rs.stats().buffered_bytes, 0u);
+  EXPECT_FALSE(rs.segment(100, u8("ignored!"), 8, sink.fn()));
+  EXPECT_EQ(sink.bytes.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// HttpParser
+
+TEST(HttpParser, ParsesRequestByteAtATime) {
+  const std::string req =
+      "GET /index.html HTTP/1.1\r\nHost: example.com\r\n"
+      "User-Agent: rp-test\r\nX-Extra: 1\r\n\r\n";
+  HttpParser hp;
+  for (char c : req) {
+    const bool wants_more = hp.feed(reinterpret_cast<const std::uint8_t*>(&c),
+                                    1);
+    if (hp.done()) {
+      EXPECT_FALSE(wants_more);
+    }
+  }
+  EXPECT_TRUE(hp.done());
+  EXPECT_EQ(hp.method(), "GET");
+  EXPECT_EQ(hp.target(), "/index.html");
+  EXPECT_EQ(hp.version(), "HTTP/1.1");
+  EXPECT_EQ(hp.host(), "example.com");
+  EXPECT_EQ(hp.user_agent(), "rp-test");
+  EXPECT_EQ(hp.header_count(), 3u);
+}
+
+TEST(HttpParser, RejectsNonHttp) {
+  HttpParser hp;
+  const std::string junk = "\x16\x03\x01 not http at all\n";
+  hp.feed(reinterpret_cast<const std::uint8_t*>(junk.data()), junk.size());
+  EXPECT_EQ(hp.state(), HttpParser::State::not_http);
+
+  HttpParser hp2;  // over-long first line, no newline ever
+  std::vector<std::uint8_t> line(HttpParser::kMaxLine + 10, 'A');
+  EXPECT_FALSE(hp2.feed(line.data(), line.size()));
+  EXPECT_EQ(hp2.state(), HttpParser::State::not_http);
+}
+
+TEST(HttpParser, ToleratesLeadingCrlf) {
+  const std::string req = "\r\nPOST /s HTTP/1.0\r\nHOST: UP.example\r\n\r\n";
+  HttpParser hp;
+  hp.feed(reinterpret_cast<const std::uint8_t*>(req.data()), req.size());
+  EXPECT_TRUE(hp.done());
+  EXPECT_EQ(hp.method(), "POST");
+  EXPECT_EQ(hp.host(), "UP.example");  // name matched case-insensitively
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration through a full RouterKernel
+
+constexpr std::uint8_t kTcp = static_cast<std::uint8_t>(pkt::IpProto::tcp);
+
+class L7KernelTest : public ::testing::Test {
+ protected:
+  L7KernelTest() {
+    kernel_.add_interface("if0");
+    kernel_.add_interface("if1");
+    kernel_.routes().add(*netbase::IpPrefix::parse("10.0.0.0/8"), {0, {}});
+    kernel_.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+  }
+
+  template <class P, class I>
+  I* add_instance(const char* name, const plugin::Config& cfg) {
+    auto& pcu = kernel_.pcu();
+    if (!pcu.find(name)) pcu.register_plugin(std::make_unique<P>());
+    plugin::InstanceId id = plugin::kNoInstance;
+    EXPECT_EQ(pcu.find(name)->create_instance(cfg, id), Status::ok);
+    auto* inst = static_cast<I*>(pcu.find(name)->instance(id));
+    EXPECT_EQ(kernel_.aiu().create_filter(
+                  PluginType::l7, *aiu::Filter::parse("<*, *, tcp, *, *, *>"),
+                  inst),
+              Status::ok);
+    return inst;
+  }
+
+  IdsInstance* add_ids(const plugin::Config& cfg) {
+    return add_instance<IdsPlugin, IdsInstance>("l7ids", cfg);
+  }
+  HttpInstance* add_http(const plugin::Config& cfg) {
+    return add_instance<HttpPlugin, HttpInstance>("l7http", cfg);
+  }
+
+  tgen::TcpStreamSpec spec(std::uint16_t sport = 4000) {
+    tgen::TcpStreamSpec s;
+    s.ep.src = *netbase::IpAddr::parse("10.0.0.1");
+    s.ep.dst = *netbase::IpAddr::parse("20.0.0.1");
+    s.ep.proto = kTcp;
+    s.ep.sport = sport;
+    s.ep.dport = 80;
+    s.ep.in_iface = 0;
+    return s;
+  }
+
+  // Runs the arrivals but stops short of the periodic idle sweep, so flow
+  // entries are still inspectable afterwards (run_to_completion would sweep
+  // the table empty before returning).
+  std::size_t play(std::vector<tgen::Arrival> arrivals) {
+    const std::size_t n = arrivals.size();
+    netbase::SimTime last = 0;
+    for (auto& a : arrivals) {
+      last = std::max(last, a.t);
+      kernel_.inject(a.t, a.iface, std::move(a.p));
+    }
+    kernel_.run_until(last + 1000 * 1000);  // +1ms: well before the 1s sweep
+    return n;
+  }
+
+  core::RouterKernel kernel_;
+};
+
+TEST_F(L7KernelTest, IdsMatchesPatternsStraddlingSegments) {
+  // alert_on_match off: the connection keeps being inspected after the
+  // first hit, so the reverse-direction plant is reached too.
+  IdsInstance* ids = add_ids({{"patterns", "EVIL1"},
+                              {"log_hits", "1"},
+                              {"alert_on_match", "0"},
+                              {"inspect_limit", "0"}});
+  auto sp = spec();
+  // Both plants straddle an MSS boundary (mss=512): the match only exists
+  // across a segment join, so finding it proves cross-segment state carry.
+  sp.payload = tgen::plant(8192, 1, {{510, "EVIL1"}});
+  sp.reverse_payload = tgen::plant(4096, 2, {{1022, "EVIL1"}});
+  sp.mss = 512;
+  play(tgen::tcp_stream(sp));
+
+  EXPECT_EQ(ids->matches(), 2u);
+  ASSERT_EQ(ids->hit_log().size(), 2u);
+  std::vector<MatchHit> hits = ids->hit_log();
+  std::sort(hits.begin(), hits.end(), [](const MatchHit& a, const MatchHit& b) {
+    return a.dir < b.dir;
+  });
+  EXPECT_EQ(hits[0], (MatchHit{0, 0, 515}));   // client dir, 510 + 5
+  EXPECT_EQ(hits[1], (MatchHit{0, 1, 1027}));  // server dir, 1022 + 5
+
+  const auto& c = ids->counters();
+  EXPECT_EQ(c.verdict_alert.load(), 0u);  // alerting disabled above
+  EXPECT_EQ(c.delivered_bytes.load(), 0u + 8192 + 4096);
+  EXPECT_EQ(c.buffered_bytes.load(), 0u);  // settled after the verdict
+  EXPECT_EQ(kernel_.core().counters().dropped(core::DropReason::policy), 0u);
+}
+
+TEST_F(L7KernelTest, CleanVerdictOffloadsFlowViaBoundMask) {
+  IdsInstance* ids = add_ids({{"patterns", "EVIL1"},
+                              {"inspect_limit", "1024"}});
+  auto sp = spec();
+  sp.payload = tgen::plant(16 * 1024, 3, {});
+  sp.reverse_payload = tgen::plant(16 * 1024, 4, {});
+  const std::size_t total = play(tgen::tcp_stream(sp));
+
+  const auto& c = ids->counters();
+  EXPECT_EQ(c.verdict_clean.load(), 1u);
+  EXPECT_EQ(c.handles_offloaded.load(), 2u);  // both direction flow entries
+  EXPECT_EQ(c.offload_fail.load(), 0u);
+  EXPECT_EQ(kernel_.aiu().stats().flows_offloaded, 2u);
+  // The verdict cache pays off: post-offload packets skip the gate.
+  EXPECT_LT(c.packets.load(), total);
+
+  // Both flow entries' l7 bindings are gone and the mask bit is clear.
+  aiu::FlowTable& ft = kernel_.aiu().flow_table();
+  pkt::FlowKey fwd = sp.ep.key();
+  pkt::FlowKey rev{sp.ep.dst, sp.ep.src, kTcp, sp.ep.dport,
+                   sp.ep.sport, sp.reverse_iface};
+  const std::size_t gi = aiu::gate_index(PluginType::l7);
+  for (const pkt::FlowKey& k : {fwd, rev}) {
+    pkt::FlowIndex fix = ft.lookup(k, kernel_.clock().now());
+    ASSERT_NE(fix, pkt::kNoFlow) << k.to_string();
+    EXPECT_EQ(ft.rec(fix).gates[gi].instance, nullptr);
+    EXPECT_EQ(ft.rec(fix).gates[gi].soft, nullptr);
+    EXPECT_EQ(ft.rec(fix).bound_mask & (1u << gi), 0u);
+  }
+}
+
+TEST_F(L7KernelTest, OffloadDisabledKeepsInspectingEveryPacket) {
+  IdsInstance* ids = add_ids({{"patterns", "EVIL1"},
+                              {"inspect_limit", "1024"},
+                              {"offload", "0"}});
+  auto sp = spec();
+  sp.payload = tgen::plant(16 * 1024, 3, {});
+  const std::size_t total = play(tgen::tcp_stream(sp));
+
+  const auto& c = ids->counters();
+  EXPECT_EQ(c.verdict_clean.load(), 1u);
+  EXPECT_EQ(c.handles_offloaded.load(), 0u);
+  EXPECT_EQ(kernel_.aiu().stats().flows_offloaded, 0u);
+  EXPECT_EQ(c.packets.load(), total);  // every packet still hits the gate
+}
+
+TEST_F(L7KernelTest, DropOnAlertActsAsInlineIps) {
+  IdsInstance* ids = add_ids({{"patterns", "EVIL1"},
+                              {"drop_on_alert", "1"},
+                              {"inspect_limit", "0"}});
+  auto sp = spec();
+  sp.payload = tgen::plant(8192, 5, {{100, "EVIL1"}});
+  sp.reverse_payload = tgen::plant(2048, 6, {});
+  play(tgen::tcp_stream(sp));
+
+  const auto& c = ids->counters();
+  EXPECT_EQ(c.verdict_alert.load(), 1u);
+  EXPECT_GT(c.alert_drops.load(), 0u);
+  // Every alert drop surfaces as a policy drop in the core, and the
+  // connection stays blocked (verdict cache) for the rest of the stream.
+  EXPECT_EQ(kernel_.core().counters().dropped(core::DropReason::policy),
+            c.alert_drops.load());
+  EXPECT_GT(kernel_.core().counters().forwarded, 0u);  // pre-match packets
+}
+
+TEST_F(L7KernelTest, ReassemblyOverflowFailsOpen) {
+  IdsInstance* ids = add_ids({{"patterns", "EVIL1"},
+                              {"per_flow_budget", "256"},
+                              {"inspect_limit", "0"}});
+  auto sp = spec();
+  sp.payload = tgen::plant(8192, 7, {});
+  auto arrivals = tgen::tcp_stream(sp);
+  // Drop the first client data segment (index 3, after the handshake):
+  // everything after it buffers out of order until the 256-byte budget
+  // blows, which must fail open — overflow verdict, traffic unharmed.
+  arrivals.erase(arrivals.begin() + 3);
+  play(std::move(arrivals));
+
+  const auto& c = ids->counters();
+  EXPECT_EQ(c.verdict_overflow.load(), 1u);
+  EXPECT_EQ(c.buffered_bytes.load(), 0u);  // buffers reclaimed
+  EXPECT_EQ(kernel_.core().counters().dropped(core::DropReason::policy), 0u);
+  EXPECT_GT(kernel_.core().counters().forwarded, 0u);
+}
+
+TEST_F(L7KernelTest, HttpClassifierVerdicts) {
+  HttpInstance* http = add_http({{"alert_host", "evil.example"}});
+
+  auto ok = spec(5000);
+  ok.payload = tgen::http_request("GET", "/index.html", "ok.example");
+  play(tgen::tcp_stream(ok));
+  EXPECT_EQ(http->requests(), 1u);
+  EXPECT_EQ(http->counters().verdict_clean.load(), 1u);
+
+  auto evil = spec(5001);
+  evil.payload = tgen::http_request("POST", "/exfil", "evil.example");
+  play(tgen::tcp_stream(evil));
+  EXPECT_EQ(http->requests(), 2u);
+  EXPECT_EQ(http->counters().verdict_alert.load(), 1u);
+
+  auto junk = spec(5002);
+  const std::string j = "SSH-2.0-OpenSSH_9.6\r\n";
+  junk.payload.assign(j.begin(), j.end());
+  play(tgen::tcp_stream(junk));
+  EXPECT_EQ(http->non_http(), 1u);
+  EXPECT_EQ(http->counters().verdict_clean.load(), 2u);
+
+  // Clean verdicts offloaded their flows; the alerted one stayed bound.
+  EXPECT_EQ(http->counters().handles_offloaded.load(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// DirHandle exactly-once lifecycle audit (satellite 1). Every path that can
+// remove a flow-table entry — or release engine state — must account each
+// handle exactly once:
+//   handles_created == handles_flow_removed + handles_offloaded
+//                      + handles_released        (at quiescence)
+
+constexpr netbase::SimTime kSweepAll =
+    std::numeric_limits<netbase::SimTime>::max();
+
+std::uint64_t outstanding(const L7Engine::Counters& c) {
+  return c.handles_created.load() -
+         (c.handles_flow_removed.load() + c.handles_offloaded.load() +
+          c.handles_released.load());
+}
+
+// A complete datapath with explicit member destruction order so teardown
+// paths can be exercised step by step (the Aiu — and with it the flow table
+// firing flow_removed — dies before the PCU that owns the instances).
+struct L7Stack {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  std::unique_ptr<aiu::Aiu> aiu;
+  route::RoutingTable routes{"bsl"};
+  netdev::InterfaceTable ifs;
+  std::unique_ptr<core::IpCore> core;
+  IdsInstance* ids{nullptr};
+
+  explicit L7Stack(plugin::Config cfg = {{"patterns", "ZZTOP"},
+                                         {"inspect_limit", "0"}},
+                   aiu::Aiu::Options aopt = {}) {
+    aiu = std::make_unique<aiu::Aiu>(pcu, clock, aopt);
+    ifs.add("if0");
+    ifs.add("if1");
+    routes.add(*netbase::IpPrefix::parse("0.0.0.0/0"), {1, {}});
+    core = std::make_unique<core::IpCore>(*aiu, routes, ifs, clock,
+                                          core::CoreConfig{});
+    pcu.register_plugin(std::make_unique<IdsPlugin>());
+    plugin::InstanceId id = plugin::kNoInstance;
+    EXPECT_EQ(pcu.find("l7ids")->create_instance(std::move(cfg), id),
+              Status::ok);
+    ids = static_cast<IdsInstance*>(pcu.find("l7ids")->instance(id));
+    EXPECT_EQ(aiu->create_filter(PluginType::l7,
+                                 *aiu::Filter::parse("<*, *, tcp, *, *, *>"),
+                                 ids),
+              Status::ok);
+  }
+
+  void play(std::vector<tgen::Arrival> arrivals) {
+    for (auto& a : arrivals) core->process(std::move(a.p));
+  }
+};
+
+tgen::TcpStreamSpec stream_spec(std::uint16_t sport, std::size_t bytes = 4096,
+                                std::uint64_t seed = 11) {
+  tgen::TcpStreamSpec s;
+  s.ep.src = *netbase::IpAddr::parse("10.0.0.1");
+  s.ep.dst = *netbase::IpAddr::parse("20.0.0.1");
+  s.ep.proto = kTcp;
+  s.ep.sport = sport;
+  s.ep.dport = 80;
+  s.ep.in_iface = 0;
+  s.payload = tgen::plant(bytes, seed, {});
+  s.reverse_payload = tgen::plant(bytes / 2, seed + 1, {});
+  return s;
+}
+
+TEST(L7HandleLifecycle, IdleExpirySweep) {
+  L7Stack s;
+  s.play(tgen::tcp_stream(stream_spec(4000)));
+  const auto& c = s.ids->counters();
+  EXPECT_EQ(c.handles_created.load(), 2u);
+  EXPECT_EQ(outstanding(c), 2u);  // both live until the sweep
+  s.aiu->flow_table().expire_idle(kSweepAll);
+  EXPECT_EQ(c.handles_flow_removed.load(), 2u);
+  EXPECT_EQ(outstanding(c), 0u);
+}
+
+TEST(L7HandleLifecycle, ExplicitRemoveBothDirections) {
+  L7Stack s;
+  auto sp = stream_spec(4001);
+  s.play(tgen::tcp_stream(sp));
+  aiu::FlowTable& ft = s.aiu->flow_table();
+  pkt::FlowKey rev{sp.ep.dst, sp.ep.src, kTcp, sp.ep.dport, sp.ep.sport,
+                   sp.reverse_iface};
+  for (const pkt::FlowKey& k : {sp.ep.key(), rev}) {
+    pkt::FlowIndex fix = ft.lookup(k, s.clock.now());
+    ASSERT_NE(fix, pkt::kNoFlow);
+    ft.remove(fix);
+  }
+  const auto& c = s.ids->counters();
+  EXPECT_EQ(c.handles_flow_removed.load(), 2u);
+  EXPECT_EQ(outstanding(c), 0u);
+}
+
+TEST(L7HandleLifecycle, TableClear) {
+  L7Stack s;
+  s.play(tgen::tcp_stream(stream_spec(4002)));
+  s.aiu->flow_table().clear();
+  EXPECT_EQ(s.ids->counters().handles_flow_removed.load(), 2u);
+  EXPECT_EQ(outstanding(s.ids->counters()), 0u);
+}
+
+TEST(L7HandleLifecycle, PurgeInstance) {
+  L7Stack s;
+  s.play(tgen::tcp_stream(stream_spec(4003)));
+  EXPECT_EQ(s.aiu->flow_table().purge_instance(s.ids), 2u);
+  EXPECT_EQ(s.ids->counters().handles_flow_removed.load(), 2u);
+  EXPECT_EQ(outstanding(s.ids->counters()), 0u);
+}
+
+TEST(L7HandleLifecycle, MidTrafficFilterFlip) {
+  L7Stack s;
+  auto sp = stream_spec(4004, 8192);
+  auto arrivals = tgen::tcp_stream(sp);
+  const std::size_t half = arrivals.size() / 2;
+  std::vector<tgen::Arrival> first(std::make_move_iterator(arrivals.begin()),
+                                   std::make_move_iterator(arrivals.begin() +
+                                                           half));
+  std::vector<tgen::Arrival> rest(std::make_move_iterator(arrivals.begin() +
+                                                          half),
+                                  std::make_move_iterator(arrivals.end()));
+  s.play(std::move(first));
+  const auto& c = s.ids->counters();
+  EXPECT_EQ(c.handles_created.load(), 2u);
+
+  // Removing the filter flushes the flow cache: both handles come back
+  // through flow_removed. Traffic keeps flowing unbound...
+  ASSERT_EQ(s.aiu->remove_filter(PluginType::l7,
+                                 *aiu::Filter::parse("<*, *, tcp, *, *, *>")),
+            Status::ok);
+  EXPECT_EQ(c.handles_flow_removed.load(), 2u);
+  EXPECT_EQ(outstanding(c), 0u);
+
+  // ...and re-binding mid-stream attaches fresh handles to the same Conn.
+  ASSERT_EQ(s.aiu->create_filter(PluginType::l7,
+                                 *aiu::Filter::parse("<*, *, tcp, *, *, *>"),
+                                 s.ids),
+            Status::ok);
+  s.play(std::move(rest));
+  EXPECT_EQ(c.handles_created.load(), 4u);
+  s.aiu->flow_table().expire_idle(kSweepAll);
+  EXPECT_EQ(outstanding(c), 0u);
+  EXPECT_EQ(s.ids->conn_count(), 1u);  // one Conn across the flip
+}
+
+TEST(L7HandleLifecycle, LruRecycleAndEngineEviction) {
+  aiu::Aiu::Options aopt;
+  aopt.initial_flows = 16;
+  aopt.max_flows = 16;  // flow-table LRU recycling kicks in fast
+  L7Stack s({{"patterns", "ZZTOP"}, {"inspect_limit", "0"},
+             {"max_conns", "8"}},  // engine-side eviction too
+            aopt);
+  for (std::uint16_t i = 0; i < 50; ++i)
+    s.play(tgen::tcp_stream(stream_spec(static_cast<std::uint16_t>(5000 + i),
+                                        512)));
+  const auto& c = s.ids->counters();
+  // Both removal machineries really fired...
+  EXPECT_GT(c.handles_flow_removed.load(), 0u);  // table LRU recycle
+  EXPECT_GT(c.handles_released.load(), 0u);      // engine max_conns evict
+  EXPECT_LE(s.ids->conn_count(), 8u);
+  // ...and after draining the table, every handle is accounted exactly once.
+  s.aiu->flow_table().expire_idle(kSweepAll);
+  EXPECT_EQ(outstanding(c), 0u);
+}
+
+TEST(L7HandleLifecycle, OffloadAccountsHandles) {
+  L7Stack s({{"patterns", "ZZTOP"}, {"inspect_limit", "1024"}});
+  s.play(tgen::tcp_stream(stream_spec(4006, 8192)));
+  const auto& c = s.ids->counters();
+  EXPECT_EQ(c.handles_offloaded.load(), 2u);
+  EXPECT_EQ(outstanding(c), 0u);
+  // The offloaded entries are unbound: expiring them must not double-count.
+  s.aiu->flow_table().expire_idle(kSweepAll);
+  EXPECT_EQ(c.handles_flow_removed.load(), 0u);
+  EXPECT_EQ(outstanding(c), 0u);
+}
+
+TEST(L7HandleLifecycle, StackTeardownOrder) {
+  L7Stack s;
+  s.play(tgen::tcp_stream(stream_spec(4007)));
+  EXPECT_EQ(outstanding(s.ids->counters()), 2u);
+  // Tear the datapath down the way the kernel does: core first, then the
+  // Aiu (whose flow-table destructor fires flow_removed into the still-live
+  // instances owned by the PCU).
+  s.core.reset();
+  s.aiu.reset();
+  EXPECT_EQ(s.ids->counters().handles_flow_removed.load(), 2u);
+  EXPECT_EQ(outstanding(s.ids->counters()), 0u);
+}
+
+TEST(L7HandleLifecycle, EngineResetReleasesEverything) {
+  L7Stack s;
+  s.play(tgen::tcp_stream(stream_spec(4008)));
+  plugin::PluginMsg msg;
+  msg.custom_name = "reset";
+  plugin::PluginReply reply;
+  ASSERT_EQ(s.ids->handle_message(msg, reply), Status::ok);
+  EXPECT_EQ(s.ids->conn_count(), 0u);
+  EXPECT_EQ(s.ids->counters().handles_released.load(), 2u);
+  EXPECT_EQ(outstanding(s.ids->counters()), 0u);
+  // The nulled soft slots mean later table removal has nothing to call.
+  s.aiu->flow_table().expire_idle(kSweepAll);
+  EXPECT_EQ(s.ids->counters().handles_flow_removed.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// pmgr `l7` control surface
+
+class L7PmgrTest : public ::testing::Test {
+ protected:
+  L7PmgrTest() : lib_(kernel_), pmgr_(lib_) {
+    mgmt::register_builtin_modules();
+    kernel_.add_interface("if0");
+    kernel_.add_interface("if1");
+  }
+
+  core::RouterKernel kernel_;
+  mgmt::RouterPluginLib lib_;
+  mgmt::PluginManager pmgr_;
+};
+
+TEST_F(L7PmgrTest, EndToEndConfigurationAndVerdicts) {
+  const char* script = R"(
+route add 10.0.0.0/8 if0
+route add 20.0.0.0/8 if1
+modload l7ids
+create l7ids patterns=EVIL1 inspect_limit=0 log_hits=1
+bind l7ids 1 <*, *, tcp, *, *, *>
+)";
+  auto r = pmgr_.run_script(script);
+  ASSERT_TRUE(r.ok()) << r.text;
+
+  tgen::TcpStreamSpec sp;
+  sp.ep.src = *netbase::IpAddr::parse("10.0.0.1");
+  sp.ep.dst = *netbase::IpAddr::parse("20.0.0.1");
+  sp.ep.proto = kTcp;
+  sp.ep.sport = 4000;
+  sp.ep.dport = 80;
+  sp.payload = tgen::plant(4096, 9, {{1000, "EVIL1"}});
+  for (auto& a : tgen::tcp_stream(sp))
+    kernel_.inject(a.t, a.iface, std::move(a.p));
+  kernel_.run_to_completion();
+
+  auto v = pmgr_.exec("l7 verdicts");
+  ASSERT_TRUE(v.ok()) << v.text;
+  EXPECT_NE(v.text.find("alert=1"), std::string::npos) << v.text;
+  EXPECT_NE(v.text.find("match id=0"), std::string::npos) << v.text;
+
+  auto st = pmgr_.exec("l7 status");
+  ASSERT_TRUE(st.ok());
+  EXPECT_NE(st.text.find("l7ids#1:"), std::string::npos) << st.text;
+  EXPECT_NE(st.text.find("conns=1"), std::string::npos) << st.text;
+}
+
+TEST_F(L7PmgrTest, RuleManagement) {
+  ASSERT_TRUE(pmgr_.exec("modload l7ids").ok());
+  ASSERT_TRUE(pmgr_.exec("create l7ids patterns=EVIL1").ok());
+
+  auto list = pmgr_.exec("l7 rules l7ids 1 list");
+  ASSERT_TRUE(list.ok()) << list.text;
+  EXPECT_NE(list.text.find("EVIL1"), std::string::npos);
+
+  ASSERT_TRUE(pmgr_.exec("l7 rules l7ids 1 add BADPAT").ok());
+  list = pmgr_.exec("l7 rules l7ids 1 list");
+  EXPECT_NE(list.text.find("EVIL1"), std::string::npos);
+  EXPECT_NE(list.text.find("BADPAT"), std::string::npos);
+
+  ASSERT_TRUE(pmgr_.exec("l7 rules l7ids 1 set ONE,TWO").ok());
+  list = pmgr_.exec("l7 rules l7ids 1 list");
+  EXPECT_EQ(list.text.find("EVIL1"), std::string::npos);
+  EXPECT_NE(list.text.find("ONE"), std::string::npos);
+  EXPECT_NE(list.text.find("TWO"), std::string::npos);
+
+  ASSERT_TRUE(pmgr_.exec("l7 rules l7ids 1 clear").ok());
+
+  // Malformed pattern lists and bad targets fail loudly.
+  EXPECT_FALSE(pmgr_.exec("l7 rules l7ids 1 set a,,b").ok());
+  EXPECT_FALSE(pmgr_.exec("l7 rules nosuch 1 list").ok());
+  EXPECT_FALSE(pmgr_.exec("l7 rules l7ids 99 list").ok());
+  EXPECT_FALSE(pmgr_.exec("l7 bogus").ok());
+}
+
+TEST_F(L7PmgrTest, BudgetAndReset) {
+  ASSERT_TRUE(pmgr_.exec("modload l7ids").ok());
+  ASSERT_TRUE(pmgr_.exec("create l7ids patterns=EVIL1").ok());
+
+  auto b = pmgr_.exec("l7 budget inspect_limit=2048 per_flow_budget=4096");
+  ASSERT_TRUE(b.ok()) << b.text;
+  EXPECT_NE(b.text.find("inspect_limit=2048"), std::string::npos) << b.text;
+  EXPECT_NE(b.text.find("per_flow_budget=4096"), std::string::npos) << b.text;
+
+  auto rs = pmgr_.exec("l7 reset");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_NE(rs.text.find("reset 0 conns"), std::string::npos) << rs.text;
+}
+
+}  // namespace
+}  // namespace rp::l7

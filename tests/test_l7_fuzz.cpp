@@ -1,0 +1,383 @@
+// Adversarial differential fuzz for the stateful L7 inspection subsystem.
+//
+// The evasion mutator (tgen::tcp_stream_evasion) applies segment-level
+// rewrites — bounded reordering, tiny-segment splitting, exact-duplicate
+// retransmits, and garbage overlap copies — constrained so a first-wins
+// reassembler provably reconstructs the original stream. These tests hold
+// the subsystem to that proof against a trivial oracle that never sees
+// segments at all:
+//
+//   * L7Fuzz.ReassemblerReconstructsEvadedStreams feeds the mutated segment
+//     list straight into a StreamReassembler per direction and demands the
+//     delivered byte stream equal the original payload byte for byte.
+//   * L7Fuzz.IdsHitsMatchFullStreamOracle plays the mutated conversation
+//     through a real IpCore + AIU + l7ids gate and compares the engine's
+//     full hit log against an Aho-Corasick scan of the original payloads.
+//   * L7FuzzShard.* replays multi-connection evaded traffic through a
+//     ShardedDatapath with N ∈ {1, 2, 4} workers. The two directions of one
+//     connection hash to independent shards, so direction indices are
+//     shard-local; per-direction-distinct pattern strings make the
+//     aggregated (pattern, end-offset) multiset direction-unambiguous.
+//
+// Suite names matter: ctest's l7-fuzz label runs L7Fuzz.* (also under
+// ASan), and l7-fuzz-parallel-tsan runs L7FuzzShard.* under TSan against
+// real worker threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aiu/flow_table.hpp"
+#include "core/ip_core.hpp"
+#include "l7/aho_corasick.hpp"
+#include "l7/l7_plugins.hpp"
+#include "l7/reassembler.hpp"
+#include "parallel/sharded_datapath.hpp"
+#include "pkt/headers.hpp"
+#include "tgen/tcp_stream.hpp"
+
+namespace rp::l7 {
+namespace {
+
+using netbase::Status;
+using plugin::PluginType;
+
+constexpr std::uint8_t kTcp = static_cast<std::uint8_t>(pkt::IpProto::tcp);
+constexpr std::uint8_t kSyn = 0x02;
+
+// xorshift-style mixer so offsets/sizes derive deterministically from seeds.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+tgen::EvasionSpec evasion_for(std::uint64_t seed) {
+  tgen::EvasionSpec ev;
+  ev.seed = seed;
+  ev.reorder_window = 1 + seed % 7;
+  ev.tiny_split_prob = 0.15 + 0.05 * static_cast<double>(seed % 5);
+  ev.dup_prob = 0.10 + 0.05 * static_cast<double>(seed % 3);
+  ev.overlap_rewrite_prob = 0.15 + 0.05 * static_cast<double>(seed % 4);
+  return ev;
+}
+
+// Plants each pattern `copies` times at deterministic pseudo-random offsets.
+// Overlapping plants are fine — the oracle scans the bytes that actually
+// ended up in the stream, not the plant list.
+std::vector<std::uint8_t> planted_stream(
+    std::size_t bytes, std::uint64_t seed,
+    const std::vector<std::string>& patterns, std::size_t copies) {
+  std::vector<std::pair<std::size_t, std::string>> plants;
+  std::uint64_t s = seed * 1315423911ull + 7;
+  for (const std::string& pat : patterns)
+    for (std::size_t i = 0; i < copies; ++i) {
+      s = mix(s);
+      if (bytes > pat.size())
+        plants.emplace_back(s % (bytes - pat.size()), pat);
+    }
+  return tgen::plant(bytes, seed, plants);
+}
+
+tgen::TcpStreamSpec fuzz_spec(std::uint16_t sport, std::uint64_t seed,
+                              const std::vector<std::string>& fwd_pats,
+                              const std::vector<std::string>& rev_pats) {
+  tgen::TcpStreamSpec sp;
+  sp.ep.src = *netbase::IpAddr::parse("10.0.0.1");
+  sp.ep.dst = *netbase::IpAddr::parse("20.0.0.1");
+  sp.ep.proto = kTcp;
+  sp.ep.sport = sport;
+  sp.ep.dport = 80;
+  sp.ep.in_iface = 0;
+  sp.mss = 256 + mix(seed) % 512;
+  sp.client_isn = static_cast<std::uint32_t>(mix(seed + 1));
+  sp.server_isn = static_cast<std::uint32_t>(mix(seed + 2));
+  sp.payload = planted_stream(2048 + mix(seed + 3) % 6144, seed + 4, fwd_pats,
+                              /*copies=*/3);
+  sp.reverse_payload = planted_stream(1024 + mix(seed + 5) % 4096, seed + 6,
+                                      rev_pats, /*copies=*/3);
+  return sp;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 1: the reassembled stream equals the original payload. The mutated
+// segment list is parsed back out of the wire-format packets and fed to a
+// bare StreamReassembler per direction — no engine, no flow table.
+
+struct ByteSink {
+  std::vector<std::uint8_t> bytes;
+  auto fn() {
+    return [this](const std::uint8_t* d, std::size_t n, std::uint64_t off) {
+      ASSERT_EQ(off, bytes.size()) << "non-contiguous delivery";
+      for (std::size_t i = 0; i < n; ++i) bytes.push_back(d[i]);
+    };
+  }
+};
+
+TEST(L7Fuzz, ReassemblerReconstructsEvadedStreams) {
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    tgen::TcpStreamSpec sp = fuzz_spec(5000, seed, {}, {});
+    sp.fin = seed % 2 == 0;
+    auto arrivals = tgen::tcp_stream_evasion(sp, evasion_for(seed));
+
+    StreamReassembler rs[2] = {StreamReassembler(1 << 20),
+                               StreamReassembler(1 << 20)};
+    ByteSink sinks[2];
+    for (const auto& a : arrivals) {
+      const pkt::Packet& p = *a.p;
+      pkt::TcpHeader th;
+      ASSERT_TRUE(th.parse({p.data() + p.l4_offset, p.size() - p.l4_offset}));
+      const unsigned dir = th.sport == sp.ep.sport ? 0 : 1;
+      if (th.flags & kSyn) {
+        rs[dir].on_syn(th.seq);
+        continue;
+      }
+      const std::size_t hdr = th.header_len();
+      const std::uint8_t* payload = p.data() + p.l4_offset + hdr;
+      const std::size_t len = p.size() - p.l4_offset - hdr;
+      EXPECT_TRUE(rs[dir].segment(th.seq, payload, len, sinks[dir].fn()));
+    }
+    EXPECT_EQ(sinks[0].bytes, sp.payload);
+    EXPECT_EQ(sinks[1].bytes, sp.reverse_payload);
+    EXPECT_FALSE(rs[0].stats().overflowed);
+    EXPECT_FALSE(rs[1].stats().overflowed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 2: the l7ids gate behind a real IpCore finds exactly the matches an
+// Aho-Corasick scan of the original (never-segmented) payloads finds.
+
+const std::vector<std::string>& fwd_patterns() {
+  static const std::vector<std::string> v{"EVILCORP", std::string("\x90\x90\x90\x90", 4),
+                                          "needle"};
+  return v;
+}
+const std::vector<std::string>& rev_patterns() {
+  static const std::vector<std::string> v{"SERVEREVIL", "HONEYTOKEN"};
+  return v;
+}
+std::vector<std::string> all_patterns() {
+  std::vector<std::string> v = fwd_patterns();
+  v.insert(v.end(), rev_patterns().begin(), rev_patterns().end());
+  return v;
+}
+
+AhoCorasick build_matcher(const std::vector<std::string>& pats) {
+  AhoCorasick ac;
+  for (const std::string& p : pats) ac.add(p);
+  ac.build();
+  return ac;
+}
+
+// Hits a full-stream scan predicts for one direction's payload.
+std::vector<MatchHit> oracle_hits(const AhoCorasick& ac,
+                                  const std::vector<std::uint8_t>& payload,
+                                  std::uint8_t dir) {
+  std::vector<MatchHit> hits;
+  ac.scan(AhoCorasick::kRoot, payload.data(), payload.size(), 0,
+          [&](std::uint32_t id, std::uint64_t end) {
+            hits.push_back({id, dir, end});
+          });
+  return hits;
+}
+
+bool hit_less(const MatchHit& a, const MatchHit& b) {
+  return std::tuple(a.dir, a.end, a.pattern) <
+         std::tuple(b.dir, b.end, b.pattern);
+}
+
+// Minimal manual stack: PCU + AIU + IpCore with the l7ids gate bound to all
+// TCP, mirroring RouterKernel wiring without the event loop.
+struct FuzzL7Stack {
+  netbase::SimClock clock;
+  plugin::PluginControlUnit pcu;
+  std::unique_ptr<aiu::Aiu> aiu;
+  route::RoutingTable routes{"bsl"};
+  netdev::InterfaceTable ifs;
+  std::unique_ptr<core::IpCore> core;
+  IdsInstance* ids{nullptr};
+
+  explicit FuzzL7Stack(plugin::Config cfg) {
+    aiu = std::make_unique<aiu::Aiu>(pcu, clock);
+    ifs.add("if0");
+    ifs.add("if1");
+    routes.add(*netbase::IpPrefix::parse("0.0.0.0/0"), {1, {}});
+    core = std::make_unique<core::IpCore>(*aiu, routes, ifs, clock,
+                                          core::CoreConfig{});
+    pcu.register_plugin(std::make_unique<IdsPlugin>());
+    plugin::InstanceId id = plugin::kNoInstance;
+    EXPECT_EQ(pcu.find("l7ids")->create_instance(std::move(cfg), id),
+              Status::ok);
+    ids = static_cast<IdsInstance*>(pcu.find("l7ids")->instance(id));
+    EXPECT_EQ(aiu->create_filter(PluginType::l7,
+                                 *aiu::Filter::parse("<*, *, tcp, *, *, *>"),
+                                 ids),
+              Status::ok);
+  }
+};
+
+std::string pattern_spec(const std::vector<std::string>& pats) {
+  std::string spec;
+  for (const std::string& p : pats) {
+    if (!spec.empty()) spec += ',';
+    spec += format_pattern(p);  // format escapes \xNN; parse undoes it
+  }
+  return spec;
+}
+
+TEST(L7Fuzz, IdsHitsMatchFullStreamOracle) {
+  const AhoCorasick oracle = build_matcher(all_patterns());
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    FuzzL7Stack s({{"patterns", pattern_spec(all_patterns())},
+                   {"alert_on_match", "0"},
+                   {"log_hits", "1"},
+                   {"inspect_limit", "0"},
+                   {"per_flow_budget", "1048576"}});
+    tgen::TcpStreamSpec sp =
+        fuzz_spec(5000, seed, fwd_patterns(), rev_patterns());
+    auto arrivals = tgen::tcp_stream_evasion(sp, evasion_for(seed));
+    for (auto& a : arrivals) s.core->process(std::move(a.p));
+
+    std::vector<MatchHit> want = oracle_hits(oracle, sp.payload, 0);
+    const auto rev = oracle_hits(oracle, sp.reverse_payload, 1);
+    want.insert(want.end(), rev.begin(), rev.end());
+    std::vector<MatchHit> got = s.ids->hit_log();
+    std::sort(want.begin(), want.end(), hit_less);
+    std::sort(got.begin(), got.end(), hit_less);
+    EXPECT_GT(want.size(), 0u) << "oracle found nothing — plants broken";
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(s.ids->counters().verdict_overflow.load(), 0u);
+  }
+}
+
+// The evasion mutator must not smuggle extra copies of a pattern into the
+// normalized stream either: a garbage overlap copy that *contains* a planted
+// pattern would be a false positive if first-wins ever let it through. The
+// exact-equality check above already proves this; this test just cranks the
+// mutation rates to their extremes to hunt for budget-order bugs.
+TEST(L7Fuzz, AggressiveMutationStillExact) {
+  const AhoCorasick oracle = build_matcher(all_patterns());
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    FuzzL7Stack s({{"patterns", pattern_spec(all_patterns())},
+                   {"alert_on_match", "0"},
+                   {"log_hits", "1"},
+                   {"inspect_limit", "0"},
+                   {"per_flow_budget", "4194304"}});
+    tgen::TcpStreamSpec sp =
+        fuzz_spec(5000, seed, fwd_patterns(), rev_patterns());
+    sp.mss = 64;  // many small segments → deep reorder interleavings
+    tgen::EvasionSpec ev;
+    ev.seed = seed;
+    ev.reorder_window = 17;
+    ev.tiny_split_prob = 0.9;
+    ev.dup_prob = 0.5;
+    ev.overlap_rewrite_prob = 0.9;
+    auto arrivals = tgen::tcp_stream_evasion(sp, ev);
+    for (auto& a : arrivals) s.core->process(std::move(a.p));
+
+    std::vector<MatchHit> want = oracle_hits(oracle, sp.payload, 0);
+    const auto rev = oracle_hits(oracle, sp.reverse_payload, 1);
+    want.insert(want.end(), rev.begin(), rev.end());
+    std::vector<MatchHit> got = s.ids->hit_log();
+    std::sort(want.begin(), want.end(), hit_less);
+    std::sort(got.begin(), got.end(), hit_less);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(s.ids->counters().verdict_overflow.load(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded: same oracle through a ShardedDatapath. Each shard owns a private
+// replicated stack (own AIU, own l7ids instance); the two directions of a
+// connection may land on different shards, so hits are aggregated across
+// shards as a (pattern-string, end-offset) multiset — direction indices are
+// shard-local and pattern strings are per-direction distinct by design.
+
+using HitSet = std::map<std::pair<std::string, std::uint64_t>, std::size_t>;
+
+void run_l7_shard_fuzz(std::uint32_t workers, std::uint64_t seed) {
+  SCOPED_TRACE("workers=" + std::to_string(workers) +
+               " seed=" + std::to_string(seed));
+  const std::string spec_str = pattern_spec(all_patterns());
+
+  std::vector<IdsInstance*> ids(workers, nullptr);
+  parallel::ShardedDatapath::Options opt;
+  opt.workers = workers;
+  opt.ring_capacity = 256;
+  parallel::ShardedDatapath dp(opt, [&](parallel::ShardContext& ctx) {
+    ctx.interfaces().add("if0");
+    ctx.interfaces().add("if1");
+    ctx.routes().add(*netbase::IpPrefix::parse("20.0.0.0/8"), {1, {}});
+    ctx.routes().add(*netbase::IpPrefix::parse("10.0.0.0/8"), {0, {}});
+    ctx.pcu().register_plugin(std::make_unique<IdsPlugin>());
+    plugin::InstanceId iid = plugin::kNoInstance;
+    ASSERT_EQ(ctx.pcu().find("l7ids")->create_instance(
+                  {{"patterns", spec_str},
+                   {"alert_on_match", "0"},
+                   {"log_hits", "1"},
+                   {"inspect_limit", "0"},
+                   {"per_flow_budget", "1048576"}},
+                  iid),
+              Status::ok);
+    ids[ctx.id()] =
+        static_cast<IdsInstance*>(ctx.pcu().find("l7ids")->instance(iid));
+    ASSERT_EQ(ctx.aiu().create_filter(
+                  PluginType::l7, *aiu::Filter::parse("<*, *, tcp, *, *, *>"),
+                  ids[ctx.id()]),
+              Status::ok);
+  });
+  dp.set_tx_handler(
+      [](parallel::ShardContext&, pkt::IfIndex, pkt::PacketPtr) {});
+
+  const AhoCorasick oracle = build_matcher(all_patterns());
+  HitSet want;
+  constexpr std::uint16_t kConns = 6;
+  for (std::uint16_t c = 0; c < kConns; ++c) {
+    const std::uint64_t cseed = seed * 100 + c;
+    tgen::TcpStreamSpec sp = fuzz_spec(static_cast<std::uint16_t>(6000 + c),
+                                       cseed, fwd_patterns(), rev_patterns());
+    for (std::uint8_t dir : {0, 1})
+      for (const MatchHit& h : oracle_hits(
+               oracle, dir == 0 ? sp.payload : sp.reverse_payload, dir))
+        ++want[{oracle.pattern(h.pattern), h.end}];
+    for (auto& a : tgen::tcp_stream_evasion(sp, evasion_for(cseed)))
+      dp.submit(std::move(a.p));
+  }
+  dp.quiesce();
+  dp.stop();
+
+  HitSet got;
+  for (std::uint32_t i = 0; i < workers; ++i) {
+    ASSERT_NE(ids[i], nullptr);
+    for (const MatchHit& h : ids[i]->hit_log())
+      ++got[{ids[i]->matcher().pattern(h.pattern), h.end}];
+    EXPECT_EQ(ids[i]->counters().verdict_overflow.load(), 0u) << "shard " << i;
+  }
+  EXPECT_GT(want.size(), 0u);
+  EXPECT_EQ(got, want);
+}
+
+TEST(L7FuzzShard, OneWorkerMatchesOracle) {
+  for (std::uint64_t seed : {3ull, 42ull}) run_l7_shard_fuzz(1, seed);
+}
+
+TEST(L7FuzzShard, TwoWorkersMatchOracle) {
+  for (std::uint64_t seed : {3ull, 42ull}) run_l7_shard_fuzz(2, seed);
+}
+
+TEST(L7FuzzShard, FourWorkersMatchOracle) {
+  for (std::uint64_t seed : {3ull, 42ull, 1337ull}) run_l7_shard_fuzz(4, seed);
+}
+
+}  // namespace
+}  // namespace rp::l7
