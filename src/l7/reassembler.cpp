@@ -5,9 +5,44 @@
 namespace rp::l7 {
 
 void StreamReassembler::on_syn(std::uint32_t isn) {
-  if (stats_.synced) return;
-  base_ = isn + 1;  // SYN consumes one sequence number
-  stats_.synced = true;
+  const std::uint32_t start = isn + 1;  // SYN consumes one sequence number
+  if (!stats_.synced) {
+    base_ = start;
+    stats_.synced = true;
+    syn_anchored_ = true;
+    return;
+  }
+  if (syn_anchored_) return;  // true ISN known; a different ISN is ignored
+  if (base_ == start) {  // data segment guessed the exact stream start
+    syn_anchored_ = true;
+    return;
+  }
+  // The direction synced provisionally off a data segment that outran the
+  // handshake. A late SYN whose ISN is a short distance away is this
+  // connection's true ISN; a far-away one is unrelated and is ignored.
+  const std::uint32_t below = base_ - start;  // SYN below the provisional base
+  if (delivered_ == 0 && ooo_.empty()) {
+    // Nothing numbered against the provisional base yet (it came from a
+    // zero-length probe): adopt the true ISN outright.
+    if (std::min(below, start - base_) <= kMaxSynRebase) {
+      base_ = start;
+      syn_anchored_ = true;
+    }
+    return;
+  }
+  if (below == 0 || below > kMaxSynRebase) return;
+  syn_anchored_ = true;
+  // Too late to renumber — offset 0 under the provisional base was already
+  // handed out. Bytes from [start, base_) mapped to ~4 GiB future offsets
+  // and can never become deliverable; drop any such buffered pieces instead
+  // of pinning the out-of-order budget until eviction. Anything more than
+  // 2 GiB past the watermark is beyond every plausible TCP window.
+  const std::uint64_t implausible = delivered_ + 0x80000000ull;
+  for (auto it = ooo_.lower_bound(implausible); it != ooo_.end();) {
+    stats_.buffered_bytes -= it->second.size();
+    stats_.trimmed_bytes += it->second.size();
+    it = ooo_.erase(it);
+  }
 }
 
 void StreamReassembler::release(bool overflow) {

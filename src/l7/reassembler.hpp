@@ -4,7 +4,10 @@
 // base established on SYN (or synced on the first segment seen mid-stream),
 // a delivered-byte watermark, and a bounded out-of-order buffer. Segments
 // are normalized into a contiguous in-order byte stream handed to the
-// inspection callback.
+// inspection callback. Stream offsets are 64-bit: the 32-bit sequence
+// distance from the base is unwrapped against the delivered watermark, so
+// streams past 4 GiB keep delivering across sequence wraparound instead of
+// silently trimming everything after the wrap.
 //
 // Overlap policy is explicit **first-wins**: the first-arriving copy of any
 // byte offset is what the stream delivers. Data below the delivered
@@ -40,9 +43,17 @@ class StreamReassembler {
 
   explicit StreamReassembler(std::size_t budget) : budget_(budget) {}
 
+  // Largest distance below a provisional mid-stream base at which a late
+  // handshake SYN is still treated as this connection's ISN (data that
+  // outran a reordered SYN is at most a few windows' worth).
+  static constexpr std::uint32_t kMaxSynRebase = 1u << 20;
+
   // Establishes the sequence base from a SYN (the SYN consumes one sequence
   // number: first payload byte is seq+1). Idempotent for retransmitted SYNs
-  // with the same ISN; a different ISN after sync is ignored.
+  // with the same ISN; an unrelated ISN after sync is ignored. A reordered
+  // handshake SYN arriving after data forced a mid-stream sync rebases if
+  // nothing was numbered yet, and otherwise evicts buffered pieces stranded
+  // at implausible pre-base offsets.
   void on_syn(std::uint32_t isn);
 
   // Feeds one segment's payload. `deliver(data, len, stream_off)` is invoked
@@ -56,9 +67,7 @@ class StreamReassembler {
     if (stats_.overflowed) return false;
     if (!stats_.synced) sync(seq);
     if (len == 0) return true;
-    // Wrap-safe stream offset; streams < 4 GiB stay in range.
-    std::uint64_t off = static_cast<std::uint32_t>(seq - base_);
-    return ingest(off, data, len, deliver);
+    return ingest(unwrap(seq - base_), data, len, deliver);
   }
 
   const Stats& stats() const noexcept { return stats_; }
@@ -72,6 +81,21 @@ class StreamReassembler {
   void sync(std::uint32_t seq) {
     base_ = seq;
     stats_.synced = true;
+  }
+
+  // Extends the 32-bit relative offset to 64 bits against the delivered
+  // watermark: picks the 4 GiB epoch that lands the offset within ±2 GiB of
+  // the watermark, so streams past 4 GiB keep advancing across sequence
+  // wraps and late pre-wrap retransmits still trim below it. ±2 GiB is far
+  // beyond any TCP window, so the nearest epoch is always the right one.
+  std::uint64_t unwrap(std::uint32_t rel) const noexcept {
+    std::uint64_t off = (delivered_ & ~std::uint64_t{0xffffffff}) | rel;
+    if (off + 0x80000000ull < delivered_) {
+      off += 0x100000000ull;
+    } else if (off > delivered_ + 0x80000000ull && off >= 0x100000000ull) {
+      off -= 0x100000000ull;
+    }
+    return off;
   }
 
   template <class F>
@@ -91,10 +115,22 @@ class StreamReassembler {
       off = delivered_;
     }
     if (off == delivered_) {
-      deliver(data, len, off);
-      delivered_ += len;
-      stats_.delivered_bytes += len;
+      // First-wins against buffered pieces too: if an out-of-order piece
+      // starts inside this segment, only the prefix up to it is new.
+      // Deliver that prefix, let drain() promote the buffered (earlier-
+      // arrived) copy, then re-ingest the tail so it is trimmed against the
+      // advanced watermark and clipped around any remaining pieces. Without
+      // the cap, a later in-order segment spanning a buffered piece would
+      // rewrite first-arrived bytes — the overlap evasion this exists for.
+      std::size_t n = len;
+      auto first = ooo_.begin();
+      if (first != ooo_.end() && first->first < end)
+        n = static_cast<std::size_t>(first->first - off);
+      deliver(data, n, off);
+      delivered_ += n;
+      stats_.delivered_bytes += n;
       drain(deliver);
+      if (n < len) return ingest(off + n, data + n, len - n, deliver);
       return true;
     }
     return buffer_ooo(off, data, len);
@@ -127,6 +163,7 @@ class StreamReassembler {
 
   std::size_t budget_;
   std::uint32_t base_{0};
+  bool syn_anchored_{false};  // base_ came from (or was confirmed by) a SYN
   std::uint64_t delivered_{0};
   // Non-overlapping out-of-order pieces keyed by stream offset. Invariant:
   // pieces never overlap each other or the delivered range (new data is

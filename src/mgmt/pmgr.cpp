@@ -701,9 +701,11 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
   }
   if (cmd == "l7") {
     // Operator surface of the stateful L7 inspection gate. status/verdicts/
-    // budget/reset broadcast to every instance of every l7-type plugin (and,
-    // with a sharded datapath attached, to each shard's private instances
-    // via the quiesce-safe gather hook); `rules` targets one instance.
+    // budget/reset broadcast to every instance of every l7-type plugin;
+    // `rules` targets one (plugin, instance) pair. With a sharded datapath
+    // attached, every subcommand also reaches each shard's private
+    // instances via the quiesce-safe gather hook — rules included, since
+    // those are the instances that actually see traffic.
     const std::string sub = tok.size() > 1 ? tok[1] : "status";
     auto broadcast = [](plugin::PluginControlUnit& pcu, const std::string& name,
                         const plugin::Config& args, std::string& text) {
@@ -759,7 +761,34 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
         return usage(u);
       }
       auto reply = lib_.message(tok[2], id, "rules", args);
-      return {reply.status, reply.text};
+      if (!sharded_) return {reply.status, reply.text};
+      // Mirror the mutation (or listing) onto each shard's private
+      // instance of the same (plugin, id); the per-shard generation bump
+      // makes the automaton rebuild safe mid-traffic. The command succeeds
+      // if any instance — main or shard — answered.
+      std::string text = reply.status == Status::ok ? reply.text : "";
+      bool any = reply.status == Status::ok;
+      std::vector<std::string> per(sharded_->workers());
+      sharded_->gather([&](parallel::ShardContext& ctx) {
+        plugin::Plugin* pl = ctx.pcu().find(tok[2]);
+        plugin::PluginInstance* inst = pl ? pl->instance(id) : nullptr;
+        if (!inst) return;
+        plugin::PluginMsg msg;
+        msg.plugin_name = tok[2];
+        msg.instance = id;
+        msg.custom_name = "rules";
+        msg.args = args;
+        plugin::PluginReply r;
+        if (inst->handle_message(msg, r) == Status::ok) per[ctx.id()] = r.text;
+      });
+      for (std::uint32_t i = 0; i < sharded_->workers(); ++i) {
+        if (per[i].empty()) continue;
+        any = true;
+        text += (text.empty() ? "" : "\n") + ("shard" + std::to_string(i)) +
+                ": " + per[i];
+      }
+      if (!any) return {reply.status, reply.text};
+      return {Status::ok, text};
     }
     return {Status::invalid_argument,
             "unknown l7 subcommand: " + sub +

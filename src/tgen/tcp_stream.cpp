@@ -171,6 +171,11 @@ std::vector<Arrival> tcp_stream_evasion(const TcpStreamSpec& spec,
   //    garbage copy of the same sequence range. Arriving second, the
   //    first-wins policy discards every byte of it; a last-wins or
   //    unnormalized inspector would see the garbage instead.
+  // 3b. Spanning rewrites: a data segment [a,b) is replaced by its true
+  //    suffix [m,b) followed by a full-range copy whose suffix is garbage.
+  //    The garbage copy arrives with [m,b) already buffered, so it spans a
+  //    piece whose boundaries differ from its own — first-wins must clip
+  //    the in-order delivery around the buffered first copy.
   // 4. Exact-duplicate retransmits: true content re-sent at the tail of
   //    the conversation (late retransmit permutation — safe anywhere).
   std::vector<Seg> out;
@@ -179,6 +184,8 @@ std::vector<Arrival> tcp_stream_evasion(const TcpStreamSpec& spec,
   for (Seg& s : segs) {
     const bool data = s.data;
     const bool rewrite = data && rng.chance(ev.overlap_rewrite_prob);
+    const bool span = data && !s.pinned && s.bytes.size() >= 2 &&
+                      rng.chance(ev.span_rewrite_prob);
     const bool dup = data && rng.chance(ev.dup_prob);
     if (dup) late.push_back(s);
     Seg garbage;
@@ -189,7 +196,23 @@ std::vector<Arrival> tcp_stream_evasion(const TcpStreamSpec& spec,
       for (auto& b : garbage.bytes)
         b = static_cast<std::uint8_t>(rng.below(256));
     }
-    out.push_back(std::move(s));
+    if (span) {
+      const std::size_t m = rng.range(1, s.bytes.size() - 1);
+      Seg tail{s.reverse, static_cast<std::uint32_t>(s.seq + m), s.ack,
+               s.flags,
+               {s.bytes.begin() + static_cast<std::ptrdiff_t>(m),
+                s.bytes.end()},
+               false, true};
+      Seg whole = s;  // true prefix [a,m), garbage suffix [m,b)
+      whole.pinned = false;
+      whole.data = false;
+      for (std::size_t k = m; k < whole.bytes.size(); ++k)
+        whole.bytes[k] = static_cast<std::uint8_t>(rng.below(256));
+      out.push_back(std::move(tail));
+      out.push_back(std::move(whole));
+    } else {
+      out.push_back(std::move(s));
+    }
     if (rewrite) out.push_back(std::move(garbage));
   }
   for (Seg& s : late) {

@@ -15,6 +15,15 @@
 //   * each direction's first arrival (SYN, or the first data segment when
 //     no handshake) is never displaced, so sequence-base sync is stable.
 //
+// The spanning rewrite (span_rewrite_prob) is the misaligned-overlap
+// evasion: a data segment [a,b) becomes its true suffix [m,b) arriving
+// first, followed by a full-range copy of [a,b) whose prefix [a,m) is true
+// and whose suffix [m,b) is garbage. The suffix's first copy is the true
+// one, so first-wins still reconstructs the stream — but the garbage copy
+// reaches the reassembler as an in-order segment *spanning* an
+// already-buffered piece with different boundaries, the shape a rewrite
+// aligned to true segment edges never produces.
+//
 // Under these rules, the reassembled stream must equal the original payload
 // byte-for-byte — the invariant the l7 differential fuzz tests check.
 #pragma once
@@ -49,6 +58,7 @@ struct EvasionSpec {
   double tiny_split_prob{0.0};       // split a data segment into 1-8B slivers
   double dup_prob{0.0};              // re-emit an exact duplicate late
   double overlap_rewrite_prob{0.0};  // garbage copy right after the true one
+  double span_rewrite_prob{0.0};     // misaligned spanning rewrite (below)
   std::uint64_t seed{1};
 };
 

@@ -226,6 +226,43 @@ TEST(Reassembler, FirstWinsAgainstBufferedPieces) {
   EXPECT_EQ(rs.stats().buffered_bytes, 0u);
 }
 
+// Regression (review): an *in-order* segment spanning an already-buffered
+// out-of-order piece must not rewrite it. This is the overlap-rewrite IDS
+// evasion with misaligned boundaries: the OOO piece carries the first
+// (true) copy, a later in-order segment spans it with different bytes —
+// only the flanks of the spanning copy are new.
+TEST(Reassembler, InOrderSegmentSpanningBufferedPieceIsClipped) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  rs.on_syn(99);  // seq 100 == stream offset 0
+  // First copy of [10,16) arrives out of order.
+  EXPECT_TRUE(rs.segment(110, u8("ATTACK"), 6, sink.fn()));
+  EXPECT_EQ(sink.bytes.size(), 0u);
+  // In-order [0,20): true head [0,10), a rewrite of [10,16), novel tail.
+  EXPECT_TRUE(rs.segment(100, u8("0123456789cover!tail"), 20, sink.fn()));
+  EXPECT_EQ(sink.str(), "0123456789ATTACKtail");
+  EXPECT_TRUE(sink.contiguous);
+  EXPECT_EQ(rs.delivered(), 20u);
+  EXPECT_EQ(rs.stats().trimmed_bytes, 6u);
+  EXPECT_EQ(rs.stats().buffered_bytes, 0u);
+}
+
+// Same evasion through several buffered pieces at once: the spanning
+// segment fills each gap from its own bytes but every buffered range keeps
+// its first-arrived content.
+TEST(Reassembler, InOrderSegmentSpanningMultiplePiecesIsClipped) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  rs.on_syn(99);
+  EXPECT_TRUE(rs.segment(104, u8("EE"), 2, sink.fn()));  // [4,6)
+  EXPECT_TRUE(rs.segment(109, u8("NN"), 2, sink.fn()));  // [9,11)
+  EXPECT_TRUE(rs.segment(100, u8("abcdxxghixxlmn"), 14, sink.fn()));
+  EXPECT_EQ(sink.str(), "abcdEEghiNNlmn");
+  EXPECT_TRUE(sink.contiguous);
+  EXPECT_EQ(rs.stats().trimmed_bytes, 4u);
+  EXPECT_EQ(rs.stats().buffered_bytes, 0u);
+}
+
 TEST(Reassembler, BufferedPieceStraddlingWatermarkIsClipped) {
   StreamReassembler rs(1024);
   Sink sink;
@@ -271,6 +308,71 @@ TEST(Reassembler, SequenceNumberWraparound) {
   EXPECT_EQ(sink.str(), "abcdefghij");
   EXPECT_TRUE(sink.contiguous);
   EXPECT_EQ(rs.delivered(), 10u);
+}
+
+// Regression (review): stream offsets are unwrapped to 64 bits, so a
+// direction carrying 4 GiB+ keeps delivering across the sequence-number
+// wrap instead of silently trimming everything after it (a fail-open on
+// long-lived flows with inspect_limit=0).
+TEST(Reassembler, MultiGigabyteStreamSurvivesSequenceWrap) {
+  StreamReassembler rs(1024);
+  std::uint64_t delivered = 0;
+  bool contiguous = true;
+  auto count = [&](const std::uint8_t*, std::size_t n, std::uint64_t off) {
+    if (off != delivered) contiguous = false;
+    delivered += n;
+  };
+  const std::uint32_t isn = 0xFFFF0000u;  // the seq space wraps almost at once
+  rs.on_syn(isn);
+  std::vector<std::uint8_t> chunk(1 << 20, 0xab);
+  const std::uint64_t total = 5ull << 30;  // 5 GiB > one full seq cycle
+  for (std::uint64_t off = 0; off < total; off += chunk.size()) {
+    const std::uint32_t seq = static_cast<std::uint32_t>(isn + 1 + off);
+    ASSERT_TRUE(rs.segment(seq, chunk.data(), chunk.size(), count));
+  }
+  EXPECT_EQ(rs.delivered(), total);
+  EXPECT_EQ(delivered, total);
+  EXPECT_TRUE(contiguous);
+  EXPECT_FALSE(rs.stats().overflowed);
+  // A late retransmit from a pre-wrap sequence trims below the watermark
+  // instead of buffering ~4 GiB in the future.
+  ASSERT_TRUE(rs.segment(isn + 1 + 1000, chunk.data(), 64, count));
+  EXPECT_EQ(rs.stats().buffered_bytes, 0u);
+  EXPECT_EQ(rs.stats().trimmed_bytes, 64u);
+}
+
+// Regression (review): a reordered handshake SYN arriving after its data
+// forced a mid-stream sync. Pre-base bytes mapped to ~4 GiB future offsets
+// must not sit in the out-of-order buffer until eviction.
+TEST(Reassembler, LateSynEvictsImplausiblePreBasePieces) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  // Data outran the SYN: the provisional base anchors at seq 200.
+  EXPECT_TRUE(rs.segment(200, u8("anchor"), 6, sink.fn()));
+  // Bytes from before the provisional base buffer at an implausible offset.
+  EXPECT_TRUE(rs.segment(150, u8("early"), 5, sink.fn()));
+  EXPECT_EQ(rs.stats().buffered_bytes, 5u);
+  rs.on_syn(99);  // the true ISN: first payload byte is seq 100
+  EXPECT_EQ(rs.stats().buffered_bytes, 0u);  // stranded piece evicted
+  EXPECT_EQ(rs.stats().trimmed_bytes, 5u);
+  // Delivery continues from the provisional base.
+  EXPECT_TRUE(rs.segment(206, u8(" next"), 5, sink.fn()));
+  EXPECT_EQ(sink.str(), "anchor next");
+  EXPECT_TRUE(sink.contiguous);
+}
+
+// When the provisional sync came from a zero-length probe, nothing was
+// numbered yet, so the late SYN's ISN is adopted outright and offset 0
+// lands on the true first payload byte.
+TEST(Reassembler, LateSynAfterEmptySegmentSyncAdoptsIsn) {
+  StreamReassembler rs(1024);
+  Sink sink;
+  EXPECT_TRUE(rs.segment(999, nullptr, 0, sink.fn()));  // keepalive probe
+  EXPECT_TRUE(rs.stats().synced);
+  rs.on_syn(999);  // first payload byte is seq 1000
+  EXPECT_TRUE(rs.segment(1000, u8("abc"), 3, sink.fn()));
+  EXPECT_EQ(sink.str(), "abc");
+  EXPECT_EQ(sink.next, 3u);  // delivered at offset 0, not buffered at 1
 }
 
 TEST(Reassembler, BudgetOverflowFailsOpen) {

@@ -2,8 +2,10 @@
 //
 // The evasion mutator (tgen::tcp_stream_evasion) applies segment-level
 // rewrites — bounded reordering, tiny-segment splitting, exact-duplicate
-// retransmits, and garbage overlap copies — constrained so a first-wins
-// reassembler provably reconstructs the original stream. These tests hold
+// retransmits, garbage overlap copies, and misaligned spanning rewrites
+// (an in-order copy spanning a buffered piece with different boundaries) —
+// constrained so a first-wins reassembler provably reconstructs the
+// original stream. These tests hold
 // the subsystem to that proof against a trivial oracle that never sees
 // segments at all:
 //
@@ -65,6 +67,7 @@ tgen::EvasionSpec evasion_for(std::uint64_t seed) {
   ev.tiny_split_prob = 0.15 + 0.05 * static_cast<double>(seed % 5);
   ev.dup_prob = 0.10 + 0.05 * static_cast<double>(seed % 3);
   ev.overlap_rewrite_prob = 0.15 + 0.05 * static_cast<double>(seed % 4);
+  ev.span_rewrite_prob = 0.15 + 0.05 * static_cast<double>(seed % 6);
   return ev;
 }
 
@@ -282,6 +285,7 @@ TEST(L7Fuzz, AggressiveMutationStillExact) {
     ev.tiny_split_prob = 0.9;
     ev.dup_prob = 0.5;
     ev.overlap_rewrite_prob = 0.9;
+    ev.span_rewrite_prob = 0.9;
     auto arrivals = tgen::tcp_stream_evasion(sp, ev);
     for (auto& a : arrivals) s.core->process(std::move(a.p));
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/router.hpp"
+#include "l7/l7_plugins.hpp"
 #include "mgmt/pmgr.hpp"
 #include "mgmt/rplib.hpp"
 #include "parallel/sharded_datapath.hpp"
@@ -292,6 +293,56 @@ TEST(Parallel, PmgrShardCommandsAggregateAcrossWorkers) {
   dp.stop();  // join publishes final exact snapshots
   for (const ShardSnapshot& s : dp.status_all())
     EXPECT_EQ(s.flows_active, 0u);
+}
+
+// Regression (review): `pmgr l7 rules` mutations must reach the
+// shard-private l7 instances that actually see traffic, through the same
+// quiesce-safe gather path as budget/reset — not just the main kernel's
+// PCU (which here deliberately has no l7 instance at all).
+TEST(Parallel, PmgrL7RulesReachShardInstances) {
+  core::RouterKernel kernel;
+  mgmt::RouterPluginLib lib(kernel);
+  mgmt::PluginManager pmgr(lib);
+
+  ShardedDatapath::Options opt;
+  opt.workers = 2;
+  opt.ring_capacity = 64;
+  ShardedDatapath dp(opt, [](ShardContext& ctx) {
+    ctx.interfaces().add("if0");
+    ctx.pcu().register_plugin(std::make_unique<l7::IdsPlugin>());
+    plugin::InstanceId iid = plugin::kNoInstance;
+    ASSERT_EQ(ctx.pcu().find("l7ids")->create_instance({{"patterns", "EVIL1"}},
+                                                       iid),
+              netbase::Status::ok);
+    ASSERT_EQ(iid, 1u);  // the id the operator command below targets
+  });
+  pmgr.attach_sharded(&dp);
+
+  auto add = pmgr.exec("l7 rules l7ids 1 add BADPAT");
+  ASSERT_TRUE(add.ok()) << add.text;
+
+  auto list = pmgr.exec("l7 rules l7ids 1 list");
+  ASSERT_TRUE(list.ok()) << list.text;
+  EXPECT_NE(list.text.find("shard0:"), std::string::npos) << list.text;
+  EXPECT_NE(list.text.find("shard1:"), std::string::npos) << list.text;
+  // Every shard's rule set carries both the original and the added pattern.
+  std::size_t hits = 0;
+  for (std::size_t at = list.text.find("BADPAT"); at != std::string::npos;
+       at = list.text.find("BADPAT", at + 1))
+    ++hits;
+  EXPECT_EQ(hits, 2u) << list.text;
+  EXPECT_NE(list.text.find("EVIL1"), std::string::npos) << list.text;
+
+  // set replaces on every shard; a malformed pattern list still fails.
+  ASSERT_TRUE(pmgr.exec("l7 rules l7ids 1 set ONE,TWO").ok());
+  list = pmgr.exec("l7 rules l7ids 1 list");
+  EXPECT_EQ(list.text.find("BADPAT"), std::string::npos) << list.text;
+  EXPECT_NE(list.text.find("TWO"), std::string::npos) << list.text;
+  EXPECT_FALSE(pmgr.exec("l7 rules l7ids 1 set a,,b").ok());
+  EXPECT_FALSE(pmgr.exec("l7 rules nosuch 1 list").ok());
+
+  dp.quiesce();
+  dp.stop();
 }
 
 }  // namespace
