@@ -32,6 +32,10 @@ HEADLINE = [
     ("t9_gatebatch", "fused_speedup", "higher"),
     ("t10_l7", "unbound_overhead_rel", "lower"),
     ("t10_l7", "offload_speedup", "higher"),
+    ("t11_churn", "route_update_ns_p99", "lower"),
+    ("t11_churn", "filter_churn_ops_per_s", "higher"),
+    ("t11_churn", "upgrade_stall_ns", "lower"),
+    ("t11_churn", "upgrade_speedup", "higher"),
 ]
 
 

@@ -29,11 +29,11 @@ echo "== bench diff: headline metrics vs previous PR's sweep =="
 # Non-strict: prints the t3/t4/t8 headline deltas (and any >10% regression)
 # between the last two recorded sweeps without failing a noisy CI box. Run
 # scripts/bench_compare.py --strict locally when the numbers must hold.
-if [[ -f "$repo/BENCH_pr6.json" && -f "$repo/BENCH_pr7.json" ]]; then
+if [[ -f "$repo/BENCH_pr7.json" && -f "$repo/BENCH_pr8.json" ]]; then
   python3 "$repo/scripts/bench_compare.py" \
-    "$repo/BENCH_pr6.json" "$repo/BENCH_pr7.json"
+    "$repo/BENCH_pr7.json" "$repo/BENCH_pr8.json"
 else
-  echo "   (skipped: need both BENCH_pr6.json and BENCH_pr7.json)"
+  echo "   (skipped: need both BENCH_pr7.json and BENCH_pr8.json)"
 fi
 
 echo "== diff: single-threaded vs sharded datapath equivalence =="
@@ -42,6 +42,16 @@ echo "== diff: single-threaded vs sharded datapath equivalence =="
 # results (tests/test_shard_diff.cpp). Already ran in tier 1; re-run as a
 # named stage so a diff regression is called out by the stage banner.
 ctest --test-dir "$repo/build" --output-on-failure -L diff
+
+echo "== churn: control-plane differential tests =="
+# The live-control-plane acceptance gate (docs/control_plane.md): route
+# batches, filter batches, and versioned upgrades applied against live
+# traffic must never misroute, misclassify, or drop a legitimate packet.
+# Already ran in tier 1; re-run as a named stage so a churn regression is
+# called out by the stage banner. Both churn labels also run in the ASan
+# lane below (they are not in its exclude list), and the sharded variant
+# (churn-parallel-tsan) runs in the TSan lane via -L tsan.
+ctest --test-dir "$repo/build" --output-on-failure -L '^churn$'
 
 if [[ "$fast" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="

@@ -89,6 +89,136 @@ Status Aiu::remove_filter(plugin::PluginType gate, const Filter& f) {
   return s;
 }
 
+Aiu::FilterBatchResult Aiu::apply_filter_batch(std::span<const FilterOp> ops) {
+  FilterBatchResult res;
+  // Phase 1: resolve what the batch can affect, before any mutation, so
+  // every record pointer compared below is still alive regardless of the
+  // table implementation's record lifetime.
+  struct Removed {
+    std::size_t gi;
+    const FilterRecord* rec;
+  };
+  std::vector<Removed> removed;
+  std::vector<const Filter*> added;
+  for (const FilterOp& op : ops) {
+    if (op.gate == plugin::PluginType::none) continue;
+    if (op.kind == FilterOp::Kind::add) {
+      added.push_back(&op.filter);
+      continue;
+    }
+    const std::size_t gi = gate_index(op.gate);
+    if (!tables_[gi]) continue;
+    for (const FilterRecord* r : tables_[gi]->records()) {
+      if (r->filter == op.filter) {
+        removed.push_back({gi, r});
+        break;
+      }
+    }
+  }
+
+  // Phase 2: selective invalidation. Only flows whose classification could
+  // have changed are dropped: a binding derived from a removed record, or a
+  // key an added filter matches (it may now be the more specific winner, and
+  // an add of an existing filter rebinds its record's instance in place).
+  // Everything else keeps its cached bindings — no full flush.
+  if ((!removed.empty() || !added.empty()) && flows_.active() != 0) {
+    const auto cap = static_cast<pkt::FlowIndex>(flows_.capacity());
+    for (pkt::FlowIndex fix = 0; fix < cap; ++fix) {
+      const FlowRecord& r = flows_.rec(fix);
+      if (!r.in_use) continue;
+      bool stale = false;
+      for (const auto& rm : removed) {
+        if (r.gates[rm.gi].filter == rm.rec) {
+          stale = true;
+          break;
+        }
+      }
+      if (!stale) {
+        for (const Filter* f : added) {
+          if (f->matches(r.key)) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      if (stale) {
+        flows_.remove(fix, FlowTable::RemoveReason::purged);
+        ++res.flows_invalidated;
+      }
+    }
+  }
+  stats_.flows_invalidated += res.flows_invalidated;
+
+  // Phase 3: mutate the tables.
+  bool touched[kNumGates] = {};
+  for (const FilterOp& op : ops) {
+    if (op.gate == plugin::PluginType::none) {
+      ++res.failed;
+      continue;
+    }
+    const std::size_t gi = gate_index(op.gate);
+    if (op.kind == FilterOp::Kind::add) {
+      auto& table = tables_[gi];
+      if (!table) {
+        table = make_filter_table(opt_.classifier, opt_.dag);
+        if (!table) {
+          ++res.failed;
+          continue;
+        }
+      }
+      if (!table->insert(op.filter, op.instance)) {
+        ++res.failed;
+        continue;
+      }
+      touched[gi] = true;
+      ++res.added;
+    } else {
+      auto* table = tables_[gi].get();
+      if (!table || table->remove(op.filter) != Status::ok) {
+        ++res.failed;
+        continue;
+      }
+      touched[gi] = true;
+      ++res.removed;
+    }
+  }
+
+  // Phase 4: patch the touched tables now, on the control path, so the next
+  // packet's lookup finds them clean (no from-scratch rebuild, no stall).
+  for (std::size_t gi = 0; gi < kNumGates; ++gi)
+    if (touched[gi] && tables_[gi]) tables_[gi]->patch();
+  return res;
+}
+
+Aiu::HandoffResult Aiu::handoff_instance(plugin::PluginInstance* from,
+                                         plugin::PluginInstance* to) {
+  HandoffResult res;
+  if (!from || !to || from == to) return res;
+  for (auto& t : tables_)
+    if (t) res.filters_rebound += t->rebind_instance(from, to);
+  const auto cap = static_cast<pkt::FlowIndex>(flows_.capacity());
+  for (pkt::FlowIndex fix = 0; fix < cap; ++fix) {
+    FlowRecord& r = flows_.rec(fix);
+    if (!r.in_use) continue;
+    for (std::size_t g = 0; g < kNumGates; ++g) {
+      GateBinding& b = r.gates[g];
+      if (b.instance != from) continue;
+      b.instance = to;  // bound_mask bit stays set: `to` is non-null
+      ++res.flows_rebound;
+      if (!b.soft) continue;
+      if (to->migrate_flow(from, r.key, &b.soft)) {
+        ++res.state_migrated;
+      } else {
+        from->flow_removed(b.soft);
+        b.soft = nullptr;
+        ++res.state_dropped;
+      }
+    }
+  }
+  stats_.flows_migrated += res.state_migrated;
+  return res;
+}
+
 std::size_t Aiu::rebind_instance(const plugin::PluginInstance* inst) {
   const std::size_t purged = flows_.purge_instance(inst);
   stats_.flows_rebound += purged;

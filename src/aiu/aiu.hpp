@@ -46,6 +46,35 @@ class Aiu {
     // Bindings cleared through the flow-offload hook (L7 verdict cache:
     // a flow judged clean bypasses its inspection gate from then on).
     std::uint64_t flows_offloaded{0};
+    // Control-plane churn (docs/control_plane.md): flows selectively
+    // re-classified by apply_filter_batch (instead of a full cache flush)
+    // and soft-state transfers performed by handoff_instance.
+    std::uint64_t flows_invalidated{0};
+    std::uint64_t flows_migrated{0};
+  };
+
+  // One element of a control-plane filter batch.
+  struct FilterOp {
+    enum class Kind : std::uint8_t { add, remove };
+    Kind kind{Kind::add};
+    plugin::PluginType gate{plugin::PluginType::none};
+    Filter filter{};
+    plugin::PluginInstance* instance{nullptr};  // add only
+  };
+
+  struct FilterBatchResult {
+    std::size_t added{0};
+    std::size_t removed{0};
+    std::size_t failed{0};
+    std::size_t flows_invalidated{0};  // entries selectively re-classified
+  };
+
+  // Outcome of a versioned-instance handoff.
+  struct HandoffResult {
+    std::size_t filters_rebound{0};  // filter records moved from -> to
+    std::size_t flows_rebound{0};    // gate bindings moved from -> to
+    std::size_t state_migrated{0};   // soft states adopted via migrate_flow
+    std::size_t state_dropped{0};    // soft states the new version declined
   };
 
   Aiu(plugin::PluginControlUnit& pcu, netbase::SimClock& clock);
@@ -56,6 +85,24 @@ class Aiu {
   Status create_filter(plugin::PluginType gate, const Filter& f,
                        plugin::PluginInstance* inst);
   Status remove_filter(plugin::PluginType gate, const Filter& f);
+
+  // Applies a batch of filter adds/removes with *selective* flow
+  // invalidation: instead of the full cache flush create_filter/
+  // remove_filter pay, only flows whose classification could have changed
+  // (key matches an added filter, or binding derives from a removed record)
+  // are dropped for re-classification. Affected tables are then patch()ed —
+  // DAG subgraph reuse — so the packet path never sees a dirty table. Call
+  // between bursts only, like every other control-path mutation.
+  FilterBatchResult apply_filter_batch(std::span<const FilterOp> ops);
+
+  // Versioned-upgrade handoff (docs/plugin_authoring.md §13): rebinds every
+  // filter record and live flow binding from `from` onto `to`, offering each
+  // flow's soft state to `to` via migrate_flow. Declined state is released
+  // through `from->flow_removed` and the flow restarts stateless under `to`;
+  // either way the flow entry survives, so no packets are dropped and no
+  // re-classification happens. Call between bursts only.
+  HandoffResult handoff_instance(plugin::PluginInstance* from,
+                                 plugin::PluginInstance* to);
 
   // Purges every flow-table entry bound to `inst` so the next packet of each
   // affected flow re-classifies against the filter tables and binds to

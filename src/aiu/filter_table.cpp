@@ -1,6 +1,7 @@
 #include "aiu/filter_table.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "netbase/memaccess.hpp"
 
@@ -34,6 +35,7 @@ FilterRecord* DagFilterTable::insert(const Filter& f,
 Status DagFilterTable::remove(const Filter& f) {
   for (auto it = records_.begin(); it != records_.end(); ++it) {
     if ((*it)->filter == f) {
+      graveyard_.push_back(std::move(*it));
       records_.erase(it);
       dirty_ = true;
       return Status::ok;
@@ -44,9 +46,25 @@ Status DagFilterTable::remove(const Filter& f) {
 
 std::size_t DagFilterTable::purge_instance(const plugin::PluginInstance* inst) {
   std::size_t before = records_.size();
-  std::erase_if(records_, [&](auto& r) { return r->instance == inst; });
+  for (auto& r : records_)
+    if (r->instance == inst) graveyard_.push_back(std::move(r));
+  std::erase_if(records_, [](auto& r) { return !r; });
   if (records_.size() != before) dirty_ = true;
   return before - records_.size();
+}
+
+std::size_t DagFilterTable::rebind_instance(plugin::PluginInstance* from,
+                                            plugin::PluginInstance* to) {
+  std::size_t n = 0;
+  for (auto& r : records_) {
+    if (r->instance == from) {
+      r->instance = to;
+      ++n;
+    }
+  }
+  // No dirty_: the DAG's leaves point at the records, whose filters are
+  // unchanged — only the binding moved.
+  return n;
 }
 
 std::vector<const FilterRecord*> DagFilterTable::records() const {
@@ -59,6 +77,7 @@ std::vector<const FilterRecord*> DagFilterTable::records() const {
 void DagFilterTable::rebuild() const {
   nodes_.clear();
   memo_.clear();
+  graveyard_.clear();
   ++rebuilds_;
   dirty_ = false;
   if (records_.empty()) {
@@ -69,7 +88,125 @@ void DagFilterTable::rebuild() const {
   all.reserve(records_.size());
   for (auto& r : records_) all.push_back(r.get());
   root_ = build(kSrc, all);
-  memo_.clear();  // build-time only
+  // memo_ stays resident: patch() reuses it to share subgraphs across
+  // incremental updates.
+}
+
+void DagFilterTable::patch() const {
+  if (!dirty_) return;
+  dirty_ = false;
+  ++patches_;
+  if (records_.empty()) {
+    root_ = -1;
+  } else {
+    std::vector<const FilterRecord*> all;
+    all.reserve(records_.size());
+    for (auto& r : records_) all.push_back(r.get());
+    root_ = build(kSrc, all);
+  }
+  // Compact once garbage dominates the arena (the slack keeps small tables
+  // from ever bothering). Mark-and-copy, not rebuild: a rebuild would clear
+  // the memo and make the next patch pay a from-scratch build, turning
+  // steady churn into a rebuild-every-batch cycle.
+  const std::size_t live = reachable_node_count();
+  if (nodes_.size() > 2 * live + 64) compact();
+}
+
+void DagFilterTable::compact() const {
+  if (root_ < 0) {
+    nodes_.clear();
+    memo_.clear();
+    graveyard_.clear();
+    return;
+  }
+  // Mark: discovery order becomes the new arena order.
+  std::vector<std::int32_t> remap(nodes_.size(), -1);
+  std::vector<std::int32_t> order;
+  std::vector<std::int32_t> stack;
+  auto mark = [&](std::int32_t t) {
+    if (t >= 0 && remap[static_cast<std::size_t>(t)] < 0) {
+      remap[static_cast<std::size_t>(t)] =
+          static_cast<std::int32_t>(order.size());
+      order.push_back(t);
+      stack.push_back(t);
+    }
+  };
+  mark(root_);
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    for (std::int32_t t : n.addr_targets) mark(t);
+    for (const auto& [v, t] : n.exact) mark(t);
+    for (const auto& [v, t] : n.port_exact) mark(t);
+    for (const auto& [s, t] : n.ranges) mark(t);
+    mark(n.wild);
+  }
+  // Copy live nodes, rewriting every edge through the remap.
+  std::vector<Node> live;
+  live.reserve(order.size());
+  auto fix = [&](std::int32_t& t) {
+    if (t >= 0) t = remap[static_cast<std::size_t>(t)];
+  };
+  for (std::int32_t old : order) {
+    Node n = std::move(nodes_[static_cast<std::size_t>(old)]);
+    for (auto& t : n.addr_targets) fix(t);
+    for (auto& [v, t] : n.exact) fix(t);
+    for (auto& [v, t] : n.port_exact) fix(t);
+    for (auto& [s, t] : n.ranges) fix(t);
+    fix(n.wild);
+    live.push_back(std::move(n));
+  }
+  nodes_ = std::move(live);
+  root_ = remap[static_cast<std::size_t>(root_)];
+  // Memo entries follow their node; entries for swept nodes — and entries
+  // whose key names a removed record id, which can never be queried again —
+  // are dropped so the memo stays proportional to the live graph.
+  std::unordered_set<std::uint32_t> live_ids;
+  live_ids.reserve(records_.size());
+  for (const auto& r : records_) live_ids.insert(r->id);
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    const std::int32_t t = remap[static_cast<std::size_t>(it->second)];
+    bool keep = t >= 0;
+    if (keep)
+      for (std::uint32_t id : it->first.second)
+        if (!live_ids.contains(id)) {
+          keep = false;
+          break;
+        }
+    if (!keep) {
+      it = memo_.erase(it);
+    } else {
+      it->second = t;
+      ++it;
+    }
+  }
+  // Nothing reachable references a tombstoned record any more.
+  graveyard_.clear();
+}
+
+std::size_t DagFilterTable::reachable_node_count() const {
+  if (root_ < 0) return 0;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<std::int32_t> stack;
+  auto push = [&](std::int32_t t) {
+    if (t >= 0 && !seen[static_cast<std::size_t>(t)]) {
+      seen[static_cast<std::size_t>(t)] = 1;
+      stack.push_back(t);
+    }
+  };
+  push(root_);
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    ++count;
+    for (std::int32_t t : n.addr_targets) push(t);
+    for (const auto& [v, t] : n.exact) push(t);
+    for (const auto& [v, t] : n.port_exact) push(t);
+    for (const auto& [s, t] : n.ranges) push(t);
+    push(n.wild);
+  }
+  return count;
 }
 
 std::int32_t DagFilterTable::build(
@@ -154,12 +291,15 @@ std::int32_t DagFilterTable::build(
       }
     };
     std::map<PrefixKey, std::vector<const FilterRecord*>> by_prefix;
-    std::vector<const FilterRecord*> wild;  // len-0 (either family)
+    // len-0 filters (either family) are hoisted onto the node's wild edge
+    // instead of being replicated into every subtree: lookup descends both
+    // and keeps the more specific result. This is what keeps churn of a
+    // wildcard filter from invalidating every memoized subgraph.
+    std::vector<const FilterRecord*> wild;
     std::vector<netbase::IpPrefix> specs;
     for (const FilterRecord* r : cand) {
       netbase::IpPrefix p = field(r->filter);
       if (p.len == 0) {
-        if (wild.empty()) specs.push_back(netbase::IpPrefix{});
         wild.push_back(r);
         continue;
       }
@@ -183,19 +323,17 @@ std::int32_t DagFilterTable::build(
 
     for (const auto& p : specs) {
       // Set-pruning replication: the subtree under edge `p` holds every
-      // filter whose prefix covers p (matches at least everything p does).
-      std::vector<const FilterRecord*> child_set = wild;
-      if (p.len > 0) {
-        const auto& lens =
-            p.addr.ver == IpVersion::v4 ? lengths4 : lengths6;
-        for (std::uint8_t l : lens) {
-          if (l > p.len) break;
-          PrefixKey pk{p.addr.ver,
-                       p.addr.key() & netbase::U128::prefix_mask(l), l};
-          if (auto it = by_prefix.find(pk); it != by_prefix.end())
-            child_set.insert(child_set.end(), it->second.begin(),
-                             it->second.end());
-        }
+      // filter whose prefix covers p (matches at least everything p does) —
+      // wildcards excepted, they live on the wild edge.
+      std::vector<const FilterRecord*> child_set;
+      const auto& lens = p.addr.ver == IpVersion::v4 ? lengths4 : lengths6;
+      for (std::uint8_t l : lens) {
+        if (l > p.len) break;
+        PrefixKey pk{p.addr.ver,
+                     p.addr.key() & netbase::U128::prefix_mask(l), l};
+        if (auto it = by_prefix.find(pk); it != by_prefix.end())
+          child_set.insert(child_set.end(), it->second.begin(),
+                           it->second.end());
       }
       std::int32_t child = build(level + 1, child_set);
       Node& n = nodes_[me];
@@ -206,14 +344,10 @@ std::int32_t DagFilterTable::build(
         lpm = bmp::make_lpm_engine(opt_.bmp_engine,
                                    p.addr.ver == IpVersion::v4 ? 32 : 128);
       lpm->insert(p.addr.key(), p.len, edge);
-      // A fully-wildcarded address matches both families.
-      if (p.len == 0) {
-        auto& other = p.addr.ver == IpVersion::v4 ? n.lpm6 : n.lpm4;
-        if (!other)
-          other = bmp::make_lpm_engine(opt_.bmp_engine,
-                                       p.addr.ver == IpVersion::v4 ? 128 : 32);
-        other->insert({}, 0, edge);
-      }
+    }
+    if (!wild.empty()) {
+      const std::int32_t w = build(level + 1, wild);
+      nodes_[me].wild = w;
     }
     return me;
   }
@@ -236,8 +370,9 @@ std::int32_t DagFilterTable::build(
       }
     }
     for (std::uint32_t v : vals) {
+      // Wild filters are on the wild edge, not replicated under each value.
       auto child_set = covered(
-          [&](const Filter& f) { return wildp(f) || value(f) == v; });
+          [&](const Filter& f) { return !wildp(f) && value(f) == v; });
       std::int32_t child = build(level + 1, child_set);
       nodes_[me].exact[v] = child;
     }
@@ -257,6 +392,7 @@ std::int32_t DagFilterTable::build(
   std::vector<PortSpec> specs;
   for (const FilterRecord* r : cand) {
     const auto& p = field(r->filter);
+    if (p.is_wild()) continue;  // hoisted onto the wild edge below
     if (std::find(specs.begin(), specs.end(), p) == specs.end())
       specs.push_back(p);
   }
@@ -277,14 +413,20 @@ std::int32_t DagFilterTable::build(
     return a.lo < b.lo;
   });
   for (const auto& s : specs) {
-    auto child_set =
-        covered([&](const Filter& f) { return field(f).covers(s); });
+    auto child_set = covered([&](const Filter& f) {
+      return !field(f).is_wild() && field(f).covers(s);
+    });
     std::int32_t child = build(level + 1, child_set);
     Node& n = nodes_[me];
     if (s.is_exact())
       n.port_exact[s.lo] = child;
     else
       n.ranges.emplace_back(s, child);
+  }
+  auto wild_set = covered([&](const Filter& f) { return field(f).is_wild(); });
+  if (!wild_set.empty()) {
+    const std::int32_t w = build(level + 1, wild_set);
+    nodes_[me].wild = w;
   }
   return me;
 }
@@ -310,7 +452,7 @@ std::int32_t DagFilterTable::walk(const Node& n, const pkt::FlowKey& key) const 
         auto it = n.exact.find(v);
         if (it != n.exact.end()) return it->second;
       }
-      return n.wild;
+      return -1;  // the wild edge is descended separately by match_from
     }
     case kSport:
     case kDport: {
@@ -331,15 +473,39 @@ std::int32_t DagFilterTable::walk(const Node& n, const pkt::FlowKey& key) const 
   }
 }
 
+namespace {
+
+// The same total order the leaves use: most specific wins, ties broken by
+// installation order. Merging two sub-DAG results with it is therefore
+// identical to picking the best over the union of their candidate sets.
+const FilterRecord* more_specific(const FilterRecord* a,
+                                  const FilterRecord* b) noexcept {
+  if (!a) return b;
+  if (!b) return a;
+  const int c = compare_specificity(a->filter, b->filter);
+  if (c != 0) return c > 0 ? a : b;
+  return a->id < b->id ? a : b;
+}
+
+}  // namespace
+
+const FilterRecord* DagFilterTable::match_from(std::int32_t idx,
+                                               const pkt::FlowKey& key) const {
+  const FilterRecord* best = nullptr;
+  while (idx >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.level == kLeaf) return more_specific(best, n.leaf);
+    // Two-way descent: the field-specific edge and the wild edge are
+    // disjoint candidate sets; keep the better of both leaves.
+    if (n.wild >= 0) best = more_specific(best, match_from(n.wild, key));
+    idx = walk(n, key);
+  }
+  return best;
+}
+
 const FilterRecord* DagFilterTable::lookup(const pkt::FlowKey& key) const {
   if (dirty_) rebuild();
-  std::int32_t cur = root_;
-  while (cur >= 0) {
-    const Node& n = nodes_[cur];
-    if (n.level == kLeaf) return n.leaf;
-    cur = walk(n, key);
-  }
-  return nullptr;
+  return match_from(root_, key);
 }
 
 std::string DagFilterTable::dump_dot() const {
@@ -414,6 +580,18 @@ std::size_t LinearFilterTable::purge_instance(const plugin::PluginInstance* inst
   auto before = records_.size();
   std::erase_if(records_, [&](auto& r) { return r->instance == inst; });
   return before - records_.size();
+}
+
+std::size_t LinearFilterTable::rebind_instance(plugin::PluginInstance* from,
+                                               plugin::PluginInstance* to) {
+  std::size_t n = 0;
+  for (auto& r : records_) {
+    if (r->instance == from) {
+      r->instance = to;
+      ++n;
+    }
+  }
+  return n;
 }
 
 std::vector<const FilterRecord*> LinearFilterTable::records() const {

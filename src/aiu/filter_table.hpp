@@ -5,8 +5,12 @@
 //  * DagFilterTable — the paper's contribution: a set-pruning-trie DAG with
 //    one level per tuple field. Address levels are matched with a pluggable
 //    BMP engine (longest prefix match), port levels on ranges, protocol and
-//    interface levels by exact-or-wildcard match. Lookup cost is O(fields),
-//    independent of the number of installed filters.
+//    interface levels by exact match. Filters that leave a field
+//    unconstrained sit on a per-node wild edge descended alongside the
+//    specific edge (results merged by specificity) instead of being
+//    replicated into every subtree — lookup visits O(fields) nodes per
+//    explored wild branch, and incremental patch() reuse survives wildcard
+//    churn because untouched subgraph memo keys stay unchanged.
 //  * LinearFilterTable — the O(n) scan that "typical filter algorithms used
 //    in existing implementations" amount to; the evaluation baseline.
 //
@@ -58,11 +62,23 @@ class FilterTableBase {
   // returns how many were removed.
   virtual std::size_t purge_instance(const plugin::PluginInstance* inst) = 0;
 
+  // Rebinds every record bound to `from` onto `to` — the versioned-upgrade
+  // primitive. Purely a record mutation: leaves/scan entries point at
+  // records, so no structural rebuild happens. Returns records rebound.
+  virtual std::size_t rebind_instance(plugin::PluginInstance* from,
+                                      plugin::PluginInstance* to) = 0;
+
   virtual std::vector<const FilterRecord*> records() const = 0;
 
   // Eagerly performs any pending (lazy) rebuild; keeps construction work
   // out of measured lookup paths. No-op for tables that build eagerly.
   virtual void prepare() const {}
+
+  // Applies pending mutations by patching the existing structure in place
+  // where the implementation supports it (DAG subgraph reuse); the default
+  // falls back to prepare(). Control-plane batches call this at burst
+  // boundaries so the packet path never pays a from-scratch build.
+  virtual void patch() const { prepare(); }
 };
 
 // ---------------------------------------------------------------------------
@@ -83,6 +99,8 @@ class DagFilterTable final : public FilterTableBase {
   const FilterRecord* lookup(const pkt::FlowKey& key) const override;
   std::size_t size() const override { return records_.size(); }
   std::size_t purge_instance(const plugin::PluginInstance* inst) override;
+  std::size_t rebind_instance(plugin::PluginInstance* from,
+                              plugin::PluginInstance* to) override;
   std::vector<const FilterRecord*> records() const override;
 
   // Diagnostics for benches/tests (force a rebuild if one is pending).
@@ -98,6 +116,17 @@ class DagFilterTable final : public FilterTableBase {
     if (dirty_) rebuild();
   }
 
+  // Incremental update: re-derives the root with the build memo retained, so
+  // every (level, candidate-set) pair untouched by the batch resolves to the
+  // node already in the arena and only affected paths are built anew. Record
+  // ids are never reused and filters are immutable, which is what makes a
+  // memo hit safe: the reused subgraph can only reference ids in its key,
+  // all live. Superseded nodes become garbage swept by the next compaction.
+  void patch() const override;
+  std::size_t patch_count() const { return patches_; }
+  // Nodes reachable from the root — excludes garbage retained by patching.
+  std::size_t reachable_node_count() const;
+
  private:
   // Field indices in tuple order; 6 == leaf.
   enum : int { kSrc = 0, kDst, kProto, kSport, kDport, kIface, kLeaf };
@@ -111,31 +140,50 @@ class DagFilterTable final : public FilterTableBase {
     // kSport/kDport: exact ports fast path + ranges sorted narrowest-first.
     std::unordered_map<std::uint16_t, std::int32_t> port_exact;
     std::vector<std::pair<PortSpec, std::int32_t>> ranges;
-    // kProto/kIface: exact map + wildcard edge.
+    // kProto/kIface: exact map.
     std::unordered_map<std::uint32_t, std::int32_t> exact;
+    // Every non-leaf level: sub-DAG over the filters that leave this field
+    // unconstrained. Hoisting them here (rather than replicating them into
+    // every specific edge's subtree, classic set-pruning) keeps subgraph
+    // memo keys stable under wildcard churn; lookup descends this edge in
+    // addition to the matched specific edge and keeps the better result.
     std::int32_t wild{-1};
     // kLeaf:
     const FilterRecord* leaf{nullptr};
   };
 
   void rebuild() const;
+  // Mark-and-copy GC over the arena: drops garbage nodes, remaps the memo,
+  // frees the graveyard. Keeps patch() incremental across compactions.
+  void compact() const;
   std::int32_t build(int level,
                      const std::vector<const FilterRecord*>& cand) const;
   std::int32_t walk(const Node& n, const pkt::FlowKey& key) const;
+  const FilterRecord* match_from(std::int32_t idx,
+                                 const pkt::FlowKey& key) const;
 
   Options opt_{};
   std::vector<std::unique_ptr<FilterRecord>> records_;
   std::uint32_t next_id_{1};
 
+  // Removed records are tombstoned here instead of destroyed: until the
+  // next patch/rebuild, garbage nodes may still hold leaf pointers to them
+  // (never dereferenced on lookup — they are unreachable — but dump_dot
+  // walks the whole arena). Compaction finally frees them.
+  mutable std::vector<std::unique_ptr<FilterRecord>> graveyard_;
+
   // Mutations mark the structure dirty; it is rebuilt lazily on the next
-  // lookup (filter installation is a control-path operation).
+  // lookup (filter installation is a control-path operation) unless the
+  // control plane patches it in first.
   mutable bool dirty_{false};
   mutable std::vector<Node> nodes_;
   mutable std::int32_t root_{-1};
   mutable std::size_t rebuilds_{0};
+  mutable std::size_t patches_{0};
 
-  // Build-time memoization: (level, candidate ids) -> node; this is what
-  // makes the structure a DAG rather than a tree.
+  // Build memoization: (level, candidate ids) -> node; this is what makes
+  // the structure a DAG rather than a tree. Persisted across builds so
+  // patch() can reuse subgraphs; rebuild() resets it with the arena.
   mutable std::map<std::pair<int, std::vector<std::uint32_t>>, std::int32_t>
       memo_;
 };
@@ -149,6 +197,8 @@ class LinearFilterTable final : public FilterTableBase {
   const FilterRecord* lookup(const pkt::FlowKey& key) const override;
   std::size_t size() const override { return records_.size(); }
   std::size_t purge_instance(const plugin::PluginInstance* inst) override;
+  std::size_t rebind_instance(plugin::PluginInstance* from,
+                              plugin::PluginInstance* to) override;
   std::vector<const FilterRecord*> records() const override;
 
  private:

@@ -42,6 +42,18 @@ class GridOfTries final : public FilterTableBase {
   const FilterRecord* lookup(const pkt::FlowKey& key) const override;
   std::size_t size() const override { return records_.size(); }
   std::size_t purge_instance(const plugin::PluginInstance* inst) override;
+  // Pure pointer rewrite: lookup structures key on filters, not instances,
+  // so no rebuild is needed.
+  std::size_t rebind_instance(plugin::PluginInstance* from,
+                              plugin::PluginInstance* to) override {
+    std::size_t n = 0;
+    for (auto& r : records_)
+      if (r->instance == from) {
+        r->instance = to;
+        ++n;
+      }
+    return n;
+  }
   std::vector<const FilterRecord*> records() const override;
   void prepare() const override {
     if (dirty_) rebuild();

@@ -52,13 +52,73 @@ void CpeTrie::insert_into_trie(U128 key, std::uint8_t plen, LpmValue value) {
 }
 
 Status CpeTrie::remove(U128 key, std::uint8_t plen) {
+  if (plen > width_) return Status::invalid_argument;
   key = key & U128::prefix_mask(plen);
   if (raw_.erase({key, plen}) == 0) return Status::not_found;
-  rebuild();
+
+  // Incremental maintenance: a prefix of length plen only ever wrote slots
+  // inside its own target-level node, so removal is a local edit — walk the
+  // unique path, then restore each slot it owned to the best remaining
+  // covering prefix from the same node, or clear it so lookup falls back to
+  // the match recorded at a shallower level. O(span + stride) per remove.
+  const unsigned target_level = plen == 0 ? 0 : (plen - 1) / stride_;
+  std::int32_t cur = 0;
+  for (unsigned lvl = 0; lvl < target_level; ++lvl) {
+    cur = nodes_[cur].slots[chunk(key, lvl * stride_)].child;
+    if (cur < 0) {  // path missing: trie out of sync with raw_, start over
+      rebuild();
+      return Status::ok;
+    }
+  }
+
+  const unsigned covered = plen - target_level * stride_;
+  const std::size_t base = chunk(key, target_level * stride_);
+  const std::size_t span = std::size_t{1} << (stride_ - covered);
+  const std::size_t first = base & ~(span - 1);
+
+  // Best remaining ancestor expanded into this node. A same-node prefix
+  // shorter than plen that covers one slot of our span covers all of them
+  // (its aligned span strictly contains ours), so a single probe per
+  // candidate length — at most stride_ of them — settles the whole span.
+  bool have_anc = false;
+  LpmMatch anc{};
+  const unsigned level_lo = target_level * stride_;
+  for (unsigned p = plen; p-- > level_lo + 1;) {
+    auto it = raw_.find(
+        {key & U128::prefix_mask(p), static_cast<std::uint8_t>(p)});
+    if (it != raw_.end()) {
+      anc = {it->second, static_cast<std::uint8_t>(p)};
+      have_anc = true;
+      break;
+    }
+  }
+  if (!have_anc && target_level == 0 && plen != 0) {
+    auto it = raw_.find({U128{}, 0});  // default route expands at the root
+    if (it != raw_.end()) {
+      anc = {it->second, 0};
+      have_anc = true;
+    }
+  }
+
+  for (std::size_t i = first; i < first + span; ++i) {
+    Slot& s = nodes_[cur].slots[i];
+    // Within the span, only the removed prefix can own a slot at exactly
+    // this plen (a sibling of equal length covers a disjoint span); slots
+    // held by longer prefixes are untouched. Child pointers stay — lookup
+    // tolerates empty slots and interior nodes are shared with siblings.
+    if (!s.has || s.match.plen != plen) continue;
+    if (have_anc) {
+      s.match = anc;
+    } else {
+      s.has = false;
+      s.match = {};
+    }
+  }
   return Status::ok;
 }
 
 void CpeTrie::rebuild() {
+  ++rebuilds_;
   nodes_.clear();
   alloc_node();
   // Reinsert shortest-first so the plen-overwrite rule reproduces the

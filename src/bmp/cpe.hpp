@@ -30,6 +30,12 @@ class CpeTrie final : public LpmEngine {
   unsigned stride() const noexcept { return stride_; }
   std::size_t node_count() const noexcept { return nodes_.size(); }
 
+  // Number of full from-scratch rebuilds this trie has performed. remove()
+  // is incremental (a prefix only ever wrote slots of its own target-level
+  // node, so undoing it is local), so this stays 0 under normal churn; it
+  // only moves on the defensive fallback path. Tests assert on it.
+  std::size_t rebuild_count() const noexcept { return rebuilds_; }
+
  private:
   struct Slot {
     bool has{false};
@@ -58,6 +64,7 @@ class CpeTrie final : public LpmEngine {
   unsigned stride_;
   PrefixMap raw_;
   std::vector<Node> nodes_;
+  std::size_t rebuilds_{0};
 };
 
 }  // namespace rp::bmp

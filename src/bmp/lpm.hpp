@@ -45,6 +45,13 @@ class LpmEngine {
   // Longest matching prefix for `key`; false if none matches.
   virtual bool lookup(U128 key, LpmMatch& out) const = 0;
 
+  // Force any deferred (lazy) rebuild now, on the control path, so the
+  // next lookup pays nothing. Engines with incremental mutation keep the
+  // default no-op; engines that rebuild lazily on the first dirty lookup
+  // (bsl) override it so batched control-plane updates never stall the
+  // packet path.
+  virtual void prepare() {}
+
   virtual std::string_view name() const = 0;
   virtual unsigned width() const = 0;
   virtual std::size_t size() const = 0;

@@ -33,6 +33,12 @@ class WaldvogelBsl final : public LpmEngine {
   unsigned width() const override { return width_; }
   std::size_t size() const override { return raw_.size(); }
 
+  // Run the deferred rebuild eagerly (control path) instead of on the
+  // first post-update lookup (packet path).
+  void prepare() override {
+    if (dirty_) rebuild();
+  }
+
   // Worst-case hash probes for the current table (diagnostics/benches).
   unsigned max_probes() const;
 

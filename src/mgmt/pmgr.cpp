@@ -802,6 +802,106 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
     }
     return usage("route add <prefix> <iface>");
   }
+  if (cmd == "ctrl") {
+    // Live control plane (docs/control_plane.md): batched route updates,
+    // batched filter churn and versioned plugin upgrades. Each command is
+    // one atomic reconfiguration, applied to the kernel stack and — with a
+    // sharded datapath attached — mirrored onto every shard's private stack
+    // at its next burst boundary via the quiesce-safe gather hook.
+    ctrl_.attach_sharded(sharded_);
+    const std::string sub = tok.size() > 1 ? tok[1] : "status";
+    if (sub == "status") {
+      if (tok.size() > 2) return usage("ctrl status");
+      return {Status::ok, ctrl_.status_text()};
+    }
+    if (sub == "route-batch") {
+      const char* u =
+          "ctrl route-batch (add <prefix> <iface> | withdraw <prefix>)...";
+      std::vector<route::RouteOp> ops;
+      std::size_t i = 2;
+      while (i < tok.size()) {
+        route::RouteOp op;
+        if (tok[i] == "add") {
+          pkt::IfIndex iface;
+          if (i + 2 >= tok.size() || !parse_iface(tok[i + 2], iface))
+            return usage(u);
+          auto p = netbase::IpPrefix::parse(tok[i + 1]);
+          if (!p) return {Status::invalid_argument, "bad prefix " + tok[i + 1]};
+          op.kind = route::RouteOp::Kind::add;
+          op.prefix = *p;
+          op.hop = route::NextHop{iface, {}};
+          i += 3;
+        } else if (tok[i] == "withdraw") {
+          if (i + 1 >= tok.size()) return usage(u);
+          auto p = netbase::IpPrefix::parse(tok[i + 1]);
+          if (!p) return {Status::invalid_argument, "bad prefix " + tok[i + 1]};
+          op.kind = route::RouteOp::Kind::withdraw;
+          op.prefix = *p;
+          i += 2;
+        } else {
+          return usage(u);
+        }
+        ops.push_back(op);
+      }
+      if (ops.empty()) return usage(u);
+      auto res = ctrl_.apply_route_batch(ops);
+      return {res.failed == 0 ? Status::ok : Status::invalid_argument,
+              "added=" + std::to_string(res.added) +
+                  " updated=" + std::to_string(res.updated) +
+                  " withdrawn=" + std::to_string(res.withdrawn) +
+                  " failed=" + std::to_string(res.failed)};
+    }
+    if (sub == "filter-batch") {
+      // Filter fields are comma-separated inside the value — the pmgr
+      // convention for values with spaces — e.g. add=10.0.0.0/8,*,TCP,*,80,*
+      const char* u =
+          "ctrl filter-batch <plugin> <id> (add=<filter>|remove=<filter>)...";
+      if (tok.size() < 5) return usage(u);
+      std::uint32_t id;
+      if (!parse_u32(tok[3], id)) return usage(u);
+      std::vector<ctrl::FilterSpecOp> ops;
+      ops.reserve(tok.size() - 4);
+      for (std::size_t i = 4; i < tok.size(); ++i) {
+        const std::size_t eq = tok[i].find('=');
+        if (eq == std::string::npos) return usage(u);
+        const std::string_view key = std::string_view(tok[i]).substr(0, eq);
+        ctrl::FilterSpecOp op;
+        if (key == "add")
+          op.kind = aiu::Aiu::FilterOp::Kind::add;
+        else if (key == "remove")
+          op.kind = aiu::Aiu::FilterOp::Kind::remove;
+        else
+          return usage(u);
+        auto f = aiu::Filter::parse(std::string_view(tok[i]).substr(eq + 1));
+        if (!f) return {Status::invalid_argument, "bad filter in " + tok[i]};
+        op.plugin = tok[2];
+        op.instance = id;
+        op.filter = *f;
+        ops.push_back(std::move(op));
+      }
+      std::string detail;
+      Status s = ctrl_.apply_filter_batch(ops, &detail);
+      return {s, detail};
+    }
+    if (sub == "upgrade") {
+      const char* u = "ctrl upgrade <plugin> <old-id> <new-id> [retire]";
+      if (tok.size() != 5 && tok.size() != 6) return usage(u);
+      std::uint32_t from, to;
+      if (!parse_u32(tok[3], from) || !parse_u32(tok[4], to)) return usage(u);
+      bool retire = false;
+      if (tok.size() == 6) {
+        if (tok[5] != "retire") return usage(u);
+        retire = true;
+      }
+      std::string detail;
+      Status s = ctrl_.upgrade(tok[2], from, to, retire, &detail);
+      if (s != Status::ok) return {s, "upgrade failed"};
+      return {s, detail};
+    }
+    return {Status::invalid_argument,
+            "unknown ctrl subcommand: " + sub +
+                "; expected route-batch|filter-batch|upgrade|status"};
+  }
   return {Status::invalid_argument, "unknown command: " + cmd};
 }
 

@@ -29,6 +29,14 @@
 //   shard reset                         reset counters+telemetry on all shards
 //   shard sweep <ns>                    expire idle flows on every shard
 //   (shard commands need a ShardedDatapath attached via attach_sharded)
+//   ctrl route-batch (add <prefix> <iface> | withdraw <prefix>)...
+//                                       one atomic batched route update
+//   ctrl filter-batch <plugin> <id> (add=<filter>|remove=<filter>)...
+//                                       batched filter churn (DAG patching)
+//   ctrl upgrade <plugin> <old> <new> [retire]
+//                                       zero-loss instance hot-swap
+//   ctrl status                         control-plane counters
+//   (ctrl commands mirror onto every shard when a datapath is attached)
 //   For k=v values containing spaces (e.g. filter=<a, b, ...>) use commas
 //   instead of spaces inside the value.
 //
@@ -39,6 +47,7 @@
 #include <string>
 #include <string_view>
 
+#include "ctrl/control_plane.hpp"
 #include "mgmt/rplib.hpp"
 
 namespace rp::parallel {
@@ -55,7 +64,8 @@ class PluginManager {
     bool ok() const noexcept { return status == Status::ok; }
   };
 
-  explicit PluginManager(RouterPluginLib& lib) : lib_(lib) {}
+  explicit PluginManager(RouterPluginLib& lib)
+      : lib_(lib), ctrl_(lib.kernel()) {}
 
   // Points the `shard` command family at a running sharded datapath. The
   // lib's kernel stays the control-plane template; the datapath is where
@@ -68,9 +78,15 @@ class PluginManager {
   // Executes line by line; stops at the first failure unless keep_going.
   Result run_script(std::string_view script, bool keep_going = false);
 
+  // The live control plane behind the `ctrl` family; exposed so embedders
+  // (tests, benches) can drive batches programmatically with the same
+  // object — and the same cumulative stats — the commands use.
+  ctrl::ControlPlane& control() noexcept { return ctrl_; }
+
  private:
   RouterPluginLib& lib_;
   parallel::ShardedDatapath* sharded_{nullptr};
+  ctrl::ControlPlane ctrl_;
 };
 
 }  // namespace rp::mgmt

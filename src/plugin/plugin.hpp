@@ -93,6 +93,23 @@ class PluginInstance {
   // removed/recycled, so the instance can release its per-flow soft state.
   virtual void flow_removed(void* flow_soft) { (void)flow_soft; }
 
+  // Versioned-upgrade state handoff (docs/plugin_authoring.md §13): the AIU
+  // is rebinding a flow from `from` onto this instance and offers the flow's
+  // per-gate soft state for adoption. `*flow_soft` is the state `from` owns;
+  // an implementation that understands it takes ownership (it may also
+  // replace the pointer to convert representation) and returns true — after
+  // which `from` must no longer free or touch it. Returning false (the
+  // default) declines: the AIU then has `from` release the state through
+  // flow_removed and the flow restarts stateless under the new instance.
+  // Control path only, called between bursts.
+  virtual bool migrate_flow(PluginInstance* from, const pkt::FlowKey& key,
+                            void** flow_soft) {
+    (void)from;
+    (void)key;
+    (void)flow_soft;
+    return false;
+  }
+
   // Called by the AIU when a filter bound to this instance is removed; the
   // opaque pointer is the instance's private per-filter (hard) state.
   virtual void filter_removed(void* filter_state) { (void)filter_state; }

@@ -13,15 +13,74 @@ RoutingTable::RoutingTable(std::string_view engine)
   }
 }
 
-Status RoutingTable::add(const netbase::IpPrefix& prefix, NextHop hop) {
+std::uint32_t RoutingTable::alloc_hop(NextHop hop) {
+  if (!free_hops_.empty()) {
+    const std::uint32_t id = free_hops_.back();
+    free_hops_.pop_back();
+    hops_[id] = hop;
+    return id;
+  }
   hops_.push_back(hop);
-  auto value = static_cast<bmp::LpmValue>(hops_.size() - 1);
-  return engine_for(prefix.addr.ver)
-      .insert(prefix.addr.key(), prefix.len, value);
+  return static_cast<std::uint32_t>(hops_.size() - 1);
+}
+
+Status RoutingTable::add(const netbase::IpPrefix& prefix, NextHop hop) {
+  const PrefixKey k = key_of(prefix);
+  if (auto it = owner_.find(k); it != owner_.end()) {
+    // Existing prefix: a next-hop change. Rewrite the hop record in place;
+    // the engine still maps the prefix to the same hop id, so no trie or
+    // hash structure is touched at all.
+    hops_[it->second] = hop;
+    return Status::ok;
+  }
+  const std::uint32_t id = alloc_hop(hop);
+  const Status st =
+      engine_for(prefix.addr.ver).insert(prefix.addr.key(), prefix.len, id);
+  if (st != Status::ok) {
+    free_hops_.push_back(id);
+    return st;
+  }
+  owner_.emplace(k, id);
+  return st;
 }
 
 Status RoutingTable::remove(const netbase::IpPrefix& prefix) {
-  return engine_for(prefix.addr.ver).remove(prefix.addr.key(), prefix.len);
+  const Status st =
+      engine_for(prefix.addr.ver).remove(prefix.addr.key(), prefix.len);
+  if (st != Status::ok) return st;
+  if (auto it = owner_.find(key_of(prefix)); it != owner_.end()) {
+    free_hops_.push_back(it->second);
+    owner_.erase(it);
+  }
+  return st;
+}
+
+RouteBatchResult RoutingTable::apply_batch(const RouteOp* ops, std::size_t n) {
+  RouteBatchResult res;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RouteOp& op = ops[i];
+    if (op.kind == RouteOp::Kind::add) {
+      const bool existed = owner_.contains(key_of(op.prefix));
+      if (add(op.prefix, op.hop) != Status::ok)
+        ++res.failed;
+      else if (existed)
+        ++res.updated;
+      else
+        ++res.added;
+    } else {
+      if (remove(op.prefix) != Status::ok)
+        ++res.failed;
+      else
+        ++res.withdrawn;
+    }
+  }
+  prepare();
+  return res;
+}
+
+void RoutingTable::prepare() {
+  v4_->prepare();
+  v6_->prepare();
 }
 
 const NextHop* RoutingTable::lookup(const netbase::IpAddr& dst) const {

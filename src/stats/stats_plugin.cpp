@@ -74,6 +74,27 @@ void StatsInstance::handle_burst(plugin::PacketRun& run) {
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
+bool StatsInstance::migrate_flow(plugin::PluginInstance* from,
+                                 const pkt::FlowKey& key, void** flow_soft) {
+  (void)key;
+  auto* prev = dynamic_cast<StatsInstance*>(from);
+  if (!prev || !flow_soft || !*flow_soft) return false;
+  auto* fc = static_cast<FlowCounter*>(*flow_soft);
+  for (auto it = prev->flows_.begin(); it != prev->flows_.end(); ++it) {
+    if (it->get() != fc) continue;
+    // Steal the counter wholesale: per-flow history survives the upgrade,
+    // and the aggregate totals it contributed move with it.
+    flows_.push_back(std::move(*it));
+    prev->flows_.erase(it);
+    total_packets_.fetch_add(fc->packets, std::memory_order_relaxed);
+    total_bytes_.fetch_add(fc->bytes, std::memory_order_relaxed);
+    prev->total_packets_.fetch_sub(fc->packets, std::memory_order_relaxed);
+    prev->total_bytes_.fetch_sub(fc->bytes, std::memory_order_relaxed);
+    return true;
+  }
+  return false;  // not a counter this plugin family owns
+}
+
 void StatsInstance::flow_removed(void* flow_soft) {
   auto* fc = static_cast<FlowCounter*>(flow_soft);
   if (!fc) return;

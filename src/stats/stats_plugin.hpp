@@ -33,6 +33,11 @@ class StatsInstance final : public plugin::PluginInstance {
   // prefilled verdicts stand untouched).
   void handle_burst(plugin::PacketRun& run) override;
   void flow_removed(void* flow_soft) override;
+  // Versioned-upgrade handoff: adopts the per-flow counter a previous
+  // StatsInstance owns, so an upgrade loses neither per-flow history nor
+  // the aggregate totals derived from it (docs/plugin_authoring.md §13).
+  bool migrate_flow(plugin::PluginInstance* from, const pkt::FlowKey& key,
+                    void** flow_soft) override;
   netbase::Status handle_message(const plugin::PluginMsg& msg,
                                  plugin::PluginReply& reply) override;
 

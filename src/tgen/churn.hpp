@@ -1,0 +1,65 @@
+// Control-plane churn schedules: seeded, replayable route and filter
+// add/withdraw batch streams, shared by the differential churn tests
+// (tests/test_churn.cpp) and bench_t11_churn. Like everything in tgen the
+// generators are pure functions of their spec, so a failing seed replays
+// exactly (REPLAY-style) in a regression test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aiu/filter.hpp"
+#include "route/routing_table.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp::tgen {
+
+// -- route churn -----------------------------------------------------------
+
+struct RouteChurnSpec {
+  std::size_t base_prefixes{10000};  // initial table size (deduplicated)
+  std::size_t ops{1000};             // total churn operations
+  std::size_t batch_size{64};        // ops per published batch
+  // Per-op mix; the remainder adds a fresh prefix. Withdraw/nexthop ops
+  // always target a currently-live prefix, so every batch is applicable.
+  double p_withdraw{0.3};
+  double p_nexthop_change{0.3};
+  netbase::IpVersion ver{netbase::IpVersion::v4};
+  unsigned min_len{16}, max_len{24};  // plen band for fresh prefixes
+  std::uint32_t ifaces{4};            // next hops drawn from if0..if(n-1)
+  std::uint64_t seed{11};
+};
+
+struct RouteChurn {
+  // Initial table: base[i] routed to base_hops[i].
+  std::vector<netbase::IpPrefix> base;
+  std::vector<route::NextHop> base_hops;
+  // The churn schedule, already cut into batches.
+  std::vector<std::vector<route::RouteOp>> batches;
+};
+
+RouteChurn route_churn(const RouteChurnSpec& spec);
+
+// -- filter churn ----------------------------------------------------------
+
+struct FilterChurnOp {
+  bool remove{false};
+  aiu::Filter filter{};
+};
+
+struct FilterChurnSpec {
+  FilterSetSpec base{};       // initial filter set (count, distributions)
+  std::size_t ops{500};
+  std::size_t batch_size{32};
+  double p_remove{0.5};       // removes target a currently-live filter
+  std::uint64_t seed{13};
+};
+
+struct FilterChurn {
+  std::vector<aiu::Filter> base;
+  std::vector<std::vector<FilterChurnOp>> batches;
+};
+
+FilterChurn filter_churn(const FilterChurnSpec& spec);
+
+}  // namespace rp::tgen

@@ -34,6 +34,7 @@ FlowEndpoints random_flow(Rng& rng, IpVersion ver, pkt::IfIndex iface) {
 
 pkt::PacketPtr packet_for(const FlowEndpoints& ep, std::size_t payload_len,
                           std::uint8_t ttl) {
+  pkt::PacketPtr p;
   if (ep.proto == static_cast<std::uint8_t>(pkt::IpProto::tcp)) {
     pkt::TcpSpec spec;
     spec.src = ep.src;
@@ -42,16 +43,23 @@ pkt::PacketPtr packet_for(const FlowEndpoints& ep, std::size_t payload_len,
     spec.dport = ep.dport;
     spec.payload_len = payload_len;
     spec.ttl = ttl;
-    return pkt::build_tcp(spec);
+    p = pkt::build_tcp(spec);
+  } else {
+    pkt::UdpSpec spec;
+    spec.src = ep.src;
+    spec.dst = ep.dst;
+    spec.sport = ep.sport;
+    spec.dport = ep.dport;
+    spec.payload_len = payload_len;
+    spec.ttl = ttl;
+    p = pkt::build_udp(spec);
   }
-  pkt::UdpSpec spec;
-  spec.src = ep.src;
-  spec.dst = ep.dst;
-  spec.sport = ep.sport;
-  spec.dport = ep.dport;
-  spec.payload_len = payload_len;
-  spec.ttl = ttl;
-  return pkt::build_udp(spec);
+  // The builders cache the flow key before the ingress iface is known;
+  // restamp it so iface-qualified filters see the endpoint's iface.
+  p->in_iface = ep.in_iface;
+  p->key.in_iface = ep.in_iface;
+  p->invalidate_flow_hash();
+  return p;
 }
 
 std::vector<Arrival> cbr(const CbrSpec& spec) {

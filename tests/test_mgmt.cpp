@@ -92,6 +92,58 @@ TEST_F(MgmtTest, TelemetryUnknownSubcommandIsAnError) {
   EXPECT_FALSE(pmgr_.exec("telemetry trace xyz").ok());
 }
 
+TEST_F(MgmtTest, CtrlUnknownSubcommandIsAnError) {
+  auto r = pmgr_.exec("ctrl bogus");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("unknown ctrl subcommand"), std::string::npos);
+  // Strict parsing throughout the family: wrong arity and malformed
+  // operands fail loudly instead of half-applying a batch.
+  EXPECT_FALSE(pmgr_.exec("ctrl status extra").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl route-batch").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl route-batch add 10.0.0.0/8").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl route-batch frob 10.0.0.0/8 if1").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl route-batch add 10.0.0.0/99 if1").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl route-batch withdraw").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl filter-batch").ok());
+  EXPECT_FALSE(
+      pmgr_.exec("ctrl filter-batch fw nan add=<*,*,udp,*,80,*>").ok());
+  EXPECT_FALSE(
+      pmgr_.exec("ctrl filter-batch fw 1 frob=<*,*,udp,*,80,*>").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl filter-batch fw 1 add=<garbage>").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl upgrade").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl upgrade stats 1").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl upgrade stats one 2").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl upgrade stats 1 2 maybe").ok());
+}
+
+TEST_F(MgmtTest, CtrlCommandsEndToEnd) {
+  // One atomic route batch: two adds and a withdraw of one of them.
+  auto r = pmgr_.exec(
+      "ctrl route-batch add 10.0.0.0/8 if1 add 20.0.0.0/8 if0 "
+      "withdraw 20.0.0.0/8");
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(kernel_.routes().size(), 1u);
+  auto s = pmgr_.exec("ctrl status");
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(s.text.find("route_batches=1"), std::string::npos) << s.text;
+
+  // Batched filter churn against a live firewall instance.
+  ASSERT_TRUE(pmgr_.exec("modload firewall").ok());
+  ASSERT_TRUE(pmgr_.exec("create firewall policy=deny").ok());
+  r = pmgr_.exec(
+      "ctrl filter-batch firewall 1 add=<10.0.0.0/8,*,udp,*,80,*> "
+      "add=<10.0.0.0/8,*,tcp,*,80,*> remove=<10.0.0.0/8,*,udp,*,80,*>");
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_EQ(
+      kernel_.aiu().filter_table(plugin::PluginType::firewall)->size(), 1u);
+
+  // Resolution failures are reported, not silently dropped.
+  EXPECT_FALSE(
+      pmgr_.exec("ctrl filter-batch ghost 1 add=<*,*,udp,*,80,*>").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl upgrade ghost 1 2").ok());
+  EXPECT_FALSE(pmgr_.exec("ctrl upgrade firewall 1 9").ok());
+}
+
 TEST_F(MgmtTest, SanitizeCountersCommand) {
   ASSERT_TRUE(pmgr_.exec("route add 20.0.0.0/8 if1").ok());
 
