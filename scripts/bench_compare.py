@@ -36,6 +36,10 @@ HEADLINE = [
     ("t11_churn", "filter_churn_ops_per_s", "higher"),
     ("t11_churn", "upgrade_stall_ns", "lower"),
     ("t11_churn", "upgrade_speedup", "higher"),
+    ("t12_eiffel", "eiffel_1m_ns", "lower"),
+    ("t12_eiffel", "drr_1m_ns", "lower"),
+    ("t12_eiffel", "hfsc_1m_ns", "lower"),
+    ("t12_eiffel", "eiffel_flatness_1m_vs_10k", "lower"),
 ]
 
 

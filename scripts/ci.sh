@@ -29,11 +29,11 @@ echo "== bench diff: headline metrics vs previous PR's sweep =="
 # Non-strict: prints the t3/t4/t8 headline deltas (and any >10% regression)
 # between the last two recorded sweeps without failing a noisy CI box. Run
 # scripts/bench_compare.py --strict locally when the numbers must hold.
-if [[ -f "$repo/BENCH_pr7.json" && -f "$repo/BENCH_pr8.json" ]]; then
+if [[ -f "$repo/BENCH_pr8.json" && -f "$repo/BENCH_pr9.json" ]]; then
   python3 "$repo/scripts/bench_compare.py" \
-    "$repo/BENCH_pr7.json" "$repo/BENCH_pr8.json"
+    "$repo/BENCH_pr8.json" "$repo/BENCH_pr9.json"
 else
-  echo "   (skipped: need both BENCH_pr7.json and BENCH_pr8.json)"
+  echo "   (skipped: need both BENCH_pr8.json and BENCH_pr9.json)"
 fi
 
 echo "== diff: single-threaded vs sharded datapath equivalence =="
@@ -92,6 +92,15 @@ echo "== l7 fuzz: segment-evasion differential under ASan/UBSan =="
 # runs in the TSan lane below via -L tsan.
 ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
   --output-on-failure -L '^l7-fuzz$'
+
+echo "== sched fuzz: scheduler differential properties under ASan/UBSan =="
+# The million-flow scheduler acceptance gate (docs/scheduling.md): seeded
+# adversarial flow mixes through all three engines (DRR, H-FSC, Eiffel) —
+# Jain fairness parity Eiffel-vs-DRR, service-curve conformance vs the
+# H-FSC runtime machinery, and no-loss/no-reorder per flow. Excluded from
+# the general ASan lane above (its exclude regex matches "fuzz").
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
+  --output-on-failure -L '^sched-fuzz$'
 
 echo "== tier 3: TSan build + parallel/chaos tests =="
 # ThreadSanitizer over everything that runs worker threads: the sharded

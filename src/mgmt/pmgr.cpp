@@ -902,6 +902,54 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
             "unknown ctrl subcommand: " + sub +
                 "; expected route-batch|filter-batch|upgrade|status"};
   }
+  if (cmd == "sched") {
+    // Operator surface of the scheduling gate. Each subcommand broadcasts a
+    // plugin message to every instance of every sched-type plugin (and,
+    // with a sharded datapath attached, to each shard's private instances
+    // via the quiesce-safe gather hook):
+    //   sched status     per-instance queue/backlog/drop counters ("stats")
+    //   sched ranks      rank-function configuration (Eiffel: rank fn,
+    //                    granularity, horizon, window base, virtual clock)
+    //   sched occupancy  bucket occupancy / active-flow counts (Eiffel)
+    // Engines that do not implement a message simply skip it (DRR and
+    // H-FSC answer status; ranks/occupancy are Eiffel-specific).
+    const std::string sub = tok.size() > 1 ? tok[1] : "status";
+    if (sub != "status" && sub != "ranks" && sub != "occupancy")
+      return usage("sched [status|ranks|occupancy]");
+    if (tok.size() > 2) return usage("sched [status|ranks|occupancy]");
+    const std::string mname = sub == "status" ? "stats" : sub;
+    auto broadcast = [&mname](plugin::PluginControlUnit& pcu,
+                              std::string& text) {
+      for (const auto& pname :
+           pcu.plugin_names(plugin::PluginType::sched)) {
+        plugin::Plugin* pl = pcu.find(pname);
+        if (!pl) continue;
+        for (auto& [id, inst] : *pl) {
+          plugin::PluginMsg msg;
+          msg.plugin_name = pname;
+          msg.instance = id;
+          msg.custom_name = mname;
+          plugin::PluginReply reply;
+          if (inst->handle_message(msg, reply) != Status::ok) continue;
+          if (!text.empty()) text += "\n";
+          text += pname + "#" + std::to_string(id) + ": " + reply.text;
+        }
+      }
+    };
+    std::string text;
+    broadcast(lib_.kernel().pcu(), text);
+    if (sharded_) {
+      std::vector<std::string> per(sharded_->workers());
+      sharded_->gather([&](parallel::ShardContext& ctx) {
+        broadcast(ctx.pcu(), per[ctx.id()]);
+      });
+      for (std::uint32_t i = 0; i < sharded_->workers(); ++i)
+        if (!per[i].empty())
+          text += (text.empty() ? "" : "\n") + ("shard" + std::to_string(i)) +
+                  ":\n" + per[i];
+    }
+    return {Status::ok, text.empty() ? "no sched instances" : text};
+  }
   return {Status::invalid_argument, "unknown command: " + cmd};
 }
 

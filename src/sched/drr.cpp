@@ -28,13 +28,31 @@ DrrInstance::FlowQueue* DrrInstance::queue_for(const pkt::Packet& p,
   auto q = std::make_unique<FlowQueue>();
   q->weight = weight_for(p.key);
   q->soft_slot = flow_soft;
+  q->key = p.key;
   FlowQueue* raw = q.get();
   queues_.push_back(std::move(q));
-  if (flow_soft)
+  raw->self = std::prev(queues_.end());
+  if (flow_soft) {
     *flow_soft = raw;  // per-flow soft state in the flow record (§5.2)
-  else
+  } else {
+    if (fallback_.size() >= fallback_sweep_at_) sweep_fallback();
+    raw->in_fallback = true;
     fallback_[p.key] = raw;  // self-classified per-flow queue
+  }
   return raw;
+}
+
+void DrrInstance::sweep_fallback() {
+  for (auto it = fallback_.begin(); it != fallback_.end();) {
+    FlowQueue* q = it->second;
+    if (!q->active && q->pkts.empty()) {
+      it = fallback_.erase(it);
+      queues_.erase(q->self);
+    } else {
+      ++it;
+    }
+  }
+  fallback_sweep_at_ = std::max<std::size_t>(4096, 2 * fallback_.size());
 }
 
 bool DrrInstance::enqueue(pkt::PacketPtr p, void** flow_soft,
@@ -143,8 +161,8 @@ void DrrInstance::destroy(FlowQueue* q) {
     --backlog_pkts_;
   }
   if (q->active) std::erase(active_, q);
-  std::erase_if(fallback_, [q](const auto& kv) { return kv.second == q; });
-  queues_.remove_if([q](const auto& up) { return up.get() == q; });
+  if (q->in_fallback) fallback_.erase(q->key);
+  queues_.erase(q->self);
 }
 
 Status DrrInstance::handle_message(const plugin::PluginMsg& msg,

@@ -59,12 +59,16 @@ class DrrInstance final : public core::OutputScheduler {
     bool active{false};        // on the round-robin list
     bool fresh_visit{true};    // gets a quantum when reaching the list head
     bool orphaned{false};      // flow-table entry gone; free once drained
+    bool in_fallback{false};   // self-classified (keyed in fallback_)
     void** soft_slot{nullptr}; // so we can clear the slot if we die first
+    pkt::FlowKey key{};
+    std::list<std::unique_ptr<FlowQueue>>::iterator self{};
   };
 
   FlowQueue* queue_for(const pkt::Packet& p, void** flow_soft);
   std::uint32_t weight_for(const pkt::FlowKey& key) const;
   void destroy(FlowQueue* q);
+  void sweep_fallback();
 
   struct KeyHash {
     std::size_t operator()(const pkt::FlowKey& k) const noexcept {
@@ -84,6 +88,13 @@ class DrrInstance final : public core::OutputScheduler {
   std::size_t backlog_pkts_{0};
   std::size_t backlog_bytes_{0};
   std::uint64_t drops_{0};
+  // Drained self-classified queues are kept (their deficit-free state is
+  // cheap and re-creating them would re-run the weight rules), but a flow
+  // churn must not accrete them without bound: once the fallback map grows
+  // past this watermark, creating a new entry first sweeps out every
+  // drained idle one. The watermark doubles with the surviving (backlogged)
+  // population so a fully-active map is not rescanned per packet.
+  std::size_t fallback_sweep_at_{4096};
 };
 
 class DrrPlugin final : public plugin::Plugin {

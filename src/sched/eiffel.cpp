@@ -1,0 +1,626 @@
+#include "sched/eiffel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "telemetry/telemetry.hpp"
+
+namespace rp::sched {
+
+using netbase::SimTime;
+using netbase::Status;
+
+namespace {
+// Fixed-point scale for virtual time: one byte of a weight-1 flow advances
+// the finish tag by kWScale units, so integer division by the weight keeps
+// sub-byte precision up to weight 256.
+constexpr std::uint64_t kWScale = 256;
+constexpr std::uint64_t kDefaultVtimeGranBytes = 128;
+constexpr std::uint64_t kDefaultDeadlineGranNs = 16384;
+}  // namespace
+
+EiffelInstance::EiffelInstance(Config cfg) : cfg_(cfg) {
+  horizon_ = std::clamp<std::size_t>((cfg_.horizon + 63) & ~std::size_t{63},
+                                     64, 4096);
+  switch (cfg_.rank) {
+    case RankFn::prio:
+      gran_ = 1;
+      break;
+    case RankFn::vtime:
+      gran_ = (cfg_.gran ? cfg_.gran : kDefaultVtimeGranBytes) * kWScale;
+      break;
+    case RankFn::deadline:
+      gran_ = cfg_.gran ? cfg_.gran : kDefaultDeadlineGranNs;
+      break;
+  }
+  const std::size_t words = horizon_ / 64;
+  cur_.l1.assign(words, 0);
+  cur_.buckets.assign(horizon_, Bucket{});
+  ovf_.l1.assign(words, 0);
+  ovf_.buckets.assign(horizon_, Bucket{});
+
+  static std::atomic<std::uint64_t> next_tag{0};
+  metric_prefix_ =
+      "eiffel." + std::to_string(next_tag.fetch_add(1)) + ".";
+  auto& reg = telemetry::metrics();
+  reg.add(metric_prefix_ + "enqueues", &enqueues_, this);
+  reg.add(metric_prefix_ + "dequeues", &dequeues_, this);
+  reg.add(metric_prefix_ + "drops", &drops_, this);
+  reg.add(metric_prefix_ + "rotations", &rotations_, this);
+  reg.add(metric_prefix_ + "bucket_scans", &bucket_scans_, this);
+  reg.add(metric_prefix_ + "far_admits", &far_admits_, this);
+  reg.add(metric_prefix_ + "occupancy", &occupancy_, this);
+}
+
+EiffelInstance::~EiffelInstance() {
+  telemetry::metrics().remove_owner(this);
+  // Clear flow-table soft slots that still point at our queues.
+  for (auto& q : queues_)
+    if (q->soft_slot) *q->soft_slot = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// FFS ring primitives.
+
+int EiffelInstance::ring_first(const Ring& r) const {
+  if (!r.l0) return -1;
+  const unsigned w = static_cast<unsigned>(std::countr_zero(r.l0));
+  return static_cast<int>((w << 6) +
+                          static_cast<unsigned>(std::countr_zero(r.l1[w])));
+}
+
+void EiffelInstance::ring_push(Ring& r, std::size_t idx, FlowQueue* q) {
+  Bucket& bk = r.buckets[idx];
+  q->bprev = bk.tail;
+  q->bnext = nullptr;
+  if (bk.tail)
+    bk.tail->bnext = q;
+  else
+    bk.head = q;
+  bk.tail = q;
+  r.l1[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  r.l0 |= std::uint64_t{1} << (idx >> 6);
+}
+
+void EiffelInstance::ring_unlink(Ring& r, std::size_t idx, FlowQueue* q) {
+  Bucket& bk = r.buckets[idx];
+  if (q->bprev)
+    q->bprev->bnext = q->bnext;
+  else
+    bk.head = q->bnext;
+  if (q->bnext)
+    q->bnext->bprev = q->bprev;
+  else
+    bk.tail = q->bprev;
+  q->bprev = q->bnext = nullptr;
+  if (!bk.head) {
+    r.l1[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    if (!r.l1[idx >> 6]) r.l0 &= ~(std::uint64_t{1} << (idx >> 6));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rank functions.
+
+std::uint64_t EiffelInstance::vlen(std::size_t bytes,
+                                   std::uint32_t weight) const {
+  const std::uint64_t v =
+      (static_cast<std::uint64_t>(bytes) * kWScale) / std::max(weight, 1u);
+  return v ? v : 1;
+}
+
+std::uint64_t EiffelInstance::rank_for_head(FlowQueue* q, SimTime now,
+                                            bool activation) {
+  switch (cfg_.rank) {
+    case RankFn::prio:
+      // Static priority, lower served first. The whole rank space lives in
+      // the cur ring (base_ never advances in prio mode).
+      return std::min<std::uint64_t>(q->prio, horizon_ - 1);
+    case RankFn::vtime: {
+      // WFQ start/finish tags: a freshly active flow starts at the virtual
+      // clock (or its own stale finish tag if that is later); a busy flow's
+      // next packet starts where the previous one finished.
+      std::uint64_t start = q->vnext;
+      if (activation) start = std::max(start, vtime_);
+      const std::uint64_t finish = start + vlen(q->pkts.front()->size(),
+                                                q->weight);
+      q->vnext = finish;
+      return finish / gran_;
+    }
+    case RankFn::deadline: {
+      // H-FSC real-time criterion for a single flow: re-anchor the runtime
+      // curve on each activation (rtsc_min), deadline = y2x of the head.
+      const double dnow = static_cast<double>(now);
+      if (activation) {
+        if (!q->curve_live) {
+          q->dcurve.init(q->curve, dnow, q->cumul);
+          q->curve_live = true;
+        } else {
+          q->dcurve.min_with(q->curve, dnow, q->cumul);
+        }
+      }
+      const double dl =
+          q->dcurve.y2x(q->cumul + static_cast<double>(q->pkts.front()->size()));
+      if (!std::isfinite(dl))  // zero-slope curve: park far in the future
+        return base_ + 2 * horizon_ + (std::uint64_t{1} << 30);
+      return static_cast<std::uint64_t>(dl) / gran_;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Window placement and rotation.
+
+void EiffelInstance::insert(FlowQueue* q, std::uint64_t rank) {
+  // Snap the window when the structure is empty (deadline ranks can jump
+  // arbitrarily far between busy periods). Half a ring of slack below the
+  // first rank keeps room for flows whose ranks land slightly earlier than
+  // the flow that happened to arrive first. Never in prio mode: priorities
+  // are absolute bucket indices and base_ must stay 0.
+  if (active_flows_ == 0 && cfg_.rank != RankFn::prio) {
+    const std::uint64_t slack = horizon_ / 2;
+    base_ = rank > slack ? rank - slack : 0;
+  }
+  if (rank < base_) rank = base_;  // late rank: serve as soon as possible
+  q->rank = rank;
+  const std::uint64_t off = rank - base_;
+  if (off < horizon_) {
+    ring_push(cur_, static_cast<std::size_t>(off), q);
+    q->where = Where::cur;
+  } else if (off < 2 * horizon_) {
+    ring_push(ovf_, static_cast<std::size_t>(off - horizon_), q);
+    q->where = Where::ovf;
+  } else {
+    far_.push_back(q);
+    q->where = Where::far;
+    far_admits_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EiffelInstance::activate(FlowQueue* q, SimTime now) {
+  insert(q, rank_for_head(q, now, /*activation=*/true));
+  ++active_flows_;
+}
+
+void EiffelInstance::rotate() {
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  if (!ovf_.empty()) {
+    std::swap(cur_, ovf_);
+    base_ += horizon_;
+    // The swap moved every overflow flow into the cur ring: retag them.
+    // Cost is bounded by the occupied buckets (found via the bitmap), not H.
+    std::uint64_t l0 = cur_.l0;
+    while (l0) {
+      const auto w = static_cast<std::size_t>(std::countr_zero(l0));
+      l0 &= l0 - 1;
+      std::uint64_t word = cur_.l1[w];
+      while (word) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        for (FlowQueue* q = cur_.buckets[(w << 6) + bit].head; q; q = q->bnext)
+          q->where = Where::cur;
+      }
+    }
+  } else {
+    // Both rings drained with everything in the far list: jump the window
+    // straight to the minimum far rank instead of rotating H at a time.
+    std::uint64_t mn = std::numeric_limits<std::uint64_t>::max();
+    for (const FlowQueue* q : far_) mn = std::min(mn, q->rank);
+    if (mn == std::numeric_limits<std::uint64_t>::max()) return;
+    base_ = mn;
+  }
+  if (far_.empty()) return;
+  std::size_t w = 0;
+  for (FlowQueue* q : far_) {
+    const std::uint64_t off = q->rank - base_;  // far ranks are >= old base
+    if (q->rank >= base_ && off < horizon_) {
+      ring_push(cur_, static_cast<std::size_t>(off), q);
+      q->where = Where::cur;
+    } else if (q->rank >= base_ && off < 2 * horizon_) {
+      ring_push(ovf_, static_cast<std::size_t>(off - horizon_), q);
+      q->where = Where::ovf;
+    } else {
+      far_[w++] = q;
+    }
+  }
+  far_.resize(w);
+}
+
+// ---------------------------------------------------------------------------
+// Flow-queue resolution (soft slot / fallback), mirroring DRR.
+
+void EiffelInstance::apply_rules(FlowQueue* q) const {
+  q->weight = cfg_.default_weight;
+  q->prio = cfg_.default_prio;
+  q->curve = cfg_.default_curve;
+  bool got_w = false, got_p = false, got_c = false;
+  for (const auto& r : rules_) {
+    if (got_w && got_p && got_c) break;
+    if (!r.filter.matches(q->key)) continue;
+    if (r.weight && !got_w) {
+      q->weight = r.weight;
+      got_w = true;
+    }
+    if (r.has_prio && !got_p) {
+      q->prio = r.prio;
+      got_p = true;
+    }
+    if (r.has_curve && !got_c) {
+      q->curve = r.curve;
+      got_c = true;
+    }
+  }
+}
+
+EiffelInstance::FlowQueue* EiffelInstance::queue_for(const pkt::Packet& p,
+                                                     void** flow_soft) {
+  if (flow_soft && *flow_soft) return static_cast<FlowQueue*>(*flow_soft);
+  if (!flow_soft) {
+    if (auto it = fallback_.find(p.key); it != fallback_.end())
+      return it->second;
+  }
+  auto q = std::make_unique<FlowQueue>();
+  q->key = p.key;
+  q->soft_slot = flow_soft;
+  apply_rules(q.get());
+  FlowQueue* raw = q.get();
+  queues_.push_back(std::move(q));
+  raw->self = std::prev(queues_.end());
+  if (flow_soft) {
+    *flow_soft = raw;  // per-flow soft state in the flow record (§5.2)
+  } else {
+    raw->in_fallback = true;
+    fallback_[p.key] = raw;  // self-classified; freed again on drain
+  }
+  return raw;
+}
+
+void EiffelInstance::destroy(FlowQueue* q) {
+  // Only ever called on a drained, unlinked queue.
+  if (q->soft_slot) *q->soft_slot = nullptr;
+  if (q->in_fallback) fallback_.erase(q->key);
+  queues_.erase(q->self);
+}
+
+// ---------------------------------------------------------------------------
+// Datapath.
+
+bool EiffelInstance::enqueue(pkt::PacketPtr p, void** flow_soft,
+                             SimTime now) {
+  FlowQueue* q = queue_for(*p, flow_soft);
+  if (q->pkts.size() >= cfg_.per_flow_limit) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  backlog_bytes_ += p->size();
+  ++backlog_pkts_;
+  q->pkts.push_back(std::move(p));
+  if (q->where == Where::idle) activate(q, now);
+  enqueues_.fetch_add(1, std::memory_order_relaxed);
+  occupancy_.store(backlog_pkts_, std::memory_order_relaxed);
+  return true;
+}
+
+void EiffelInstance::enqueue_burst(pkt::PacketPtr* pkts, void** const* softs,
+                                   bool* accepted, std::size_t n,
+                                   SimTime now) {
+  // A run shares one flow-table soft slot across its train, so the flow
+  // queue resolves once; the fallback path (no slot) still classifies each
+  // packet. Per-packet admission is unchanged from enqueue().
+  void** memo_soft = nullptr;
+  FlowQueue* memo_q = nullptr;
+  std::uint64_t accepted_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pkt::PacketPtr p = std::move(pkts[i]);
+    FlowQueue* q;
+    if (softs[i] && softs[i] == memo_soft) {
+      q = memo_q;
+    } else {
+      q = queue_for(*p, softs[i]);
+      if (softs[i]) {
+        memo_soft = softs[i];
+        memo_q = q;
+      }
+    }
+    if (q->pkts.size() >= cfg_.per_flow_limit) {
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      accepted[i] = false;
+      p.reset();  // rejected packets are freed, as by-value enqueue() does
+      continue;
+    }
+    backlog_bytes_ += p->size();
+    ++backlog_pkts_;
+    q->pkts.push_back(std::move(p));
+    if (q->where == Where::idle) activate(q, now);
+    accepted[i] = true;
+    ++accepted_n;
+  }
+  enqueues_.fetch_add(accepted_n, std::memory_order_relaxed);
+  occupancy_.store(backlog_pkts_, std::memory_order_relaxed);
+}
+
+pkt::PacketPtr EiffelInstance::dequeue(SimTime now) {
+  if (backlog_pkts_ == 0) return nullptr;
+  for (;;) {
+    const int b = ring_first(cur_);
+    bucket_scans_.fetch_add(2, std::memory_order_relaxed);
+    if (b < 0) {
+      if (ovf_.empty() && far_.empty()) return nullptr;  // defensive
+      rotate();
+      continue;
+    }
+    const std::uint64_t rank = base_ + static_cast<std::uint64_t>(b);
+    if (cfg_.shaped && cfg_.rank == RankFn::deadline) {
+      const auto release = static_cast<SimTime>(rank * gran_);
+      if (release > now) return nullptr;  // next_wakeup drives the retry
+    }
+    FlowQueue* q = cur_.buckets[static_cast<std::size_t>(b)].head;
+    ring_unlink(cur_, static_cast<std::size_t>(b), q);
+    q->where = Where::idle;
+    auto p = std::move(q->pkts.front());
+    q->pkts.pop_front();
+    backlog_bytes_ -= p->size();
+    --backlog_pkts_;
+    dequeues_.fetch_add(1, std::memory_order_relaxed);
+    occupancy_.store(backlog_pkts_, std::memory_order_relaxed);
+    if (cfg_.rank == RankFn::vtime)
+      vtime_ = std::max(vtime_, q->vnext);  // served packet's finish tag
+    else if (cfg_.rank == RankFn::deadline)
+      q->cumul += static_cast<double>(p->size());
+    if (!q->pkts.empty()) {
+      insert(q, rank_for_head(q, now, /*activation=*/false));
+    } else {
+      --active_flows_;
+      // Orphaned (flow-table entry gone) and self-classified fallback
+      // queues are freed the moment they drain, so churn cannot accrete
+      // per-flow state.
+      if (q->orphaned || q->in_fallback) destroy(q);
+    }
+    return p;
+  }
+}
+
+SimTime EiffelInstance::next_wakeup(SimTime now) const {
+  if (!(cfg_.shaped && cfg_.rank == RankFn::deadline)) return -1;
+  if (backlog_pkts_ == 0) return -1;
+  const int b = ring_first(cur_);
+  if (b < 0) return -1;  // rotation pending; dequeue() will resolve it
+  const auto release =
+      static_cast<SimTime>((base_ + static_cast<std::uint64_t>(b)) * gran_);
+  return release > now ? release : now + 1;
+}
+
+void EiffelInstance::flow_removed(void* flow_soft) {
+  auto* q = static_cast<FlowQueue*>(flow_soft);
+  if (!q) return;
+  q->soft_slot = nullptr;
+  if (q->pkts.empty())
+    destroy(q);
+  else
+    q->orphaned = true;  // drain in-flight packets first
+}
+
+// ---------------------------------------------------------------------------
+// Control surface.
+
+Status EiffelInstance::handle_message(const plugin::PluginMsg& msg,
+                                      plugin::PluginReply& reply) {
+  auto upsert = [this](const aiu::Filter& f) -> Rule& {
+    for (auto& r : rules_)
+      if (r.filter == f) return r;
+    rules_.push_back(Rule{f, 0, 0, false, ServiceCurve{}, false});
+    return rules_.back();
+  };
+  if (msg.custom_name == "setweight") {
+    auto spec = msg.args.get("filter");
+    auto weight = msg.args.get_int("weight");
+    if (!spec || !weight || *weight < 1) return Status::invalid_argument;
+    auto f = aiu::Filter::parse(*spec);
+    if (!f) return Status::invalid_argument;
+    upsert(*f).weight = static_cast<std::uint32_t>(*weight);
+    return Status::ok;
+  }
+  if (msg.custom_name == "setprio") {
+    auto spec = msg.args.get("filter");
+    auto prio = msg.args.get_int("prio");
+    if (!spec || !prio || *prio < 0) return Status::invalid_argument;
+    auto f = aiu::Filter::parse(*spec);
+    if (!f) return Status::invalid_argument;
+    Rule& r = upsert(*f);
+    r.prio = static_cast<std::uint32_t>(*prio);
+    r.has_prio = true;
+    return Status::ok;
+  }
+  if (msg.custom_name == "setcurve") {
+    auto spec = msg.args.get("filter");
+    if (!spec) return Status::invalid_argument;
+    auto f = aiu::Filter::parse(*spec);
+    if (!f) return Status::invalid_argument;
+    // Same units as the hfsc addclass message: bits/sec and microseconds.
+    ServiceCurve sc;
+    sc.m1 = static_cast<double>(msg.args.get_int_or("m1_bps", 0)) / 8.0;
+    sc.d = static_cast<double>(msg.args.get_int_or("d_us", 0)) * 1000.0;
+    sc.m2 = static_cast<double>(msg.args.get_int_or("m2_bps", 0)) / 8.0;
+    if (sc.zero()) return Status::invalid_argument;
+    Rule& r = upsert(*f);
+    r.curve = sc;
+    r.has_curve = true;
+    return Status::ok;
+  }
+  if (msg.custom_name == "stats") {
+    reply.text =
+        "queues=" + std::to_string(queues_.size()) +
+        " fallback=" + std::to_string(fallback_.size()) +
+        " backlog_pkts=" + std::to_string(backlog_pkts_) +
+        " backlog_bytes=" + std::to_string(backlog_bytes_) +
+        " drops=" + std::to_string(drops_.load(std::memory_order_relaxed)) +
+        " rotations=" +
+        std::to_string(rotations_.load(std::memory_order_relaxed)) +
+        " bucket_scans=" +
+        std::to_string(bucket_scans_.load(std::memory_order_relaxed)) +
+        " far=" + std::to_string(far_.size());
+    return Status::ok;
+  }
+  if (msg.custom_name == "ranks") {
+    const char* fn = cfg_.rank == RankFn::prio     ? "prio"
+                     : cfg_.rank == RankFn::vtime ? "vtime"
+                                                  : "deadline";
+    reply.text = std::string("rank=") + fn +
+                 " gran=" + std::to_string(gran_) +
+                 " horizon=" + std::to_string(horizon_) +
+                 " base=" + std::to_string(base_) +
+                 " vtime=" + std::to_string(vtime_) +
+                 " shaped=" + (cfg_.shaped ? "1" : "0") +
+                 " rules=" + std::to_string(rules_.size());
+    return Status::ok;
+  }
+  if (msg.custom_name == "occupancy") {
+    const Debug d = debug();
+    reply.text = "cur_buckets=" + std::to_string(d.cur_occupied) +
+                 " ovf_buckets=" + std::to_string(d.ovf_occupied) +
+                 " far=" + std::to_string(d.far) +
+                 " active_flows=" + std::to_string(d.active_flows) +
+                 " backlog_pkts=" + std::to_string(backlog_pkts_);
+    return Status::ok;
+  }
+  (void)reply;
+  return Status::unsupported;
+}
+
+// ---------------------------------------------------------------------------
+// Observability / property-test hooks.
+
+EiffelInstance::Debug EiffelInstance::debug() const {
+  Debug d;
+  d.base = base_;
+  d.vtime = vtime_;
+  d.horizon = horizon_;
+  d.gran = gran_;
+  for (std::size_t w = 0; w < cur_.l1.size(); ++w) {
+    d.cur_occupied += static_cast<std::size_t>(std::popcount(cur_.l1[w]));
+    d.ovf_occupied += static_cast<std::size_t>(std::popcount(ovf_.l1[w]));
+  }
+  d.far = far_.size();
+  d.active_flows = active_flows_;
+  d.queues = queues_.size();
+  d.fallback = fallback_.size();
+  return d;
+}
+
+bool EiffelInstance::validate(std::string* why, bool deep) const {
+  auto fail = [why](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+  // Level-0 <-> level-1 coherence (cheap; runs after every op in the soak).
+  for (const Ring* r : {&cur_, &ovf_}) {
+    for (std::size_t w = 0; w < r->l1.size(); ++w) {
+      const bool bit = (r->l0 >> w) & 1;
+      if (bit != (r->l1[w] != 0))
+        return fail("l0/l1 mismatch at word " + std::to_string(w));
+    }
+  }
+  if (!deep) return true;
+
+  // Full structure walk: bitmap vs bucket lists, link integrity, rank ->
+  // bucket mapping, flow/packet conservation.
+  std::size_t flows_seen = 0;
+  const Ring* rings[2] = {&cur_, &ovf_};
+  const Where wh[2] = {Where::cur, Where::ovf};
+  for (int ri = 0; ri < 2; ++ri) {
+    const Ring& r = *rings[ri];
+    const std::uint64_t ring_base =
+        base_ + (ri == 1 ? static_cast<std::uint64_t>(horizon_) : 0);
+    for (std::size_t i = 0; i < horizon_; ++i) {
+      const bool bit = (r.l1[i >> 6] >> (i & 63)) & 1;
+      const Bucket& bk = r.buckets[i];
+      if (bit != (bk.head != nullptr))
+        return fail("l1 bit " + std::to_string(i) + " vs bucket head");
+      if ((bk.head == nullptr) != (bk.tail == nullptr))
+        return fail("bucket " + std::to_string(i) + " head/tail skew");
+      const FlowQueue* prev = nullptr;
+      for (const FlowQueue* q = bk.head; q; q = q->bnext) {
+        if (q->bprev != prev)
+          return fail("bucket " + std::to_string(i) + " bad bprev");
+        if (q->where != wh[ri])
+          return fail("bucket " + std::to_string(i) + " wrong where tag");
+        if (q->rank != ring_base + i)
+          return fail("bucket " + std::to_string(i) + " rank " +
+                      std::to_string(q->rank) + " != " +
+                      std::to_string(ring_base + i));
+        if (q->pkts.empty())
+          return fail("queued flow with no packets");
+        prev = q;
+        ++flows_seen;
+      }
+      if (prev != bk.tail)
+        return fail("bucket " + std::to_string(i) + " tail mismatch");
+    }
+  }
+  for (const FlowQueue* q : far_) {
+    if (q->where != Where::far) return fail("far entry with wrong tag");
+    if (q->rank < base_ + 2 * horizon_)
+      return fail("far entry inside the window");
+    if (q->pkts.empty()) return fail("far flow with no packets");
+    ++flows_seen;
+  }
+  if (flows_seen != active_flows_)
+    return fail("active_flows " + std::to_string(active_flows_) + " != seen " +
+                std::to_string(flows_seen));
+  std::size_t pkts = 0, bytes = 0, idle = 0;
+  for (const auto& q : queues_) {
+    pkts += q->pkts.size();
+    for (const auto& p : q->pkts) bytes += p->size();
+    if (q->where == Where::idle) {
+      if (!q->pkts.empty()) return fail("idle flow holding packets");
+      ++idle;
+    }
+  }
+  if (pkts != backlog_pkts_)
+    return fail("backlog_pkts " + std::to_string(backlog_pkts_) + " != " +
+                std::to_string(pkts));
+  if (bytes != backlog_bytes_)
+    return fail("backlog_bytes " + std::to_string(backlog_bytes_) + " != " +
+                std::to_string(bytes));
+  if (idle + flows_seen != queues_.size())
+    return fail("queue count " + std::to_string(queues_.size()) +
+                " != idle+active " + std::to_string(idle + flows_seen));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<plugin::PluginInstance> EiffelPlugin::make_instance(
+    const plugin::Config& cfg) {
+  EiffelInstance::Config c;
+  if (auto rank = cfg.get("rank")) {
+    if (*rank == "prio")
+      c.rank = EiffelInstance::RankFn::prio;
+    else if (*rank == "vtime")
+      c.rank = EiffelInstance::RankFn::vtime;
+    else if (*rank == "deadline")
+      c.rank = EiffelInstance::RankFn::deadline;
+    else
+      return nullptr;
+  }
+  c.horizon = static_cast<std::size_t>(cfg.get_int_or("horizon", 2048));
+  c.gran = static_cast<std::uint64_t>(cfg.get_int_or("gran", 0));
+  c.per_flow_limit = static_cast<std::size_t>(cfg.get_int_or("limit", 128));
+  c.default_weight =
+      static_cast<std::uint32_t>(cfg.get_int_or("weight", 1));
+  c.default_prio = static_cast<std::uint32_t>(cfg.get_int_or("prio", 0));
+  c.shaped = cfg.get_int_or("shaped", 0) != 0;
+  // Default service curve for deadline mode, hfsc units (bps / us).
+  const double m1 = static_cast<double>(cfg.get_int_or("m1_bps", 100'000'000));
+  const double d = static_cast<double>(cfg.get_int_or("d_us", 0));
+  const double m2 = static_cast<double>(cfg.get_int_or("m2_bps", 100'000'000));
+  c.default_curve = ServiceCurve{m1 / 8.0, d * 1000.0, m2 / 8.0};
+  if (c.horizon == 0 || c.per_flow_limit == 0 || c.default_weight == 0)
+    return nullptr;
+  return std::make_unique<EiffelInstance>(c);
+}
+
+}  // namespace rp::sched

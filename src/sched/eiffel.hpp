@@ -1,0 +1,232 @@
+// Eiffel scheduler plugin — O(1) bucketed priority queueing for millions of
+// concurrent flows (Saeed et al., "Eiffel: Efficient and Flexible Software
+// Packet Scheduling", NSDI'19; ROADMAP "million-flow scheduler" item).
+//
+// The data structure is a circular FFS (find-first-set) hierarchy: ranks map
+// to time/priority buckets, bucket occupancy is summarized in a two-level
+// word-of-words bitmap (one l0 word whose bit w says "l1 word w is
+// non-empty", each l1 bit says "bucket is non-empty"), so the minimum-rank
+// bucket is found with two `countr_zero` instructions regardless of how many
+// flows are backlogged. Two bucket rings cover a sliding rank window:
+//
+//     [base, base+H)      curFIFO ring (serve from here)
+//     [base+H, base+2H)   overflow ring
+//     [base+2H, ...)      far list, re-bucketed on rotation
+//
+// When the cur ring drains with backlog remaining, the rings rotate (swap +
+// base advance) — the "circular" part: bucket storage is reused forever, the
+// rank window slides over it.
+//
+// One engine expresses several disciplines via *programmable rank functions*
+// selected per instance (`create eiffel rank=...`):
+//
+//   rank=prio      strict priority: rank is a per-flow static priority
+//                  (lower = served first), set per filter with `setprio`.
+//                  Flows sharing a priority round-robin FIFO-style.
+//   rank=vtime     virtual-time fair share: start/finish tags exactly as in
+//                  weighted fair queueing, quantized to buckets; byte share
+//                  is proportional to `setweight` weights — DRR-equivalent
+//                  fairness (the Jain-parity property tests prove it).
+//   rank=deadline  H-FSC-style service-curve deadlines: each flow gets a
+//                  two-piece curve (m1/d/m2, `setcurve`); the rank is the
+//                  curve's y2x deadline of the head packet, reusing the
+//                  RuntimeSc machinery from hfsc.cpp. `shaped=1` makes the
+//                  instance non-work-conserving: a packet is not released
+//                  before its bucket's time (next_wakeup drives the retry).
+//
+// Per-flow queue pointers live in the flow table's sched-gate soft slot,
+// exactly like DRR/H-FSC (§5.2/§6.1); flow-less traffic self-classifies into
+// fallback queues that are freed as soon as they drain, so a million-flow
+// churn cannot accrete state.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aiu/filter.hpp"
+#include "core/scheduler_base.hpp"
+#include "plugin/plugin.hpp"
+#include "sched/hfsc.hpp"  // ServiceCurve / RuntimeSc (shared curve math)
+
+namespace rp::sched {
+
+class EiffelInstance final : public core::OutputScheduler {
+ public:
+  enum class RankFn : std::uint8_t { prio, vtime, deadline };
+
+  struct Config {
+    RankFn rank{RankFn::vtime};
+    std::size_t horizon{2048};       // buckets per ring; rounded to 64s
+    std::uint64_t gran{0};           // rank units per bucket; 0 = default
+    std::size_t per_flow_limit{128};  // packets per flow queue
+    std::uint32_t default_weight{1};  // vtime
+    std::uint32_t default_prio{0};    // prio (0 = highest)
+    ServiceCurve default_curve{1.25e7, 0, 1.25e7};  // deadline: 100 Mbit/s
+    bool shaped{false};               // deadline only
+  };
+
+  explicit EiffelInstance(Config cfg);
+  ~EiffelInstance() override;
+
+  bool enqueue(pkt::PacketPtr p, void** flow_soft,
+               netbase::SimTime now) override;
+  // Batch-native enqueue (PR 6 ABI): one virtual call per run; the flow
+  // queue is memoized across a train's back-to-back packets (same slot).
+  void enqueue_burst(pkt::PacketPtr* pkts, void** const* softs,
+                     bool* accepted, std::size_t n,
+                     netbase::SimTime now) override;
+  pkt::PacketPtr dequeue(netbase::SimTime now) override;
+  bool empty() const override { return backlog_pkts_ == 0; }
+  std::size_t backlog_packets() const override { return backlog_pkts_; }
+  std::size_t backlog_bytes() const override { return backlog_bytes_; }
+  netbase::SimTime next_wakeup(netbase::SimTime now) const override;
+
+  void flow_removed(void* flow_soft) override;
+
+  netbase::Status handle_message(const plugin::PluginMsg& msg,
+                                 plugin::PluginReply& reply) override;
+
+  // -- observability / property-test hooks --
+  std::size_t queue_count() const noexcept { return queues_.size(); }
+  std::size_t fallback_count() const noexcept { return fallback_.size(); }
+  std::uint64_t drops() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rotations() const noexcept {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+
+  struct Debug {
+    std::uint64_t base{0};        // rank of cur bucket 0
+    std::uint64_t vtime{0};       // virtual clock (vtime mode, scaled)
+    std::size_t horizon{0};       // buckets per ring
+    std::uint64_t gran{0};        // rank units per bucket
+    std::size_t cur_occupied{0};  // non-empty buckets, cur ring
+    std::size_t ovf_occupied{0};
+    std::size_t far{0};           // flows beyond the 2H window
+    std::size_t active_flows{0};  // flows holding packets
+    std::size_t queues{0};
+    std::size_t fallback{0};
+  };
+  Debug debug() const;
+
+  // Structure invariants. `deep` walks every bucket list (O(H + flows));
+  // deep=false checks only the l0<->l1 bitmap coherence (O(H/64) words),
+  // cheap enough to run after every operation in the churn soak. Returns
+  // false and fills `why` on the first violation.
+  bool validate(std::string* why = nullptr, bool deep = true) const;
+
+ private:
+  struct FlowQueue;
+
+  struct Bucket {
+    FlowQueue* head{nullptr};
+    FlowQueue* tail{nullptr};
+  };
+
+  // One ring: H buckets + the two-level FFS bitmap over them.
+  struct Ring {
+    std::uint64_t l0{0};
+    std::vector<std::uint64_t> l1;  // horizon/64 words
+    std::vector<Bucket> buckets;    // horizon entries
+    bool empty() const noexcept { return l0 == 0; }
+  };
+
+  enum class Where : std::uint8_t { idle, cur, ovf, far };
+
+  struct FlowQueue {
+    std::deque<pkt::PacketPtr> pkts;
+    FlowQueue* bprev{nullptr};  // intrusive bucket FIFO links
+    FlowQueue* bnext{nullptr};
+    std::uint64_t rank{0};      // absolute rank while queued
+    Where where{Where::idle};
+    bool orphaned{false};       // flow-table entry gone; free once drained
+    bool in_fallback{false};
+    std::uint32_t weight{1};
+    std::uint32_t prio{0};
+    std::uint64_t vnext{0};     // finish tag of the last ranked packet
+    double cumul{0};            // deadline: bytes ranked so far
+    RuntimeSc dcurve{};
+    ServiceCurve curve{};
+    bool curve_live{false};
+    void** soft_slot{nullptr};
+    pkt::FlowKey key{};
+    std::list<std::unique_ptr<FlowQueue>>::iterator self{};
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const pkt::FlowKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+
+  // A weight / priority / curve rule (first matching filter wins), the
+  // stand-in for SSP/RSVP-driven recalculation exactly as in DRR.
+  struct Rule {
+    aiu::Filter filter;
+    std::uint32_t weight{0};  // 0 = not set by this rule
+    std::uint32_t prio{0};
+    bool has_prio{false};
+    ServiceCurve curve{};
+    bool has_curve{false};
+  };
+
+  FlowQueue* queue_for(const pkt::Packet& p, void** flow_soft);
+  void apply_rules(FlowQueue* q) const;
+  void destroy(FlowQueue* q);
+
+  std::uint64_t vlen(std::size_t bytes, std::uint32_t weight) const;
+  std::uint64_t rank_for_head(FlowQueue* q, netbase::SimTime now,
+                              bool activation);
+  void insert(FlowQueue* q, std::uint64_t rank);
+  void activate(FlowQueue* q, netbase::SimTime now);
+  void rotate();
+
+  void ring_push(Ring& r, std::size_t idx, FlowQueue* q);
+  void ring_unlink(Ring& r, std::size_t idx, FlowQueue* q);
+  int ring_first(const Ring& r) const;  // bucket index or -1
+
+  Config cfg_;
+  std::size_t horizon_;       // buckets per ring (multiple of 64)
+  std::uint64_t gran_;        // rank units per bucket
+  std::uint64_t base_{0};     // absolute rank of cur bucket 0
+  std::uint64_t vtime_{0};    // virtual clock, vtime mode (scaled units)
+  Ring cur_, ovf_;
+  std::vector<FlowQueue*> far_;
+  std::size_t active_flows_{0};
+
+  std::list<std::unique_ptr<FlowQueue>> queues_;
+  std::unordered_map<pkt::FlowKey, FlowQueue*, KeyHash> fallback_;
+  std::vector<Rule> rules_;
+
+  std::size_t backlog_pkts_{0};
+  std::size_t backlog_bytes_{0};
+
+  // Telemetry: registered with telemetry::metrics() under eiffel.<tag>.*.
+  std::string metric_prefix_;
+  std::atomic<std::uint64_t> enqueues_{0};
+  std::atomic<std::uint64_t> dequeues_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> bucket_scans_{0};  // bitmap words inspected
+  std::atomic<std::uint64_t> far_admits_{0};    // ranks past the 2H window
+  std::atomic<std::uint64_t> occupancy_{0};     // backlog_pkts_ mirror
+};
+
+class EiffelPlugin final : public plugin::Plugin {
+ public:
+  EiffelPlugin() : Plugin("eiffel", plugin::PluginType::sched) {}
+
+ protected:
+  std::unique_ptr<plugin::PluginInstance> make_instance(
+      const plugin::Config& cfg) override;
+};
+
+}  // namespace rp::sched

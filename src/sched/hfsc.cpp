@@ -79,6 +79,7 @@ void HfscInstance::Class::leaf_enqueue(pkt::PacketPtr p) {
     return;
   }
   SubQueue& sq = subqs[p->key];
+  sq.key = p->key;
   sq.pkts.push_back(std::move(p));
   if (!sq.active) {
     sq.active = true;
@@ -108,10 +109,12 @@ pkt::PacketPtr HfscInstance::Class::leaf_dequeue() {
       sq->pkts.pop_front();
       sq->deficit -= static_cast<std::int64_t>(p->size());
       if (sq->pkts.empty()) {
-        sq->deficit = 0;
-        sq->active = false;
-        sq->fresh_visit = true;
         rr.pop_front();
+        // A drained flow forfeits its deficit anyway (Shreedhar/Varghese),
+        // so nothing of value is lost by erasing the sub-queue outright —
+        // and keeping it would leak one map entry per flow ever seen.
+        const pkt::FlowKey gone = sq->key;
+        subqs.erase(gone);
       }
       return p;
     }
@@ -121,6 +124,12 @@ pkt::PacketPtr HfscInstance::Class::leaf_dequeue() {
   }
   ++backlog;  // should be unreachable; restore the count
   return nullptr;
+}
+
+std::size_t HfscInstance::subqueue_count() const {
+  std::size_t n = 0;
+  for (const auto& cl : classes_) n += cl->subqs.size();
+  return n;
 }
 
 std::size_t HfscInstance::Class::leaf_next_len() const {

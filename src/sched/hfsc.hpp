@@ -109,6 +109,12 @@ class HfscInstance final : public core::OutputScheduler {
   };
   std::vector<ClassStats> class_stats() const;
 
+  // Total per-flow DRR sub-queues across every leaf (qdisc=drr). Drained
+  // sub-queues are erased, so under churn this tracks the *backlogged* flow
+  // population, not every flow ever seen (the SchedHandleLifecycle tests
+  // pin this down).
+  std::size_t subqueue_count() const;
+
  private:
   struct Class {
     std::string name;
@@ -143,6 +149,7 @@ class HfscInstance final : public core::OutputScheduler {
       std::int64_t deficit{0};
       bool active{false};
       bool fresh_visit{true};
+      pkt::FlowKey key{};  // map key, so a drained sub-queue can erase itself
     };
     struct KeyHash {
       std::size_t operator()(const pkt::FlowKey& k) const noexcept {

@@ -1,6 +1,7 @@
 #include "sched/register.hpp"
 
 #include "sched/drr.hpp"
+#include "sched/eiffel.hpp"
 #include "sched/fifo.hpp"
 #include "sched/hfsc.hpp"
 #include "sched/policer.hpp"
@@ -18,6 +19,8 @@ void register_sched_plugins() {
                                 [] { return std::make_unique<DrrPlugin>(); });
   PluginLoader::register_module("hfsc",
                                 [] { return std::make_unique<HfscPlugin>(); });
+  PluginLoader::register_module(
+      "eiffel", [] { return std::make_unique<EiffelPlugin>(); });
   PluginLoader::register_module(
       "altq-wfq", [] { return std::make_unique<AltqWfqPlugin>(); });
   PluginLoader::register_module("red",

@@ -1,0 +1,482 @@
+// Property suite for the Eiffel scheduler (src/sched/eiffel.*): rank
+// functions against a naive sorted-list oracle, FFS-bitmap structure
+// invariants after every operation under a seeded million-flow churn soak,
+// and the window edge cases (rank past the horizon, all-buckets-drain,
+// rotation/wraparound reuse of bucket storage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "sched/eiffel.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp::sched {
+namespace {
+
+using netbase::Rng;
+using netbase::Status;
+
+pkt::PacketPtr flow_pkt(std::uint16_t flow, std::size_t payload) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(10, 0, static_cast<std::uint8_t>(flow >> 8),
+                                            static_cast<std::uint8_t>(flow)));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = flow;
+  s.dport = 80;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+plugin::PluginReply send(EiffelInstance& e, const char* name,
+                         std::initializer_list<std::pair<const char*, std::string>> kv,
+                         Status expect = Status::ok) {
+  plugin::PluginMsg msg;
+  msg.custom_name = name;
+  for (const auto& [k, v] : kv) msg.args.set(k, v);
+  plugin::PluginReply reply;
+  EXPECT_EQ(e.handle_message(msg, reply), expect) << name;
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Rank functions vs a naive sorted-list oracle: one packet per flow, so the
+// serve order must equal a stable sort of (bucket, enqueue order).
+
+TEST(Eiffel, PrioMatchesSortedOracle) {
+  EiffelInstance::Config cfg;
+  cfg.rank = EiffelInstance::RankFn::prio;
+  const int kFlows = 200;
+  // Soft slots must outlive the instance (its destructor clears them), so
+  // they are declared first — the same contract the flow table honours.
+  std::vector<void*> soft(kFlows, nullptr);
+  EiffelInstance e(cfg);
+  Rng rng(1);
+
+  std::vector<std::pair<std::uint64_t, std::uint16_t>> oracle;  // (rank, flow)
+  for (std::uint16_t f = 0; f < kFlows; ++f) {
+    const auto prio = static_cast<std::uint32_t>(rng.below(5000));  // > horizon
+    send(e, "setprio",
+         {{"filter", "<10.0." + std::to_string(f >> 8) + "." +
+                         std::to_string(f & 255) + ", *, udp, *, *, *>"},
+          {"prio", std::to_string(prio)}});
+    oracle.emplace_back(std::min<std::uint64_t>(prio, e.debug().horizon - 1), f);
+  }
+  for (std::uint16_t f = 0; f < kFlows; ++f)
+    ASSERT_TRUE(e.enqueue(flow_pkt(f, 100), &soft[f], 0));
+  std::stable_sort(oracle.begin(), oracle.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (int i = 0; i < kFlows; ++i) {
+    auto p = e.dequeue(0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->key.sport, oracle[static_cast<std::size_t>(i)].second)
+        << "position " << i;
+  }
+  EXPECT_TRUE(e.empty());
+  std::string why;
+  EXPECT_TRUE(e.validate(&why)) << why;
+}
+
+TEST(Eiffel, VtimeMatchesSortedOracle) {
+  EiffelInstance::Config cfg;  // rank=vtime by default
+  const int kFlows = 300;
+  std::vector<void*> soft(kFlows, nullptr);  // must outlive the instance
+  EiffelInstance e(cfg);
+  Rng rng(2);
+  const std::uint64_t gran = e.debug().gran;
+
+  std::vector<std::pair<std::uint64_t, std::uint16_t>> oracle;
+  for (std::uint16_t f = 0; f < kFlows; ++f) {
+    const auto w = static_cast<std::uint32_t>(1 + rng.below(8));
+    if (w != 1)
+      send(e, "setweight",
+           {{"filter", "<10.0." + std::to_string(f >> 8) + "." +
+                           std::to_string(f & 255) + ", *, udp, *, *, *>"},
+            {"weight", std::to_string(w)}});
+    auto p = flow_pkt(f, 64 + rng.below(1400));
+    // First packet of a fresh flow: start tag = vtime (0), finish tag =
+    // len*256/weight, bucket = finish/gran — the vtime rank function.
+    const std::uint64_t vlen =
+        std::max<std::uint64_t>(1, p->size() * 256ull / w);
+    oracle.emplace_back(vlen / gran, f);
+    ASSERT_TRUE(e.enqueue(std::move(p), &soft[f], 0));
+  }
+  std::stable_sort(oracle.begin(), oracle.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (int i = 0; i < kFlows; ++i) {
+    auto p = e.dequeue(0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->key.sport, oracle[static_cast<std::size_t>(i)].second)
+        << "position " << i;
+  }
+  std::string why;
+  EXPECT_TRUE(e.validate(&why)) << why;
+}
+
+TEST(Eiffel, DeadlineMatchesSortedOracle) {
+  EiffelInstance::Config cfg;
+  cfg.rank = EiffelInstance::RankFn::deadline;
+  const int kFlows = 120;
+  std::vector<void*> soft(kFlows, nullptr);  // must outlive the instance
+  EiffelInstance e(cfg);
+  Rng rng(3);
+  const std::uint64_t gran = e.debug().gran;
+  const netbase::SimTime now = 1'000'000;
+
+  std::vector<std::pair<std::uint64_t, std::uint16_t>> oracle;
+  for (std::uint16_t f = 0; f < kFlows; ++f) {
+    // Random per-flow rate 1..80 Mbit/s via setcurve (hfsc units).
+    const std::uint64_t bps = 1'000'000 + rng.below(79'000'000);
+    send(e, "setcurve",
+         {{"filter", "<10.0." + std::to_string(f >> 8) + "." +
+                         std::to_string(f & 255) + ", *, udp, *, *, *>"},
+          {"m1_bps", std::to_string(bps)},
+          {"m2_bps", std::to_string(bps)}});
+    auto p = flow_pkt(f, 200 + rng.below(1200));
+    // Reference deadline: the same RuntimeSc machinery H-FSC uses.
+    RuntimeSc ref;
+    ref.init(ServiceCurve{static_cast<double>(bps) / 8.0, 0,
+                          static_cast<double>(bps) / 8.0},
+             static_cast<double>(now), 0);
+    const double dl = ref.y2x(static_cast<double>(p->size()));
+    oracle.emplace_back(static_cast<std::uint64_t>(dl) / gran, f);
+    ASSERT_TRUE(e.enqueue(std::move(p), &soft[f], now));
+  }
+  std::stable_sort(oracle.begin(), oracle.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (int i = 0; i < kFlows; ++i) {
+    auto p = e.dequeue(now);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->key.sport, oracle[static_cast<std::size_t>(i)].second)
+        << "position " << i;
+  }
+  std::string why;
+  EXPECT_TRUE(e.validate(&why)) << why;
+}
+
+// ---------------------------------------------------------------------------
+// Window edge cases.
+
+TEST(Eiffel, RankPastHorizonParksInFarListAndDrains) {
+  EiffelInstance::Config cfg;
+  cfg.horizon = 64;
+  cfg.gran = 1;  // 1 byte per bucket: big packets overshoot the window
+  EiffelInstance e(cfg);
+  void* a = nullptr;
+  void* b = nullptr;
+
+  ASSERT_TRUE(e.enqueue(flow_pkt(1, 72), &a, 0));    // ~100B -> near base
+  ASSERT_TRUE(e.enqueue(flow_pkt(2, 3972), &b, 0));  // ~4000B -> past 2H
+  EXPECT_EQ(e.debug().far, 1u);
+  std::string why;
+  ASSERT_TRUE(e.validate(&why)) << why;
+
+  auto p1 = e.dequeue(0);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->key.sport, 1);
+  auto p2 = e.dequeue(0);  // forces the window jump to the far rank
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->key.sport, 2);
+  EXPECT_GE(e.rotations(), 1u);
+  EXPECT_EQ(e.debug().far, 0u);
+  EXPECT_TRUE(e.empty());
+  ASSERT_TRUE(e.validate(&why)) << why;
+}
+
+TEST(Eiffel, AllBucketsDrainThenWindowSnapsOnReuse) {
+  EiffelInstance::Config cfg;
+  cfg.horizon = 64;
+  cfg.gran = 64;
+  std::vector<void*> soft(32, nullptr);  // must outlive the instance
+  EiffelInstance e(cfg);
+  for (std::uint16_t f = 0; f < 32; ++f)
+    ASSERT_TRUE(e.enqueue(flow_pkt(f, 64 + f * 40u), &soft[f], 0));
+  int served = 0;
+  while (auto p = e.dequeue(0)) ++served;
+  EXPECT_EQ(served, 32);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.debug().active_flows, 0u);
+
+  // Re-activation after a full drain: ranks continue from the flows' stale
+  // finish tags, far beyond the old window — the window must snap, not spin.
+  const auto rot_before = e.rotations();
+  for (std::uint16_t f = 0; f < 32; ++f)
+    ASSERT_TRUE(e.enqueue(flow_pkt(f, 500), &soft[f], 0));
+  served = 0;
+  while (auto p = e.dequeue(0)) ++served;
+  EXPECT_EQ(served, 32);
+  EXPECT_LE(e.rotations() - rot_before, 8u);  // snapped, not rotated H-wise
+  std::string why;
+  EXPECT_TRUE(e.validate(&why)) << why;
+}
+
+TEST(Eiffel, WraparoundReusesBucketStorage) {
+  EiffelInstance::Config cfg;
+  cfg.horizon = 64;
+  cfg.gran = 32;
+  cfg.per_flow_limit = 100000;
+  EiffelInstance e(cfg);
+  void* soft[2] = {};
+  std::map<std::uint16_t, std::uint64_t> last_seq;
+  std::map<std::uint16_t, std::uint64_t> next_seq;
+  // Long alternating run: every packet advances the finish tag by ~15-45
+  // buckets, so the 64-bucket rings rotate thousands of times.
+  for (int i = 0; i < 4000; ++i) {
+    for (std::uint16_t f = 0; f < 2; ++f) {
+      auto p = flow_pkt(f, 500 + 480u * f);
+      p->arrival = static_cast<netbase::SimTime>(++next_seq[f]);
+      ASSERT_TRUE(e.enqueue(std::move(p), &soft[f], 0));
+    }
+    if (i % 2 == 0) {
+      auto p = e.dequeue(0);
+      ASSERT_NE(p, nullptr);
+      // Intra-flow FIFO must survive rotation.
+      EXPECT_GT(static_cast<std::uint64_t>(p->arrival), last_seq[p->key.sport]);
+      last_seq[p->key.sport] = static_cast<std::uint64_t>(p->arrival);
+    }
+  }
+  while (auto p = e.dequeue(0)) {
+    EXPECT_GT(static_cast<std::uint64_t>(p->arrival), last_seq[p->key.sport]);
+    last_seq[p->key.sport] = static_cast<std::uint64_t>(p->arrival);
+  }
+  EXPECT_TRUE(e.empty());
+  EXPECT_GT(e.rotations(), 100u);
+  std::string why;
+  EXPECT_TRUE(e.validate(&why)) << why;
+}
+
+TEST(Eiffel, EmptyDequeueAndPerFlowLimit) {
+  EiffelInstance::Config cfg;
+  cfg.per_flow_limit = 4;
+  EiffelInstance e(cfg);
+  EXPECT_EQ(e.dequeue(0), nullptr);
+  void* soft = nullptr;
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(e.enqueue(flow_pkt(1, 100), &soft, 0));
+  EXPECT_FALSE(e.enqueue(flow_pkt(1, 100), &soft, 0));
+  EXPECT_FALSE(e.enqueue(flow_pkt(1, 100), &soft, 0));
+  EXPECT_EQ(e.drops(), 2u);
+  EXPECT_EQ(e.backlog_packets(), 4u);
+}
+
+TEST(Eiffel, FallbackQueuesFreeOnDrain) {
+  EiffelInstance::Config cfg;
+  EiffelInstance e(cfg);
+  // Flow-less traffic (no soft slot): self-classified per-flow queues...
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(e.enqueue(flow_pkt(7, 100), nullptr, 0));
+    ASSERT_TRUE(e.enqueue(flow_pkt(8, 100), nullptr, 0));
+  }
+  EXPECT_EQ(e.fallback_count(), 2u);
+  EXPECT_EQ(e.queue_count(), 2u);
+  // ...that are freed the moment they drain, so churn cannot accrete state.
+  while (auto p = e.dequeue(0)) {
+  }
+  EXPECT_EQ(e.fallback_count(), 0u);
+  EXPECT_EQ(e.queue_count(), 0u);
+}
+
+TEST(Eiffel, FlowRemovedFreesStateAndClearsSlot) {
+  EiffelInstance::Config cfg;
+  EiffelInstance e(cfg);
+  // Idle flow: freed immediately.
+  void* a = nullptr;
+  ASSERT_TRUE(e.enqueue(flow_pkt(1, 100), &a, 0));
+  ASSERT_NE(e.dequeue(0), nullptr);
+  ASSERT_NE(a, nullptr);
+  e.flow_removed(a);
+  EXPECT_EQ(e.queue_count(), 0u);
+
+  // Backlogged flow: orphaned, kept until it drains, then freed.
+  void* b = nullptr;
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(e.enqueue(flow_pkt(2, 100), &b, 0));
+  e.flow_removed(b);
+  EXPECT_EQ(e.queue_count(), 1u);
+  for (int i = 0; i < 3; ++i) ASSERT_NE(e.dequeue(0), nullptr);
+  EXPECT_EQ(e.queue_count(), 0u);
+  EXPECT_TRUE(e.empty());
+  std::string why;
+  EXPECT_TRUE(e.validate(&why)) << why;
+}
+
+TEST(Eiffel, BurstEnqueueMatchesLoopEnqueue) {
+  EiffelInstance::Config cfg_a, cfg_b;
+  cfg_a.per_flow_limit = cfg_b.per_flow_limit = 6;
+  std::vector<void*> soft_loop(16, nullptr), soft_burst(16, nullptr);
+  EiffelInstance loop_e(cfg_a), burst_e(cfg_b);
+  Rng rng(11);
+
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.below(32);
+    std::vector<pkt::PacketPtr> a(n), b(n);
+    std::vector<void**> softs(n);
+    std::vector<char> accepted_loop(n);
+    std::unique_ptr<bool[]> acc(new bool[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto f = static_cast<std::uint16_t>(rng.below(16));
+      const std::size_t len = 64 + rng.below(800);
+      a[i] = flow_pkt(f, len);
+      b[i] = flow_pkt(f, len);
+      const bool has_soft = rng.chance(0.8);
+      softs[i] = has_soft ? &soft_burst[f] : nullptr;
+      accepted_loop[i] = loop_e.enqueue(
+          std::move(a[i]), has_soft ? &soft_loop[f] : nullptr, 0);
+    }
+    burst_e.enqueue_burst(b.data(), softs.data(), acc.get(), n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(static_cast<bool>(accepted_loop[i]), acc[i]) << i;
+    // Drain a few from both; order must be identical.
+    for (int d = 0; d < 8; ++d) {
+      auto pl = loop_e.dequeue(0);
+      auto pb = burst_e.dequeue(0);
+      ASSERT_EQ(pl == nullptr, pb == nullptr);
+      if (!pl) break;
+      ASSERT_EQ(pl->key.sport, pb->key.sport);
+      ASSERT_EQ(pl->size(), pb->size());
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(loop_e.validate(&why)) << why;
+  EXPECT_TRUE(burst_e.validate(&why)) << why;
+}
+
+TEST(Eiffel, ShapedDeadlineHonorsReleaseTimes) {
+  EiffelInstance::Config cfg;
+  cfg.rank = EiffelInstance::RankFn::deadline;
+  cfg.shaped = true;
+  cfg.default_curve = ServiceCurve{1.25e6, 0, 1.25e6};  // 10 Mbit/s
+  EiffelInstance e(cfg);
+  const std::uint64_t gran = e.debug().gran;
+  void* soft = nullptr;
+  const netbase::SimTime t0 = 1'000'000;
+  std::size_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto p = flow_pkt(1, 1172);  // 1200B on the wire
+    len = p->size();
+    ASSERT_TRUE(e.enqueue(std::move(p), &soft, t0));
+  }
+  // 1200 bytes at 1.25 MB/s = 960 us per packet.
+  const double per_pkt_ns = static_cast<double>(len) / 1.25e6 * 1e9;
+  netbase::SimTime now = t0;
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(e.dequeue(now), nullptr);
+    const netbase::SimTime wake = e.next_wakeup(now);
+    ASSERT_GT(wake, now);
+    const double expect = static_cast<double>(t0) + i * per_pkt_ns;
+    EXPECT_NEAR(static_cast<double>(wake), expect,
+                static_cast<double>(2 * gran));
+    now = wake;
+    auto p = e.dequeue(now);
+    ASSERT_NE(p, nullptr);
+  }
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.next_wakeup(now), -1);
+}
+
+TEST(Eiffel, MessagesReportStateAndRejectBadArgs) {
+  EiffelInstance::Config cfg;
+  EiffelInstance e(cfg);
+  void* soft = nullptr;
+  ASSERT_TRUE(e.enqueue(flow_pkt(1, 100), &soft, 0));
+
+  auto stats = send(e, "stats", {});
+  EXPECT_NE(stats.text.find("backlog_pkts=1"), std::string::npos) << stats.text;
+  EXPECT_NE(stats.text.find("rotations="), std::string::npos);
+  auto ranks = send(e, "ranks", {});
+  EXPECT_NE(ranks.text.find("rank=vtime"), std::string::npos) << ranks.text;
+  EXPECT_NE(ranks.text.find("horizon=2048"), std::string::npos);
+  auto occ = send(e, "occupancy", {});
+  EXPECT_NE(occ.text.find("active_flows=1"), std::string::npos) << occ.text;
+
+  send(e, "setweight", {{"filter", "<10.0.0.1, *, udp, *, *, *>"}},
+       Status::invalid_argument);  // missing weight
+  send(e, "setweight", {{"filter", "nonsense"}, {"weight", "2"}},
+       Status::invalid_argument);
+  send(e, "setprio", {{"filter", "<10.0.0.1, *, udp, *, *, *>"}},
+       Status::invalid_argument);
+  send(e, "setcurve", {{"filter", "<10.0.0.1, *, udp, *, *, *>"}},
+       Status::invalid_argument);  // zero curve
+  plugin::PluginMsg unknown;
+  unknown.custom_name = "nope";
+  plugin::PluginReply r;
+  EXPECT_EQ(e.handle_message(unknown, r), Status::unsupported);
+}
+
+// ---------------------------------------------------------------------------
+// The headline property: O(1)-structure invariants hold after *every*
+// operation across a seeded churn soak over a million distinct flows —
+// enqueue, dequeue, and flow-table-style removal interleaved.
+
+TEST(SchedSoak, EiffelMillionFlowChurnBitmapConsistent) {
+  EiffelInstance::Config cfg;
+  cfg.per_flow_limit = 4;
+  constexpr std::uint32_t kFlows = 1'000'000;
+  constexpr std::uint64_t kOps = 2'000'000;
+  std::vector<void*> soft(kFlows, nullptr);  // must outlive the instance
+  EiffelInstance e(cfg);
+  Rng rng(0xE1FFE1);
+
+  auto key_pkt = [](std::uint32_t f) {
+    pkt::UdpSpec s;
+    s.src = netbase::IpAddr(netbase::Ipv4Addr(f | 0x0100'0000u));
+    s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+    s.sport = static_cast<std::uint16_t>(f);
+    s.dport = static_cast<std::uint16_t>(f >> 16);
+    s.payload_len = 36 + (f & 255);
+    return pkt::build_udp(s);
+  };
+
+  std::uint64_t enq_ok = 0, enq_drop = 0, deq = 0, removed_pkts = 0;
+  std::string why;
+  for (std::uint64_t op = 0; op < kOps; ++op) {
+    const auto dice = rng.below(100);
+    if (dice < 55) {  // enqueue a random flow (first packet activates it)
+      const std::uint32_t f = static_cast<std::uint32_t>(rng.below(kFlows));
+      if (e.enqueue(key_pkt(f), &soft[f], 0))
+        ++enq_ok;
+      else
+        ++enq_drop;
+    } else if (dice < 90) {  // dequeue
+      if (e.dequeue(0)) ++deq;
+    } else {  // flow-table churn: evict a random bound flow
+      const std::uint32_t f = static_cast<std::uint32_t>(rng.below(kFlows));
+      if (soft[f]) {
+        // Orphaned queues drain their backlog before dying; the packets are
+        // still counted against the scheduler until served.
+        e.flow_removed(soft[f]);
+        soft[f] = nullptr;
+      }
+    }
+    // The O(1) promise: the two-level bitmap stays coherent after every op.
+    if (!e.validate(&why, /*deep=*/false))
+      FAIL() << "op " << op << ": " << why;
+    if (op % 500'000 == 0 && !e.validate(&why, /*deep=*/true))
+      FAIL() << "deep, op " << op << ": " << why;
+  }
+  ASSERT_TRUE(e.validate(&why, /*deep=*/true)) << why;
+
+  // Full drain: conservation must hold exactly.
+  while (auto p = e.dequeue(0)) ++deq;
+  EXPECT_EQ(deq, enq_ok);
+  EXPECT_EQ(e.backlog_packets(), 0u);
+  EXPECT_EQ(e.backlog_bytes(), 0u);
+  EXPECT_EQ(e.drops(), enq_drop);
+  (void)removed_pkts;
+
+  // Tear down every surviving flow exactly as the flow table would; all
+  // per-flow state must be gone afterwards.
+  for (std::uint32_t f = 0; f < kFlows; ++f)
+    if (soft[f]) {
+      e.flow_removed(soft[f]);
+      soft[f] = nullptr;
+    }
+  EXPECT_EQ(e.queue_count(), 0u);
+  EXPECT_EQ(e.fallback_count(), 0u);
+  ASSERT_TRUE(e.validate(&why, /*deep=*/true)) << why;
+}
+
+}  // namespace
+}  // namespace rp::sched

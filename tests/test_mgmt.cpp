@@ -291,5 +291,52 @@ TEST(PluginSocket, CountsMessages) {
   EXPECT_EQ(lib.socket().messages_sent(), 1u);
 }
 
+TEST_F(MgmtTest, SchedCommandReportsEngineState) {
+  // Before any scheduler exists the command still succeeds (nothing to
+  // report is not an error).
+  auto r = pmgr_.exec("sched");
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_NE(r.text.find("no sched instances"), std::string::npos);
+
+  auto boot = pmgr_.run_script(R"(
+route add 20.0.0.0/8 if1
+modload drr
+modload eiffel
+create drr quantum=1500
+create eiffel rank=vtime
+attach eiffel 1 if1
+)");
+  ASSERT_TRUE(boot.ok()) << boot.text;
+
+  // `sched` defaults to `sched status`: every engine answers its stats.
+  r = pmgr_.exec("sched");
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_NE(r.text.find("drr#1:"), std::string::npos) << r.text;
+  EXPECT_NE(r.text.find("eiffel#1:"), std::string::npos) << r.text;
+  EXPECT_NE(r.text.find("backlog_pkts"), std::string::npos) << r.text;
+  EXPECT_EQ(pmgr_.exec("sched status").text, r.text);
+
+  // ranks / occupancy are Eiffel-specific: DRR skips them silently.
+  r = pmgr_.exec("sched ranks");
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_NE(r.text.find("eiffel#1: rank=vtime"), std::string::npos) << r.text;
+  EXPECT_EQ(r.text.find("drr#1"), std::string::npos) << r.text;
+  EXPECT_NE(r.text.find("horizon="), std::string::npos) << r.text;
+
+  r = pmgr_.exec("sched occupancy");
+  ASSERT_TRUE(r.ok()) << r.text;
+  EXPECT_NE(r.text.find("eiffel#1: cur_buckets="), std::string::npos)
+      << r.text;
+  EXPECT_NE(r.text.find("active_flows="), std::string::npos) << r.text;
+
+  // Strict parsing: unknown subcommands and trailing garbage fail with the
+  // usage line instead of half-working.
+  r = pmgr_.exec("sched bogus");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.text.find("sched [status|ranks|occupancy]"), std::string::npos)
+      << r.text;
+  EXPECT_FALSE(pmgr_.exec("sched status extra").ok());
+}
+
 }  // namespace
 }  // namespace rp::mgmt

@@ -1,0 +1,323 @@
+// Scheduler-engine differential suite (ctest label `sched-fuzz`): the three
+// sched plugins — DRR, H-FSC and Eiffel — checked against each other and
+// against closed-form references.
+//
+//  * Jain-index fairness parity: an Eiffel vtime instance must allocate
+//    weighted byte shares as fairly as DRR on identical adversarial
+//    backlogs (the ISSUE acceptance bound: indices within 1%).
+//  * Curve conformance: a shaped Eiffel deadline instance must release
+//    packets at the times the H-FSC RuntimeSc machinery computes for the
+//    same two-piece curve (the same random_curve distribution
+//    test_hfsc_curves.cpp sweeps), to within one bucket of quantization.
+//  * Seeded no-loss/no-reorder fuzz: random enqueue/dequeue interleavings
+//    through every engine; every accepted packet comes out exactly once and
+//    intra-flow order is preserved (packets carry a per-flow sequence number
+//    in their arrival stamp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "sched/drr.hpp"
+#include "sched/eiffel.hpp"
+#include "sched/hfsc.hpp"
+#include "tgen/workload.hpp"
+
+namespace rp::sched {
+namespace {
+
+using netbase::Rng;
+using netbase::SimTime;
+using netbase::Status;
+
+pkt::PacketPtr flow_pkt(std::uint16_t flow, std::size_t payload) {
+  pkt::UdpSpec s;
+  s.src = netbase::IpAddr(netbase::Ipv4Addr(
+      10, 0, static_cast<std::uint8_t>(flow >> 8),
+      static_cast<std::uint8_t>(flow)));
+  s.dst = netbase::IpAddr(netbase::Ipv4Addr(20, 0, 0, 1));
+  s.sport = flow;
+  s.dport = 80;
+  s.payload_len = payload;
+  return pkt::build_udp(s);
+}
+
+std::string flow_filter(std::uint16_t flow) {
+  return "<10.0." + std::to_string(flow >> 8) + "." +
+         std::to_string(flow & 255) + ", *, udp, *, *, *>";
+}
+
+void set_weight(core::OutputScheduler& s, std::uint16_t flow,
+                std::uint32_t w) {
+  plugin::PluginMsg msg;
+  msg.custom_name = "setweight";
+  msg.args.set("filter", flow_filter(flow));
+  msg.args.set("weight", std::to_string(w));
+  plugin::PluginReply reply;
+  ASSERT_EQ(s.handle_message(msg, reply), Status::ok);
+}
+
+double jain(const std::vector<double>& x) {
+  double sum = 0, sumsq = 0;
+  for (double v : x) {
+    sum += v;
+    sumsq += v * v;
+  }
+  if (sumsq == 0) return 0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sumsq);
+}
+
+// Same curve distribution test_hfsc_curves.cpp sweeps, quantized to the
+// integer bps/us units the setcurve message carries so the reference
+// RuntimeSc sees bit-identical parameters.
+ServiceCurve random_message_curve(Rng& rng, std::int64_t* m1_bps,
+                                  std::int64_t* d_us, std::int64_t* m2_bps) {
+  const double m1 = 1e5 + rng.uniform01() * 1e8;  // bytes/sec
+  const double m2 = 1e5 + rng.uniform01() * 1e8;
+  const double d = rng.uniform01() * 50e6;  // ns
+  *m1_bps = static_cast<std::int64_t>(m1 * 8.0);
+  *d_us = static_cast<std::int64_t>(d / 1000.0);
+  *m2_bps = static_cast<std::int64_t>(m2 * 8.0);
+  return ServiceCurve{static_cast<double>(*m1_bps) / 8.0,
+                      static_cast<double>(*d_us) * 1000.0,
+                      static_cast<double>(*m2_bps) / 8.0};
+}
+
+// ---------------------------------------------------------------------------
+// Jain-index fairness parity: Eiffel vtime vs DRR.
+
+TEST(SchedFuzz, JainParityEiffelVsDrr) {
+  for (std::uint64_t seed : {11u, 42u, 97u}) {
+    Rng rng(seed);
+    const int kFlows = 40;
+    const int kPerFlow = 200;
+
+    std::vector<std::uint32_t> weight(kFlows);
+    for (auto& w : weight) w = 1 + static_cast<std::uint32_t>(rng.below(8));
+    // One shared workload: (flow, payload) in arrival order.
+    std::vector<std::pair<std::uint16_t, std::size_t>> arrivals;
+    for (int i = 0; i < kPerFlow; ++i)
+      for (std::uint16_t f = 0; f < kFlows; ++f)
+        arrivals.emplace_back(f, 100 + rng.below(1300));
+    // Adversarial: cluster arrivals so heavy flows burst together.
+    for (std::size_t i = arrivals.size(); i > 1; --i)
+      std::swap(arrivals[i - 1], arrivals[rng.below(i)]);
+
+    std::vector<void*> soft_d(kFlows, nullptr), soft_e(kFlows, nullptr);
+    DrrInstance::Config dc;
+    dc.per_flow_limit = kPerFlow + 1;
+    DrrInstance drr(dc);
+    EiffelInstance::Config ec;  // rank=vtime
+    ec.per_flow_limit = kPerFlow + 1;
+    EiffelInstance eiffel(ec);
+    for (std::uint16_t f = 0; f < kFlows; ++f) {
+      set_weight(drr, f, weight[f]);
+      set_weight(eiffel, f, weight[f]);
+    }
+    std::size_t total_bytes = 0;
+    for (const auto& [f, payload] : arrivals) {
+      auto a = flow_pkt(f, payload);
+      auto b = flow_pkt(f, payload);
+      total_bytes += a->size();
+      ASSERT_TRUE(drr.enqueue(std::move(a), &soft_d[f], 0));
+      ASSERT_TRUE(eiffel.enqueue(std::move(b), &soft_e[f], 0));
+    }
+
+    // Serve 40% of the backlog so every flow stays backlogged through the
+    // whole measurement window (a weight-8 flow's fair share of the served
+    // bytes is still below what it has queued).
+    const std::size_t serve = arrivals.size() * 2 / 5;
+    std::vector<double> share_d(kFlows, 0), share_e(kFlows, 0);
+    for (std::size_t i = 0; i < serve; ++i) {
+      auto pd = drr.dequeue(0);
+      auto pe = eiffel.dequeue(0);
+      ASSERT_NE(pd, nullptr);
+      ASSERT_NE(pe, nullptr);
+      share_d[pd->key.sport] += static_cast<double>(pd->size());
+      share_e[pe->key.sport] += static_cast<double>(pe->size());
+    }
+    // Weight-normalized shares: perfectly fair service gives every flow the
+    // same bytes-per-weight, i.e. a Jain index of 1.
+    for (int f = 0; f < kFlows; ++f) {
+      share_d[static_cast<std::size_t>(f)] /= weight[static_cast<std::size_t>(f)];
+      share_e[static_cast<std::size_t>(f)] /= weight[static_cast<std::size_t>(f)];
+    }
+    const double jd = jain(share_d), je = jain(share_e);
+    EXPECT_GT(jd, 0.95) << "seed " << seed;
+    EXPECT_GT(je, 0.95) << "seed " << seed;
+    EXPECT_NEAR(je, jd, 0.01) << "seed " << seed;
+
+    std::string why;
+    EXPECT_TRUE(eiffel.validate(&why)) << why;
+    (void)total_bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Curve conformance: shaped Eiffel deadline releases vs the H-FSC RuntimeSc.
+
+TEST(SchedFuzz, CurveConformanceVsHfscRuntime) {
+  // Same seed range as the CurveProperty sweeps in test_hfsc_curves.cpp.
+  for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+    Rng rng(seed);
+    std::int64_t m1_bps = 0, d_us = 0, m2_bps = 0;
+    const ServiceCurve curve =
+        random_message_curve(rng, &m1_bps, &d_us, &m2_bps);
+
+    void* soft = nullptr;
+    EiffelInstance::Config cfg;
+    cfg.rank = EiffelInstance::RankFn::deadline;
+    cfg.shaped = true;
+    EiffelInstance e(cfg);
+    const std::uint64_t gran = e.debug().gran;
+    {
+      plugin::PluginMsg msg;
+      msg.custom_name = "setcurve";
+      msg.args.set("filter", flow_filter(1));
+      msg.args.set("m1_bps", std::to_string(m1_bps));
+      msg.args.set("d_us", std::to_string(d_us));
+      msg.args.set("m2_bps", std::to_string(m2_bps));
+      plugin::PluginReply reply;
+      ASSERT_EQ(e.handle_message(msg, reply), Status::ok);
+    }
+
+    const SimTime t0 = 1'000'000;
+    const int kPkts = 40;
+    for (int i = 0; i < kPkts; ++i)
+      ASSERT_TRUE(e.enqueue(flow_pkt(1, 1172), &soft, t0));
+    const auto pkt_size = static_cast<double>(flow_pkt(1, 1172)->size());
+
+    // The reference deadline curve, anchored exactly as the engine anchors
+    // it on first activation: the H-FSC rtsc machinery itself.
+    RuntimeSc ref;
+    ref.init(curve, static_cast<double>(t0), 0);
+
+    SimTime now = t0;
+    double cum = 0;
+    for (int i = 0; i < kPkts; ++i) {
+      pkt::PacketPtr p;
+      int guard = 0;
+      while (!(p = e.dequeue(now))) {
+        const SimTime wake = e.next_wakeup(now);
+        ASSERT_GT(wake, now) << "seed " << seed << " pkt " << i;
+        now = wake;
+        ASSERT_LT(++guard, 1000) << "seed " << seed << " pkt " << i;
+      }
+      cum += pkt_size;
+      const double deadline = ref.y2x(cum);
+      // The engine shapes at bucket granularity: a packet is released at
+      // its deadline rounded down to the bucket edge, never after the exact
+      // deadline and never more than one bucket early.
+      EXPECT_LE(static_cast<double>(now), deadline + 1.0)
+          << "seed " << seed << " pkt " << i;
+      EXPECT_GE(static_cast<double>(now) + static_cast<double>(gran) + 1.0,
+                deadline)
+          << "seed " << seed << " pkt " << i;
+    }
+    EXPECT_TRUE(e.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded no-loss/no-reorder fuzz across every engine.
+
+struct EngineUnderTest {
+  std::string name;
+  std::unique_ptr<core::OutputScheduler> sched;
+};
+
+std::vector<EngineUnderTest> make_engines() {
+  std::vector<EngineUnderTest> out;
+  {
+    DrrInstance::Config c;
+    c.per_flow_limit = 32;
+    out.push_back({"drr", std::make_unique<DrrInstance>(c)});
+  }
+  {
+    // H-FSC with the HSF extension: one leaf running per-flow DRR, so the
+    // fuzz exercises the sub-queue machinery rather than a plain FIFO.
+    HfscInstance::Config c;
+    c.link_rate_bps = 1e9;
+    c.leaf_limit = 4096;
+    auto h = std::make_unique<HfscInstance>(c);
+    const ServiceCurve rate{12.5e6, 0, 12.5e6};  // 100 Mbit/s
+    EXPECT_EQ(h->add_class("bulk", "root", rate, rate, {},
+                           HfscInstance::LeafQdisc::drr, 1500),
+              Status::ok);
+    auto all = aiu::Filter::parse("<*, *, udp, *, *, *>");
+    EXPECT_TRUE(all.has_value());
+    EXPECT_EQ(h->bind_class(*all, "bulk"), Status::ok);
+    out.push_back({"hfsc", std::move(h)});
+  }
+  for (auto rank : {EiffelInstance::RankFn::prio, EiffelInstance::RankFn::vtime,
+                    EiffelInstance::RankFn::deadline}) {
+    EiffelInstance::Config c;
+    c.rank = rank;
+    c.per_flow_limit = 32;
+    const char* n = rank == EiffelInstance::RankFn::prio     ? "eiffel-prio"
+                    : rank == EiffelInstance::RankFn::vtime ? "eiffel-vtime"
+                                                            : "eiffel-deadline";
+    out.push_back({n, std::make_unique<EiffelInstance>(c)});
+  }
+  return out;
+}
+
+TEST(SchedFuzz, NoLossNoReorderAllEngines) {
+  for (std::uint64_t seed : {7u, 21u}) {
+    // Slots outlive the engines (their destructors clear them).
+    const std::uint16_t kFlows = 48;
+    std::vector<std::vector<void*>> soft;
+    auto engines = make_engines();
+    soft.assign(engines.size(), std::vector<void*>(kFlows, nullptr));
+
+    for (std::size_t ei = 0; ei < engines.size(); ++ei) {
+      auto& eng = *engines[ei].sched;
+      Rng rng(seed);
+      std::vector<SimTime> seq(kFlows, 0);     // per-flow sequence stamp
+      std::vector<SimTime> last(kFlows, 0);    // last stamp dequeued
+      std::vector<std::uint64_t> enq_ok(kFlows, 0), served(kFlows, 0);
+      SimTime now = 1000;
+
+      for (int op = 0; op < 30'000; ++op) {
+        now += 1 + static_cast<SimTime>(rng.below(2000));
+        if (rng.below(100) < 60) {
+          const auto f = static_cast<std::uint16_t>(rng.below(kFlows));
+          auto p = flow_pkt(f, 50 + rng.below(1200));
+          p->arrival = ++seq[f];  // per-flow sequence, not a timestamp
+          if (eng.enqueue(std::move(p), &soft[ei][f], now)) ++enq_ok[f];
+        } else if (auto p = eng.dequeue(now)) {
+          const std::uint16_t f = p->key.sport;
+          ASSERT_LT(f, kFlows) << engines[ei].name;
+          EXPECT_GT(p->arrival, last[f])
+              << engines[ei].name << " reordered flow " << f << " seed "
+              << seed;
+          last[f] = p->arrival;
+          ++served[f];
+        }
+      }
+      // Drain: every accepted packet must come out exactly once, in order.
+      while (auto p = eng.dequeue(std::numeric_limits<SimTime>::max() / 2)) {
+        const std::uint16_t f = p->key.sport;
+        EXPECT_GT(p->arrival, last[f]) << engines[ei].name;
+        last[f] = p->arrival;
+        ++served[f];
+      }
+      EXPECT_EQ(eng.backlog_packets(), 0u) << engines[ei].name;
+      for (std::uint16_t f = 0; f < kFlows; ++f)
+        EXPECT_EQ(served[f], enq_ok[f])
+            << engines[ei].name << " flow " << f << " seed " << seed;
+      if (auto* eif = dynamic_cast<EiffelInstance*>(&eng)) {
+        std::string why;
+        EXPECT_TRUE(eif->validate(&why)) << engines[ei].name << ": " << why;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rp::sched
