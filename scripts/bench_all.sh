@@ -2,7 +2,7 @@
 # Full benchmark sweep: Release build, run every bench binary, scrape each
 # one's BENCH_JSON line into a single JSON array.
 #
-#   scripts/bench_all.sh [out.json]     # default out: BENCH_pr9.json
+#   scripts/bench_all.sh [out.json]     # default out: BENCH_pr10.json
 #
 # Every bench prints exactly one line `BENCH_JSON {...}` (bench/bench_json.hpp);
 # this script owns the build flags and the collection so "the numbers in
@@ -12,7 +12,7 @@
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo/BENCH_pr9.json}"
+out="${1:-$repo/BENCH_pr10.json}"
 build="$repo/build-bench"
 jobs="$(nproc 2>/dev/null || echo 4)"
 build_type="Release"

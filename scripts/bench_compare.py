@@ -40,6 +40,9 @@ HEADLINE = [
     ("t12_eiffel", "drr_1m_ns", "lower"),
     ("t12_eiffel", "hfsc_1m_ns", "lower"),
     ("t12_eiffel", "eiffel_flatness_1m_vs_10k", "lower"),
+    ("t13_iobackend", "speedup_4w_zipf", "higher"),
+    ("t13_iobackend", "speedup_4w_uniform", "higher"),
+    ("t13_iobackend", "allocs_per_pkt", "lower"),
 ]
 
 

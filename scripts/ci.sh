@@ -29,11 +29,11 @@ echo "== bench diff: headline metrics vs previous PR's sweep =="
 # Non-strict: prints the t3/t4/t8 headline deltas (and any >10% regression)
 # between the last two recorded sweeps without failing a noisy CI box. Run
 # scripts/bench_compare.py --strict locally when the numbers must hold.
-if [[ -f "$repo/BENCH_pr8.json" && -f "$repo/BENCH_pr9.json" ]]; then
+if [[ -f "$repo/BENCH_pr9.json" && -f "$repo/BENCH_pr10.json" ]]; then
   python3 "$repo/scripts/bench_compare.py" \
-    "$repo/BENCH_pr8.json" "$repo/BENCH_pr9.json"
+    "$repo/BENCH_pr9.json" "$repo/BENCH_pr10.json"
 else
-  echo "   (skipped: need both BENCH_pr8.json and BENCH_pr9.json)"
+  echo "   (skipped: need both BENCH_pr9.json and BENCH_pr10.json)"
 fi
 
 echo "== diff: single-threaded vs sharded datapath equivalence =="
@@ -92,6 +92,17 @@ echo "== l7 fuzz: segment-evasion differential under ASan/UBSan =="
 # runs in the TSan lane below via -L tsan.
 ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
   --output-on-failure -L '^l7-fuzz$'
+
+echo "== iobackend: packet-pool lifecycle under ASan/UBSan =="
+# The pool acceptance gate (docs/io_backends.md §3): recycle preserves
+# headroom and zeroing, cross-thread frees return chunks, exhaustion falls
+# back to the heap without leaking, packets may outlive the pool. Leak
+# detection is the point — a chunk that never comes home or a double-free
+# through the MPSC return stack fails here. The multiq differentials
+# (ShardDiff.Multiq*, WireFuzzShard.Multiq*, ParallelMemQueue.*) run in the
+# TSan lane below via their parallel/diff/fuzz tsan labels.
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$repo/build-asan" \
+  --output-on-failure -L pool
 
 echo "== sched fuzz: scheduler differential properties under ASan/UBSan =="
 # The million-flow scheduler acceptance gate (docs/scheduling.md): seeded

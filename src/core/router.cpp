@@ -95,7 +95,8 @@ void RouterKernel::dispatch(netbase::SimTime t, Event e) {
     case Event::Kind::arrival: {
       netdev::SimNic* nic = ifs_.by_index(e.iface);
       if (!nic) return;
-      nic->deliver(std::move(e.p), clock_.now());
+      const auto rxq = static_cast<std::uint32_t>(e.iface);
+      io_.try_deliver(rxq, e.p, clock_.now());
       // Coalesce the run of same-time arrivals on this interface into the
       // receive ring so the core sees a burst (the interrupt-mitigation
       // window a real driver gives rx_burst). Stop at a time change, a
@@ -106,14 +107,14 @@ void RouterKernel::dispatch(netbase::SimTime t, Event e) {
         if (it->first.first != t) break;
         const Event& next = it->second;
         if (next.kind != Event::Kind::arrival || next.iface != e.iface) break;
-        if (nic->rx_depth() >= nic->rx_capacity()) break;
+        if (io_.rx_depth(rxq) >= nic->rx_capacity()) break;
         auto node = events_.extract(it);
-        nic->deliver(std::move(node.mapped().p), clock_.now());
+        io_.try_deliver(rxq, node.mapped().p, clock_.now());
         ++events_processed_;
       }
       std::array<pkt::PacketPtr, kRxBurst> burst;
-      while (nic->rx_pending()) {
-        const std::size_t n = nic->rx_burst(burst);
+      while (io_.rx_pending(rxq)) {
+        const std::size_t n = io_.rx_burst(rxq, burst);
         core_->process_burst({burst.data(), n});
       }
       // The packet may have been queued on any port; drain every port with

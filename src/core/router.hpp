@@ -17,6 +17,7 @@
 #include "aiu/aiu.hpp"
 #include "core/datapath.hpp"
 #include "core/ip_core.hpp"
+#include "io/io_backend.hpp"
 #include "netdev/iftable.hpp"
 #include "plugin/loader.hpp"
 #include "plugin/pcu.hpp"
@@ -56,6 +57,9 @@ class RouterKernel {
   plugin::PluginLoader& loader() noexcept { return loader_; }
   aiu::Aiu& aiu() noexcept { return *aiu_; }
   netdev::InterfaceTable& interfaces() noexcept { return ifs_; }
+  // The single-queue device backend the event loop drains rx through (one
+  // queue per NIC; see io/io_backend.hpp for the multi-queue sibling).
+  io::IoBackend& io() noexcept { return io_; }
   route::RoutingTable& routes() noexcept { return routes_; }
   IpCore& core() noexcept { return *core_; }
   telemetry::Telemetry& telemetry() noexcept { return *telemetry_; }
@@ -95,6 +99,7 @@ class RouterKernel {
   plugin::PluginControlUnit pcu_;
   plugin::PluginLoader loader_;
   netdev::InterfaceTable ifs_;
+  io::SimNicBackend io_{ifs_};
   route::RoutingTable routes_;
   // Declared before aiu_: the flow table's remove hook exports records into
   // telemetry during Aiu destruction, so telemetry must outlive it.

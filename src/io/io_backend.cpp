@@ -1,0 +1,99 @@
+#include "io/io_backend.hpp"
+
+#include "parallel/spsc_ring.hpp"
+
+namespace rp::io {
+
+// Per-queue state, cache-line separated so one queue's producer/consumer
+// traffic never false-shares with a neighbour's. Counters are relaxed
+// atomics: each is written by exactly one side but read by the control
+// plane's queue_stats() while traffic flows.
+struct alignas(64) MemQueueBackend::Queue {
+  explicit Queue(std::size_t cap) : ring(cap) {}
+
+  parallel::SpscRing<pkt::PacketPtr> ring;
+
+  // Producer-written.
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> drops{0};
+  std::atomic<std::uint64_t> waits{0};
+  std::atomic<std::uint64_t> occupancy_sum{0};
+  std::atomic<std::uint64_t> occupancy_samples{0};
+  std::atomic<std::uint64_t> migrations_in{0};
+  std::atomic<std::uint64_t> migrations_out{0};
+  // Consumer-written.
+  std::atomic<std::uint64_t> drained{0};
+};
+
+MemQueueBackend::MemQueueBackend(const MemQueueOptions& opt)
+    : n_queues_(opt.queues ? opt.queues : 1) {
+  queues_.reserve(n_queues_);
+  for (std::uint32_t i = 0; i < n_queues_; ++i)
+    queues_.push_back(std::make_unique<Queue>(opt.ring_capacity));
+  // Initial RETA: the same fixed-point spread the shard steering uses, so
+  // a fresh multi-queue backend steers exactly like the steered path.
+  for (std::uint32_t b = 0; b < kRetaSize; ++b)
+    reta_[b] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(b) * n_queues_) / kRetaSize);
+}
+
+MemQueueBackend::~MemQueueBackend() = default;
+
+void MemQueueBackend::set_reta(std::uint32_t bucket,
+                               std::uint32_t queue) noexcept {
+  const std::uint32_t from = reta_[bucket];
+  if (from == queue) return;
+  reta_[bucket] = queue;
+  queues_[from]->migrations_out.fetch_add(1, std::memory_order_relaxed);
+  queues_[queue]->migrations_in.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool MemQueueBackend::try_deliver(std::uint32_t queue, pkt::PacketPtr& p,
+                                  netbase::SimTime /*now*/) {
+  Queue& q = *queues_[queue];
+  const std::size_t depth = q.ring.size_approx();
+  if (!q.ring.try_push(p)) {
+    q.waits.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  q.occupancy_sum.fetch_add(depth, std::memory_order_relaxed);
+  q.occupancy_samples.fetch_add(1, std::memory_order_relaxed);
+  q.enqueued.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MemQueueBackend::note_drop(std::uint32_t queue) {
+  queues_[queue]->drops.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t MemQueueBackend::rx_burst(std::uint32_t queue,
+                                      std::span<pkt::PacketPtr> out) {
+  Queue& q = *queues_[queue];
+  const std::size_t n = q.ring.pop_burst(out);
+  if (n) q.drained.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+bool MemQueueBackend::rx_pending(std::uint32_t queue) const {
+  return !queues_[queue]->ring.empty();
+}
+
+std::size_t MemQueueBackend::rx_depth(std::uint32_t queue) const {
+  return queues_[queue]->ring.size_approx();
+}
+
+QueueStats MemQueueBackend::queue_stats(std::uint32_t queue) const {
+  const Queue& q = *queues_[queue];
+  QueueStats s;
+  s.rx_enqueued = q.enqueued.load(std::memory_order_relaxed);
+  s.rx_drained = q.drained.load(std::memory_order_relaxed);
+  s.rx_drops = q.drops.load(std::memory_order_relaxed);
+  s.rx_waits = q.waits.load(std::memory_order_relaxed);
+  s.occupancy_sum = q.occupancy_sum.load(std::memory_order_relaxed);
+  s.occupancy_samples = q.occupancy_samples.load(std::memory_order_relaxed);
+  s.migrations_in = q.migrations_in.load(std::memory_order_relaxed);
+  s.migrations_out = q.migrations_out.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace rp::io

@@ -1,0 +1,189 @@
+// IoBackend — the device-facing seam of the datapath (the fastclick
+// dpdkdevice/netmap/xdp split, sized for this codebase).
+//
+// Everything above the backend (core burst loop, sharded workers) talks to
+// rx queues through this interface; everything below it decides what a
+// "queue" physically is. Two implementations ship:
+//
+//   * SimNicBackend  — the existing single-queue simulated device: one rx
+//     queue per SimNic, driver-timestamping on deliver, counters on the
+//     NIC. RouterKernel drains its receive path through this adapter.
+//   * MemQueueBackend — a multi-queue in-memory backend: N SPSC rings, an
+//     RSS indirection table (RETA) steering flow hashes to queues, per-
+//     queue occupancy/migration counters. Each sharded worker owns one
+//     queue pair and drains rx directly — no central ingress thread sits
+//     between the producer and the worker.
+//
+// Threading contract (both backends): each queue is single-producer,
+// single-consumer. try_deliver is the producer side; rx_burst/rx_pending/
+// rx_depth belong to the queue's owning consumer. queue_stats() may be read
+// from any thread (counters are relaxed atomics in the multi-queue backend,
+// quiescent-state reads for the NIC adapter).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "netbase/clock.hpp"
+#include "netdev/iftable.hpp"
+#include "pkt/packet.hpp"
+
+namespace rp::io {
+
+struct QueueStats {
+  std::uint64_t rx_enqueued{0};       // accepted into the queue
+  std::uint64_t rx_drained{0};        // popped by the consumer
+  std::uint64_t rx_drops{0};          // dropped: queue full, producer gave up
+  std::uint64_t rx_waits{0};          // full-queue retry spins (backpressure)
+  std::uint64_t occupancy_sum{0};     // sum of depth samples at accept
+  std::uint64_t occupancy_samples{0};
+  std::uint64_t migrations_in{0};     // RETA buckets moved onto this queue
+  std::uint64_t migrations_out{0};    // RETA buckets moved off this queue
+};
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+  virtual std::uint32_t n_queues() const noexcept = 0;
+
+  // RSS: the rx queue a flow hash steers to (single-queue backends: 0).
+  virtual std::uint32_t steer(std::uint64_t flow_hash) const noexcept = 0;
+
+  // Producer side. False = queue full; the packet stays in `p` so a
+  // lossless producer can retry (counted as rx_waits) and a lossy one can
+  // drop it — calling note_drop so the loss is visible in rx_drops.
+  virtual bool try_deliver(std::uint32_t queue, pkt::PacketPtr& p,
+                           netbase::SimTime now) = 0;
+  virtual void note_drop(std::uint32_t /*queue*/) {}
+
+  // Consumer side — only queue `queue`'s owning thread.
+  virtual std::size_t rx_burst(std::uint32_t queue,
+                               std::span<pkt::PacketPtr> out) = 0;
+  virtual bool rx_pending(std::uint32_t queue) const = 0;
+  virtual std::size_t rx_depth(std::uint32_t queue) const = 0;
+
+  virtual QueueStats queue_stats(std::uint32_t queue) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SimNicBackend — one rx queue per SimNic of an InterfaceTable. deliver
+// keeps the driver model: arrival timestamping, in_iface stamping, ring-
+// overflow drops counted on the NIC (satellite: those drops now surface
+// through queue_stats and the owning kernel's accounting).
+
+class SimNicBackend final : public IoBackend {
+ public:
+  explicit SimNicBackend(netdev::InterfaceTable& ifs) noexcept : ifs_(&ifs) {}
+
+  std::string_view name() const noexcept override { return "simnic"; }
+  std::uint32_t n_queues() const noexcept override {
+    return static_cast<std::uint32_t>(ifs_->size());
+  }
+  std::uint32_t steer(std::uint64_t) const noexcept override { return 0; }
+
+  // Driver semantics, not fabric semantics: an overflowed packet is
+  // dropped-and-counted by the NIC (rx_drops), not handed back for retry —
+  // a wire cannot be asked to wait.
+  bool try_deliver(std::uint32_t queue, pkt::PacketPtr& p,
+                   netbase::SimTime now) override {
+    netdev::SimNic* nic = ifs_->by_index(static_cast<pkt::IfIndex>(queue));
+    if (!nic) return false;
+    return nic->deliver(std::move(p), now);
+  }
+
+  std::size_t rx_burst(std::uint32_t queue,
+                       std::span<pkt::PacketPtr> out) override {
+    netdev::SimNic* nic = ifs_->by_index(static_cast<pkt::IfIndex>(queue));
+    return nic ? nic->rx_burst(out) : 0;
+  }
+  bool rx_pending(std::uint32_t queue) const override {
+    const netdev::SimNic* nic =
+        ifs_->by_index(static_cast<pkt::IfIndex>(queue));
+    return nic && nic->rx_pending();
+  }
+  std::size_t rx_depth(std::uint32_t queue) const override {
+    const netdev::SimNic* nic =
+        ifs_->by_index(static_cast<pkt::IfIndex>(queue));
+    return nic ? nic->rx_depth() : 0;
+  }
+
+  QueueStats queue_stats(std::uint32_t queue) const override {
+    QueueStats s;
+    const netdev::SimNic* nic =
+        ifs_->by_index(static_cast<pkt::IfIndex>(queue));
+    if (!nic) return s;
+    const netdev::NicCounters& c = nic->counters();
+    s.rx_enqueued = c.rx_packets;
+    s.rx_drops = c.rx_drops;
+    s.rx_drained = c.rx_packets - nic->rx_depth();
+    return s;
+  }
+
+ private:
+  netdev::InterfaceTable* ifs_;
+};
+
+// ---------------------------------------------------------------------------
+// MemQueueBackend — multi-queue in-memory fabric. Steering goes through a
+// 256-bucket indirection table exactly like hardware RSS: the fixed-point
+// range map ((hash>>32)*256)>>32 picks a bucket from the hash's high bits
+// (low bits stay reserved for flow-table indexing), the RETA maps the
+// bucket to a queue. Rebinding one bucket (set_reta) is the flow-migration
+// primitive — it moves ~1/256th of the flow space without touching the
+// rest. The packet itself is never modified: an in-memory fabric preserves
+// whatever arrival timestamp the producer stamped.
+
+struct MemQueueOptions {
+  std::uint32_t queues{1};
+  std::size_t ring_capacity{1024};
+};
+
+class MemQueueBackend final : public IoBackend {
+ public:
+  static constexpr std::uint32_t kRetaSize = 256;
+
+  explicit MemQueueBackend(const MemQueueOptions& opt);
+  ~MemQueueBackend() override;
+
+  std::string_view name() const noexcept override { return "memq"; }
+  std::uint32_t n_queues() const noexcept override { return n_queues_; }
+
+  // The RETA bucket a flow hash lands in (same fixed-point map as the
+  // shard steering fix, spread over kRetaSize instead of N workers).
+  static std::uint32_t bucket_of(std::uint64_t flow_hash) noexcept {
+    return static_cast<std::uint32_t>(((flow_hash >> 32) * kRetaSize) >> 32);
+  }
+
+  std::uint32_t steer(std::uint64_t flow_hash) const noexcept override {
+    return reta_[bucket_of(flow_hash)];
+  }
+
+  // RETA access — steering-thread only (the single producer of record).
+  std::uint32_t reta(std::uint32_t bucket) const noexcept {
+    return reta_[bucket];
+  }
+  void set_reta(std::uint32_t bucket, std::uint32_t queue) noexcept;
+
+  bool try_deliver(std::uint32_t queue, pkt::PacketPtr& p,
+                   netbase::SimTime now) override;
+  void note_drop(std::uint32_t queue) override;
+  std::size_t rx_burst(std::uint32_t queue,
+                       std::span<pkt::PacketPtr> out) override;
+  bool rx_pending(std::uint32_t queue) const override;
+  std::size_t rx_depth(std::uint32_t queue) const override;
+  QueueStats queue_stats(std::uint32_t queue) const override;
+
+ private:
+  struct Queue;
+
+  std::uint32_t n_queues_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::uint32_t reta_[kRetaSize];
+};
+
+}  // namespace rp::io

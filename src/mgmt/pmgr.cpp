@@ -273,6 +273,20 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
                 std::to_string(cc.group_size_hist[b]);
       }
       text += "]";
+      // Driver-level view: rx ring overflows used to be counted per NIC but
+      // surfaced nowhere — a silent loss class. received + nic rx_drops
+      // should equal what the wire offered.
+      const auto nt = lib_.kernel().interfaces().totals();
+      text += "\nnics: rx=" + std::to_string(nt.rx_packets) +
+              " rx_bytes=" + std::to_string(nt.rx_bytes) +
+              " rx_drops=" + std::to_string(nt.rx_drops) +
+              " tx=" + std::to_string(nt.tx_packets) +
+              " tx_bytes=" + std::to_string(nt.tx_bytes);
+      if (nt.rx_drops)
+        for (auto& nic : lib_.kernel().interfaces())
+          if (nic->counters().rx_drops)
+            text += "\n  " + nic->name() + ": rx_drops=" +
+                    std::to_string(nic->counters().rx_drops);
       text += "\n" + format_sanitize(cc);
       return {Status::ok, text};
     }
@@ -597,6 +611,10 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
       text += "\ngate-batch: groups=" + std::to_string(cc.gate_groups) +
               " group_pkts=" + std::to_string(cc.gate_group_pkts) +
               " fused_bursts=" + std::to_string(cc.fused_bursts);
+      const auto nt = dp.aggregate_nic_counters();
+      text += "\nnics: rx=" + std::to_string(nt.rx_packets) +
+              " rx_drops=" + std::to_string(nt.rx_drops) +
+              " tx=" + std::to_string(nt.tx_packets);
       text += "\n" + format_sanitize(cc);
       return {Status::ok, text};
     }
@@ -679,9 +697,36 @@ PluginManager::Result PluginManager::exec(std::string_view command) {
       dp.sweep_flows(static_cast<netbase::SimTime>(cutoff));
       return {Status::ok, "swept flows idle since " + tok[2]};
     }
+    if (sub == "io") {
+      // Per-queue I/O backend view: backend name, queue depths/occupancy,
+      // backpressure waits, RETA migrations (multiq), plus the synthesized
+      // ring stats in steered mode.
+      if (tok.size() != 2) return usage("shard io");
+      const bool multiq = dp.backend() != nullptr;
+      std::string text =
+          std::string("backend=") + (multiq ? "memq" : "steered") +
+          " queues=" + std::to_string(dp.workers()) +
+          " migrations=" + std::to_string(dp.migrations());
+      for (std::uint32_t q = 0; q < dp.workers(); ++q) {
+        const auto s = dp.queue_stats(q);
+        text += "\n  q" + std::to_string(q) +
+                ": enq=" + std::to_string(s.rx_enqueued) +
+                " drained=" + std::to_string(s.rx_drained) +
+                " drops=" + std::to_string(s.rx_drops) +
+                " waits=" + std::to_string(s.rx_waits);
+        if (s.occupancy_samples)
+          text += " avg_occ=" +
+                  std::to_string(s.occupancy_sum / s.occupancy_samples);
+        if (s.migrations_in || s.migrations_out)
+          text += " mig_in=" + std::to_string(s.migrations_in) +
+                  " mig_out=" + std::to_string(s.migrations_out);
+      }
+      return {Status::ok, text};
+    }
     return {Status::invalid_argument,
             "unknown shard subcommand: " + sub +
-                "; expected status|counters|telemetry|resilience|reset|sweep"};
+                "; expected status|counters|telemetry|resilience|reset|"
+                "sweep|io"};
   }
   if (cmd == "sanitize") {
     auto& core = lib_.kernel().core();

@@ -39,8 +39,26 @@ class InterfaceTable {
 
   std::size_t size() const noexcept { return nics_.size(); }
 
+  // Summed counters across every NIC — the "are we losing packets at the
+  // driver?" read the telemetry surface reports (rx_drops in particular
+  // used to be counted but never aggregated anywhere).
+  NicCounters totals() const noexcept {
+    NicCounters t{};
+    for (const auto& n : nics_) {
+      const NicCounters& c = n->counters();
+      t.rx_packets += c.rx_packets;
+      t.rx_bytes += c.rx_bytes;
+      t.rx_drops += c.rx_drops;
+      t.tx_packets += c.tx_packets;
+      t.tx_bytes += c.tx_bytes;
+    }
+    return t;
+  }
+
   auto begin() noexcept { return nics_.begin(); }
   auto end() noexcept { return nics_.end(); }
+  auto begin() const noexcept { return nics_.begin(); }
+  auto end() const noexcept { return nics_.end(); }
 
  private:
   std::vector<std::unique_ptr<SimNic>> nics_;

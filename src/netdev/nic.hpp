@@ -53,18 +53,20 @@ class SimNic {
   // ---- receive side (wire -> router) ----
 
   // Delivers a packet from the wire into the receive ring; drops on
-  // overflow. `now` becomes the packet's arrival timestamp and the packet's
-  // in_iface is stamped with this NIC's index.
-  void deliver(pkt::PacketPtr p, netbase::SimTime now) {
+  // overflow (false, counted in rx_drops — callers that must not lose
+  // packets check the result). `now` becomes the packet's arrival timestamp
+  // and the packet's in_iface is stamped with this NIC's index.
+  bool deliver(pkt::PacketPtr p, netbase::SimTime now) {
     if (rx_ring_.size() >= rx_ring_size_) {
       ++counters_.rx_drops;
-      return;
+      return false;
     }
     p->arrival = now;
     p->in_iface = index_;
     counters_.rx_packets++;
     counters_.rx_bytes += p->size();
     rx_ring_.push_back(std::move(p));
+    return true;
   }
 
   bool rx_pending() const noexcept { return !rx_ring_.empty(); }
@@ -100,10 +102,15 @@ class SimNic {
   }
   netbase::SimTime tx_busy_until() const noexcept { return tx_busy_until_; }
 
-  // Serialization time of a packet on this link.
+  // Serialization time of a packet on this link. Rounded UP: truncating let
+  // schedulers systematically over-admit (64B @ OC-3 lost ~3ns of wire time
+  // per packet, a cumulative virtual-time drift); a link may never transmit
+  // faster than its bit rate.
   netbase::SimTime tx_duration(std::size_t bytes) const noexcept {
-    return static_cast<netbase::SimTime>(bytes) * 8 * netbase::kNsPerSec /
-           static_cast<netbase::SimTime>(bandwidth_bps_);
+    const auto bits_ns = static_cast<netbase::SimTime>(bytes) * 8 *
+                         netbase::kNsPerSec;
+    const auto bps = static_cast<netbase::SimTime>(bandwidth_bps_);
+    return (bits_ns + bps - 1) / bps;
   }
 
   // Starts transmitting at max(now, busy_until); returns the completion

@@ -182,7 +182,9 @@ void Worker::run() {
   std::vector<pkt::PacketPtr> burst(kBurst);
   unsigned idle_spins = 0;
   for (;;) {
-    const std::size_t n = ring_.pop_burst({burst.data(), kBurst});
+    const std::size_t n =
+        rx_be_ ? rx_be_->rx_burst(rx_queue_, {burst.data(), kBurst})
+               : ring_.pop_burst({burst.data(), kBurst});
     if (n > 0) {
       idle_spins = 0;
       // Virtual time advances with the shard's own arrivals (monotone per
@@ -222,7 +224,7 @@ void Worker::run() {
     // the bounded wait is a belt-and-braces backstop, not a correctness
     // requirement).
     sleeping_.store(true, std::memory_order_seq_cst);
-    if (!ring_.empty() || !commands_.empty() ||
+    if (!rx_idle() || !commands_.empty() ||
         stop_.load(std::memory_order_seq_cst)) {
       sleeping_.store(false, std::memory_order_relaxed);
       continue;

@@ -27,6 +27,7 @@
 
 #include "aiu/aiu.hpp"
 #include "core/ip_core.hpp"
+#include "io/io_backend.hpp"
 #include "netdev/iftable.hpp"
 #include "parallel/epoch.hpp"
 #include "parallel/spsc_ring.hpp"
@@ -117,6 +118,14 @@ class Worker {
   // -- setup (before start) --
   ShardContext& ctx() noexcept { return ctx_; }
   void set_tx_handler(TxHandler h) { tx_ = std::move(h); }
+  // Multi-queue mode: the worker drains rx directly from its own backend
+  // queue instead of its SPSC ring — no central ingress thread in between.
+  // The producer delivers into the backend, then calls note_submitted() +
+  // doorbell() so quiesce accounting and parking keep working.
+  void set_rx_source(io::IoBackend* be, std::uint32_t queue) noexcept {
+    rx_be_ = be;
+    rx_queue_ = queue;
+  }
   // Record per-burst thread-CPU time so benches can report per-worker
   // service capacity (off by default: two clock_gettime calls per burst).
   void set_measure_busy(bool on) noexcept { measure_busy_ = on; }
@@ -131,6 +140,10 @@ class Worker {
   bool try_submit(pkt::PacketPtr& p);
   void submit_blocking(pkt::PacketPtr p);
   std::uint64_t submitted() const noexcept { return submitted_; }
+  // Producer-side accounting + wakeup for packets delivered around the ring
+  // (i.e. straight into this worker's backend rx queue).
+  void note_submitted() noexcept { ++submitted_; }
+  void doorbell() noexcept { wake(); }
 
   // -- control side (single control thread; may be the ingress thread) --
 
@@ -167,10 +180,17 @@ class Worker {
   void publish_snapshot();
   void wake();
 
+  // True when there is nothing to pop from the packet source right now.
+  bool rx_idle() const {
+    return rx_be_ ? !rx_be_->rx_pending(rx_queue_) : ring_.empty();
+  }
+
   ShardContext ctx_;
   SpscRing<pkt::PacketPtr> ring_;
   SpscRing<Command> commands_{64};
   TxHandler tx_;
+  io::IoBackend* rx_be_{nullptr};  // null = drain the SPSC ring (steered)
+  std::uint32_t rx_queue_{0};
 
   // Declared before status_ (the Versioned's destructor retires into it).
   mutable EpochDomain status_domain_;

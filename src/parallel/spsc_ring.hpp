@@ -4,12 +4,15 @@
 // packets are delivered to its owning worker in submission order and the
 // packet path never takes a lock.
 //
-// Classic Lamport queue with C++11 atomics: the producer owns `tail_`, the
-// consumer owns `head_`, and each side keeps a cached copy of the other's
-// index so the common case touches only its own cache line (the cached peer
-// index is refreshed — one acquire load — only when the ring looks full or
-// empty). Capacity is rounded up to a power of two; one slot is sacrificed
-// to distinguish full from empty.
+// Classic Lamport queue with C++11 atomics and free-running indices: the
+// producer owns `tail_`, the consumer owns `head_`, and each side keeps a
+// cached copy of the other's index so the common case touches only its own
+// cache line (the cached peer index is refreshed — one acquire load — only
+// when the ring looks full or empty). Indices count monotonically and are
+// masked into the power-of-two slot array only at access, so `capacity()`
+// is exactly the requested capacity: no slot is sacrificed to tell full
+// from empty, and a power-of-two request no longer silently allocates
+// double (the old `bit_ceil(capacity+1)` sizing).
 #pragma once
 
 #include <atomic>
@@ -25,26 +28,27 @@ template <typename T>
 class SpscRing {
  public:
   explicit SpscRing(std::size_t capacity)
-      : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity + 1)),
-        mask_(slots_.size() - 1) {}
+      : slots_(std::bit_ceil(capacity < 1 ? std::size_t{1} : capacity)),
+        mask_(slots_.size() - 1),
+        cap_(capacity < 1 ? std::size_t{1} : capacity) {}
 
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  // Usable capacity (one slot is reserved).
-  std::size_t capacity() const noexcept { return slots_.size() - 1; }
+  // Exactly the requested capacity (enforced even when the slot array is
+  // rounded up to a power of two for cheap masking).
+  std::size_t capacity() const noexcept { return cap_; }
 
   // ---- producer side ----
 
   bool try_push(T& v) {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
-    const std::size_t next = (t + 1) & mask_;
-    if (next == head_cache_) {
+    if (t - head_cache_ >= cap_) {
       head_cache_ = head_.load(std::memory_order_acquire);
-      if (next == head_cache_) return false;  // full
+      if (t - head_cache_ >= cap_) return false;  // full
     }
-    slots_[t] = std::move(v);
-    tail_.store(next, std::memory_order_release);
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
     return true;
   }
   bool try_push(T&& v) { return try_push(v); }
@@ -67,8 +71,8 @@ class SpscRing {
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (h == tail_cache_) return false;  // empty
     }
-    out = std::move(slots_[h]);
-    head_.store((h + 1) & mask_, std::memory_order_release);
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
     return true;
   }
 
@@ -91,12 +95,13 @@ class SpscRing {
   std::size_t size_approx() const noexcept {
     const std::size_t h = head_.load(std::memory_order_acquire);
     const std::size_t t = tail_.load(std::memory_order_acquire);
-    return (t - h) & mask_;
+    return t - h;
   }
 
  private:
   std::vector<T> slots_;
   const std::size_t mask_;
+  const std::size_t cap_;
 
   // Producer line: tail + cached head. Consumer line: head + cached tail.
   alignas(64) std::atomic<std::size_t> tail_{0};

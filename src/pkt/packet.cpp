@@ -2,6 +2,35 @@
 
 namespace rp::pkt {
 
+// Both grow paths detach to a fresh zero-filled heap buffer (matching the
+// zero-fill the old vector-backed buffer gave new bytes). A pooled packet
+// keeps its pool_ pointer: the chunk's inline buffer goes idle, and release
+// still recycles the chunk while ~Packet frees the detached buffer.
+
+void Packet::grow_front(std::size_t n) {
+  const std::size_t grow = n - head_ + kDefaultHeadroom;
+  const std::size_t ncap = cap_ + grow;
+  auto* nb = new std::uint8_t[ncap]();
+  std::memcpy(nb + grow + head_, buf_ + head_, len_);
+  if (buf_owned_) delete[] buf_;
+  if (pool_ && !buf_owned_) detail::note_pool_grow(pool_);
+  buf_ = nb;
+  cap_ = ncap;
+  head_ += grow;
+  buf_owned_ = true;
+}
+
+void Packet::grow_back(std::size_t n) {
+  const std::size_t ncap = head_ + len_ + n;
+  auto* nb = new std::uint8_t[ncap]();
+  std::memcpy(nb, buf_, head_ + len_);
+  if (buf_owned_) delete[] buf_;
+  if (pool_ && !buf_owned_) detail::note_pool_grow(pool_);
+  buf_ = nb;
+  cap_ = ncap;
+  buf_owned_ = true;
+}
+
 PacketPtr clone_packet(const Packet& p) {
   auto c = make_packet(p.size(), p.headroom());
   std::memcpy(c->data(), p.data(), p.size());

@@ -7,13 +7,21 @@
 // plus the paper's additions: most importantly the **flow index (FIX)** —
 // the pointer into the AIU flow table that lets every gate after the first
 // reach its plugin instance with a single indirect call (Section 3.2).
+//
+// Buffer ownership comes in two flavors, chosen at allocation time and
+// invisible to every consumer because `PacketPtr`'s deleter routes both:
+//   * heap packets own a `new[]`ed buffer (the default, and the only mode
+//     before packet pools existed);
+//   * pooled packets (pkt/packet_pool.hpp) live inside a fixed-size pool
+//     chunk and borrow the chunk's inline buffer — releasing the PacketPtr
+//     recycles the chunk instead of touching the allocator. A pooled packet
+//     that outgrows its chunk detaches to a heap buffer transparently.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
-#include <vector>
 
 #include "netbase/clock.hpp"
 #include "pkt/flow_key.hpp"
@@ -24,36 +32,54 @@ namespace rp::pkt {
 using FlowIndex = std::int32_t;
 constexpr FlowIndex kNoFlow = -1;
 
+class PacketPool;
+struct PoolCore;
+
+namespace detail {
+// Out-of-line pool bookkeeping (defined in packet_pool.cpp) so packet.cpp
+// never needs the pool's internals.
+void note_pool_grow(PoolCore* core) noexcept;
+}  // namespace detail
+
 class Packet {
  public:
   static constexpr std::size_t kDefaultHeadroom = 128;
 
   Packet() : Packet(0) {}
   explicit Packet(std::size_t len, std::size_t headroom = kDefaultHeadroom)
-      : buf_(headroom + len), head_(headroom), len_(len) {}
+      : buf_(new std::uint8_t[headroom + len]()),
+        cap_(headroom + len),
+        head_(headroom),
+        len_(len) {}
+
+  ~Packet() {
+    if (buf_owned_) delete[] buf_;
+  }
 
   Packet(const Packet&) = delete;
   Packet& operator=(const Packet&) = delete;
-  Packet(Packet&&) noexcept = default;
-  Packet& operator=(Packet&&) noexcept = default;
+  // Moves are deleted: a pooled packet's buffer belongs to its chunk, so a
+  // moved-to object could not take ownership. Nothing moves Packets by value
+  // — PacketPtr moves the pointer.
+  Packet(Packet&&) = delete;
+  Packet& operator=(Packet&&) = delete;
 
-  std::uint8_t* data() noexcept { return buf_.data() + head_; }
-  const std::uint8_t* data() const noexcept { return buf_.data() + head_; }
+  std::uint8_t* data() noexcept { return buf_ + head_; }
+  const std::uint8_t* data() const noexcept { return buf_ + head_; }
   std::size_t size() const noexcept { return len_; }
   std::span<std::uint8_t> bytes() noexcept { return {data(), len_}; }
   std::span<const std::uint8_t> bytes() const noexcept { return {data(), len_}; }
 
   std::size_t headroom() const noexcept { return head_; }
-  std::size_t tailroom() const noexcept { return buf_.size() - head_ - len_; }
+  std::size_t tailroom() const noexcept { return cap_ - head_ - len_; }
+
+  // True when the buffer is a pool chunk's inline storage.
+  bool pooled() const noexcept { return pool_ != nullptr; }
 
   // Grow the packet at the front (M_PREPEND). Returns pointer to the new
   // first byte. Reallocates only if headroom is exhausted.
   std::uint8_t* prepend(std::size_t n) {
-    if (n > head_) {
-      std::size_t grow = n - head_ + kDefaultHeadroom;
-      buf_.insert(buf_.begin(), grow, 0);
-      head_ += grow;
-    }
+    if (n > head_) grow_front(n);
     head_ -= n;
     len_ += n;
     return data();
@@ -67,8 +93,10 @@ class Packet {
   }
 
   // Grow the packet at the tail; returns pointer to the appended region.
+  // The appended bytes are uninitialized (a recycled pool chunk's tailroom
+  // keeps its old contents) — callers must write the full region.
   std::uint8_t* append(std::size_t n) {
-    if (n > tailroom()) buf_.resize(head_ + len_ + n);
+    if (n > tailroom()) grow_back(n);
     std::uint8_t* p = data() + len_;
     len_ += n;
     return p;
@@ -111,19 +139,50 @@ class Packet {
   void invalidate_flow_hash() noexcept { key_hash_valid_ = false; }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  friend class PacketPool;
+  friend struct PacketDeleter;
+
+  // Pool-internal: adopt a chunk's inline buffer without owning it. The
+  // buffer stays the chunk's until the packet outgrows it (grow_* detaches
+  // to a heap buffer; the chunk still returns to the pool on release).
+  Packet(std::uint8_t* storage, std::size_t cap, std::size_t len,
+         std::size_t headroom, PoolCore* core) noexcept
+      : buf_(storage),
+        cap_(cap),
+        head_(headroom),
+        len_(len),
+        pool_(core),
+        buf_owned_(false) {}
+
+  // Slow paths (packet.cpp): reallocate to a heap buffer, preserving
+  // contents and — for grow_front — opening n-head_+kDefaultHeadroom new
+  // front bytes, exactly the old vector-backed semantics.
+  void grow_front(std::size_t n);
+  void grow_back(std::size_t n);
+
+  std::uint8_t* buf_;
+  std::size_t cap_;
   std::size_t head_;
   std::size_t len_;
+  PoolCore* pool_{nullptr};  // owning pool; null = plain heap packet
+  bool buf_owned_{true};     // buf_ was new[]ed here (vs chunk-inline)
   std::uint64_t key_hash_{0};
   bool key_hash_valid_{false};
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Releases through the pool when the packet is pooled, through the heap
+// otherwise — so `PacketPtr` keeps the exact ABI it had as a plain
+// unique_ptr while pools stay invisible to all packet consumers.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
 
-inline PacketPtr make_packet(std::size_t len,
-                             std::size_t headroom = Packet::kDefaultHeadroom) {
-  return std::make_unique<Packet>(len, headroom);
-}
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// Allocates from the calling thread's scoped PacketPool when one is active
+// (PacketPool::Use), from the heap otherwise. Defined in packet_pool.cpp.
+PacketPtr make_packet(std::size_t len,
+                      std::size_t headroom = Packet::kDefaultHeadroom);
 
 // Deep copy (used by tests and by plugins that need to duplicate traffic).
 PacketPtr clone_packet(const Packet& p);

@@ -1,0 +1,160 @@
+#include "pkt/packet_pool.hpp"
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+
+namespace rp::pkt {
+
+// Shared between the pool handle and every outstanding packet. refs =
+// outstanding chunks + 1 for the handle; the last unref frees the arena, so
+// packets may outlive their pool without dangling chunk memory.
+struct PoolCore {
+  std::atomic<PoolChunk*> returned{nullptr};  // MPSC Treiber stack
+  std::atomic<std::uint64_t> refs{1};
+  std::atomic<bool> closed{false};
+  std::atomic<std::uint64_t> recycles{0};
+  std::atomic<std::uint64_t> grows{0};
+  std::vector<char*> arena;  // every chunk allocation, freed by last unref
+
+  static void unref(PoolCore* c) noexcept {
+    if (c->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      for (char* a : c->arena) delete[] a;
+      delete c;
+    }
+  }
+};
+
+// [ Chunk | inline buffer (buf_bytes) ]. pkt_mem hosts the Packet object
+// while the chunk is out; standard-layout so offsetof is valid.
+struct PoolChunk {
+  PoolChunk* next{nullptr};
+  PoolCore* core{nullptr};
+  alignas(std::max_align_t) unsigned char pkt_mem[sizeof(Packet)];
+};
+
+namespace {
+
+thread_local PacketPool* tl_pool = nullptr;
+
+std::uint8_t* chunk_buf(PoolChunk* c) noexcept {
+  return reinterpret_cast<std::uint8_t*>(c) + sizeof(PoolChunk);
+}
+
+PoolChunk* chunk_of(Packet* p) noexcept {
+  return reinterpret_cast<PoolChunk*>(
+      reinterpret_cast<char*>(p) - offsetof(PoolChunk, pkt_mem));
+}
+
+}  // namespace
+
+namespace detail {
+void note_pool_grow(PoolCore* core) noexcept {
+  core->grows.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+PacketPool::PacketPool() : PacketPool(Options{}) {}
+
+PacketPool::PacketPool(const Options& opt)
+    : core_(new PoolCore),
+      buf_bytes_(opt.buf_bytes ? opt.buf_bytes : 2048),
+      n_chunks_(opt.chunks) {
+  core_->arena.reserve(n_chunks_);
+  for (std::size_t i = 0; i < n_chunks_; ++i) {
+    char* mem = new char[sizeof(PoolChunk) + buf_bytes_];
+    core_->arena.push_back(mem);
+    auto* c = new (mem) PoolChunk;
+    c->core = core_;
+    std::memset(chunk_buf(c), 0, buf_bytes_);  // deterministic first handout
+    c->next = free_;
+    free_ = c;
+  }
+  free_count_ = n_chunks_;
+}
+
+PacketPool::~PacketPool() {
+  core_->closed.store(true, std::memory_order_release);
+  PoolCore::unref(core_);
+}
+
+PoolChunk* PacketPool::pop_free() noexcept {
+  if (!free_) {
+    // Drain the MPSC return stack wholesale: one exchange takes the whole
+    // list, so concurrent pushes never race a traversal (no ABA).
+    free_ = core_->returned.exchange(nullptr, std::memory_order_acquire);
+    for (PoolChunk* c = free_; c; c = c->next) ++free_count_;
+  }
+  PoolChunk* c = free_;
+  if (c) {
+    free_ = c->next;
+    --free_count_;
+  }
+  return c;
+}
+
+PacketPtr PacketPool::alloc(std::size_t len, std::size_t headroom) {
+  ++allocs_;
+  if (len + headroom <= buf_bytes_) {
+    if (PoolChunk* c = pop_free()) {
+      ++hits_;
+      core_->refs.fetch_add(1, std::memory_order_relaxed);
+      // Heap packets hand out a zeroed [0, headroom+len) (value-initialized
+      // new[]); recycled chunks must match or sparse writers (builders that
+      // leave payload zeroed, runt constructors) would see stale bytes.
+      std::memset(chunk_buf(c), 0, headroom + len);
+      Packet* p =
+          new (c->pkt_mem) Packet(chunk_buf(c), buf_bytes_, len, headroom,
+                                  core_);
+      return PacketPtr(p);
+    }
+  }
+  ++fallbacks_;
+  return PacketPtr(new Packet(len, headroom));
+}
+
+PoolStats PacketPool::stats() const noexcept {
+  PoolStats s;
+  s.allocs = allocs_;
+  s.pool_hits = hits_;
+  s.heap_fallbacks = fallbacks_;
+  s.recycles = core_->recycles.load(std::memory_order_relaxed);
+  s.grows_detached = core_->grows.load(std::memory_order_relaxed);
+  s.outstanding = static_cast<std::size_t>(
+      core_->refs.load(std::memory_order_relaxed) - 1);
+  s.free_chunks = free_count_;
+  return s;
+}
+
+PacketPool::Use::Use(PacketPool& p) noexcept : prev_(tl_pool) { tl_pool = &p; }
+PacketPool::Use::~Use() { tl_pool = prev_; }
+PacketPool* PacketPool::current() noexcept { return tl_pool; }
+
+// ---------------------------------------------------------------------------
+// Release path — shared by every PacketPtr in the system.
+
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  PoolCore* core = p->pool_;
+  if (!core) {
+    delete p;
+    return;
+  }
+  PoolChunk* c = chunk_of(p);
+  p->~Packet();  // frees a detached (grown) heap buffer, if any
+  core->recycles.fetch_add(1, std::memory_order_relaxed);
+  if (!core->closed.load(std::memory_order_acquire)) {
+    PoolChunk* head = core->returned.load(std::memory_order_relaxed);
+    do {
+      c->next = head;
+    } while (!core->returned.compare_exchange_weak(
+        head, c, std::memory_order_release, std::memory_order_relaxed));
+  }
+  PoolCore::unref(core);
+}
+
+PacketPtr make_packet(std::size_t len, std::size_t headroom) {
+  if (PacketPool* pool = tl_pool) return pool->alloc(len, headroom);
+  return PacketPtr(new Packet(len, headroom));
+}
+
+}  // namespace rp::pkt

@@ -1,0 +1,106 @@
+// PacketPool — per-worker recycling packet allocator (the fastclick
+// allocator/bufferpool idea ported onto Packet).
+//
+// The heap path costs every packet two allocations (the Packet object and
+// its buffer) plus the allocator's locks; at millions of packets per second
+// that is the datapath's single biggest fixed tax. A pool preallocates a
+// fixed set of chunks, each laid out as
+//
+//     [ chunk header | Packet object storage | inline buffer ]
+//
+// so one freelist pop hands out both the object and its buffer, and one
+// push recycles them with full headroom restored (the placement-new on the
+// next alloc resets head_/len_, so recycle after prepend/pull is free).
+//
+// Threading contract (mirrors a NIC queue pair):
+//   * alloc()   — one thread at a time (the queue's producer);
+//   * release   — ANY thread: dropping a PacketPtr pushes the chunk onto a
+//     lock-free MPSC return stack (Treiber push; the owner drains it
+//     wholesale with one exchange, so there is no ABA window);
+//   * exhaustion/oversize fall back to plain heap packets — never blocks,
+//     never fails, just stops being free.
+//
+// Lifetime: the pool handle and every outstanding packet each hold one
+// reference on the shared core; whichever drops last frees the arena. A
+// packet may therefore outlive its pool, but its buffer memory is only
+// reclaimed when that last reference goes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "pkt/packet.hpp"
+
+namespace rp::pkt {
+
+struct PoolChunk;  // [ header | Packet storage | inline buffer ], in the cpp
+
+struct PoolStats {
+  std::uint64_t allocs{0};           // alloc() calls
+  std::uint64_t pool_hits{0};        // served from a chunk
+  std::uint64_t heap_fallbacks{0};   // exhausted or oversize -> heap packet
+  std::uint64_t recycles{0};         // chunks returned by released packets
+  std::uint64_t grows_detached{0};   // pooled packets that outgrew the chunk
+  std::size_t outstanding{0};        // chunks currently held by live packets
+  std::size_t free_chunks{0};        // chunks ready in the owner freelist
+};
+
+class PacketPool {
+ public:
+  struct Options {
+    std::size_t chunks{1024};     // fixed chunk count; the pool never grows
+    std::size_t buf_bytes{2048};  // inline buffer per chunk (headroom+data)
+  };
+
+  PacketPool();
+  explicit PacketPool(const Options& opt);
+  ~PacketPool();
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // Pooled when a chunk is free and len+headroom fits the inline buffer;
+  // heap fallback otherwise. Producer-side (one thread at a time).
+  PacketPtr alloc(std::size_t len,
+                  std::size_t headroom = Packet::kDefaultHeadroom);
+
+  std::size_t buf_bytes() const noexcept { return buf_bytes_; }
+  std::size_t chunks() const noexcept { return n_chunks_; }
+
+  // Owner-thread / quiescent-state snapshot. free_chunks counts only the
+  // drained owner freelist; chunks parked on the MPSC return stack are
+  // counted by neither outstanding nor free_chunks until an alloc drains
+  // them (so outstanding + free_chunks <= chunks()).
+  PoolStats stats() const noexcept;
+
+  // RAII scope: route make_packet() on the current thread through this
+  // pool, so builders/tgen/clone allocate pooled without knowing it.
+  class Use {
+   public:
+    explicit Use(PacketPool& p) noexcept;
+    ~Use();
+    Use(const Use&) = delete;
+    Use& operator=(const Use&) = delete;
+
+   private:
+    PacketPool* prev_;
+  };
+  static PacketPool* current() noexcept;
+
+ private:
+  PoolChunk* pop_free() noexcept;  // owner freelist, refilled from MPSC stack
+
+  PoolCore* core_;
+  std::size_t buf_bytes_;
+  std::size_t n_chunks_;
+
+  // Owner-thread state (alloc side only).
+  PoolChunk* free_{nullptr};
+  std::size_t free_count_{0};
+  std::uint64_t allocs_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t fallbacks_{0};
+};
+
+}  // namespace rp::pkt

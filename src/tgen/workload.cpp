@@ -75,6 +75,25 @@ std::vector<Arrival> cbr(const CbrSpec& spec) {
   return out;
 }
 
+ZipfSampler::ZipfSampler(std::size_t n, double s, std::uint64_t seed)
+    : cdf_(std::max<std::size_t>(1, n)), s_(s), rng_(seed) {
+  double sum = 0;
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
+    sum += s == 0 ? 1.0
+                  : 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::size_t ZipfSampler::next() {
+  const double u = rng_.uniform01();
+  std::size_t i =
+      static_cast<std::size_t>(std::lower_bound(cdf_.begin(), cdf_.end(), u) -
+                               cdf_.begin());
+  return i < cdf_.size() ? i : cdf_.size() - 1;
+}
+
 std::vector<Arrival> flow_mix(const MixSpec& spec) {
   Rng rng(spec.seed);
   std::vector<FlowEndpoints> flows;
@@ -82,16 +101,9 @@ std::vector<Arrival> flow_mix(const MixSpec& spec) {
   for (std::size_t i = 0; i < spec.n_flows; ++i)
     flows.push_back(random_flow(rng, spec.ver, spec.iface));
 
-  // Zipf CDF over flows.
-  std::vector<double> cdf(spec.n_flows);
-  double sum = 0;
-  for (std::size_t i = 0; i < spec.n_flows; ++i) {
-    sum += spec.zipf_s == 0 ? 1.0
-                            : 1.0 / std::pow(static_cast<double>(i + 1),
-                                             spec.zipf_s);
-    cdf[i] = sum;
-  }
-  for (auto& c : cdf) c /= sum;
+  // Flow popularity: rank i of the Zipf sampler is flow i (sub-seed keeps
+  // the pick stream independent of the endpoint stream).
+  ZipfSampler pick(spec.n_flows, spec.zipf_s, spec.seed ^ 0x9e3779b97f4a7c15u);
 
   std::vector<Arrival> out;
   out.reserve(spec.n_packets);
@@ -101,10 +113,7 @@ std::vector<Arrival> flow_mix(const MixSpec& spec) {
   std::size_t emitted = 0;
   while (emitted < spec.n_packets) {
     // Pick a flow by popularity, then emit a burst (packet train) from it.
-    double u = rng.uniform01();
-    std::size_t fi =
-        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
-    if (fi >= flows.size()) fi = flows.size() - 1;
+    std::size_t fi = pick.next();
     std::size_t burst = 1 + rng.below(std::max<std::size_t>(1, spec.burst_len));
     for (std::size_t b = 0; b < burst && emitted < spec.n_packets; ++b) {
       Arrival a;

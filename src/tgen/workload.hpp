@@ -54,6 +54,24 @@ struct CbrSpec {
 };
 std::vector<Arrival> cbr(const CbrSpec& spec);
 
+// Seeded Zipf(s) sampler over ranks [0, n): inverse-CDF lookup, O(log n)
+// per sample, fully reproducible. This is the steering-imbalance knob for
+// the multi-queue I/O benches — rank 0 is the hot flow, and with s ≈ 1.1
+// the head of the distribution concentrates enough load on one RSS queue
+// to make work stealing observable. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s, std::uint64_t seed);
+  std::size_t next();                 // a rank in [0, n)
+  std::size_t ranks() const noexcept { return cdf_.size(); }
+  double s() const noexcept { return s_; }
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+  netbase::Rng rng_;
+};
+
 // Flow mix with Zipf-distributed flow popularity and per-flow packet trains
 // (bursts) — the "flow-like characteristics of Internet traffic" the flow
 // cache exploits.

@@ -247,10 +247,13 @@ constexpr netbase::SimTime kSweepAll =
     std::numeric_limits<netbase::SimTime>::max();
 
 void run_diff(std::uint32_t workers, std::uint64_t seed,
-              bool with_eiffel = false) {
+              bool with_eiffel = false,
+              ShardedDatapath::IoOptions io = {}) {
+  const bool multiq =
+      io.mode == ShardedDatapath::IoOptions::Mode::multiq;
   SCOPED_TRACE("workers=" + std::to_string(workers) +
                " seed=" + std::to_string(seed) +
-               (with_eiffel ? " eiffel" : ""));
+               (with_eiffel ? " eiffel" : "") + (multiq ? " multiq" : ""));
   auto trace = make_trace(seed, 600, /*allow_frags=*/!with_eiffel);
 
   // ---- reference: one private stack driven synchronously ----
@@ -282,6 +285,7 @@ void run_diff(std::uint32_t workers, std::uint64_t seed,
   opt.workers = workers;
   opt.ring_capacity = 256;
   opt.shard = shard_options();
+  opt.io = io;
   ShardedDatapath dp(opt, [&taps, with_eiffel](ShardContext& ctx) {
     taps[ctx.id()] = setup_stack(ctx, with_eiffel);
   });
@@ -348,8 +352,27 @@ TEST(ShardDiff, TwoWorkersMatchSingleThreaded) {
   for (std::uint64_t seed : {1ull, 42ull}) run_diff(2, seed);
 }
 
+// Non-power-of-two shard count: the fixed-point steering map
+// ((hash >> 32) * n) >> 32 replaced (hash >> 56) % n, whose modulo bias
+// and 256-value key space skewed non-power-of-two shard loads. N = 3 holds
+// the new map to the same bit-equality as the power-of-two counts.
+TEST(ShardDiff, ThreeWorkersMatchSingleThreaded) {
+  for (std::uint64_t seed : {1ull, 42ull}) run_diff(3, seed);
+}
+
 TEST(ShardDiff, FourWorkersMatchSingleThreaded) {
   for (std::uint64_t seed : {1ull, 42ull, 1337ull}) run_diff(4, seed);
+}
+
+// The multi-queue backend (RETA steering, per-worker rx queue pairs, no
+// central ingress ring) must be observationally identical to the steered
+// mode — and therefore to the single-threaded reference. Migration stays
+// off: it preserves aggregates but moves per-flow soft state across shards.
+TEST(ShardDiff, MultiqWorkersMatchSingleThreaded) {
+  ShardedDatapath::IoOptions io;
+  io.mode = ShardedDatapath::IoOptions::Mode::multiq;
+  for (std::uint32_t n : {1u, 2u, 3u, 4u})
+    run_diff(n, 42, /*with_eiffel=*/false, io);
 }
 
 // Same differential with an Eiffel (vtime) scheduler on the egress port:
